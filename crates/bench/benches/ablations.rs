@@ -1,0 +1,132 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * the cost of `FIND-LOOP-STRUCTURE` as the dependence set grows,
+//! * ASDG construction on wide basic blocks,
+//! * collective (weighted) vs greedy pairwise fusion,
+//! * the contribution of each communication optimization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fusion_core::asdg;
+use fusion_core::fusion::{FusionCtx, Partition};
+use fusion_core::loopstruct::find_loop_structure;
+use fusion_core::normal::normalize;
+use fusion_core::pipeline::{Level, Pipeline};
+use fusion_core::Udv;
+use machine::presets::t3e;
+use runtime::{simulate, CommPolicy, ExecConfig};
+use std::hint::black_box;
+use zlang::ir::ConfigBinding;
+
+/// A synthetic wide block: a chain of k statements B_i := B_{i-1} + 1.
+fn chain_program(k: usize) -> zlang::ir::Program {
+    let mut vars = String::new();
+    let mut body = String::new();
+    for i in 0..k {
+        vars.push_str(&format!("var B{i} : [R] float; "));
+    }
+    body.push_str("[R] B0 := 1.0; ");
+    for i in 1..k {
+        body.push_str(&format!("[R] B{i} := B{} + 1.0; ", i - 1));
+    }
+    body.push_str(&format!("s := +<< [R] B{}; ", k - 1));
+    let src = format!(
+        "program chain; config n : int = 16; region R = [1..n, 1..n]; {vars} var s : float; \
+         begin {body} end"
+    );
+    zlang::compile(&src).unwrap()
+}
+
+fn bench_loopstruct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("find_loop_structure");
+    for ndeps in [2usize, 8, 32, 128] {
+        // Alternating legal dependences of rank 3.
+        let deps: Vec<Udv> = (0..ndeps)
+            .map(|i| Udv(vec![(i % 3) as i64, -((i % 2) as i64), 1]))
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(ndeps), &deps, |b, deps| {
+            b.iter(|| find_loop_structure(black_box(deps), 3))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fusion_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fusion_strategy");
+    for k in [8usize, 32, 64] {
+        let p = chain_program(k);
+        g.bench_function(format!("collective_c2/chain{k}"), |b| {
+            b.iter(|| Pipeline::new(Level::C2).optimize(black_box(&p)))
+        });
+        g.bench_function(format!("pairwise_f4/chain{k}"), |b| {
+            b.iter(|| Pipeline::new(Level::C2F4).optimize(black_box(&p)))
+        });
+        let np = normalize(&p);
+        g.bench_function(format!("asdg_build/chain{k}"), |b| {
+            b.iter(|| asdg::build(black_box(&np.program), black_box(&np.blocks[0])))
+        });
+        let gph = asdg::build(&np.program, &np.blocks[0]);
+        g.bench_function(format!("pairwise_raw/chain{k}"), |b| {
+            b.iter(|| {
+                let ctx = FusionCtx::new(&np.program, &np.blocks[0], &gph);
+                let mut part = Partition::trivial(gph.n);
+                ctx.pairwise_fusion(&mut part);
+                part.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_comm_opts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("comm_optimizations");
+    g.sample_size(10);
+    let b = benchmarks::by_name("simple").unwrap();
+    let opt = Pipeline::new(Level::C2F3).optimize(&b.program());
+    let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+    binding.set_by_name(&opt.scalarized.program, "n", 24);
+    let policies = [
+        ("all", CommPolicy::default()),
+        ("none", CommPolicy::none()),
+        ("no_pipelining", CommPolicy { pipelining: false, ..CommPolicy::default() }),
+        ("no_redundancy", CommPolicy { redundancy_elim: false, ..CommPolicy::default() }),
+    ];
+    for (name, policy) in policies {
+        g.bench_function(format!("simple/{name}"), |bb| {
+            bb.iter(|| {
+                let cfg = ExecConfig { machine: t3e(), procs: 16, policy };
+                simulate(black_box(&opt.scalarized), binding.clone(), &cfg).unwrap().total_ns
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    let sp = benchmarks::by_name("sp").unwrap().program();
+    g.bench_function("c2/sp", |b| {
+        b.iter(|| Pipeline::new(Level::C2).optimize(black_box(&sp)))
+    });
+    g.bench_function("c2+dimension_contraction/sp", |b| {
+        b.iter(|| {
+            Pipeline::new(Level::C2)
+                .with_dimension_contraction()
+                .optimize(black_box(&sp))
+        })
+    });
+    let fibro = benchmarks::by_name("fibro").unwrap().program();
+    g.bench_function("c2f4_capped/fibro", |b| {
+        b.iter(|| Pipeline::new(Level::C2F4).with_spatial_cap(4).optimize(black_box(&fibro)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_loopstruct,
+    bench_fusion_strategies,
+    bench_comm_opts,
+    bench_extensions
+);
+criterion_main!(benches);

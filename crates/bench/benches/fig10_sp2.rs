@@ -1,0 +1,26 @@
+//! Criterion bench for the Figure 10 experiment: simulated execution on
+//! the IBM SP-2 model, every level at p = 16, one representative benchmark
+//! per rank.
+
+use bench::perf;
+use criterion::{criterion_group, criterion_main, Criterion};
+use machine::presets::sp2;
+
+fn bench(c: &mut Criterion) {
+    let m = sp2();
+    let mut g = c.benchmark_group("fig10_sp2");
+    g.sample_size(10);
+    for name in ["ep", "tomcatv", "sp"] {
+        let b = benchmarks::by_name(name).unwrap();
+        let block = if b.rank == 1 { 2048 } else if b.rank == 2 { 24 } else { 8 };
+        for level in perf::PLOT_LEVELS {
+            g.bench_function(format!("{}/{}/p16", b.name, level.name()), |bb| {
+                bb.iter(|| perf::run(&b, level, &m, 16, block))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

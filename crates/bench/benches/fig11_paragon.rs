@@ -1,0 +1,27 @@
+//! Criterion bench for the Figure 11 experiment: simulated execution on
+//! the Intel Paragon model (tiny cache — the machine where contraction's
+//! cache effects are largest), baseline vs. c2 vs. c2+f4 across processor
+//! counts.
+
+use bench::perf;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusion_core::pipeline::Level;
+use machine::presets::paragon;
+
+fn bench(c: &mut Criterion) {
+    let m = paragon();
+    let mut g = c.benchmark_group("fig11_paragon");
+    g.sample_size(10);
+    let b = benchmarks::by_name("simple").unwrap();
+    for procs in [1u64, 4, 16, 64] {
+        for level in [Level::Baseline, Level::C2, Level::C2F4] {
+            g.bench_function(format!("simple/{}/p{}", level.name(), procs), |bb| {
+                bb.iter(|| perf::run(&b, level, &m, procs, 24))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

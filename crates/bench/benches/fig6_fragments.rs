@@ -1,0 +1,21 @@
+//! Criterion bench for the Figure 6 experiment: time to evaluate each
+//! Figure 5 fragment under the full (ZPL) model, and the whole matrix.
+
+use compilers::{fragments, matrix, zpl};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    for f in fragments() {
+        let model = zpl();
+        g.bench_function(format!("evaluate{}", f.id), |b| {
+            b.iter(|| matrix::evaluate(black_box(&model), black_box(&f)))
+        });
+    }
+    g.bench_function("behavior_matrix", |b| b.iter(matrix::behavior_matrix));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

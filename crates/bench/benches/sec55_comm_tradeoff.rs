@@ -1,0 +1,38 @@
+//! Criterion bench for the Section 5.5 experiment: the favor-fusion vs
+//! favor-communication pipelines (optimize + simulate) on the
+//! communication-sensitive benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusion_core::pipeline::{Level, Pipeline};
+use machine::presets::t3e;
+use runtime::comm::favor_comm_pairs;
+use runtime::{simulate, CommPolicy, ExecConfig};
+use zlang::ir::ConfigBinding;
+
+fn run(bench_name: &str, favor_comm: bool) -> f64 {
+    let b = benchmarks::by_name(bench_name).unwrap();
+    let program = b.program();
+    let pipeline = if favor_comm {
+        Pipeline::new(Level::C2F3).with_forbidden(favor_comm_pairs)
+    } else {
+        Pipeline::new(Level::C2F3)
+    };
+    let opt = pipeline.optimize(&program);
+    let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+    binding.set_by_name(&opt.scalarized.program, b.size_config, 24);
+    let cfg = ExecConfig { machine: t3e(), procs: 16, policy: CommPolicy::default() };
+    simulate(&opt.scalarized, binding, &cfg).unwrap().total_ns
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec55");
+    g.sample_size(10);
+    for name in ["simple", "tomcatv", "fibro"] {
+        g.bench_function(format!("{name}/favor_fusion"), |bb| bb.iter(|| run(name, false)));
+        g.bench_function(format!("{name}/favor_comm"), |bb| bb.iter(|| run(name, true)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

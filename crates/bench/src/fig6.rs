@@ -1,0 +1,31 @@
+//! Figure 6: observed behavior of five array-language compilers on the
+//! Figure 5 fragments.
+
+use compilers::behavior_matrix;
+
+/// The paper's Figure 6, regenerated from the compiler models.
+pub fn report() -> String {
+    let m = behavior_matrix();
+    let mut out = String::from(
+        "Figure 6 — compiler behavior on the Figure 5 fragments\n\
+         (yes = produced properly fused/contracted code)\n\n",
+    );
+    out.push_str(&m.render());
+    out.push_str("\nFragments: ");
+    for f in &m.fragments {
+        out.push_str(&format!("{} {}; ", f.id, f.what));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_contains_all_rows() {
+        let r = super::report();
+        for name in ["PGI", "IBM", "APR", "Cray", "ZPL"] {
+            assert!(r.contains(name), "{r}");
+        }
+    }
+}

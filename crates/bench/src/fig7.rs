@@ -1,0 +1,95 @@
+//! Figure 7: static arrays contracted per benchmark (compiler/user split),
+//! with the paper's numbers side by side.
+
+use crate::table::{pct, Table};
+use benchmarks::Benchmark;
+use fusion_core::pipeline::{Level, Pipeline, Report};
+
+/// One benchmark's row of Figure 7.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Our optimizer's accounting at C2.
+    pub ours: Report,
+}
+
+/// Computes the Figure 7 data for every benchmark.
+pub fn rows() -> Vec<Fig7Row> {
+    benchmarks::all()
+        .into_iter()
+        .map(|bench| {
+            let program = bench.program();
+            let ours = Pipeline::new(Level::C2).optimize(&program).report;
+            Fig7Row { bench, ours }
+        })
+        .collect()
+}
+
+/// Renders the Figure 7 table.
+pub fn report() -> String {
+    let mut t = Table::new(&[
+        "application",
+        "ours w/o contr (c/u)",
+        "ours w/ contr",
+        "% change",
+        "paper w/o (c/u)",
+        "paper w/",
+        "paper %",
+        "scalar equiv",
+    ]);
+    for r in rows() {
+        let p = r.bench.paper;
+        let paper_before = p.static_compiler + p.static_user;
+        let paper_pct = if paper_before == 0 {
+            0.0
+        } else {
+            100.0 * (p.static_after as f64 - paper_before as f64) / paper_before as f64
+        };
+        t.row(vec![
+            r.bench.name.to_string(),
+            format!("{} ({}/{})", r.ours.before(), r.ours.compiler_before, r.ours.user_before),
+            format!("{}", r.ours.after()),
+            pct(r.ours.percent_change()),
+            format!("{} ({}/{})", paper_before, p.static_compiler, p.static_user),
+            format!("{}", p.static_after),
+            pct(paper_pct),
+            p.scalar_equivalent.map_or("n/a".to_string(), |s| s.to_string()),
+        ]);
+    }
+    format!(
+        "Figure 7 — static arrays before/after contraction (c = compiler temps, u = user)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_reduces_static_arrays() {
+        for r in rows() {
+            assert!(
+                r.ours.after() < r.ours.before(),
+                "{}: {} -> {}",
+                r.bench.name,
+                r.ours.before(),
+                r.ours.after()
+            );
+        }
+    }
+
+    #[test]
+    fn ep_contracts_everything() {
+        let r = rows().into_iter().find(|r| r.bench.name == "ep").unwrap();
+        assert_eq!(r.ours.after(), 0);
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = report();
+        assert!(r.contains("tomcatv"));
+        assert!(r.contains("scalar equiv"));
+    }
+}

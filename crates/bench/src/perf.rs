@@ -1,0 +1,180 @@
+//! Figures 9, 10, 11: runtime improvement of each transformation level
+//! over baseline, per benchmark, machine, and processor count.
+//!
+//! As in the paper, problem sizes scale with the processor count (the
+//! per-processor block is constant), so the simulation interprets one
+//! processor's block and varies only the communication structure with `p`.
+
+use crate::table::{pct, Table};
+use benchmarks::Benchmark;
+use fusion_core::pipeline::{Level, Pipeline};
+use machine::presets::{Machine, MachineKind};
+use runtime::{simulate, CommPolicy, ExecConfig, SimResult};
+use zlang::ir::ConfigBinding;
+
+/// The transformation levels plotted in the figures (baseline excluded —
+/// it is the reference).
+pub const PLOT_LEVELS: [Level; 7] =
+    [Level::F1, Level::C1, Level::F2, Level::F3, Level::C2, Level::C2F3, Level::C2F4];
+
+/// Processor counts used in the figures.
+pub const PROCS: [u64; 4] = [1, 4, 16, 64];
+
+/// The per-processor block size (points per distributed dimension) used
+/// for a benchmark.
+pub fn block_size(bench: &Benchmark) -> i64 {
+    match bench.rank {
+        1 => 8192,
+        2 => 40,
+        _ => 10,
+    }
+}
+
+/// Runs one configuration.
+///
+/// # Panics
+///
+/// Panics if the benchmark fails to execute (a bug in the embedded
+/// sources, covered by the `benchmarks` tests).
+pub fn run(bench: &Benchmark, level: Level, machine: &Machine, procs: u64, block: i64) -> SimResult {
+    let opt = Pipeline::new(level).optimize(&bench.program());
+    let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+    binding.set_by_name(&opt.scalarized.program, bench.size_config, block);
+    let cfg =
+        ExecConfig { machine: machine.clone(), procs, policy: CommPolicy::default() };
+    simulate(&opt.scalarized, binding, &cfg)
+        .unwrap_or_else(|e| panic!("{} at {level} on {}: {e}", bench.name, machine.name))
+}
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct PerfPoint {
+    /// Transformation level.
+    pub level: Level,
+    /// Processor count.
+    pub procs: u64,
+    /// Percent improvement over baseline (positive = faster).
+    pub improvement: f64,
+    /// Absolute simulated time, nanoseconds.
+    pub total_ns: f64,
+}
+
+/// All points for one benchmark on one machine.
+#[derive(Debug, Clone)]
+pub struct PerfSeries {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Points, ordered by (level, procs).
+    pub points: Vec<PerfPoint>,
+}
+
+impl PerfSeries {
+    /// The improvement for a given level/procs, if measured.
+    pub fn improvement(&self, level: Level, procs: u64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.level == level && p.procs == procs)
+            .map(|p| p.improvement)
+    }
+}
+
+/// Measures every level × procs for one benchmark on one machine.
+pub fn series(
+    bench: &Benchmark,
+    machine: &Machine,
+    levels: &[Level],
+    procs: &[u64],
+    block: i64,
+) -> PerfSeries {
+    let mut points = Vec::new();
+    for &p in procs {
+        let base = run(bench, Level::Baseline, machine, p, block);
+        for &level in levels {
+            let r = run(bench, level, machine, p, block);
+            points.push(PerfPoint {
+                level,
+                procs: p,
+                improvement: r.improvement_over(&base),
+                total_ns: r.total_ns,
+            });
+        }
+    }
+    PerfSeries { bench: *bench, points }
+}
+
+/// Renders one machine's figure (Figure 9 = T3E, 10 = SP-2, 11 = Paragon).
+pub fn report(kind: MachineKind, levels: &[Level], procs: &[u64]) -> String {
+    let machine = kind.machine();
+    let fig = match kind {
+        MachineKind::T3e => "Figure 9",
+        MachineKind::Sp2 => "Figure 10",
+        MachineKind::Paragon => "Figure 11",
+    };
+    let mut out = format!(
+        "{fig} — % improvement over baseline on the {} (scaled problem size)\n\n",
+        machine.name
+    );
+    for bench in benchmarks::all() {
+        let block = block_size(&bench);
+        let s = series(&bench, &machine, levels, procs, block);
+        let mut header: Vec<String> = vec![format!("{} (p=)", bench.name)];
+        header.extend(procs.iter().map(|p| p.to_string()));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(&header_refs);
+        for &level in levels {
+            let mut row = vec![level.name().to_string()];
+            for &p in procs {
+                row.push(s.improvement(level, p).map_or("-".into(), pct));
+            }
+            t.row(row);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::presets::t3e;
+
+    #[test]
+    fn c2_beats_baseline_on_every_benchmark() {
+        let m = t3e();
+        for bench in benchmarks::all() {
+            // Small blocks keep the test fast.
+            let block = if bench.rank == 1 { 2048 } else if bench.rank == 2 { 24 } else { 8 };
+            let base = run(&bench, Level::Baseline, &m, 1, block);
+            let c2 = run(&bench, Level::C2, &m, 1, block);
+            assert!(
+                c2.total_ns < base.total_ns,
+                "{}: c2 {} >= baseline {}",
+                bench.name,
+                c2.total_ns,
+                base.total_ns
+            );
+        }
+    }
+
+    #[test]
+    fn ep_improvement_is_processor_independent() {
+        // The paper: EP scales perfectly, so its improvement is flat in p.
+        let bench = benchmarks::by_name("ep").unwrap();
+        let s = series(&bench, &t3e(), &[Level::C2], &[1, 4, 16, 64], block_size(&bench));
+        let imps: Vec<f64> =
+            [1u64, 4, 16, 64].iter().map(|&p| s.improvement(Level::C2, p).unwrap()).collect();
+        let spread = imps.iter().cloned().fold(f64::MIN, f64::max)
+            - imps.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 2.0, "EP improvement must be ~flat in p: {imps:?}");
+    }
+
+    #[test]
+    fn series_collects_all_points() {
+        let bench = benchmarks::by_name("frac").unwrap();
+        let s = series(&bench, &t3e(), &[Level::C1, Level::C2], &[1, 4], 16);
+        assert_eq!(s.points.len(), 4);
+        assert!(s.improvement(Level::C2, 4).is_some());
+        assert!(s.improvement(Level::C2F4, 4).is_none());
+    }
+}

@@ -1,0 +1,170 @@
+//! NAS EP: embarrassingly parallel generation of Gaussian random deviates
+//! by the Marsaglia polar method, with annulus counts.
+//!
+//! The array-language formulation materializes every stage of the pipeline
+//! as a whole array — uniforms, candidate coordinates, acceptance masks,
+//! deviates, annulus membership — exactly the style the paper's EP exhibits
+//! (22 user arrays, no compiler temporaries). Every array is consumed by
+//! reductions in the same basic block, so full contraction eliminates all
+//! of them: the paper's headline "EP runs in constant memory after
+//! contraction".
+
+use crate::{Benchmark, PaperData};
+
+/// `zlang` source of EP.
+pub const SOURCE: &str = r#"
+program ep;
+
+config n : int = 8192;      -- number of candidate pairs
+
+region R = [1..n];
+
+var U1, U2        : [R] float;   -- uniform deviates
+var X, Y          : [R] float;   -- candidate coordinates in [-1,1)^2
+var T             : [R] float;   -- squared radius
+var ACC           : [R] float;   -- acceptance mask (t <= 1)
+var TT            : [R] float;   -- guarded radius for the transform
+var F             : [R] float;   -- polar transform factor
+var GX, GY        : [R] float;   -- Gaussian deviates
+var GX2, GY2      : [R] float;   -- squares (for variance sums)
+var AX, AY, MX    : [R] float;   -- |gx|, |gy|, max of both
+var C0, C1, C2, C3 : [R] float;  -- annulus membership counts
+var PROD          : [R] float;   -- gx*gy (for covariance sum)
+
+var npairs, sx, sy, sx2, sy2, sxy : float;
+var q0, q1, q2, q3 : float;
+
+begin
+  -- Deterministic "uniform" streams (hash of the index).
+  [R] U1 := rnd(index1 * 2.0 + 1.0);
+  [R] U2 := rnd(index1 * 2.0 + 2.0);
+
+  -- Candidate point in the square.
+  [R] X := 2.0 * U1 - 1.0;
+  [R] Y := 2.0 * U2 - 1.0;
+
+  -- Polar acceptance test.
+  [R] T   := X * X + Y * Y;
+  [R] ACC := T <= 1.0;
+  [R] TT  := max(select(ACC, T, 1.0), 1e-30);
+
+  -- Transform accepted pairs; rejected lanes contribute zero.
+  [R] F  := select(ACC, sqrt((0.0 - 2.0) * ln(TT) / TT), 0.0);
+  [R] GX := X * F;
+  [R] GY := Y * F;
+
+  -- Moments.
+  [R] GX2  := GX * GX;
+  [R] GY2  := GY * GY;
+  [R] PROD := GX * GY;
+
+  -- Annulus counts on max(|gx|, |gy|).
+  [R] AX := abs(GX);
+  [R] AY := abs(GY);
+  [R] MX := max(AX, AY);
+  [R] C0 := select(ACC * (MX < 1.0), 1.0, 0.0);
+  [R] C1 := select(ACC * (MX >= 1.0) * (MX < 2.0), 1.0, 0.0);
+  [R] C2 := select(ACC * (MX >= 2.0) * (MX < 3.0), 1.0, 0.0);
+  [R] C3 := select(ACC * (MX >= 3.0), 1.0, 0.0);
+
+  npairs := +<< [R] ACC;
+  sx     := +<< [R] GX;
+  sy     := +<< [R] GY;
+  sx2    := +<< [R] GX2;
+  sy2    := +<< [R] GY2;
+  sxy    := +<< [R] PROD;
+  q0     := +<< [R] C0;
+  q1     := +<< [R] C1;
+  q2     := +<< [R] C2;
+  q3     := +<< [R] C3;
+end
+"#;
+
+/// The EP benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "ep",
+        description: "NAS EP: Gaussian random deviates by the polar method",
+        source: SOURCE,
+        size_config: "n",
+        iters_config: None,
+        rank: 1,
+        paper: PaperData {
+            static_compiler: 0,
+            static_user: 22,
+            static_after: 0,
+            scalar_equivalent: Some(1),
+            live_before: 22,
+            live_after: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_core::pipeline::{Level, Pipeline};
+    use loopir::{Interp, NoopObserver};
+    use zlang::ir::ConfigBinding;
+
+    #[test]
+    fn fully_contracts_to_zero_arrays() {
+        let p = zlang::compile(SOURCE).unwrap();
+        let opt = Pipeline::new(Level::C2).optimize(&p);
+        assert_eq!(
+            opt.scalarized.live_arrays().len(),
+            0,
+            "EP must run in constant memory: {:?}",
+            opt.scalarized
+                .live_arrays()
+                .iter()
+                .map(|&a| &opt.norm.program.array(a).name)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(opt.report.compiler_before, 0, "EP needs no compiler temporaries");
+        // Everything fuses into a single loop.
+        assert_eq!(opt.scalarized.nest_count(), 1);
+    }
+
+    #[test]
+    fn semantics_stable_across_levels() {
+        let p = zlang::compile(SOURCE).unwrap();
+        let mut expected = None;
+        for level in Level::all() {
+            let opt = Pipeline::new(level).optimize(&p);
+            let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+            binding.set_by_name(&opt.scalarized.program, "n", 512);
+            let mut i = Interp::new(&opt.scalarized, binding);
+            i.run(&mut NoopObserver).unwrap();
+            // Check all ten reduction outputs.
+            let sums: Vec<f64> = (0..10)
+                .map(|k| i.scalar(zlang::ir::ScalarId(k)))
+                .collect();
+            match &expected {
+                None => expected = Some(sums),
+                Some(e) => assert_eq!(&sums, e, "level {level}"),
+            }
+        }
+    }
+
+    #[test]
+    fn statistics_are_plausible() {
+        let p = zlang::compile(SOURCE).unwrap();
+        let opt = Pipeline::new(Level::C2).optimize(&p);
+        let binding = ConfigBinding::defaults(&opt.scalarized.program);
+        let mut i = Interp::new(&opt.scalarized, binding);
+        i.run(&mut NoopObserver).unwrap();
+        let program = &opt.scalarized.program;
+        let get = |name: &str| i.scalar(program.scalar_by_name(name).unwrap());
+        let npairs = get("npairs");
+        assert!(npairs > 0.75 * 8192.0 && npairs < 0.82 * 8192.0, "acceptance ~ pi/4: {npairs}");
+        // Mean near 0, variance near 1 for accepted deviates.
+        let mean = get("sx") / npairs;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        let var = get("sx2") / npairs;
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+        // Annulus counts decrease.
+        assert!(get("q0") > get("q1"));
+        assert!(get("q1") > get("q2"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Frac: an escape-time fractal (Mandelbrot set) over a 2-D pixel grid.
+//!
+//! Each outer iteration advances every pixel's complex orbit one step
+//! through a chain of whole-array temporaries (squares, magnitude, alive
+//! mask, next coordinates). The temporaries contract; only the orbit state
+//! and the escape counter survive — the paper's Frac keeps a single array
+//! after contraction.
+
+use crate::{Benchmark, PaperData};
+
+/// `zlang` source of Frac.
+pub const SOURCE: &str = r#"
+program frac;
+
+config n     : int = 96;    -- grid points per dimension
+config iters : int = 12;    -- orbit steps
+
+region R = [1..n, 1..n];
+
+var CR, CI   : [R] float;   -- pixel coordinates (the constant c)
+var ZR, ZI   : [R] float;   -- orbit state
+var COUNT    : [R] float;   -- escape-time counter
+var ZR2, ZI2 : [R] float;   -- squares
+var MAG      : [R] float;   -- |z|^2
+var ALIVE    : [R] float;   -- not yet escaped
+var ZRN, ZIN : [R] float;   -- next orbit state
+
+var k : int;
+var area, total : float;
+
+begin
+  [R] CR := index2 * (3.0 / n) - 2.25;
+  [R] CI := index1 * (2.4 / n) - 1.2;
+  [R] ZR := 0.0;
+  [R] ZI := 0.0;
+  [R] COUNT := 0.0;
+
+  for k := 1 to iters do
+    [R] ZR2   := ZR * ZR;
+    [R] ZI2   := ZI * ZI;
+    [R] MAG   := ZR2 + ZI2;
+    [R] ALIVE := MAG <= 4.0;
+    [R] ZRN   := select(ALIVE, ZR2 - ZI2 + CR, ZR);
+    [R] ZIN   := select(ALIVE, 2.0 * ZR * ZI + CI, ZI);
+    [R] ZR    := ZRN;
+    [R] ZI    := ZIN;
+    [R] COUNT := COUNT + ALIVE;
+  end;
+
+  area  := +<< [R] (COUNT == iters);
+  total := +<< [R] COUNT;
+end
+"#;
+
+/// The Frac benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "frac",
+        description: "escape-time fractal (Mandelbrot) on a pixel grid",
+        source: SOURCE,
+        size_config: "n",
+        iters_config: Some("iters"),
+        rank: 2,
+        paper: PaperData {
+            static_compiler: 0,
+            static_user: 8,
+            static_after: 1,
+            scalar_equivalent: Some(1),
+            live_before: 8,
+            live_after: 1,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_core::pipeline::{Level, Pipeline};
+    use loopir::{Interp, NoopObserver};
+    use zlang::ir::ConfigBinding;
+
+    fn run_level(level: Level, n: i64) -> (f64, f64, usize, u64) {
+        let p = zlang::compile(SOURCE).unwrap();
+        let opt = Pipeline::new(level).optimize(&p);
+        let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+        binding.set_by_name(&opt.scalarized.program, "n", n);
+        let mut i = Interp::new(&opt.scalarized, binding);
+        let stats = i.run(&mut NoopObserver).unwrap();
+        let prog = &opt.scalarized.program;
+        (
+            i.scalar(prog.scalar_by_name("area").unwrap()),
+            i.scalar(prog.scalar_by_name("total").unwrap()),
+            opt.scalarized.live_arrays().len(),
+            stats.peak_bytes,
+        )
+    }
+
+    #[test]
+    fn orbit_temporaries_contract() {
+        let (_, _, live_base, mem_base) = run_level(Level::Baseline, 32);
+        let (_, _, live_c2, mem_c2) = run_level(Level::C2, 32);
+        // ZR2, ZI2, MAG, ALIVE, ZRN, ZIN and the COUNT self-update temp
+        // contract; the persistent state (CR, CI, ZR, ZI, COUNT) remains.
+        assert_eq!(live_base, 11 + 1, "11 user arrays + COUNT's compiler temp");
+        assert_eq!(live_c2, 5);
+        assert!(mem_c2 < mem_base);
+    }
+
+    #[test]
+    fn all_levels_agree() {
+        let expect = run_level(Level::Baseline, 32);
+        for level in Level::all() {
+            let (a, t, _, _) = run_level(level, 32);
+            assert_eq!((a, t), (expect.0, expect.1), "level {level}");
+        }
+    }
+
+    #[test]
+    fn fractal_has_interior_and_exterior() {
+        let (area, total, _, _) = run_level(Level::C2, 48);
+        assert!(area > 0.0, "some pixels never escape");
+        assert!(area < 48.0 * 48.0, "some pixels escape");
+        assert!(total > area, "escaped pixels accumulate partial counts");
+    }
+}

@@ -1,0 +1,214 @@
+//! Simple: Lagrangian hydrodynamics with heat conduction (Crowley et al.,
+//! LLNL), solved by finite differences.
+//!
+//! Each step runs the code's classic phases: equation of state, strain
+//! rates and divergence, artificial viscosity (linear + quadratic terms),
+//! pressure/shear forces, the velocity and energy updates, face-centered
+//! heat conduction, and the density update. The per-phase temporaries
+//! (sound speed, strain rates, viscosity terms, forces, work terms) all
+//! contract; the state fields and the offset-read stencil feeders (total
+//! pressure, shear strain, conductivity, face fluxes) survive — the
+//! half-and-half split of the paper's Figure 7 row (85 → 32). The five
+//! state self-updates produce compiler temporaries, echoing the paper's
+//! 20.
+
+use crate::{Benchmark, PaperData};
+
+/// `zlang` source of Simple.
+pub const SOURCE: &str = r#"
+program simple;
+
+config n     : int = 48;    -- interior zones per dimension
+config steps : int = 3;     -- time steps
+config dt    : float = 0.05;
+config gamma : float = 1.4;
+
+region RH2 = [-1..n+2, -1..n+2];   -- deep halo for the velocity field
+region RH  = [0..n+1, 0..n+1];
+region RFX = [1..n, 0..n];         -- x-face centers
+region RFY = [0..n, 1..n];         -- y-face centers
+region R   = [1..n, 1..n];
+
+direction up = [-1, 0];
+direction dn = [ 1, 0];
+direction lt = [ 0,-1];
+direction rt = [ 0, 1];
+
+var RHO, E, T         : [RH] float;   -- state (persistent)
+var VX, VY            : [RH2] float;  -- velocity (persistent, deep halo)
+var P, CS             : [RH] float;   -- pressure, sound speed
+var DVX, DVY, DIV     : [RH] float;   -- strain rates, divergence
+var EXY               : [RH] float;   -- shear strain (read at offsets)
+var QLIN, QQUAD, Q    : [RH] float;   -- artificial viscosity terms
+var PT                : [RH] float;   -- total pressure (read at offsets)
+var GPX, GPY          : [R] float;    -- pressure gradient
+var SHX, SHY          : [R] float;    -- shear force
+var WCOMP, WVISC      : [R] float;    -- compression / viscous work
+var KAP               : [RH] float;   -- conductivity (read at offsets)
+var HFX               : [RFX] float;  -- x-face heat flux
+var HFY               : [RFY] float;  -- y-face heat flux
+var DIVH              : [R] float;    -- heat flux divergence
+var KIN               : [R] float;    -- kinetic energy (final diagnostics)
+
+var mass, energy, heat : float;
+var k : int;
+
+begin
+  -- A dense blob in a quiescent background.
+  [RH]  RHO := 1.0 + exp((0.0 - 0.002) * ((index1 - n * 0.5) * (index1 - n * 0.5)
+                                         + (index2 - n * 0.5) * (index2 - n * 0.5)));
+  [RH]  E   := 1.0;
+  [RH2] VX  := 0.0;
+  [RH2] VY  := 0.0;
+  [RH]  T   := 1.0;
+
+  for k := 1 to steps do
+    -- Equation of state (over the halo ring so PT can be read at offsets).
+    [RH] P  := (gamma - 1.0) * RHO * E;
+    [RH] CS := sqrt(gamma * P / max(RHO, 1e-6));
+
+    -- Strain rates, shear, and divergence.
+    [RH] DVX := (VX@rt - VX@lt) * 0.5;
+    [RH] DVY := (VY@dn - VY@up) * 0.5;
+    [RH] EXY := ((VX@dn - VX@up) + (VY@rt - VY@lt)) * 0.25;
+    [RH] DIV := DVX + DVY;
+
+    -- Artificial viscosity: linear + quadratic terms under compression.
+    [RH] QLIN  := 0.5 * RHO * CS * abs(DIV);
+    [RH] QQUAD := 2.0 * RHO * DIV * DIV;
+    [RH] Q := select(DIV < 0.0, QLIN + QQUAD, 0.0);
+    [RH] PT := P + Q;
+
+    -- Forces: pressure gradient plus shear contribution.
+    [R] GPX := (PT@rt - PT@lt) * 0.5;
+    [R] GPY := (PT@dn - PT@up) * 0.5;
+    [R] SHX := (EXY@dn - EXY@up) * 0.1;
+    [R] SHY := (EXY@rt - EXY@lt) * 0.1;
+    [R] VX  := VX - dt * (GPX - SHX) / max(RHO, 1e-6);
+    [R] VY  := VY - dt * (GPY - SHY) / max(RHO, 1e-6);
+
+    -- Energy: compression work plus viscous heating.
+    [R] WCOMP := PT * DIV / max(RHO, 1e-6);
+    [R] WVISC := Q * abs(DIV) / max(RHO, 1e-6);
+    [R] E := max(E - dt * (WCOMP - 0.5 * WVISC), 1e-6);
+
+    -- Heat conduction with face-centered conductivities.
+    [RH] KAP := 0.1 + 0.01 * T;
+    [RFX] HFX := (T@rt - T) * (KAP@rt + KAP) * 0.5;
+    [RFY] HFY := (T@dn - T) * (KAP@dn + KAP) * 0.5;
+    [R] DIVH := (HFX - HFX@lt) + (HFY - HFY@up);
+    [R] T := T + dt * DIVH;
+
+    -- Density follows the divergence.
+    [R] RHO := max(RHO * (1.0 - dt * DIV), 1e-6);
+  end;
+
+  [R] KIN := 0.5 * (VX * VX + VY * VY);
+  mass   := +<< [R] RHO;
+  energy := +<< [R] RHO * E + RHO * KIN;
+  heat   := +<< [R] T;
+end
+"#;
+
+/// The Simple benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "simple",
+        description: "Lagrangian hydrodynamics and heat conduction (LLNL Simple)",
+        source: SOURCE,
+        size_config: "n",
+        iters_config: Some("steps"),
+        rank: 2,
+        paper: PaperData {
+            static_compiler: 20,
+            static_user: 65,
+            static_after: 32,
+            scalar_equivalent: Some(32),
+            live_before: 40,
+            live_after: 32,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_core::pipeline::{Level, Pipeline};
+    use loopir::{Interp, NoopObserver};
+    use zlang::ir::ConfigBinding;
+
+    fn run_level(level: Level, n: i64) -> (f64, f64, f64, usize) {
+        let p = zlang::compile(SOURCE).unwrap();
+        let opt = Pipeline::new(level).optimize(&p);
+        let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+        binding.set_by_name(&opt.scalarized.program, "n", n);
+        let mut i = Interp::new(&opt.scalarized, binding);
+        i.run(&mut NoopObserver).unwrap();
+        let prog = &opt.scalarized.program;
+        (
+            i.scalar(prog.scalar_by_name("mass").unwrap()),
+            i.scalar(prog.scalar_by_name("energy").unwrap()),
+            i.scalar(prog.scalar_by_name("heat").unwrap()),
+            opt.scalarized.live_arrays().len(),
+        )
+    }
+
+    #[test]
+    fn all_levels_agree() {
+        let (m, e, h, _) = run_level(Level::Baseline, 16);
+        assert!(m.is_finite() && m > 0.0);
+        assert!(e.is_finite() && e > 0.0);
+        for level in Level::all() {
+            let (m2, e2, h2, _) = run_level(level, 16);
+            assert_eq!((m2, e2, h2), (m, e, h), "level {level}");
+        }
+    }
+
+    #[test]
+    fn physics_is_sane() {
+        let (m, _, h, _) = run_level(Level::C2, 32);
+        // Mass = background (1 per zone) + the Gaussian blob (~pi/0.002
+        // truncated to the grid), and stays near its initial value over a
+        // few small time steps.
+        let background = 32.0 * 32.0;
+        assert!(m > background && m < background * 2.5, "mass {m}");
+        assert!(h > 0.0);
+    }
+
+    #[test]
+    fn contraction_removes_half_the_arrays() {
+        let (_, _, _, base) = run_level(Level::Baseline, 16);
+        let (_, _, _, c2) = run_level(Level::C2, 16);
+        assert!(c2 < base, "{base} -> {c2}");
+        assert!(c2 * 2 <= base + 3, "roughly half should contract: {base} -> {c2}");
+    }
+
+    #[test]
+    fn has_many_compiler_temps() {
+        let p = zlang::compile(SOURCE).unwrap();
+        let base = Pipeline::new(Level::Baseline).optimize(&p);
+        // VX, VY, E, T, RHO self-updates.
+        assert_eq!(base.report.compiler_before, 5);
+        let c1 = Pipeline::new(Level::C1).optimize(&p);
+        assert_eq!(c1.report.compiler_after, 0, "c1 removes all compiler temps");
+    }
+
+    #[test]
+    fn stencil_feeders_survive_pointwise_chains_contract() {
+        let p = zlang::compile(SOURCE).unwrap();
+        let c2 = Pipeline::new(Level::C2).optimize(&p);
+        let names = c2.contracted_names();
+        for expect in ["CS", "DVX", "QLIN", "QQUAD", "GPX", "SHY", "WCOMP", "DIVH", "KIN"] {
+            assert!(names.iter().any(|n| n == expect), "{expect} should contract: {names:?}");
+        }
+        let live: Vec<String> = c2
+            .scalarized
+            .live_arrays()
+            .iter()
+            .map(|&a| c2.norm.program.array(a).name.clone())
+            .collect();
+        for expect in ["RHO", "VX", "T", "PT", "EXY", "KAP", "HFX", "HFY"] {
+            assert!(live.iter().any(|n| n == expect), "{expect} must survive: {live:?}");
+        }
+    }
+}

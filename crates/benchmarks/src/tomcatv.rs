@@ -1,0 +1,185 @@
+//! Tomcatv (SPEC CFP95): vectorized mesh generation.
+//!
+//! Each iteration computes first and second differences of the mesh
+//! coordinates, assembles Jacobian coefficients, forms residuals, reduces
+//! their maxima, and relaxes the mesh. The coefficient and residual
+//! temporaries contract into the update loop; the difference stencils
+//! cannot (their offset reads of `X`/`Y` would make the fused loop's
+//! anti-dependences unsatisfiable — the exact situation the paper's
+//! Figure 1 temporaries face), so they survive as arrays, as in the paper
+//! where Tomcatv keeps 7 of 19 arrays.
+//!
+//! Both mesh updates read their own target, so normalization inserts
+//! compiler temporaries (the paper's Tomcatv has 4) which C1 already
+//! removes.
+
+use crate::{Benchmark, PaperData};
+
+/// `zlang` source of Tomcatv.
+pub const SOURCE: &str = r#"
+program tomcatv;
+
+config n     : int = 48;     -- interior mesh points per dimension
+config titer : int = 3;      -- relaxation sweeps
+config relax : float = 0.3;  -- relaxation factor
+
+region RH = [0..n+1, 0..n+1];
+region R  = [1..n, 1..n];
+
+direction up = [-1, 0];
+direction dn = [ 1, 0];
+direction lt = [ 0,-1];
+direction rt = [ 0, 1];
+direction ul = [-1,-1];
+direction ur = [-1, 1];
+direction ll = [ 1,-1];
+direction lr = [ 1, 1];
+
+var X, Y : [RH] float;                  -- mesh coordinates (persistent)
+var XX, YX, XY, YY : [R] float;         -- first differences
+var PXX, QXX, PYY, QYY, PXY, QXY : [R] float; -- second differences
+var AA, BB, CC, D : [R] float;          -- Jacobian coefficients
+var RX, RY : [R] float;                 -- residuals
+
+var rxm, rym, chk : float;
+var it : int;
+
+begin
+  -- A slightly perturbed sheared mesh.
+  [RH] X := index2 + 0.05 * sin(index1 * 0.37);
+  [RH] Y := index1 + 0.05 * sin(index2 * 0.41);
+
+  for it := 1 to titer do
+    -- First differences.
+    [R] XX := (X@rt - X@lt) * 0.5;
+    [R] YX := (Y@rt - Y@lt) * 0.5;
+    [R] XY := (X@dn - X@up) * 0.5;
+    [R] YY := (Y@dn - Y@up) * 0.5;
+
+    -- Second differences.
+    [R] PXX := X@rt - 2.0 * X + X@lt;
+    [R] QXX := Y@rt - 2.0 * Y + Y@lt;
+    [R] PYY := X@dn - 2.0 * X + X@up;
+    [R] QYY := Y@dn - 2.0 * Y + Y@up;
+    [R] PXY := X@ur - X@ul - X@lr + X@ll;
+    [R] QXY := Y@ur - Y@ul - Y@lr + Y@ll;
+
+    -- Jacobian coefficients.
+    [R] AA := XY * XY + YY * YY;
+    [R] BB := XX * XY + YX * YY;
+    [R] CC := XX * XX + YX * YX;
+    [R] D  := max(2.0 * (AA + CC), 1e-6);
+
+    -- Residuals.
+    [R] RX := AA * PXX + CC * PYY - 0.5 * BB * PXY;
+    [R] RY := AA * QXX + CC * QYY - 0.5 * BB * QXY;
+
+    rxm := max<< [R] abs(RX);
+    rym := max<< [R] abs(RY);
+
+    -- Relax the mesh (self-updates: compiler temporaries inserted).
+    [R] X := X + relax * RX / D;
+    [R] Y := Y + relax * RY / D;
+  end;
+
+  chk := +<< [R] X * 0.001 + Y * 0.001;
+end
+"#;
+
+/// The Tomcatv benchmark descriptor.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "tomcatv",
+        description: "SPEC Tomcatv: vectorized mesh generation",
+        source: SOURCE,
+        size_config: "n",
+        iters_config: Some("titer"),
+        rank: 2,
+        paper: PaperData {
+            static_compiler: 4,
+            static_user: 15,
+            static_after: 7,
+            scalar_equivalent: Some(7),
+            live_before: 19,
+            live_after: 7,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_core::pipeline::{Level, Pipeline};
+    use loopir::{Interp, NoopObserver};
+    use zlang::ir::ConfigBinding;
+
+    fn run_level(level: Level, n: i64) -> (f64, f64, usize) {
+        let p = zlang::compile(SOURCE).unwrap();
+        let opt = Pipeline::new(level).optimize(&p);
+        let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+        binding.set_by_name(&opt.scalarized.program, "n", n);
+        let mut i = Interp::new(&opt.scalarized, binding);
+        i.run(&mut NoopObserver).unwrap();
+        let prog = &opt.scalarized.program;
+        (
+            i.scalar(prog.scalar_by_name("chk").unwrap()),
+            i.scalar(prog.scalar_by_name("rxm").unwrap()),
+            opt.scalarized.live_arrays().len(),
+        )
+    }
+
+    #[test]
+    fn all_levels_agree() {
+        let (chk, rxm, _) = run_level(Level::Baseline, 16);
+        assert!(chk.is_finite() && chk != 0.0);
+        assert!(rxm > 0.0);
+        for level in Level::all() {
+            let (c, r, _) = run_level(level, 16);
+            assert_eq!((c, r), (chk, rxm), "level {level}");
+        }
+    }
+
+    #[test]
+    fn compiler_temps_exist_and_contract_at_c1() {
+        let p = zlang::compile(SOURCE).unwrap();
+        let base = Pipeline::new(Level::Baseline).optimize(&p);
+        assert_eq!(base.report.compiler_before, 2, "two mesh self-updates");
+        let c1 = Pipeline::new(Level::C1).optimize(&p);
+        assert_eq!(c1.report.compiler_after, 0);
+        assert_eq!(c1.report.user_after, c1.report.user_before, "c1 keeps user arrays");
+    }
+
+    #[test]
+    fn c2_contracts_by_weight_sacrificing_the_update_temps() {
+        // The weighted greedy contracts every stencil/coefficient temporary
+        // (they have more references than the mesh-update compiler temps),
+        // leaving the two update temporaries as arrays — the paper's
+        // "unless a more favorable contraction is performed that prevents
+        // it" (Section 5.1) in action.
+        let p = zlang::compile(SOURCE).unwrap();
+        let c2 = Pipeline::new(Level::C2).optimize(&p);
+        let names = c2.contracted_names();
+        for expect in ["AA", "BB", "CC", "D", "RX", "RY", "PXX", "PXY", "XX"] {
+            assert!(names.iter().any(|n| n == expect), "{expect} should contract: {names:?}");
+        }
+        let live: Vec<String> = c2
+            .scalarized
+            .live_arrays()
+            .iter()
+            .map(|&a| c2.norm.program.array(a).name.clone())
+            .collect();
+        for expect in ["X", "Y", "_t0", "_t1"] {
+            assert!(live.iter().any(|n| n == expect), "{expect} must survive: {live:?}");
+        }
+    }
+
+    #[test]
+    fn contraction_reduces_static_arrays_substantially() {
+        let (_, _, live_base) = run_level(Level::Baseline, 16);
+        let (_, _, live_c2) = run_level(Level::C2, 16);
+        assert!(
+            live_c2 * 2 <= live_base + 2,
+            "roughly half the arrays should go: {live_base} -> {live_c2}"
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! The pretty-printer round-trips every benchmark source: printing the
+//! compiled IR and recompiling it yields a structurally identical program.
+
+#[test]
+fn all_benchmark_sources_roundtrip() {
+    for bench in benchmarks::all() {
+        let p1 = bench.program();
+        let printed = zlang::pretty::source(&p1);
+        let p2 = zlang::compile(&printed)
+            .unwrap_or_else(|e| panic!("{}: printed source does not compile: {e}", bench.name));
+        assert_eq!(p1, p2, "{}: round trip changed the program", bench.name);
+    }
+}
+
+#[test]
+fn benchmark_statement_counts_are_nontrivial() {
+    // Guard against accidental truncation of the embedded sources.
+    for bench in benchmarks::all() {
+        let counts = bench.program().stmt_counts();
+        assert!(
+            counts.array >= 10,
+            "{}: only {} array statements",
+            bench.name,
+            counts.array
+        );
+        assert!(counts.reduce >= 1, "{}: needs a checksum reduction", bench.name);
+    }
+}
+
+#[test]
+fn sp_is_the_largest_benchmark() {
+    // SP is the paper's biggest application (181 arrays); ours must at
+    // least lead the suite.
+    let sizes: Vec<(String, usize)> = benchmarks::all()
+        .iter()
+        .map(|b| (b.name.to_string(), b.program().arrays.len()))
+        .collect();
+    let sp = sizes.iter().find(|(n, _)| n == "sp").unwrap().1;
+    for (name, count) in &sizes {
+        assert!(sp >= *count, "sp ({sp}) must be the largest, {name} has {count}");
+    }
+    assert!(sp >= 60, "sp has {sp} arrays");
+}

@@ -1,0 +1,176 @@
+//! The Figure 5 code fragments, transliterated from Fortran 90 to `zlang`.
+//!
+//! In every fragment, arrays `B`, `T1`, and `T2` are not live beyond the
+//! fragment (the paper's setup); arrays `A` and `C` are treated as live-out
+//! when only written.
+
+/// What correct optimizer behavior on a fragment means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Criterion {
+    /// The fragment's array statements compile into a single loop nest
+    /// (statement fusion for locality). Fragments (1)–(3).
+    SingleNest,
+    /// No compiler temporary survives (all compiler-inserted arrays
+    /// eliminated). Fragments (4), (5), (8).
+    CompilerTempsEliminated,
+    /// The named user arrays are contracted. Fragments (6), (7), (8b).
+    UserArraysContracted(&'static [&'static str]),
+}
+
+/// One test fragment.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// Paper fragment number, e.g. "(3)" or "(8b)".
+    pub id: &'static str,
+    /// One-line description of what the fragment tests.
+    pub what: &'static str,
+    /// `zlang` source.
+    pub source: &'static str,
+    /// The pass criterion.
+    pub criterion: Criterion,
+    /// True if eliminating the compiler temporary requires only local
+    /// analysis of a single source statement (the paper: "it requires only
+    /// a simple local analysis"); such fragments are credited to compilers
+    /// with the `local_temp_elimination` capability even when their fusion
+    /// machinery cannot derive it.
+    pub local_elim_suffices: bool,
+}
+
+const HEADER: &str = "program frag; config n : int = 16; config m : int = 16; \
+    region RH = [0..n+1, 0..m+1]; region R = [1..n, 1..m]; ";
+
+macro_rules! frag {
+    ($id:literal, $what:literal, $body:literal, $crit:expr, $local:expr) => {
+        Fragment {
+            id: $id,
+            what: $what,
+            source: constcat!($body),
+            criterion: $crit,
+            local_elim_suffices: $local,
+        }
+    };
+}
+
+// Small helper: fragments share the header.
+macro_rules! constcat {
+    ($body:literal) => {
+        concat!(
+            "program frag; config n : int = 16; config m : int = 16; \
+             region RH = [0..n+1, 0..m+1]; region R = [1..n, 1..m]; ",
+            $body
+        )
+    };
+}
+
+/// The eight fragments of Figure 5, plus the companion `(8b)`.
+pub fn fragments() -> Vec<Fragment> {
+    let _ = HEADER;
+    vec![
+        // (1) B = A+A ; C = A*A — plain temporal-locality fusion.
+        frag!(
+            "(1)",
+            "fusion for locality, no dependences",
+            "var A, B, C : [R] float; begin [R] B := A + A; [R] C := A * A; end",
+            Criterion::SingleNest,
+            false
+        ),
+        // (2) B = A@n + A@n ; C = A*A — offset reads, still no dependences.
+        frag!(
+            "(2)",
+            "fusion for locality with offset reads",
+            "var A : [RH] float; var B, C : [R] float; begin \
+             [R] B := A@[-1,0] + A@[-1,0]; [R] C := A * A; end",
+            Criterion::SingleNest,
+            false
+        ),
+        // (3) B = A@n + C@n ; C = A*A — fused loop carries an anti-dep.
+        frag!(
+            "(3)",
+            "fusion across a loop-carried anti-dependence",
+            "var A, C : [RH] float; var B : [R] float; begin \
+             [R] B := A@[-1,0] + C@[-1,0]; [R] C := A * A; end",
+            Criterion::SingleNest,
+            false
+        ),
+        // (4) A = A + A — aligned self-reference: the temp is removable.
+        frag!(
+            "(4)",
+            "compiler temporary for an aligned self-update",
+            "var A : [R] float; begin [R] A := A + A; end",
+            Criterion::CompilerTempsEliminated,
+            true
+        ),
+        // (5) A = A@n + A@n — self-update with offset: removable via
+        // reversal.
+        frag!(
+            "(5)",
+            "compiler temporary for an offset self-update",
+            "var A : [RH] float; begin [R] A := A@[-1,0] + A@[-1,0]; end",
+            Criterion::CompilerTempsEliminated,
+            true
+        ),
+        // (6) B = A+A ; C = B — user temporary.
+        frag!(
+            "(6)",
+            "user temporary contraction",
+            "var A, B, C : [R] float; begin [R] B := A + A; [R] C := B; end",
+            Criterion::UserArraysContracted(&["B"]),
+            false
+        ),
+        // (7) B = A+A+C@n ; C = B — user temporary whose fusion carries an
+        // anti-dependence.
+        frag!(
+            "(7)",
+            "user temporary contraction across an anti-dependence",
+            "var C : [RH] float; var A, B : [R] float; begin \
+             [R] B := A + A + C@[-1,0]; [R] C := B; end",
+            Criterion::UserArraysContracted(&["B"]),
+            false
+        ),
+        // (8) T1 = B ; T2 = B ; A = A@s + T1@s + T2@s — the tradeoff
+        // fragment as printed: with the paper's Definition 6, T1/T2 have
+        // non-null flow dependences and cannot contract, so the correct
+        // outcome is eliminating the compiler temporary.
+        frag!(
+            "(8)",
+            "compiler/user temporary tradeoff (as printed)",
+            "var A, T1, T2 : [RH] float; var B : [R] float; begin \
+             [R] T1 := B; [R] T2 := B; \
+             [R] A := A@[1,0] + T1@[1,0] + T2@[1,0]; end",
+            Criterion::CompilerTempsEliminated,
+            true
+        ),
+        // (8b) companion: aligned T1/T2 reads make all three temporaries
+        // contractible at once — exercising weighing compiler and user
+        // arrays together.
+        frag!(
+            "(8b)",
+            "compiler/user temporaries weighed together",
+            "var A : [RH] float; var B, T1, T2 : [R] float; begin \
+             [R] T1 := B; [R] T2 := B; [R] A := A@[1,0] + T1 + T2; end",
+            Criterion::UserArraysContracted(&["T1", "T2", "_t0"]),
+            false
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fragments_compile() {
+        for f in fragments() {
+            zlang::compile(f.source).unwrap_or_else(|e| panic!("fragment {}: {e}", f.id));
+        }
+    }
+
+    #[test]
+    fn fragment_ids_unique() {
+        let f = fragments();
+        let mut ids: Vec<_> = f.iter().map(|f| f.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), f.len());
+    }
+}

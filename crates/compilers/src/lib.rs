@@ -1,0 +1,26 @@
+//! Commercial array-language compiler behavior models (Section 5.1 of the
+//! paper, Figures 5 and 6).
+//!
+//! The paper infers what five compilers do from their output on eight
+//! carefully selected code fragments. This crate reproduces that
+//! experiment: [`mod@fragments`] holds the eight fragments (plus a companion
+//! exercising the fragment-8 tradeoff with a real choice), [`model`]
+//! describes each compiler as a set of capabilities, and [`matrix`] runs
+//! every fragment through every model — driving the *real* optimizer with
+//! the model's restrictions — to regenerate the Figure 6 table.
+//!
+//! ```
+//! let m = compilers::matrix::behavior_matrix();
+//! let zpl = m.rows.iter().find(|r| r.model.name.contains("ZPL")).unwrap();
+//! assert!(zpl.verdicts.iter().all(|v| *v), "our technique handles every fragment");
+//! let pgi = m.rows.iter().find(|r| r.model.name.contains("PGI")).unwrap();
+//! assert!(!pgi.verdicts[0], "PGI performs no statement fusion");
+//! ```
+
+pub mod fragments;
+pub mod matrix;
+pub mod model;
+
+pub use fragments::{fragments, Criterion, Fragment};
+pub use matrix::{behavior_matrix, BehaviorMatrix};
+pub use model::{apr, cray, ibm, pgi, zpl, CompilerModel};

@@ -1,0 +1,190 @@
+//! Unconstrained distance vectors (Definition 2 of the paper) and their
+//! interaction with loop structure vectors (Definition 4).
+//!
+//! An unconstrained distance vector (UDV) describes an array-level data
+//! dependence between two normalized statements *per array dimension*,
+//! independent of any loop structure: `u = d_source − d_target`, where `d`
+//! are the statements' constant reference offsets. Only once a loop
+//! structure vector `p` is chosen does a UDV become a conventional
+//! (constrained) distance vector `d_i = sign(p_i) · u_{|p_i|}`, whose
+//! lexicographic nonnegativity decides legality.
+
+use std::fmt;
+use zlang::ir::Offset;
+
+/// An unconstrained distance vector.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Udv(pub Vec<i64>);
+
+impl Udv {
+    /// The null vector of a rank.
+    pub fn null(rank: usize) -> Self {
+        Udv(vec![0; rank])
+    }
+
+    /// Builds the UDV for a dependence whose source references offset
+    /// `source` and whose target references offset `target`:
+    /// `u = source − target` (the paper's Section 2.2 worked example).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offsets have different ranks.
+    pub fn between(source: &Offset, target: &Offset) -> Self {
+        assert_eq!(source.rank(), target.rank(), "offset ranks must match");
+        Udv(source.0.iter().zip(&target.0).map(|(s, t)| s - t).collect())
+    }
+
+    /// True if every component is zero.
+    pub fn is_null(&self) -> bool {
+        self.0.iter().all(|&u| u == 0)
+    }
+
+    /// The rank of the vector.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Constrains the UDV by a loop structure vector, producing a
+    /// conventional distance vector: `d_i = sign(p_i) · u_{|p_i|}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a signed permutation of `1..=rank`.
+    pub fn constrain(&self, p: &[i8]) -> Vec<i64> {
+        assert!(
+            loopir::ir::is_valid_structure(p, self.rank()),
+            "invalid loop structure vector {p:?} for rank {}",
+            self.rank()
+        );
+        p.iter()
+            .map(|&pi| {
+                let dim = (pi.unsigned_abs() as usize) - 1;
+                let sign = if pi > 0 { 1 } else { -1 };
+                sign * self.0[dim]
+            })
+            .collect()
+    }
+
+    /// True if the constrained vector under `p` is lexicographically
+    /// nonnegative (the dependence is *preserved* by that loop structure).
+    pub fn preserved_by(&self, p: &[i8]) -> bool {
+        lex_nonneg(&self.constrain(p))
+    }
+}
+
+impl fmt::Display for Udv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, u) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{u}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// True if `d` is the null vector or its leftmost nonzero element is
+/// positive (Definition 1's legality criterion).
+pub fn lex_nonneg(d: &[i64]) -> bool {
+    for &x in d {
+        if x > 0 {
+            return true;
+        }
+        if x < 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// The kind of a data dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Write-before-read.
+    Flow,
+    /// Read-before-write.
+    Anti,
+    /// Write-before-write.
+    Output,
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepKind::Flow => write!(f, "flow"),
+            DepKind::Anti => write!(f, "anti"),
+            DepKind::Output => write!(f, "output"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example_figure2() {
+        // Statement 1 writes A@(0,0); statement 2 reads A@(0,-1):
+        // u = (0,0) - (0,-1) = (0,1).
+        let u = Udv::between(&Offset(vec![0, 0]), &Offset(vec![0, -1]));
+        assert_eq!(u, Udv(vec![0, 1]));
+        // Statement 3 reads A@(-1,1): u = (0,0) - (-1,1) = (1,-1).
+        let u2 = Udv::between(&Offset(vec![0, 0]), &Offset(vec![-1, 1]));
+        assert_eq!(u2, Udv(vec![1, -1]));
+        // Statement 1 reads B@(-1,0), statement 3 writes B@(0,0):
+        // u = (-1,0) - (0,0) = (-1,0).
+        let u3 = Udv::between(&Offset(vec![-1, 0]), &Offset(vec![0, 0]));
+        assert_eq!(u3, Udv(vec![-1, 0]));
+
+        // The paper: with p = (-2,-1), (-1,0) and (1,-1) become (0,1) and
+        // (1,-1)... wait — constrain((-1,0), (-2,-1)) = (sign(-2)*u_2, sign(-1)*u_1)
+        // = (0, 1) and constrain((1,-1)) = (1, -1). Both lex nonnegative.
+        let p = vec![-2i8, -1];
+        assert_eq!(u3.constrain(&p), vec![0, 1]);
+        assert_eq!(u2.constrain(&p), vec![1, -1]);
+        assert!(u3.preserved_by(&p));
+        assert!(u2.preserved_by(&p));
+    }
+
+    #[test]
+    fn constrain_identity() {
+        let u = Udv(vec![2, -3]);
+        assert_eq!(u.constrain(&[1, 2]), vec![2, -3]);
+        assert_eq!(u.constrain(&[2, 1]), vec![-3, 2]);
+        assert_eq!(u.constrain(&[-1, 2]), vec![-2, -3]);
+    }
+
+    #[test]
+    fn lex_nonneg_cases() {
+        assert!(lex_nonneg(&[0, 0]));
+        assert!(lex_nonneg(&[0, 1]));
+        assert!(lex_nonneg(&[1, -5]));
+        assert!(!lex_nonneg(&[0, -1]));
+        assert!(!lex_nonneg(&[-1, 100]));
+    }
+
+    #[test]
+    fn null_udv_preserved_by_everything() {
+        let u = Udv::null(2);
+        for p in [[1i8, 2], [2, 1], [-1, 2], [1, -2], [-2, -1]] {
+            assert!(u.preserved_by(&p));
+        }
+    }
+
+    #[test]
+    fn reversal_legalizes_negative_distance() {
+        // Anti-dependence with u = (-1, 0): illegal increasing, legal after
+        // reversing the loop over dimension 1.
+        let u = Udv(vec![-1, 0]);
+        assert!(!u.preserved_by(&[1, 2]));
+        assert!(u.preserved_by(&[-1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid loop structure")]
+    fn constrain_rejects_bad_structure() {
+        Udv(vec![1, 2]).constrain(&[1, 1]);
+    }
+}

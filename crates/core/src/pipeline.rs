@@ -1,0 +1,597 @@
+//! The paper's optimization levels (Section 5.4) as a driver pipeline.
+//!
+//! | Level       | Fusion                                   | Contraction        |
+//! |-------------|------------------------------------------|--------------------|
+//! | `Baseline`  | none                                     | none               |
+//! | `F1`        | for contraction of compiler arrays      | none               |
+//! | `C1`        | for contraction of compiler arrays      | compiler arrays    |
+//! | `F2`        | + for contraction of user arrays         | compiler arrays    |
+//! | `F3`        | C1 + fusion for locality                 | compiler arrays    |
+//! | `C2`        | for contraction of compiler+user arrays | compiler + user    |
+//! | `C2F3`      | C2 + fusion for locality                 | compiler + user    |
+//! | `C2F4`      | C2F3 + all legal (greedy pairwise)       | compiler + user    |
+
+use crate::asdg::{self, Asdg, DefId};
+use crate::fusion::{FusionCtx, FusionOpts, Partition};
+use crate::normal::{self, NormProgram, NStmt};
+use crate::scalarize::scalarize_block_grouped;
+use crate::weights::sort_by_weight;
+use loopir::{LStmt, ScalarProgram};
+use std::collections::HashSet;
+use std::fmt;
+use zlang::ir::{ArrayId, Program};
+
+/// An optimization level from the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Level {
+    /// No fusion, no contraction.
+    Baseline,
+    /// Fusion enabling compiler-array contraction; no contraction.
+    F1,
+    /// F1 + contraction of compiler arrays.
+    C1,
+    /// C1 + fusion enabling user-array contraction; user arrays kept.
+    F2,
+    /// C1 + fusion for locality.
+    F3,
+    /// C1 + fusion and contraction of user arrays.
+    C2,
+    /// C2 + fusion for locality.
+    C2F3,
+    /// C2F3 + all legal fusion (greedy pairwise).
+    C2F4,
+}
+
+impl Level {
+    /// All levels, in the paper's presentation order.
+    pub fn all() -> [Level; 8] {
+        [
+            Level::Baseline,
+            Level::F1,
+            Level::C1,
+            Level::F2,
+            Level::F3,
+            Level::C2,
+            Level::C2F3,
+            Level::C2F4,
+        ]
+    }
+
+    /// The paper's name for the level.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Baseline => "baseline",
+            Level::F1 => "f1",
+            Level::C1 => "c1",
+            Level::F2 => "f2",
+            Level::F3 => "f3",
+            Level::C2 => "c2",
+            Level::C2F3 => "c2+f3",
+            Level::C2F4 => "c2+f4",
+        }
+    }
+
+    fn fuses_user(self) -> bool {
+        matches!(self, Level::F2 | Level::C2 | Level::C2F3 | Level::C2F4)
+    }
+
+    fn fuses_compiler(self) -> bool {
+        self != Level::Baseline
+    }
+
+    fn locality_fusion(self) -> bool {
+        matches!(self, Level::F3 | Level::C2F3 | Level::C2F4)
+    }
+
+    fn pairwise_fusion(self) -> bool {
+        self == Level::C2F4
+    }
+
+    fn contracts_compiler(self) -> bool {
+        !matches!(self, Level::Baseline | Level::F1)
+    }
+
+    fn contracts_user(self) -> bool {
+        matches!(self, Level::C2 | Level::C2F3 | Level::C2F4)
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A callback computing statement pairs that must not fuse in a block
+/// (used by the runtime's favor-communication policy, Section 5.5).
+pub type ForbidFn<'f> = dyn Fn(&NormProgram, usize, &Asdg) -> Vec<(usize, usize)> + 'f;
+
+/// Static array accounting for the paper's Figure 7.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Arrays referenced before contraction (compiler temporaries).
+    pub compiler_before: usize,
+    /// Arrays referenced before contraction (user arrays).
+    pub user_before: usize,
+    /// Arrays still referenced after contraction (compiler temporaries).
+    pub compiler_after: usize,
+    /// Arrays still referenced after contraction (user arrays).
+    pub user_after: usize,
+    /// Loop nests in the scalarized program.
+    pub nests: usize,
+    /// Contracted definitions (live ranges), across all blocks.
+    pub contracted_defs: usize,
+    /// Arrays contracted to a lower dimension (the [`crate::ext`]
+    /// extension; 0 unless enabled).
+    pub dimension_contracted: usize,
+}
+
+impl Report {
+    /// Total arrays before contraction.
+    pub fn before(&self) -> usize {
+        self.compiler_before + self.user_before
+    }
+
+    /// Total arrays after contraction.
+    pub fn after(&self) -> usize {
+        self.compiler_after + self.user_after
+    }
+
+    /// Percent change in static array count (negative = reduction),
+    /// the paper's Figure 7 "% change" column.
+    pub fn percent_change(&self) -> f64 {
+        if self.before() == 0 {
+            0.0
+        } else {
+            100.0 * (self.after() as f64 - self.before() as f64) / self.before() as f64
+        }
+    }
+}
+
+/// Per-block optimization record, retained for diagnostics
+/// ([`crate::explain`]).
+#[derive(Debug, Clone)]
+pub struct BlockDetail {
+    /// The block's dependence graph.
+    pub asdg: Asdg,
+    /// The final fusion partition.
+    pub partition: Partition,
+    /// Definitions contracted in this block.
+    pub contracted: Vec<DefId>,
+    /// The fusion options that were in effect.
+    pub opts: FusionOpts,
+}
+
+/// The result of optimizing a program.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The normalized program (compiler temporaries included).
+    pub norm: NormProgram,
+    /// The scalarized program, ready to interpret.
+    pub scalarized: ScalarProgram,
+    /// Arrays fully eliminated by contraction.
+    pub contracted: Vec<ArrayId>,
+    /// Static array accounting.
+    pub report: Report,
+    /// The level that was applied.
+    pub level: Level,
+    /// Per-block records (ASDG, partition, contracted definitions).
+    pub details: Vec<BlockDetail>,
+}
+
+impl Optimized {
+    /// Names of fully contracted arrays, sorted.
+    pub fn contracted_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .contracted
+            .iter()
+            .map(|&a| self.norm.program.array(a).name.clone())
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+/// The optimization pipeline: normalization, per-block ASDG construction,
+/// fusion, contraction, and scalarization at a chosen [`Level`].
+pub struct Pipeline<'f> {
+    level: Level,
+    forbid: Option<Box<ForbidFn<'f>>>,
+    base_opts: FusionOpts,
+    spatial_cap: Option<usize>,
+    dimension_contraction: bool,
+}
+
+impl fmt::Debug for Pipeline<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("level", &self.level)
+            .field("forbid", &self.forbid.is_some())
+            .finish()
+    }
+}
+
+impl<'f> Pipeline<'f> {
+    /// Creates a pipeline at a level.
+    pub fn new(level: Level) -> Self {
+        Pipeline {
+            level,
+            forbid: None,
+            base_opts: FusionOpts::default(),
+            spatial_cap: None,
+            dimension_contraction: false,
+        }
+    }
+
+    /// Enables *dimension contraction* (the extension addressing the
+    /// paper's Section 5.2 SP deficiency): arrays whose full contraction
+    /// fails but whose flow dependences are flat in some dimension are
+    /// collapsed to a single slice under a shared outer loop. See
+    /// [`crate::ext`].
+    pub fn with_dimension_contraction(mut self) -> Self {
+        self.dimension_contraction = true;
+        self
+    }
+
+    /// Bounds the greedy pairwise pass (`c2+f4`) to clusters referencing at
+    /// most `max_arrays` distinct arrays — the paper's proposed *spatial
+    /// locality sensitivity* extension (Section 5.4 future work): arbitrary
+    /// fusion pollutes small caches with too many concurrent streams.
+    pub fn with_spatial_cap(mut self, max_arrays: usize) -> Self {
+        self.spatial_cap = Some(max_arrays);
+        self
+    }
+
+    /// Sets base fusion options applied to every block (e.g.
+    /// [`FusionOpts::forbid_loop_carried_anti`] when modelling commercial
+    /// compilers).
+    pub fn with_opts(mut self, opts: FusionOpts) -> Self {
+        self.base_opts = opts;
+        self
+    }
+
+    /// Installs a favor-communication filter: per block, statement pairs
+    /// that must not share a cluster.
+    pub fn with_forbidden(mut self, f: impl Fn(&NormProgram, usize, &Asdg) -> Vec<(usize, usize)> + 'f) -> Self {
+        self.forbid = Some(Box::new(f));
+        self
+    }
+
+    /// Runs the pipeline on a program.
+    pub fn optimize(&self, program: &Program) -> Optimized {
+        let mut np = normal::normalize(program);
+        let binding = np.default_binding();
+        let candidates = normal::contraction_candidates(&np);
+        let mut report = Report::default();
+
+        // Per-block: fuse, decide contraction, scalarize.
+        let mut block_out: Vec<Vec<LStmt>> = Vec::with_capacity(np.blocks.len());
+        let mut details: Vec<BlockDetail> = Vec::with_capacity(np.blocks.len());
+        let mut contracted_arrays: HashSet<ArrayId> = HashSet::new();
+        let mut partially_kept: HashSet<ArrayId> = HashSet::new();
+        let mut collapse_list: Vec<(ArrayId, u8)> = Vec::new();
+
+        for (bi, block) in np.blocks.iter().enumerate() {
+            let g = asdg::build(&np.program, block);
+            let mut ctx = FusionCtx::new(&np.program, block, &g);
+            ctx.opts = self.base_opts.clone();
+            if let Some(f) = &self.forbid {
+                ctx.opts.forbidden_pairs = f(&np, bi, &g);
+            }
+
+            let mut compiler_defs = Vec::new();
+            let mut user_defs = Vec::new();
+            for (ai, cand) in candidates.iter().enumerate() {
+                if *cand != Some(bi) {
+                    continue;
+                }
+                let a = ArrayId(ai as u32);
+                let defs = g.defs_of(a);
+                if np.program.array(a).compiler_temp {
+                    compiler_defs.extend(defs);
+                } else {
+                    user_defs.extend(defs);
+                }
+            }
+
+            let mut part = Partition::trivial(g.n);
+            if self.level.fuses_compiler() {
+                let mut fuse_set = compiler_defs.clone();
+                if self.level.fuses_user() {
+                    fuse_set.extend(user_defs.iter().copied());
+                }
+                let fuse_set = sort_by_weight(&np.program, block, &g, fuse_set, &binding);
+                ctx.fusion_for_contraction(&mut part, &fuse_set);
+            }
+            if self.level.locality_fusion() {
+                let all: Vec<DefId> = (0..g.defs.len() as u32).map(DefId).collect();
+                let all = sort_by_weight(&np.program, block, &g, all, &binding);
+                ctx.fusion_for_locality(&mut part, &all);
+            }
+            if self.level.pairwise_fusion() {
+                match self.spatial_cap {
+                    Some(cap) => ctx.pairwise_fusion_bounded(&mut part, cap),
+                    None => ctx.pairwise_fusion(&mut part),
+                }
+            }
+
+            let mut contract_set = Vec::new();
+            if self.level.contracts_compiler() {
+                contract_set.extend(compiler_defs.iter().copied());
+            }
+            if self.level.contracts_user() {
+                contract_set.extend(user_defs.iter().copied());
+            }
+            let contracted_defs = ctx.contracted_defs(&part, &contract_set);
+            report.contracted_defs += contracted_defs.len();
+
+            // Array-level bookkeeping: an array is fully contracted iff
+            // every one of its definitions contracted.
+            let contracted_def_set: HashSet<DefId> = contracted_defs.iter().copied().collect();
+            for (ai, cand) in candidates.iter().enumerate() {
+                if *cand != Some(bi) {
+                    continue;
+                }
+                let a = ArrayId(ai as u32);
+                let defs = g.defs_of(a);
+                if !defs.is_empty() && defs.iter().all(|d| contracted_def_set.contains(d)) {
+                    contracted_arrays.insert(a);
+                } else {
+                    partially_kept.insert(a);
+                }
+            }
+
+            // Optional dimension contraction: partial-fusion groups whose
+            // flow-flat arrays collapse to one slice.
+            let groups = if self.dimension_contraction {
+                crate::ext::find_groups(&ctx, &part, &contract_set, &contracted_def_set)
+            } else {
+                Vec::new()
+            };
+            for grp in &groups {
+                for &a in &grp.collapsed {
+                    collapse_list.push((a, grp.dim));
+                }
+            }
+
+            block_out.push(scalarize_block_grouped(&ctx, &part, &contracted_def_set, &groups));
+            details.push(BlockDetail {
+                asdg: g.clone(),
+                partition: part,
+                contracted: contracted_defs,
+                opts: ctx.opts.clone(),
+            });
+        }
+
+        // Apply collapses to the (owned) normalized program before
+        // scalarized code is packaged with it.
+        for &(a, dim) in &collapse_list {
+            let decl = &mut np.program.arrays[a.0 as usize];
+            if !decl.collapsed.contains(&dim) {
+                decl.collapsed.push(dim);
+            }
+        }
+        report.dimension_contracted = {
+            let mut v: Vec<ArrayId> = collapse_list.iter().map(|&(a, _)| a).collect();
+            v.sort();
+            v.dedup();
+            v.len()
+        };
+
+        let stmts = splice(&np.body, &mut block_out.iter().cloned());
+        let scalarized = ScalarProgram { program: np.program.clone(), stmts };
+
+        // Figure 7 accounting: arrays referenced before vs after.
+        let referenced_before = referenced_arrays(&np);
+        let live_after: HashSet<ArrayId> = scalarized.live_arrays().into_iter().collect();
+        for &a in &referenced_before {
+            let is_temp = np.program.array(a).compiler_temp;
+            if is_temp {
+                report.compiler_before += 1;
+            } else {
+                report.user_before += 1;
+            }
+            if live_after.contains(&a) {
+                if is_temp {
+                    report.compiler_after += 1;
+                } else {
+                    report.user_after += 1;
+                }
+            }
+        }
+        report.nests = scalarized.nest_count();
+
+        let mut contracted: Vec<ArrayId> = referenced_before
+            .iter()
+            .copied()
+            .filter(|a| !live_after.contains(a))
+            .collect();
+        contracted.sort();
+
+        Optimized { norm: np, scalarized, contracted, report, level: self.level, details }
+    }
+}
+
+/// Splices scalarized blocks back into the control-flow skeleton.
+fn splice(
+    body: &[NStmt],
+    blocks: &mut impl Iterator<Item = Vec<LStmt>>,
+) -> Vec<LStmt> {
+    // Blocks are numbered in discovery order, which is a pre-order walk —
+    // reproduce the same walk.
+    fn walk(body: &[NStmt], blocks: &[Vec<LStmt>], out: &mut Vec<LStmt>) {
+        for s in body {
+            match s {
+                NStmt::Block(i) => out.extend(blocks[*i].iter().cloned()),
+                NStmt::For { var, lo, hi, down, body } => {
+                    let mut inner = Vec::new();
+                    walk(body, blocks, &mut inner);
+                    out.push(LStmt::For {
+                        var: *var,
+                        lo: lo.clone(),
+                        hi: hi.clone(),
+                        down: *down,
+                        body: inner,
+                    });
+                }
+                NStmt::If { cond, then_body, else_body } => {
+                    let mut t = Vec::new();
+                    let mut e = Vec::new();
+                    walk(then_body, blocks, &mut t);
+                    walk(else_body, blocks, &mut e);
+                    out.push(LStmt::If { cond: cond.clone(), then_body: t, else_body: e });
+                }
+            }
+        }
+    }
+    let collected: Vec<Vec<LStmt>> = blocks.collect();
+    let mut out = Vec::new();
+    walk(body, &collected, &mut out);
+    out
+}
+
+/// All arrays referenced anywhere in the normalized program.
+fn referenced_arrays(np: &NormProgram) -> Vec<ArrayId> {
+    let mut seen = vec![false; np.program.arrays.len()];
+    for block in &np.blocks {
+        for s in &block.stmts {
+            for (a, _) in s.reads() {
+                seen[a.0 as usize] = true;
+            }
+            if let Some(a) = s.lhs_array() {
+                seen[a.0 as usize] = true;
+            }
+        }
+    }
+    seen.iter()
+        .enumerate()
+        .filter(|(_, &s)| s)
+        .map(|(i, _)| ArrayId(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopir::{Interp, NoopObserver};
+    use zlang::ir::{ConfigBinding, ScalarId};
+
+    const P: &str = "program p; config n : int = 6; region R = [1..n, 1..n]; \
+                     direction w = [0, -1]; var A, B, C, D : [R] float; \
+                     var s : float; var k : int; ";
+
+    fn opt(src: &str, level: Level) -> Optimized {
+        Pipeline::new(level).optimize(&zlang::compile(src).unwrap())
+    }
+
+    fn checksum(o: &Optimized) -> f64 {
+        let mut i = Interp::new(&o.scalarized, ConfigBinding::defaults(&o.scalarized.program));
+        i.run(&mut NoopObserver).unwrap();
+        i.scalar(ScalarId(0))
+    }
+
+    #[test]
+    fn all_levels_agree_semantically() {
+        let src = "program p; config n : int = 6; region RH = [0..n, 0..n]; \
+             region R = [1..n, 1..n]; direction w = [0, -1]; \
+             var A : [RH] float; var B, C : [R] float; var s : float; var k : int; \
+             begin \
+             [RH] A := index1 * 3.0 + index2; \
+             for k := 1 to 3 do \
+               [R] B := A@w + 1.0; \
+               [R] C := B * B; \
+               [R] A := A + C; \
+             end; \
+             s := +<< [R] A; end"
+            .to_string();
+        let base = opt(&src, Level::Baseline);
+        let expect = checksum(&base);
+        assert!(expect != 0.0);
+        for level in Level::all() {
+            let o = opt(&src, level);
+            let got = checksum(&o);
+            assert_eq!(got, expect, "level {level} must preserve semantics");
+        }
+    }
+
+    #[test]
+    fn c1_contracts_only_compiler_arrays() {
+        // A := A + A (aligned) needs a compiler temp; B is a user temp.
+        let src = format!(
+            "{P} begin [R] A := A + A; [R] B := A; [R] C := B; s := +<< [R] C; end"
+        );
+        let c1 = opt(&src, Level::C1);
+        assert_eq!(c1.contracted_names(), vec!["_t0"]);
+        let c2 = opt(&src, Level::C2);
+        assert!(c2.contracted_names().contains(&"B".to_string()));
+        assert!(c2.contracted_names().contains(&"_t0".to_string()));
+    }
+
+    #[test]
+    fn f1_fuses_but_keeps_arrays() {
+        let src = format!("{P} begin [R] A := A + A; s := +<< [R] A; end");
+        let f1 = opt(&src, Level::F1);
+        assert!(f1.contracted.is_empty());
+        // Fusion happened: the temp statement and copy share a nest.
+        assert!(f1.report.nests < opt(&src, Level::Baseline).report.nests);
+    }
+
+    #[test]
+    fn report_counts_compiler_and_user_separately() {
+        let src = format!("{P} begin [R] A := A + A; [R] B := A; [R] C := B; s := +<< [R] C; end");
+        let o = opt(&src, Level::C2);
+        assert_eq!(o.report.compiler_before, 1);
+        assert_eq!(o.report.user_before, 3); // A, B, C
+        assert_eq!(o.report.compiler_after, 0);
+        assert!(o.report.percent_change() < 0.0);
+    }
+
+    #[test]
+    fn baseline_keeps_everything() {
+        let src = format!("{P} begin [R] B := A + A; [R] C := B; s := +<< [R] C; end");
+        let o = opt(&src, Level::Baseline);
+        assert!(o.contracted.is_empty());
+        assert_eq!(o.report.before(), o.report.after());
+        assert_eq!(o.report.nests, 3);
+    }
+
+    #[test]
+    fn forbidden_filter_reaches_fusion() {
+        let src = format!("{P} begin [R] B := A + A; [R] C := B; s := +<< [R] C; end");
+        let o = Pipeline::new(Level::C2)
+            .with_forbidden(|_, _, _| vec![(0, 1)])
+            .optimize(&zlang::compile(&src).unwrap());
+        // B cannot contract because its statements cannot fuse.
+        assert!(!o.contracted_names().contains(&"B".to_string()));
+    }
+
+    #[test]
+    fn levels_are_monotone_in_contraction() {
+        let src = format!(
+            "{P} begin [R] A := A@w + A@w; [R] B := A; [R] C := B * 2.0; \
+             [R] D := C + B; s := +<< [R] D; end"
+        );
+        let counts: Vec<usize> = [Level::Baseline, Level::F1, Level::C1, Level::C2]
+            .iter()
+            .map(|&l| opt(&src, l).contracted.len())
+            .collect();
+        assert!(counts[0] == 0);
+        assert!(counts[1] == 0);
+        assert!(counts[2] >= 1, "c1 contracts the compiler temp: {counts:?}");
+        assert!(counts[3] > counts[2], "c2 adds user arrays: {counts:?}");
+    }
+
+    #[test]
+    fn contraction_reduces_peak_memory() {
+        let src = format!(
+            "{P} begin [R] B := A + 1.0; [R] C := B * B; [R] D := C + B; s := +<< [R] D; end"
+        );
+        let mem = |level| {
+            let o = opt(&src, level);
+            let mut i =
+                Interp::new(&o.scalarized, ConfigBinding::defaults(&o.scalarized.program));
+            i.run(&mut NoopObserver).unwrap().peak_bytes
+        };
+        assert!(mem(Level::C2) < mem(Level::Baseline));
+    }
+}

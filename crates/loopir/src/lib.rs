@@ -1,0 +1,19 @@
+//! Scalarized loop-nest IR.
+//!
+//! After the array-level optimizer (`fusion-core`) chooses a fusion
+//! partition and a loop structure vector for each fusible cluster, the
+//! program is *scalarized*: each cluster becomes one [`LoopNest`] and each
+//! contracted array becomes a loop-local scalar ([`TempId`]). This crate
+//! defines that representation, a pseudo-C pretty printer, and a sequential
+//! interpreter whose memory accesses stream through an [`Observer`]
+//! (implemented by the `machine` crate's cache simulator).
+//!
+//! The IR corresponds to the Fortran 77 output of the paper's ZPL compiler
+//! (Figure 2(c) of the paper).
+
+pub mod interp;
+pub mod ir;
+pub mod printer;
+
+pub use interp::{Interp, NoopObserver, Observer, RunStats};
+pub use ir::{EExpr, ElemRef, ElemStmt, LStmt, LoopNest, ScalarProgram, TempId};

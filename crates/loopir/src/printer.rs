@@ -1,0 +1,266 @@
+//! Pseudo-C pretty printer for the scalarized IR.
+//!
+//! Produces the loop-nest view the paper shows as Fortran 77 output
+//! (Figure 2(c)); used by the examples and the compiler-explorer tooling to
+//! make fusion and contraction decisions visible.
+
+use crate::ir::{EExpr, ElemRef, LStmt, LoopNest, ScalarProgram};
+use std::fmt::Write;
+use zlang::ast::{BinOp, ReduceOp, UnOp};
+use zlang::ir::{Offset, Program};
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+    }
+}
+
+fn subscript(off: &Offset) -> String {
+    off.0
+        .iter()
+        .enumerate()
+        .map(|(d, &v)| {
+            let base = format!("i{}", d + 1);
+            match v.cmp(&0) {
+                std::cmp::Ordering::Equal => base,
+                std::cmp::Ordering::Greater => format!("{base}+{v}"),
+                std::cmp::Ordering::Less => format!("{base}{v}"),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn eexpr(p: &Program, e: &EExpr) -> String {
+    match e {
+        EExpr::Load(a, off) => format!("{}[{}]", p.array(*a).name, subscript(off)),
+        EExpr::Temp(t) => format!("t{}", t.0),
+        EExpr::ScalarRef(s) => p.scalar(*s).name.clone(),
+        EExpr::ConfigRef(c) => p.configs[c.0 as usize].name.clone(),
+        EExpr::Const(v) => format!("{v}"),
+        EExpr::Index(d) => format!("i{}", d + 1),
+        EExpr::Unary(UnOp::Neg, inner) => format!("(-{})", eexpr(p, inner)),
+        EExpr::Binary(op, l, r) => {
+            format!("({} {} {})", eexpr(p, l), binop_str(*op), eexpr(p, r))
+        }
+        EExpr::Call(i, args) => {
+            let args: Vec<_> = args.iter().map(|a| eexpr(p, a)).collect();
+            format!("{}({})", i.name(), args.join(", "))
+        }
+    }
+}
+
+fn nest(p: &Program, n: &LoopNest, indent: usize, out: &mut String) {
+    let region = p.region(n.region);
+    let mut pad = "  ".repeat(indent);
+    for (l, &s) in n.structure.iter().enumerate() {
+        let dim = s.unsigned_abs() as usize;
+        let ext = &region.extents[dim - 1];
+        let (lo, hi) = (lin(p, &ext.lo), lin(p, &ext.hi));
+        if s > 0 {
+            let _ = writeln!(out, "{pad}for i{dim} = {lo} .. {hi} {{");
+        } else {
+            let _ = writeln!(out, "{pad}for i{dim} = {hi} downto {lo} {{");
+        }
+        pad = "  ".repeat(indent + l + 1);
+    }
+    for stmt in &n.body {
+        match &stmt.target {
+            ElemRef::Array(a, off) => {
+                let t = format!("{}[{}]", p.array(*a).name, subscript(off));
+                let _ = writeln!(out, "{pad}{t} = {};", eexpr(p, &stmt.rhs));
+            }
+            ElemRef::Temp(t) => {
+                let _ = writeln!(out, "{pad}t{} = {};", t.0, eexpr(p, &stmt.rhs));
+            }
+            ElemRef::Reduce(s, op) => {
+                let name = &p.scalar(*s).name;
+                let opstr = match op {
+                    ReduceOp::Sum => format!("{name} += "),
+                    ReduceOp::Prod => format!("{name} *= "),
+                    ReduceOp::Max => format!("{name} = max({name}, "),
+                    ReduceOp::Min => format!("{name} = min({name}, "),
+                };
+                let close = matches!(op, ReduceOp::Max | ReduceOp::Min);
+                let _ = writeln!(
+                    out,
+                    "{pad}{opstr}{}{};",
+                    eexpr(p, &stmt.rhs),
+                    if close { ")" } else { "" }
+                );
+            }
+        }
+    }
+    for l in (0..n.structure.len()).rev() {
+        let _ = writeln!(out, "{}}}", "  ".repeat(indent + l));
+    }
+}
+
+fn lin(p: &Program, e: &zlang::ir::LinExpr) -> String {
+    let mut parts = Vec::new();
+    if e.base != 0 || e.terms.is_empty() {
+        parts.push(e.base.to_string());
+    }
+    for &(c, coeff) in &e.terms {
+        let name = &p.configs[c.0 as usize].name;
+        match coeff {
+            1 => parts.push(name.clone()),
+            -1 => parts.push(format!("-{name}")),
+            k => parts.push(format!("{k}*{name}")),
+        }
+    }
+    parts.join("+").replace("+-", "-")
+}
+
+fn stmt(p: &Program, s: &LStmt, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match s {
+        LStmt::Nest(n) => {
+            let _ = writeln!(out, "{pad}// cluster {}", n.cluster);
+            nest(p, n, indent, out);
+        }
+        LStmt::Scalar { lhs, rhs } => {
+            let _ = writeln!(out, "{pad}{} = {};", p.scalar(*lhs).name, zlang::pretty::scalar_expr(p, rhs));
+        }
+        LStmt::ReduceNest { lhs, op, region, rhs, .. } => {
+            let opname = match op {
+                ReduceOp::Sum => "sum",
+                ReduceOp::Prod => "prod",
+                ReduceOp::Max => "max",
+                ReduceOp::Min => "min",
+            };
+            let _ = writeln!(
+                out,
+                "{pad}{} = reduce_{opname} over {} of {};",
+                p.scalar(*lhs).name,
+                p.region(*region).name,
+                eexpr(p, rhs)
+            );
+        }
+        LStmt::Outer { region, dim, reverse, body } => {
+            let ext = &p.region(*region).extents[*dim as usize];
+            let (lo, hi) = (lin(p, &ext.lo), lin(p, &ext.hi));
+            let d = *dim as usize + 1;
+            if *reverse {
+                let _ = writeln!(out, "{pad}for i{d} = {hi} downto {lo} {{ // shared outer");
+            } else {
+                let _ = writeln!(out, "{pad}for i{d} = {lo} .. {hi} {{ // shared outer");
+            }
+            for s in body {
+                stmt(p, s, indent + 1, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        LStmt::For { var, lo, hi, down, body } => {
+            let _ = writeln!(
+                out,
+                "{pad}for {} = {} {} {} {{",
+                p.scalar(*var).name,
+                zlang::pretty::scalar_expr(p, lo),
+                if *down { "downto" } else { ".." },
+                zlang::pretty::scalar_expr(p, hi)
+            );
+            for s in body {
+                stmt(p, s, indent + 1, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        LStmt::If { cond, then_body, else_body } => {
+            let _ = writeln!(out, "{pad}if ({}) {{", zlang::pretty::scalar_expr(p, cond));
+            for s in then_body {
+                stmt(p, s, indent + 1, out);
+            }
+            if !else_body.is_empty() {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for s in else_body {
+                    stmt(p, s, indent + 1, out);
+                }
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+    }
+}
+
+/// Renders a scalarized program as pseudo-C.
+pub fn print(sp: &ScalarProgram) -> String {
+    let mut out = String::new();
+    for s in &sp.stmts {
+        stmt(&sp.program, s, 0, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ElemStmt, ScalarProgram};
+    use zlang::ir::{ArrayId, RegionId};
+
+    #[test]
+    fn prints_shared_outer_loop() {
+        let p = zlang::compile(
+            "program t; config n : int = 4; region R = [1..n, 1..n]; \
+             var A, B : [R] float; begin end",
+        )
+        .unwrap();
+        let inner = LoopNest {
+            region: RegionId(0),
+            structure: vec![2], // only dimension 2; dimension 1 is bound
+            body: vec![crate::ir::ElemStmt {
+                target: ElemRef::Array(ArrayId(0), Offset(vec![0, 0])),
+                rhs: EExpr::Const(1.0),
+            }],
+            cluster: 0,
+            temps: 0,
+        };
+        let sp = ScalarProgram {
+            program: p,
+            stmts: vec![LStmt::Outer {
+                region: RegionId(0),
+                dim: 0,
+                reverse: false,
+                body: vec![LStmt::Nest(inner)],
+            }],
+        };
+        let text = print(&sp);
+        assert!(text.contains("for i1 = 1 .. n { // shared outer"), "{text}");
+        assert!(text.contains("for i2 = 1 .. n"), "{text}");
+        assert!(text.contains("A[i1,i2] = 1;"), "{text}");
+    }
+
+    #[test]
+    fn prints_nest_with_reversal_and_offsets() {
+        let p = zlang::compile(
+            "program t; config n : int = 4; region R = [1..n, 1..n]; \
+             var A, B : [R] float; begin end",
+        )
+        .unwrap();
+        let sp = ScalarProgram {
+            program: p,
+            stmts: vec![LStmt::Nest(LoopNest {
+                region: RegionId(0),
+                structure: vec![-1, 2],
+                body: vec![ElemStmt {
+                    target: ElemRef::Array(ArrayId(0), Offset(vec![0, 0])),
+                    rhs: EExpr::Load(ArrayId(1), Offset(vec![-1, 1])),
+                }],
+                cluster: 3,
+                temps: 0,
+            })],
+        };
+        let text = print(&sp);
+        assert!(text.contains("for i1 = n downto 1"), "{text}");
+        assert!(text.contains("for i2 = 1 .. n"), "{text}");
+        assert!(text.contains("A[i1,i2] = B[i1-1,i2+1];"), "{text}");
+        assert!(text.contains("// cluster 3"), "{text}");
+    }
+}

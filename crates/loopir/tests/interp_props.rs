@@ -1,0 +1,123 @@
+//! Property tests for the interpreter's iteration machinery.
+
+use loopir::{EExpr, ElemRef, ElemStmt, Interp, LStmt, LoopNest, NoopObserver, ScalarProgram};
+use proptest::prelude::*;
+use zlang::ir::{ArrayId, ConfigBinding, Offset, RegionId};
+
+fn program(n: i64) -> ScalarProgram {
+    let p = zlang::compile(&format!(
+        "program t; config n : int = {n}; region R = [1..n, 1..n]; \
+         var A, B : [R] float; var k : int; begin end"
+    ))
+    .unwrap();
+    ScalarProgram { program: p, stmts: Vec::new() }
+}
+
+/// All eight signed permutations of rank 2.
+fn structures() -> Vec<Vec<i8>> {
+    vec![
+        vec![1, 2],
+        vec![1, -2],
+        vec![-1, 2],
+        vec![-1, -2],
+        vec![2, 1],
+        vec![2, -1],
+        vec![-2, 1],
+        vec![-2, -1],
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every loop structure visits every iteration point exactly once, and
+    /// pure element-wise computation is structure-independent.
+    #[test]
+    fn all_structures_visit_all_points_once(n in 2i64..10, sidx in 0usize..8) {
+        let structure = structures()[sidx].clone();
+        let mut sp = program(n);
+        sp.stmts = vec![LStmt::Nest(LoopNest {
+            region: RegionId(0),
+            structure,
+            body: vec![ElemStmt {
+                target: ElemRef::Array(ArrayId(0), Offset(vec![0, 0])),
+                rhs: EExpr::Binary(
+                    zlang::ast::BinOp::Add,
+                    Box::new(EExpr::Binary(
+                        zlang::ast::BinOp::Mul,
+                        Box::new(EExpr::Index(0)),
+                        Box::new(EExpr::Const(100.0)),
+                    )),
+                    Box::new(EExpr::Index(1)),
+                ),
+            }],
+            cluster: 0,
+            temps: 0,
+        })];
+        let mut i = Interp::new(&sp, ConfigBinding::defaults(&sp.program));
+        let stats = i.run(&mut NoopObserver).unwrap();
+        prop_assert_eq!(stats.points, (n * n) as u64);
+        prop_assert_eq!(stats.stores, (n * n) as u64);
+        // Row-major spot check, independent of iteration order.
+        let a = i.array(ArrayId(0)).unwrap();
+        for r in 1..=n {
+            for c in 1..=n {
+                let idx = ((r - 1) * n + (c - 1)) as usize;
+                prop_assert_eq!(a[idx], (r * 100 + c) as f64);
+            }
+        }
+    }
+
+    /// Peak memory equals the sum of touched arrays' sizes, regardless of
+    /// how many nests touch them.
+    #[test]
+    fn peak_memory_counts_each_array_once(n in 2i64..10, repeats in 1usize..5) {
+        let mut sp = program(n);
+        let nest = LoopNest {
+            region: RegionId(0),
+            structure: vec![1, 2],
+            body: vec![ElemStmt {
+                target: ElemRef::Array(ArrayId(0), Offset(vec![0, 0])),
+                rhs: EExpr::Const(1.0),
+            }],
+            cluster: 0,
+            temps: 0,
+        };
+        sp.stmts = (0..repeats).map(|_| LStmt::Nest(nest.clone())).collect();
+        let mut i = Interp::new(&sp, ConfigBinding::defaults(&sp.program));
+        let stats = i.run(&mut NoopObserver).unwrap();
+        prop_assert_eq!(stats.arrays_allocated, 1);
+        prop_assert_eq!(stats.peak_bytes, (n * n * 8) as u64);
+    }
+
+    /// Scalar control flow: a counted loop executes its body
+    /// `hi - lo + 1` times (or zero when empty), in either direction.
+    #[test]
+    fn for_loop_trip_counts(lo in -5i64..5, span in -2i64..8, down in any::<bool>()) {
+        let hi = lo + span;
+        let mut sp = program(4);
+        let body_nest = LoopNest {
+            region: RegionId(0),
+            structure: vec![1, 2],
+            body: vec![ElemStmt {
+                target: ElemRef::Array(ArrayId(0), Offset(vec![0, 0])),
+                rhs: EExpr::Const(1.0),
+            }],
+            cluster: 0,
+            temps: 0,
+        };
+        // `for k := lo to hi` (or `hi downto lo` reversed semantics).
+        let (a, b) = if down { (hi, lo) } else { (lo, hi) };
+        sp.stmts = vec![LStmt::For {
+            var: zlang::ir::ScalarId(0),
+            lo: zlang::ir::ScalarExpr::Const(a as f64),
+            hi: zlang::ir::ScalarExpr::Const(b as f64),
+            down,
+            body: vec![LStmt::Nest(body_nest)],
+        }];
+        let mut i = Interp::new(&sp, ConfigBinding::defaults(&sp.program));
+        let stats = i.run(&mut NoopObserver).unwrap();
+        let trips = (hi - lo + 1).max(0) as u64;
+        prop_assert_eq!(stats.points, trips * 16);
+    }
+}

@@ -1,0 +1,84 @@
+//! Cost model: maps operation and miss counts to simulated time.
+
+/// Per-machine cost parameters. All times in nanoseconds unless noted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost of one floating-point operation.
+    pub flop_ns: f64,
+    /// Cost of a cache access that hits in L1 (issue cost of a load/store).
+    pub l1_hit_ns: f64,
+    /// Additional penalty of an L1 miss (service from L2, or from memory on
+    /// single-level machines).
+    pub l1_miss_ns: f64,
+    /// Additional penalty of an L2 miss (service from memory); unused on
+    /// single-level machines.
+    pub l2_miss_ns: f64,
+    /// Per-message communication latency (α), nanoseconds.
+    pub msg_latency_ns: f64,
+    /// Per-byte communication cost (β), nanoseconds per byte.
+    pub byte_ns: f64,
+    /// The fraction of communication time that pipelining can hide behind
+    /// independent computation. Machines with hardware-offloaded messaging
+    /// (T3E) hide most of it; machines whose processor drives the protocol
+    /// (SP-2, Paragon) hide much less.
+    pub overlap_efficiency: f64,
+}
+
+impl CostModel {
+    /// Time for a compute phase given counters.
+    pub fn compute_ns(&self, flops: u64, accesses: u64, l1_misses: u64, l2_misses: u64) -> f64 {
+        flops as f64 * self.flop_ns
+            + accesses as f64 * self.l1_hit_ns
+            + l1_misses as f64 * self.l1_miss_ns
+            + l2_misses as f64 * self.l2_miss_ns
+    }
+
+    /// Time for a communication phase: `messages` point-to-point messages
+    /// totalling `bytes` payload.
+    pub fn comm_ns(&self, messages: u64, bytes: u64) -> f64 {
+        messages as f64 * self.msg_latency_ns + bytes as f64 * self.byte_ns
+    }
+
+    /// Time for a log-tree global reduction over `p` processors exchanging
+    /// `bytes` per hop.
+    pub fn reduction_ns(&self, p: u64, bytes: u64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let hops = (p as f64).log2().ceil();
+        hops * self.comm_ns(1, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: CostModel = CostModel {
+        flop_ns: 2.0,
+        l1_hit_ns: 1.0,
+        l1_miss_ns: 20.0,
+        l2_miss_ns: 80.0,
+        msg_latency_ns: 10_000.0,
+        byte_ns: 3.0,
+        overlap_efficiency: 0.9,
+    };
+
+    #[test]
+    fn compute_time_adds_components() {
+        assert_eq!(M.compute_ns(10, 4, 2, 1), 20.0 + 4.0 + 40.0 + 80.0);
+    }
+
+    #[test]
+    fn comm_time_latency_dominated_for_small_messages() {
+        assert!(M.comm_ns(10, 100) > M.comm_ns(1, 10_000));
+    }
+
+    #[test]
+    fn reduction_scales_logarithmically() {
+        assert_eq!(M.reduction_ns(1, 8), 0.0);
+        let r4 = M.reduction_ns(4, 8);
+        let r16 = M.reduction_ns(16, 8);
+        assert_eq!(r16, 2.0 * r4);
+    }
+}

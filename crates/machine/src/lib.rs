@@ -1,0 +1,39 @@
+//! Simulated machine substrate.
+//!
+//! The paper evaluates on a Cray T3E, an IBM SP-2, and an Intel Paragon.
+//! This crate replaces those testbeds with a parameterized machine model:
+//!
+//! * a set-associative, LRU [`cache::Cache`] simulator (one or two levels)
+//!   fed by the `loopir` interpreter's exact address stream,
+//! * a [`cost::CostModel`] mapping flop counts, cache misses, and message
+//!   traffic to simulated time,
+//! * [`presets`] for the three machines with parameters from the paper
+//!   (Section 5: T3E = 8 KB L1 + 96 KB L2, SP-2 = 128 KB, Paragon = 8 KB),
+//! * [`memory`] helpers for the fixed-memory maximum-problem-size
+//!   experiments of Figure 8.
+//!
+//! The model's purpose is to reproduce *relative* effects — which
+//! transformation wins, where fusion helps or hurts — not absolute times.
+//!
+//! # Example
+//!
+//! ```
+//! use machine::{cache::{Cache, CacheConfig}};
+//! let mut c = Cache::new(CacheConfig { bytes: 1024, line: 32, assoc: 1 });
+//! assert!(!c.access(0));   // cold miss
+//! assert!(c.access(8));    // same line: hit
+//! assert!(!c.access(1024)); // conflicting line in a 1 KB direct-mapped cache
+//! assert!(!c.access(0));   // evicted
+//! assert_eq!(c.misses(), 3);
+//! ```
+
+pub mod cache;
+pub mod cost;
+pub mod memory;
+pub mod presets;
+pub mod sim;
+
+pub use cache::{Cache, CacheConfig};
+pub use cost::CostModel;
+pub use presets::{Machine, MachineKind};
+pub use sim::{MemSim, MemStats};

@@ -1,0 +1,85 @@
+//! Fixed-memory problem-size search (Figure 8 of the paper).
+//!
+//! The paper determines, per benchmark and machine, the largest problem
+//! size that fits in a node's memory with and without contraction, using
+//! the operating system's process-size limit. We reproduce that with a
+//! monotone search over a `problem size → peak bytes` function measured by
+//! the interpreter's allocator.
+
+/// Finds the largest `n` in `[lo, hi]` such that `bytes(n) <= budget`,
+/// assuming `bytes` is nondecreasing in `n`. Returns `None` if even `lo`
+/// does not fit.
+///
+/// ```
+/// let max = machine::memory::max_problem_size(1, 10_000, 1_000_000, |n| n * n * 8);
+/// assert_eq!(max, Some(353)); // 353^2*8 = 996,872 <= 1e6 < 354^2*8
+/// ```
+pub fn max_problem_size(
+    lo: u64,
+    hi: u64,
+    budget: u64,
+    mut bytes: impl FnMut(u64) -> u64,
+) -> Option<u64> {
+    if bytes(lo) > budget {
+        return None;
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    if bytes(hi) <= budget {
+        return Some(hi);
+    }
+    // Invariant: bytes(lo) <= budget < bytes(hi).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if bytes(mid) <= budget {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// The paper's predicted percent change in maximum problem size from the
+/// live-array counts: `C(l_b, l_a) = 100 × (l_b − l_a) / l_a` (Section 5.3;
+/// the maximum problem size is inversely proportional to the number of
+/// simultaneously live equal-sized arrays).
+///
+/// Returns `f64::INFINITY` when contraction eliminates every array
+/// (`l_a == 0`), as for EP.
+pub fn predicted_percent_change(live_before: usize, live_after: usize) -> f64 {
+    if live_after == 0 {
+        f64::INFINITY
+    } else {
+        100.0 * (live_before as f64 - live_after as f64) / live_after as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_boundary() {
+        assert_eq!(max_problem_size(1, 100, 64, |n| n * 8), Some(8));
+        assert_eq!(max_problem_size(1, 100, 63, |n| n * 8), Some(7));
+    }
+
+    #[test]
+    fn none_when_nothing_fits() {
+        assert_eq!(max_problem_size(10, 100, 9, |n| n), None);
+    }
+
+    #[test]
+    fn hi_returned_when_everything_fits() {
+        assert_eq!(max_problem_size(1, 50, 1_000_000, |n| n), Some(50));
+    }
+
+    #[test]
+    fn paper_c_values() {
+        // Figure 8: Tomcatv 19 -> 7 gives C = 171.4; SP 23 -> 17 gives 35.3.
+        assert!((predicted_percent_change(19, 7) - 171.4).abs() < 0.1);
+        assert!((predicted_percent_change(23, 17) - 35.3).abs() < 0.1);
+        assert!((predicted_percent_change(40, 32) - 25.0).abs() < 0.01);
+        assert_eq!(predicted_percent_change(22, 0), f64::INFINITY);
+    }
+}

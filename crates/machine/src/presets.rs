@@ -1,0 +1,162 @@
+//! The three machines of the paper's evaluation (Section 5), as cost-model
+//! presets.
+//!
+//! Cache geometries come from the paper's hardware descriptions; timing
+//! parameters are plausible-era figures chosen to reproduce the machines'
+//! *relative* characteristics (the T3E's fast network and small L1, the
+//! SP-2's large cache and slow network, the Paragon's tiny cache and slow
+//! everything). Absolute times are not meaningful.
+
+use crate::cache::CacheConfig;
+use crate::cost::CostModel;
+
+/// Which machine a preset models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MachineKind {
+    /// Cray T3E: 450 MHz Alpha 21164, 8 KB L1 + 96 KB L2, fast network.
+    T3e,
+    /// IBM SP-2: 120 MHz POWER2 SC, 128 KB data cache, slow network.
+    Sp2,
+    /// Intel Paragon: 75 MHz i860, 8 KB data cache, slow network.
+    Paragon,
+}
+
+impl MachineKind {
+    /// All three machines.
+    pub fn all() -> [MachineKind; 3] {
+        [MachineKind::T3e, MachineKind::Sp2, MachineKind::Paragon]
+    }
+
+    /// The machine's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MachineKind::T3e => "Cray T3E",
+            MachineKind::Sp2 => "IBM SP-2",
+            MachineKind::Paragon => "Intel Paragon",
+        }
+    }
+
+    /// The preset for this machine.
+    pub fn machine(self) -> Machine {
+        match self {
+            MachineKind::T3e => t3e(),
+            MachineKind::Sp2 => sp2(),
+            MachineKind::Paragon => paragon(),
+        }
+    }
+}
+
+impl std::fmt::Display for MachineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A complete machine description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    /// Display name.
+    pub name: &'static str,
+    /// Which machine this is.
+    pub kind: MachineKind,
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// Optional L2 cache.
+    pub l2: Option<CacheConfig>,
+    /// Timing parameters.
+    pub cost: CostModel,
+    /// Per-node memory for the Figure 8 problem-size experiments, bytes.
+    pub node_memory: u64,
+}
+
+/// The Cray T3E preset: 8 KB direct-mapped L1, 96 KB 3-way L2, low-latency
+/// interconnect (the paper: 450 MHz Alpha 21164, 256 MB/node).
+pub fn t3e() -> Machine {
+    Machine {
+        name: "Cray T3E",
+        kind: MachineKind::T3e,
+        l1: CacheConfig { bytes: 8 * 1024, line: 32, assoc: 1 },
+        l2: Some(CacheConfig { bytes: 96 * 1024, line: 64, assoc: 3 }),
+        cost: CostModel {
+            flop_ns: 2.2,
+            l1_hit_ns: 1.1,
+            l1_miss_ns: 20.0,
+            l2_miss_ns: 80.0,
+            msg_latency_ns: 1_500.0,
+            byte_ns: 3.0,
+            overlap_efficiency: 0.9,
+        },
+        node_memory: 256 * 1024 * 1024,
+    }
+}
+
+/// The IBM SP-2 preset: 128 KB 4-way data cache, high-latency switch
+/// (the paper: 120 MHz POWER2 SC, 256 MB/node).
+pub fn sp2() -> Machine {
+    Machine {
+        name: "IBM SP-2",
+        kind: MachineKind::Sp2,
+        l1: CacheConfig { bytes: 128 * 1024, line: 128, assoc: 4 },
+        l2: None,
+        cost: CostModel {
+            flop_ns: 4.2,
+            l1_hit_ns: 2.0,
+            l1_miss_ns: 150.0,
+            l2_miss_ns: 0.0,
+            msg_latency_ns: 40_000.0,
+            byte_ns: 28.0,
+            overlap_efficiency: 0.25,
+        },
+        node_memory: 256 * 1024 * 1024,
+    }
+}
+
+/// The Intel Paragon preset: 8 KB 2-way data cache, slow processor and
+/// network (the paper: 75 MHz i860, 32 MB/node).
+pub fn paragon() -> Machine {
+    Machine {
+        name: "Intel Paragon",
+        kind: MachineKind::Paragon,
+        l1: CacheConfig { bytes: 8 * 1024, line: 32, assoc: 2 },
+        l2: None,
+        cost: CostModel {
+            flop_ns: 13.3,
+            l1_hit_ns: 6.6,
+            l1_miss_ns: 250.0,
+            l2_miss_ns: 0.0,
+            msg_latency_ns: 30_000.0,
+            byte_ns: 11.0,
+            overlap_efficiency: 0.5,
+        },
+        node_memory: 32 * 1024 * 1024,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_well_formed() {
+        for kind in MachineKind::all() {
+            let m = kind.machine();
+            assert_eq!(m.kind, kind);
+            assert!(m.l1.sets() > 0);
+            if let Some(l2) = m.l2 {
+                assert!(l2.bytes > m.l1.bytes);
+            }
+            assert!(m.cost.flop_ns > 0.0);
+            assert!(m.node_memory > 0);
+        }
+    }
+
+    #[test]
+    fn relative_characteristics_hold() {
+        let (t, s, p) = (t3e(), sp2(), paragon());
+        assert!(t.cost.msg_latency_ns < s.cost.msg_latency_ns, "T3E network is fastest");
+        assert!(t.cost.msg_latency_ns < p.cost.msg_latency_ns);
+        assert!(s.l1.bytes > t.l1.bytes, "SP-2 has the big cache");
+        assert!(p.cost.flop_ns > t.cost.flop_ns, "Paragon is the slowest processor");
+        assert!(p.node_memory < t.node_memory, "Paragon has the least memory");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests: the cache simulator agrees with a naive reference model
+//! (per-set LRU by explicit timestamps) on arbitrary address streams.
+
+use machine::cache::{Cache, CacheConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Reference model: per set, a map line-tag → last-use time; evict the
+/// minimum on overflow.
+struct RefCache {
+    sets: Vec<HashMap<u64, u64>>,
+    line: u64,
+    assoc: usize,
+    clock: u64,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> Self {
+        RefCache {
+            sets: vec![HashMap::new(); cfg.sets() as usize],
+            line: cfg.line as u64,
+            assoc: cfg.assoc as usize,
+            clock: 0,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let tag = addr / self.line;
+        let nsets = self.sets.len() as u64;
+        let set = &mut self.sets[(tag % nsets) as usize];
+        if let Some(t) = set.get_mut(&tag) {
+            *t = self.clock;
+            true
+        } else {
+            if set.len() == self.assoc {
+                let (&victim, _) =
+                    set.iter().min_by_key(|(_, &t)| t).expect("nonempty full set");
+                set.remove(&victim);
+            }
+            set.insert(tag, self.clock);
+            false
+        }
+    }
+}
+
+fn configs() -> impl Strategy<Value = CacheConfig> {
+    (
+        prop::sample::select(vec![16u32, 32, 64, 128]),
+        prop::sample::select(vec![1u32, 2, 4]),
+        1u64..=16,
+    )
+        .prop_map(|(line, assoc, sets)| CacheConfig {
+            bytes: line as u64 * assoc as u64 * sets,
+            line,
+            assoc,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn simulator_matches_reference(
+        cfg in configs(),
+        // Addresses clustered so that hits actually occur.
+        stream in prop::collection::vec(0u64..4096, 1..400)
+    ) {
+        let mut sim = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg);
+        for (i, &addr) in stream.iter().enumerate() {
+            let a = sim.access(addr);
+            let b = reference.access(addr);
+            prop_assert_eq!(a, b, "divergence at access {} (addr {}, cfg {:?})", i, addr, cfg);
+        }
+        prop_assert_eq!(sim.hits() + sim.misses(), stream.len() as u64);
+    }
+
+    #[test]
+    fn bigger_caches_never_miss_more(
+        stream in prop::collection::vec(0u64..8192, 1..300)
+    ) {
+        // LRU has the inclusion property: doubling associativity at equal
+        // set count cannot increase misses on the same trace.
+        let small = CacheConfig { bytes: 1024, line: 32, assoc: 1 };
+        let large = CacheConfig { bytes: 2048, line: 32, assoc: 2 };
+        let mut s = Cache::new(small);
+        let mut l = Cache::new(large);
+        for &a in &stream {
+            s.access(a);
+            l.access(a);
+        }
+        prop_assert!(l.misses() <= s.misses());
+    }
+
+    #[test]
+    fn single_location_hits_after_first(addr in 0u64..1_000_000, cfg in configs()) {
+        let mut c = Cache::new(cfg);
+        prop_assert!(!c.access(addr));
+        for _ in 0..8 {
+            prop_assert!(c.access(addr));
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Ghost-region communication accounting and communication optimizations.
+//!
+//! In the block distribution, a read `A@d` needs, along every distributed
+//! dimension with a nonzero offset, a boundary slab from the neighboring
+//! processor. At the array level each such need is one *vectorized*
+//! message per loop nest (message vectorization never conflicts with
+//! fusion, Section 5.5, so it is always on). On top of that the tracker
+//! models:
+//!
+//! * **redundancy elimination** — a ghost region already fetched and not
+//!   invalidated by a write is not re-fetched;
+//! * **message combining** — messages leaving one comm point for the same
+//!   neighbor are merged (one latency, summed bytes);
+//! * **pipelining** — communication issued after the producing nest
+//!   overlaps with independent computation executed before the consuming
+//!   nest; overlapped time is hidden (up to 90%, the send/receive issue
+//!   overhead cannot be hidden).
+
+use crate::grid::Grid;
+use fusion_core::asdg::Asdg;
+use fusion_core::normal::NormProgram;
+use loopir::{ElemRef, LoopNest};
+use machine::cost::CostModel;
+use std::collections::HashMap;
+use zlang::ir::{ArrayId, ConfigBinding, Program};
+
+/// Which communication optimizations are enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommPolicy {
+    /// Skip fetches whose ghost region is still valid.
+    pub redundancy_elim: bool,
+    /// Merge same-neighbor messages at one comm point.
+    pub combining: bool,
+    /// Overlap communication with independent computation.
+    pub pipelining: bool,
+}
+
+impl Default for CommPolicy {
+    fn default() -> Self {
+        CommPolicy { redundancy_elim: true, combining: true, pipelining: true }
+    }
+}
+
+impl CommPolicy {
+    /// All optimizations off (pure vectorized messaging).
+    pub fn none() -> Self {
+        CommPolicy { redundancy_elim: false, combining: false, pipelining: false }
+    }
+}
+
+/// Accumulated communication counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    /// Point-to-point messages sent (after combining/elimination).
+    pub messages: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Raw communication time before overlap, nanoseconds.
+    pub comm_ns: f64,
+    /// Communication time hidden by pipelining, nanoseconds.
+    pub hidden_ns: f64,
+    /// Global reductions performed.
+    pub reductions: u64,
+    /// Time spent in global reductions, nanoseconds.
+    pub reduction_ns: f64,
+}
+
+impl CommStats {
+    /// Communication time that remains on the critical path.
+    pub fn effective_ns(&self) -> f64 {
+        self.comm_ns - self.hidden_ns + self.reduction_ns
+    }
+}
+
+/// One ghost-region need: array, dimension, direction, depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct GhostKey {
+    array: ArrayId,
+    dim: usize,
+    positive: bool,
+}
+
+/// Tracks ghost validity and overlap credit across the nest stream.
+#[derive(Debug)]
+pub struct CommTracker {
+    procs: u64,
+    cost: CostModel,
+    policy: CommPolicy,
+    /// Valid ghosts: key → fetched depth.
+    valid: HashMap<GhostKey, i64>,
+    /// Cumulative compute time observed so far (fed by the executor).
+    cum_compute_ns: f64,
+    /// Per-array compute timestamp of the last write.
+    write_stamp: HashMap<ArrayId, f64>,
+    stats: CommStats,
+}
+
+impl CommTracker {
+    /// Creates a tracker for `procs` processors on a machine cost model.
+    pub fn new(procs: u64, cost: CostModel, policy: CommPolicy) -> Self {
+        CommTracker {
+            procs,
+            cost,
+            policy,
+            valid: HashMap::new(),
+            cum_compute_ns: 0.0,
+            write_stamp: HashMap::new(),
+            stats: CommStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Reports compute time executed since the last call (overlap credit).
+    pub fn add_compute(&mut self, ns: f64) {
+        self.cum_compute_ns += ns;
+    }
+
+    /// Accounts one dynamic execution of a loop nest: ghost fetches for its
+    /// offset reads, then invalidation for its stores, plus in-nest
+    /// reductions.
+    pub fn nest(&mut self, program: &Program, binding: &ConfigBinding, nest: &LoopNest) {
+        if self.procs > 1 {
+            self.fetch_ghosts(program, binding, nest);
+        }
+        // Fused reductions: one global combine each.
+        let nred = nest
+            .body
+            .iter()
+            .filter(|s| matches!(s.target, ElemRef::Reduce(..)))
+            .count() as u64;
+        self.reductions(nred);
+        // Writes invalidate ghosts of the written arrays.
+        for (a, _) in nest.stores() {
+            self.valid.retain(|k, _| k.array != a);
+            self.write_stamp.insert(a, self.cum_compute_ns);
+        }
+    }
+
+    /// Accounts `n` standalone global reductions.
+    pub fn reductions(&mut self, n: u64) {
+        if n == 0 || self.procs <= 1 {
+            return;
+        }
+        self.stats.reductions += n;
+        self.stats.reduction_ns += n as f64 * self.cost.reduction_ns(self.procs, 8);
+    }
+
+    fn fetch_ghosts(&mut self, program: &Program, binding: &ConfigBinding, nest: &LoopNest) {
+        let region = program.region(nest.region);
+        let bounds = region.bounds(binding);
+        let rank = bounds.len();
+        let grid = Grid::factor(self.procs, rank);
+        let extents: Vec<i64> = bounds.iter().map(|&(lo, hi)| (hi - lo + 1).max(0)).collect();
+
+        // Collect needs: (array, dim, sign) → max depth.
+        let mut needs: HashMap<GhostKey, i64> = HashMap::new();
+        for (a, off) in nest.loads() {
+            for d in 0..off.rank() {
+                let v = off.0[d];
+                if v != 0 && grid.split(d) {
+                    let key = GhostKey { array: a, dim: d, positive: v > 0 };
+                    let depth = v.abs();
+                    needs.entry(key).and_modify(|x| *x = (*x).max(depth)).or_insert(depth);
+                }
+            }
+        }
+        if needs.is_empty() {
+            return;
+        }
+
+        // Redundancy elimination.
+        let mut to_fetch: Vec<(GhostKey, i64)> = needs
+            .into_iter()
+            .filter(|(k, depth)| {
+                !(self.policy.redundancy_elim
+                    && self.valid.get(k).is_some_and(|&have| have >= *depth))
+            })
+            .collect();
+        if to_fetch.is_empty() {
+            return;
+        }
+        to_fetch.sort_by_key(|(k, _)| (k.dim, k.positive, k.array));
+
+        // Message accounting with optional combining per neighbor.
+        let mut point_bytes = 0u64;
+        let mut point_msgs = 0u64;
+        let mut per_neighbor: HashMap<(usize, bool), u64> = HashMap::new();
+        let mut oldest_stamp: f64 = f64::INFINITY;
+        for (k, depth) in &to_fetch {
+            let slab: i64 = (0..rank)
+                .map(|j| if j == k.dim { *depth } else { extents[j] })
+                .product();
+            let bytes = (slab.max(0) as u64) * 8;
+            point_bytes += bytes;
+            *per_neighbor.entry((k.dim, k.positive)).or_insert(0) += 1;
+            self.valid.insert(*k, *depth);
+            let stamp = self.write_stamp.get(&k.array).copied().unwrap_or(0.0);
+            oldest_stamp = oldest_stamp.min(stamp);
+        }
+        point_msgs += if self.policy.combining {
+            per_neighbor.len() as u64
+        } else {
+            per_neighbor.values().sum::<u64>()
+        };
+
+        let comm = self.cost.comm_ns(point_msgs, point_bytes);
+        self.stats.messages += point_msgs;
+        self.stats.bytes += point_bytes;
+        self.stats.comm_ns += comm;
+
+        // Pipelining: overlap with compute executed since the producing
+        // write (conservatively, the most recent producer among the fetched
+        // arrays bounds the window). The hideable fraction is a machine
+        // property: hardware-offloaded messaging (T3E) hides more than
+        // processor-driven protocols (SP-2, Paragon).
+        if self.policy.pipelining {
+            let newest_producer = to_fetch
+                .iter()
+                .map(|(k, _)| self.write_stamp.get(&k.array).copied().unwrap_or(0.0))
+                .fold(0.0f64, f64::max);
+            let window = (self.cum_compute_ns - newest_producer).max(0.0);
+            let hidden = (self.cost.overlap_efficiency * comm).min(window);
+            self.stats.hidden_ns += hidden;
+        }
+    }
+}
+
+/// Statement pairs that must **not** fuse under the *favor communication*
+/// policy (Section 5.5): for every statement `s` that needs ghost data for
+/// some array `X` (an offset read), the independent statements between
+/// `X`'s producer and `s` are the computation that pipelining overlaps the
+/// fetch with; fusing them into `s`'s cluster destroys the overlap window.
+///
+/// Plug into [`fusion_core::Pipeline::with_forbidden`].
+pub fn favor_comm_pairs(np: &NormProgram, block: usize, asdg: &Asdg) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let blk = &np.blocks[block];
+    for s in 0..asdg.n {
+        for (x, off, def) in &asdg.read_defs[s] {
+            if off.is_zero() {
+                continue;
+            }
+            let start = match asdg.def(*def).def_stmt {
+                Some(w) => w + 1,
+                None => 0,
+            };
+            for m in start..s {
+                let refs_x = blk.stmts[m].lhs_array() == Some(*x)
+                    || blk.stmts[m].reads().iter().any(|(a, _)| a == x);
+                if !refs_x && !out.contains(&(m, s)) {
+                    out.push((m, s));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::presets::t3e;
+
+    fn nest_reading(program: &Program, offs: &[(u32, Vec<i64>)]) -> LoopNest {
+        use loopir::{EExpr, ElemStmt};
+        use zlang::ir::Offset;
+        let mut rhs = EExpr::Const(0.0);
+        for (a, off) in offs {
+            rhs = EExpr::Binary(
+                zlang::ast::BinOp::Add,
+                Box::new(rhs),
+                Box::new(EExpr::Load(ArrayId(*a), Offset(off.clone()))),
+            );
+        }
+        let _ = program;
+        LoopNest {
+            region: zlang::ir::RegionId(0),
+            structure: vec![1, 2],
+            body: vec![ElemStmt {
+                target: ElemRef::Array(ArrayId(0), Offset(vec![0, 0])),
+                rhs,
+            }],
+            cluster: 0,
+            temps: 0,
+        }
+    }
+
+    fn test_program() -> (Program, ConfigBinding) {
+        let p = zlang::compile(
+            "program t; config n : int = 16; region R = [1..n, 1..n]; \
+             var A, B, C : [R] float; begin end",
+        )
+        .unwrap();
+        let b = ConfigBinding::defaults(&p);
+        (p, b)
+    }
+
+    #[test]
+    fn aligned_reads_need_no_communication() {
+        let (p, b) = test_program();
+        let mut t = CommTracker::new(4, t3e().cost, CommPolicy::default());
+        t.nest(&p, &b, &nest_reading(&p, &[(1, vec![0, 0])]));
+        assert_eq!(t.stats().messages, 0);
+    }
+
+    #[test]
+    fn single_processor_never_communicates() {
+        let (p, b) = test_program();
+        let mut t = CommTracker::new(1, t3e().cost, CommPolicy::default());
+        t.nest(&p, &b, &nest_reading(&p, &[(1, vec![-1, 0]), (2, vec![0, 1])]));
+        assert_eq!(t.stats().messages, 0);
+        assert_eq!(t.stats().comm_ns, 0.0);
+    }
+
+    #[test]
+    fn offset_read_fetches_boundary_slab() {
+        let (p, b) = test_program();
+        let mut t = CommTracker::new(4, t3e().cost, CommPolicy::default());
+        t.nest(&p, &b, &nest_reading(&p, &[(1, vec![-1, 0])]));
+        let s = t.stats();
+        assert_eq!(s.messages, 1);
+        assert_eq!(s.bytes, 16 * 8, "one 16-element row");
+    }
+
+    #[test]
+    fn redundancy_elimination_skips_refetch() {
+        let (p, b) = test_program();
+        let mut t = CommTracker::new(4, t3e().cost, CommPolicy::default());
+        let n = nest_reading(&p, &[(1, vec![-1, 0])]);
+        t.nest(&p, &b, &n);
+        t.nest(&p, &b, &n);
+        assert_eq!(t.stats().messages, 1, "second fetch eliminated");
+        let mut t2 = CommTracker::new(4, t3e().cost, CommPolicy::none());
+        t2.nest(&p, &b, &n);
+        t2.nest(&p, &b, &n);
+        assert_eq!(t2.stats().messages, 2, "no elimination when disabled");
+    }
+
+    #[test]
+    fn writes_invalidate_ghosts() {
+        let (p, b) = test_program();
+        let mut t = CommTracker::new(4, t3e().cost, CommPolicy::default());
+        // Nest writes array 0 and reads array 0's neighbor next time.
+        let n = nest_reading(&p, &[(0, vec![-1, 0])]);
+        t.nest(&p, &b, &n); // fetch + write (target is array 0)
+        t.nest(&p, &b, &n); // ghost invalid again -> refetch
+        assert_eq!(t.stats().messages, 2);
+    }
+
+    #[test]
+    fn combining_merges_same_neighbor_messages() {
+        let (p, b) = test_program();
+        let mut t = CommTracker::new(4, t3e().cost, CommPolicy::default());
+        // Two arrays fetched from the same (dim 0, negative) neighbor.
+        t.nest(&p, &b, &nest_reading(&p, &[(1, vec![-1, 0]), (2, vec![-1, 0])]));
+        assert_eq!(t.stats().messages, 1);
+        let mut t2 = CommTracker::new(4, t3e().cost, CommPolicy::none());
+        t2.nest(&p, &b, &nest_reading(&p, &[(1, vec![-1, 0]), (2, vec![-1, 0])]));
+        assert_eq!(t2.stats().messages, 2);
+    }
+
+    #[test]
+    fn pipelining_hides_comm_behind_compute() {
+        let (p, b) = test_program();
+        let mut t = CommTracker::new(4, t3e().cost, CommPolicy::default());
+        t.add_compute(1e9); // plenty of independent compute beforehand
+        t.nest(&p, &b, &nest_reading(&p, &[(1, vec![-1, 0])]));
+        let s = t.stats();
+        assert!(s.hidden_ns > 0.0);
+        assert!((s.hidden_ns - 0.9 * s.comm_ns).abs() < 1e-9, "90% cap");
+    }
+
+    #[test]
+    fn no_overlap_credit_right_after_producer_write() {
+        let (p, b) = test_program();
+        let mut t = CommTracker::new(4, t3e().cost, CommPolicy::default());
+        t.add_compute(1e9);
+        // A nest that WRITES array 1 stamps it...
+        let writer = {
+            use loopir::{EExpr, ElemStmt};
+            use zlang::ir::Offset;
+            LoopNest {
+                region: zlang::ir::RegionId(0),
+                structure: vec![1, 2],
+                body: vec![ElemStmt {
+                    target: ElemRef::Array(ArrayId(1), Offset(vec![0, 0])),
+                    rhs: EExpr::Const(1.0),
+                }],
+                cluster: 0,
+                temps: 0,
+            }
+        };
+        t.nest(&p, &b, &writer);
+        // ...so the immediately following consumer has no window.
+        t.nest(&p, &b, &nest_reading(&p, &[(1, vec![-1, 0])]));
+        assert_eq!(t.stats().hidden_ns, 0.0);
+    }
+
+    #[test]
+    fn reductions_cost_log_tree() {
+        let (p, b) = test_program();
+        let _ = (&p, &b);
+        let mut t4 = CommTracker::new(4, t3e().cost, CommPolicy::default());
+        t4.reductions(1);
+        let mut t16 = CommTracker::new(16, t3e().cost, CommPolicy::default());
+        t16.reductions(1);
+        assert_eq!(t16.stats().reduction_ns, 2.0 * t4.stats().reduction_ns);
+        let mut t1 = CommTracker::new(1, t3e().cost, CommPolicy::default());
+        t1.reductions(5);
+        assert_eq!(t1.stats().reduction_ns, 0.0);
+    }
+
+    #[test]
+    fn favor_comm_pairs_protect_overlap_window() {
+        // s0 writes X; s1 independent; s2 reads X@offset. Pair (1,2) must
+        // be forbidden; (0,2) is not (they can never fuse anyway, and s0
+        // references X).
+        let np = fusion_core::normal::normalize(
+            &zlang::compile(
+                "program t; config n : int = 8; region RH = [0..n, 0..n]; \
+                 region R = [1..n, 1..n]; var X : [RH] float; var T, Y, Z : [R] float; \
+                 var s : float; begin \
+                 [RH] X := 1.0; [R] T := Y + Y; [R] Z := X@[-1,0] + T; \
+                 s := +<< [R] Z; end",
+            )
+            .unwrap(),
+        );
+        let g = fusion_core::asdg::build(&np.program, &np.blocks[0]);
+        let pairs = favor_comm_pairs(&np, 0, &g);
+        assert!(pairs.contains(&(1, 2)), "{pairs:?}");
+        assert!(!pairs.contains(&(0, 2)), "{pairs:?}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Processor grid factorization for block distribution.
+
+/// A processor grid: `dims[i]` processors along array dimension `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid {
+    /// Processors per dimension.
+    pub dims: Vec<u64>,
+}
+
+impl Grid {
+    /// Factors `p` processors over `rank` dimensions as squarely as
+    /// possible (largest factors first), e.g. `p=64, rank=2 → [8, 8]`,
+    /// `p=16, rank=3 → [4, 2, 2]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0` or `rank == 0`.
+    pub fn factor(p: u64, rank: usize) -> Self {
+        assert!(p > 0 && rank > 0, "need at least one processor and one dimension");
+        let mut dims = vec![1u64; rank];
+        let mut remaining = p;
+        // Repeatedly peel the largest prime factor onto the currently
+        // smallest grid dimension.
+        while remaining > 1 {
+            let f = smallest_prime_factor(remaining);
+            let (i, _) = dims
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &d)| d)
+                .expect("rank > 0");
+            dims[i] *= f;
+            remaining /= f;
+        }
+        dims.sort_unstable_by(|a, b| b.cmp(a));
+        Grid { dims }
+    }
+
+    /// Total processors.
+    pub fn procs(&self) -> u64 {
+        self.dims.iter().product()
+    }
+
+    /// True if dimension `d` is actually split across processors (an
+    /// interior processor has neighbors in that dimension).
+    pub fn split(&self, d: usize) -> bool {
+        self.dims.get(d).copied().unwrap_or(1) > 1
+    }
+}
+
+fn smallest_prime_factor(n: u64) -> u64 {
+    debug_assert!(n > 1);
+    let mut f = 2;
+    while f * f <= n {
+        if n.is_multiple_of(f) {
+            return f;
+        }
+        f += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squares_factor_evenly() {
+        assert_eq!(Grid::factor(64, 2).dims, vec![8, 8]);
+        assert_eq!(Grid::factor(16, 2).dims, vec![4, 4]);
+        assert_eq!(Grid::factor(4, 2).dims, vec![2, 2]);
+    }
+
+    #[test]
+    fn non_squares_stay_close() {
+        assert_eq!(Grid::factor(8, 2).dims, vec![4, 2]);
+        assert_eq!(Grid::factor(16, 3).dims, vec![4, 2, 2]);
+        assert_eq!(Grid::factor(60, 2).dims, vec![10, 6]);
+    }
+
+    #[test]
+    fn rank_one_takes_everything() {
+        assert_eq!(Grid::factor(6, 1).dims, vec![6]);
+    }
+
+    #[test]
+    fn single_processor_never_splits() {
+        let g = Grid::factor(1, 2);
+        assert_eq!(g.procs(), 1);
+        assert!(!g.split(0));
+        assert!(!g.split(1));
+    }
+
+    #[test]
+    fn procs_roundtrips() {
+        for p in [1u64, 2, 3, 4, 6, 8, 12, 16, 64, 100] {
+            for rank in 1..=3 {
+                assert_eq!(Grid::factor(p, rank).procs(), p, "p={p} rank={rank}");
+            }
+        }
+    }
+}

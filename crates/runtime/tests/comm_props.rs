@@ -1,0 +1,102 @@
+//! Property tests for the communication model.
+
+use machine::presets::t3e;
+use proptest::prelude::*;
+use runtime::comm::{CommPolicy, CommTracker};
+use runtime::Grid;
+use zlang::ir::{ArrayId, ConfigBinding, Offset, Program, RegionId};
+
+fn program() -> (Program, ConfigBinding) {
+    let p = zlang::compile(
+        "program t; config n : int = 16; region R = [1..n, 1..n]; \
+         var A, B, C, D : [R] float; begin end",
+    )
+    .unwrap();
+    let b = ConfigBinding::defaults(&p);
+    (p, b)
+}
+
+/// One synthetic nest: a set of (array, offset) loads plus a store target.
+fn nest(loads: &[(u32, (i64, i64))], store: u32) -> loopir::LoopNest {
+    use loopir::{EExpr, ElemRef, ElemStmt};
+    let mut rhs = EExpr::Const(0.0);
+    for &(a, (i, j)) in loads {
+        rhs = EExpr::Binary(
+            zlang::ast::BinOp::Add,
+            Box::new(rhs),
+            Box::new(EExpr::Load(ArrayId(a), Offset(vec![i, j]))),
+        );
+    }
+    loopir::LoopNest {
+        region: RegionId(0),
+        structure: vec![1, 2],
+        body: vec![ElemStmt { target: ElemRef::Array(ArrayId(store), Offset(vec![0, 0])), rhs }],
+        cluster: 0,
+        temps: 0,
+    }
+}
+
+fn arb_nest() -> impl Strategy<Value = loopir::LoopNest> {
+    (
+        prop::collection::vec((0u32..4, (-1i64..=1, -1i64..=1)), 0..5),
+        0u32..4,
+    )
+        .prop_map(|(loads, store)| nest(&loads, store))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn optimizations_never_increase_traffic(
+        nests in prop::collection::vec(arb_nest(), 1..12),
+        compute_per_nest in 0.0f64..1e6
+    ) {
+        let (p, b) = program();
+        let mut optimized = CommTracker::new(16, t3e().cost, CommPolicy::default());
+        let mut naive = CommTracker::new(16, t3e().cost, CommPolicy::none());
+        for n in &nests {
+            optimized.add_compute(compute_per_nest);
+            naive.add_compute(compute_per_nest);
+            optimized.nest(&p, &b, n);
+            naive.nest(&p, &b, n);
+        }
+        let o = optimized.stats();
+        let nv = naive.stats();
+        prop_assert!(o.messages <= nv.messages, "{} > {}", o.messages, nv.messages);
+        prop_assert!(o.bytes <= nv.bytes);
+        prop_assert!(o.comm_ns <= nv.comm_ns + 1e-9);
+        prop_assert_eq!(nv.hidden_ns, 0.0, "pipelining disabled hides nothing");
+        prop_assert!(o.hidden_ns <= o.comm_ns * t3e().cost.overlap_efficiency + 1e-9);
+        prop_assert!(o.effective_ns() >= 0.0);
+    }
+
+    #[test]
+    fn more_processors_never_decrease_per_node_messages(
+        nests in prop::collection::vec(arb_nest(), 1..8)
+    ) {
+        let (p, b) = program();
+        let mut msgs = Vec::new();
+        for procs in [1u64, 4, 16] {
+            let mut t = CommTracker::new(procs, t3e().cost, CommPolicy::none());
+            for n in &nests {
+                t.nest(&p, &b, n);
+            }
+            msgs.push(t.stats().messages);
+        }
+        prop_assert_eq!(msgs[0], 0, "single node never communicates");
+        // 4 procs = 2x2 grid: both dims split; 16 likewise — counts equal.
+        prop_assert!(msgs[1] <= msgs[2] || msgs[1] == msgs[2]);
+    }
+
+    #[test]
+    fn grid_factor_roundtrips(p in 1u64..4096, rank in 1usize..4) {
+        let g = Grid::factor(p, rank);
+        prop_assert_eq!(g.procs(), p);
+        prop_assert_eq!(g.dims.len(), rank);
+        // Balanced: max/min ratio bounded by the largest prime factor.
+        let mx = *g.dims.iter().max().unwrap();
+        let mn = *g.dims.iter().min().unwrap();
+        prop_assert!(mx / mn <= p, "degenerate factorization {:?}", g.dims);
+    }
+}

@@ -1,0 +1,174 @@
+//! Surface abstract syntax tree produced by the [`parser`](crate::parser).
+//!
+//! Names are unresolved strings at this level; [`sema`](crate::sema) resolves
+//! them into the array-level [`ir`](crate::ir).
+
+use crate::error::Pos;
+
+/// A parsed program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Program name from the `program` header.
+    pub name: String,
+    /// Declarations, in source order.
+    pub decls: Vec<Decl>,
+    /// Statements between `begin` and `end`.
+    pub body: Vec<Stmt>,
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// `config n : int = 64;` — a compile-time-defaulted, run-time
+    /// overridable problem parameter.
+    Config { name: String, ty: Type, default: Literal, pos: Pos },
+    /// `region R = [1..n, 0..m+1];`
+    Region { name: String, extents: Vec<RangeExpr>, pos: Pos },
+    /// `direction north = [-1, 0];`
+    Direction { name: String, offsets: Vec<i64>, pos: Pos },
+    /// `var A, B : [R] float;` (array) or `var s : float;` (scalar).
+    Var { names: Vec<String>, region: Option<String>, ty: Type, pos: Pos },
+}
+
+/// A scalar type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit float.
+    Float,
+    /// 64-bit signed integer.
+    Int,
+}
+
+/// A literal constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+}
+
+/// One dimension of a region: `lo..hi` where the bounds are affine
+/// expressions over integer literals and config variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeExpr {
+    /// Lower bound.
+    pub lo: AffineExpr,
+    /// Upper bound (inclusive).
+    pub hi: AffineExpr,
+}
+
+/// An affine expression `c0 + c1*v1 + c2*v2 + ...` over config variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffineExpr {
+    /// Constant term.
+    pub base: i64,
+    /// `(config name, coefficient)` terms.
+    pub terms: Vec<(String, i64)>,
+    /// Source position (for diagnostics).
+    pub pos: Pos,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `[R] A := expr;` — an element-wise array assignment over region `R`.
+    ArrayAssign { region: String, lhs: String, rhs: Expr, pos: Pos },
+    /// `s := expr;` — a scalar assignment; `expr` may contain reductions.
+    ScalarAssign { lhs: String, rhs: Expr, pos: Pos },
+    /// `for k := lo to|downto hi do ... end;`
+    For { var: String, lo: Expr, hi: Expr, down: bool, body: Vec<Stmt>, pos: Pos },
+    /// `if cond then ... [else ...] end;`
+    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>, pos: Pos },
+}
+
+/// An expression (array-valued or scalar-valued; sema decides).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer or float literal.
+    Lit(Literal, Pos),
+    /// A bare name: array, scalar, or config variable.
+    Name(String, Pos),
+    /// `A@north` or `A@[dx, dy]` — an offset array reference.
+    At(String, AtOffset, Pos),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>, Pos),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>, Pos),
+    /// Intrinsic call `f(a, b, ...)`.
+    Call(String, Vec<Expr>, Pos),
+    /// `op<< [R] expr` — a full reduction of an array expression to a scalar.
+    Reduce(ReduceOp, String, Box<Expr>, Pos),
+}
+
+impl Expr {
+    /// The source position of an expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Lit(_, p)
+            | Expr::Name(_, p)
+            | Expr::At(_, _, p)
+            | Expr::Unary(_, _, p)
+            | Expr::Binary(_, _, _, p)
+            | Expr::Call(_, _, p)
+            | Expr::Reduce(_, _, _, p) => *p,
+        }
+    }
+}
+
+/// The target of an `@`: a named direction or an inline literal vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AtOffset {
+    /// `A@north`
+    Named(String),
+    /// `A@[dx, dy]`
+    Inline(Vec<i64>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Binary operators. Comparisons evaluate to `1.0` / `0.0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+/// Reduction operators for `op<< [R] expr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    Sum,
+    Prod,
+    Max,
+    Min,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_pos_is_stable() {
+        let p = Pos::new(4, 2);
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Lit(Literal::Int(1), Pos::new(4, 1))),
+            Box::new(Expr::Lit(Literal::Int(2), Pos::new(4, 3))),
+            p,
+        );
+        assert_eq!(e.pos(), p);
+    }
+}

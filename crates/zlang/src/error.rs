@@ -1,0 +1,110 @@
+//! Diagnostics for the `zlang` frontend.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Creates a position.
+    ///
+    /// ```
+    /// let p = zlang::error::Pos::new(3, 7);
+    /// assert_eq!(p.line, 3);
+    /// ```
+    pub fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The phase of the frontend that produced an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Semantic analysis.
+    Sema,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lex"),
+            Phase::Parse => write!(f, "parse"),
+            Phase::Sema => write!(f, "sema"),
+        }
+    }
+}
+
+/// A frontend error with a position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Which phase rejected the input.
+    pub phase: Phase,
+    /// Where the problem was found.
+    pub pos: Pos,
+    /// Human-readable description (lowercase, no trailing punctuation).
+    pub message: String,
+}
+
+impl Error {
+    /// Creates a lexer error.
+    pub fn lex(pos: Pos, message: impl Into<String>) -> Self {
+        Error { phase: Phase::Lex, pos, message: message.into() }
+    }
+
+    /// Creates a parser error.
+    pub fn parse(pos: Pos, message: impl Into<String>) -> Self {
+        Error { phase: Phase::Parse, pos, message: message.into() }
+    }
+
+    /// Creates a semantic-analysis error.
+    pub fn sema(pos: Pos, message: impl Into<String>) -> Self {
+        Error { phase: Phase::Sema, pos, message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.pos, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_position() {
+        let e = Error::parse(Pos::new(2, 5), "expected `;`");
+        assert_eq!(e.to_string(), "parse error at 2:5: expected `;`");
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn pos_orders_by_line_then_col() {
+        assert!(Pos::new(1, 9) < Pos::new(2, 1));
+        assert!(Pos::new(2, 1) < Pos::new(2, 2));
+    }
+}

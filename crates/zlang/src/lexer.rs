@@ -1,0 +1,310 @@
+//! Hand-written lexer for `zlang`.
+//!
+//! Comments run from `--` to end of line. Whitespace is insignificant.
+
+use crate::error::{Error, Pos};
+use crate::token::{keyword, Token, TokenKind};
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), i: 0, line: 1, col: 1 }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Token, Error> {
+        let pos = self.pos();
+        let start = self.i;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        // A `..` after digits is a range, not a float.
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if self.peek() == Some(b'e') || self.peek() == Some(b'E') {
+            let save = (self.i, self.line, self.col);
+            self.bump();
+            if self.peek() == Some(b'+') || self.peek() == Some(b'-') {
+                self.bump();
+            }
+            if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                }
+            } else {
+                (self.i, self.line, self.col) = save;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.i]).expect("ascii digits");
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| Error::lex(pos, format!("invalid float literal `{text}`")))?;
+            Ok(Token::new(TokenKind::Float(v), pos))
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| Error::lex(pos, format!("integer literal `{text}` out of range")))?;
+            Ok(Token::new(TokenKind::Int(v), pos))
+        }
+    }
+
+    fn lex_ident(&mut self) -> Token {
+        let pos = self.pos();
+        let start = self.i;
+        while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.i]).expect("ascii ident");
+        // `max<<` and `min<<` are reduction operators.
+        if (text == "max" || text == "min") && self.peek() == Some(b'<') && self.peek2() == Some(b'<')
+        {
+            self.bump();
+            self.bump();
+            let kind = if text == "max" { TokenKind::MaxReduce } else { TokenKind::MinReduce };
+            return Token::new(kind, pos);
+        }
+        match keyword(text) {
+            Some(kind) => Token::new(kind, pos),
+            None => Token::new(TokenKind::Ident(text.to_string()), pos),
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, Error> {
+        self.skip_trivia();
+        let pos = self.pos();
+        let Some(c) = self.peek() else {
+            return Ok(Token::new(TokenKind::Eof, pos));
+        };
+        if c.is_ascii_digit() {
+            return self.lex_number();
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            return Ok(self.lex_ident());
+        }
+        self.bump();
+        let two = |l: &mut Self, kind| {
+            l.bump();
+            Ok(Token::new(kind, pos))
+        };
+        match c {
+            b';' => Ok(Token::new(TokenKind::Semi, pos)),
+            b',' => Ok(Token::new(TokenKind::Comma, pos)),
+            b'[' => Ok(Token::new(TokenKind::LBracket, pos)),
+            b']' => Ok(Token::new(TokenKind::RBracket, pos)),
+            b'(' => Ok(Token::new(TokenKind::LParen, pos)),
+            b')' => Ok(Token::new(TokenKind::RParen, pos)),
+            b'@' => Ok(Token::new(TokenKind::At, pos)),
+            b'-' => Ok(Token::new(TokenKind::Minus, pos)),
+            b'/' => Ok(Token::new(TokenKind::Slash, pos)),
+            b':' => {
+                if self.peek() == Some(b'=') {
+                    two(self, TokenKind::Assign)
+                } else {
+                    Ok(Token::new(TokenKind::Colon, pos))
+                }
+            }
+            b'.' => {
+                if self.peek() == Some(b'.') {
+                    two(self, TokenKind::DotDot)
+                } else {
+                    Err(Error::lex(pos, "unexpected `.`"))
+                }
+            }
+            b'+' => {
+                if self.peek() == Some(b'<') && self.peek2() == Some(b'<') {
+                    self.bump();
+                    two(self, TokenKind::SumReduce)
+                } else {
+                    Ok(Token::new(TokenKind::Plus, pos))
+                }
+            }
+            b'*' => {
+                if self.peek() == Some(b'<') && self.peek2() == Some(b'<') {
+                    self.bump();
+                    two(self, TokenKind::ProdReduce)
+                } else {
+                    Ok(Token::new(TokenKind::Star, pos))
+                }
+            }
+            b'<' => {
+                if self.peek() == Some(b'=') {
+                    two(self, TokenKind::Le)
+                } else {
+                    Ok(Token::new(TokenKind::Lt, pos))
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    two(self, TokenKind::Ge)
+                } else {
+                    Ok(Token::new(TokenKind::Gt, pos))
+                }
+            }
+            b'=' => {
+                if self.peek() == Some(b'=') {
+                    two(self, TokenKind::EqEq)
+                } else {
+                    Ok(Token::new(TokenKind::Eq, pos))
+                }
+            }
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    two(self, TokenKind::Ne)
+                } else {
+                    Err(Error::lex(pos, "unexpected `!`"))
+                }
+            }
+            other => Err(Error::lex(pos, format!("unexpected character `{}`", other as char))),
+        }
+    }
+}
+
+/// Tokenizes `zlang` source text.
+///
+/// The returned vector always ends with a single [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns an error on malformed literals or unknown characters.
+///
+/// ```
+/// # fn main() -> Result<(), zlang::Error> {
+/// let toks = zlang::lexer::lex("[R] A := B@north;")?;
+/// assert_eq!(toks.len(), 10); // incl. Eof
+/// # Ok(())
+/// # }
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, Error> {
+    let mut lexer = Lexer::new(source);
+    let mut out = Vec::new();
+    loop {
+        let tok = lexer.next_token()?;
+        let done = tok.kind == TokenKind::Eof;
+        out.push(tok);
+        if done {
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declarations() {
+        assert_eq!(
+            kinds("config n : int = 64;"),
+            vec![Config, Ident("n".into()), Colon, IntTy, Eq, Int(64), Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_range_not_float() {
+        assert_eq!(kinds("1..n"), vec![Int(1), DotDot, Ident("n".into()), Eof]);
+    }
+
+    #[test]
+    fn lexes_floats() {
+        assert_eq!(kinds("2.5 1e3 7"), vec![Float(2.5), Float(1000.0), Int(7), Eof]);
+    }
+
+    #[test]
+    fn lexes_reductions() {
+        assert_eq!(kinds("+<< *<< max<< min<<"), vec![SumReduce, ProdReduce, MaxReduce, MinReduce, Eof]);
+    }
+
+    #[test]
+    fn max_without_shift_is_ident() {
+        assert_eq!(kinds("max(a, b)")[0], Ident("max".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("a -- comment\n b"), vec![Ident("a".into()), Ident("b".into()), Eof]);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos.line, 1);
+        assert_eq!(toks[1].pos.line, 2);
+        assert_eq!(toks[1].pos.col, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_char() {
+        assert!(lex("a # b").is_err());
+    }
+
+    #[test]
+    fn bare_equals_is_its_own_token() {
+        assert_eq!(kinds("a = b"), vec![Ident("a".into()), Eq, Ident("b".into()), Eof]);
+    }
+
+    #[test]
+    fn lexes_comparisons() {
+        assert_eq!(kinds("< <= > >= == !="), vec![Lt, Le, Gt, Ge, EqEq, Ne, Eof]);
+    }
+}

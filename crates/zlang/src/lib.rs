@@ -1,0 +1,95 @@
+//! A small ZPL-like array language frontend.
+//!
+//! `zlang` models the source level of the array languages studied in
+//! *"The Implementation and Evaluation of Fusion and Contraction in Array
+//! Languages"* (Lewis, Lin & Snyder, PLDI 1998): regions, directions,
+//! element-wise array statements with constant-offset (`@`) references,
+//! reductions, and scalar control flow.
+//!
+//! The crate provides a lexer, a recursive-descent parser, semantic
+//! analysis, and an array-level IR ([`ir::Program`]) that downstream crates
+//! (notably `fusion-core`) normalize and optimize.
+//!
+//! # Language overview
+//!
+//! ```text
+//! program heat;
+//!
+//! config n : int = 64;
+//!
+//! region RH = [0..n+1, 0..n+1];   -- declared with halo
+//! region R  = [1..n, 1..n];
+//!
+//! direction north = [-1, 0];
+//! direction south = [ 1, 0];
+//! direction east  = [ 0, 1];
+//! direction west  = [ 0,-1];
+//!
+//! var A, B : [RH] float;
+//! var err  : float;
+//! var k    : int;
+//!
+//! begin
+//!   [RH] A := 0.0;
+//!   for k := 1 to 10 do
+//!     [R] B := (A@north + A@south + A@east + A@west) / 4.0;
+//!     [R] A := B;
+//!   end;
+//!   err := +<< [R] abs(A);
+//! end
+//! ```
+//!
+//! # Quick start
+//!
+//! ```
+//! # fn main() -> Result<(), zlang::Error> {
+//! let src = r#"
+//!     program tiny;
+//!     config n : int = 8;
+//!     region R = [1..n];
+//!     var A, B : [R] float;
+//!     begin
+//!       [R] A := 1.5;
+//!       [R] B := A * 2.0;
+//!     end
+//! "#;
+//! let program = zlang::compile(src)?;
+//! assert_eq!(program.name, "tiny");
+//! assert_eq!(program.arrays.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod ir;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod sema;
+pub mod token;
+
+pub use error::Error;
+pub use ir::Program;
+
+/// Compiles `zlang` source text into the array-level IR.
+///
+/// This runs the full frontend: lexing, parsing, and semantic analysis.
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first lexical, syntactic, or semantic
+/// problem found, with a line/column position.
+///
+/// ```
+/// # fn main() -> Result<(), zlang::Error> {
+/// let p = zlang::compile("program p; region R = [1..4]; var A : [R] float; begin [R] A := 0.0; end")?;
+/// assert_eq!(p.body.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compile(source: &str) -> Result<ir::Program, Error> {
+    let tokens = lexer::lex(source)?;
+    let ast = parser::parse(&tokens)?;
+    sema::analyze(&ast)
+}

@@ -1,0 +1,594 @@
+//! Recursive-descent parser for `zlang`.
+//!
+//! # Grammar (EBNF-ish)
+//!
+//! ```text
+//! program   = "program" IDENT ";" decl* "begin" stmt* "end" [";"]
+//! decl      = config | region | direction | var
+//! config    = "config" IDENT ":" type "=" ["-"] literal ";"
+//! region    = "region" IDENT "=" "[" range {"," range} "]" ";"
+//! range     = affine ".." affine
+//! direction = "direction" IDENT "=" "[" sint {"," sint} "]" ";"
+//! var       = "var" IDENT {"," IDENT} ":" ["[" IDENT "]"] type ";"
+//! stmt      = "[" IDENT "]" IDENT ":=" expr ";"
+//!           | IDENT ":=" expr ";"
+//!           | "for" IDENT ":=" expr ("to"|"downto") expr "do" stmt* "end" ";"
+//!           | "if" expr "then" stmt* ["else" stmt*] "end" ";"
+//! expr      = addsub [relop addsub]
+//! addsub    = muldiv {("+"|"-") muldiv}
+//! muldiv    = unary {("*"|"/") unary}
+//! unary     = "-" unary | primary
+//! primary   = literal | "(" expr ")" | reduceop "[" IDENT "]" addsub
+//!           | IDENT ["@" (IDENT | "[" sint {"," sint} "]") | "(" expr {"," expr} ")"]
+//! ```
+//!
+//! A reduction's argument extends to the end of the additive expression, so
+//! `+<< [R] A + B` reduces `A + B`; parenthesize to reduce less.
+
+use crate::ast::*;
+use crate::error::{Error, Pos};
+use crate::token::{Token, TokenKind};
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.i].kind
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.i].pos
+    }
+
+    fn bump(&mut self) -> &Token {
+        let t = &self.toks[self.i];
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Pos, Error> {
+        let pos = self.pos();
+        if self.peek() == kind {
+            self.bump();
+            Ok(pos)
+        } else {
+            Err(Error::parse(pos, format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Pos), Error> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok((s, pos))
+            }
+            other => Err(Error::parse(pos, format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, Error> {
+        let pos = self.pos();
+        let neg = self.eat(&TokenKind::Minus);
+        match *self.peek() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(if neg { -v } else { v })
+            }
+            ref other => Err(Error::parse(pos, format!("expected integer, found {other}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, Error> {
+        self.expect(&TokenKind::Program)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(&TokenKind::Semi)?;
+        let mut decls = Vec::new();
+        while !matches!(self.peek(), TokenKind::Begin) {
+            decls.push(self.decl()?);
+        }
+        self.expect(&TokenKind::Begin)?;
+        let body = self.stmts_until_end()?;
+        self.eat(&TokenKind::Semi);
+        if self.peek() != &TokenKind::Eof {
+            return Err(Error::parse(self.pos(), format!("unexpected {} after `end`", self.peek())));
+        }
+        Ok(Program { name, decls, body })
+    }
+
+    fn ty(&mut self) -> Result<Type, Error> {
+        let pos = self.pos();
+        if self.eat(&TokenKind::FloatTy) {
+            Ok(Type::Float)
+        } else if self.eat(&TokenKind::IntTy) {
+            Ok(Type::Int)
+        } else {
+            Err(Error::parse(pos, format!("expected type, found {}", self.peek())))
+        }
+    }
+
+    fn decl(&mut self) -> Result<Decl, Error> {
+        let pos = self.pos();
+        match self.peek() {
+            TokenKind::Config => {
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                self.expect(&TokenKind::Colon)?;
+                let ty = self.ty()?;
+                self.expect(&TokenKind::Eq)?;
+                let neg = self.eat(&TokenKind::Minus);
+                let default = match *self.peek() {
+                    TokenKind::Int(v) => {
+                        self.bump();
+                        Literal::Int(if neg { -v } else { v })
+                    }
+                    TokenKind::Float(v) => {
+                        self.bump();
+                        Literal::Float(if neg { -v } else { v })
+                    }
+                    ref other => {
+                        return Err(Error::parse(
+                            self.pos(),
+                            format!("expected literal default, found {other}"),
+                        ))
+                    }
+                };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Decl::Config { name, ty, default, pos })
+            }
+            TokenKind::Region => {
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                self.expect(&TokenKind::Eq)?;
+                self.expect(&TokenKind::LBracket)?;
+                let mut extents = vec![self.range()?];
+                while self.eat(&TokenKind::Comma) {
+                    extents.push(self.range()?);
+                }
+                self.expect(&TokenKind::RBracket)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Decl::Region { name, extents, pos })
+            }
+            TokenKind::Direction => {
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                self.expect(&TokenKind::Eq)?;
+                self.expect(&TokenKind::LBracket)?;
+                let mut offsets = vec![self.expect_int()?];
+                while self.eat(&TokenKind::Comma) {
+                    offsets.push(self.expect_int()?);
+                }
+                self.expect(&TokenKind::RBracket)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Decl::Direction { name, offsets, pos })
+            }
+            TokenKind::Var => {
+                self.bump();
+                let (first, _) = self.expect_ident()?;
+                let mut names = vec![first];
+                while self.eat(&TokenKind::Comma) {
+                    names.push(self.expect_ident()?.0);
+                }
+                self.expect(&TokenKind::Colon)?;
+                let region = if self.eat(&TokenKind::LBracket) {
+                    let (r, _) = self.expect_ident()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    Some(r)
+                } else {
+                    None
+                };
+                let ty = self.ty()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Decl::Var { names, region, ty, pos })
+            }
+            other => Err(Error::parse(pos, format!("expected declaration, found {other}"))),
+        }
+    }
+
+    fn range(&mut self) -> Result<RangeExpr, Error> {
+        let lo = self.affine()?;
+        self.expect(&TokenKind::DotDot)?;
+        let hi = self.affine()?;
+        Ok(RangeExpr { lo, hi })
+    }
+
+    /// Parses `c0 + c1*v + ...`, where each term is an integer, a config
+    /// name, or `int * name` / `name * int`.
+    fn affine(&mut self) -> Result<AffineExpr, Error> {
+        let pos = self.pos();
+        let mut out = AffineExpr { base: 0, terms: Vec::new(), pos };
+        let mut sign = 1i64;
+        if self.eat(&TokenKind::Minus) {
+            sign = -1;
+        }
+        loop {
+            match self.peek().clone() {
+                TokenKind::Int(v) => {
+                    self.bump();
+                    if self.eat(&TokenKind::Star) {
+                        let (name, _) = self.expect_ident()?;
+                        out.terms.push((name, sign * v));
+                    } else {
+                        out.base += sign * v;
+                    }
+                }
+                TokenKind::Ident(name) => {
+                    self.bump();
+                    if self.eat(&TokenKind::Star) {
+                        let v = self.expect_int()?;
+                        out.terms.push((name, sign * v));
+                    } else {
+                        out.terms.push((name, sign));
+                    }
+                }
+                other => {
+                    return Err(Error::parse(
+                        self.pos(),
+                        format!("expected affine term, found {other}"),
+                    ))
+                }
+            }
+            if self.eat(&TokenKind::Plus) {
+                sign = 1;
+            } else if self.eat(&TokenKind::Minus) {
+                sign = -1;
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn stmts_until_end(&mut self) -> Result<Vec<Stmt>, Error> {
+        let mut out = Vec::new();
+        while !matches!(self.peek(), TokenKind::End | TokenKind::Else) {
+            out.push(self.stmt()?);
+        }
+        self.expect(&TokenKind::End)?;
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Error> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            TokenKind::LBracket => {
+                self.bump();
+                let (region, _) = self.expect_ident()?;
+                self.expect(&TokenKind::RBracket)?;
+                let (lhs, _) = self.expect_ident()?;
+                self.expect(&TokenKind::Assign)?;
+                let rhs = self.expr()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::ArrayAssign { region, lhs, rhs, pos })
+            }
+            TokenKind::Ident(lhs) => {
+                self.bump();
+                self.expect(&TokenKind::Assign)?;
+                let rhs = self.expr()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::ScalarAssign { lhs, rhs, pos })
+            }
+            TokenKind::For => {
+                self.bump();
+                let (var, _) = self.expect_ident()?;
+                self.expect(&TokenKind::Assign)?;
+                let lo = self.expr()?;
+                let down = if self.eat(&TokenKind::To) {
+                    false
+                } else if self.eat(&TokenKind::Downto) {
+                    true
+                } else {
+                    return Err(Error::parse(
+                        self.pos(),
+                        format!("expected `to` or `downto`, found {}", self.peek()),
+                    ));
+                };
+                let hi = self.expr()?;
+                self.expect(&TokenKind::Do)?;
+                let body = self.stmts_until_end()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::For { var, lo, hi, down, body, pos })
+            }
+            TokenKind::If => {
+                self.bump();
+                let cond = self.expr()?;
+                self.expect(&TokenKind::Then)?;
+                let mut then_body = Vec::new();
+                while !matches!(self.peek(), TokenKind::End | TokenKind::Else) {
+                    then_body.push(self.stmt()?);
+                }
+                let else_body = if self.eat(&TokenKind::Else) {
+                    let mut e = Vec::new();
+                    while !matches!(self.peek(), TokenKind::End) {
+                        e.push(self.stmt()?);
+                    }
+                    e
+                } else {
+                    Vec::new()
+                };
+                self.expect(&TokenKind::End)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::If { cond, then_body, else_body, pos })
+            }
+            other => Err(Error::parse(pos, format!("expected statement, found {other}"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, Error> {
+        let pos = self.pos();
+        let lhs = self.addsub()?;
+        let op = match self.peek() {
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.addsub()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs), pos))
+    }
+
+    fn addsub(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.muldiv()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.muldiv()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+    }
+
+    fn muldiv(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, Error> {
+        let pos = self.pos();
+        if self.eat(&TokenKind::Minus) {
+            let e = self.unary()?;
+            Ok(Expr::Unary(UnOp::Neg, Box::new(e), pos))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn reduce_op(&mut self) -> Option<ReduceOp> {
+        let op = match self.peek() {
+            TokenKind::SumReduce => ReduceOp::Sum,
+            TokenKind::ProdReduce => ReduceOp::Prod,
+            TokenKind::MaxReduce => ReduceOp::Max,
+            TokenKind::MinReduce => ReduceOp::Min,
+            _ => return None,
+        };
+        self.bump();
+        Some(op)
+    }
+
+    fn primary(&mut self) -> Result<Expr, Error> {
+        let pos = self.pos();
+        if let Some(op) = self.reduce_op() {
+            self.expect(&TokenKind::LBracket)?;
+            let (region, _) = self.expect_ident()?;
+            self.expect(&TokenKind::RBracket)?;
+            let arg = self.addsub()?;
+            return Ok(Expr::Reduce(op, region, Box::new(arg), pos));
+        }
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Lit(Literal::Int(v), pos))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::Lit(Literal::Float(v), pos))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::At) {
+                    let off = if self.eat(&TokenKind::LBracket) {
+                        let mut v = vec![self.expect_int()?];
+                        while self.eat(&TokenKind::Comma) {
+                            v.push(self.expect_int()?);
+                        }
+                        self.expect(&TokenKind::RBracket)?;
+                        AtOffset::Inline(v)
+                    } else {
+                        AtOffset::Named(self.expect_ident()?.0)
+                    };
+                    Ok(Expr::At(name, off, pos))
+                } else if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if self.peek() != &TokenKind::RParen {
+                        args.push(self.expr()?);
+                        while self.eat(&TokenKind::Comma) {
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Call(name, args, pos))
+                } else {
+                    Ok(Expr::Name(name, pos))
+                }
+            }
+            other => Err(Error::parse(pos, format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+/// Parses a token stream into a surface [`Program`].
+///
+/// # Errors
+///
+/// Returns the first syntax error with its source position.
+///
+/// ```
+/// # fn main() -> Result<(), zlang::Error> {
+/// let toks = zlang::lexer::lex("program p; region R = [1..8]; var A : [R] float; begin [R] A := 1.0; end")?;
+/// let ast = zlang::parser::parse(&toks)?;
+/// assert_eq!(ast.name, "p");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(tokens: &[Token]) -> Result<Program, Error> {
+    assert!(
+        matches!(tokens.last(), Some(t) if t.kind == TokenKind::Eof),
+        "token stream must end with Eof"
+    );
+    Parser { toks: tokens, i: 0 }.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    fn parse_err(src: &str) -> Error {
+        parse(&lex(src).unwrap()).unwrap_err()
+    }
+
+    const HEADER: &str = "program p; region R = [1..8]; var A, B : [R] float; var s : float; ";
+
+    fn with_body(body: &str) -> Program {
+        parse_src(&format!("{HEADER} begin {body} end"))
+    }
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = with_body("[R] A := 1.0;");
+        assert_eq!(p.decls.len(), 3);
+        assert_eq!(p.body.len(), 1);
+    }
+
+    #[test]
+    fn parses_region_with_affine_bounds() {
+        let p = parse_src(
+            "program p; config n : int = 4; region R = [0..n+1, 2*n-1..3*n]; begin end",
+        );
+        let Decl::Region { extents, .. } = &p.decls[1] else { panic!("expected region") };
+        assert_eq!(extents.len(), 2);
+        assert_eq!(extents[0].hi.base, 1);
+        assert_eq!(extents[0].hi.terms, vec![("n".to_string(), 1)]);
+        assert_eq!(extents[1].lo.terms, vec![("n".to_string(), 2)]);
+        assert_eq!(extents[1].lo.base, -1);
+    }
+
+    #[test]
+    fn parses_direction_and_at() {
+        let p = parse_src(
+            "program p; region R = [1..4]; direction w = [-1]; var A, B : [R] float; \
+             begin [R] A := B@w + B@[1]; end",
+        );
+        let Stmt::ArrayAssign { rhs, .. } = &p.body[0] else { panic!() };
+        let Expr::Binary(BinOp::Add, l, r, _) = rhs else { panic!() };
+        assert!(matches!(**l, Expr::At(ref n, AtOffset::Named(ref d), _) if n == "B" && d == "w"));
+        assert!(matches!(**r, Expr::At(ref n, AtOffset::Inline(ref v), _) if n == "B" && v == &[1]));
+    }
+
+    #[test]
+    fn parses_precedence() {
+        let p = with_body("[R] A := B + B * 2.0;");
+        let Stmt::ArrayAssign { rhs: Expr::Binary(BinOp::Add, _, r, _), .. } = &p.body[0] else {
+            panic!()
+        };
+        assert!(matches!(**r, Expr::Binary(BinOp::Mul, _, _, _)));
+    }
+
+    #[test]
+    fn parses_comparison_as_top_level() {
+        let p = with_body("[R] A := B + 1.0 < B * 2.0;");
+        let Stmt::ArrayAssign { rhs, .. } = &p.body[0] else { panic!() };
+        assert!(matches!(rhs, Expr::Binary(BinOp::Lt, _, _, _)));
+    }
+
+    #[test]
+    fn parses_for_loop_and_downto() {
+        let p = with_body("for s := 1 to 3 do [R] A := B; end; for s := 3 downto 1 do end;");
+        assert!(matches!(&p.body[0], Stmt::For { down: false, body, .. } if body.len() == 1));
+        assert!(matches!(&p.body[1], Stmt::For { down: true, body, .. } if body.is_empty()));
+    }
+
+    #[test]
+    fn parses_if_else() {
+        let p = with_body("if s > 1.0 then [R] A := B; else [R] B := A; s := 2.0; end;");
+        let Stmt::If { then_body, else_body, .. } = &p.body[0] else { panic!() };
+        assert_eq!(then_body.len(), 1);
+        assert_eq!(else_body.len(), 2);
+    }
+
+    #[test]
+    fn parses_reduction_spanning_addsub() {
+        let p = with_body("s := +<< [R] A + B;");
+        let Stmt::ScalarAssign { rhs, .. } = &p.body[0] else { panic!() };
+        let Expr::Reduce(ReduceOp::Sum, region, arg, _) = rhs else { panic!() };
+        assert_eq!(region, "R");
+        assert!(matches!(**arg, Expr::Binary(BinOp::Add, _, _, _)));
+    }
+
+    #[test]
+    fn parses_intrinsic_calls() {
+        let p = with_body("[R] A := max(B, sqrt(A));");
+        let Stmt::ArrayAssign { rhs: Expr::Call(f, args, _), .. } = &p.body[0] else { panic!() };
+        assert_eq!(f, "max");
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let e = parse_err("program p; region R = [1..4]; var A : [R] float; begin [R] A := 1.0 end");
+        assert!(e.message.contains("expected"), "{e}");
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let e = parse_err("program p; begin end garbage");
+        assert!(e.message.contains("after `end`"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unclosed_if() {
+        assert!(parse(&lex(&format!("{HEADER} begin if s > 1.0 then end")).unwrap()).is_err());
+    }
+}

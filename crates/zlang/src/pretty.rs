@@ -1,0 +1,261 @@
+//! Pretty-printing of the array-level IR back to `zlang`-like surface
+//! syntax (for debugging, examples, and the compiler-explorer tooling).
+
+use crate::ast::{BinOp, ReduceOp, UnOp};
+use crate::ir::{ArrayExpr, Program, ScalarExpr, Stmt};
+use crate::ir::Offset;
+use std::fmt::Write;
+
+/// Renders an offset in the parseable inline syntax `[d1,d2,...]`.
+fn offset_brackets(off: &Offset) -> String {
+    let parts: Vec<String> = off.0.iter().map(|d| d.to_string()).collect();
+    format!("[{}]", parts.join(","))
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+    }
+}
+
+fn reduce_str(op: ReduceOp) -> &'static str {
+    match op {
+        ReduceOp::Sum => "+<<",
+        ReduceOp::Prod => "*<<",
+        ReduceOp::Max => "max<<",
+        ReduceOp::Min => "min<<",
+    }
+}
+
+/// Renders an array expression.
+pub fn array_expr(p: &Program, e: &ArrayExpr) -> String {
+    match e {
+        ArrayExpr::Read(a, off) => {
+            let name = &p.array(*a).name;
+            if off.is_zero() {
+                name.clone()
+            } else {
+                format!("{name}@{}", offset_brackets(off))
+            }
+        }
+        ArrayExpr::ScalarRef(s) => p.scalar(*s).name.clone(),
+        ArrayExpr::ConfigRef(c) => p.configs[c.0 as usize].name.clone(),
+        ArrayExpr::Const(v) => format!("{v}"),
+        ArrayExpr::Index(d) => format!("index{}", d + 1),
+        ArrayExpr::Unary(UnOp::Neg, inner) => format!("(-{})", array_expr(p, inner)),
+        ArrayExpr::Binary(op, l, r) => {
+            format!("({} {} {})", array_expr(p, l), binop_str(*op), array_expr(p, r))
+        }
+        ArrayExpr::Call(i, args) => {
+            let args: Vec<_> = args.iter().map(|a| array_expr(p, a)).collect();
+            format!("{}({})", i.name(), args.join(", "))
+        }
+    }
+}
+
+/// Renders a scalar expression.
+pub fn scalar_expr(p: &Program, e: &ScalarExpr) -> String {
+    match e {
+        ScalarExpr::Const(v) => format!("{v}"),
+        ScalarExpr::ScalarRef(s) => p.scalar(*s).name.clone(),
+        ScalarExpr::ConfigRef(c) => p.configs[c.0 as usize].name.clone(),
+        ScalarExpr::Unary(UnOp::Neg, inner) => format!("(-{})", scalar_expr(p, inner)),
+        ScalarExpr::Binary(op, l, r) => {
+            format!("({} {} {})", scalar_expr(p, l), binop_str(*op), scalar_expr(p, r))
+        }
+        ScalarExpr::Call(i, args) => {
+            let args: Vec<_> = args.iter().map(|a| scalar_expr(p, a)).collect();
+            format!("{}({})", i.name(), args.join(", "))
+        }
+    }
+}
+
+fn stmt(p: &Program, s: &Stmt, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match s {
+        Stmt::Array(st) => {
+            let _ = writeln!(
+                out,
+                "{pad}[{}] {} := {};",
+                p.region(st.region).name,
+                p.array(st.lhs).name,
+                array_expr(p, &st.rhs)
+            );
+        }
+        Stmt::Scalar { lhs, rhs } => {
+            let _ = writeln!(out, "{pad}{} := {};", p.scalar(*lhs).name, scalar_expr(p, rhs));
+        }
+        Stmt::Reduce { lhs, op, region, arg } => {
+            let _ = writeln!(
+                out,
+                "{pad}{} := {} [{}] {};",
+                p.scalar(*lhs).name,
+                reduce_str(*op),
+                p.region(*region).name,
+                array_expr(p, arg)
+            );
+        }
+        Stmt::For { var, lo, hi, down, body } => {
+            let _ = writeln!(
+                out,
+                "{pad}for {} := {} {} {} do",
+                p.scalar(*var).name,
+                scalar_expr(p, lo),
+                if *down { "downto" } else { "to" },
+                scalar_expr(p, hi)
+            );
+            for s in body {
+                stmt(p, s, indent + 1, out);
+            }
+            let _ = writeln!(out, "{pad}end;");
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            let _ = writeln!(out, "{pad}if {} then", scalar_expr(p, cond));
+            for s in then_body {
+                stmt(p, s, indent + 1, out);
+            }
+            if !else_body.is_empty() {
+                let _ = writeln!(out, "{pad}else");
+                for s in else_body {
+                    stmt(p, s, indent + 1, out);
+                }
+            }
+            let _ = writeln!(out, "{pad}end;");
+        }
+    }
+}
+
+/// Renders a whole program body (statements only, not declarations).
+///
+/// ```
+/// # fn main() -> Result<(), zlang::Error> {
+/// let p = zlang::compile("program p; region R = [1..4]; var A : [R] float; begin [R] A := A + 1.0; end")?;
+/// let text = zlang::pretty::program(&p);
+/// assert!(text.contains("[R] A := (A + 1);"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    for s in &p.body {
+        stmt(p, s, 0, &mut out);
+    }
+    out
+}
+
+fn linexpr(p: &Program, e: &crate::ir::LinExpr) -> String {
+    let mut out = String::new();
+    if e.base != 0 || e.terms.is_empty() {
+        out.push_str(&e.base.to_string());
+    }
+    for &(c, coeff) in &e.terms {
+        let name = &p.configs[c.0 as usize].name;
+        let term = match coeff {
+            1 => name.clone(),
+            -1 => format!("-{name}"),
+            k => format!("{k}*{name}"),
+        };
+        if out.is_empty() {
+            out = term;
+        } else if term.starts_with('-') {
+            out.push_str(&term);
+        } else {
+            out.push('+');
+            out.push_str(&term);
+        }
+    }
+    out
+}
+
+/// Renders a complete, recompilable program: declarations plus body.
+///
+/// `compile(source(p))` yields a structurally identical program (the
+/// round-trip property tested in `tests/`). Only programs that have not
+/// been normalized round-trip exactly — compiler temporaries have no
+/// surface syntax.
+///
+/// ```
+/// # fn main() -> Result<(), zlang::Error> {
+/// let src = "program p; config n : int = 4; region R = [1..n]; \
+///            var A : [R] float; begin [R] A := 1.0; end";
+/// let p1 = zlang::compile(src)?;
+/// let p2 = zlang::compile(&zlang::pretty::source(&p1))?;
+/// assert_eq!(p1, p2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn source(p: &Program) -> String {
+    let mut out = format!("program {};\n", p.name);
+    for c in &p.configs {
+        let (ty, default) = match c.ty {
+            crate::ast::Type::Int => ("int", format!("{}", c.default as i64)),
+            crate::ast::Type::Float => ("float", format!("{:?}", c.default)),
+        };
+        let _ = writeln!(out, "config {} : {} = {};", c.name, ty, default);
+    }
+    for r in &p.regions {
+        let dims: Vec<String> =
+            r.extents.iter().map(|e| format!("{}..{}", linexpr(p, &e.lo), linexpr(p, &e.hi))).collect();
+        let _ = writeln!(out, "region {} = [{}];", r.name, dims.join(", "));
+    }
+    // Offsets print in the inline `@[..]` syntax, so no direction
+    // declarations are needed.
+    for a in &p.arrays {
+        if a.compiler_temp {
+            continue; // no surface syntax; see doc comment
+        }
+        let _ = writeln!(out, "var {} : [{}] float;", a.name, p.region(a.region).name);
+    }
+    for s in &p.scalars {
+        let ty = match s.ty {
+            crate::ast::Type::Int => "int",
+            crate::ast::Type::Float => "float",
+        };
+        let _ = writeln!(out, "var {} : {};", s.name, ty);
+    }
+    out.push_str("begin\n");
+    for s in &p.body {
+        stmt(p, s, 1, &mut out);
+    }
+    out.push_str("end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile;
+
+    #[test]
+    fn prints_offsets_and_reductions() {
+        let p = compile(
+            "program p; region R = [1..4, 1..4]; direction n = [-1, 0]; \
+             var A, B : [R] float; var s : float; \
+             begin [R] A := B@n; s := +<< [R] A; end",
+        )
+        .unwrap();
+        let text = super::program(&p);
+        assert!(text.contains("B@[-1,0]"), "{text}");
+        assert!(text.contains("+<< [R] A"), "{text}");
+    }
+
+    #[test]
+    fn prints_control_flow() {
+        let p = compile(
+            "program p; region R = [1..4]; var A : [R] float; var k : int; \
+             begin for k := 1 to 3 do if k > 1 then [R] A := 1.0; else [R] A := 2.0; end; end; end",
+        )
+        .unwrap();
+        let text = super::program(&p);
+        assert!(text.contains("for k := 1 to 3 do"), "{text}");
+        assert!(text.contains("else"), "{text}");
+    }
+}

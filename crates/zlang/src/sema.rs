@@ -1,0 +1,545 @@
+//! Semantic analysis: resolves names, checks ranks and types, hoists
+//! reductions, and lowers the surface AST to the array-level IR.
+
+use crate::ast::{self, AtOffset, Decl, Literal, Type};
+use crate::error::{Error, Pos};
+use crate::ir::{
+    ArrayDecl, ArrayExpr, ArrayId, ArrayStmt, ConfigDecl, ConfigId, Extent, Intrinsic, LinExpr,
+    Offset, Program, RegionDecl, RegionId, ScalarDecl, ScalarExpr, ScalarId, Stmt,
+};
+use std::collections::HashMap;
+
+/// What a name refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Binding {
+    Config(ConfigId),
+    Region(RegionId),
+    Direction(u32),
+    Array(ArrayId),
+    Scalar(ScalarId),
+}
+
+struct Analyzer {
+    program: Program,
+    names: HashMap<String, Binding>,
+    directions: Vec<Vec<i64>>,
+    hidden_scalars: u32,
+}
+
+impl Analyzer {
+    fn bind(&mut self, name: &str, b: Binding, pos: Pos) -> Result<(), Error> {
+        if self.names.insert(name.to_string(), b).is_some() {
+            return Err(Error::sema(pos, format!("duplicate declaration of `{name}`")));
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str, pos: Pos) -> Result<Binding, Error> {
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::sema(pos, format!("undeclared name `{name}`")))
+    }
+
+    fn fresh_scalar(&mut self, ty: Type) -> ScalarId {
+        let id = ScalarId(self.program.scalars.len() as u32);
+        let name = format!("_r{}", self.hidden_scalars);
+        self.hidden_scalars += 1;
+        self.program.scalars.push(ScalarDecl { name, ty });
+        id
+    }
+
+    fn affine(&self, e: &ast::AffineExpr) -> Result<LinExpr, Error> {
+        let mut out = LinExpr { base: e.base, terms: Vec::new() };
+        for (name, coeff) in &e.terms {
+            match self.lookup(name, e.pos)? {
+                Binding::Config(id) => out.terms.push((id, *coeff)),
+                _ => {
+                    return Err(Error::sema(
+                        e.pos,
+                        format!("region bounds may only reference config variables, not `{name}`"),
+                    ))
+                }
+            }
+        }
+        Ok(out.normalize())
+    }
+
+    fn decls(&mut self, decls: &[Decl]) -> Result<(), Error> {
+        for d in decls {
+            match d {
+                Decl::Config { name, ty, default, pos } => {
+                    let default = match (*ty, *default) {
+                        (Type::Int, Literal::Int(v)) => v as f64,
+                        (Type::Float, Literal::Float(v)) => v,
+                        (Type::Float, Literal::Int(v)) => v as f64,
+                        (Type::Int, Literal::Float(_)) => {
+                            return Err(Error::sema(
+                                *pos,
+                                format!("config `{name}` is int but has a float default"),
+                            ))
+                        }
+                    };
+                    let id = ConfigId(self.program.configs.len() as u32);
+                    self.program.configs.push(ConfigDecl {
+                        name: name.clone(),
+                        ty: *ty,
+                        default,
+                    });
+                    self.bind(name, Binding::Config(id), *pos)?;
+                }
+                Decl::Region { name, extents, pos } => {
+                    if extents.is_empty() {
+                        return Err(Error::sema(*pos, format!("region `{name}` has no extents")));
+                    }
+                    let extents = extents
+                        .iter()
+                        .map(|r| {
+                            Ok(Extent { lo: self.affine(&r.lo)?, hi: self.affine(&r.hi)? })
+                        })
+                        .collect::<Result<Vec<_>, Error>>()?;
+                    let id = RegionId(self.program.regions.len() as u32);
+                    self.program.regions.push(RegionDecl { name: name.clone(), extents });
+                    self.bind(name, Binding::Region(id), *pos)?;
+                }
+                Decl::Direction { name, offsets, pos } => {
+                    let idx = self.directions.len() as u32;
+                    self.directions.push(offsets.clone());
+                    self.bind(name, Binding::Direction(idx), *pos)?;
+                }
+                Decl::Var { names, region, ty, pos } => {
+                    for n in names {
+                        match region {
+                            Some(rname) => {
+                                if *ty != Type::Float {
+                                    return Err(Error::sema(
+                                        *pos,
+                                        format!("array `{n}` must be float (int arrays are not supported)"),
+                                    ));
+                                }
+                                let Binding::Region(rid) = self.lookup(rname, *pos)? else {
+                                    return Err(Error::sema(
+                                        *pos,
+                                        format!("`{rname}` is not a region"),
+                                    ));
+                                };
+                                let id = ArrayId(self.program.arrays.len() as u32);
+                                self.program.arrays.push(ArrayDecl {
+                                    name: n.clone(),
+                                    region: rid,
+                                    compiler_temp: false,
+                                    collapsed: Vec::new(),
+                                });
+                                self.bind(n, Binding::Array(id), *pos)?;
+                            }
+                            None => {
+                                let id = ScalarId(self.program.scalars.len() as u32);
+                                self.program.scalars.push(ScalarDecl { name: n.clone(), ty: *ty });
+                                self.bind(n, Binding::Scalar(id), *pos)?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers an expression in *array context* over a statement region of
+    /// rank `rank`.
+    fn array_expr(&mut self, e: &ast::Expr, rank: usize) -> Result<ArrayExpr, Error> {
+        match e {
+            ast::Expr::Lit(Literal::Int(v), _) => Ok(ArrayExpr::Const(*v as f64)),
+            ast::Expr::Lit(Literal::Float(v), _) => Ok(ArrayExpr::Const(*v)),
+            ast::Expr::Name(name, pos) => {
+                if let Some(d) = index_name(name) {
+                    if d as usize >= rank {
+                        return Err(Error::sema(
+                            *pos,
+                            format!("`{name}` exceeds the statement's rank {rank}"),
+                        ));
+                    }
+                    return Ok(ArrayExpr::Index(d));
+                }
+                match self.lookup(name, *pos)? {
+                    Binding::Array(a) => {
+                        self.check_array_rank(a, rank, *pos)?;
+                        Ok(ArrayExpr::Read(a, Offset::zero(rank)))
+                    }
+                    Binding::Scalar(s) => Ok(ArrayExpr::ScalarRef(s)),
+                    Binding::Config(c) => Ok(ArrayExpr::ConfigRef(c)),
+                    Binding::Region(_) | Binding::Direction(_) => Err(Error::sema(
+                        *pos,
+                        format!("`{name}` cannot be used as a value"),
+                    )),
+                }
+            }
+            ast::Expr::At(name, off, pos) => {
+                let Binding::Array(a) = self.lookup(name, *pos)? else {
+                    return Err(Error::sema(*pos, format!("`@` applies to arrays, `{name}` is not one")));
+                };
+                self.check_array_rank(a, rank, *pos)?;
+                let vec = match off {
+                    AtOffset::Named(dname) => {
+                        let Binding::Direction(di) = self.lookup(dname, *pos)? else {
+                            return Err(Error::sema(
+                                *pos,
+                                format!("`{dname}` is not a direction"),
+                            ));
+                        };
+                        self.directions[di as usize].clone()
+                    }
+                    AtOffset::Inline(v) => v.clone(),
+                };
+                if vec.len() != rank {
+                    return Err(Error::sema(
+                        *pos,
+                        format!(
+                            "direction rank {} does not match statement rank {rank}",
+                            vec.len()
+                        ),
+                    ));
+                }
+                Ok(ArrayExpr::Read(a, Offset(vec)))
+            }
+            ast::Expr::Unary(op, inner, _) => {
+                Ok(ArrayExpr::Unary(*op, Box::new(self.array_expr(inner, rank)?)))
+            }
+            ast::Expr::Binary(op, l, r, _) => Ok(ArrayExpr::Binary(
+                *op,
+                Box::new(self.array_expr(l, rank)?),
+                Box::new(self.array_expr(r, rank)?),
+            )),
+            ast::Expr::Call(fname, args, pos) => {
+                let Some(intr) = Intrinsic::from_name(fname) else {
+                    return Err(Error::sema(*pos, format!("unknown intrinsic `{fname}`")));
+                };
+                if args.len() != intr.arity() {
+                    return Err(Error::sema(
+                        *pos,
+                        format!(
+                            "intrinsic `{fname}` expects {} argument(s), got {}",
+                            intr.arity(),
+                            args.len()
+                        ),
+                    ));
+                }
+                let args = args
+                    .iter()
+                    .map(|a| self.array_expr(a, rank))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ArrayExpr::Call(intr, args))
+            }
+            ast::Expr::Reduce(_, _, _, pos) => Err(Error::sema(
+                *pos,
+                "reductions are scalar-valued and cannot appear inside an array statement",
+            )),
+        }
+    }
+
+    fn check_array_rank(&self, a: ArrayId, rank: usize, pos: Pos) -> Result<(), Error> {
+        let have = self.program.array_rank(a);
+        if have != rank {
+            return Err(Error::sema(
+                pos,
+                format!(
+                    "array `{}` has rank {have} but the statement region has rank {rank}",
+                    self.program.array(a).name
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Lowers an expression in *scalar context*. Reductions are hoisted into
+    /// `out` as separate statements, replaced by hidden scalars.
+    fn scalar_expr(&mut self, e: &ast::Expr, out: &mut Vec<Stmt>) -> Result<ScalarExpr, Error> {
+        match e {
+            ast::Expr::Lit(Literal::Int(v), _) => Ok(ScalarExpr::Const(*v as f64)),
+            ast::Expr::Lit(Literal::Float(v), _) => Ok(ScalarExpr::Const(*v)),
+            ast::Expr::Name(name, pos) => match self.lookup(name, *pos)? {
+                Binding::Scalar(s) => Ok(ScalarExpr::ScalarRef(s)),
+                Binding::Config(c) => Ok(ScalarExpr::ConfigRef(c)),
+                Binding::Array(_) => Err(Error::sema(
+                    *pos,
+                    format!("array `{name}` used in scalar context (did you mean a reduction?)"),
+                )),
+                _ => Err(Error::sema(*pos, format!("`{name}` cannot be used as a value"))),
+            },
+            ast::Expr::At(_, _, pos) => {
+                Err(Error::sema(*pos, "`@` references cannot appear in scalar context"))
+            }
+            ast::Expr::Unary(op, inner, _) => {
+                Ok(ScalarExpr::Unary(*op, Box::new(self.scalar_expr(inner, out)?)))
+            }
+            ast::Expr::Binary(op, l, r, _) => Ok(ScalarExpr::Binary(
+                *op,
+                Box::new(self.scalar_expr(l, out)?),
+                Box::new(self.scalar_expr(r, out)?),
+            )),
+            ast::Expr::Call(fname, args, pos) => {
+                let Some(intr) = Intrinsic::from_name(fname) else {
+                    return Err(Error::sema(*pos, format!("unknown intrinsic `{fname}`")));
+                };
+                if args.len() != intr.arity() {
+                    return Err(Error::sema(
+                        *pos,
+                        format!(
+                            "intrinsic `{fname}` expects {} argument(s), got {}",
+                            intr.arity(),
+                            args.len()
+                        ),
+                    ));
+                }
+                let args = args
+                    .iter()
+                    .map(|a| self.scalar_expr(a, out))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ScalarExpr::Call(intr, args))
+            }
+            ast::Expr::Reduce(op, rname, arg, pos) => {
+                let Binding::Region(rid) = self.lookup(rname, *pos)? else {
+                    return Err(Error::sema(*pos, format!("`{rname}` is not a region")));
+                };
+                let rank = self.program.region(rid).rank();
+                let arg = self.array_expr(arg, rank)?;
+                let tmp = self.fresh_scalar(Type::Float);
+                out.push(Stmt::Reduce { lhs: tmp, op: *op, region: rid, arg });
+                Ok(ScalarExpr::ScalarRef(tmp))
+            }
+        }
+    }
+
+    fn stmts(&mut self, stmts: &[ast::Stmt]) -> Result<Vec<Stmt>, Error> {
+        let mut out = Vec::new();
+        for s in stmts {
+            match s {
+                ast::Stmt::ArrayAssign { region, lhs, rhs, pos } => {
+                    let Binding::Region(rid) = self.lookup(region, *pos)? else {
+                        return Err(Error::sema(*pos, format!("`{region}` is not a region")));
+                    };
+                    let Binding::Array(aid) = self.lookup(lhs, *pos)? else {
+                        return Err(Error::sema(
+                            *pos,
+                            format!("assignment target `{lhs}` is not an array"),
+                        ));
+                    };
+                    let rank = self.program.region(rid).rank();
+                    self.check_array_rank(aid, rank, *pos)?;
+                    let rhs = self.array_expr(rhs, rank)?;
+                    out.push(Stmt::Array(ArrayStmt { region: rid, lhs: aid, rhs }));
+                }
+                ast::Stmt::ScalarAssign { lhs, rhs, pos } => {
+                    let Binding::Scalar(sid) = self.lookup(lhs, *pos)? else {
+                        return Err(Error::sema(
+                            *pos,
+                            format!("assignment target `{lhs}` is not a scalar (array assignments need a region: `[R] {lhs} := ...`)"),
+                        ));
+                    };
+                    // `s := op<< [R] expr;` reduces directly into `s`
+                    // without a hidden temporary.
+                    if let ast::Expr::Reduce(op, rname, arg, rpos) = rhs {
+                        let Binding::Region(rid) = self.lookup(rname, *rpos)? else {
+                            return Err(Error::sema(*rpos, format!("`{rname}` is not a region")));
+                        };
+                        let rank = self.program.region(rid).rank();
+                        let arg = self.array_expr(arg, rank)?;
+                        out.push(Stmt::Reduce { lhs: sid, op: *op, region: rid, arg });
+                    } else {
+                        let rhs = self.scalar_expr(rhs, &mut out)?;
+                        out.push(Stmt::Scalar { lhs: sid, rhs });
+                    }
+                }
+                ast::Stmt::For { var, lo, hi, down, body, pos } => {
+                    let Binding::Scalar(vid) = self.lookup(var, *pos)? else {
+                        return Err(Error::sema(*pos, format!("loop variable `{var}` is not a scalar")));
+                    };
+                    if self.program.scalar(vid).ty != Type::Int {
+                        return Err(Error::sema(
+                            *pos,
+                            format!("loop variable `{var}` must be int"),
+                        ));
+                    }
+                    let mut pre = Vec::new();
+                    let lo = self.scalar_expr(lo, &mut pre)?;
+                    let hi = self.scalar_expr(hi, &mut pre)?;
+                    if !pre.is_empty() {
+                        return Err(Error::sema(
+                            *pos,
+                            "reductions are not allowed in loop bounds",
+                        ));
+                    }
+                    let body = self.stmts(body)?;
+                    out.push(Stmt::For { var: vid, lo, hi, down: *down, body });
+                }
+                ast::Stmt::If { cond, then_body, else_body, pos } => {
+                    let mut pre = Vec::new();
+                    let cond = self.scalar_expr(cond, &mut pre)?;
+                    if !pre.is_empty() {
+                        return Err(Error::sema(*pos, "reductions are not allowed in conditions; assign to a scalar first"));
+                    }
+                    let then_body = self.stmts(then_body)?;
+                    let else_body = self.stmts(else_body)?;
+                    out.push(Stmt::If { cond, then_body, else_body });
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Maps `index1`/`index2`/`index3` to a 0-based dimension.
+fn index_name(name: &str) -> Option<u8> {
+    match name {
+        "index1" => Some(0),
+        "index2" => Some(1),
+        "index3" => Some(2),
+        _ => None,
+    }
+}
+
+/// Analyzes a surface AST, producing the array-level IR.
+///
+/// # Errors
+///
+/// Returns the first semantic error: duplicate or undeclared names, rank
+/// mismatches, misuse of arrays in scalar context (or vice versa), bad
+/// intrinsic arities, or reductions in illegal positions.
+pub fn analyze(ast: &ast::Program) -> Result<Program, Error> {
+    let mut a = Analyzer {
+        program: Program {
+            name: ast.name.clone(),
+            configs: Vec::new(),
+            regions: Vec::new(),
+            arrays: Vec::new(),
+            scalars: Vec::new(),
+            body: Vec::new(),
+        },
+        names: HashMap::new(),
+        directions: Vec::new(),
+        hidden_scalars: 0,
+    };
+    a.decls(&ast.decls)?;
+    a.program.body = a.stmts(&ast.body)?;
+    Ok(a.program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn err(src: &str) -> Error {
+        compile(src).unwrap_err()
+    }
+
+    const P: &str = "program p; config n : int = 8; region R = [1..n, 1..n]; \
+                     direction e = [0, 1]; var A, B : [R] float; var s : float; var k : int; ";
+
+    #[test]
+    fn lowers_array_statement() {
+        let p = compile(&format!("{P} begin [R] A := B@e * 2.0 + s; end")).unwrap();
+        let Stmt::Array(st) = &p.body[0] else { panic!() };
+        assert_eq!(p.array(st.lhs).name, "A");
+        let reads = st.rhs.reads();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].1, Offset(vec![0, 1]));
+    }
+
+    #[test]
+    fn hoists_reductions() {
+        let p = compile(&format!("{P} begin s := 1.0 + +<< [R] A * B; end")).unwrap();
+        assert!(matches!(&p.body[0], Stmt::Reduce { .. }));
+        assert!(matches!(&p.body[1], Stmt::Scalar { .. }));
+    }
+
+    #[test]
+    fn index_names_lower_to_index() {
+        let p = compile(&format!("{P} begin [R] A := index1 + index2; end")).unwrap();
+        let Stmt::Array(st) = &p.body[0] else { panic!() };
+        assert_eq!(st.rhs.read_count(), 0);
+        assert!(matches!(
+            st.rhs,
+            ArrayExpr::Binary(_, ref l, ref r)
+                if matches!(**l, ArrayExpr::Index(0)) && matches!(**r, ArrayExpr::Index(1))
+        ));
+    }
+
+    #[test]
+    fn rejects_rank_mismatch() {
+        let e = err("program p; region R1 = [1..4]; region R2 = [1..4, 1..4]; \
+                     var A : [R1] float; var B : [R2] float; begin [R2] B := A; end");
+        assert!(e.message.contains("rank"), "{e}");
+    }
+
+    #[test]
+    fn rejects_direction_rank_mismatch() {
+        let e = err(&format!("{P} begin [R] A := B@[1]; end"));
+        assert!(e.message.contains("rank"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let e = err("program p; config n : int = 1; config n : int = 2; begin end");
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn rejects_undeclared() {
+        let e = err("program p; region R = [1..4]; var A : [R] float; begin [R] A := Bogus; end");
+        assert!(e.message.contains("undeclared"), "{e}");
+    }
+
+    #[test]
+    fn rejects_array_in_scalar_context() {
+        let e = err(&format!("{P} begin s := A; end"));
+        assert!(e.message.contains("scalar context"), "{e}");
+    }
+
+    #[test]
+    fn rejects_scalar_assign_to_array() {
+        let e = err(&format!("{P} begin A := 1.0; end"));
+        assert!(e.message.contains("not a scalar"), "{e}");
+    }
+
+    #[test]
+    fn rejects_float_loop_var() {
+        let e = err(&format!("{P} begin for s := 1 to 3 do end; end"));
+        assert!(e.message.contains("must be int"), "{e}");
+    }
+
+    #[test]
+    fn rejects_reduce_inside_array_stmt() {
+        let e = err(&format!("{P} begin [R] A := +<< [R] B; end"));
+        assert!(e.message.contains("scalar-valued"), "{e}");
+    }
+
+    #[test]
+    fn rejects_int_array() {
+        let e = err("program p; region R = [1..4]; var A : [R] int; begin end");
+        assert!(e.message.contains("float"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let e = err(&format!("{P} begin [R] A := sqrt(A, B); end"));
+        assert!(e.message.contains("argument"), "{e}");
+    }
+
+    #[test]
+    fn for_loop_and_if_lower() {
+        let p = compile(&format!(
+            "{P} begin for k := 1 to 2 do [R] A := B; end; if s > 0.0 then [R] B := A; end; end"
+        ))
+        .unwrap();
+        assert!(matches!(&p.body[0], Stmt::For { body, .. } if body.len() == 1));
+        assert!(matches!(&p.body[1], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn region_bounds_resolve_configs() {
+        let p = compile("program p; config n : int = 5; region R = [1..2*n+1]; begin end").unwrap();
+        let b = crate::ir::ConfigBinding::defaults(&p);
+        assert_eq!(p.regions[0].bounds(&b), vec![(1, 11)]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Tokens produced by the [`lexer`](crate::lexer).
+
+use crate::error::Pos;
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword candidate (`foo`, `program`, ...).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+
+    // Keywords.
+    Program,
+    Config,
+    Region,
+    Direction,
+    Var,
+    Begin,
+    End,
+    For,
+    To,
+    Downto,
+    Do,
+    If,
+    Then,
+    Else,
+    FloatTy,
+    IntTy,
+
+    // Punctuation and operators.
+    Semi,
+    Colon,
+    Comma,
+    Assign,   // :=
+    LBracket, // [
+    RBracket, // ]
+    LParen,
+    RParen,
+    DotDot, // ..
+    At,     // @
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,   // =  (declarations only)
+    EqEq, // ==
+    Ne,   // !=
+    SumReduce,  // +<<
+    ProdReduce, // *<<
+    MaxReduce,  // max<<
+    MinReduce,  // min<<
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Ident(s) => write!(f, "identifier `{s}`"),
+            Int(v) => write!(f, "integer `{v}`"),
+            Float(v) => write!(f, "float `{v}`"),
+            Program => write!(f, "`program`"),
+            Config => write!(f, "`config`"),
+            Region => write!(f, "`region`"),
+            Direction => write!(f, "`direction`"),
+            Var => write!(f, "`var`"),
+            Begin => write!(f, "`begin`"),
+            End => write!(f, "`end`"),
+            For => write!(f, "`for`"),
+            To => write!(f, "`to`"),
+            Downto => write!(f, "`downto`"),
+            Do => write!(f, "`do`"),
+            If => write!(f, "`if`"),
+            Then => write!(f, "`then`"),
+            Else => write!(f, "`else`"),
+            FloatTy => write!(f, "`float`"),
+            IntTy => write!(f, "`int`"),
+            Semi => write!(f, "`;`"),
+            Colon => write!(f, "`:`"),
+            Comma => write!(f, "`,`"),
+            Assign => write!(f, "`:=`"),
+            LBracket => write!(f, "`[`"),
+            RBracket => write!(f, "`]`"),
+            LParen => write!(f, "`(`"),
+            RParen => write!(f, "`)`"),
+            DotDot => write!(f, "`..`"),
+            At => write!(f, "`@`"),
+            Plus => write!(f, "`+`"),
+            Minus => write!(f, "`-`"),
+            Star => write!(f, "`*`"),
+            Slash => write!(f, "`/`"),
+            Lt => write!(f, "`<`"),
+            Le => write!(f, "`<=`"),
+            Gt => write!(f, "`>`"),
+            Ge => write!(f, "`>=`"),
+            Eq => write!(f, "`=`"),
+            EqEq => write!(f, "`==`"),
+            Ne => write!(f, "`!=`"),
+            SumReduce => write!(f, "`+<<`"),
+            ProdReduce => write!(f, "`*<<`"),
+            MaxReduce => write!(f, "`max<<`"),
+            MinReduce => write!(f, "`min<<`"),
+            Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token together with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind (and payload for literals/identifiers).
+    pub kind: TokenKind,
+    /// Position of the token's first character.
+    pub pos: Pos,
+}
+
+impl Token {
+    /// Creates a token at a position.
+    pub fn new(kind: TokenKind, pos: Pos) -> Self {
+        Token { kind, pos }
+    }
+}
+
+/// Maps an identifier to a keyword kind, if it is one.
+pub fn keyword(ident: &str) -> Option<TokenKind> {
+    Some(match ident {
+        "program" => TokenKind::Program,
+        "config" => TokenKind::Config,
+        "region" => TokenKind::Region,
+        "direction" => TokenKind::Direction,
+        "var" => TokenKind::Var,
+        "begin" => TokenKind::Begin,
+        "end" => TokenKind::End,
+        "for" => TokenKind::For,
+        "to" => TokenKind::To,
+        "downto" => TokenKind::Downto,
+        "do" => TokenKind::Do,
+        "if" => TokenKind::If,
+        "then" => TokenKind::Then,
+        "else" => TokenKind::Else,
+        "float" => TokenKind::FloatTy,
+        "int" => TokenKind::IntTy,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(keyword("program"), Some(TokenKind::Program));
+        assert_eq!(keyword("downto"), Some(TokenKind::Downto));
+        assert_eq!(keyword("frobnicate"), None);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for k in [TokenKind::Semi, TokenKind::SumReduce, TokenKind::Eof] {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

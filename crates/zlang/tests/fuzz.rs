@@ -1,0 +1,92 @@
+//! Fuzz-style property tests: the frontend must never panic, on any input.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The lexer returns Ok or Err on arbitrary text — it never panics.
+    #[test]
+    fn lexer_total_on_arbitrary_text(src in ".{0,200}") {
+        let _ = zlang::lexer::lex(&src);
+    }
+
+    /// The full frontend is total on arbitrary ASCII-ish soup.
+    #[test]
+    fn compiler_total_on_arbitrary_text(src in "[ -~\n]{0,300}") {
+        let _ = zlang::compile(&src);
+    }
+
+    /// The frontend is total on token-shaped soup (words from the
+    /// language's vocabulary glued randomly) — this reaches much deeper
+    /// into the parser than raw bytes do.
+    #[test]
+    fn compiler_total_on_token_soup(words in prop::collection::vec(
+        prop::sample::select(vec![
+            "program", "config", "region", "direction", "var", "begin", "end",
+            "for", "to", "downto", "do", "if", "then", "else", "float", "int",
+            "p", "n", "R", "A", "B", "s", "k", "index1", "sqrt", "max",
+            ";", ":", ",", ":=", "=", "[", "]", "(", ")", "..", "@",
+            "+", "-", "*", "/", "<", "<=", ">", ">=", "==", "!=",
+            "+<<", "max<<", "1", "2.5", "0", "-3",
+        ]),
+        0..60
+    )) {
+        let src = words.join(" ");
+        let _ = zlang::compile(&src);
+    }
+}
+
+/// Deterministic regression cases that once looked risky.
+#[test]
+fn tricky_inputs_do_not_panic() {
+    for src in [
+        "",
+        ";",
+        "program",
+        "program ;",
+        "program p; begin end extra",
+        "program p; region R = [1..]; begin end",
+        "program p; region R = [..1]; begin end",
+        "program p; config n : int = 99999999999999999999; begin end",
+        "program p; begin [R] A := B@; end",
+        "program p; begin [ ] A := 1; end",
+        "program p; region R = [1..4]; var A : [R] float; begin [R] A := A@[1,2,3]; end",
+        "program p; begin if then end; end",
+        "program p; begin for := 1 to 2 do end; end",
+        "1e999",
+        "....",
+        "@@@@",
+        "program p; region R = [1..4, 1..4, 1..4, 1..4, 1..4]; begin end",
+    ] {
+        let _ = zlang::compile(src);
+    }
+}
+
+/// The six benchmarks and all fragments survive a print → re-compile
+/// round trip with identical structure.
+#[test]
+fn pretty_source_roundtrips_real_programs() {
+    let sources: Vec<String> = [
+        "program p; config n : int = 4; region R = [1..n]; var A, B : [R] float; \
+         var s : float; var k : int; begin \
+         [R] A := 1.0; for k := 1 to 3 do [R] B := A * 2.0; [R] A := B; end; \
+         s := +<< [R] A; end",
+        "program q; config n : int = 4; config c : float = 0.5; \
+         region RH = [0..n+1, 0..n+1]; region R = [1..n, 1..n]; \
+         var X : [RH] float; var Y : [R] float; var t : float; begin \
+         [RH] X := index1 + index2; [R] Y := X@[-1,0] * c + X@[1,0]; \
+         if t > 0.0 then [R] Y := 0.0; else [R] Y := 1.0; end; \
+         t := max<< [R] abs(Y); end",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    for src in sources {
+        let p1 = zlang::compile(&src).unwrap();
+        let printed = zlang::pretty::source(&p1);
+        let p2 = zlang::compile(&printed)
+            .unwrap_or_else(|e| panic!("round trip failed: {e}\n{printed}"));
+        assert_eq!(p1, p2, "{printed}");
+    }
+}

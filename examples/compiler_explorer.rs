@@ -1,0 +1,48 @@
+//! Compiler explorer: show how each commercial-compiler model treats the
+//! paper's Figure 5 fragments — which statements fuse, which temporaries
+//! contract, and the resulting loop nests.
+//!
+//! ```text
+//! cargo run --example compiler_explorer            # summary matrix
+//! cargo run --example compiler_explorer '(7)'      # detail one fragment
+//! ```
+
+use zpl_fusion::fusion::pipeline::Pipeline;
+use zpl_fusion::loops::printer;
+use zpl_fusion::models::{self, behavior_matrix, fragments};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arg = std::env::args().nth(1);
+    match arg {
+        None => {
+            println!("{}", behavior_matrix().render());
+            println!("run with a fragment id, e.g. `compiler_explorer '(7)'`, for detail");
+        }
+        Some(id) => {
+            let frag = fragments()
+                .into_iter()
+                .find(|f| f.id == id)
+                .ok_or_else(|| format!("no fragment {id}; try (1)..(8) or (8b)"))?;
+            println!("fragment {} — {}\n{}\n", frag.id, frag.what, frag.source.trim());
+            let program = zpl_fusion::lang::compile(frag.source)?;
+            for model in models::model::all_models() {
+                let opt = Pipeline::new(model.level)
+                    .with_opts(model.fusion_opts())
+                    .optimize(&program);
+                println!(
+                    "--- {} (level {}, anti-dep fusion {}) ---",
+                    model.name,
+                    model.level,
+                    if model.no_loop_carried_anti { "forbidden" } else { "allowed" }
+                );
+                println!(
+                    "nests: {}  contracted: {:?}",
+                    opt.scalarized.nest_count(),
+                    opt.contracted_names()
+                );
+                println!("{}", printer::print(&opt.scalarized));
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! The paper's Figure 1: the tridiagonal-systems-solver fragment from
+//! Tomcatv, where the array language needs a whole temporary array `R`
+//! per row while the hand-written Fortran 77 equivalent uses only the
+//! scalar `s`. Statement fusion plus contraction recovers exactly that:
+//! run this example and watch `R` (and the self-update temporaries)
+//! disappear from the generated code.
+//!
+//! ```text
+//! cargo run --example figure1_tridiagonal
+//! ```
+
+use zpl_fusion::fusion::explain;
+use zpl_fusion::fusion::pipeline::{Level, Pipeline};
+use zpl_fusion::loops::{printer, Interp, NoopObserver};
+use zpl_fusion::prelude::ConfigBinding;
+
+/// Figure 1(a), transliterated: the loop over rows `i` carries the
+/// recurrence; each row is a rank-1 array statement. `D`, `RX`, `RY` hold
+/// the *previous* row's values at the top of each iteration.
+const SOURCE: &str = r#"
+program tridiag;
+
+config m    : int = 64;   -- columns
+config rows : int = 64;   -- rows swept
+
+region ROW = [1..m];
+
+var AA, DD    : [ROW] float;   -- per-row coefficients
+var R         : [ROW] float;   -- the Figure 1 temporary
+var D, RX, RY : [ROW] float;   -- recurrence state (persist across rows)
+
+var i : int;
+var chk : float;
+
+begin
+  [ROW] D  := 1.0;
+  [ROW] RX := index1 * 0.01;
+  [ROW] RY := 0.5;
+
+  for i := 2 to rows do
+    [ROW] AA := 0.1 + 0.1 * rnd(index1 + i * 977.0);
+    [ROW] DD := 2.0 + 0.1 * rnd(index1 * 3.0 + i);
+    [ROW] R  := AA * D;               -- R(i,:) = AA(i,:) * D(i-1,:)
+    [ROW] D  := 1.0 / (DD - AA * R);  -- D(i,:)
+    [ROW] RX := RX - RX * R;          -- Rx(i,:) = Rx(i,:) - Rx(i-1,:)*R(i,:)
+    [ROW] RY := RY - RY * R;
+  end;
+
+  chk := +<< [ROW] D + RX + RY;
+end
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = zpl_fusion::lang::compile(SOURCE)?;
+    println!("Figure 1 — the tridiagonal solver fragment\n");
+
+    for level in [Level::Baseline, Level::C2] {
+        let opt = Pipeline::new(level).optimize(&program);
+        println!("=== {} ===", level);
+        println!(
+            "arrays allocated: {:?}",
+            opt.scalarized
+                .live_arrays()
+                .iter()
+                .map(|&a| opt.norm.program.array(a).name.clone())
+                .collect::<Vec<_>>()
+        );
+        println!("{}", printer::print(&opt.scalarized));
+        let mut interp =
+            Interp::new(&opt.scalarized, ConfigBinding::defaults(&opt.scalarized.program));
+        let stats = interp.run(&mut NoopObserver)?;
+        println!(
+            "chk = {}   peak bytes = {}\n",
+            interp.scalar(opt.scalarized.program.scalar_by_name("chk").unwrap()),
+            stats.peak_bytes
+        );
+    }
+
+    let opt = Pipeline::new(Level::C2).optimize(&program);
+    print!("{}", explain::report(&opt));
+    println!(
+        "\nThe paper: \"temporary array R ... can be viewed as a contracted form of the\n\
+         full array\" — at c2, R became the scalar the Fortran 77 version writes by hand."
+    );
+    Ok(())
+}

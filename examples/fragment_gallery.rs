@@ -1,0 +1,31 @@
+//! Fragment gallery: print every Figure 5 fragment with the loop nests the
+//! full optimizer produces — the quickest way to see fusion, loop
+//! reversal, and contraction on the paper's own test cases.
+//!
+//! ```text
+//! cargo run --example fragment_gallery
+//! ```
+
+use zpl_fusion::fusion::pipeline::{Level, Pipeline};
+use zpl_fusion::loops::printer;
+use zpl_fusion::models::fragments;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for frag in fragments() {
+        println!("======================================================");
+        println!("fragment {} — {}", frag.id, frag.what);
+        println!("======================================================");
+        let program = zpl_fusion::lang::compile(frag.source)?;
+        let base = Pipeline::new(Level::Baseline).optimize(&program);
+        let opt = Pipeline::new(Level::C2F3).optimize(&program);
+        println!("--- unoptimized ({} nests) ---", base.scalarized.nest_count());
+        println!("{}", printer::print(&base.scalarized));
+        println!(
+            "--- c2+f3 ({} nests, contracted {:?}) ---",
+            opt.scalarized.nest_count(),
+            opt.contracted_names()
+        );
+        println!("{}", printer::print(&opt.scalarized));
+    }
+    Ok(())
+}

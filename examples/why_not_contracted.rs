@@ -1,0 +1,27 @@
+//! Why-not-contracted: run every benchmark through `c2` and explain, per
+//! array, whether it contracted and — if not — exactly what blocked it
+//! (live across blocks, carried flow dependence, region mismatch, or a
+//! heavier candidate's fusion claiming the statements first).
+//!
+//! ```text
+//! cargo run --example why_not_contracted [benchmark]
+//! ```
+
+use zpl_fusion::fusion::explain;
+use zpl_fusion::fusion::pipeline::{Level, Pipeline};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let filter = std::env::args().nth(1);
+    for bench in zpl_fusion::workloads::all() {
+        if let Some(f) = &filter {
+            if bench.name != f {
+                continue;
+            }
+        }
+        println!("================ {} ================", bench.name);
+        let opt = Pipeline::new(Level::C2).optimize(&bench.program());
+        print!("{}", explain::report(&opt));
+        println!();
+    }
+    Ok(())
+}

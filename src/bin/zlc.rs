@@ -1,0 +1,247 @@
+//! `zlc` — the zpl-fusion compiler driver.
+//!
+//! Compile a `zlang` program, optimize it at a chosen level, inspect every
+//! intermediate representation, and execute it on a simulated machine.
+//!
+//! ```text
+//! zlc <file.zl> [options]
+//!
+//! options:
+//!   --level <baseline|f1|c1|f2|f3|c2|c2+f3|c2+f4>   (default c2)
+//!   --dimension-contraction       enable lower-dimensional contraction
+//!   --spatial-cap <k>             bound pairwise fusion to k array streams
+//!   --favor-comm                  Section 5.5 favor-communication policy
+//!   --print <ir|loops|asdg|report|source>   what to print (repeatable)
+//!   --run                         execute and print scalars + statistics
+//!   --machine <t3e|sp2|paragon>   simulate on a machine model (with --run)
+//!   --procs <p>                   simulated processors (default 1)
+//!   --set <name=value>            override an integer config (repeatable)
+//! ```
+
+use fusion_core::pipeline::{Level, Pipeline};
+use machine::presets::MachineKind;
+use runtime::{simulate, CommPolicy, ExecConfig};
+use std::process::ExitCode;
+use zlang::ir::ConfigBinding;
+
+struct Options {
+    file: String,
+    level: Level,
+    dimension_contraction: bool,
+    spatial_cap: Option<usize>,
+    favor_comm: bool,
+    prints: Vec<String>,
+    run: bool,
+    machine: Option<MachineKind>,
+    procs: u64,
+    sets: Vec<(String, i64)>,
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("zlc: {msg}");
+    eprintln!(
+        "usage: zlc <file.zl> [--level L] [--dimension-contraction] [--spatial-cap K]\n\
+         \x20          [--favor-comm] [--print ir|loops|asdg|report|source]... [--run]\n\
+         \x20          [--machine t3e|sp2|paragon] [--procs P] [--set name=value]..."
+    );
+    ExitCode::from(2)
+}
+
+fn parse_level(s: &str) -> Option<Level> {
+    Level::all().into_iter().find(|l| l.name() == s)
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        file: String::new(),
+        level: Level::C2,
+        dimension_contraction: false,
+        spatial_cap: None,
+        favor_comm: false,
+        prints: Vec::new(),
+        run: false,
+        machine: None,
+        procs: 1,
+        sets: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--level" => {
+                let v = value("--level")?;
+                opts.level = parse_level(&v).ok_or_else(|| format!("unknown level `{v}`"))?;
+            }
+            "--dimension-contraction" => opts.dimension_contraction = true,
+            "--spatial-cap" => {
+                opts.spatial_cap =
+                    Some(value("--spatial-cap")?.parse().map_err(|_| "bad cap".to_string())?);
+            }
+            "--favor-comm" => opts.favor_comm = true,
+            "--print" => opts.prints.push(value("--print")?),
+            "--run" => opts.run = true,
+            "--machine" => {
+                opts.machine = Some(match value("--machine")?.as_str() {
+                    "t3e" => MachineKind::T3e,
+                    "sp2" => MachineKind::Sp2,
+                    "paragon" => MachineKind::Paragon,
+                    m => return Err(format!("unknown machine `{m}`")),
+                });
+            }
+            "--procs" => {
+                opts.procs = value("--procs")?.parse().map_err(|_| "bad procs".to_string())?;
+            }
+            "--set" => {
+                let v = value("--set")?;
+                let (name, val) =
+                    v.split_once('=').ok_or_else(|| format!("--set wants name=value, got `{v}`"))?;
+                opts.sets.push((
+                    name.to_string(),
+                    val.parse().map_err(|_| format!("bad value in `{v}`"))?,
+                ));
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            file => {
+                if !opts.file.is_empty() {
+                    return Err("more than one input file".to_string());
+                }
+                opts.file = file.to_string();
+            }
+        }
+    }
+    if opts.file.is_empty() {
+        return Err("no input file".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => return usage(&e),
+    };
+
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("zlc: cannot read {}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match zlang::compile(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("zlc: {}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut pipeline = Pipeline::new(opts.level);
+    if opts.dimension_contraction {
+        pipeline = pipeline.with_dimension_contraction();
+    }
+    if let Some(cap) = opts.spatial_cap {
+        pipeline = pipeline.with_spatial_cap(cap);
+    }
+    if opts.favor_comm {
+        pipeline = pipeline.with_forbidden(runtime::comm::favor_comm_pairs);
+    }
+    let opt = pipeline.optimize(&program);
+
+    for what in &opts.prints {
+        match what.as_str() {
+            "ir" => print!("{}", zlang::pretty::program(&program)),
+            "source" => print!("{}", zlang::pretty::source(&program)),
+            "loops" => print!("{}", loopir::printer::print(&opt.scalarized)),
+            "asdg" => {
+                for (bi, block) in opt.norm.blocks.iter().enumerate() {
+                    println!("// block {bi}");
+                    let g = fusion_core::asdg::build(&opt.norm.program, block);
+                    print!("{}", fusion_core::asdg::to_dot(&opt.norm.program, block, &g));
+                }
+            }
+            "report" => {
+                print!("{}", fusion_core::explain::report(&opt));
+                println!(
+                    "arrays: {} -> {} ({} nests; {} defs contracted{})",
+                    opt.report.before(),
+                    opt.report.after(),
+                    opt.report.nests,
+                    opt.report.contracted_defs,
+                    if opt.report.dimension_contracted > 0 {
+                        format!("; {} dimension-contracted", opt.report.dimension_contracted)
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+            other => {
+                eprintln!("zlc: unknown --print target `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if opts.run {
+        let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+        for (name, value) in &opts.sets {
+            if !binding.set_by_name(&opt.scalarized.program, name, *value) {
+                eprintln!("zlc: no config named `{name}`");
+                return ExitCode::FAILURE;
+            }
+        }
+        match opts.machine {
+            None => {
+                let mut interp = loopir::Interp::new(&opt.scalarized, binding);
+                match interp.run(&mut loopir::NoopObserver) {
+                    Ok(stats) => {
+                        for (i, s) in opt.scalarized.program.scalars.iter().enumerate() {
+                            println!("{} = {}", s.name, interp.scalar(zlang::ir::ScalarId(i as u32)));
+                        }
+                        println!(
+                            "-- {} points, {} loads, {} stores, {} flops, peak {} bytes",
+                            stats.points, stats.loads, stats.stores, stats.flops, stats.peak_bytes
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("zlc: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            Some(kind) => {
+                let cfg = ExecConfig {
+                    machine: kind.machine(),
+                    procs: opts.procs,
+                    policy: CommPolicy::default(),
+                };
+                match simulate(&opt.scalarized, binding, &cfg) {
+                    Ok(r) => {
+                        println!(
+                            "{} x{}: {:.3} ms simulated ({:.3} ms compute, {:.3} ms comm, \
+                             {} msgs, {} bytes, {} l1 misses, peak {} bytes)",
+                            kind.name(),
+                            opts.procs,
+                            r.total_ms(),
+                            r.compute_ns / 1e6,
+                            r.comm.effective_ns() / 1e6,
+                            r.comm.messages,
+                            r.comm.bytes,
+                            r.mem.l1_misses,
+                            r.run.peak_bytes,
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("zlc: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,69 @@
+//! # zpl-fusion
+//!
+//! A reproduction of *"The Implementation and Evaluation of Fusion and
+//! Contraction in Array Languages"* (E. C. Lewis, C. Lin, L. Snyder;
+//! PLDI 1998) as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`lang`] — the ZPL-like array language frontend (`zlang`).
+//! * [`fusion`] — the paper's contribution: array-statement normalization,
+//!   unconstrained distance vectors, the array statement dependence graph,
+//!   statement fusion, array contraction, loop-structure search, and
+//!   scalarization (`fusion-core`).
+//! * [`loops`] — the scalarized loop-nest IR, printer, and interpreter
+//!   (`loopir`).
+//! * [`sim`] — the simulated machine: cache simulator and machine cost
+//!   models (`machine`).
+//! * [`par`] — the simulated parallel runtime: block distribution, ghost
+//!   communication, communication optimizations (`runtime`).
+//! * [`models`] — commercial-compiler behavior models and the paper's
+//!   Figure 5 fragments (`compilers`).
+//! * [`workloads`] — the paper's six benchmarks in `zlang` (`benchmarks`).
+//!
+//! # Quick start
+//!
+//! Compile a program, optimize it at the `C2` level (fuse + contract
+//! compiler *and* user arrays — the paper's headline configuration), and
+//! run it:
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use zpl_fusion::prelude::*;
+//!
+//! let src = r#"
+//!     program demo;
+//!     config n : int = 32;
+//!     region R = [1..n, 1..n];
+//!     var A, B, C : [R] float;
+//!     begin
+//!       [R] B := A + A;     -- B is a user temporary...
+//!       [R] C := B * B;     -- ...consumed only here
+//!     end
+//! "#;
+//! let program = zpl_fusion::lang::compile(src)?;
+//! let opt = Pipeline::new(Level::C2).optimize(&program);
+//! // B was contracted: the scalarized code allocates fewer arrays.
+//! assert!(opt.contracted.len() == 1);
+//! let binding = ConfigBinding::defaults(&opt.scalarized.program);
+//! let mut interp = Interp::new(&opt.scalarized, binding);
+//! let stats = interp.run(&mut NoopObserver)?;
+//! assert_eq!(stats.arrays_allocated, 2); // A and C only
+//! # Ok(())
+//! # }
+//! ```
+
+pub use benchmarks as workloads;
+pub use compilers as models;
+pub use fusion_core as fusion;
+pub use loopir as loops;
+pub use machine as sim;
+pub use runtime as par;
+pub use zlang as lang;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use fusion_core::pipeline::{Level, Pipeline};
+    pub use loopir::{Interp, NoopObserver};
+    pub use zlang::ir::ConfigBinding;
+}

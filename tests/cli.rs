@@ -1,0 +1,95 @@
+//! Integration tests for the `zlc` compiler driver.
+
+use std::process::Command;
+
+fn zlc(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_zlc"))
+        .args(args)
+        .output()
+        .expect("zlc runs");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.success(),
+    )
+}
+
+fn program_path(name: &str) -> String {
+    format!("{}/examples/programs/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn compiles_and_runs_heat() {
+    let (stdout, stderr, ok) =
+        zlc(&[&program_path("heat.zl"), "--print", "report", "--run", "--set", "n=16"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("contraction report"), "{stdout}");
+    assert!(stdout.contains("NEW"), "{stdout}");
+    assert!(stdout.contains("err = "), "{stdout}");
+    assert!(stdout.contains("peak"), "{stdout}");
+}
+
+#[test]
+fn dimension_contraction_flag_collapses_sweep() {
+    let (stdout, stderr, ok) = zlc(&[
+        &program_path("sweep.zl"),
+        "--dimension-contraction",
+        "--print",
+        "report",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("contracted to a slice"), "{stdout}");
+}
+
+#[test]
+fn machine_simulation_reports_comm() {
+    let (stdout, stderr, ok) = zlc(&[
+        &program_path("heat.zl"),
+        "--run",
+        "--machine",
+        "t3e",
+        "--procs",
+        "16",
+        "--set",
+        "n=16",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("Cray T3E x16"), "{stdout}");
+    assert!(stdout.contains("msgs"), "{stdout}");
+}
+
+#[test]
+fn print_loops_shows_fused_nests() {
+    let (stdout, _, ok) = zlc(&[&program_path("fragment5.zl"), "--level", "c1", "--print", "loops"]);
+    assert!(ok);
+    assert!(stdout.contains("for i"), "{stdout}");
+    // The offset self-update fuses via loop reversal at c1.
+    assert!(stdout.contains("downto"), "{stdout}");
+}
+
+#[test]
+fn asdg_dot_output() {
+    let (stdout, _, ok) = zlc(&[&program_path("sweep.zl"), "--print", "asdg"]);
+    assert!(ok);
+    assert!(stdout.contains("digraph asdg"), "{stdout}");
+    assert!(stdout.contains("flow"), "{stdout}");
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let (_, stderr, ok) = zlc(&["/nonexistent.zl"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+
+    let (_, stderr, ok) = zlc(&[&program_path("heat.zl"), "--level", "bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown level"), "{stderr}");
+
+    let (_, stderr, ok) = zlc(&[&program_path("heat.zl"), "--run", "--set", "nonesuch=3"]);
+    assert!(!ok);
+    assert!(stderr.contains("no config named"), "{stderr}");
+
+    let (_, stderr, ok) = zlc(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+}

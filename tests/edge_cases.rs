@@ -1,0 +1,135 @@
+//! Edge cases and failure injection across the whole stack.
+
+use zpl_fusion::fusion::pipeline::{Level, Pipeline};
+use zpl_fusion::loops::{Interp, NoopObserver};
+use zpl_fusion::par::{simulate, CommPolicy, ExecConfig};
+use zpl_fusion::prelude::ConfigBinding;
+use zpl_fusion::sim::presets::t3e;
+
+#[test]
+fn empty_program_optimizes_to_nothing() {
+    let p = zlang::compile("program empty; begin end").unwrap();
+    for level in Level::all() {
+        let opt = Pipeline::new(level).optimize(&p);
+        assert_eq!(opt.scalarized.stmts.len(), 0);
+        assert_eq!(opt.report.before(), 0);
+        let mut i = Interp::new(&opt.scalarized, ConfigBinding::defaults(&opt.scalarized.program));
+        let stats = i.run(&mut NoopObserver).unwrap();
+        assert_eq!(stats.points, 0);
+    }
+}
+
+#[test]
+fn scalar_only_program_works() {
+    let p = zlang::compile(
+        "program s; var a, b : float; var k : int; begin \
+         a := 1.5; for k := 1 to 4 do b := b + a * 2.0; end; end",
+    )
+    .unwrap();
+    let opt = Pipeline::new(Level::C2F4).optimize(&p);
+    let mut i = Interp::new(&opt.scalarized, ConfigBinding::defaults(&opt.scalarized.program));
+    i.run(&mut NoopObserver).unwrap();
+    assert_eq!(i.scalar(opt.scalarized.program.scalar_by_name("b").unwrap()), 12.0);
+}
+
+#[test]
+fn minimum_problem_sizes_run() {
+    // Every benchmark at the smallest size its halos allow.
+    for bench in zpl_fusion::workloads::all() {
+        let n = 2;
+        let opt = Pipeline::new(Level::C2).optimize(&bench.program());
+        let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+        binding.set_by_name(&opt.scalarized.program, bench.size_config, n);
+        let mut i = Interp::new(&opt.scalarized, binding);
+        let stats = i
+            .run(&mut NoopObserver)
+            .unwrap_or_else(|e| panic!("{} at n=2: {e}", bench.name));
+        assert!(stats.points > 0, "{}", bench.name);
+    }
+}
+
+#[test]
+fn empty_region_loop_executes_zero_times() {
+    // A region with hi < lo under an override: the nest body must not run.
+    let p = zlang::compile(
+        "program z; config n : int = 4; region R = [2..n]; var A : [R] float; \
+         var s : float; begin [R] A := 1.0; s := +<< [R] A; end",
+    )
+    .unwrap();
+    let opt = Pipeline::new(Level::Baseline).optimize(&p);
+    let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+    binding.set_by_name(&opt.scalarized.program, "n", 1); // 2..1 is empty
+    let mut i = Interp::new(&opt.scalarized, binding);
+    let stats = i.run(&mut NoopObserver).unwrap();
+    assert_eq!(stats.points, 0);
+    assert_eq!(i.scalar(zlang::ir::ScalarId(0)), 0.0, "empty sum is the identity");
+}
+
+#[test]
+fn out_of_region_access_is_reported_not_crashed() {
+    let p = zlang::compile(
+        "program o; config n : int = 4; region R = [1..n]; var A, B : [R] float; \
+         begin [R] B := A@[-1]; end",
+    )
+    .unwrap();
+    let opt = Pipeline::new(Level::Baseline).optimize(&p);
+    let mut i = Interp::new(&opt.scalarized, ConfigBinding::defaults(&opt.scalarized.program));
+    let err = i.run(&mut NoopObserver).unwrap_err();
+    assert!(err.message.contains("halo"), "{err}");
+}
+
+#[test]
+fn dimension_contracted_programs_simulate_in_parallel() {
+    // The Outer construct must flow through the parallel executor and the
+    // cache simulator without disturbing results.
+    let bench = zpl_fusion::workloads::by_name("sp").unwrap();
+    let plain = Pipeline::new(Level::C2).optimize(&bench.program());
+    let dimc = Pipeline::new(Level::C2).with_dimension_contraction().optimize(&bench.program());
+    let run = |opt: &zpl_fusion::fusion::pipeline::Optimized| {
+        let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+        binding.set_by_name(&opt.scalarized.program, "n", 6);
+        let cfg = ExecConfig { machine: t3e(), procs: 8, policy: CommPolicy::default() };
+        simulate(&opt.scalarized, binding, &cfg).unwrap()
+    };
+    let (a, b) = (run(&plain), run(&dimc));
+    assert!(b.run.peak_bytes < a.run.peak_bytes);
+    assert!(b.total_ns > 0.0);
+    // Same arithmetic despite the different schedule.
+    assert_eq!(a.run.flops, b.run.flops);
+}
+
+#[test]
+fn config_overrides_by_name_reject_unknown_names() {
+    let p = zlang::compile("program c; config n : int = 4; begin end").unwrap();
+    let mut binding = ConfigBinding::defaults(&p);
+    assert!(binding.set_by_name(&p, "n", 9));
+    assert!(!binding.set_by_name(&p, "bogus", 1));
+}
+
+#[test]
+fn deeply_nested_control_flow_survives_all_levels() {
+    let p = zlang::compile(
+        "program d; config n : int = 4; region R = [1..n]; var A, B : [R] float; \
+         var s : float; var i : int; var j : int; begin \
+         for i := 1 to 2 do \
+           for j := 1 to 2 do \
+             if s >= 0.0 then [R] A := A + 1.0; [R] B := A; else [R] B := 0.0; end; \
+             s := +<< [R] B; \
+           end; \
+         end; end",
+    )
+    .unwrap();
+    let mut expect = None;
+    for level in Level::all() {
+        let opt = Pipeline::new(level).optimize(&p);
+        let mut i =
+            Interp::new(&opt.scalarized, ConfigBinding::defaults(&opt.scalarized.program));
+        i.run(&mut NoopObserver).unwrap();
+        let s = i.scalar(opt.scalarized.program.scalar_by_name("s").unwrap());
+        match expect {
+            None => expect = Some(s),
+            Some(e) => assert_eq!(s, e, "level {level}"),
+        }
+    }
+    assert_eq!(expect.unwrap(), 16.0, "4 iterations x 4 elements, accumulated A");
+}

@@ -1,0 +1,120 @@
+//! End-to-end semantic equivalence: every benchmark, at every optimization
+//! level, under every machine observer, produces identical results.
+//! Transformations must never change what a program computes — only how.
+
+use zpl_fusion::fusion::pipeline::{Level, Pipeline};
+use zpl_fusion::loops::{Interp, NoopObserver};
+use zpl_fusion::prelude::ConfigBinding;
+use zpl_fusion::sim::MemSim;
+use zpl_fusion::sim::presets::MachineKind;
+
+/// Runs a benchmark at a level and returns all scalar outputs.
+fn outputs(bench: &zpl_fusion::workloads::Benchmark, level: Level, n: i64) -> Vec<f64> {
+    let opt = Pipeline::new(level).optimize(&bench.program());
+    let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+    binding.set_by_name(&opt.scalarized.program, bench.size_config, n);
+    let mut interp = Interp::new(&opt.scalarized, binding);
+    interp.run(&mut NoopObserver).expect("benchmark executes");
+    (0..opt.scalarized.program.scalars.len())
+        .map(|i| interp.scalar(zlang::ir::ScalarId(i as u32)))
+        .collect()
+}
+
+fn test_size(bench: &zpl_fusion::workloads::Benchmark) -> i64 {
+    match bench.rank {
+        1 => 1024,
+        2 => 16,
+        _ => 6,
+    }
+}
+
+#[test]
+fn every_level_preserves_every_benchmark() {
+    for bench in zpl_fusion::workloads::all() {
+        let n = test_size(&bench);
+        let reference = outputs(&bench, Level::Baseline, n);
+        assert!(
+            reference.iter().any(|&v| v != 0.0),
+            "{}: baseline produced all-zero outputs",
+            bench.name
+        );
+        for level in Level::all() {
+            let got = outputs(&bench, level, n);
+            // The named scalars (shared prefix) must agree bit-for-bit;
+            // hidden reduction temporaries may differ in count.
+            let shared = reference.len().min(got.len());
+            assert_eq!(
+                &got[..shared],
+                &reference[..shared],
+                "{} at {level} diverges",
+                bench.name
+            );
+        }
+    }
+}
+
+#[test]
+fn observers_do_not_perturb_results() {
+    // The cache simulator observes the address stream; it must not change
+    // any computed value.
+    let bench = zpl_fusion::workloads::by_name("tomcatv").unwrap();
+    let opt = Pipeline::new(Level::C2).optimize(&bench.program());
+    let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+    binding.set_by_name(&opt.scalarized.program, "n", 12);
+
+    let mut plain = Interp::new(&opt.scalarized, binding.clone());
+    plain.run(&mut NoopObserver).unwrap();
+
+    for kind in MachineKind::all() {
+        let m = kind.machine();
+        let mut sim = MemSim::new(m.l1, m.l2);
+        let mut observed = Interp::new(&opt.scalarized, binding.clone());
+        observed.run(&mut sim).unwrap();
+        for i in 0..opt.scalarized.program.scalars.len() {
+            let id = zlang::ir::ScalarId(i as u32);
+            assert_eq!(plain.scalar(id), observed.scalar(id), "{}", kind.name());
+        }
+        assert!(sim.stats().accesses > 0, "the observer actually saw traffic");
+    }
+}
+
+#[test]
+fn problem_size_override_changes_work_not_semantics_shape() {
+    let bench = zpl_fusion::workloads::by_name("frac").unwrap();
+    let opt = Pipeline::new(Level::C2).optimize(&bench.program());
+    let run = |n: i64| {
+        let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+        binding.set_by_name(&opt.scalarized.program, "n", n);
+        let mut i = Interp::new(&opt.scalarized, binding);
+        let stats = i.run(&mut NoopObserver).unwrap();
+        (stats.points, i.scalar(opt.scalarized.program.scalar_by_name("area").unwrap()))
+    };
+    let (pts16, area16) = run(16);
+    let (pts32, area32) = run(32);
+    assert!(pts32 > pts16 * 3, "work scales ~quadratically");
+    // Interior fraction is roughly resolution-independent.
+    let f16 = area16 / (16.0 * 16.0);
+    let f32 = area32 / (32.0 * 32.0);
+    assert!((f16 - f32).abs() < 0.15, "interior fraction {f16} vs {f32}");
+}
+
+#[test]
+fn favor_comm_policy_is_also_semantics_preserving() {
+    use zpl_fusion::par::comm::favor_comm_pairs;
+    for bench in zpl_fusion::workloads::all() {
+        let n = test_size(&bench);
+        let program = bench.program();
+        let ff = Pipeline::new(Level::C2F3).optimize(&program);
+        let fc = Pipeline::new(Level::C2F3).with_forbidden(favor_comm_pairs).optimize(&program);
+        let run = |opt: &zpl_fusion::fusion::pipeline::Optimized| {
+            let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+            binding.set_by_name(&opt.scalarized.program, bench.size_config, n);
+            let mut i = Interp::new(&opt.scalarized, binding);
+            i.run(&mut NoopObserver).unwrap();
+            (0..opt.scalarized.program.scalars.len())
+                .map(|k| i.scalar(zlang::ir::ScalarId(k as u32)))
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(run(&ff), run(&fc), "{}", bench.name);
+    }
+}
