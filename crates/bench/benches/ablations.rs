@@ -5,16 +5,17 @@
 //! * collective (weighted) vs greedy pairwise fusion,
 //! * the contribution of each communication optimization.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fusion_core::asdg;
 use fusion_core::fusion::{FusionCtx, Partition};
 use fusion_core::loopstruct::find_loop_structure;
 use fusion_core::normal::normalize;
 use fusion_core::pipeline::{Level, Pipeline};
 use fusion_core::Udv;
+use loopir::Engine;
 use machine::presets::t3e;
 use runtime::{simulate, CommPolicy, ExecConfig};
 use std::hint::black_box;
+use testkit::{bench, report};
 use zlang::ir::ConfigBinding;
 
 /// A synthetic wide block: a chain of k statements B_i := B_{i-1} + 1.
@@ -36,50 +37,41 @@ fn chain_program(k: usize) -> zlang::ir::Program {
     zlang::compile(&src).unwrap()
 }
 
-fn bench_loopstruct(c: &mut Criterion) {
-    let mut g = c.benchmark_group("find_loop_structure");
+fn bench_loopstruct() {
     for ndeps in [2usize, 8, 32, 128] {
         // Alternating legal dependences of rank 3.
         let deps: Vec<Udv> = (0..ndeps)
             .map(|i| Udv(vec![(i % 3) as i64, -((i % 2) as i64), 1]))
             .collect();
-        g.bench_with_input(BenchmarkId::from_parameter(ndeps), &deps, |b, deps| {
-            b.iter(|| find_loop_structure(black_box(deps), 3))
-        });
+        let t = bench(10, 100, || find_loop_structure(black_box(&deps), 3));
+        report(&format!("find_loop_structure/{ndeps}"), &t);
     }
-    g.finish();
 }
 
-fn bench_fusion_strategies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fusion_strategy");
+fn bench_fusion_strategies() {
     for k in [8usize, 32, 64] {
         let p = chain_program(k);
-        g.bench_function(format!("collective_c2/chain{k}"), |b| {
-            b.iter(|| Pipeline::new(Level::C2).optimize(black_box(&p)))
-        });
-        g.bench_function(format!("pairwise_f4/chain{k}"), |b| {
-            b.iter(|| Pipeline::new(Level::C2F4).optimize(black_box(&p)))
-        });
+        let t = bench(2, 20, || Pipeline::new(Level::C2).optimize(black_box(&p)));
+        report(&format!("fusion_strategy/collective_c2/chain{k}"), &t);
+        let t = bench(2, 20, || Pipeline::new(Level::C2F4).optimize(black_box(&p)));
+        report(&format!("fusion_strategy/pairwise_f4/chain{k}"), &t);
         let np = normalize(&p);
-        g.bench_function(format!("asdg_build/chain{k}"), |b| {
-            b.iter(|| asdg::build(black_box(&np.program), black_box(&np.blocks[0])))
+        let t = bench(2, 20, || {
+            asdg::build(black_box(&np.program), black_box(&np.blocks[0]))
         });
+        report(&format!("fusion_strategy/asdg_build/chain{k}"), &t);
         let gph = asdg::build(&np.program, &np.blocks[0]);
-        g.bench_function(format!("pairwise_raw/chain{k}"), |b| {
-            b.iter(|| {
-                let ctx = FusionCtx::new(&np.program, &np.blocks[0], &gph);
-                let mut part = Partition::trivial(gph.n);
-                ctx.pairwise_fusion(&mut part);
-                part.len()
-            })
+        let t = bench(2, 20, || {
+            let ctx = FusionCtx::new(&np.program, &np.blocks[0], &gph);
+            let mut part = Partition::trivial(gph.n);
+            ctx.pairwise_fusion(&mut part);
+            part.len()
         });
+        report(&format!("fusion_strategy/pairwise_raw/chain{k}"), &t);
     }
-    g.finish();
 }
 
-fn bench_comm_opts(c: &mut Criterion) {
-    let mut g = c.benchmark_group("comm_optimizations");
-    g.sample_size(10);
+fn bench_comm_opts() {
     let b = benchmarks::by_name("simple").unwrap();
     let opt = Pipeline::new(Level::C2F3).optimize(&b.program());
     let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
@@ -87,46 +79,59 @@ fn bench_comm_opts(c: &mut Criterion) {
     let policies = [
         ("all", CommPolicy::default()),
         ("none", CommPolicy::none()),
-        ("no_pipelining", CommPolicy { pipelining: false, ..CommPolicy::default() }),
-        ("no_redundancy", CommPolicy { redundancy_elim: false, ..CommPolicy::default() }),
+        (
+            "no_pipelining",
+            CommPolicy {
+                pipelining: false,
+                ..CommPolicy::default()
+            },
+        ),
+        (
+            "no_redundancy",
+            CommPolicy {
+                redundancy_elim: false,
+                ..CommPolicy::default()
+            },
+        ),
     ];
     for (name, policy) in policies {
-        g.bench_function(format!("simple/{name}"), |bb| {
-            bb.iter(|| {
-                let cfg = ExecConfig { machine: t3e(), procs: 16, policy };
-                simulate(black_box(&opt.scalarized), binding.clone(), &cfg).unwrap().total_ns
-            })
+        let t = bench(1, 10, || {
+            let cfg = ExecConfig {
+                machine: t3e(),
+                procs: 16,
+                policy,
+                engine: Engine::default(),
+            };
+            simulate(black_box(&opt.scalarized), binding.clone(), &cfg)
+                .unwrap()
+                .total_ns
         });
+        report(&format!("comm_optimizations/simple/{name}"), &t);
     }
-    g.finish();
 }
 
-fn bench_extensions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("extensions");
-    g.sample_size(10);
+fn bench_extensions() {
     let sp = benchmarks::by_name("sp").unwrap().program();
-    g.bench_function("c2/sp", |b| {
-        b.iter(|| Pipeline::new(Level::C2).optimize(black_box(&sp)))
+    let t = bench(1, 10, || Pipeline::new(Level::C2).optimize(black_box(&sp)));
+    report("extensions/c2/sp", &t);
+    let t = bench(1, 10, || {
+        Pipeline::new(Level::C2)
+            .with_dimension_contraction()
+            .optimize(black_box(&sp))
     });
-    g.bench_function("c2+dimension_contraction/sp", |b| {
-        b.iter(|| {
-            Pipeline::new(Level::C2)
-                .with_dimension_contraction()
-                .optimize(black_box(&sp))
-        })
-    });
+    report("extensions/c2+dimension_contraction/sp", &t);
     let fibro = benchmarks::by_name("fibro").unwrap().program();
-    g.bench_function("c2f4_capped/fibro", |b| {
-        b.iter(|| Pipeline::new(Level::C2F4).with_spatial_cap(4).optimize(black_box(&fibro)))
+    let t = bench(1, 10, || {
+        Pipeline::new(Level::C2F4)
+            .with_spatial_cap(4)
+            .optimize(black_box(&fibro))
     });
-    g.finish();
+    report("extensions/c2f4_capped/fibro", &t);
 }
 
-criterion_group!(
-    benches,
-    bench_loopstruct,
-    bench_fusion_strategies,
-    bench_comm_opts,
-    bench_extensions
-);
-criterion_main!(benches);
+fn main() {
+    bench_loopstruct();
+    bench_fusion_strategies();
+    bench_comm_opts();
+    bench_extensions();
+}

@@ -1,26 +1,25 @@
-//! Criterion bench for the Figure 10 experiment: simulated execution on
-//! the IBM SP-2 model, every level at p = 16, one representative benchmark
-//! per rank.
+//! Bench for the Figure 10 experiment: simulated execution on the IBM SP-2
+//! model, every level at p = 16, one representative benchmark per rank.
 
 use bench::perf;
-use criterion::{criterion_group, criterion_main, Criterion};
+use loopir::Engine;
 use machine::presets::sp2;
+use testkit::{bench, report};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let m = sp2();
-    let mut g = c.benchmark_group("fig10_sp2");
-    g.sample_size(10);
     for name in ["ep", "tomcatv", "sp"] {
         let b = benchmarks::by_name(name).unwrap();
-        let block = if b.rank == 1 { 2048 } else if b.rank == 2 { 24 } else { 8 };
+        let block = match b.rank {
+            1 => 2048,
+            2 => 24,
+            _ => 8,
+        };
         for level in perf::PLOT_LEVELS {
-            g.bench_function(format!("{}/{}/p16", b.name, level.name()), |bb| {
-                bb.iter(|| perf::run(&b, level, &m, 16, block))
+            let t = bench(1, 10, || {
+                perf::run(&b, level, &m, 16, block, Engine::default())
             });
+            report(&format!("fig10_sp2/{}/{}/p16", b.name, level.name()), &t);
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,27 +1,26 @@
-//! Criterion bench for the Figure 11 experiment: simulated execution on
-//! the Intel Paragon model (tiny cache — the machine where contraction's
-//! cache effects are largest), baseline vs. c2 vs. c2+f4 across processor
+//! Bench for the Figure 11 experiment: simulated execution on the Intel
+//! Paragon model (tiny cache — the machine where contraction's cache
+//! effects are largest), baseline vs. c2 vs. c2+f4 across processor
 //! counts.
 
 use bench::perf;
-use criterion::{criterion_group, criterion_main, Criterion};
 use fusion_core::pipeline::Level;
+use loopir::Engine;
 use machine::presets::paragon;
+use testkit::{bench, report};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let m = paragon();
-    let mut g = c.benchmark_group("fig11_paragon");
-    g.sample_size(10);
     let b = benchmarks::by_name("simple").unwrap();
     for procs in [1u64, 4, 16, 64] {
         for level in [Level::Baseline, Level::C2, Level::C2F4] {
-            g.bench_function(format!("simple/{}/p{}", level.name(), procs), |bb| {
-                bb.iter(|| perf::run(&b, level, &m, procs, 24))
+            let t = bench(1, 10, || {
+                perf::run(&b, level, &m, procs, 24, Engine::default())
             });
+            report(
+                &format!("fig11_paragon/simple/{}/p{}", level.name(), procs),
+                &t,
+            );
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,21 +1,18 @@
-//! Criterion bench for the Figure 6 experiment: time to evaluate each
-//! Figure 5 fragment under the full (ZPL) model, and the whole matrix.
+//! Bench for the Figure 6 experiment: time to evaluate each Figure 5
+//! fragment under the full (ZPL) model, and the whole matrix.
 
 use compilers::{fragments, matrix, zpl};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use testkit::{bench, report};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6");
+fn main() {
     for f in fragments() {
         let model = zpl();
-        g.bench_function(format!("evaluate{}", f.id), |b| {
-            b.iter(|| matrix::evaluate(black_box(&model), black_box(&f)))
+        let t = bench(10, 100, || {
+            matrix::evaluate(black_box(&model), black_box(&f))
         });
+        report(&format!("fig6/evaluate{}", f.id), &t);
     }
-    g.bench_function("behavior_matrix", |b| b.iter(matrix::behavior_matrix));
-    g.finish();
+    let t = bench(3, 20, matrix::behavior_matrix);
+    report("fig6/behavior_matrix", &t);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,25 +1,22 @@
-//! Criterion bench for the Figure 7 experiment: the array-level optimizer
+//! Bench for the Figure 7 experiment: the array-level optimizer
 //! (normalize + ASDG + fuse + contract + scalarize) on each benchmark.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fusion_core::pipeline::{Level, Pipeline};
 use std::hint::black_box;
+use testkit::{bench, report};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_optimize");
+fn main() {
     for b in benchmarks::all() {
         let program = b.program();
-        g.bench_function(format!("c2/{}", b.name), |bench| {
-            bench.iter(|| Pipeline::new(Level::C2).optimize(black_box(&program)))
+        let t = bench(3, 30, || {
+            Pipeline::new(Level::C2).optimize(black_box(&program))
         });
+        report(&format!("fig7_optimize/c2/{}", b.name), &t);
     }
     // Baseline (no fusion) as the reference optimizer cost.
     let sp = benchmarks::by_name("sp").unwrap().program();
-    g.bench_function("baseline/sp", |bench| {
-        bench.iter(|| Pipeline::new(Level::Baseline).optimize(black_box(&sp)))
+    let t = bench(3, 30, || {
+        Pipeline::new(Level::Baseline).optimize(black_box(&sp))
     });
-    g.finish();
+    report("fig7_optimize/baseline/sp", &t);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

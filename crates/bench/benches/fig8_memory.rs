@@ -1,27 +1,22 @@
-//! Criterion bench for the Figure 8 experiment: the fixed-memory
-//! maximum-problem-size search over the allocation footprint.
+//! Bench for the Figure 8 experiment: the fixed-memory maximum-problem-size
+//! search over the allocation footprint.
 
 use bench::fig8;
-use criterion::{criterion_group, criterion_main, Criterion};
 use fusion_core::pipeline::{Level, Pipeline};
 use machine::memory::max_problem_size;
 use std::hint::black_box;
+use testkit::{bench, report};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8");
+fn main() {
     for b in benchmarks::all() {
         let opt = Pipeline::new(Level::C2).optimize(&b.program());
-        g.bench_function(format!("max_problem_size/{}", b.name), |bb| {
-            bb.iter(|| {
-                max_problem_size(2, 1 << 20, 256 << 20, |n| {
-                    fig8::footprint_bytes(black_box(&opt.scalarized), b.size_config, n as i64)
-                })
+        let t = bench(3, 30, || {
+            max_problem_size(2, 1 << 20, 256 << 20, |n| {
+                fig8::footprint_bytes(black_box(&opt.scalarized), b.size_config, n as i64)
             })
         });
+        report(&format!("fig8/max_problem_size/{}", b.name), &t);
     }
-    g.bench_function("rows/32MB", |bb| bb.iter(|| fig8::rows(black_box(32 << 20))));
-    g.finish();
+    let t = bench(1, 10, || fig8::rows(black_box(32 << 20)));
+    report("fig8/rows/32MB", &t);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,25 +1,25 @@
-//! Criterion bench for the Figure 9 experiment: simulated execution on the
-//! Cray T3E model, baseline vs. c2, per benchmark.
+//! Bench for the Figure 9 experiment: simulated execution on the Cray T3E
+//! model, baseline vs. c2, per benchmark.
 
 use bench::perf;
-use criterion::{criterion_group, criterion_main, Criterion};
 use fusion_core::pipeline::Level;
+use loopir::Engine;
 use machine::presets::t3e;
+use testkit::{bench, report};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let m = t3e();
-    let mut g = c.benchmark_group("fig9_t3e");
-    g.sample_size(10);
     for b in benchmarks::all() {
-        let block = if b.rank == 1 { 2048 } else if b.rank == 2 { 24 } else { 8 };
+        let block = match b.rank {
+            1 => 2048,
+            2 => 24,
+            _ => 8,
+        };
         for level in [Level::Baseline, Level::C2] {
-            g.bench_function(format!("{}/{}/p16", b.name, level.name()), |bb| {
-                bb.iter(|| perf::run(&b, level, &m, 16, block))
+            let t = bench(1, 10, || {
+                perf::run(&b, level, &m, 16, block, Engine::default())
             });
+            report(&format!("fig9_t3e/{}/{}/p16", b.name, level.name()), &t);
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

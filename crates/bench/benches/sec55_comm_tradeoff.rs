@@ -1,12 +1,13 @@
-//! Criterion bench for the Section 5.5 experiment: the favor-fusion vs
+//! Bench for the Section 5.5 experiment: the favor-fusion vs
 //! favor-communication pipelines (optimize + simulate) on the
 //! communication-sensitive benchmarks.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fusion_core::pipeline::{Level, Pipeline};
+use loopir::Engine;
 use machine::presets::t3e;
 use runtime::comm::favor_comm_pairs;
 use runtime::{simulate, CommPolicy, ExecConfig};
+use testkit::{bench, report};
 use zlang::ir::ConfigBinding;
 
 fn run(bench_name: &str, favor_comm: bool) -> f64 {
@@ -20,19 +21,20 @@ fn run(bench_name: &str, favor_comm: bool) -> f64 {
     let opt = pipeline.optimize(&program);
     let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
     binding.set_by_name(&opt.scalarized.program, b.size_config, 24);
-    let cfg = ExecConfig { machine: t3e(), procs: 16, policy: CommPolicy::default() };
+    let cfg = ExecConfig {
+        machine: t3e(),
+        procs: 16,
+        policy: CommPolicy::default(),
+        engine: Engine::default(),
+    };
     simulate(&opt.scalarized, binding, &cfg).unwrap().total_ns
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sec55");
-    g.sample_size(10);
+fn main() {
     for name in ["simple", "tomcatv", "fibro"] {
-        g.bench_function(format!("{name}/favor_fusion"), |bb| bb.iter(|| run(name, false)));
-        g.bench_function(format!("{name}/favor_comm"), |bb| bb.iter(|| run(name, true)));
+        let t = bench(1, 10, || run(name, false));
+        report(&format!("sec55/{name}/favor_fusion"), &t);
+        let t = bench(1, 10, || run(name, true));
+        report(&format!("sec55/{name}/favor_comm"), &t);
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

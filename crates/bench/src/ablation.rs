@@ -10,6 +10,7 @@
 
 use crate::table::{pct, Table};
 use fusion_core::pipeline::{Level, Pipeline};
+use loopir::Engine;
 use machine::presets::Machine;
 use runtime::{simulate, CommPolicy, ExecConfig, SimResult};
 use zlang::ir::ConfigBinding;
@@ -47,42 +48,70 @@ impl AblationRow {
     }
 }
 
-fn run(bench: &benchmarks::Benchmark, machine: &Machine, cap: Option<usize>) -> SimResult {
+fn run(
+    bench: &benchmarks::Benchmark,
+    machine: &Machine,
+    cap: Option<usize>,
+    engine: Engine,
+) -> SimResult {
     let pipeline = match cap {
         Some(k) => Pipeline::new(Level::C2F4).with_spatial_cap(k),
         None => Pipeline::new(Level::C2F4),
     };
     let opt = pipeline.optimize(&bench.program());
     let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
-    binding.set_by_name(&opt.scalarized.program, bench.size_config, crate::perf::block_size(bench));
-    let cfg = ExecConfig { machine: machine.clone(), procs: 16, policy: CommPolicy::default() };
+    binding.set_by_name(
+        &opt.scalarized.program,
+        bench.size_config,
+        crate::perf::block_size(bench),
+    );
+    let cfg = ExecConfig {
+        machine: machine.clone(),
+        procs: 16,
+        policy: CommPolicy::default(),
+        engine,
+    };
     simulate(&opt.scalarized, binding, &cfg).unwrap()
 }
 
-fn run_level(bench: &benchmarks::Benchmark, machine: &Machine, level: Level) -> SimResult {
+fn run_level(
+    bench: &benchmarks::Benchmark,
+    machine: &Machine,
+    level: Level,
+    engine: Engine,
+) -> SimResult {
     let opt = Pipeline::new(level).optimize(&bench.program());
     let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
-    binding.set_by_name(&opt.scalarized.program, bench.size_config, crate::perf::block_size(bench));
-    let cfg = ExecConfig { machine: machine.clone(), procs: 16, policy: CommPolicy::default() };
+    binding.set_by_name(
+        &opt.scalarized.program,
+        bench.size_config,
+        crate::perf::block_size(bench),
+    );
+    let cfg = ExecConfig {
+        machine: machine.clone(),
+        procs: 16,
+        policy: CommPolicy::default(),
+        engine,
+    };
     simulate(&opt.scalarized, binding, &cfg).unwrap()
 }
 
 /// Runs the ablation for every benchmark on one machine.
-pub fn rows(machine: &Machine) -> Vec<AblationRow> {
+pub fn rows(machine: &Machine, engine: Engine) -> Vec<AblationRow> {
     let cap = stream_cap(machine);
     benchmarks::all()
         .iter()
         .map(|b| AblationRow {
             name: b.name,
-            c2f3_ns: run_level(b, machine, Level::C2F3).total_ns,
-            f4_ns: run(b, machine, None).total_ns,
-            f4_capped_ns: run(b, machine, Some(cap)).total_ns,
+            c2f3_ns: run_level(b, machine, Level::C2F3, engine).total_ns,
+            f4_ns: run(b, machine, None, engine).total_ns,
+            f4_capped_ns: run(b, machine, Some(cap), engine).total_ns,
         })
         .collect()
 }
 
 /// Renders the ablation table.
-pub fn report(machine: &Machine) -> String {
+pub fn report(machine: &Machine, engine: Engine) -> String {
     let cap = stream_cap(machine);
     let mut t = Table::new(&[
         "application",
@@ -92,7 +121,7 @@ pub fn report(machine: &Machine) -> String {
         "f4 regression",
         "recovered",
     ]);
-    for r in rows(machine) {
+    for r in rows(machine, engine) {
         let reg = 100.0 * (r.f4_ns - r.c2f3_ns) / r.c2f3_ns;
         t.row(vec![
             r.name.to_string(),
@@ -100,7 +129,11 @@ pub fn report(machine: &Machine) -> String {
             format!("{:.3}", r.f4_ns / 1e6),
             format!("{:.3}", r.f4_capped_ns / 1e6),
             pct(reg),
-            if reg > 0.5 { format!("{:.0}%", 100.0 * r.recovery()) } else { "-".into() },
+            if reg > 0.5 {
+                format!("{:.0}%", 100.0 * r.recovery())
+            } else {
+                "-".into()
+            },
         ]);
     }
     format!(
@@ -113,8 +146,8 @@ pub fn report(machine: &Machine) -> String {
 
 /// Dimension-contraction ablation: memory footprint of `c2` with and
 /// without the lower-dimensional contraction extension, per benchmark.
-pub fn dimension_report() -> String {
-    use loopir::{Interp, NoopObserver};
+pub fn dimension_report(engine: Engine) -> String {
+    use loopir::NoopObserver;
     let mut t = Table::new(&[
         "application",
         "peak bytes (c2)",
@@ -130,13 +163,19 @@ pub fn dimension_report() -> String {
                 b.size_config,
                 crate::perf::block_size(&b),
             );
-            let mut i = Interp::new(&opt.scalarized, binding);
-            i.run(&mut NoopObserver).unwrap().peak_bytes
+            let mut exec = engine.executor(&opt.scalarized, binding).unwrap();
+            exec.execute(&mut NoopObserver).unwrap().stats.peak_bytes
         };
         let plain = Pipeline::new(Level::C2).optimize(&b.program());
-        let dimc = Pipeline::new(Level::C2).with_dimension_contraction().optimize(&b.program());
+        let dimc = Pipeline::new(Level::C2)
+            .with_dimension_contraction()
+            .optimize(&b.program());
         let (mp, md) = (mem(&plain), mem(&dimc));
-        let saved = if mp == 0 { 0.0 } else { 100.0 * (mp - md) as f64 / mp as f64 };
+        let saved = if mp == 0 {
+            0.0
+        } else {
+            100.0 * (mp - md) as f64 / mp as f64
+        };
         t.row(vec![
             b.name.to_string(),
             mp.to_string(),
@@ -163,7 +202,7 @@ mod tests {
         // benchmark must regress, and the cap must claw back a meaningful
         // part of that loss.
         let m = t3e();
-        let rs = rows(&m);
+        let rs = rows(&m, Engine::default());
         let worst = rs
             .iter()
             .max_by(|a, b| {
@@ -191,7 +230,7 @@ mod tests {
         // Wherever arbitrary fusion HELPS, the cap must not destroy the
         // benefit relative to c2+f3.
         let m = t3e();
-        for r in rows(&m) {
+        for r in rows(&m, Engine::default()) {
             assert!(
                 r.f4_capped_ns < r.c2f3_ns * 1.06,
                 "{}: capped f4 must stay close to or better than c2+f3: {} vs {}",

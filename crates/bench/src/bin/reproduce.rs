@@ -3,17 +3,24 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce fig6|fig7|fig8|fig9|fig10|fig11|sec55|all [--quick]
+//! reproduce fig6|fig7|fig8|fig9|fig10|fig11|sec55|ablation|all [--quick] [--engine interp|vm]
 //! ```
 //!
 //! `--quick` reduces the processor sweep (figures 9–11) to p ∈ {1, 16}.
+//! `--engine` selects the scalarized-program execution engine (default:
+//! the bytecode VM; `interp` runs the reference tree-walking interpreter —
+//! the results are identical, only wall-clock reproduction time differs).
 
 use bench::{fig6, fig7, fig8, perf, sec55};
 use fusion_core::pipeline::Level;
+use loopir::Engine;
 use machine::presets::MachineKind;
 
 fn usage() -> ! {
-    eprintln!("usage: reproduce <fig6|fig7|fig8|fig9|fig10|fig11|sec55|ablation|all> [--quick]");
+    eprintln!(
+        "usage: reproduce <fig6|fig7|fig8|fig9|fig10|fig11|sec55|ablation|all> \
+         [--quick] [--engine interp|vm]"
+    );
     std::process::exit(2);
 }
 
@@ -23,11 +30,22 @@ fn main() {
         usage();
     }
     let quick = args.iter().any(|a| a == "--quick");
-    let procs: Vec<u64> = if quick { vec![1, 16] } else { perf::PROCS.to_vec() };
+    let engine = match args.iter().position(|a| a == "--engine") {
+        None => Engine::default(),
+        Some(i) => match args.get(i + 1).map(|v| v.parse()) {
+            Some(Ok(e)) => e,
+            _ => usage(),
+        },
+    };
+    let procs: Vec<u64> = if quick {
+        vec![1, 16]
+    } else {
+        perf::PROCS.to_vec()
+    };
     let levels: Vec<Level> = perf::PLOT_LEVELS.to_vec();
 
     let run_fig = |kind: MachineKind| {
-        println!("{}", perf::report(kind, &levels, &procs));
+        println!("{}", perf::report(kind, &levels, &procs, engine));
     };
     match args[0].as_str() {
         "fig6" => println!("{}", fig6::report()),
@@ -39,9 +57,9 @@ fn main() {
         "sec55" => println!("{}", sec55::report(16)),
         "ablation" => {
             for kind in MachineKind::all() {
-                println!("{}", bench::ablation::report(&kind.machine()));
+                println!("{}", bench::ablation::report(&kind.machine(), engine));
             }
-            println!("{}", bench::ablation::dimension_report());
+            println!("{}", bench::ablation::dimension_report(engine));
         }
         "all" => {
             println!("{}", fig6::report());
@@ -52,9 +70,9 @@ fn main() {
             run_fig(MachineKind::Paragon);
             println!("{}", sec55::report(16));
             for kind in MachineKind::all() {
-                println!("{}", bench::ablation::report(&kind.machine()));
+                println!("{}", bench::ablation::report(&kind.machine(), engine));
             }
-            println!("{}", bench::ablation::dimension_report());
+            println!("{}", bench::ablation::dimension_report(engine));
         }
         _ => usage(),
     }

@@ -48,13 +48,19 @@ pub fn report() -> String {
         };
         t.row(vec![
             r.bench.name.to_string(),
-            format!("{} ({}/{})", r.ours.before(), r.ours.compiler_before, r.ours.user_before),
+            format!(
+                "{} ({}/{})",
+                r.ours.before(),
+                r.ours.compiler_before,
+                r.ours.user_before
+            ),
             format!("{}", r.ours.after()),
             pct(r.ours.percent_change()),
             format!("{} ({}/{})", paper_before, p.static_compiler, p.static_user),
             format!("{}", p.static_after),
             pct(paper_pct),
-            p.scalar_equivalent.map_or("n/a".to_string(), |s| s.to_string()),
+            p.scalar_equivalent
+                .map_or("n/a".to_string(), |s| s.to_string()),
         ]);
     }
     format!(

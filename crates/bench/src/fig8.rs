@@ -23,7 +23,12 @@ pub fn footprint_bytes(sp: &ScalarProgram, size_config: &str, n: i64) -> u64 {
     binding.set_by_name(&sp.program, size_config, n);
     sp.live_arrays()
         .iter()
-        .map(|&a| sp.program.region(sp.program.array(a).region).size(&binding).saturating_mul(8))
+        .map(|&a| {
+            sp.program
+                .region(sp.program.array(a).region)
+                .size(&binding)
+                .saturating_mul(8)
+        })
         .fold(0u64, u64::saturating_add)
 }
 
@@ -110,7 +115,11 @@ pub fn report() -> String {
         "Figure 8 — maximum problem size in fixed node memory (measured via allocation footprint)\n",
     );
     for m in [t3e(), sp2()] {
-        out.push_str(&format!("\n{} ({} MB/node):\n", m.name, m.node_memory >> 20));
+        out.push_str(&format!(
+            "\n{} ({} MB/node):\n",
+            m.name,
+            m.node_memory >> 20
+        ));
         let mut t = Table::new(&[
             "application",
             "l_b",
@@ -123,7 +132,8 @@ pub fn report() -> String {
             "paper dim%",
         ]);
         for r in rows(m.node_memory) {
-            let paper_pred = predicted_percent_change(r.bench.paper.live_before, r.bench.paper.live_after);
+            let paper_pred =
+                predicted_percent_change(r.bench.paper.live_before, r.bench.paper.live_after);
             t.row(vec![
                 r.bench.name.to_string(),
                 r.live_before.to_string(),
@@ -151,7 +161,11 @@ mod tests {
         let ep = rows.iter().find(|r| r.bench.name == "ep").unwrap();
         assert_eq!(ep.live_after, 0);
         assert_eq!(ep.predicted, f64::INFINITY);
-        assert_eq!(ep.max_n_after, Some(SEARCH_HI), "search saturates: memory is constant");
+        assert_eq!(
+            ep.max_n_after,
+            Some(SEARCH_HI),
+            "search saturates: memory is constant"
+        );
     }
 
     #[test]

@@ -8,14 +8,22 @@
 use crate::table::{pct, Table};
 use benchmarks::Benchmark;
 use fusion_core::pipeline::{Level, Pipeline};
+use loopir::Engine;
 use machine::presets::{Machine, MachineKind};
 use runtime::{simulate, CommPolicy, ExecConfig, SimResult};
 use zlang::ir::ConfigBinding;
 
 /// The transformation levels plotted in the figures (baseline excluded —
 /// it is the reference).
-pub const PLOT_LEVELS: [Level; 7] =
-    [Level::F1, Level::C1, Level::F2, Level::F3, Level::C2, Level::C2F3, Level::C2F4];
+pub const PLOT_LEVELS: [Level; 7] = [
+    Level::F1,
+    Level::C1,
+    Level::F2,
+    Level::F3,
+    Level::C2,
+    Level::C2F3,
+    Level::C2F4,
+];
 
 /// Processor counts used in the figures.
 pub const PROCS: [u64; 4] = [1, 4, 16, 64];
@@ -36,12 +44,23 @@ pub fn block_size(bench: &Benchmark) -> i64 {
 ///
 /// Panics if the benchmark fails to execute (a bug in the embedded
 /// sources, covered by the `benchmarks` tests).
-pub fn run(bench: &Benchmark, level: Level, machine: &Machine, procs: u64, block: i64) -> SimResult {
+pub fn run(
+    bench: &Benchmark,
+    level: Level,
+    machine: &Machine,
+    procs: u64,
+    block: i64,
+    engine: Engine,
+) -> SimResult {
     let opt = Pipeline::new(level).optimize(&bench.program());
     let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
     binding.set_by_name(&opt.scalarized.program, bench.size_config, block);
-    let cfg =
-        ExecConfig { machine: machine.clone(), procs, policy: CommPolicy::default() };
+    let cfg = ExecConfig {
+        machine: machine.clone(),
+        procs,
+        policy: CommPolicy::default(),
+        engine,
+    };
     simulate(&opt.scalarized, binding, &cfg)
         .unwrap_or_else(|e| panic!("{} at {level} on {}: {e}", bench.name, machine.name))
 }
@@ -85,12 +104,13 @@ pub fn series(
     levels: &[Level],
     procs: &[u64],
     block: i64,
+    engine: Engine,
 ) -> PerfSeries {
     let mut points = Vec::new();
     for &p in procs {
-        let base = run(bench, Level::Baseline, machine, p, block);
+        let base = run(bench, Level::Baseline, machine, p, block, engine);
         for &level in levels {
-            let r = run(bench, level, machine, p, block);
+            let r = run(bench, level, machine, p, block, engine);
             points.push(PerfPoint {
                 level,
                 procs: p,
@@ -99,11 +119,14 @@ pub fn series(
             });
         }
     }
-    PerfSeries { bench: *bench, points }
+    PerfSeries {
+        bench: *bench,
+        points,
+    }
 }
 
 /// Renders one machine's figure (Figure 9 = T3E, 10 = SP-2, 11 = Paragon).
-pub fn report(kind: MachineKind, levels: &[Level], procs: &[u64]) -> String {
+pub fn report(kind: MachineKind, levels: &[Level], procs: &[u64], engine: Engine) -> String {
     let machine = kind.machine();
     let fig = match kind {
         MachineKind::T3e => "Figure 9",
@@ -116,7 +139,7 @@ pub fn report(kind: MachineKind, levels: &[Level], procs: &[u64]) -> String {
     );
     for bench in benchmarks::all() {
         let block = block_size(&bench);
-        let s = series(&bench, &machine, levels, procs, block);
+        let s = series(&bench, &machine, levels, procs, block, engine);
         let mut header: Vec<String> = vec![format!("{} (p=)", bench.name)];
         header.extend(procs.iter().map(|p| p.to_string()));
         let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
@@ -144,9 +167,15 @@ mod tests {
         let m = t3e();
         for bench in benchmarks::all() {
             // Small blocks keep the test fast.
-            let block = if bench.rank == 1 { 2048 } else if bench.rank == 2 { 24 } else { 8 };
-            let base = run(&bench, Level::Baseline, &m, 1, block);
-            let c2 = run(&bench, Level::C2, &m, 1, block);
+            let block = if bench.rank == 1 {
+                2048
+            } else if bench.rank == 2 {
+                24
+            } else {
+                8
+            };
+            let base = run(&bench, Level::Baseline, &m, 1, block, Engine::default());
+            let c2 = run(&bench, Level::C2, &m, 1, block, Engine::default());
             assert!(
                 c2.total_ns < base.total_ns,
                 "{}: c2 {} >= baseline {}",
@@ -161,9 +190,18 @@ mod tests {
     fn ep_improvement_is_processor_independent() {
         // The paper: EP scales perfectly, so its improvement is flat in p.
         let bench = benchmarks::by_name("ep").unwrap();
-        let s = series(&bench, &t3e(), &[Level::C2], &[1, 4, 16, 64], block_size(&bench));
-        let imps: Vec<f64> =
-            [1u64, 4, 16, 64].iter().map(|&p| s.improvement(Level::C2, p).unwrap()).collect();
+        let s = series(
+            &bench,
+            &t3e(),
+            &[Level::C2],
+            &[1, 4, 16, 64],
+            block_size(&bench),
+            Engine::default(),
+        );
+        let imps: Vec<f64> = [1u64, 4, 16, 64]
+            .iter()
+            .map(|&p| s.improvement(Level::C2, p).unwrap())
+            .collect();
         let spread = imps.iter().cloned().fold(f64::MIN, f64::max)
             - imps.iter().cloned().fold(f64::MAX, f64::min);
         assert!(spread < 2.0, "EP improvement must be ~flat in p: {imps:?}");
@@ -172,7 +210,14 @@ mod tests {
     #[test]
     fn series_collects_all_points() {
         let bench = benchmarks::by_name("frac").unwrap();
-        let s = series(&bench, &t3e(), &[Level::C1, Level::C2], &[1, 4], 16);
+        let s = series(
+            &bench,
+            &t3e(),
+            &[Level::C1, Level::C2],
+            &[1, 4],
+            16,
+            Engine::default(),
+        );
         assert_eq!(s.points.len(), 4);
         assert!(s.improvement(Level::C2, 4).is_some());
         assert!(s.improvement(Level::C2F4, 4).is_none());

@@ -10,6 +10,7 @@
 use crate::table::{pct, Table};
 use benchmarks::Benchmark;
 use fusion_core::pipeline::{Level, Pipeline};
+use loopir::Engine;
 use machine::presets::{Machine, MachineKind};
 use runtime::comm::favor_comm_pairs;
 use runtime::{simulate, CommPolicy, ExecConfig};
@@ -58,6 +59,7 @@ pub fn rows(machine: &Machine, procs: u64) -> Vec<TradeoffRow> {
                     machine: machine.clone(),
                     procs,
                     policy: CommPolicy::default(),
+                    engine: Engine::default(),
                 };
                 let r = simulate(&opt.scalarized, binding, &cfg)
                     .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
@@ -140,12 +142,23 @@ mod tests {
         }
         // Simple loses only one contraction on the T3E; like the paper's
         // Fibro, it may even speed up slightly — but never by much.
-        assert!(by("simple").slowdown() > -5.0, "simple: {}", by("simple").slowdown());
+        assert!(
+            by("simple").slowdown() > -5.0,
+            "simple: {}",
+            by("simple").slowdown()
+        );
         // EP has no communication to speak of.
-        assert!(by("ep").slowdown().abs() < 1.0, "ep: {}", by("ep").slowdown());
+        assert!(
+            by("ep").slowdown().abs() < 1.0,
+            "ep: {}",
+            by("ep").slowdown()
+        );
         // Net across the stencil codes, favoring fusion wins (the paper's
         // conclusion: "fusion for contraction should be favored").
-        let net: f64 = ["simple", "tomcatv", "sp"].iter().map(|n| by(n).slowdown()).sum();
+        let net: f64 = ["simple", "tomcatv", "sp"]
+            .iter()
+            .map(|n| by(n).slowdown())
+            .sum();
         assert!(net > 0.0, "net {net}");
     }
 }

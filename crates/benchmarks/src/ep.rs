@@ -104,7 +104,7 @@ pub fn benchmark() -> Benchmark {
 mod tests {
     use super::*;
     use fusion_core::pipeline::{Level, Pipeline};
-    use loopir::{Interp, NoopObserver};
+    use loopir::{Engine, NoopObserver};
     use zlang::ir::ConfigBinding;
 
     #[test]
@@ -121,7 +121,10 @@ mod tests {
                 .map(|&a| &opt.norm.program.array(a).name)
                 .collect::<Vec<_>>()
         );
-        assert_eq!(opt.report.compiler_before, 0, "EP needs no compiler temporaries");
+        assert_eq!(
+            opt.report.compiler_before, 0,
+            "EP needs no compiler temporaries"
+        );
         // Everything fuses into a single loop.
         assert_eq!(opt.scalarized.nest_count(), 1);
     }
@@ -134,12 +137,12 @@ mod tests {
             let opt = Pipeline::new(level).optimize(&p);
             let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
             binding.set_by_name(&opt.scalarized.program, "n", 512);
-            let mut i = Interp::new(&opt.scalarized, binding);
-            i.run(&mut NoopObserver).unwrap();
+            let mut exec = Engine::default()
+                .executor(&opt.scalarized, binding)
+                .unwrap();
+            let out = exec.execute(&mut NoopObserver).unwrap();
             // Check all ten reduction outputs.
-            let sums: Vec<f64> = (0..10)
-                .map(|k| i.scalar(zlang::ir::ScalarId(k)))
-                .collect();
+            let sums: Vec<f64> = out.scalars[..10].to_vec();
             match &expected {
                 None => expected = Some(sums),
                 Some(e) => assert_eq!(&sums, e, "level {level}"),
@@ -152,12 +155,17 @@ mod tests {
         let p = zlang::compile(SOURCE).unwrap();
         let opt = Pipeline::new(Level::C2).optimize(&p);
         let binding = ConfigBinding::defaults(&opt.scalarized.program);
-        let mut i = Interp::new(&opt.scalarized, binding);
-        i.run(&mut NoopObserver).unwrap();
+        let mut exec = Engine::default()
+            .executor(&opt.scalarized, binding)
+            .unwrap();
+        let out = exec.execute(&mut NoopObserver).unwrap();
         let program = &opt.scalarized.program;
-        let get = |name: &str| i.scalar(program.scalar_by_name(name).unwrap());
+        let get = |name: &str| out.scalar(program.scalar_by_name(name).unwrap());
         let npairs = get("npairs");
-        assert!(npairs > 0.75 * 8192.0 && npairs < 0.82 * 8192.0, "acceptance ~ pi/4: {npairs}");
+        assert!(
+            npairs > 0.75 * 8192.0 && npairs < 0.82 * 8192.0,
+            "acceptance ~ pi/4: {npairs}"
+        );
         // Mean near 0, variance near 1 for accepted deviates.
         let mean = get("sx") / npairs;
         assert!(mean.abs() < 0.05, "mean {mean}");

@@ -138,7 +138,7 @@ pub fn benchmark() -> Benchmark {
 mod tests {
     use super::*;
     use fusion_core::pipeline::{Level, Pipeline};
-    use loopir::{Interp, NoopObserver};
+    use loopir::{Engine, NoopObserver};
     use zlang::ir::ConfigBinding;
 
     fn run_level(level: Level, n: i64) -> (f64, f64, f64, usize) {
@@ -146,13 +146,15 @@ mod tests {
         let opt = Pipeline::new(level).optimize(&p);
         let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
         binding.set_by_name(&opt.scalarized.program, "n", n);
-        let mut i = Interp::new(&opt.scalarized, binding);
-        i.run(&mut NoopObserver).unwrap();
+        let mut exec = Engine::default()
+            .executor(&opt.scalarized, binding)
+            .unwrap();
+        let out = exec.execute(&mut NoopObserver).unwrap();
         let prog = &opt.scalarized.program;
         (
-            i.scalar(prog.scalar_by_name("orient").unwrap()),
-            i.scalar(prog.scalar_by_name("mass").unwrap()),
-            i.scalar(prog.scalar_by_name("signal").unwrap()),
+            out.scalar(prog.scalar_by_name("orient").unwrap()),
+            out.scalar(prog.scalar_by_name("mass").unwrap()),
+            out.scalar(prog.scalar_by_name("signal").unwrap()),
             opt.scalarized.live_arrays().len(),
         )
     }
@@ -161,7 +163,10 @@ mod tests {
     fn no_compiler_temporaries() {
         let p = zlang::compile(SOURCE).unwrap();
         let opt = Pipeline::new(Level::Baseline).optimize(&p);
-        assert_eq!(opt.report.compiler_before, 0, "Fibro is written double-buffered");
+        assert_eq!(
+            opt.report.compiler_before, 0,
+            "Fibro is written double-buffered"
+        );
     }
 
     #[test]
@@ -169,7 +174,11 @@ mod tests {
         let expect = run_level(Level::Baseline, 16);
         for level in Level::all() {
             let got = run_level(level, 16);
-            assert_eq!((got.0, got.1, got.2), (expect.0, expect.1, expect.2), "level {level}");
+            assert_eq!(
+                (got.0, got.1, got.2),
+                (expect.0, expect.1, expect.2),
+                "level {level}"
+            );
         }
     }
 

@@ -76,7 +76,7 @@ pub fn benchmark() -> Benchmark {
 mod tests {
     use super::*;
     use fusion_core::pipeline::{Level, Pipeline};
-    use loopir::{Interp, NoopObserver};
+    use loopir::{Engine, NoopObserver};
     use zlang::ir::ConfigBinding;
 
     fn run_level(level: Level, n: i64) -> (f64, f64, usize, u64) {
@@ -84,14 +84,16 @@ mod tests {
         let opt = Pipeline::new(level).optimize(&p);
         let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
         binding.set_by_name(&opt.scalarized.program, "n", n);
-        let mut i = Interp::new(&opt.scalarized, binding);
-        let stats = i.run(&mut NoopObserver).unwrap();
+        let mut exec = Engine::default()
+            .executor(&opt.scalarized, binding)
+            .unwrap();
+        let out = exec.execute(&mut NoopObserver).unwrap();
         let prog = &opt.scalarized.program;
         (
-            i.scalar(prog.scalar_by_name("area").unwrap()),
-            i.scalar(prog.scalar_by_name("total").unwrap()),
+            out.scalar(prog.scalar_by_name("area").unwrap()),
+            out.scalar(prog.scalar_by_name("total").unwrap()),
             opt.scalarized.live_arrays().len(),
-            stats.peak_bytes,
+            out.stats.peak_bytes,
         )
     }
 

@@ -118,7 +118,11 @@ mod tests {
                 b.size_config
             );
             if let Some(it) = b.iters_config {
-                assert!(p.configs.iter().any(|c| c.name == it), "{}: missing {it}", b.name);
+                assert!(
+                    p.configs.iter().any(|c| c.name == it),
+                    "{}: missing {it}",
+                    b.name
+                );
             }
         }
     }

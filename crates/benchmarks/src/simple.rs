@@ -134,7 +134,7 @@ pub fn benchmark() -> Benchmark {
 mod tests {
     use super::*;
     use fusion_core::pipeline::{Level, Pipeline};
-    use loopir::{Interp, NoopObserver};
+    use loopir::{Engine, NoopObserver};
     use zlang::ir::ConfigBinding;
 
     fn run_level(level: Level, n: i64) -> (f64, f64, f64, usize) {
@@ -142,13 +142,15 @@ mod tests {
         let opt = Pipeline::new(level).optimize(&p);
         let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
         binding.set_by_name(&opt.scalarized.program, "n", n);
-        let mut i = Interp::new(&opt.scalarized, binding);
-        i.run(&mut NoopObserver).unwrap();
+        let mut exec = Engine::default()
+            .executor(&opt.scalarized, binding)
+            .unwrap();
+        let out = exec.execute(&mut NoopObserver).unwrap();
         let prog = &opt.scalarized.program;
         (
-            i.scalar(prog.scalar_by_name("mass").unwrap()),
-            i.scalar(prog.scalar_by_name("energy").unwrap()),
-            i.scalar(prog.scalar_by_name("heat").unwrap()),
+            out.scalar(prog.scalar_by_name("mass").unwrap()),
+            out.scalar(prog.scalar_by_name("energy").unwrap()),
+            out.scalar(prog.scalar_by_name("heat").unwrap()),
             opt.scalarized.live_arrays().len(),
         )
     }
@@ -180,7 +182,10 @@ mod tests {
         let (_, _, _, base) = run_level(Level::Baseline, 16);
         let (_, _, _, c2) = run_level(Level::C2, 16);
         assert!(c2 < base, "{base} -> {c2}");
-        assert!(c2 * 2 <= base + 3, "roughly half should contract: {base} -> {c2}");
+        assert!(
+            c2 * 2 <= base + 3,
+            "roughly half should contract: {base} -> {c2}"
+        );
     }
 
     #[test]
@@ -198,8 +203,13 @@ mod tests {
         let p = zlang::compile(SOURCE).unwrap();
         let c2 = Pipeline::new(Level::C2).optimize(&p);
         let names = c2.contracted_names();
-        for expect in ["CS", "DVX", "QLIN", "QQUAD", "GPX", "SHY", "WCOMP", "DIVH", "KIN"] {
-            assert!(names.iter().any(|n| n == expect), "{expect} should contract: {names:?}");
+        for expect in [
+            "CS", "DVX", "QLIN", "QQUAD", "GPX", "SHY", "WCOMP", "DIVH", "KIN",
+        ] {
+            assert!(
+                names.iter().any(|n| n == expect),
+                "{expect} should contract: {names:?}"
+            );
         }
         let live: Vec<String> = c2
             .scalarized
@@ -208,7 +218,10 @@ mod tests {
             .map(|&a| c2.norm.program.array(a).name.clone())
             .collect();
         for expect in ["RHO", "VX", "T", "PT", "EXY", "KAP", "HFX", "HFY"] {
-            assert!(live.iter().any(|n| n == expect), "{expect} must survive: {live:?}");
+            assert!(
+                live.iter().any(|n| n == expect),
+                "{expect} must survive: {live:?}"
+            );
         }
     }
 }

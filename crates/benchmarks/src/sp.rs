@@ -216,7 +216,7 @@ pub fn benchmark() -> Benchmark {
 mod tests {
     use super::*;
     use fusion_core::pipeline::{Level, Pipeline};
-    use loopir::{Interp, NoopObserver};
+    use loopir::{Engine, NoopObserver};
     use zlang::ir::ConfigBinding;
 
     fn run_level(level: Level, n: i64) -> (f64, f64, f64, usize) {
@@ -224,13 +224,15 @@ mod tests {
         let opt = Pipeline::new(level).optimize(&p);
         let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
         binding.set_by_name(&opt.scalarized.program, "n", n);
-        let mut i = Interp::new(&opt.scalarized, binding);
-        i.run(&mut NoopObserver).unwrap();
+        let mut exec = Engine::default()
+            .executor(&opt.scalarized, binding)
+            .unwrap();
+        let out = exec.execute(&mut NoopObserver).unwrap();
         let prog = &opt.scalarized.program;
         (
-            i.scalar(prog.scalar_by_name("mass").unwrap()),
-            i.scalar(prog.scalar_by_name("energy").unwrap()),
-            i.scalar(prog.scalar_by_name("momx").unwrap()),
+            out.scalar(prog.scalar_by_name("mass").unwrap()),
+            out.scalar(prog.scalar_by_name("energy").unwrap()),
+            out.scalar(prog.scalar_by_name("momx").unwrap()),
             opt.scalarized.live_arrays().len(),
         )
     }
@@ -241,7 +243,11 @@ mod tests {
         assert!(expect.0.is_finite() && expect.0 > 0.0);
         for level in Level::all() {
             let got = run_level(level, 6);
-            assert_eq!((got.0, got.1, got.2), (expect.0, expect.1, expect.2), "level {level}");
+            assert_eq!(
+                (got.0, got.1, got.2),
+                (expect.0, expect.1, expect.2),
+                "level {level}"
+            );
         }
     }
 
@@ -261,10 +267,13 @@ mod tests {
         let names = c2.contracted_names();
         // The rhs assembly chains into the pointwise txinvr phase, so the
         // R arrays contract as well — only the offset-read arrays survive.
-        for expect in
-            ["F1X", "F3Y", "F5Z", "D1X", "D5Z", "S1c", "S5c", "AC2", "RUV", "R1", "R5", "SQUARE"]
-        {
-            assert!(names.iter().any(|n| n == expect), "{expect} should contract: {names:?}");
+        for expect in [
+            "F1X", "F3Y", "F5Z", "D1X", "D5Z", "S1c", "S5c", "AC2", "RUV", "R1", "R5", "SQUARE",
+        ] {
+            assert!(
+                names.iter().any(|n| n == expect),
+                "{expect} should contract: {names:?}"
+            );
         }
         let live: Vec<String> = c2
             .scalarized
@@ -273,7 +282,10 @@ mod tests {
             .map(|&a| c2.norm.program.array(a).name.clone())
             .collect();
         for expect in ["RHO", "EN", "P", "US", "QS", "T1", "S1", "S1b", "FR1"] {
-            assert!(live.iter().any(|n| n == expect), "{expect} must survive: {live:?}");
+            assert!(
+                live.iter().any(|n| n == expect),
+                "{expect} must survive: {live:?}"
+            );
         }
     }
 
@@ -290,20 +302,23 @@ mod tests {
     #[test]
     fn dimension_contraction_collapses_sweep_stages() {
         let p = zlang::compile(SOURCE).unwrap();
-        let dimc = Pipeline::new(Level::C2).with_dimension_contraction().optimize(&p);
-        assert!(
-            dimc.report.dimension_contracted >= 5,
-            "{:?}",
-            dimc.report
-        );
+        let dimc = Pipeline::new(Level::C2)
+            .with_dimension_contraction()
+            .optimize(&p);
+        assert!(dimc.report.dimension_contracted >= 5, "{:?}", dimc.report);
         // Semantics unchanged.
         let plain = Pipeline::new(Level::C2).optimize(&p);
         let run = |opt: &fusion_core::pipeline::Optimized| {
             let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
             binding.set_by_name(&opt.scalarized.program, "n", 6);
-            let mut i = Interp::new(&opt.scalarized, binding);
-            let st = i.run(&mut NoopObserver).unwrap();
-            (i.scalar(opt.scalarized.program.scalar_by_name("mass").unwrap()), st.peak_bytes)
+            let mut exec = Engine::default()
+                .executor(&opt.scalarized, binding)
+                .unwrap();
+            let out = exec.execute(&mut NoopObserver).unwrap();
+            (
+                out.scalar(opt.scalarized.program.scalar_by_name("mass").unwrap()),
+                out.stats.peak_bytes,
+            )
         };
         let (m1, b1) = run(&plain);
         let (m2, b2) = run(&dimc);

@@ -110,7 +110,7 @@ pub fn benchmark() -> Benchmark {
 mod tests {
     use super::*;
     use fusion_core::pipeline::{Level, Pipeline};
-    use loopir::{Interp, NoopObserver};
+    use loopir::{Engine, NoopObserver};
     use zlang::ir::ConfigBinding;
 
     fn run_level(level: Level, n: i64) -> (f64, f64, usize) {
@@ -118,12 +118,14 @@ mod tests {
         let opt = Pipeline::new(level).optimize(&p);
         let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
         binding.set_by_name(&opt.scalarized.program, "n", n);
-        let mut i = Interp::new(&opt.scalarized, binding);
-        i.run(&mut NoopObserver).unwrap();
+        let mut exec = Engine::default()
+            .executor(&opt.scalarized, binding)
+            .unwrap();
+        let out = exec.execute(&mut NoopObserver).unwrap();
         let prog = &opt.scalarized.program;
         (
-            i.scalar(prog.scalar_by_name("chk").unwrap()),
-            i.scalar(prog.scalar_by_name("rxm").unwrap()),
+            out.scalar(prog.scalar_by_name("chk").unwrap()),
+            out.scalar(prog.scalar_by_name("rxm").unwrap()),
             opt.scalarized.live_arrays().len(),
         )
     }
@@ -146,7 +148,10 @@ mod tests {
         assert_eq!(base.report.compiler_before, 2, "two mesh self-updates");
         let c1 = Pipeline::new(Level::C1).optimize(&p);
         assert_eq!(c1.report.compiler_after, 0);
-        assert_eq!(c1.report.user_after, c1.report.user_before, "c1 keeps user arrays");
+        assert_eq!(
+            c1.report.user_after, c1.report.user_before,
+            "c1 keeps user arrays"
+        );
     }
 
     #[test]
@@ -160,7 +165,10 @@ mod tests {
         let c2 = Pipeline::new(Level::C2).optimize(&p);
         let names = c2.contracted_names();
         for expect in ["AA", "BB", "CC", "D", "RX", "RY", "PXX", "PXY", "XX"] {
-            assert!(names.iter().any(|n| n == expect), "{expect} should contract: {names:?}");
+            assert!(
+                names.iter().any(|n| n == expect),
+                "{expect} should contract: {names:?}"
+            );
         }
         let live: Vec<String> = c2
             .scalarized
@@ -169,7 +177,10 @@ mod tests {
             .map(|&a| c2.norm.program.array(a).name.clone())
             .collect();
         for expect in ["X", "Y", "_t0", "_t1"] {
-            assert!(live.iter().any(|n| n == expect), "{expect} must survive: {live:?}");
+            assert!(
+                live.iter().any(|n| n == expect),
+                "{expect} must survive: {live:?}"
+            );
         }
     }
 

@@ -23,7 +23,11 @@ fn benchmark_statement_counts_are_nontrivial() {
             bench.name,
             counts.array
         );
-        assert!(counts.reduce >= 1, "{}: needs a checksum reduction", bench.name);
+        assert!(
+            counts.reduce >= 1,
+            "{}: needs a checksum reduction",
+            bench.name
+        );
     }
 }
 
@@ -37,7 +41,10 @@ fn sp_is_the_largest_benchmark() {
         .collect();
     let sp = sizes.iter().find(|(n, _)| n == "sp").unwrap().1;
     for (name, count) in &sizes {
-        assert!(sp >= *count, "sp ({sp}) must be the largest, {name} has {count}");
+        assert!(
+            sp >= *count,
+            "sp ({sp}) must be the largest, {name} has {count}"
+        );
     }
     assert!(sp >= 60, "sp has {sp} arrays");
 }

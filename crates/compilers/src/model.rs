@@ -114,7 +114,13 @@ mod tests {
         let names: Vec<_> = all_models().iter().map(|m| m.name).collect();
         assert_eq!(
             names,
-            vec!["PGI HPF 2.1", "IBM XLHPF 1.2", "APR XHPF 2.0", "Cray F90 2.0.1.0", "ZPL 1.13"]
+            vec![
+                "PGI HPF 2.1",
+                "IBM XLHPF 1.2",
+                "APR XHPF 2.0",
+                "Cray F90 2.0.1.0",
+                "ZPL 1.13"
+            ]
         );
     }
 }

@@ -190,7 +190,13 @@ pub fn to_dot(program: &Program, block: &crate::normal::Block, g: &Asdg) -> Stri
                 format!("({var}, {udv}, {})", l.kind)
             })
             .collect();
-        let _ = writeln!(out, "  s{} -> s{} [label=\"{}\"];", e.src, e.dst, labels.join("\\n"));
+        let _ = writeln!(
+            out,
+            "  s{} -> s{} [label=\"{}\"];",
+            e.src,
+            e.dst,
+            labels.join("\\n")
+        );
     }
     out.push_str("}\n");
     out
@@ -231,7 +237,11 @@ pub fn build(program: &Program, block: &Block) -> Asdg {
         for (a, off) in stmt.reads() {
             let def = *current.entry(a).or_insert_with(|| {
                 let id = DefId(defs.len() as u32);
-                defs.push(DefInfo { array: a, def_stmt: None, reads: Vec::new() });
+                defs.push(DefInfo {
+                    array: a,
+                    def_stmt: None,
+                    reads: Vec::new(),
+                });
                 id
             });
             let info = &mut defs[def.0 as usize];
@@ -244,7 +254,11 @@ pub fn build(program: &Program, block: &Block) -> Asdg {
                 add_label(
                     d,
                     si,
-                    Label { var: VarLabel::Array(def), udv: same_region_udv(d, u), kind: DepKind::Flow },
+                    Label {
+                        var: VarLabel::Array(def),
+                        udv: same_region_udv(d, u),
+                        kind: DepKind::Flow,
+                    },
                 );
             }
         }
@@ -256,7 +270,11 @@ pub fn build(program: &Program, block: &Block) -> Asdg {
                 add_label(
                     w,
                     si,
-                    Label { var: VarLabel::Scalar(s), udv: None, kind: DepKind::Flow },
+                    Label {
+                        var: VarLabel::Scalar(s),
+                        udv: None,
+                        kind: DepKind::Flow,
+                    },
                 );
             }
         }
@@ -298,7 +316,11 @@ pub fn build(program: &Program, block: &Block) -> Asdg {
                 }
             }
             let id = DefId(defs.len() as u32);
-            defs.push(DefInfo { array: a, def_stmt: Some(si), reads: Vec::new() });
+            defs.push(DefInfo {
+                array: a,
+                def_stmt: Some(si),
+                reads: Vec::new(),
+            });
             current.insert(a, id);
             write_def[si] = Some(id);
         }
@@ -310,7 +332,11 @@ pub fn build(program: &Program, block: &Block) -> Asdg {
                     add_label(
                         r,
                         si,
-                        Label { var: VarLabel::Scalar(s), udv: None, kind: DepKind::Anti },
+                        Label {
+                            var: VarLabel::Scalar(s),
+                            udv: None,
+                            kind: DepKind::Anti,
+                        },
                     );
                 }
             }
@@ -318,7 +344,11 @@ pub fn build(program: &Program, block: &Block) -> Asdg {
                 add_label(
                     w,
                     si,
-                    Label { var: VarLabel::Scalar(s), udv: None, kind: DepKind::Output },
+                    Label {
+                        var: VarLabel::Scalar(s),
+                        udv: None,
+                        kind: DepKind::Output,
+                    },
                 );
             }
             scalar_writer.insert(s, si);
@@ -339,7 +369,15 @@ pub fn build(program: &Program, block: &Block) -> Asdg {
         in_edges[e.dst].push(i);
     }
 
-    Asdg { n, edges, read_defs, write_def, defs, out_edges, in_edges }
+    Asdg {
+        n,
+        edges,
+        read_defs,
+        write_def,
+        defs,
+        out_edges,
+        in_edges,
+    }
 }
 
 #[cfg(test)]
@@ -382,14 +420,18 @@ mod tests {
         assert_eq!(flow.udv, Some(Udv(vec![1, -1])));
         assert_eq!(anti.udv, Some(Udv(vec![-1, 0])));
         // The anti dep is on B's live-in range.
-        let VarLabel::Array(d) = anti.var else { panic!() };
+        let VarLabel::Array(d) = anti.var else {
+            panic!()
+        };
         assert_eq!(g.def(d).array, names["B"]);
         assert_eq!(g.def(d).def_stmt, None);
     }
 
     #[test]
     fn output_dependence_between_redefinitions() {
-        let (g, _) = asdg_of(&format!("{P} begin [R] C := A; [R] C := B; s := +<< [R] C; end"));
+        let (g, _) = asdg_of(&format!(
+            "{P} begin [R] C := A; [R] C := B; s := +<< [R] C; end"
+        ));
         let labels = g.labels_between(0, 1);
         assert!(labels.iter().any(|l| l.kind == DepKind::Output));
         // The reduce reads the SECOND definition of C only.
@@ -416,7 +458,9 @@ mod tests {
 
     #[test]
     fn scalar_dependences_are_tracked() {
-        let (g, _) = asdg_of(&format!("{P} begin s := 2.0; [R] A := B * s; s := 3.0; end"));
+        let (g, _) = asdg_of(&format!(
+            "{P} begin s := 2.0; [R] A := B * s; s := 3.0; end"
+        ));
         // Flow s: 0->1; anti s: 1->2; output s: 0->2.
         assert_eq!(g.labels_between(0, 1)[0].kind, DepKind::Flow);
         assert_eq!(g.labels_between(1, 2)[0].kind, DepKind::Anti);
@@ -452,7 +496,9 @@ mod tests {
 
     #[test]
     fn dot_export_names_vertices_and_labels() {
-        let (g, np) = asdg_of(&format!("{P} begin [R] B := A@w; [R] C := B; s := +<< [R] C; end"));
+        let (g, np) = asdg_of(&format!(
+            "{P} begin [R] B := A@w; [R] C := B; s := +<< [R] C; end"
+        ));
         let dot = to_dot(&np.program, &np.blocks[0], &g);
         assert!(dot.starts_with("digraph asdg {"), "{dot}");
         assert!(dot.contains("s0 -> s1"), "{dot}");

@@ -54,7 +54,10 @@ impl fmt::Display for Blocker {
             Blocker::CrossRegion => write!(f, "references span different regions"),
             Blocker::FusionIllegal => write!(f, "references cannot legally share a loop nest"),
             Blocker::SacrificedByWeight => {
-                write!(f, "a heavier candidate's fusion claimed these statements first")
+                write!(
+                    f,
+                    "a heavier candidate's fusion claimed these statements first"
+                )
             }
         }
     }
@@ -104,8 +107,12 @@ fn diagnose_def(ctx: &FusionCtx<'_>, detail: &crate::pipeline::BlockDetail, def:
     // Null flow deps everywhere: fusion is what failed. Would it have been
     // legal in isolation?
     let part = &detail.partition;
-    let mut c: BTreeSet<usize> =
-        detail.asdg.stmts_of_def(def).iter().map(|&s| part.cluster_of(s)).collect();
+    let mut c: BTreeSet<usize> = detail
+        .asdg
+        .stmts_of_def(def)
+        .iter()
+        .map(|&s| part.cluster_of(s))
+        .collect();
     c.extend(ctx.grow(part, &c));
     if ctx.merged_ok(part, &c).is_some() {
         Blocker::SacrificedByWeight
@@ -229,7 +236,11 @@ pub fn diagnose(opt: &Optimized) -> Vec<ArrayDiagnosis> {
 pub fn report(opt: &Optimized) -> String {
     let mut out = format!("contraction report at {}:\n", opt.level);
     for d in diagnose(opt) {
-        let class = if d.compiler_temp { "compiler temp" } else { "user array" };
+        let class = if d.compiler_temp {
+            "compiler temp"
+        } else {
+            "user array"
+        };
         match &d.outcome {
             Outcome::Unreferenced => {}
             Outcome::Contracted => {
@@ -247,14 +258,22 @@ pub fn report(opt: &Optimized) -> String {
                 out.push_str(&format!(
                     "  {:<12} {class:<14} partially contracted; kept ranges: {}\n",
                     d.name,
-                    blockers.iter().map(|b| b.to_string()).collect::<Vec<_>>().join("; ")
+                    blockers
+                        .iter()
+                        .map(|b| b.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ")
                 ));
             }
             Outcome::Kept(blockers) => {
                 out.push_str(&format!(
                     "  {:<12} {class:<14} kept: {}\n",
                     d.name,
-                    blockers.iter().map(|b| b.to_string()).collect::<Vec<_>>().join("; ")
+                    blockers
+                        .iter()
+                        .map(|b| b.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ")
                 ));
             }
         }
@@ -280,7 +299,10 @@ mod tests {
 
     #[test]
     fn contracted_and_live_in_and_output() {
-        let d = diag(&format!("{P} begin [R] B := A; [R] C := B; s := +<< [R] C; end"), Level::C2);
+        let d = diag(
+            &format!("{P} begin [R] B := A; [R] C := B; s := +<< [R] C; end"),
+            Level::C2,
+        );
         assert_eq!(outcome_of(&d, "B"), &Outcome::Contracted);
         assert_eq!(outcome_of(&d, "C"), &Outcome::Contracted);
         assert!(matches!(outcome_of(&d, "A"), Outcome::Kept(b) if b == &[Blocker::NotBlockLocal]));
@@ -295,14 +317,22 @@ mod tests {
 
     #[test]
     fn carried_flow_blocks_with_distance() {
-        let d = diag(&format!("{P} begin [R] B := A; [R] C := B@w; s := +<< [R] C; end"), Level::C2);
-        let Outcome::Kept(blockers) = outcome_of(&d, "B") else { panic!() };
+        let d = diag(
+            &format!("{P} begin [R] B := A; [R] C := B@w; s := +<< [R] C; end"),
+            Level::C2,
+        );
+        let Outcome::Kept(blockers) = outcome_of(&d, "B") else {
+            panic!()
+        };
         assert_eq!(blockers, &[Blocker::CarriedFlow(Udv(vec![0, 1]))]);
     }
 
     #[test]
     fn level_exclusion_reported_for_user_arrays_at_c1() {
-        let d = diag(&format!("{P} begin [R] B := A; [R] C := B; s := +<< [R] C; end"), Level::C1);
+        let d = diag(
+            &format!("{P} begin [R] B := A; [R] C := B; s := +<< [R] C; end"),
+            Level::C1,
+        );
         assert!(matches!(outcome_of(&d, "B"), Outcome::Kept(b) if b == &[Blocker::LevelExcludes]));
     }
 
@@ -331,15 +361,16 @@ mod tests {
              [R] X := X + RX; \
              end";
         let d = diag(src, Level::C2);
-        let t = d.iter().find(|x| x.compiler_temp).expect("X's self-update temp");
+        let t = d
+            .iter()
+            .find(|x| x.compiler_temp)
+            .expect("X's self-update temp");
         match &t.outcome {
             Outcome::Contracted => {} // acceptable: greedy found it first
             Outcome::Kept(b) | Outcome::Partial(b) => {
                 assert!(
-                    b.iter().all(|x| matches!(
-                        x,
-                        Blocker::SacrificedByWeight | Blocker::FusionIllegal
-                    )),
+                    b.iter()
+                        .all(|x| matches!(x, Blocker::SacrificedByWeight | Blocker::FusionIllegal)),
                     "{b:?}"
                 );
             }
@@ -367,8 +398,10 @@ mod tests {
     #[test]
     fn report_renders_names_and_reasons() {
         let opt = Pipeline::new(Level::C2).optimize(
-            &zlang::compile(&format!("{P} begin [R] B := A; [R] C := B@w; s := +<< [R] C; end"))
-                .unwrap(),
+            &zlang::compile(&format!(
+                "{P} begin [R] B := A; [R] C := B@w; s := +<< [R] C; end"
+            ))
+            .unwrap(),
         );
         let r = report(&opt);
         assert!(r.contains("B"), "{r}");

@@ -36,9 +36,9 @@
 
 use crate::asdg::{DefId, VarLabel};
 use crate::depvec::DepKind;
+use crate::depvec::Udv;
 use crate::fusion::{FusionCtx, Partition};
 use crate::loopstruct::find_loop_structure;
-use crate::depvec::Udv;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use zlang::ir::ArrayId;
 
@@ -59,7 +59,13 @@ pub struct PartialGroup {
 
 /// Projects a UDV by removing dimension `d` (for inner-structure search).
 fn project(u: &Udv, d: usize) -> Udv {
-    Udv(u.0.iter().enumerate().filter(|&(i, _)| i != d).map(|(_, &v)| v).collect())
+    Udv(u
+        .0
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != d)
+        .map(|(_, &v)| v)
+        .collect())
 }
 
 /// Maps an inner structure over `rank-1` projected dimensions back to
@@ -194,15 +200,20 @@ pub fn find_groups(
             continue; // cross-region or unread definition
         }
         let rank = flows[0].rank();
-        let zero_dims: Vec<usize> =
-            (0..rank).filter(|&d| flows.iter().all(|u| u.0[d] == 0)).collect();
+        let zero_dims: Vec<usize> = (0..rank)
+            .filter(|&d| flows.iter().all(|u| u.0[d] == 0))
+            .collect();
         if zero_dims.is_empty() {
             continue;
         }
 
         // Form the group around x's references.
-        let mut s: BTreeSet<usize> =
-            ctx.asdg.stmts_of_def(x).iter().map(|&st| part.cluster_of(st)).collect();
+        let mut s: BTreeSet<usize> = ctx
+            .asdg
+            .stmts_of_def(x)
+            .iter()
+            .map(|&st| part.cluster_of(st))
+            .collect();
         if s.len() < 2 {
             continue; // full contraction already had its chance
         }
@@ -215,11 +226,14 @@ pub fn find_groups(
                 .iter()
                 .position(|g| s.iter().any(|c| g.clusters.contains(c)))
             {
-                let (dim, dir) = (groups[gi].dim as usize, if groups[gi].reverse { -1 } else { 1 });
+                let (dim, dir) = (
+                    groups[gi].dim as usize,
+                    if groups[gi].reverse { -1 } else { 1 },
+                );
                 if zero_dims.contains(&dim)
-                    && !s.iter().any(|c| {
-                        used_clusters.contains(c) && !groups[gi].clusters.contains(c)
-                    })
+                    && !s
+                        .iter()
+                        .any(|c| used_clusters.contains(c) && !groups[gi].clusters.contains(c))
                 {
                     let mut union: BTreeSet<usize> = groups[gi].clusters.clone();
                     union.extend(s.iter().copied());
@@ -279,8 +293,7 @@ pub fn find_groups(
                     .iter()
                     .all(|&st| g.clusters.contains(&part.cluster_of(st)));
                 let flows_zero = ctx.asdg.labels_of_def(def).iter().all(|(_, _, l)| {
-                    l.kind != DepKind::Flow
-                        || l.udv.as_ref().is_some_and(|u| u.0[dim] == 0)
+                    l.kind != DepKind::Flow || l.udv.as_ref().is_some_and(|u| u.0[dim] == 0)
                 });
                 refs_in && flows_zero
             })
@@ -319,10 +332,15 @@ mod tests {
                 defs.extend(s.asdg.defs_of(ArrayId(i as u32)));
             }
         }
-        let defs = sort_by_weight(&s.np.program, &s.np.blocks[0], &s.asdg, defs, &s.np.default_binding());
+        let defs = sort_by_weight(
+            &s.np.program,
+            &s.np.blocks[0],
+            &s.asdg,
+            defs,
+            &s.np.default_binding(),
+        );
         ctx.fusion_for_contraction(&mut part, &defs);
-        let contracted: HashSet<DefId> =
-            ctx.contracted_defs(&part, &defs).into_iter().collect();
+        let contracted: HashSet<DefId> = ctx.contracted_defs(&part, &defs).into_iter().collect();
         let groups = find_groups(&ctx, &part, &defs, &contracted);
         (part, contracted, groups)
     }

@@ -24,7 +24,10 @@ pub struct Partition {
 impl Partition {
     /// The trivial partition: one statement per cluster.
     pub fn trivial(n: usize) -> Self {
-        Partition { cluster_of: (0..n).collect(), clusters: (0..n).map(|i| vec![i]).collect() }
+        Partition {
+            cluster_of: (0..n).collect(),
+            clusters: (0..n).map(|i| vec![i]).collect(),
+        }
     }
 
     /// The cluster containing a statement.
@@ -43,7 +46,9 @@ impl Partition {
 
     /// Ids of non-empty clusters, ascending.
     pub fn live_clusters(&self) -> Vec<usize> {
-        (0..self.clusters.len()).filter(|&i| !self.clusters[i].is_empty()).collect()
+        (0..self.clusters.len())
+            .filter(|&i| !self.clusters[i].is_empty())
+            .collect()
     }
 
     /// Number of non-empty clusters (the paper's `l`).
@@ -78,8 +83,10 @@ impl Partition {
 
     /// The statement set covered by a set of cluster ids.
     fn stmts_of(&self, ids: &BTreeSet<usize>) -> Vec<usize> {
-        let mut out: Vec<usize> =
-            ids.iter().flat_map(|&i| self.clusters[i].iter().copied()).collect();
+        let mut out: Vec<usize> = ids
+            .iter()
+            .flat_map(|&i| self.clusters[i].iter().copied())
+            .collect();
         out.sort_unstable();
         out
     }
@@ -116,7 +123,12 @@ pub struct FusionCtx<'a> {
 impl<'a> FusionCtx<'a> {
     /// Creates a context with default options.
     pub fn new(program: &'a Program, block: &'a Block, asdg: &'a Asdg) -> Self {
-        FusionCtx { program, block, asdg, opts: FusionOpts::default() }
+        FusionCtx {
+            program,
+            block,
+            asdg,
+            opts: FusionOpts::default(),
+        }
     }
 
     /// `GROW(c, G)` (Section 4.1): the clusters outside `c` that lie on a
@@ -258,8 +270,12 @@ impl<'a> FusionCtx<'a> {
     /// decreasing reference weight (see [`crate::weights::sort_by_weight`]).
     pub fn fusion_for_contraction(&self, part: &mut Partition, candidates: &[DefId]) {
         for &x in candidates {
-            let mut c: BTreeSet<usize> =
-                self.asdg.stmts_of_def(x).iter().map(|&s| part.cluster_of(s)).collect();
+            let mut c: BTreeSet<usize> = self
+                .asdg
+                .stmts_of_def(x)
+                .iter()
+                .map(|&s| part.cluster_of(s))
+                .collect();
             if c.is_empty() {
                 continue;
             }
@@ -276,8 +292,12 @@ impl<'a> FusionCtx<'a> {
     /// reuse.
     pub fn fusion_for_locality(&self, part: &mut Partition, candidates: &[DefId]) {
         for &x in candidates {
-            let mut c: BTreeSet<usize> =
-                self.asdg.stmts_of_def(x).iter().map(|&s| part.cluster_of(s)).collect();
+            let mut c: BTreeSet<usize> = self
+                .asdg
+                .stmts_of_def(x)
+                .iter()
+                .map(|&s| part.cluster_of(s))
+                .collect();
             if c.len() < 2 {
                 continue;
             }
@@ -368,8 +388,12 @@ impl<'a> FusionCtx<'a> {
             .iter()
             .copied()
             .filter(|&x| {
-                let c: BTreeSet<usize> =
-                    self.asdg.stmts_of_def(x).iter().map(|&s| part.cluster_of(s)).collect();
+                let c: BTreeSet<usize> = self
+                    .asdg
+                    .stmts_of_def(x)
+                    .iter()
+                    .map(|&s| part.cluster_of(s))
+                    .collect();
                 c.len() <= 1 && self.contractible_given(x, part, &c)
             })
             .collect()
@@ -471,7 +495,13 @@ mod tests {
                 defs.extend(s.asdg.defs_of(zlang::ir::ArrayId(i as u32)));
             }
         }
-        sort_by_weight(&s.np.program, &s.np.blocks[0], &s.asdg, defs, &s.np.default_binding())
+        sort_by_weight(
+            &s.np.program,
+            &s.np.blocks[0],
+            &s.asdg,
+            defs,
+            &s.np.default_binding(),
+        )
     }
 
     fn run_contraction(s: &Setup) -> (Partition, Vec<DefId>) {
@@ -489,16 +519,24 @@ mod tests {
     #[test]
     fn fuses_and_contracts_user_temp() {
         // Fragment (6): B := A+A; C := B — B contracts, both stmts fuse.
-        let s = setup(&format!("{P} begin [R] B := A + A; [R] C := B; s := +<< [R] C; end"));
+        let s = setup(&format!(
+            "{P} begin [R] B := A + A; [R] C := B; s := +<< [R] C; end"
+        ));
         let (part, contracted) = run_contraction(&s);
         assert_eq!(part.cluster_of(0), part.cluster_of(1));
-        assert_eq!(contracted.len(), 2, "B and C contract (C feeds the reduce in-cluster)");
+        assert_eq!(
+            contracted.len(),
+            2,
+            "B and C contract (C feeds the reduce in-cluster)"
+        );
     }
 
     #[test]
     fn contraction_blocked_by_nonnull_flow() {
         // C := A; B := C@w — C's read has offset, flow UDV non-null.
-        let s = setup(&format!("{P} begin [R] C := A; [R] B := C@w; s := +<< [R] B; end"));
+        let s = setup(&format!(
+            "{P} begin [R] C := A; [R] B := C@w; s := +<< [R] B; end"
+        ));
         let (part, contracted) = run_contraction(&s);
         let names = s.np.program.array_names();
         let c_def = s.asdg.defs_of(names["C"])[0];
@@ -532,7 +570,11 @@ mod tests {
         let mut part = Partition::trivial(s.asdg.n);
         let cands = candidates(&s);
         ctx.fusion_for_contraction(&mut part, &cands);
-        assert_eq!(part.cluster_of(0), part.cluster_of(1), "fusion must succeed via reversal");
+        assert_eq!(
+            part.cluster_of(0),
+            part.cluster_of(1),
+            "fusion must succeed via reversal"
+        );
         let p = ctx.cluster_structure(&part, part.cluster_of(0));
         assert_eq!(p, vec![1, -2]);
         let contracted = ctx.contracted_defs(&part, &cands);
@@ -542,7 +584,9 @@ mod tests {
 
     #[test]
     fn scalar_statement_blocks_cluster_membership() {
-        let s = setup(&format!("{P} begin [R] B := A; s := 2.0; [R] C := B * s; s := +<< [R] C; end"));
+        let s = setup(&format!(
+            "{P} begin [R] B := A; s := 2.0; [R] C := B * s; s := +<< [R] C; end"
+        ));
         let ctx = FusionCtx::new(&s.np.program, &s.np.blocks[0], &s.asdg);
         let part = Partition::trivial(s.asdg.n);
         // Try to merge the scalar statement with an array statement.
@@ -560,7 +604,9 @@ mod tests {
 
     #[test]
     fn forbidden_pairs_block_fusion() {
-        let s = setup(&format!("{P} begin [R] B := A + A; [R] C := B; s := +<< [R] C; end"));
+        let s = setup(&format!(
+            "{P} begin [R] B := A + A; [R] C := B; s := +<< [R] C; end"
+        ));
         let mut ctx = FusionCtx::new(&s.np.program, &s.np.blocks[0], &s.asdg);
         ctx.opts.forbidden_pairs = vec![(0, 1)];
         let mut part = Partition::trivial(s.asdg.n);
@@ -620,7 +666,9 @@ mod tests {
         // Fragment (3): B := A@w + C@w; C := A*A. The commercial compilers
         // that cannot fuse across loop-carried anti-dependences fail here;
         // our algorithm reverses the loop.
-        let s = setup(&format!("{P} begin [R] B := A@w + C@w; [R] C := A * A; end"));
+        let s = setup(&format!(
+            "{P} begin [R] B := A@w + C@w; [R] C := A * A; end"
+        ));
         let ctx = FusionCtx::new(&s.np.program, &s.np.blocks[0], &s.asdg);
         let mut part = Partition::trivial(s.asdg.n);
         let c: BTreeSet<usize> = [0usize, 1].into_iter().collect();
@@ -701,10 +749,15 @@ mod tests {
 
     #[test]
     fn validate_accepts_fused_and_rejects_corrupt_partitions() {
-        let s = setup(&format!("{P} begin [R] B := A + A; [R] C := B; s := +<< [R] C; end"));
+        let s = setup(&format!(
+            "{P} begin [R] B := A + A; [R] C := B; s := +<< [R] C; end"
+        ));
         let ctx = FusionCtx::new(&s.np.program, &s.np.blocks[0], &s.asdg);
         let mut part = Partition::trivial(s.asdg.n);
-        assert!(ctx.validate(&part).is_ok(), "trivial partition is always valid");
+        assert!(
+            ctx.validate(&part).is_ok(),
+            "trivial partition is always valid"
+        );
         let cands = candidates(&s);
         ctx.fusion_for_contraction(&mut part, &cands);
         assert!(ctx.validate(&part).is_ok());

@@ -56,7 +56,10 @@ pub fn find_loop_structure(deps: &[Udv], rank: usize) -> Option<Vec<i8>> {
         // Dependences carried by this loop no longer constrain inner loops.
         remaining.retain(|u| u.0[j] == 0);
     }
-    debug_assert!(deps.iter().all(|u| u.preserved_by(&p)), "found structure must be legal");
+    debug_assert!(
+        deps.iter().all(|u| u.preserved_by(&p)),
+        "found structure must be legal"
+    );
     Some(p)
 }
 
@@ -82,7 +85,10 @@ mod tests {
 
     #[test]
     fn negative_distance_forces_reversal() {
-        assert_eq!(find_loop_structure(&[Udv(vec![0, -2])], 2), Some(vec![1, -2]));
+        assert_eq!(
+            find_loop_structure(&[Udv(vec![0, -2])], 2),
+            Some(vec![1, -2])
+        );
     }
 
     #[test]
@@ -121,7 +127,10 @@ mod tests {
     #[test]
     fn no_solution_when_every_dim_mixed() {
         // (1,-1) and (-1,1): both dimensions mixed from the start.
-        assert_eq!(find_loop_structure(&[Udv(vec![1, -1]), Udv(vec![-1, 1])], 2), None);
+        assert_eq!(
+            find_loop_structure(&[Udv(vec![1, -1]), Udv(vec![-1, 1])], 2),
+            None
+        );
     }
 
     #[test]

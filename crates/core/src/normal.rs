@@ -23,8 +23,7 @@
 
 use zlang::ast::ReduceOp;
 use zlang::ir::{
-    ArrayExpr, ArrayId, ArrayStmt, ConfigBinding, Program, RegionId, ScalarExpr, ScalarId,
-    Stmt,
+    ArrayExpr, ArrayId, ArrayStmt, ConfigBinding, Program, RegionId, ScalarExpr, ScalarId, Stmt,
 };
 
 /// A statement inside a basic block.
@@ -144,9 +143,19 @@ pub enum NStmt {
     /// A basic block (index into [`NormProgram::blocks`]).
     Block(usize),
     /// A counted loop.
-    For { var: ScalarId, lo: ScalarExpr, hi: ScalarExpr, down: bool, body: Vec<NStmt> },
+    For {
+        var: ScalarId,
+        lo: ScalarExpr,
+        hi: ScalarExpr,
+        down: bool,
+        body: Vec<NStmt>,
+    },
     /// A conditional.
-    If { cond: ScalarExpr, then_body: Vec<NStmt>, else_body: Vec<NStmt> },
+    If {
+        cond: ScalarExpr,
+        then_body: Vec<NStmt>,
+        else_body: Vec<NStmt>,
+    },
 }
 
 /// A normalized program: the original declarations (with compiler
@@ -164,7 +173,11 @@ pub struct NormProgram {
 impl NormProgram {
     /// Number of compiler temporaries inserted by normalization.
     pub fn compiler_temps(&self) -> usize {
-        self.program.arrays.iter().filter(|a| a.compiler_temp).count()
+        self.program
+            .arrays
+            .iter()
+            .filter(|a| a.compiler_temp)
+            .count()
     }
 
     /// The default config binding of the underlying program.
@@ -213,7 +226,12 @@ impl Normalizer {
         for s in stmts {
             match s {
                 Stmt::Array(a) => self.push_array_stmt(&mut block, a),
-                Stmt::Reduce { lhs, op, region, arg } => {
+                Stmt::Reduce {
+                    lhs,
+                    op,
+                    region,
+                    arg,
+                } => {
                     block.stmts.push(BStmt::Reduce {
                         lhs: *lhs,
                         op: *op,
@@ -222,9 +240,18 @@ impl Normalizer {
                     });
                 }
                 Stmt::Scalar { lhs, rhs } => {
-                    block.stmts.push(BStmt::Scalar { lhs: *lhs, rhs: rhs.clone() });
+                    block.stmts.push(BStmt::Scalar {
+                        lhs: *lhs,
+                        rhs: rhs.clone(),
+                    });
                 }
-                Stmt::For { var, lo, hi, down, body } => {
+                Stmt::For {
+                    var,
+                    lo,
+                    hi,
+                    down,
+                    body,
+                } => {
                     flush(&mut self.blocks, &mut block, &mut out);
                     let body = self.lower(body);
                     out.push(NStmt::For {
@@ -235,11 +262,19 @@ impl Normalizer {
                         body,
                     });
                 }
-                Stmt::If { cond, then_body, else_body } => {
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
                     flush(&mut self.blocks, &mut block, &mut out);
                     let then_body = self.lower(then_body);
                     let else_body = self.lower(else_body);
-                    out.push(NStmt::If { cond: cond.clone(), then_body, else_body });
+                    out.push(NStmt::If {
+                        cond: cond.clone(),
+                        then_body,
+                        else_body,
+                    });
                 }
             }
         }
@@ -251,9 +286,16 @@ impl Normalizer {
 /// Normalizes a program: inserts compiler temporaries and builds the basic
 /// block structure.
 pub fn normalize(program: &Program) -> NormProgram {
-    let mut n = Normalizer { program: program.clone(), blocks: Vec::new() };
+    let mut n = Normalizer {
+        program: program.clone(),
+        blocks: Vec::new(),
+    };
     let body = n.lower(&program.body);
-    NormProgram { program: n.program, blocks: n.blocks, body }
+    NormProgram {
+        program: n.program,
+        blocks: n.blocks,
+        body,
+    }
 }
 
 /// Per-array contraction candidacy: an array is a *candidate* iff all of
@@ -336,11 +378,18 @@ mod tests {
         let b = &np.blocks[0];
         assert_eq!(b.stmts.len(), 2);
         // First statement writes the temp, second copies it into A.
-        let BStmt::Array(s0) = &b.stmts[0] else { panic!() };
-        let BStmt::Array(s1) = &b.stmts[1] else { panic!() };
+        let BStmt::Array(s0) = &b.stmts[0] else {
+            panic!()
+        };
+        let BStmt::Array(s1) = &b.stmts[1] else {
+            panic!()
+        };
         assert!(np.program.array(s0.lhs).compiler_temp);
         assert_eq!(np.program.array(s1.lhs).name, "A");
-        assert_eq!(s1.rhs.reads(), vec![(s0.lhs, zlang::ir::Offset(vec![0, 0]))]);
+        assert_eq!(
+            s1.rhs.reads(),
+            vec![(s0.lhs, zlang::ir::Offset(vec![0, 0]))]
+        );
     }
 
     #[test]
@@ -378,7 +427,9 @@ mod tests {
         let np = norm(&format!("{P} begin [R] A := 1.0; s := +<< [R] A; end"));
         let b = &np.blocks[0];
         assert_eq!(b.stmts.len(), 2); // array, reduce — no copy statement
-        let BStmt::Reduce { lhs, .. } = &b.stmts[1] else { panic!() };
+        let BStmt::Reduce { lhs, .. } = &b.stmts[1] else {
+            panic!()
+        };
         assert_eq!(np.program.scalar(*lhs).name, "s");
     }
 
@@ -401,14 +452,23 @@ mod tests {
         ));
         let cand = contraction_candidates(&np);
         let names = np.program.array_names();
-        assert_eq!(cand[names["B"].0 as usize], None, "B is read in another block");
-        assert_eq!(cand[names["C"].0 as usize], Some(1), "C lives within the loop body block");
+        assert_eq!(
+            cand[names["B"].0 as usize], None,
+            "B is read in another block"
+        );
+        assert_eq!(
+            cand[names["C"].0 as usize],
+            Some(1),
+            "C lives within the loop body block"
+        );
     }
 
     #[test]
     fn candidates_read_before_write_rejected() {
         // Fragment (3)-style: C is read (stale value) before being written.
-        let np = norm(&format!("{P} begin [R] B := A + C@w; [R] C := A * A; s := +<< [R] B; end"));
+        let np = norm(&format!(
+            "{P} begin [R] B := A + C@w; [R] C := A * A; s := +<< [R] B; end"
+        ));
         let cand = contraction_candidates(&np);
         let names = np.program.array_names();
         assert_eq!(cand[names["C"].0 as usize], None);
@@ -427,7 +487,14 @@ mod tests {
     fn empty_then_else_blocks() {
         let np = norm(&format!("{P} begin if s > 0.0 then [R] A := 1.0; end; end"));
         assert_eq!(np.blocks.len(), 1);
-        let NStmt::If { then_body, else_body, .. } = &np.body[0] else { panic!() };
+        let NStmt::If {
+            then_body,
+            else_body,
+            ..
+        } = &np.body[0]
+        else {
+            panic!()
+        };
         assert_eq!(then_body.len(), 1);
         assert!(else_body.is_empty());
     }

@@ -13,7 +13,7 @@
 
 use crate::asdg::{self, Asdg, DefId};
 use crate::fusion::{FusionCtx, FusionOpts, Partition};
-use crate::normal::{self, NormProgram, NStmt};
+use crate::normal::{self, NStmt, NormProgram};
 use crate::scalarize::scalarize_block_grouped;
 use crate::weights::sort_by_weight;
 use loopir::{LStmt, ScalarProgram};
@@ -252,7 +252,10 @@ impl<'f> Pipeline<'f> {
 
     /// Installs a favor-communication filter: per block, statement pairs
     /// that must not share a cluster.
-    pub fn with_forbidden(mut self, f: impl Fn(&NormProgram, usize, &Asdg) -> Vec<(usize, usize)> + 'f) -> Self {
+    pub fn with_forbidden(
+        mut self,
+        f: impl Fn(&NormProgram, usize, &Asdg) -> Vec<(usize, usize)> + 'f,
+    ) -> Self {
         self.forbid = Some(Box::new(f));
         self
     }
@@ -354,7 +357,12 @@ impl<'f> Pipeline<'f> {
                 }
             }
 
-            block_out.push(scalarize_block_grouped(&ctx, &part, &contracted_def_set, &groups));
+            block_out.push(scalarize_block_grouped(
+                &ctx,
+                &part,
+                &contracted_def_set,
+                &groups,
+            ));
             details.push(BlockDetail {
                 asdg: g.clone(),
                 partition: part,
@@ -379,7 +387,10 @@ impl<'f> Pipeline<'f> {
         };
 
         let stmts = splice(&np.body, &mut block_out.iter().cloned());
-        let scalarized = ScalarProgram { program: np.program.clone(), stmts };
+        let scalarized = ScalarProgram {
+            program: np.program.clone(),
+            stmts,
+        };
 
         // Figure 7 accounting: arrays referenced before vs after.
         let referenced_before = referenced_arrays(&np);
@@ -408,22 +419,32 @@ impl<'f> Pipeline<'f> {
             .collect();
         contracted.sort();
 
-        Optimized { norm: np, scalarized, contracted, report, level: self.level, details }
+        Optimized {
+            norm: np,
+            scalarized,
+            contracted,
+            report,
+            level: self.level,
+            details,
+        }
     }
 }
 
 /// Splices scalarized blocks back into the control-flow skeleton.
-fn splice(
-    body: &[NStmt],
-    blocks: &mut impl Iterator<Item = Vec<LStmt>>,
-) -> Vec<LStmt> {
+fn splice(body: &[NStmt], blocks: &mut impl Iterator<Item = Vec<LStmt>>) -> Vec<LStmt> {
     // Blocks are numbered in discovery order, which is a pre-order walk —
     // reproduce the same walk.
     fn walk(body: &[NStmt], blocks: &[Vec<LStmt>], out: &mut Vec<LStmt>) {
         for s in body {
             match s {
                 NStmt::Block(i) => out.extend(blocks[*i].iter().cloned()),
-                NStmt::For { var, lo, hi, down, body } => {
+                NStmt::For {
+                    var,
+                    lo,
+                    hi,
+                    down,
+                    body,
+                } => {
                     let mut inner = Vec::new();
                     walk(body, blocks, &mut inner);
                     out.push(LStmt::For {
@@ -434,12 +455,20 @@ fn splice(
                         body: inner,
                     });
                 }
-                NStmt::If { cond, then_body, else_body } => {
+                NStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
                     let mut t = Vec::new();
                     let mut e = Vec::new();
                     walk(then_body, blocks, &mut t);
                     walk(else_body, blocks, &mut e);
-                    out.push(LStmt::If { cond: cond.clone(), then_body: t, else_body: e });
+                    out.push(LStmt::If {
+                        cond: cond.clone(),
+                        then_body: t,
+                        else_body: e,
+                    });
                 }
             }
         }
@@ -473,8 +502,8 @@ fn referenced_arrays(np: &NormProgram) -> Vec<ArrayId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use loopir::{Interp, NoopObserver};
-    use zlang::ir::{ConfigBinding, ScalarId};
+    use loopir::{Engine, Executor, NoopObserver};
+    use zlang::ir::ConfigBinding;
 
     const P: &str = "program p; config n : int = 6; region R = [1..n, 1..n]; \
                      direction w = [0, -1]; var A, B, C, D : [R] float; \
@@ -485,9 +514,9 @@ mod tests {
     }
 
     fn checksum(o: &Optimized) -> f64 {
-        let mut i = Interp::new(&o.scalarized, ConfigBinding::defaults(&o.scalarized.program));
-        i.run(&mut NoopObserver).unwrap();
-        i.scalar(ScalarId(0))
+        let binding = ConfigBinding::defaults(&o.scalarized.program);
+        let mut vm = loopir::Vm::new(&o.scalarized, binding).unwrap();
+        vm.execute(&mut NoopObserver).unwrap().checksum()
     }
 
     #[test]
@@ -517,9 +546,7 @@ mod tests {
     #[test]
     fn c1_contracts_only_compiler_arrays() {
         // A := A + A (aligned) needs a compiler temp; B is a user temp.
-        let src = format!(
-            "{P} begin [R] A := A + A; [R] B := A; [R] C := B; s := +<< [R] C; end"
-        );
+        let src = format!("{P} begin [R] A := A + A; [R] B := A; [R] C := B; s := +<< [R] C; end");
         let c1 = opt(&src, Level::C1);
         assert_eq!(c1.contracted_names(), vec!["_t0"]);
         let c2 = opt(&src, Level::C2);
@@ -588,9 +615,9 @@ mod tests {
         );
         let mem = |level| {
             let o = opt(&src, level);
-            let mut i =
-                Interp::new(&o.scalarized, ConfigBinding::defaults(&o.scalarized.program));
-            i.run(&mut NoopObserver).unwrap().peak_bytes
+            let binding = ConfigBinding::defaults(&o.scalarized.program);
+            let mut exec = Engine::default().executor(&o.scalarized, binding).unwrap();
+            exec.execute(&mut NoopObserver).unwrap().stats.peak_bytes
         };
         assert!(mem(Level::C2) < mem(Level::Baseline));
     }

@@ -50,7 +50,9 @@ fn lower_expr(
         ),
         ArrayExpr::Call(i, args) => EExpr::Call(
             *i,
-            args.iter().map(|a| lower_expr(a, read_map, temp_of)).collect(),
+            args.iter()
+                .map(|a| lower_expr(a, read_map, temp_of))
+                .collect(),
         ),
     }
 }
@@ -142,7 +144,10 @@ fn topo_nodes(
     // Node-level edges.
     let mut edges = Vec::new();
     for e in &ctx.asdg.edges {
-        let (a, b) = (node_of[&part.cluster_of(e.src)], node_of[&part.cluster_of(e.dst)]);
+        let (a, b) = (
+            node_of[&part.cluster_of(e.src)],
+            node_of[&part.cluster_of(e.dst)],
+        );
         if a != b {
             edges.push((a, b));
         }
@@ -164,8 +169,7 @@ pub fn lower_cluster(
     structure_override: Option<Vec<i8>>,
 ) -> (Vec<LStmt>, LoopNest) {
     let stmts = part.cluster(cluster);
-    let structure =
-        structure_override.unwrap_or_else(|| ctx.cluster_structure(part, cluster));
+    let structure = structure_override.unwrap_or_else(|| ctx.cluster_structure(part, cluster));
     let region = ctx.block.stmts[stmts[0]]
         .region()
         .expect("fusible cluster statements have regions");
@@ -182,8 +186,10 @@ pub fn lower_cluster(
     let mut body = Vec::new();
     let mut inits = Vec::new();
     for &s in stmts {
-        let read_map: HashMap<ArrayId, DefId> =
-            ctx.asdg.read_defs[s].iter().map(|&(a, _, d)| (a, d)).collect();
+        let read_map: HashMap<ArrayId, DefId> = ctx.asdg.read_defs[s]
+            .iter()
+            .map(|&(a, _, d)| (a, d))
+            .collect();
         match &ctx.block.stmts[s] {
             BStmt::Array(ast) => {
                 let rhs = lower_expr(&ast.rhs, &read_map, &temp_of);
@@ -209,7 +215,16 @@ pub fn lower_cluster(
             BStmt::Scalar { .. } => unreachable!("scalar statements are singleton clusters"),
         }
     }
-    (inits, LoopNest { region, structure, body, cluster, temps: temp_of.len() as u32 })
+    (
+        inits,
+        LoopNest {
+            region,
+            structure,
+            body,
+            cluster,
+            temps: temp_of.len() as u32,
+        },
+    )
 }
 
 /// Scalarizes one basic block given its final fusion partition and the set
@@ -239,7 +254,10 @@ pub fn scalarize_block_grouped(
             let stmts = part.cluster(node[0]);
             if stmts.len() == 1 {
                 if let BStmt::Scalar { lhs, rhs } = &ctx.block.stmts[stmts[0]] {
-                    out.push(LStmt::Scalar { lhs: *lhs, rhs: rhs.clone() });
+                    out.push(LStmt::Scalar {
+                        lhs: *lhs,
+                        rhs: rhs.clone(),
+                    });
                     continue;
                 }
             }
@@ -280,7 +298,7 @@ mod tests {
     use crate::asdg::build;
     use crate::normal::normalize;
     use crate::weights::sort_by_weight;
-    use loopir::{Interp, NoopObserver, ScalarProgram};
+    use loopir::{Engine, NoopObserver, ScalarProgram};
     use zlang::ir::ConfigBinding;
 
     const P: &str = "program p; config n : int = 6; region R = [1..n, 1..n]; \
@@ -301,28 +319,39 @@ mod tests {
                     defs.extend(asdg.defs_of(zlang::ir::ArrayId(i as u32)));
                 }
             }
-            let defs = sort_by_weight(&np.program, &np.blocks[0], &asdg, defs, &np.default_binding());
+            let defs = sort_by_weight(
+                &np.program,
+                &np.blocks[0],
+                &asdg,
+                defs,
+                &np.default_binding(),
+            );
             ctx.fusion_for_contraction(&mut part, &defs);
             contracted = ctx.contracted_defs(&part, &defs).into_iter().collect();
         }
         let stmts = scalarize_block(&ctx, &part, &contracted);
         let ncontracted = contracted.len();
-        (ScalarProgram { program: np.program.clone(), stmts }, ncontracted)
+        (
+            ScalarProgram {
+                program: np.program.clone(),
+                stmts,
+            },
+            ncontracted,
+        )
     }
 
     #[test]
     fn baseline_and_fused_agree() {
-        let src = format!(
-            "{P} begin [R] B := A + 1.0; [R] C := B * B; s := +<< [R] C; end"
-        );
+        let src = format!("{P} begin [R] B := A + 1.0; [R] C := B * B; s := +<< [R] C; end");
         let (base, n0) = compile_block(&src, false);
         let (fused, n1) = compile_block(&src, true);
         assert_eq!(n0, 0);
         assert!(n1 >= 1);
         let run = |sp: &ScalarProgram| {
-            let mut i = Interp::new(sp, ConfigBinding::defaults(&sp.program));
-            i.run(&mut NoopObserver).unwrap();
-            i.scalar(zlang::ir::ScalarId(0))
+            let mut exec = Engine::default()
+                .executor(sp, ConfigBinding::defaults(&sp.program))
+                .unwrap();
+            exec.execute(&mut NoopObserver).unwrap().checksum()
         };
         let (a, b) = (run(&base), run(&fused));
         assert_eq!(a, b);
@@ -349,9 +378,10 @@ mod tests {
             LStmt::Scalar { rhs: ScalarExpr::Const(v), .. } if *v == f64::NEG_INFINITY
         ));
         assert_eq!(fused.nest_count(), 1);
-        let mut i = Interp::new(&fused, ConfigBinding::defaults(&fused.program));
-        i.run(&mut NoopObserver).unwrap();
-        assert_eq!(i.scalar(zlang::ir::ScalarId(0)), 1.0);
+        let mut exec = Engine::default()
+            .executor(&fused, ConfigBinding::defaults(&fused.program))
+            .unwrap();
+        assert_eq!(exec.execute(&mut NoopObserver).unwrap().checksum(), 1.0);
     }
 
     #[test]
@@ -360,9 +390,11 @@ mod tests {
         // semantics must match the unfused version. Fusing T:=A@w+1; A:=T
         // carries an anti dependence on A (u=(0,-1)) -> loop over dim 2
         // reversed. Every element must read the OLD value of A.
-        let src = "program p; config n : int = 6; region RH = [0..n, 0..n]; region R = [1..n, 1..n]; \
+        let src =
+            "program p; config n : int = 6; region RH = [0..n, 0..n]; region R = [1..n, 1..n]; \
              var A : [RH] float; var s : float; begin \
-             [RH] A := index2; [R] A := A@[0,-1] + 100.0; s := +<< [R] A; end".to_string();
+             [RH] A := index2; [R] A := A@[0,-1] + 100.0; s := +<< [R] A; end"
+                .to_string();
         let (base, n0) = compile_block(&src, false);
         let (fused, n1) = compile_block(&src, true);
         assert_eq!(n0, 0);
@@ -370,9 +402,10 @@ mod tests {
         // contract; A's array stays allocated for its first definition.
         assert_eq!(n1, 2);
         let run = |sp: &ScalarProgram| {
-            let mut i = Interp::new(sp, ConfigBinding::defaults(&sp.program));
-            i.run(&mut NoopObserver).unwrap();
-            i.scalar(zlang::ir::ScalarId(0))
+            let mut exec = Engine::default()
+                .executor(sp, ConfigBinding::defaults(&sp.program))
+                .unwrap();
+            exec.execute(&mut NoopObserver).unwrap().checksum()
         };
         assert_eq!(run(&base), run(&fused));
         // Old values of A are index2 - 1 per element, plus 100.
@@ -399,9 +432,10 @@ mod tests {
         // Execute — interpreter would produce wrong results or OOB if
         // ordering was broken; also compare against unfused.
         let run = |sp: &ScalarProgram| {
-            let mut i = Interp::new(sp, ConfigBinding::defaults(&sp.program));
-            i.run(&mut NoopObserver).unwrap();
-            i.scalar(zlang::ir::ScalarId(0))
+            let mut exec = Engine::default()
+                .executor(sp, ConfigBinding::defaults(&sp.program))
+                .unwrap();
+            exec.execute(&mut NoopObserver).unwrap().checksum()
         };
         let (base, _) = compile_block(&src, false);
         assert_eq!(run(&sp), run(&base));

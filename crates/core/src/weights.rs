@@ -47,7 +47,10 @@ pub fn sort_by_weight(
     binding: &ConfigBinding,
 ) -> Vec<DefId> {
     candidates.sort_by_key(|&d| {
-        (std::cmp::Reverse(def_weight(program, block, asdg, d, binding)), d)
+        (
+            std::cmp::Reverse(def_weight(program, block, asdg, d, binding)),
+            d,
+        )
     });
     candidates
 }
@@ -61,7 +64,10 @@ pub fn contraction_benefit(
     contracted: &[DefId],
     binding: &ConfigBinding,
 ) -> u64 {
-    contracted.iter().map(|&d| def_weight(program, block, asdg, d, binding)).sum()
+    contracted
+        .iter()
+        .map(|&d| def_weight(program, block, asdg, d, binding))
+        .sum()
 }
 
 #[cfg(test)]
@@ -85,17 +91,17 @@ mod tests {
         let b_def = g.defs_of(names["B"])[0];
         // B: 1 write + 2 reads in stmt 1 + 1 read in the reduce = 4 refs of
         // a 100-element region.
-        assert_eq!(def_weight(&np.program, &np.blocks[0], &g, b_def, &binding), 400);
+        assert_eq!(
+            def_weight(&np.program, &np.blocks[0], &g, b_def, &binding),
+            400
+        );
         let c_def = g.defs_of(names["C"])[0];
         // C: 1 write + 1 read.
-        assert_eq!(def_weight(&np.program, &np.blocks[0], &g, c_def, &binding), 200);
-        let sorted = sort_by_weight(
-            &np.program,
-            &np.blocks[0],
-            &g,
-            vec![c_def, b_def],
-            &binding,
+        assert_eq!(
+            def_weight(&np.program, &np.blocks[0], &g, c_def, &binding),
+            200
         );
+        let sorted = sort_by_weight(&np.program, &np.blocks[0], &g, vec![c_def, b_def], &binding);
         assert_eq!(sorted, vec![b_def, c_def]);
         assert_eq!(
             contraction_benefit(&np.program, &np.blocks[0], &g, &[b_def, c_def], &binding),
@@ -115,8 +121,14 @@ mod tests {
         let names = np.program.array_names();
         let b_def = g.defs_of(names["B"])[0];
         let mut binding = np.default_binding();
-        assert_eq!(def_weight(&np.program, &np.blocks[0], &g, b_def, &binding), 20);
+        assert_eq!(
+            def_weight(&np.program, &np.blocks[0], &g, b_def, &binding),
+            20
+        );
         binding.set_by_name(&np.program, "n", 50);
-        assert_eq!(def_weight(&np.program, &np.blocks[0], &g, b_def, &binding), 100);
+        assert_eq!(
+            def_weight(&np.program, &np.blocks[0], &g, b_def, &binding),
+            100
+        );
     }
 }

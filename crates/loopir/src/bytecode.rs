@@ -1,0 +1,1035 @@
+//! Compilation of [`ScalarProgram`] loop nests to flat register bytecode.
+//!
+//! The tree-walking [`Interp`](crate::Interp) re-discovers everything on
+//! every iteration point: region bounds, array strides, bounds checks,
+//! expression structure. Under a fixed [`ConfigBinding`] all of that is
+//! static, so this pass resolves it once:
+//!
+//! * **Frame layout** — one flat `f64` register file holds the program
+//!   scalars, the contracted-array temps, interned constants (including
+//!   config values and reduction identities), and per-statement scratch.
+//! * **Access table** — every array reference becomes a precomputed
+//!   `const_flat + Σ idx[d]·stride[d]` entry; dimensions collapsed by
+//!   dimension contraction get stride 0. When the enclosing loops' index
+//!   ranges prove the access in bounds (the common case), the runtime
+//!   check is elided entirely; otherwise a checked entry reproduces the
+//!   interpreter's "declare a halo?" error exactly.
+//! * **Loop protocol** — region loops become `SetIdx`/`IdxStep` pairs with
+//!   absolute jump targets and constant bounds; empty regions are resolved
+//!   at compile time. `for`/`outer` loops run on dedicated counters.
+//!
+//! The [`Vm`](crate::Vm) executes the result with bit-identical observable
+//! behavior: same scalar results, same [`RunStats`], and the same ordered
+//! load/store address stream through the [`Observer`](crate::Observer).
+
+use crate::interp::ExecError;
+use crate::ir::{EExpr, ElemRef, LStmt, LoopNest, ScalarProgram};
+use std::collections::{HashMap, HashSet};
+use zlang::ast::{BinOp, ReduceOp, UnOp};
+use zlang::ir::{ArrayId, ConfigBinding, Intrinsic, Offset, ScalarExpr};
+
+/// Maximum region rank the VM supports (the paper's programs are rank ≤ 3).
+pub(crate) const MAX_RANK: usize = 4;
+
+/// A register index into the VM's flat `f64` frame.
+pub(crate) type Reg = u16;
+
+/// One bytecode operation. All operands are pre-resolved; the only runtime
+/// state is the register frame, the index vector, the loop counters, and
+/// the array buffers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Op {
+    /// `f[dst] = f[a] + f[b]` (dedicated opcode for the hottest operators
+    /// so dispatch needs no second match on the operator; likewise
+    /// `Sub`/`Mul`/`Div`).
+    Add { dst: Reg, a: Reg, b: Reg },
+    /// `f[dst] = f[a] - f[b]`.
+    Sub { dst: Reg, a: Reg, b: Reg },
+    /// `f[dst] = f[a] * f[b]`.
+    Mul { dst: Reg, a: Reg, b: Reg },
+    /// `f[dst] = f[a] / f[b]`.
+    Div { dst: Reg, a: Reg, b: Reg },
+    /// `f[dst] = f[a] <op> f[b]` for the remaining (comparison) operators
+    /// (flops are batched into [`Op::Tick`]).
+    Bin { op: BinOp, dst: Reg, a: Reg, b: Reg },
+    /// `f[dst] = -f[src]`.
+    Neg { dst: Reg, src: Reg },
+    /// `f[dst] = f[src]`.
+    Mov { dst: Reg, src: Reg },
+    /// `f[dst] = intr(f[base..base+n])`.
+    Call {
+        intr: Intrinsic,
+        dst: Reg,
+        base: Reg,
+        n: u8,
+    },
+    /// `f[dst] = idx[d] as f64`.
+    IdxF { dst: Reg, d: u8 },
+    /// `f[dst] = array element` through access-table entry `acc`.
+    Load { dst: Reg, acc: u32 },
+    /// `array element = f[src]` through access-table entry `acc`.
+    Store { acc: u32, src: Reg },
+    /// `f[dst] = f[dst] <op> f[src]` (reduction combine, no counters).
+    Reduce { op: ReduceOp, dst: Reg, src: Reg },
+    /// Per-iteration bookkeeping, fused into one dispatch: count one
+    /// iteration point and report the body's `flops` (nest bodies are
+    /// straight-line, so the flop count per point is a compile-time
+    /// constant; observers accumulate totals, so batching per body is
+    /// indistinguishable from the interpreter's per-statement reports).
+    Tick { flops: u32 },
+    /// `Observer::nest_begin` with the nest at index `nest`.
+    NestBegin { nest: u32 },
+    /// `Observer::reduce_begin`.
+    ReduceBegin,
+    /// Allocate array `arr` if not yet allocated.
+    Alloc { arr: u16 },
+    /// `idx[d] = v`.
+    SetIdx { d: u8, v: i64 },
+    /// `idx[d] += step; if idx[d] != stop jump to head` (region loop back
+    /// edge; `stop` is one `step` past the last iterate).
+    IdxStep {
+        d: u8,
+        step: i64,
+        stop: i64,
+        head: u32,
+    },
+    /// Initialize counter `ctr` (compile-time constant, non-empty) for an
+    /// `Outer` loop.
+    CtrInit {
+        ctr: u16,
+        cur: i64,
+        end: i64,
+        step: i64,
+    },
+    /// `idx[d] = ctr value` (Outer loop header; also restores the dim at
+    /// each inner nest entry).
+    CtrToIdx { d: u8, ctr: u16 },
+    /// `f[dst] = ctr value as f64` (`for` loop variable binding).
+    CtrToScalar { dst: Reg, ctr: u16 },
+    /// Evaluate `for` bounds from registers; jump to `exit` when empty,
+    /// otherwise initialize counter `ctr`.
+    ForInit {
+        ctr: u16,
+        lo: Reg,
+        hi: Reg,
+        down: bool,
+        exit: u32,
+    },
+    /// Counter back edge: step `ctr`; jump to `head` while in range.
+    CtrStep { ctr: u16, head: u32 },
+    /// Unconditional jump.
+    Jmp { target: u32 },
+    /// Jump to `target` when `f[cond] == 0.0`.
+    JmpIfZero { cond: Reg, target: u32 },
+    /// End of program.
+    Halt,
+}
+
+/// Static per-array allocation info (bounds resolved under the binding).
+#[derive(Debug, Clone)]
+pub(crate) struct ArrayInfo {
+    /// Declared name, for error messages.
+    pub name: String,
+    /// Allocated element count.
+    pub elems: usize,
+    /// Allocated bytes (`elems * 8`).
+    pub bytes: u64,
+}
+
+/// A runtime bounds check: per non-collapsed dimension,
+/// `(dim, offset, lo, extent)` — the access is legal iff
+/// `0 <= idx[dim] + offset - lo < extent` for all entries.
+#[derive(Debug, Clone)]
+pub(crate) struct Check {
+    pub dims: Vec<(u8, i64, i64, i64)>,
+    /// The full offset vector, for the error message.
+    pub off: Vec<i64>,
+    pub arr: ArrayId,
+}
+
+/// One resolved array access site.
+#[derive(Debug, Clone)]
+pub(crate) struct Access {
+    /// Index into [`Code::arrays`].
+    pub arr: u16,
+    /// Flat-index contribution of the offset and region lows.
+    pub const_flat: i64,
+    /// Row-major strides per dimension (0 for collapsed dimensions).
+    pub strides: [i64; MAX_RANK],
+    /// Number of leading `strides` entries in use (the array's rank).
+    pub rank: u8,
+    /// Runtime bounds check, when static analysis could not elide it.
+    pub check: Option<Box<Check>>,
+}
+
+/// A compiled program: flat bytecode plus its constant tables.
+///
+/// `Default` is an empty program, used by [`Vm`](crate::Vm) to move the
+/// tables out of `self` for the duration of a run.
+#[derive(Default)]
+pub(crate) struct Code {
+    pub ops: Vec<Op>,
+    pub accesses: Vec<Access>,
+    pub arrays: Vec<ArrayInfo>,
+    /// Nests referenced by `Op::NestBegin`, cloned for observer callbacks.
+    pub nests: Vec<LoopNest>,
+    /// Initial values for the interned-constant registers.
+    pub consts: Vec<f64>,
+    pub n_scalars: u16,
+    pub const_base: u16,
+    /// Total registers in the frame.
+    pub frame: u16,
+    pub n_ctrs: u16,
+}
+
+fn err(message: impl Into<String>) -> ExecError {
+    ExecError {
+        message: message.into(),
+    }
+}
+
+/// Selects the dedicated opcode for arithmetic operators, falling back to
+/// the generic [`Op::Bin`] for comparisons.
+fn bin_op(op: BinOp, dst: Reg, a: Reg, b: Reg) -> Op {
+    match op {
+        BinOp::Add => Op::Add { dst, a, b },
+        BinOp::Sub => Op::Sub { dst, a, b },
+        BinOp::Mul => Op::Mul { dst, a, b },
+        BinOp::Div => Op::Div { dst, a, b },
+        _ => Op::Bin { op, dst, a, b },
+    }
+}
+
+fn reduce_identity(op: ReduceOp) -> f64 {
+    match op {
+        ReduceOp::Sum => 0.0,
+        ReduceOp::Prod => 1.0,
+        ReduceOp::Max => f64::NEG_INFINITY,
+        ReduceOp::Min => f64::INFINITY,
+    }
+}
+
+/// Per-array static layout used while compiling accesses (not needed at
+/// runtime, where `Access` carries everything).
+struct Layout {
+    lo: Vec<i64>,
+    extent: Vec<i64>,
+    strides: Vec<i64>,
+    collapsed: Vec<bool>,
+}
+
+struct Compiler<'p> {
+    prog: &'p ScalarProgram,
+    binding: &'p ConfigBinding,
+    ops: Vec<Op>,
+    accesses: Vec<Access>,
+    arrays: Vec<ArrayInfo>,
+    layouts: Vec<Layout>,
+    nests: Vec<LoopNest>,
+    consts: Vec<f64>,
+    const_regs: HashMap<u64, Reg>,
+    n_scalars: u16,
+    temp_base: u16,
+    const_base: u16,
+    scratch_base: u16,
+    /// Next free scratch register (bump-allocated, reset per statement).
+    scratch: u32,
+    max_scratch: u32,
+    n_ctrs: u16,
+    /// Compile-time value range of each index-vector slot, if initialized.
+    dim_range: [Option<(i64, i64)>; MAX_RANK],
+    /// Enclosing `Outer` loops: `(dim, counter, range)`.
+    outer_dims: Vec<(u8, u16, (i64, i64))>,
+    /// Flops in the statement currently being compiled.
+    stmt_flops: u64,
+}
+
+/// Compiles a scalarized program to bytecode under a config binding.
+pub(crate) fn compile(prog: &ScalarProgram, binding: &ConfigBinding) -> Result<Code, ExecError> {
+    let n_scalars = prog.program.scalars.len();
+    if n_scalars > u16::MAX as usize {
+        return Err(err("too many scalars for the VM frame"));
+    }
+    let mut max_temps = 0u32;
+    max_temps_in(&prog.stmts, &mut max_temps);
+
+    let mut c = Compiler {
+        prog,
+        binding,
+        ops: Vec::new(),
+        accesses: Vec::new(),
+        arrays: Vec::new(),
+        layouts: Vec::new(),
+        nests: Vec::new(),
+        consts: Vec::new(),
+        const_regs: HashMap::new(),
+        n_scalars: n_scalars as u16,
+        temp_base: n_scalars as u16,
+        const_base: 0,
+        scratch_base: 0,
+        scratch: 0,
+        max_scratch: 0,
+        n_ctrs: 0,
+        dim_range: [None; MAX_RANK],
+        outer_dims: Vec::new(),
+        stmt_flops: 0,
+    };
+    c.build_layouts()?;
+    // Interned constants must be placed before compilation starts so their
+    // registers sit below the scratch area: collect them in a pre-pass.
+    c.collect_consts(&prog.stmts);
+    let const_base = c.temp_base as u32 + max_temps;
+    let scratch_base = const_base + c.consts.len() as u32;
+    if scratch_base > u16::MAX as u32 {
+        return Err(err("register frame overflow"));
+    }
+    c.const_base = const_base as u16;
+    c.scratch_base = scratch_base as u16;
+
+    c.compile_stmts(&prog.stmts)?;
+    c.emit(Op::Halt);
+
+    let frame = scratch_base + c.max_scratch;
+    if frame > u16::MAX as u32 {
+        return Err(err("register frame overflow"));
+    }
+    Ok(Code {
+        ops: c.ops,
+        accesses: c.accesses,
+        arrays: c.arrays,
+        nests: c.nests,
+        consts: c.consts,
+        n_scalars: c.n_scalars,
+        const_base: c.const_base,
+        frame: frame as u16,
+        n_ctrs: c.n_ctrs,
+    })
+}
+
+fn max_temps_in(stmts: &[LStmt], max: &mut u32) {
+    for s in stmts {
+        match s {
+            LStmt::Nest(n) => *max = (*max).max(n.temps),
+            LStmt::For { body, .. } | LStmt::Outer { body, .. } => max_temps_in(body, max),
+            LStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                max_temps_in(then_body, max);
+                max_temps_in(else_body, max);
+            }
+            LStmt::Scalar { .. } | LStmt::ReduceNest { .. } => {}
+        }
+    }
+}
+
+impl<'p> Compiler<'p> {
+    fn emit(&mut self, op: Op) -> u32 {
+        self.ops.push(op);
+        (self.ops.len() - 1) as u32
+    }
+
+    fn here(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    /// The run-time value of a config variable (mirrors the interpreter:
+    /// integer configs come from the binding, float configs are constants).
+    fn config_value(&self, c: zlang::ir::ConfigId) -> f64 {
+        let d = &self.prog.program.configs[c.0 as usize];
+        if d.ty == zlang::ast::Type::Int {
+            self.binding.get(c) as f64
+        } else {
+            d.default
+        }
+    }
+
+    fn region_bounds(&self, r: zlang::ir::RegionId) -> Vec<(i64, i64)> {
+        self.prog.program.region(r).bounds(self.binding)
+    }
+
+    // ---- frame layout -----------------------------------------------------
+
+    /// Resolves every array's allocation layout (mirroring the
+    /// interpreter's `ensure_alloc` exactly, including collapsed dims).
+    fn build_layouts(&mut self) -> Result<(), ExecError> {
+        for (i, decl) in self.prog.program.arrays.iter().enumerate() {
+            if i > u16::MAX as usize {
+                return Err(err("too many arrays for the VM"));
+            }
+            let bounds = self.region_bounds(decl.region);
+            if bounds.len() > MAX_RANK {
+                return Err(err(format!(
+                    "array `{}` has rank {} > {MAX_RANK} (unsupported by the VM)",
+                    decl.name,
+                    bounds.len()
+                )));
+            }
+            let mut lo = Vec::with_capacity(bounds.len());
+            let mut extent = Vec::with_capacity(bounds.len());
+            let mut collapsed = Vec::with_capacity(bounds.len());
+            let mut n: i64 = 1;
+            for (d, &(l, h)) in bounds.iter().enumerate() {
+                let e = (h - l + 1).max(0);
+                let is_collapsed = decl.collapsed.contains(&(d as u8));
+                lo.push(l);
+                extent.push(if is_collapsed { e.min(1) } else { e });
+                collapsed.push(is_collapsed);
+                if !is_collapsed {
+                    n = n.saturating_mul(e);
+                }
+            }
+            // Row-major strides over the non-collapsed extents; collapsed
+            // dimensions contribute stride 0 so their index is ignored.
+            let mut strides = vec![0i64; bounds.len()];
+            let mut running = 1i64;
+            for d in (0..bounds.len()).rev() {
+                if !collapsed[d] {
+                    strides[d] = running;
+                    running = running.saturating_mul(extent[d]);
+                }
+            }
+            self.arrays.push(ArrayInfo {
+                name: decl.name.clone(),
+                elems: n as usize,
+                bytes: (n as u64) * 8,
+            });
+            self.layouts.push(Layout {
+                lo,
+                extent,
+                strides,
+                collapsed,
+            });
+        }
+        Ok(())
+    }
+
+    // ---- constant interning ----------------------------------------------
+
+    fn intern(&mut self, v: f64) {
+        if !self.const_regs.contains_key(&v.to_bits()) {
+            let next = self.consts.len() as Reg;
+            self.consts.push(v);
+            self.const_regs.insert(v.to_bits(), next);
+        }
+    }
+
+    fn const_reg(&self, v: f64) -> Reg {
+        self.const_base + self.const_regs[&v.to_bits()]
+    }
+
+    fn collect_consts(&mut self, stmts: &[LStmt]) {
+        for s in stmts {
+            match s {
+                LStmt::Nest(n) => {
+                    for st in &n.body {
+                        self.collect_econsts(&st.rhs);
+                    }
+                }
+                LStmt::Scalar { rhs, .. } => self.collect_sconsts(rhs),
+                LStmt::ReduceNest { op, rhs, .. } => {
+                    self.intern(reduce_identity(*op));
+                    self.collect_econsts(rhs);
+                }
+                LStmt::Outer { body, .. } => self.collect_consts(body),
+                LStmt::For { lo, hi, body, .. } => {
+                    self.collect_sconsts(lo);
+                    self.collect_sconsts(hi);
+                    self.collect_consts(body);
+                }
+                LStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    self.collect_sconsts(cond);
+                    self.collect_consts(then_body);
+                    self.collect_consts(else_body);
+                }
+            }
+        }
+    }
+
+    fn collect_econsts(&mut self, e: &EExpr) {
+        match e {
+            EExpr::Const(v) => self.intern(*v),
+            EExpr::ConfigRef(c) => self.intern(self.config_value(*c)),
+            EExpr::Unary(_, inner) => self.collect_econsts(inner),
+            EExpr::Binary(_, l, r) => {
+                self.collect_econsts(l);
+                self.collect_econsts(r);
+            }
+            EExpr::Call(_, args) => {
+                for a in args {
+                    self.collect_econsts(a);
+                }
+            }
+            EExpr::Load(..) | EExpr::Temp(_) | EExpr::ScalarRef(_) | EExpr::Index(_) => {}
+        }
+    }
+
+    fn collect_sconsts(&mut self, e: &ScalarExpr) {
+        match e {
+            ScalarExpr::Const(v) => self.intern(*v),
+            ScalarExpr::ConfigRef(c) => self.intern(self.config_value(*c)),
+            ScalarExpr::Unary(_, inner) => self.collect_sconsts(inner),
+            ScalarExpr::Binary(_, l, r) => {
+                self.collect_sconsts(l);
+                self.collect_sconsts(r);
+            }
+            ScalarExpr::Call(_, args) => {
+                for a in args {
+                    self.collect_sconsts(a);
+                }
+            }
+            ScalarExpr::ScalarRef(_) => {}
+        }
+    }
+
+    // ---- scratch allocation ----------------------------------------------
+
+    fn alloc_scratch(&mut self) -> Result<Reg, ExecError> {
+        let r = self.scratch_base as u32 + self.scratch;
+        self.scratch += 1;
+        self.max_scratch = self.max_scratch.max(self.scratch);
+        if r > u16::MAX as u32 {
+            return Err(err("register frame overflow"));
+        }
+        Ok(r as Reg)
+    }
+
+    // ---- accesses ---------------------------------------------------------
+
+    /// Resolves an array access site: flat-index affine form plus a bounds
+    /// check unless the current loop ranges prove it in bounds.
+    fn make_access(&mut self, a: ArrayId, off: &Offset) -> Result<u32, ExecError> {
+        let lay = &self.layouts[a.0 as usize];
+        let rank = lay.lo.len();
+        if off.0.len() < rank {
+            return Err(err(format!(
+                "offset rank mismatch on array `{}`",
+                self.arrays[a.0 as usize].name
+            )));
+        }
+        let mut const_flat = 0i64;
+        let mut strides = [0i64; MAX_RANK];
+        let mut need_check = false;
+        let mut check_dims = Vec::new();
+        // Indexing several parallel per-dimension tables; an iterator chain
+        // over one of them would only obscure that.
+        #[allow(clippy::needless_range_loop)]
+        for d in 0..rank {
+            if lay.collapsed[d] {
+                continue;
+            }
+            const_flat += lay.strides[d] * (off.0[d] - lay.lo[d]);
+            strides[d] = lay.strides[d];
+            let Some((mn, mx)) = self.dim_range[d] else {
+                return Err(err(format!(
+                    "array `{}` has rank {} but the enclosing nest binds fewer dimensions",
+                    self.arrays[a.0 as usize].name, rank
+                )));
+            };
+            let lo_i = mn + off.0[d] - lay.lo[d];
+            let hi_i = mx + off.0[d] - lay.lo[d];
+            if lo_i < 0 || hi_i >= lay.extent[d] {
+                need_check = true;
+            }
+            check_dims.push((d as u8, off.0[d], lay.lo[d], lay.extent[d]));
+        }
+        let check = need_check.then(|| {
+            Box::new(Check {
+                dims: check_dims,
+                off: off.0.clone(),
+                arr: a,
+            })
+        });
+        let id = self.accesses.len() as u32;
+        self.accesses.push(Access {
+            arr: a.0 as u16,
+            const_flat,
+            strides,
+            rank: rank as u8,
+            check,
+        });
+        Ok(id)
+    }
+
+    // ---- element expressions ----------------------------------------------
+
+    /// Returns a register holding the expression's value, using an existing
+    /// register when the expression is a direct reference.
+    fn operand(&mut self, e: &EExpr) -> Result<Reg, ExecError> {
+        match e {
+            EExpr::ScalarRef(s) => Ok(s.0 as Reg),
+            EExpr::Temp(t) => Ok(self.temp_base + t.0 as Reg),
+            EExpr::Const(v) => Ok(self.const_reg(*v)),
+            EExpr::ConfigRef(c) => Ok(self.const_reg(self.config_value(*c))),
+            _ => {
+                let r = self.alloc_scratch()?;
+                self.compile_expr_into(e, r)?;
+                Ok(r)
+            }
+        }
+    }
+
+    fn compile_expr_into(&mut self, e: &EExpr, dst: Reg) -> Result<(), ExecError> {
+        match e {
+            EExpr::Load(a, off) => {
+                let acc = self.make_access(*a, off)?;
+                self.emit(Op::Load { dst, acc });
+            }
+            EExpr::Temp(t) => {
+                self.emit(Op::Mov {
+                    dst,
+                    src: self.temp_base + t.0 as Reg,
+                });
+            }
+            EExpr::ScalarRef(s) => {
+                self.emit(Op::Mov {
+                    dst,
+                    src: s.0 as Reg,
+                });
+            }
+            EExpr::ConfigRef(c) => {
+                let src = self.const_reg(self.config_value(*c));
+                self.emit(Op::Mov { dst, src });
+            }
+            EExpr::Const(v) => {
+                let src = self.const_reg(*v);
+                self.emit(Op::Mov { dst, src });
+            }
+            EExpr::Index(d) => {
+                self.emit(Op::IdxF { dst, d: *d });
+            }
+            EExpr::Unary(UnOp::Neg, inner) => {
+                let src = self.operand(inner)?;
+                self.emit(Op::Neg { dst, src });
+                self.stmt_flops += 1;
+            }
+            EExpr::Binary(op, l, r) => {
+                let a = self.operand(l)?;
+                let b = self.operand(r)?;
+                self.emit(bin_op(*op, dst, a, b));
+                self.stmt_flops += 1;
+            }
+            EExpr::Call(i, args) => {
+                // Arguments live in consecutive scratch registers; reserve
+                // the block first so nested evaluation does not interleave.
+                let base = self.alloc_scratch()?;
+                for _ in 1..args.len() {
+                    self.alloc_scratch()?;
+                }
+                for (k, a) in args.iter().enumerate() {
+                    self.compile_expr_into(a, base + k as Reg)?;
+                }
+                self.emit(Op::Call {
+                    intr: *i,
+                    dst,
+                    base,
+                    n: args.len() as u8,
+                });
+                self.stmt_flops += 1;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- scalar expressions -----------------------------------------------
+
+    fn soperand(&mut self, e: &ScalarExpr) -> Result<Reg, ExecError> {
+        match e {
+            ScalarExpr::ScalarRef(s) => Ok(s.0 as Reg),
+            ScalarExpr::Const(v) => Ok(self.const_reg(*v)),
+            ScalarExpr::ConfigRef(c) => Ok(self.const_reg(self.config_value(*c))),
+            _ => {
+                let r = self.alloc_scratch()?;
+                self.compile_sexpr_into(e, r)?;
+                Ok(r)
+            }
+        }
+    }
+
+    /// Scalar expressions count no flops (mirroring the interpreter, where
+    /// scalar control-flow arithmetic is free).
+    fn compile_sexpr_into(&mut self, e: &ScalarExpr, dst: Reg) -> Result<(), ExecError> {
+        match e {
+            ScalarExpr::Const(v) => {
+                let src = self.const_reg(*v);
+                self.emit(Op::Mov { dst, src });
+            }
+            ScalarExpr::ScalarRef(s) => {
+                self.emit(Op::Mov {
+                    dst,
+                    src: s.0 as Reg,
+                });
+            }
+            ScalarExpr::ConfigRef(c) => {
+                let src = self.const_reg(self.config_value(*c));
+                self.emit(Op::Mov { dst, src });
+            }
+            ScalarExpr::Unary(UnOp::Neg, inner) => {
+                let src = self.soperand(inner)?;
+                self.emit(Op::Neg { dst, src });
+            }
+            ScalarExpr::Binary(op, l, r) => {
+                let a = self.soperand(l)?;
+                let b = self.soperand(r)?;
+                self.emit(bin_op(*op, dst, a, b));
+            }
+            ScalarExpr::Call(i, args) => {
+                let base = self.alloc_scratch()?;
+                for _ in 1..args.len() {
+                    self.alloc_scratch()?;
+                }
+                for (k, a) in args.iter().enumerate() {
+                    self.compile_sexpr_into(a, base + k as Reg)?;
+                }
+                self.emit(Op::Call {
+                    intr: *i,
+                    dst,
+                    base,
+                    n: args.len() as u8,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn compile_stmts(&mut self, stmts: &[LStmt]) -> Result<(), ExecError> {
+        for s in stmts {
+            match s {
+                LStmt::Nest(n) => self.compile_nest(n)?,
+                LStmt::Scalar { lhs, rhs } => {
+                    let cp = self.scratch;
+                    self.compile_sexpr_into(rhs, lhs.0 as Reg)?;
+                    self.scratch = cp;
+                }
+                LStmt::ReduceNest {
+                    lhs,
+                    op,
+                    region,
+                    structure: _,
+                    rhs,
+                } => {
+                    self.compile_reduce(lhs.0 as Reg, *op, *region, rhs)?;
+                }
+                LStmt::Outer {
+                    region,
+                    dim,
+                    reverse,
+                    body,
+                } => {
+                    self.compile_outer(*region, *dim, *reverse, body)?;
+                }
+                LStmt::For {
+                    var,
+                    lo,
+                    hi,
+                    down,
+                    body,
+                } => {
+                    self.compile_for(var.0 as Reg, lo, hi, *down, body)?;
+                }
+                LStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    let cp = self.scratch;
+                    let c = self.soperand(cond)?;
+                    self.scratch = cp;
+                    let jz = self.emit(Op::JmpIfZero { cond: c, target: 0 });
+                    self.compile_stmts(then_body)?;
+                    if else_body.is_empty() {
+                        let end = self.here();
+                        self.patch_jump(jz, end);
+                    } else {
+                        let jend = self.emit(Op::Jmp { target: 0 });
+                        let else_at = self.here();
+                        self.patch_jump(jz, else_at);
+                        self.compile_stmts(else_body)?;
+                        let end = self.here();
+                        self.patch_jump(jend, end);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn patch_jump(&mut self, at: u32, to: u32) {
+        match &mut self.ops[at as usize] {
+            Op::Jmp { target } | Op::JmpIfZero { target, .. } => *target = to,
+            Op::ForInit { exit, .. } => *exit = to,
+            _ => unreachable!("patching a non-jump"),
+        }
+    }
+
+    fn alloc_ctr(&mut self) -> Result<u16, ExecError> {
+        let c = self.n_ctrs;
+        self.n_ctrs = self
+            .n_ctrs
+            .checked_add(1)
+            .ok_or_else(|| err("too many loops"))?;
+        Ok(c)
+    }
+
+    /// Emits dedup'd `Alloc` ops for every array a nest touches, in the
+    /// interpreter's order: loads first, then stores, first occurrence wins.
+    fn emit_allocs(&mut self, touched: impl Iterator<Item = ArrayId>) {
+        let mut seen = HashSet::new();
+        for a in touched {
+            if seen.insert(a) {
+                self.emit(Op::Alloc { arr: a.0 as u16 });
+            }
+        }
+    }
+
+    /// Emits a static counted-loop ladder over `order` (outermost first),
+    /// with `body` compiled at the innermost level. Records each
+    /// dimension's value range for bounds-check elision.
+    fn emit_static_loops(
+        &mut self,
+        order: &[(usize, bool, i64, i64)],
+        body: &mut dyn FnMut(&mut Self) -> Result<(), ExecError>,
+    ) -> Result<(), ExecError> {
+        match order.first() {
+            None => body(self),
+            Some(&(d, up, lo, hi)) => {
+                self.dim_range[d] = Some((lo, hi));
+                let (start, step, last) = if up { (lo, 1, hi) } else { (hi, -1, lo) };
+                self.emit(Op::SetIdx {
+                    d: d as u8,
+                    v: start,
+                });
+                let head = self.here();
+                self.emit_static_loops(&order[1..], body)?;
+                self.emit(Op::IdxStep {
+                    d: d as u8,
+                    step,
+                    stop: last + step,
+                    head,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn compile_nest(&mut self, nest: &LoopNest) -> Result<(), ExecError> {
+        self.emit_allocs(
+            nest.loads()
+                .into_iter()
+                .map(|(a, _)| a)
+                .chain(nest.stores().into_iter().map(|(a, _)| a)),
+        );
+        let nid = self.nests.len() as u32;
+        self.nests.push(nest.clone());
+        self.emit(Op::NestBegin { nest: nid });
+
+        let bounds = self.region_bounds(nest.region);
+        let full_rank = bounds.len();
+        if full_rank > MAX_RANK {
+            return Err(err(format!(
+                "region rank {full_rank} > {MAX_RANK} (unsupported by the VM)"
+            )));
+        }
+        let order: Vec<(usize, bool, i64, i64)> = nest
+            .structure
+            .iter()
+            .map(|&p| {
+                let dim = (p.unsigned_abs() as usize) - 1;
+                let (lo, hi) = bounds[dim];
+                (dim, p > 0, lo, hi)
+            })
+            .collect();
+        if order.iter().any(|&(_, _, lo, hi)| hi < lo) {
+            return Ok(()); // empty region: the nest body never runs
+        }
+
+        let saved = self.dim_range;
+        // Dimensions the structure does not iterate: bound by an enclosing
+        // Outer loop, or pinned to 0 (the interpreter's fresh-index rule).
+        let structured: HashSet<usize> = order.iter().map(|&(d, _, _, _)| d).collect();
+        for d in 0..full_rank {
+            if structured.contains(&d) {
+                continue;
+            }
+            if let Some(&(od, ctr, range)) = self
+                .outer_dims
+                .iter()
+                .rev()
+                .find(|&&(od, _, _)| od as usize == d)
+            {
+                self.emit(Op::CtrToIdx { d: od, ctr });
+                self.dim_range[d] = Some(range);
+            } else {
+                self.emit(Op::SetIdx { d: d as u8, v: 0 });
+                self.dim_range[d] = Some((0, 0));
+            }
+        }
+
+        self.emit_static_loops(&order, &mut |c| c.compile_nest_body(nest))?;
+        self.dim_range = saved;
+        Ok(())
+    }
+
+    fn compile_nest_body(&mut self, nest: &LoopNest) -> Result<(), ExecError> {
+        let mut body_flops: u64 = 0;
+        for stmt in &nest.body {
+            let cp = self.scratch;
+            self.stmt_flops = 0;
+            match &stmt.target {
+                ElemRef::Array(a, off) => {
+                    let v = self.operand(&stmt.rhs)?;
+                    let acc = self.make_access(*a, off)?;
+                    self.emit(Op::Store { acc, src: v });
+                }
+                ElemRef::Temp(t) => {
+                    let dst = self.temp_base + t.0 as Reg;
+                    self.compile_expr_into(&stmt.rhs, dst)?;
+                }
+                ElemRef::Reduce(s, op) => {
+                    let v = self.operand(&stmt.rhs)?;
+                    self.emit(Op::Reduce {
+                        op: *op,
+                        dst: s.0 as Reg,
+                        src: v,
+                    });
+                    self.stmt_flops += 1;
+                }
+            }
+            body_flops += self.stmt_flops;
+            self.scratch = cp;
+        }
+        self.emit(Op::Tick {
+            flops: body_flops.min(u32::MAX as u64) as u32,
+        });
+        Ok(())
+    }
+
+    fn compile_reduce(
+        &mut self,
+        lhs: Reg,
+        op: ReduceOp,
+        region: zlang::ir::RegionId,
+        rhs: &EExpr,
+    ) -> Result<(), ExecError> {
+        let mut reads = Vec::new();
+        rhs.for_each_load(&mut |a, _| reads.push(a));
+        self.emit_allocs(reads.into_iter());
+        self.emit(Op::ReduceBegin);
+
+        let bounds = self.region_bounds(region);
+        if bounds.len() > MAX_RANK {
+            return Err(err(format!(
+                "region rank {} > {MAX_RANK} (unsupported by the VM)",
+                bounds.len()
+            )));
+        }
+        let cp = self.scratch;
+        let acc = self.alloc_scratch()?;
+        self.emit(Op::Mov {
+            dst: acc,
+            src: self.const_reg(reduce_identity(op)),
+        });
+        if bounds.iter().all(|&(lo, hi)| hi >= lo) {
+            // Standalone reductions iterate every region dimension in
+            // increasing row-major order, ignoring the structure vector
+            // (reductions are order-insensitive by language definition).
+            let saved = self.dim_range;
+            let order: Vec<(usize, bool, i64, i64)> = bounds
+                .iter()
+                .enumerate()
+                .map(|(d, &(lo, hi))| (d, true, lo, hi))
+                .collect();
+            self.emit_static_loops(&order, &mut |c| {
+                let icp = c.scratch;
+                c.stmt_flops = 0;
+                let v = c.operand(rhs)?;
+                c.emit(Op::Reduce {
+                    op,
+                    dst: acc,
+                    src: v,
+                });
+                c.stmt_flops += 1;
+                c.emit(Op::Tick {
+                    flops: c.stmt_flops.min(u32::MAX as u64) as u32,
+                });
+                c.scratch = icp;
+                Ok(())
+            })?;
+            self.dim_range = saved;
+        }
+        self.emit(Op::Mov { dst: lhs, src: acc });
+        self.scratch = cp;
+        Ok(())
+    }
+
+    fn compile_outer(
+        &mut self,
+        region: zlang::ir::RegionId,
+        dim: u8,
+        reverse: bool,
+        body: &[LStmt],
+    ) -> Result<(), ExecError> {
+        let bounds = self.region_bounds(region);
+        let (lo, hi) = bounds[dim as usize];
+        if hi < lo {
+            return Ok(()); // statically empty
+        }
+        let ctr = self.alloc_ctr()?;
+        let (start, step, last) = if reverse { (hi, -1, lo) } else { (lo, 1, hi) };
+        self.emit(Op::CtrInit {
+            ctr,
+            cur: start,
+            end: last,
+            step,
+        });
+        let head = self.here();
+        self.emit(Op::CtrToIdx { d: dim, ctr });
+        self.outer_dims.push((dim, ctr, (lo, hi)));
+        let saved = self.dim_range;
+        self.dim_range[dim as usize] = Some((lo, hi));
+        let r = self.compile_stmts(body);
+        self.dim_range = saved;
+        self.outer_dims.pop();
+        r?;
+        self.emit(Op::CtrStep { ctr, head });
+        Ok(())
+    }
+
+    fn compile_for(
+        &mut self,
+        var: Reg,
+        lo: &ScalarExpr,
+        hi: &ScalarExpr,
+        down: bool,
+        body: &[LStmt],
+    ) -> Result<(), ExecError> {
+        let cp = self.scratch;
+        let lo_r = self.soperand(lo)?;
+        let hi_r = self.soperand(hi)?;
+        let ctr = self.alloc_ctr()?;
+        let init = self.emit(Op::ForInit {
+            ctr,
+            lo: lo_r,
+            hi: hi_r,
+            down,
+            exit: 0,
+        });
+        // The bound registers are consumed by ForInit; free them before the
+        // body so loop bodies do not stack scratch.
+        self.scratch = cp;
+        let head = self.here();
+        self.emit(Op::CtrToScalar { dst: var, ctr });
+        self.compile_stmts(body)?;
+        self.emit(Op::CtrStep { ctr, head });
+        let end = self.here();
+        self.patch_jump(init, end);
+        Ok(())
+    }
+}

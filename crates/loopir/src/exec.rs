@@ -1,0 +1,178 @@
+//! The unified execution API: [`Executor`], [`RunOutcome`], [`Engine`].
+//!
+//! Historically every caller drove the interpreter differently — benches
+//! constructed an [`Interp`], ran it, then poked `scalar(ScalarId(0))` for
+//! the checksum; the parallel runtime reached for `stats()`; tests mixed
+//! both. This module gives all of them one surface:
+//!
+//! * [`Executor`] — anything that can run a [`ScalarProgram`] to
+//!   completion while streaming accesses to an [`Observer`];
+//! * [`RunOutcome`] — the complete result of a run (final scalar values
+//!   plus [`RunStats`] counters), replacing post-run field poking;
+//! * [`Engine`] — selects between the tree-walking [`Interp`] and the
+//!   bytecode [`Vm`](crate::Vm), for benches and CLI flags.
+//!
+//! ```
+//! # fn main() -> Result<(), loopir::ExecError> {
+//! use loopir::{Engine, NoopObserver, ScalarProgram};
+//! use zlang::ir::ConfigBinding;
+//! let p = zlang::compile(
+//!     "program t; region R = [1..4]; var A : [R] float; begin end").unwrap();
+//! let sp = ScalarProgram { program: p, stmts: vec![] };
+//! for engine in Engine::all() {
+//!     let mut exec = engine.executor(&sp, ConfigBinding::defaults(&sp.program))?;
+//!     let outcome = exec.execute(&mut NoopObserver)?;
+//!     assert_eq!(outcome.stats.points, 0);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::interp::{ExecError, Interp, NoopObserver, Observer, RunStats};
+use crate::ir::ScalarProgram;
+use crate::vm::Vm;
+use std::fmt;
+use std::str::FromStr;
+use zlang::ir::{ConfigBinding, ScalarId};
+
+/// The complete result of one program execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Final values of every program scalar, indexed by [`ScalarId`].
+    pub scalars: Vec<f64>,
+    /// Execution counters (loads, stores, flops, points, peak bytes).
+    pub stats: RunStats,
+}
+
+impl RunOutcome {
+    pub(crate) fn new(scalars: Vec<f64>, stats: RunStats) -> Self {
+        RunOutcome { scalars, stats }
+    }
+
+    /// The conventional checksum: the first declared scalar. Every
+    /// benchmark and generated test program declares its checksum scalar
+    /// first, so this replaces the old `interp.scalar(ScalarId(0))` idiom.
+    /// Returns `0.0` for programs with no scalars.
+    pub fn checksum(&self) -> f64 {
+        self.scalars.first().copied().unwrap_or(0.0)
+    }
+
+    /// The final value of a scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn scalar(&self, id: ScalarId) -> f64 {
+        self.scalars[id.0 as usize]
+    }
+}
+
+/// Runs a [`ScalarProgram`] to completion.
+///
+/// Implemented by the tree-walking [`Interp`] and the bytecode
+/// [`Vm`](crate::Vm); both stream every array element access through the
+/// provided [`Observer`], so the cache simulator sees an identical access
+/// stream regardless of engine.
+pub trait Executor {
+    /// Executes the program, reporting accesses to `obs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on an out-of-region array access (declare
+    /// arrays with halos large enough for their `@` offsets).
+    fn execute(&mut self, obs: &mut dyn Observer) -> Result<RunOutcome, ExecError>;
+
+    /// Executes without observation (pure functional execution).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Executor::execute`].
+    fn execute_pure(&mut self) -> Result<RunOutcome, ExecError> {
+        self.execute(&mut NoopObserver)
+    }
+}
+
+/// Selects an execution engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// The reference tree-walking interpreter ([`Interp`]).
+    Interp,
+    /// The bytecode compiler + virtual machine ([`Vm`](crate::Vm)) —
+    /// same observable behavior, substantially faster. The default.
+    #[default]
+    Vm,
+}
+
+impl Engine {
+    /// Both engines, reference first.
+    pub fn all() -> [Engine; 2] {
+        [Engine::Interp, Engine::Vm]
+    }
+
+    /// The engine's flag/display name (`interp` or `vm`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Interp => "interp",
+            Engine::Vm => "vm",
+        }
+    }
+
+    /// Creates a boxed executor for a program under a config binding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if the program cannot be lowered (e.g. a
+    /// region of rank greater than the VM supports).
+    pub fn executor<'p>(
+        self,
+        prog: &'p ScalarProgram,
+        binding: ConfigBinding,
+    ) -> Result<Box<dyn Executor + 'p>, ExecError> {
+        Ok(match self {
+            Engine::Interp => Box::new(Interp::new(prog, binding)),
+            Engine::Vm => Box::new(Vm::new(prog, binding)?),
+        })
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interp" | "interpreter" => Ok(Engine::Interp),
+            "vm" | "bytecode" => Ok(Engine::Vm),
+            other => Err(format!(
+                "unknown engine `{other}` (expected `interp` or `vm`)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_parses_and_displays() {
+        assert_eq!("vm".parse::<Engine>().unwrap(), Engine::Vm);
+        assert_eq!("interp".parse::<Engine>().unwrap(), Engine::Interp);
+        assert!("jit".parse::<Engine>().is_err());
+        assert_eq!(Engine::Vm.to_string(), "vm");
+        assert_eq!(Engine::default(), Engine::Vm);
+    }
+
+    #[test]
+    fn outcome_checksum_is_first_scalar() {
+        let o = RunOutcome::new(vec![3.5, 7.0], RunStats::default());
+        assert_eq!(o.checksum(), 3.5);
+        assert_eq!(o.scalar(ScalarId(1)), 7.0);
+        assert_eq!(RunOutcome::new(vec![], RunStats::default()).checksum(), 0.0);
+    }
+}

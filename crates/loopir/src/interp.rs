@@ -166,7 +166,7 @@ impl<'p> Interp<'p> {
     ///
     /// Returns [`ExecError`] on an out-of-region array access (declare
     /// arrays with halos large enough for their `@` offsets).
-    pub fn run(&mut self, obs: &mut impl Observer) -> Result<RunStats, ExecError> {
+    pub fn run(&mut self, obs: &mut (impl Observer + ?Sized)) -> Result<RunStats, ExecError> {
         let stmts = &self.prog.stmts;
         self.exec_stmts(stmts, obs)?;
         Ok(self.stats)
@@ -174,7 +174,9 @@ impl<'p> Interp<'p> {
 
     /// The contents of an array, if it was allocated during the run.
     pub fn array(&self, id: ArrayId) -> Option<&[f64]> {
-        self.arrays[id.0 as usize].as_ref().map(|b| b.data.as_slice())
+        self.arrays[id.0 as usize]
+            .as_ref()
+            .map(|b| b.data.as_slice())
     }
 
     /// The final value of a scalar.
@@ -182,6 +184,11 @@ impl<'p> Interp<'p> {
     /// # Panics
     ///
     /// Panics if `id` is out of range.
+    #[deprecated(
+        since = "0.2.0",
+        note = "run through `Executor::execute` and use `RunOutcome::scalar` / \
+                `RunOutcome::checksum` instead"
+    )]
     pub fn scalar(&self, id: ScalarId) -> f64 {
         self.scalars[id.0 as usize]
     }
@@ -266,20 +273,38 @@ impl<'p> Interp<'p> {
         }
     }
 
-    fn exec_stmts(&mut self, stmts: &[LStmt], obs: &mut impl Observer) -> Result<(), ExecError> {
+    fn exec_stmts(
+        &mut self,
+        stmts: &[LStmt],
+        obs: &mut (impl Observer + ?Sized),
+    ) -> Result<(), ExecError> {
         for s in stmts {
             match s {
                 LStmt::Nest(n) => self.exec_nest(n, obs)?,
                 LStmt::Scalar { lhs, rhs } => {
                     self.scalars[lhs.0 as usize] = self.scalar_expr(rhs);
                 }
-                LStmt::ReduceNest { lhs, op, region, structure: _, rhs } => {
+                LStmt::ReduceNest {
+                    lhs,
+                    op,
+                    region,
+                    structure: _,
+                    rhs,
+                } => {
                     self.exec_reduce(*lhs, *op, *region, rhs, obs)?;
                 }
-                LStmt::Outer { region, dim, reverse, body } => {
+                LStmt::Outer {
+                    region,
+                    dim,
+                    reverse,
+                    body,
+                } => {
                     let (lo, hi) = self.region_bounds(*region)[*dim as usize];
-                    let iter: Box<dyn Iterator<Item = i64>> =
-                        if *reverse { Box::new((lo..=hi).rev()) } else { Box::new(lo..=hi) };
+                    let iter: Box<dyn Iterator<Item = i64>> = if *reverse {
+                        Box::new((lo..=hi).rev())
+                    } else {
+                        Box::new(lo..=hi)
+                    };
                     for v in iter {
                         self.outer_bound.push((*dim, v));
                         let r = self.exec_stmts(body, obs);
@@ -287,17 +312,30 @@ impl<'p> Interp<'p> {
                         r?;
                     }
                 }
-                LStmt::For { var, lo, hi, down, body } => {
+                LStmt::For {
+                    var,
+                    lo,
+                    hi,
+                    down,
+                    body,
+                } => {
                     let lo = self.scalar_expr(lo).round() as i64;
                     let hi = self.scalar_expr(hi).round() as i64;
-                    let iter: Box<dyn Iterator<Item = i64>> =
-                        if *down { Box::new((hi..=lo).rev()) } else { Box::new(lo..=hi) };
+                    let iter: Box<dyn Iterator<Item = i64>> = if *down {
+                        Box::new((hi..=lo).rev())
+                    } else {
+                        Box::new(lo..=hi)
+                    };
                     for k in iter {
                         self.scalars[var.0 as usize] = k as f64;
                         self.exec_stmts(body, obs)?;
                     }
                 }
-                LStmt::If { cond, then_body, else_body } => {
+                LStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
                     if self.scalar_expr(cond) != 0.0 {
                         self.exec_stmts(then_body, obs)?;
                     } else {
@@ -323,7 +361,11 @@ impl<'p> Interp<'p> {
             .collect()
     }
 
-    fn exec_nest(&mut self, nest: &LoopNest, obs: &mut impl Observer) -> Result<(), ExecError> {
+    fn exec_nest(
+        &mut self,
+        nest: &LoopNest,
+        obs: &mut (impl Observer + ?Sized),
+    ) -> Result<(), ExecError> {
         // Pre-allocate every array the nest touches.
         for (a, _) in nest.loads() {
             self.ensure_alloc(a)?;
@@ -349,8 +391,10 @@ impl<'p> Interp<'p> {
             }
         }
         // Odometer over the loops, outermost = order[0].
-        let mut cur: Vec<i64> =
-            order.iter().map(|&(_, up, lo, hi)| if up { lo } else { hi }).collect();
+        let mut cur: Vec<i64> = order
+            .iter()
+            .map(|&(_, up, lo, hi)| if up { lo } else { hi })
+            .collect();
         'outer: loop {
             for (l, &(dim, _, _, _)) in order.iter().enumerate() {
                 idx[dim] = cur[l];
@@ -387,7 +431,7 @@ impl<'p> Interp<'p> {
         &mut self,
         nest: &LoopNest,
         idx: &[i64],
-        obs: &mut impl Observer,
+        obs: &mut (impl Observer + ?Sized),
     ) -> Result<(), ExecError> {
         for stmt in &nest.body {
             let v = self.eval_elem(&stmt.rhs, idx, obs)?;
@@ -436,7 +480,7 @@ impl<'p> Interp<'p> {
         &mut self,
         e: &EExpr,
         idx: &[i64],
-        obs: &mut impl Observer,
+        obs: &mut (impl Observer + ?Sized),
     ) -> Result<f64, ExecError> {
         Ok(match e {
             EExpr::Load(a, off) => {
@@ -486,7 +530,7 @@ impl<'p> Interp<'p> {
         op: ReduceOp,
         region: RegionId,
         rhs: &EExpr,
-        obs: &mut impl Observer,
+        obs: &mut (impl Observer + ?Sized),
     ) -> Result<(), ExecError> {
         let mut reads = Vec::new();
         rhs.for_each_load(&mut |a, _| reads.push(a));
@@ -534,7 +578,14 @@ impl<'p> Interp<'p> {
     }
 }
 
-fn binop(op: BinOp, l: f64, r: f64) -> f64 {
+impl crate::exec::Executor for Interp<'_> {
+    fn execute(&mut self, obs: &mut dyn Observer) -> Result<crate::exec::RunOutcome, ExecError> {
+        let stats = self.run(obs)?;
+        Ok(crate::exec::RunOutcome::new(self.scalars.clone(), stats))
+    }
+}
+
+pub(crate) fn binop(op: BinOp, l: f64, r: f64) -> f64 {
     match op {
         BinOp::Add => l + r,
         BinOp::Sub => l - r,
@@ -564,11 +615,20 @@ mod tests {
     }
 
     fn nest(body: Vec<ElemStmt>, structure: Vec<i8>, temps: u32) -> LoopNest {
-        LoopNest { region: RegionId(0), structure, body, cluster: 0, temps }
+        LoopNest {
+            region: RegionId(0),
+            structure,
+            body,
+            cluster: 0,
+            temps,
+        }
     }
 
     fn store(a: u32, rhs: EExpr) -> ElemStmt {
-        ElemStmt { target: ElemRef::Array(ArrayId(a), Offset(vec![0, 0])), rhs }
+        ElemStmt {
+            target: ElemRef::Array(ArrayId(a), Offset(vec![0, 0])),
+            rhs,
+        }
     }
 
     #[test]
@@ -661,7 +721,10 @@ mod tests {
             program: p,
             stmts: vec![LStmt::Nest(nest(
                 vec![
-                    ElemStmt { target: ElemRef::Temp(TempId(0)), rhs: EExpr::Const(3.0) },
+                    ElemStmt {
+                        target: ElemRef::Temp(TempId(0)),
+                        rhs: EExpr::Const(3.0),
+                    },
                     store(
                         1,
                         EExpr::Binary(
@@ -704,7 +767,11 @@ mod tests {
         let p = two_array_prog();
         let sp = ScalarProgram {
             program: p,
-            stmts: vec![LStmt::Nest(nest(vec![store(0, EExpr::Const(1.0))], vec![1, 2], 0))],
+            stmts: vec![LStmt::Nest(nest(
+                vec![store(0, EExpr::Const(1.0))],
+                vec![1, 2],
+                0,
+            ))],
         };
         let mut i = Interp::new(&sp, ConfigBinding::defaults(&sp.program));
         let st = i.run(&mut NoopObserver).unwrap();
@@ -729,8 +796,8 @@ mod tests {
             ],
         };
         let mut i = Interp::new(&sp, ConfigBinding::defaults(&sp.program));
-        i.run(&mut NoopObserver).unwrap();
-        assert_eq!(i.scalar(ScalarId(0)), 32.0);
+        let out = crate::exec::Executor::execute(&mut i, &mut NoopObserver).unwrap();
+        assert_eq!(out.scalar(ScalarId(0)), 32.0);
     }
 
     #[test]
@@ -789,8 +856,8 @@ mod tests {
             }],
         };
         let mut i = Interp::new(&sp, ConfigBinding::defaults(&sp.program));
-        i.run(&mut NoopObserver).unwrap();
-        assert_eq!(i.scalar(ScalarId(0)), 321.0);
+        let out = crate::exec::Executor::execute(&mut i, &mut NoopObserver).unwrap();
+        assert_eq!(out.scalar(ScalarId(0)), 321.0);
     }
 
     #[test]
@@ -798,7 +865,11 @@ mod tests {
         let p = two_array_prog();
         let sp = ScalarProgram {
             program: p,
-            stmts: vec![LStmt::Nest(nest(vec![store(0, EExpr::Const(7.0))], vec![-2, -1], 0))],
+            stmts: vec![LStmt::Nest(nest(
+                vec![store(0, EExpr::Const(7.0))],
+                vec![-2, -1],
+                0,
+            ))],
         };
         let mut i = Interp::new(&sp, ConfigBinding::defaults(&sp.program));
         let st = i.run(&mut NoopObserver).unwrap();

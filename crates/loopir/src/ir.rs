@@ -111,7 +111,8 @@ impl LoopNest {
     pub fn loads(&self) -> Vec<(ArrayId, Offset)> {
         let mut out = Vec::new();
         for s in &self.body {
-            s.rhs.for_each_load(&mut |a, off| out.push((a, off.clone())));
+            s.rhs
+                .for_each_load(&mut |a, off| out.push((a, off.clone())));
         }
         out
     }
@@ -150,11 +151,27 @@ pub enum LStmt {
     /// A scalar assignment.
     Scalar { lhs: ScalarId, rhs: ScalarExpr },
     /// A reduction loop accumulating into a scalar.
-    ReduceNest { lhs: ScalarId, op: ReduceOp, region: RegionId, structure: Vec<i8>, rhs: EExpr },
+    ReduceNest {
+        lhs: ScalarId,
+        op: ReduceOp,
+        region: RegionId,
+        structure: Vec<i8>,
+        rhs: EExpr,
+    },
     /// A counted scalar loop.
-    For { var: ScalarId, lo: ScalarExpr, hi: ScalarExpr, down: bool, body: Vec<LStmt> },
+    For {
+        var: ScalarId,
+        lo: ScalarExpr,
+        hi: ScalarExpr,
+        down: bool,
+        body: Vec<LStmt>,
+    },
     /// A conditional.
-    If { cond: ScalarExpr, then_body: Vec<LStmt>, else_body: Vec<LStmt> },
+    If {
+        cond: ScalarExpr,
+        then_body: Vec<LStmt>,
+        else_body: Vec<LStmt>,
+    },
 }
 
 /// A scalarized program: the original program's declarations plus a
@@ -188,7 +205,11 @@ impl ScalarProgram {
                         rhs.for_each_load(&mut |a, _| seen[a.0 as usize] = true);
                     }
                     LStmt::For { body, .. } | LStmt::Outer { body, .. } => walk(body, seen),
-                    LStmt::If { then_body, else_body, .. } => {
+                    LStmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
                         walk(then_body, seen);
                         walk(else_body, seen);
                     }
@@ -212,7 +233,11 @@ impl ScalarProgram {
                 .map(|s| match s {
                     LStmt::Nest(_) | LStmt::ReduceNest { .. } => 1,
                     LStmt::For { body, .. } | LStmt::Outer { body, .. } => walk(body),
-                    LStmt::If { then_body, else_body, .. } => walk(then_body) + walk(else_body),
+                    LStmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => walk(then_body) + walk(else_body),
                     LStmt::Scalar { .. } => 0,
                 })
                 .sum()
@@ -269,7 +294,10 @@ mod tests {
         let e = EExpr::Binary(
             BinOp::Mul,
             Box::new(EExpr::Load(a, Offset(vec![0]))),
-            Box::new(EExpr::Call(Intrinsic::Sqrt, vec![EExpr::Load(a, Offset(vec![1]))])),
+            Box::new(EExpr::Call(
+                Intrinsic::Sqrt,
+                vec![EExpr::Load(a, Offset(vec![1]))],
+            )),
         );
         assert_eq!(e.flops(), 2);
         let mut n = 0;

@@ -4,16 +4,23 @@
 //! partition and a loop structure vector for each fusible cluster, the
 //! program is *scalarized*: each cluster becomes one [`LoopNest`] and each
 //! contracted array becomes a loop-local scalar ([`TempId`]). This crate
-//! defines that representation, a pseudo-C pretty printer, and a sequential
-//! interpreter whose memory accesses stream through an [`Observer`]
+//! defines that representation, a pseudo-C pretty printer, and two
+//! execution engines behind the [`Executor`] API — a tree-walking
+//! interpreter ([`Interp`]) and a bytecode compiler + virtual machine
+//! ([`Vm`]) — whose memory accesses stream through an [`Observer`]
 //! (implemented by the `machine` crate's cache simulator).
 //!
 //! The IR corresponds to the Fortran 77 output of the paper's ZPL compiler
 //! (Figure 2(c) of the paper).
 
+mod bytecode;
+pub mod exec;
 pub mod interp;
 pub mod ir;
 pub mod printer;
+pub mod vm;
 
-pub use interp::{Interp, NoopObserver, Observer, RunStats};
+pub use exec::{Engine, Executor, RunOutcome};
+pub use interp::{ExecError, Interp, NoopObserver, Observer, RunStats};
 pub use ir::{EExpr, ElemRef, ElemStmt, LStmt, LoopNest, ScalarProgram, TempId};
+pub use vm::Vm;

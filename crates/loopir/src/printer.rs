@@ -129,9 +129,20 @@ fn stmt(p: &Program, s: &LStmt, indent: usize, out: &mut String) {
             nest(p, n, indent, out);
         }
         LStmt::Scalar { lhs, rhs } => {
-            let _ = writeln!(out, "{pad}{} = {};", p.scalar(*lhs).name, zlang::pretty::scalar_expr(p, rhs));
+            let _ = writeln!(
+                out,
+                "{pad}{} = {};",
+                p.scalar(*lhs).name,
+                zlang::pretty::scalar_expr(p, rhs)
+            );
         }
-        LStmt::ReduceNest { lhs, op, region, rhs, .. } => {
+        LStmt::ReduceNest {
+            lhs,
+            op,
+            region,
+            rhs,
+            ..
+        } => {
             let opname = match op {
                 ReduceOp::Sum => "sum",
                 ReduceOp::Prod => "prod",
@@ -146,7 +157,12 @@ fn stmt(p: &Program, s: &LStmt, indent: usize, out: &mut String) {
                 eexpr(p, rhs)
             );
         }
-        LStmt::Outer { region, dim, reverse, body } => {
+        LStmt::Outer {
+            region,
+            dim,
+            reverse,
+            body,
+        } => {
             let ext = &p.region(*region).extents[*dim as usize];
             let (lo, hi) = (lin(p, &ext.lo), lin(p, &ext.hi));
             let d = *dim as usize + 1;
@@ -160,7 +176,13 @@ fn stmt(p: &Program, s: &LStmt, indent: usize, out: &mut String) {
             }
             let _ = writeln!(out, "{pad}}}");
         }
-        LStmt::For { var, lo, hi, down, body } => {
+        LStmt::For {
+            var,
+            lo,
+            hi,
+            down,
+            body,
+        } => {
             let _ = writeln!(
                 out,
                 "{pad}for {} = {} {} {} {{",
@@ -174,7 +196,11 @@ fn stmt(p: &Program, s: &LStmt, indent: usize, out: &mut String) {
             }
             let _ = writeln!(out, "{pad}}}");
         }
-        LStmt::If { cond, then_body, else_body } => {
+        LStmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             let _ = writeln!(out, "{pad}if ({}) {{", zlang::pretty::scalar_expr(p, cond));
             for s in then_body {
                 stmt(p, s, indent + 1, out);

@@ -1,0 +1,508 @@
+//! A register virtual machine executing [`bytecode`](crate::bytecode)
+//! compiled from a [`ScalarProgram`].
+//!
+//! The VM is observationally identical to the tree-walking
+//! [`Interp`](crate::Interp) — bit-equal scalar results, equal
+//! [`RunStats`], and the same ordered address stream through the
+//! [`Observer`] — but resolves bounds, strides, and control flow once at
+//! compile time instead of at every iteration point. The differential
+//! suite in `tests/vm_differential.rs` holds the two engines equal over
+//! every benchmark at every optimization level.
+//!
+//! ```
+//! # fn main() -> Result<(), loopir::ExecError> {
+//! use loopir::{Executor, NoopObserver, Vm};
+//! use zlang::ir::ConfigBinding;
+//! let p = zlang::compile(
+//!     "program t; region R = [1..4]; var A : [R] float; begin end").unwrap();
+//! let nest = loopir::LoopNest {
+//!     region: zlang::ir::RegionId(0),
+//!     structure: vec![1],
+//!     body: vec![loopir::ElemStmt {
+//!         target: loopir::ElemRef::Array(zlang::ir::ArrayId(0), zlang::ir::Offset(vec![0])),
+//!         rhs: loopir::EExpr::Const(2.0),
+//!     }],
+//!     cluster: 0,
+//!     temps: 0,
+//! };
+//! let sp = loopir::ScalarProgram { program: p, stmts: vec![loopir::LStmt::Nest(nest)] };
+//! let mut vm = Vm::new(&sp, ConfigBinding::defaults(&sp.program))?;
+//! let outcome = vm.execute(&mut NoopObserver)?;
+//! assert_eq!(outcome.stats.stores, 4);
+//! assert_eq!(vm.array(zlang::ir::ArrayId(0)).unwrap(), &[2.0; 4]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::bytecode::{self, Check, Code, Op, MAX_RANK};
+use crate::exec::{Executor, RunOutcome};
+use crate::interp::{binop, ExecError, Observer, RunStats};
+use crate::ir::ScalarProgram;
+use zlang::ast::ReduceOp;
+use zlang::ir::{ArrayId, ConfigBinding};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Ctr {
+    cur: i64,
+    end: i64,
+    step: i64,
+}
+
+struct VmArray {
+    base: u64,
+    data: Vec<f64>,
+}
+
+/// The bytecode virtual machine.
+///
+/// Construction compiles the program once under the given binding; each
+/// [`Vm::run`] (or [`Executor::execute`]) then executes the flat bytecode.
+pub struct Vm {
+    code: Code,
+    binding: ConfigBinding,
+    regs: Vec<f64>,
+    idx: [i64; MAX_RANK],
+    ctrs: Vec<Ctr>,
+    arrays: Vec<Option<VmArray>>,
+    stats: RunStats,
+    next_base: u64,
+}
+
+impl Vm {
+    /// Compiles a program to bytecode under a config binding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if the program cannot be lowered (e.g. a
+    /// region of rank above the VM's limit).
+    pub fn new(prog: &ScalarProgram, binding: ConfigBinding) -> Result<Self, ExecError> {
+        let code = bytecode::compile(prog, &binding)?;
+        let mut regs = vec![0.0; code.frame as usize];
+        for (i, &v) in code.consts.iter().enumerate() {
+            regs[code.const_base as usize + i] = v;
+        }
+        let n_arrays = code.arrays.len();
+        let n_ctrs = code.n_ctrs as usize;
+        Ok(Vm {
+            code,
+            binding,
+            regs,
+            idx: [0; MAX_RANK],
+            ctrs: vec![Ctr::default(); n_ctrs],
+            arrays: (0..n_arrays).map(|_| None).collect(),
+            stats: RunStats::default(),
+            next_base: 4096,
+        })
+    }
+
+    /// Executes the bytecode, reporting accesses to `obs`.
+    ///
+    /// Generic over the observer so that unobserved runs
+    /// ([`NoopObserver`](crate::NoopObserver)) monomorphize to no-ops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on an out-of-region array access.
+    pub fn run<O: Observer + ?Sized>(&mut self, obs: &mut O) -> Result<RunOutcome, ExecError> {
+        // Move the compiled tables into a local so op fetch and access
+        // resolution do not re-read through `self` (which the stat and
+        // register writes below mutate) on every dispatch.
+        let code = std::mem::take(&mut self.code);
+        let r = self.dispatch(&code, obs);
+        self.code = code;
+        r
+    }
+
+    fn dispatch<O: Observer + ?Sized>(
+        &mut self,
+        code: &Code,
+        obs: &mut O,
+    ) -> Result<RunOutcome, ExecError> {
+        // Split `self` into disjoint field borrows and keep the hottest
+        // state — the index vector and the access counters — in locals,
+        // so the dispatch loop works on registers instead of round-tripping
+        // every increment through `&mut self`. The counters are merged back
+        // into the cumulative stats at the single exit point below.
+        let Vm {
+            regs,
+            ctrs,
+            arrays,
+            stats,
+            next_base,
+            ..
+        } = self;
+        let mut idx = self.idx;
+        let (mut loads, mut stores, mut flops, mut points) = (0u64, 0u64, 0u64, 0u64);
+        let ops = &code.ops[..];
+        let mut pc = 0usize;
+        let res: Result<(), ExecError> = loop {
+            let op = ops[pc];
+            pc += 1;
+            match op {
+                Op::Add { dst, a, b } => {
+                    regs[dst as usize] = regs[a as usize] + regs[b as usize];
+                }
+                Op::Sub { dst, a, b } => {
+                    regs[dst as usize] = regs[a as usize] - regs[b as usize];
+                }
+                Op::Mul { dst, a, b } => {
+                    regs[dst as usize] = regs[a as usize] * regs[b as usize];
+                }
+                Op::Div { dst, a, b } => {
+                    regs[dst as usize] = regs[a as usize] / regs[b as usize];
+                }
+                Op::Bin { op, dst, a, b } => {
+                    regs[dst as usize] = binop(op, regs[a as usize], regs[b as usize]);
+                }
+                Op::Neg { dst, src } => {
+                    regs[dst as usize] = -regs[src as usize];
+                }
+                Op::Mov { dst, src } => {
+                    regs[dst as usize] = regs[src as usize];
+                }
+                Op::Call { intr, dst, base, n } => {
+                    let base = base as usize;
+                    let v = intr.eval(&regs[base..base + n as usize]);
+                    regs[dst as usize] = v;
+                }
+                Op::IdxF { dst, d } => {
+                    regs[dst as usize] = idx[d as usize] as f64;
+                }
+                Op::Load { dst, acc } => {
+                    let (ai, flat) = match resolve(code, &idx, acc) {
+                        Ok(v) => v,
+                        Err(e) => break Err(e),
+                    };
+                    let arr = arrays[ai].as_ref().expect("allocated");
+                    obs.load(arr.base + (flat as u64) * 8);
+                    loads += 1;
+                    regs[dst as usize] = arr.data[flat];
+                }
+                Op::Store { acc, src } => {
+                    let v = regs[src as usize];
+                    let (ai, flat) = match resolve(code, &idx, acc) {
+                        Ok(v) => v,
+                        Err(e) => break Err(e),
+                    };
+                    let arr = arrays[ai].as_mut().expect("allocated");
+                    arr.data[flat] = v;
+                    obs.store(arr.base + (flat as u64) * 8);
+                    stores += 1;
+                }
+                Op::Reduce { op, dst, src } => {
+                    let a = regs[dst as usize];
+                    let v = regs[src as usize];
+                    regs[dst as usize] = match op {
+                        ReduceOp::Sum => a + v,
+                        ReduceOp::Prod => a * v,
+                        ReduceOp::Max => a.max(v),
+                        ReduceOp::Min => a.min(v),
+                    };
+                }
+                Op::Tick { flops: n } => {
+                    points += 1;
+                    flops += n as u64;
+                    obs.flops(n as u64);
+                }
+                Op::NestBegin { nest } => {
+                    obs.nest_begin(&code.nests[nest as usize]);
+                }
+                Op::ReduceBegin => {
+                    obs.reduce_begin();
+                }
+                Op::Alloc { arr } => alloc(code, arrays, stats, next_base, arr as usize),
+                Op::SetIdx { d, v } => {
+                    idx[d as usize] = v;
+                }
+                Op::IdxStep {
+                    d,
+                    step,
+                    stop,
+                    head,
+                } => {
+                    let v = idx[d as usize] + step;
+                    idx[d as usize] = v;
+                    if v != stop {
+                        pc = head as usize;
+                    }
+                }
+                Op::CtrInit {
+                    ctr,
+                    cur,
+                    end,
+                    step,
+                } => {
+                    ctrs[ctr as usize] = Ctr { cur, end, step };
+                }
+                Op::CtrToIdx { d, ctr } => {
+                    idx[d as usize] = ctrs[ctr as usize].cur;
+                }
+                Op::CtrToScalar { dst, ctr } => {
+                    regs[dst as usize] = ctrs[ctr as usize].cur as f64;
+                }
+                Op::ForInit {
+                    ctr,
+                    lo,
+                    hi,
+                    down,
+                    exit,
+                } => {
+                    let lo_v = regs[lo as usize].round() as i64;
+                    let hi_v = regs[hi as usize].round() as i64;
+                    let empty = if down { hi_v > lo_v } else { lo_v > hi_v };
+                    if empty {
+                        pc = exit as usize;
+                    } else {
+                        let step = if down { -1 } else { 1 };
+                        ctrs[ctr as usize] = Ctr {
+                            cur: lo_v,
+                            end: hi_v,
+                            step,
+                        };
+                    }
+                }
+                Op::CtrStep { ctr, head } => {
+                    let c = &mut ctrs[ctr as usize];
+                    c.cur += c.step;
+                    let more = if c.step > 0 {
+                        c.cur <= c.end
+                    } else {
+                        c.cur >= c.end
+                    };
+                    if more {
+                        pc = head as usize;
+                    }
+                }
+                Op::Jmp { target } => {
+                    pc = target as usize;
+                }
+                Op::JmpIfZero { cond, target } => {
+                    if regs[cond as usize] == 0.0 {
+                        pc = target as usize;
+                    }
+                }
+                Op::Halt => break Ok(()),
+            }
+        };
+        self.idx = idx;
+        self.stats.loads += loads;
+        self.stats.stores += stores;
+        self.stats.flops += flops;
+        self.stats.points += points;
+        res?;
+        Ok(RunOutcome::new(
+            self.regs[..code.n_scalars as usize].to_vec(),
+            self.stats,
+        ))
+    }
+
+    /// The contents of an array, if it was allocated during the run.
+    pub fn array(&self, id: ArrayId) -> Option<&[f64]> {
+        self.arrays[id.0 as usize]
+            .as_ref()
+            .map(|b| b.data.as_slice())
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// The config binding in use.
+    pub fn binding(&self) -> &ConfigBinding {
+        &self.binding
+    }
+
+    /// Number of bytecode operations in the compiled program.
+    pub fn code_len(&self) -> usize {
+        self.code.ops.len()
+    }
+}
+
+/// Lazy allocation mirroring the interpreter's `ensure_alloc`: same
+/// base staggering, same alignment, same stats accounting — so both
+/// engines present identical byte addresses to the cache simulator.
+fn alloc(
+    code: &Code,
+    arrays: &mut [Option<VmArray>],
+    stats: &mut RunStats,
+    next_base: &mut u64,
+    ai: usize,
+) {
+    if arrays[ai].is_some() {
+        return;
+    }
+    let info = &code.arrays[ai];
+    let stagger = ((stats.arrays_allocated as u64 * 7) % 128) * 64;
+    let base = ((*next_base + 63) & !63) + stagger;
+    *next_base = base + info.bytes;
+    arrays[ai] = Some(VmArray {
+        base,
+        data: vec![0.0; info.elems],
+    });
+    stats.arrays_allocated += 1;
+    stats.peak_bytes += info.bytes;
+}
+
+/// Resolves an access-table entry against the current index vector.
+#[inline]
+fn resolve(code: &Code, idx: &[i64; MAX_RANK], acc: u32) -> Result<(usize, usize), ExecError> {
+    let a = &code.accesses[acc as usize];
+    if let Some(chk) = &a.check {
+        for &(d, off, lo, ext) in &chk.dims {
+            let i = idx[d as usize] + off - lo;
+            if i < 0 || i >= ext {
+                return Err(oob(code, idx, chk));
+            }
+        }
+    }
+    let mut flat = a.const_flat;
+    match a.rank {
+        0 => {}
+        1 => flat += idx[0] * a.strides[0],
+        // The common case: every paper benchmark is rank <= 2.
+        2 => flat += idx[0] * a.strides[0] + idx[1] * a.strides[1],
+        _ => {
+            for (i, s) in idx.iter().zip(&a.strides).take(a.rank as usize) {
+                flat += i * s;
+            }
+        }
+    }
+    Ok((a.arr as usize, flat as usize))
+}
+
+#[cold]
+fn oob(code: &Code, idx: &[i64; MAX_RANK], chk: &Check) -> ExecError {
+    let pt: Vec<i64> = chk
+        .off
+        .iter()
+        .take(MAX_RANK)
+        .enumerate()
+        .map(|(d, &o)| idx[d] + o)
+        .collect();
+    ExecError {
+        message: format!(
+            "access to `{}` at {:?} is outside its declared region (declare a halo?)",
+            code.arrays[chk.arr.0 as usize].name, pt
+        ),
+    }
+}
+
+impl Executor for Vm {
+    fn execute(&mut self, obs: &mut dyn Observer) -> Result<RunOutcome, ExecError> {
+        self.run(obs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Interp, NoopObserver};
+    use crate::ir::{EExpr, ElemRef, ElemStmt, LStmt, LoopNest};
+    use zlang::ir::{ConfigBinding, Offset, RegionId, ScalarExpr, ScalarId};
+
+    fn prog() -> zlang::ir::Program {
+        zlang::compile(
+            "program t; config n : int = 4; region R = [1..n, 1..n]; \
+             var A, B : [R] float; var s : float; var k : int; begin end",
+        )
+        .unwrap()
+    }
+
+    fn run_both(sp: &ScalarProgram) -> (RunOutcome, RunOutcome) {
+        let b = ConfigBinding::defaults(&sp.program);
+        let mut i = Interp::new(sp, b.clone());
+        let oi = i.execute(&mut NoopObserver).unwrap();
+        let mut v = Vm::new(sp, b).unwrap();
+        let ov = v.execute(&mut NoopObserver).unwrap();
+        (oi, ov)
+    }
+
+    #[test]
+    fn vm_matches_interp_on_index_fill() {
+        let sp = ScalarProgram {
+            program: prog(),
+            stmts: vec![LStmt::Nest(LoopNest {
+                region: RegionId(0),
+                structure: vec![2, -1],
+                body: vec![ElemStmt {
+                    target: ElemRef::Array(zlang::ir::ArrayId(0), Offset(vec![0, 0])),
+                    rhs: EExpr::Binary(
+                        zlang::ast::BinOp::Add,
+                        Box::new(EExpr::Binary(
+                            zlang::ast::BinOp::Mul,
+                            Box::new(EExpr::Index(0)),
+                            Box::new(EExpr::Const(10.0)),
+                        )),
+                        Box::new(EExpr::Index(1)),
+                    ),
+                }],
+                cluster: 0,
+                temps: 0,
+            })],
+        };
+        let (oi, ov) = run_both(&sp);
+        assert_eq!(oi, ov);
+    }
+
+    #[test]
+    fn vm_matches_interp_on_reduce_and_for() {
+        let sp = ScalarProgram {
+            program: prog(),
+            stmts: vec![
+                LStmt::Nest(LoopNest {
+                    region: RegionId(0),
+                    structure: vec![1, 2],
+                    body: vec![ElemStmt {
+                        target: ElemRef::Array(zlang::ir::ArrayId(0), Offset(vec![0, 0])),
+                        rhs: EExpr::Index(1),
+                    }],
+                    cluster: 0,
+                    temps: 0,
+                }),
+                LStmt::For {
+                    var: ScalarId(1),
+                    lo: ScalarExpr::Const(1.0),
+                    hi: ScalarExpr::Const(3.0),
+                    down: false,
+                    body: vec![LStmt::ReduceNest {
+                        lhs: ScalarId(0),
+                        op: zlang::ast::ReduceOp::Sum,
+                        region: RegionId(0),
+                        structure: vec![1, 2],
+                        rhs: EExpr::Load(zlang::ir::ArrayId(0), Offset(vec![0, 0])),
+                    }],
+                },
+            ],
+        };
+        let (oi, ov) = run_both(&sp);
+        assert_eq!(oi, ov);
+        assert_eq!(ov.scalar(ScalarId(0)), 40.0);
+    }
+
+    #[test]
+    fn vm_reports_halo_error_like_interp() {
+        let sp = ScalarProgram {
+            program: prog(),
+            stmts: vec![LStmt::Nest(LoopNest {
+                region: RegionId(0),
+                structure: vec![1, 2],
+                body: vec![ElemStmt {
+                    target: ElemRef::Array(zlang::ir::ArrayId(0), Offset(vec![0, 0])),
+                    rhs: EExpr::Load(zlang::ir::ArrayId(1), Offset(vec![-1, 0])),
+                }],
+                cluster: 0,
+                temps: 0,
+            })],
+        };
+        let b = ConfigBinding::defaults(&sp.program);
+        let ei = Interp::new(&sp, b.clone())
+            .execute(&mut NoopObserver)
+            .unwrap_err();
+        let ev = Vm::new(&sp, b)
+            .unwrap()
+            .execute(&mut NoopObserver)
+            .unwrap_err();
+        assert_eq!(ei, ev);
+    }
+}

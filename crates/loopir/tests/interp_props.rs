@@ -1,7 +1,11 @@
-//! Property tests for the interpreter's iteration machinery.
+//! Property tests for the execution engines' iteration machinery, run
+//! against both the tree-walking [`Interp`] and the bytecode [`Vm`].
 
-use loopir::{EExpr, ElemRef, ElemStmt, Interp, LStmt, LoopNest, NoopObserver, ScalarProgram};
-use proptest::prelude::*;
+use loopir::{
+    EExpr, ElemRef, ElemStmt, Engine, Interp, LStmt, LoopNest, NoopObserver, RunStats,
+    ScalarProgram,
+};
+use testkit::cases;
 use zlang::ir::{ArrayId, ConfigBinding, Offset, RegionId};
 
 fn program(n: i64) -> ScalarProgram {
@@ -10,7 +14,10 @@ fn program(n: i64) -> ScalarProgram {
          var A, B : [R] float; var k : int; begin end"
     ))
     .unwrap();
-    ScalarProgram { program: p, stmts: Vec::new() }
+    ScalarProgram {
+        program: p,
+        stmts: Vec::new(),
+    }
 }
 
 /// All eight signed permutations of rank 2.
@@ -27,14 +34,21 @@ fn structures() -> Vec<Vec<i8>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Runs a scalarized program on an engine, returning its stats.
+fn run_stats(sp: &ScalarProgram, engine: Engine) -> RunStats {
+    let mut exec = engine
+        .executor(sp, ConfigBinding::defaults(&sp.program))
+        .unwrap();
+    exec.execute(&mut NoopObserver).unwrap().stats
+}
 
-    /// Every loop structure visits every iteration point exactly once, and
-    /// pure element-wise computation is structure-independent.
-    #[test]
-    fn all_structures_visit_all_points_once(n in 2i64..10, sidx in 0usize..8) {
-        let structure = structures()[sidx].clone();
+/// Every loop structure visits every iteration point exactly once, and
+/// pure element-wise computation is structure-independent.
+#[test]
+fn all_structures_visit_all_points_once() {
+    cases(64, 0xa11, |rng| {
+        let n = rng.range(2, 9);
+        let structure = structures()[rng.below(8)].clone();
         let mut sp = program(n);
         sp.stmts = vec![LStmt::Nest(LoopNest {
             region: RegionId(0),
@@ -54,24 +68,31 @@ proptest! {
             cluster: 0,
             temps: 0,
         })];
-        let mut i = Interp::new(&sp, ConfigBinding::defaults(&sp.program));
-        let stats = i.run(&mut NoopObserver).unwrap();
-        prop_assert_eq!(stats.points, (n * n) as u64);
-        prop_assert_eq!(stats.stores, (n * n) as u64);
+        for engine in Engine::all() {
+            let stats = run_stats(&sp, engine);
+            assert_eq!(stats.points, (n * n) as u64, "{engine}");
+            assert_eq!(stats.stores, (n * n) as u64, "{engine}");
+        }
         // Row-major spot check, independent of iteration order.
+        let mut i = Interp::new(&sp, ConfigBinding::defaults(&sp.program));
+        i.run(&mut NoopObserver).unwrap();
         let a = i.array(ArrayId(0)).unwrap();
         for r in 1..=n {
             for c in 1..=n {
                 let idx = ((r - 1) * n + (c - 1)) as usize;
-                prop_assert_eq!(a[idx], (r * 100 + c) as f64);
+                assert_eq!(a[idx], (r * 100 + c) as f64);
             }
         }
-    }
+    });
+}
 
-    /// Peak memory equals the sum of touched arrays' sizes, regardless of
-    /// how many nests touch them.
-    #[test]
-    fn peak_memory_counts_each_array_once(n in 2i64..10, repeats in 1usize..5) {
+/// Peak memory equals the sum of touched arrays' sizes, regardless of
+/// how many nests touch them.
+#[test]
+fn peak_memory_counts_each_array_once() {
+    cases(64, 0xbee, |rng| {
+        let n = rng.range(2, 9);
+        let repeats = rng.range(1, 4);
         let mut sp = program(n);
         let nest = LoopNest {
             region: RegionId(0),
@@ -84,16 +105,22 @@ proptest! {
             temps: 0,
         };
         sp.stmts = (0..repeats).map(|_| LStmt::Nest(nest.clone())).collect();
-        let mut i = Interp::new(&sp, ConfigBinding::defaults(&sp.program));
-        let stats = i.run(&mut NoopObserver).unwrap();
-        prop_assert_eq!(stats.arrays_allocated, 1);
-        prop_assert_eq!(stats.peak_bytes, (n * n * 8) as u64);
-    }
+        for engine in Engine::all() {
+            let stats = run_stats(&sp, engine);
+            assert_eq!(stats.arrays_allocated, 1, "{engine}");
+            assert_eq!(stats.peak_bytes, (n * n * 8) as u64, "{engine}");
+        }
+    });
+}
 
-    /// Scalar control flow: a counted loop executes its body
-    /// `hi - lo + 1` times (or zero when empty), in either direction.
-    #[test]
-    fn for_loop_trip_counts(lo in -5i64..5, span in -2i64..8, down in any::<bool>()) {
+/// Scalar control flow: a counted loop executes its body
+/// `hi - lo + 1` times (or zero when empty), in either direction.
+#[test]
+fn for_loop_trip_counts() {
+    cases(64, 0xf02, |rng| {
+        let lo = rng.range(-5, 4);
+        let span = rng.range(-2, 7);
+        let down = rng.bool();
         let hi = lo + span;
         let mut sp = program(4);
         let body_nest = LoopNest {
@@ -115,9 +142,10 @@ proptest! {
             down,
             body: vec![LStmt::Nest(body_nest)],
         }];
-        let mut i = Interp::new(&sp, ConfigBinding::defaults(&sp.program));
-        let stats = i.run(&mut NoopObserver).unwrap();
         let trips = (hi - lo + 1).max(0) as u64;
-        prop_assert_eq!(stats.points, trips * 16);
-    }
+        for engine in Engine::all() {
+            let stats = run_stats(&sp, engine);
+            assert_eq!(stats.points, trips * 16, "{engine}");
+        }
+    });
 }

@@ -19,9 +19,16 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (capacity not divisible by
     /// `line * assoc`, or any parameter is zero).
     pub fn sets(&self) -> u64 {
-        assert!(self.bytes > 0 && self.line > 0 && self.assoc > 0, "cache parameters must be nonzero");
+        assert!(
+            self.bytes > 0 && self.line > 0 && self.assoc > 0,
+            "cache parameters must be nonzero"
+        );
         let per_set = self.line as u64 * self.assoc as u64;
-        assert_eq!(self.bytes % per_set, 0, "capacity must be a multiple of line*assoc");
+        assert_eq!(
+            self.bytes % per_set,
+            0,
+            "capacity must be a multiple of line*assoc"
+        );
         self.bytes / per_set
     }
 }
@@ -48,7 +55,12 @@ impl Cache {
     /// Panics if the geometry is inconsistent (see [`CacheConfig::sets`]).
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets() as usize;
-        Cache { config, sets: vec![Vec::new(); sets], hits: 0, misses: 0 }
+        Cache {
+            config,
+            sets: vec![Vec::new(); sets],
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The cache's geometry.
@@ -158,7 +170,11 @@ mod tests {
         for addr in (0..4096u64).step_by(64) {
             c.access(addr);
         }
-        assert_eq!(c.misses(), misses_first * 2, "no reuse survives a 4x working set");
+        assert_eq!(
+            c.misses(),
+            misses_first * 2,
+            "no reuse survives a 4x working set"
+        );
     }
 
     #[test]

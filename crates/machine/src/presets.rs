@@ -75,8 +75,16 @@ pub fn t3e() -> Machine {
     Machine {
         name: "Cray T3E",
         kind: MachineKind::T3e,
-        l1: CacheConfig { bytes: 8 * 1024, line: 32, assoc: 1 },
-        l2: Some(CacheConfig { bytes: 96 * 1024, line: 64, assoc: 3 }),
+        l1: CacheConfig {
+            bytes: 8 * 1024,
+            line: 32,
+            assoc: 1,
+        },
+        l2: Some(CacheConfig {
+            bytes: 96 * 1024,
+            line: 64,
+            assoc: 3,
+        }),
         cost: CostModel {
             flop_ns: 2.2,
             l1_hit_ns: 1.1,
@@ -96,7 +104,11 @@ pub fn sp2() -> Machine {
     Machine {
         name: "IBM SP-2",
         kind: MachineKind::Sp2,
-        l1: CacheConfig { bytes: 128 * 1024, line: 128, assoc: 4 },
+        l1: CacheConfig {
+            bytes: 128 * 1024,
+            line: 128,
+            assoc: 4,
+        },
         l2: None,
         cost: CostModel {
             flop_ns: 4.2,
@@ -117,7 +129,11 @@ pub fn paragon() -> Machine {
     Machine {
         name: "Intel Paragon",
         kind: MachineKind::Paragon,
-        l1: CacheConfig { bytes: 8 * 1024, line: 32, assoc: 2 },
+        l1: CacheConfig {
+            bytes: 8 * 1024,
+            line: 32,
+            assoc: 2,
+        },
         l2: None,
         cost: CostModel {
             flop_ns: 13.3,
@@ -153,10 +169,19 @@ mod tests {
     #[test]
     fn relative_characteristics_hold() {
         let (t, s, p) = (t3e(), sp2(), paragon());
-        assert!(t.cost.msg_latency_ns < s.cost.msg_latency_ns, "T3E network is fastest");
+        assert!(
+            t.cost.msg_latency_ns < s.cost.msg_latency_ns,
+            "T3E network is fastest"
+        );
         assert!(t.cost.msg_latency_ns < p.cost.msg_latency_ns);
         assert!(s.l1.bytes > t.l1.bytes, "SP-2 has the big cache");
-        assert!(p.cost.flop_ns > t.cost.flop_ns, "Paragon is the slowest processor");
-        assert!(p.node_memory < t.node_memory, "Paragon has the least memory");
+        assert!(
+            p.cost.flop_ns > t.cost.flop_ns,
+            "Paragon is the slowest processor"
+        );
+        assert!(
+            p.node_memory < t.node_memory,
+            "Paragon has the least memory"
+        );
     }
 }

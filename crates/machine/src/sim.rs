@@ -40,7 +40,11 @@ pub struct MemSim {
 impl MemSim {
     /// Creates a cold memory system.
     pub fn new(l1: CacheConfig, l2: Option<CacheConfig>) -> Self {
-        MemSim { l1: Cache::new(l1), l2: l2.map(Cache::new), stats: MemStats::default() }
+        MemSim {
+            l1: Cache::new(l1),
+            l2: l2.map(Cache::new),
+            stats: MemStats::default(),
+        }
     }
 
     /// Counters so far.
@@ -90,8 +94,16 @@ mod tests {
 
     fn small() -> MemSim {
         MemSim::new(
-            CacheConfig { bytes: 256, line: 32, assoc: 1 },
-            Some(CacheConfig { bytes: 1024, line: 32, assoc: 2 }),
+            CacheConfig {
+                bytes: 256,
+                line: 32,
+                assoc: 1,
+            },
+            Some(CacheConfig {
+                bytes: 1024,
+                line: 32,
+                assoc: 2,
+            }),
         )
     }
 

@@ -2,8 +2,8 @@
 //! (per-set LRU by explicit timestamps) on arbitrary address streams.
 
 use machine::cache::{Cache, CacheConfig};
-use proptest::prelude::*;
 use std::collections::HashMap;
+use testkit::{cases, Rng};
 
 /// Reference model: per set, a map line-tag → last-use time; evict the
 /// minimum on overflow.
@@ -34,8 +34,10 @@ impl RefCache {
             true
         } else {
             if set.len() == self.assoc {
-                let (&victim, _) =
-                    set.iter().min_by_key(|(_, &t)| t).expect("nonempty full set");
+                let (&victim, _) = set
+                    .iter()
+                    .min_by_key(|(_, &t)| t)
+                    .expect("nonempty full set");
                 set.remove(&victim);
             }
             set.insert(tag, self.clock);
@@ -44,61 +46,71 @@ impl RefCache {
     }
 }
 
-fn configs() -> impl Strategy<Value = CacheConfig> {
-    (
-        prop::sample::select(vec![16u32, 32, 64, 128]),
-        prop::sample::select(vec![1u32, 2, 4]),
-        1u64..=16,
-    )
-        .prop_map(|(line, assoc, sets)| CacheConfig {
-            bytes: line as u64 * assoc as u64 * sets,
-            line,
-            assoc,
-        })
+fn config(rng: &mut Rng) -> CacheConfig {
+    let line = *rng.choose(&[16u32, 32, 64, 128]);
+    let assoc = *rng.choose(&[1u32, 2, 4]);
+    let sets = rng.range(1, 16) as u64;
+    CacheConfig {
+        bytes: line as u64 * assoc as u64 * sets,
+        line,
+        assoc,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn simulator_matches_reference(
-        cfg in configs(),
+#[test]
+fn simulator_matches_reference() {
+    cases(128, 0xcac4e, |rng| {
+        let cfg = config(rng);
         // Addresses clustered so that hits actually occur.
-        stream in prop::collection::vec(0u64..4096, 1..400)
-    ) {
+        let len = rng.range(1, 399) as usize;
+        let stream: Vec<u64> = (0..len).map(|_| rng.range(0, 4095) as u64).collect();
         let mut sim = Cache::new(cfg);
         let mut reference = RefCache::new(cfg);
         for (i, &addr) in stream.iter().enumerate() {
             let a = sim.access(addr);
             let b = reference.access(addr);
-            prop_assert_eq!(a, b, "divergence at access {} (addr {}, cfg {:?})", i, addr, cfg);
+            assert_eq!(a, b, "divergence at access {i} (addr {addr}, cfg {cfg:?})");
         }
-        prop_assert_eq!(sim.hits() + sim.misses(), stream.len() as u64);
-    }
+        assert_eq!(sim.hits() + sim.misses(), stream.len() as u64);
+    });
+}
 
-    #[test]
-    fn bigger_caches_never_miss_more(
-        stream in prop::collection::vec(0u64..8192, 1..300)
-    ) {
+#[test]
+fn bigger_caches_never_miss_more() {
+    cases(128, 0xb16, |rng| {
+        let len = rng.range(1, 299) as usize;
+        let stream: Vec<u64> = (0..len).map(|_| rng.range(0, 8191) as u64).collect();
         // LRU has the inclusion property: doubling associativity at equal
         // set count cannot increase misses on the same trace.
-        let small = CacheConfig { bytes: 1024, line: 32, assoc: 1 };
-        let large = CacheConfig { bytes: 2048, line: 32, assoc: 2 };
+        let small = CacheConfig {
+            bytes: 1024,
+            line: 32,
+            assoc: 1,
+        };
+        let large = CacheConfig {
+            bytes: 2048,
+            line: 32,
+            assoc: 2,
+        };
         let mut s = Cache::new(small);
         let mut l = Cache::new(large);
         for &a in &stream {
             s.access(a);
             l.access(a);
         }
-        prop_assert!(l.misses() <= s.misses());
-    }
+        assert!(l.misses() <= s.misses());
+    });
+}
 
-    #[test]
-    fn single_location_hits_after_first(addr in 0u64..1_000_000, cfg in configs()) {
+#[test]
+fn single_location_hits_after_first() {
+    cases(128, 0x0417, |rng| {
+        let addr = rng.range(0, 999_999) as u64;
+        let cfg = config(rng);
         let mut c = Cache::new(cfg);
-        prop_assert!(!c.access(addr));
+        assert!(!c.access(addr));
         for _ in 0..8 {
-            prop_assert!(c.access(addr));
+            assert!(c.access(addr));
         }
-    }
+    });
 }

@@ -37,14 +37,22 @@ pub struct CommPolicy {
 
 impl Default for CommPolicy {
     fn default() -> Self {
-        CommPolicy { redundancy_elim: true, combining: true, pipelining: true }
+        CommPolicy {
+            redundancy_elim: true,
+            combining: true,
+            pipelining: true,
+        }
     }
 }
 
 impl CommPolicy {
     /// All optimizations off (pure vectorized messaging).
     pub fn none() -> Self {
-        CommPolicy { redundancy_elim: false, combining: false, pipelining: false }
+        CommPolicy {
+            redundancy_elim: false,
+            combining: false,
+            pipelining: false,
+        }
     }
 }
 
@@ -154,7 +162,10 @@ impl CommTracker {
         let bounds = region.bounds(binding);
         let rank = bounds.len();
         let grid = Grid::factor(self.procs, rank);
-        let extents: Vec<i64> = bounds.iter().map(|&(lo, hi)| (hi - lo + 1).max(0)).collect();
+        let extents: Vec<i64> = bounds
+            .iter()
+            .map(|&(lo, hi)| (hi - lo + 1).max(0))
+            .collect();
 
         // Collect needs: (array, dim, sign) → max depth.
         let mut needs: HashMap<GhostKey, i64> = HashMap::new();
@@ -162,9 +173,16 @@ impl CommTracker {
             for d in 0..off.rank() {
                 let v = off.0[d];
                 if v != 0 && grid.split(d) {
-                    let key = GhostKey { array: a, dim: d, positive: v > 0 };
+                    let key = GhostKey {
+                        array: a,
+                        dim: d,
+                        positive: v > 0,
+                    };
                     let depth = v.abs();
-                    needs.entry(key).and_modify(|x| *x = (*x).max(depth)).or_insert(depth);
+                    needs
+                        .entry(key)
+                        .and_modify(|x| *x = (*x).max(depth))
+                        .or_insert(depth);
                 }
             }
         }
@@ -311,7 +329,11 @@ mod tests {
     fn single_processor_never_communicates() {
         let (p, b) = test_program();
         let mut t = CommTracker::new(1, t3e().cost, CommPolicy::default());
-        t.nest(&p, &b, &nest_reading(&p, &[(1, vec![-1, 0]), (2, vec![0, 1])]));
+        t.nest(
+            &p,
+            &b,
+            &nest_reading(&p, &[(1, vec![-1, 0]), (2, vec![0, 1])]),
+        );
         assert_eq!(t.stats().messages, 0);
         assert_eq!(t.stats().comm_ns, 0.0);
     }
@@ -356,10 +378,18 @@ mod tests {
         let (p, b) = test_program();
         let mut t = CommTracker::new(4, t3e().cost, CommPolicy::default());
         // Two arrays fetched from the same (dim 0, negative) neighbor.
-        t.nest(&p, &b, &nest_reading(&p, &[(1, vec![-1, 0]), (2, vec![-1, 0])]));
+        t.nest(
+            &p,
+            &b,
+            &nest_reading(&p, &[(1, vec![-1, 0]), (2, vec![-1, 0])]),
+        );
         assert_eq!(t.stats().messages, 1);
         let mut t2 = CommTracker::new(4, t3e().cost, CommPolicy::none());
-        t2.nest(&p, &b, &nest_reading(&p, &[(1, vec![-1, 0]), (2, vec![-1, 0])]));
+        t2.nest(
+            &p,
+            &b,
+            &nest_reading(&p, &[(1, vec![-1, 0]), (2, vec![-1, 0])]),
+        );
         assert_eq!(t2.stats().messages, 2);
     }
 

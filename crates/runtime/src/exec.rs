@@ -7,7 +7,7 @@
 //! symmetric model described in the crate docs.
 
 use crate::comm::{CommPolicy, CommStats, CommTracker};
-use loopir::{Interp, LoopNest, Observer, RunStats, ScalarProgram};
+use loopir::{Engine, LoopNest, Observer, RunStats, ScalarProgram};
 use machine::presets::Machine;
 use machine::sim::{MemSim, MemStats};
 use zlang::ir::ConfigBinding;
@@ -22,12 +22,25 @@ pub struct ExecConfig {
     pub procs: u64,
     /// Communication optimizations in effect.
     pub policy: CommPolicy,
+    /// Which execution engine runs the scalarized program.
+    pub engine: Engine,
 }
 
 impl ExecConfig {
     /// Single-node run on a machine (no communication at all).
     pub fn serial(machine: Machine) -> Self {
-        ExecConfig { machine, procs: 1, policy: CommPolicy::default() }
+        ExecConfig {
+            machine,
+            procs: 1,
+            policy: CommPolicy::default(),
+            engine: Engine::default(),
+        }
+    }
+
+    /// The same configuration with a different execution engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -72,7 +85,9 @@ struct SimObserver<'a> {
 
 impl SimObserver<'_> {
     fn compute_ns(&self, s: MemStats) -> f64 {
-        self.machine.cost.compute_ns(s.flops, s.accesses, s.l1_misses, s.l2_misses)
+        self.machine
+            .cost
+            .compute_ns(s.flops, s.accesses, s.l1_misses, s.l2_misses)
     }
 
     fn flush_compute(&mut self) {
@@ -131,14 +146,23 @@ pub fn simulate(
         binding: &binding,
         last: MemStats::default(),
     };
-    let mut interp = Interp::new(sp, binding.clone());
-    let run = interp.run(&mut obs)?;
+    let mut exec = cfg.engine.executor(sp, binding.clone())?;
+    let run = exec.execute(&mut obs)?.stats;
     obs.flush_compute();
     let mem = obs.mem.stats();
     let comm = obs.comm.stats();
-    let compute_ns = cfg.machine.cost.compute_ns(mem.flops, mem.accesses, mem.l1_misses, mem.l2_misses);
+    let compute_ns =
+        cfg.machine
+            .cost
+            .compute_ns(mem.flops, mem.accesses, mem.l1_misses, mem.l2_misses);
     let total_ns = compute_ns + comm.effective_ns();
-    Ok(SimResult { run, mem, comm, compute_ns, total_ns })
+    Ok(SimResult {
+        run,
+        mem,
+        comm,
+        compute_ns,
+        total_ns,
+    })
 }
 
 #[cfg(test)]
@@ -148,7 +172,9 @@ mod tests {
     use machine::presets::{paragon, sp2, t3e};
 
     fn program(src: &str, level: Level) -> ScalarProgram {
-        Pipeline::new(level).optimize(&zlang::compile(src).unwrap()).scalarized
+        Pipeline::new(level)
+            .optimize(&zlang::compile(src).unwrap())
+            .scalarized
     }
 
     const SRC: &str = "program t; config n : int = 32; \
@@ -167,8 +193,12 @@ mod tests {
     #[test]
     fn serial_run_has_no_comm() {
         let sp = program(SRC, Level::Baseline);
-        let r = simulate(&sp, ConfigBinding::defaults(&sp.program), &ExecConfig::serial(t3e()))
-            .unwrap();
+        let r = simulate(
+            &sp,
+            ConfigBinding::defaults(&sp.program),
+            &ExecConfig::serial(t3e()),
+        )
+        .unwrap();
         assert_eq!(r.comm.messages, 0);
         assert_eq!(r.comm.reductions, 0);
         assert!(r.compute_ns > 0.0);
@@ -178,7 +208,12 @@ mod tests {
     #[test]
     fn parallel_run_communicates_and_reduces() {
         let sp = program(SRC, Level::Baseline);
-        let cfg = ExecConfig { machine: t3e(), procs: 16, policy: CommPolicy::default() };
+        let cfg = ExecConfig {
+            machine: t3e(),
+            procs: 16,
+            policy: CommPolicy::default(),
+            engine: Engine::default(),
+        };
         let r = simulate(&sp, ConfigBinding::defaults(&sp.program), &cfg).unwrap();
         assert!(r.comm.messages > 0);
         assert_eq!(r.comm.reductions, 1);
@@ -191,8 +226,7 @@ mod tests {
         let base = program(SRC, Level::Baseline);
         let c2 = program(SRC, Level::C2);
         let cfg = ExecConfig::serial(paragon());
-        let rb =
-            simulate(&base, ConfigBinding::defaults(&base.program), &cfg).unwrap();
+        let rb = simulate(&base, ConfigBinding::defaults(&base.program), &cfg).unwrap();
         let rc = simulate(&c2, ConfigBinding::defaults(&c2.program), &cfg).unwrap();
         assert!(
             rc.total_ns < rb.total_ns,
@@ -205,18 +239,27 @@ mod tests {
     }
 
     #[test]
-    fn results_identical_across_machines() {
-        // Machine models change time, never values.
+    fn results_identical_across_machines_and_engines() {
+        // Machine models change time, never values — and neither does the
+        // engine choice.
         let sp = program(SRC, Level::C2F3);
-        let checksum = |m: Machine| {
-            let mut i = Interp::new(&sp, ConfigBinding::defaults(&sp.program));
-            let _ = m;
-            i.run(&mut loopir::NoopObserver).unwrap();
-            i.scalar(zlang::ir::ScalarId(0))
+        let checksum = |m: Machine, engine: Engine| {
+            let cfg = ExecConfig::serial(m).with_engine(engine);
+            let r = simulate(&sp, ConfigBinding::defaults(&sp.program), &cfg).unwrap();
+            let mut exec = engine
+                .executor(&sp, ConfigBinding::defaults(&sp.program))
+                .unwrap();
+            let outcome = exec.execute(&mut loopir::NoopObserver).unwrap();
+            (outcome.checksum(), r.mem)
         };
-        let a = checksum(t3e());
-        let b = checksum(sp2());
+        let (a, mem_a) = checksum(t3e(), Engine::Interp);
+        let (b, mem_b) = checksum(sp2(), Engine::Vm);
         assert_eq!(a, b);
+        // Different machines: cache stats differ. Same machine, different
+        // engine: identical access stream, identical cache stats.
+        let (_, mem_c) = checksum(t3e(), Engine::Vm);
+        assert_eq!(mem_a, mem_c);
+        let _ = mem_b;
     }
 
     #[test]

@@ -16,7 +16,10 @@ impl Grid {
     ///
     /// Panics if `p == 0` or `rank == 0`.
     pub fn factor(p: u64, rank: usize) -> Self {
-        assert!(p > 0 && rank > 0, "need at least one processor and one dimension");
+        assert!(
+            p > 0 && rank > 0,
+            "need at least one processor and one dimension"
+        );
         let mut dims = vec![1u64; rank];
         let mut remaining = p;
         // Repeatedly peel the largest prime factor onto the currently

@@ -1,9 +1,9 @@
 //! Property tests for the communication model.
 
 use machine::presets::t3e;
-use proptest::prelude::*;
 use runtime::comm::{CommPolicy, CommTracker};
 use runtime::Grid;
+use testkit::{cases, Rng};
 use zlang::ir::{ArrayId, ConfigBinding, Offset, Program, RegionId};
 
 fn program() -> (Program, ConfigBinding) {
@@ -30,28 +30,30 @@ fn nest(loads: &[(u32, (i64, i64))], store: u32) -> loopir::LoopNest {
     loopir::LoopNest {
         region: RegionId(0),
         structure: vec![1, 2],
-        body: vec![ElemStmt { target: ElemRef::Array(ArrayId(store), Offset(vec![0, 0])), rhs }],
+        body: vec![ElemStmt {
+            target: ElemRef::Array(ArrayId(store), Offset(vec![0, 0])),
+            rhs,
+        }],
         cluster: 0,
         temps: 0,
     }
 }
 
-fn arb_nest() -> impl Strategy<Value = loopir::LoopNest> {
-    (
-        prop::collection::vec((0u32..4, (-1i64..=1, -1i64..=1)), 0..5),
-        0u32..4,
-    )
-        .prop_map(|(loads, store)| nest(&loads, store))
+fn arb_nest(rng: &mut Rng) -> loopir::LoopNest {
+    let n = rng.below(5);
+    let loads: Vec<(u32, (i64, i64))> = (0..n)
+        .map(|_| (rng.range(0, 3) as u32, (rng.range(-1, 1), rng.range(-1, 1))))
+        .collect();
+    let store = rng.range(0, 3) as u32;
+    nest(&loads, store)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn optimizations_never_increase_traffic(
-        nests in prop::collection::vec(arb_nest(), 1..12),
-        compute_per_nest in 0.0f64..1e6
-    ) {
+#[test]
+fn optimizations_never_increase_traffic() {
+    cases(128, 0x7aff1c, |rng| {
+        let count = rng.range(1, 11) as usize;
+        let nests: Vec<_> = (0..count).map(|_| arb_nest(rng)).collect();
+        let compute_per_nest = rng.f64(0.0, 1e6);
         let (p, b) = program();
         let mut optimized = CommTracker::new(16, t3e().cost, CommPolicy::default());
         let mut naive = CommTracker::new(16, t3e().cost, CommPolicy::none());
@@ -63,18 +65,25 @@ proptest! {
         }
         let o = optimized.stats();
         let nv = naive.stats();
-        prop_assert!(o.messages <= nv.messages, "{} > {}", o.messages, nv.messages);
-        prop_assert!(o.bytes <= nv.bytes);
-        prop_assert!(o.comm_ns <= nv.comm_ns + 1e-9);
-        prop_assert_eq!(nv.hidden_ns, 0.0, "pipelining disabled hides nothing");
-        prop_assert!(o.hidden_ns <= o.comm_ns * t3e().cost.overlap_efficiency + 1e-9);
-        prop_assert!(o.effective_ns() >= 0.0);
-    }
+        assert!(
+            o.messages <= nv.messages,
+            "{} > {}",
+            o.messages,
+            nv.messages
+        );
+        assert!(o.bytes <= nv.bytes);
+        assert!(o.comm_ns <= nv.comm_ns + 1e-9);
+        assert_eq!(nv.hidden_ns, 0.0, "pipelining disabled hides nothing");
+        assert!(o.hidden_ns <= o.comm_ns * t3e().cost.overlap_efficiency + 1e-9);
+        assert!(o.effective_ns() >= 0.0);
+    });
+}
 
-    #[test]
-    fn more_processors_never_decrease_per_node_messages(
-        nests in prop::collection::vec(arb_nest(), 1..8)
-    ) {
+#[test]
+fn more_processors_never_decrease_per_node_messages() {
+    cases(128, 0x9a0c, |rng| {
+        let count = rng.range(1, 7) as usize;
+        let nests: Vec<_> = (0..count).map(|_| arb_nest(rng)).collect();
         let (p, b) = program();
         let mut msgs = Vec::new();
         for procs in [1u64, 4, 16] {
@@ -84,19 +93,23 @@ proptest! {
             }
             msgs.push(t.stats().messages);
         }
-        prop_assert_eq!(msgs[0], 0, "single node never communicates");
+        assert_eq!(msgs[0], 0, "single node never communicates");
         // 4 procs = 2x2 grid: both dims split; 16 likewise — counts equal.
-        prop_assert!(msgs[1] <= msgs[2] || msgs[1] == msgs[2]);
-    }
+        assert!(msgs[1] <= msgs[2] || msgs[1] == msgs[2]);
+    });
+}
 
-    #[test]
-    fn grid_factor_roundtrips(p in 1u64..4096, rank in 1usize..4) {
+#[test]
+fn grid_factor_roundtrips() {
+    cases(128, 0x62d, |rng| {
+        let p = rng.range(1, 4095) as u64;
+        let rank = rng.range(1, 3) as usize;
         let g = Grid::factor(p, rank);
-        prop_assert_eq!(g.procs(), p);
-        prop_assert_eq!(g.dims.len(), rank);
+        assert_eq!(g.procs(), p);
+        assert_eq!(g.dims.len(), rank);
         // Balanced: max/min ratio bounded by the largest prime factor.
         let mx = *g.dims.iter().max().unwrap();
         let mn = *g.dims.iter().min().unwrap();
-        prop_assert!(mx / mn <= p, "degenerate factorization {:?}", g.dims);
-    }
+        assert!(mx / mn <= p, "degenerate factorization {:?}", g.dims);
+    });
 }

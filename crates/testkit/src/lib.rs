@@ -1,0 +1,221 @@
+//! Dependency-free helpers for deterministic randomized tests and
+//! wall-clock micro-benchmarks.
+//!
+//! The workspace builds in fully offline environments, so it cannot pull
+//! `proptest`, `rand`, or `criterion` from crates.io. This crate provides
+//! the small slice of those libraries the tests and benches actually use:
+//!
+//! * [`Rng`] — a fast, seedable SplitMix64 generator;
+//! * [`cases`] — run a closure over `n` deterministic random cases,
+//!   reporting the failing seed so a failure reproduces exactly;
+//! * [`bench`] — time a closure over repeated iterations and report the
+//!   per-iteration minimum, median, and mean.
+
+use std::time::Instant;
+
+/// A SplitMix64 pseudo-random generator: tiny, fast, and deterministic
+/// across platforms. Good enough statistical quality for test-case
+/// generation (it passes BigCrush when used as a 64-bit stream).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.u64() % n as u64) as usize
+    }
+
+    /// A uniform `i64` in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "range({lo}, {hi})");
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.u64() % span) as i64
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    pub fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    /// A uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.u64() & 1 == 1
+    }
+
+    /// A uniform choice from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+}
+
+/// Runs `f` over `n` deterministic random cases derived from `seed`.
+///
+/// Each case gets its own [`Rng`] seeded from `(seed, case index)`, so a
+/// failure message's seed reproduces that single case in isolation. The
+/// closure panics to signal failure (plain `assert!` works).
+pub fn cases(n: u64, seed: u64, mut f: impl FnMut(&mut Rng)) {
+    for i in 0..n {
+        let case_seed = seed ^ i.wrapping_mul(0xA076_1D64_78BD_642F);
+        let mut rng = Rng::new(case_seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!("testkit: case {i} of {n} failed (rerun with Rng::new({case_seed:#x}))");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Per-iteration timing summary from [`bench`], in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// Fastest iteration.
+    pub min_ns: f64,
+    /// Median iteration.
+    pub median_ns: f64,
+    /// Mean iteration.
+    pub mean_ns: f64,
+    /// Number of timed iterations.
+    pub iters: u64,
+}
+
+impl Timing {
+    /// Renders as `min/median/mean` in adaptive units.
+    pub fn display(&self) -> String {
+        fn unit(ns: f64) -> String {
+            if ns >= 1e9 {
+                format!("{:.3} s", ns / 1e9)
+            } else if ns >= 1e6 {
+                format!("{:.3} ms", ns / 1e6)
+            } else if ns >= 1e3 {
+                format!("{:.3} µs", ns / 1e3)
+            } else {
+                format!("{ns:.0} ns")
+            }
+        }
+        format!(
+            "min {} / median {} / mean {}",
+            unit(self.min_ns),
+            unit(self.median_ns),
+            unit(self.mean_ns)
+        )
+    }
+}
+
+/// Times `f` for `iters` iterations after `warmup` untimed ones.
+///
+/// The closure's return value is passed through `std::hint::black_box` so
+/// the computation cannot be optimized away.
+pub fn bench<T>(warmup: u64, iters: u64, mut f: impl FnMut() -> T) -> Timing {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min_ns = samples[0];
+    let median_ns = samples[samples.len() / 2];
+    let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+    Timing {
+        min_ns,
+        median_ns,
+        mean_ns,
+        iters: samples.len() as u64,
+    }
+}
+
+/// Prints one bench line in a stable, greppable format.
+pub fn report(name: &str, t: &Timing) {
+    println!("bench {name:<40} {}", t.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn range_is_inclusive_and_bounded() {
+        let mut r = Rng::new(1);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = r.range(-3, 3);
+            assert!((-3..=3).contains(&v));
+            seen_lo |= v == -3;
+            seen_hi |= v == 3;
+        }
+        assert!(seen_lo && seen_hi, "endpoints must be reachable");
+    }
+
+    #[test]
+    fn f64_stays_in_range() {
+        let mut r = Rng::new(2);
+        for _ in 0..1000 {
+            let v = r.f64(-1.0, 4.0);
+            assert!((-1.0..4.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn cases_reports_distinct_streams() {
+        let mut first = Vec::new();
+        cases(8, 42, |rng| first.push(rng.u64()));
+        let mut second = Vec::new();
+        cases(8, 42, |rng| second.push(rng.u64()));
+        assert_eq!(first, second, "same seed, same cases");
+        assert_eq!(first.len(), 8);
+        assert!(first.windows(2).any(|w| w[0] != w[1]), "cases differ");
+    }
+
+    #[test]
+    fn bench_measures_something() {
+        let t = bench(1, 5, || (0..1000u64).sum::<u64>());
+        assert!(t.min_ns >= 0.0);
+        assert!(t.median_ns >= t.min_ns);
+        assert_eq!(t.iters, 5);
+    }
+}

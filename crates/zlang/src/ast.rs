@@ -21,13 +21,31 @@ pub struct Program {
 pub enum Decl {
     /// `config n : int = 64;` — a compile-time-defaulted, run-time
     /// overridable problem parameter.
-    Config { name: String, ty: Type, default: Literal, pos: Pos },
+    Config {
+        name: String,
+        ty: Type,
+        default: Literal,
+        pos: Pos,
+    },
     /// `region R = [1..n, 0..m+1];`
-    Region { name: String, extents: Vec<RangeExpr>, pos: Pos },
+    Region {
+        name: String,
+        extents: Vec<RangeExpr>,
+        pos: Pos,
+    },
     /// `direction north = [-1, 0];`
-    Direction { name: String, offsets: Vec<i64>, pos: Pos },
+    Direction {
+        name: String,
+        offsets: Vec<i64>,
+        pos: Pos,
+    },
     /// `var A, B : [R] float;` (array) or `var s : float;` (scalar).
-    Var { names: Vec<String>, region: Option<String>, ty: Type, pos: Pos },
+    Var {
+        names: Vec<String>,
+        region: Option<String>,
+        ty: Type,
+        pos: Pos,
+    },
 }
 
 /// A scalar type.
@@ -73,13 +91,30 @@ pub struct AffineExpr {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `[R] A := expr;` — an element-wise array assignment over region `R`.
-    ArrayAssign { region: String, lhs: String, rhs: Expr, pos: Pos },
+    ArrayAssign {
+        region: String,
+        lhs: String,
+        rhs: Expr,
+        pos: Pos,
+    },
     /// `s := expr;` — a scalar assignment; `expr` may contain reductions.
     ScalarAssign { lhs: String, rhs: Expr, pos: Pos },
     /// `for k := lo to|downto hi do ... end;`
-    For { var: String, lo: Expr, hi: Expr, down: bool, body: Vec<Stmt>, pos: Pos },
+    For {
+        var: String,
+        lo: Expr,
+        hi: Expr,
+        down: bool,
+        body: Vec<Stmt>,
+        pos: Pos,
+    },
     /// `if cond then ... [else ...] end;`
-    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>, pos: Pos },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        pos: Pos,
+    },
 }
 
 /// An expression (array-valued or scalar-valued; sema decides).

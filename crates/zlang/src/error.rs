@@ -64,17 +64,29 @@ pub struct Error {
 impl Error {
     /// Creates a lexer error.
     pub fn lex(pos: Pos, message: impl Into<String>) -> Self {
-        Error { phase: Phase::Lex, pos, message: message.into() }
+        Error {
+            phase: Phase::Lex,
+            pos,
+            message: message.into(),
+        }
     }
 
     /// Creates a parser error.
     pub fn parse(pos: Pos, message: impl Into<String>) -> Self {
-        Error { phase: Phase::Parse, pos, message: message.into() }
+        Error {
+            phase: Phase::Parse,
+            pos,
+            message: message.into(),
+        }
     }
 
     /// Creates a semantic-analysis error.
     pub fn sema(pos: Pos, message: impl Into<String>) -> Self {
-        Error { phase: Phase::Sema, pos, message: message.into() }
+        Error {
+            phase: Phase::Sema,
+            pos,
+            message: message.into(),
+        }
     }
 }
 

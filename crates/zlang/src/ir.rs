@@ -51,12 +51,18 @@ pub struct LinExpr {
 impl LinExpr {
     /// A constant expression.
     pub fn constant(base: i64) -> Self {
-        LinExpr { base, terms: Vec::new() }
+        LinExpr {
+            base,
+            terms: Vec::new(),
+        }
     }
 
     /// A single config variable.
     pub fn var(id: ConfigId) -> Self {
-        LinExpr { base: 0, terms: vec![(id, 1)] }
+        LinExpr {
+            base: 0,
+            terms: vec![(id, 1)],
+        }
     }
 
     /// Normalizes terms: sorts by config id, merges duplicates, drops zeros.
@@ -80,12 +86,20 @@ impl LinExpr {
     ///
     /// Panics if a referenced config variable is missing from `binding`.
     pub fn eval(&self, binding: &ConfigBinding) -> i64 {
-        self.base + self.terms.iter().map(|&(id, c)| c * binding.get(id)).sum::<i64>()
+        self.base
+            + self
+                .terms
+                .iter()
+                .map(|&(id, c)| c * binding.get(id))
+                .sum::<i64>()
     }
 
     /// Adds a constant.
     pub fn offset(&self, delta: i64) -> Self {
-        LinExpr { base: self.base + delta, terms: self.terms.clone() }
+        LinExpr {
+            base: self.base + delta,
+            terms: self.terms.clone(),
+        }
     }
 
     /// True if the expression is a plain constant.
@@ -104,7 +118,9 @@ impl ConfigBinding {
     /// Builds the default binding for a program (each config's declared
     /// default, with float defaults truncated).
     pub fn defaults(program: &Program) -> Self {
-        ConfigBinding { values: program.configs.iter().map(|c| c.default_int()).collect() }
+        ConfigBinding {
+            values: program.configs.iter().map(|c| c.default_int()).collect(),
+        }
     }
 
     /// Returns the value of a config variable.
@@ -183,12 +199,18 @@ impl RegionDecl {
     /// Evaluates the region's concrete bounds under `binding`:
     /// `(lo, hi)` per dimension, inclusive.
     pub fn bounds(&self, binding: &ConfigBinding) -> Vec<(i64, i64)> {
-        self.extents.iter().map(|e| (e.lo.eval(binding), e.hi.eval(binding))).collect()
+        self.extents
+            .iter()
+            .map(|e| (e.lo.eval(binding), e.hi.eval(binding)))
+            .collect()
     }
 
     /// The number of index points under `binding` (empty dims count as 0).
     pub fn size(&self, binding: &ConfigBinding) -> u64 {
-        self.bounds(binding).iter().map(|&(lo, hi)| (hi - lo + 1).max(0) as u64).product()
+        self.bounds(binding)
+            .iter()
+            .map(|&(lo, hi)| (hi - lo + 1).max(0) as u64)
+            .product()
     }
 }
 
@@ -491,12 +513,27 @@ pub enum Stmt {
     ///
     /// Reductions are *unnormalizable* array statements: they participate in
     /// dependence analysis (they read arrays) but never fuse or contract.
-    Reduce { lhs: ScalarId, op: ReduceOp, region: RegionId, arg: ArrayExpr },
+    Reduce {
+        lhs: ScalarId,
+        op: ReduceOp,
+        region: RegionId,
+        arg: ArrayExpr,
+    },
     /// A counted loop. The body is re-entered each iteration, so arrays
     /// written in the body may be live across iterations.
-    For { var: ScalarId, lo: ScalarExpr, hi: ScalarExpr, down: bool, body: Vec<Stmt> },
+    For {
+        var: ScalarId,
+        lo: ScalarExpr,
+        hi: ScalarExpr,
+        down: bool,
+        body: Vec<Stmt>,
+    },
     /// A conditional.
-    If { cond: ScalarExpr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    If {
+        cond: ScalarExpr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
 }
 
 /// A complete program in the array-level IR.
@@ -519,17 +556,26 @@ pub struct Program {
 impl Program {
     /// Looks up an array by name.
     pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
-        self.arrays.iter().position(|a| a.name == name).map(|i| ArrayId(i as u32))
+        self.arrays
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| ArrayId(i as u32))
     }
 
     /// Looks up a scalar by name.
     pub fn scalar_by_name(&self, name: &str) -> Option<ScalarId> {
-        self.scalars.iter().position(|s| s.name == name).map(|i| ScalarId(i as u32))
+        self.scalars
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| ScalarId(i as u32))
     }
 
     /// Looks up a region by name.
     pub fn region_by_name(&self, name: &str) -> Option<RegionId> {
-        self.regions.iter().position(|r| r.name == name).map(|i| RegionId(i as u32))
+        self.regions
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RegionId(i as u32))
     }
 
     /// The declaration of an array.
@@ -567,8 +613,16 @@ impl Program {
     /// Adds a compiler temporary array over `region`, returning its id.
     pub fn add_compiler_temp(&mut self, region: RegionId) -> ArrayId {
         let id = ArrayId(self.arrays.len() as u32);
-        let name = format!("_t{}", self.arrays.iter().filter(|a| a.compiler_temp).count());
-        self.arrays.push(ArrayDecl { name, region, compiler_temp: true, collapsed: Vec::new() });
+        let name = format!(
+            "_t{}",
+            self.arrays.iter().filter(|a| a.compiler_temp).count()
+        );
+        self.arrays.push(ArrayDecl {
+            name,
+            region,
+            compiler_temp: true,
+            collapsed: Vec::new(),
+        });
         id
     }
 
@@ -603,7 +657,11 @@ impl Program {
                         c.for_loops += 1;
                         walk(body, c);
                     }
-                    Stmt::If { then_body, else_body, .. } => {
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
                         c.ifs += 1;
                         walk(then_body, c);
                         walk(else_body, c);
@@ -651,9 +709,15 @@ mod tests {
 
     #[test]
     fn linexpr_eval_and_normalize() {
-        let e = LinExpr { base: 3, terms: vec![(cfg(1), 2), (cfg(0), 1), (cfg(1), -2)] }.normalize();
+        let e = LinExpr {
+            base: 3,
+            terms: vec![(cfg(1), 2), (cfg(0), 1), (cfg(1), -2)],
+        }
+        .normalize();
         assert_eq!(e.terms, vec![(cfg(0), 1)]);
-        let mut b = ConfigBinding { values: vec![10, 99] };
+        let mut b = ConfigBinding {
+            values: vec![10, 99],
+        };
         assert_eq!(e.eval(&b), 13);
         b.set(cfg(0), 4);
         assert_eq!(e.eval(&b), 7);
@@ -664,8 +728,14 @@ mod tests {
         let r = RegionDecl {
             name: "R".into(),
             extents: vec![
-                Extent { lo: LinExpr::constant(1), hi: LinExpr::var(cfg(0)) },
-                Extent { lo: LinExpr::constant(0), hi: LinExpr::var(cfg(0)).offset(1) },
+                Extent {
+                    lo: LinExpr::constant(1),
+                    hi: LinExpr::var(cfg(0)),
+                },
+                Extent {
+                    lo: LinExpr::constant(0),
+                    hi: LinExpr::var(cfg(0)).offset(1),
+                },
             ],
         };
         let b = ConfigBinding { values: vec![8] };
@@ -677,7 +747,10 @@ mod tests {
     fn empty_region_has_zero_size() {
         let r = RegionDecl {
             name: "E".into(),
-            extents: vec![Extent { lo: LinExpr::constant(5), hi: LinExpr::constant(2) }],
+            extents: vec![Extent {
+                lo: LinExpr::constant(5),
+                hi: LinExpr::constant(2),
+            }],
         };
         assert_eq!(r.size(&ConfigBinding::default()), 0);
     }
@@ -739,9 +812,8 @@ mod tests {
         assert_eq!(e.reads().len(), 2);
         assert_eq!(e.read_count(), 2);
         assert_eq!(e.flops(), 2);
-        let swapped = e.map_reads(&mut |id, off| {
-            ArrayExpr::Read(if id == a { b } else { a }, off.clone())
-        });
+        let swapped =
+            e.map_reads(&mut |id, off| ArrayExpr::Read(if id == a { b } else { a }, off.clone()));
         assert_eq!(swapped.reads()[0].0, b);
     }
 }

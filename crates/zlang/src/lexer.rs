@@ -14,7 +14,12 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), i: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn pos(&self) -> Pos {
@@ -107,16 +112,25 @@ impl<'a> Lexer<'a> {
     fn lex_ident(&mut self) -> Token {
         let pos = self.pos();
         let start = self.i;
-        while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
             self.bump();
         }
         let text = std::str::from_utf8(&self.src[start..self.i]).expect("ascii ident");
         // `max<<` and `min<<` are reduction operators.
-        if (text == "max" || text == "min") && self.peek() == Some(b'<') && self.peek2() == Some(b'<')
+        if (text == "max" || text == "min")
+            && self.peek() == Some(b'<')
+            && self.peek2() == Some(b'<')
         {
             self.bump();
             self.bump();
-            let kind = if text == "max" { TokenKind::MaxReduce } else { TokenKind::MinReduce };
+            let kind = if text == "max" {
+                TokenKind::MaxReduce
+            } else {
+                TokenKind::MinReduce
+            };
             return Token::new(kind, pos);
         }
         match keyword(text) {
@@ -210,7 +224,10 @@ impl<'a> Lexer<'a> {
                     Err(Error::lex(pos, "unexpected `!`"))
                 }
             }
-            other => Err(Error::lex(pos, format!("unexpected character `{}`", other as char))),
+            other => Err(Error::lex(
+                pos,
+                format!("unexpected character `{}`", other as char),
+            )),
         }
     }
 }
@@ -256,7 +273,16 @@ mod tests {
     fn lexes_declarations() {
         assert_eq!(
             kinds("config n : int = 64;"),
-            vec![Config, Ident("n".into()), Colon, IntTy, Eq, Int(64), Semi, Eof]
+            vec![
+                Config,
+                Ident("n".into()),
+                Colon,
+                IntTy,
+                Eq,
+                Int(64),
+                Semi,
+                Eof
+            ]
         );
     }
 
@@ -267,12 +293,18 @@ mod tests {
 
     #[test]
     fn lexes_floats() {
-        assert_eq!(kinds("2.5 1e3 7"), vec![Float(2.5), Float(1000.0), Int(7), Eof]);
+        assert_eq!(
+            kinds("2.5 1e3 7"),
+            vec![Float(2.5), Float(1000.0), Int(7), Eof]
+        );
     }
 
     #[test]
     fn lexes_reductions() {
-        assert_eq!(kinds("+<< *<< max<< min<<"), vec![SumReduce, ProdReduce, MaxReduce, MinReduce, Eof]);
+        assert_eq!(
+            kinds("+<< *<< max<< min<<"),
+            vec![SumReduce, ProdReduce, MaxReduce, MinReduce, Eof]
+        );
     }
 
     #[test]
@@ -282,7 +314,10 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(kinds("a -- comment\n b"), vec![Ident("a".into()), Ident("b".into()), Eof]);
+        assert_eq!(
+            kinds("a -- comment\n b"),
+            vec![Ident("a".into()), Ident("b".into()), Eof]
+        );
     }
 
     #[test]
@@ -300,11 +335,17 @@ mod tests {
 
     #[test]
     fn bare_equals_is_its_own_token() {
-        assert_eq!(kinds("a = b"), vec![Ident("a".into()), Eq, Ident("b".into()), Eof]);
+        assert_eq!(
+            kinds("a = b"),
+            vec![Ident("a".into()), Eq, Ident("b".into()), Eof]
+        );
     }
 
     #[test]
     fn lexes_comparisons() {
-        assert_eq!(kinds("< <= > >= == !="), vec![Lt, Le, Gt, Ge, EqEq, Ne, Eof]);
+        assert_eq!(
+            kinds("< <= > >= == !="),
+            vec![Lt, Le, Gt, Ge, EqEq, Ne, Eof]
+        );
     }
 }

@@ -66,7 +66,10 @@ impl<'a> Parser<'a> {
             self.bump();
             Ok(pos)
         } else {
-            Err(Error::parse(pos, format!("expected {kind}, found {}", self.peek())))
+            Err(Error::parse(
+                pos,
+                format!("expected {kind}, found {}", self.peek()),
+            ))
         }
     }
 
@@ -77,7 +80,10 @@ impl<'a> Parser<'a> {
                 self.bump();
                 Ok((s, pos))
             }
-            other => Err(Error::parse(pos, format!("expected identifier, found {other}"))),
+            other => Err(Error::parse(
+                pos,
+                format!("expected identifier, found {other}"),
+            )),
         }
     }
 
@@ -89,7 +95,10 @@ impl<'a> Parser<'a> {
                 self.bump();
                 Ok(if neg { -v } else { v })
             }
-            ref other => Err(Error::parse(pos, format!("expected integer, found {other}"))),
+            ref other => Err(Error::parse(
+                pos,
+                format!("expected integer, found {other}"),
+            )),
         }
     }
 
@@ -105,7 +114,10 @@ impl<'a> Parser<'a> {
         let body = self.stmts_until_end()?;
         self.eat(&TokenKind::Semi);
         if self.peek() != &TokenKind::Eof {
-            return Err(Error::parse(self.pos(), format!("unexpected {} after `end`", self.peek())));
+            return Err(Error::parse(
+                self.pos(),
+                format!("unexpected {} after `end`", self.peek()),
+            ));
         }
         Ok(Program { name, decls, body })
     }
@@ -117,7 +129,10 @@ impl<'a> Parser<'a> {
         } else if self.eat(&TokenKind::IntTy) {
             Ok(Type::Int)
         } else {
-            Err(Error::parse(pos, format!("expected type, found {}", self.peek())))
+            Err(Error::parse(
+                pos,
+                format!("expected type, found {}", self.peek()),
+            ))
         }
     }
 
@@ -148,7 +163,12 @@ impl<'a> Parser<'a> {
                     }
                 };
                 self.expect(&TokenKind::Semi)?;
-                Ok(Decl::Config { name, ty, default, pos })
+                Ok(Decl::Config {
+                    name,
+                    ty,
+                    default,
+                    pos,
+                })
             }
             TokenKind::Region => {
                 self.bump();
@@ -193,9 +213,17 @@ impl<'a> Parser<'a> {
                 };
                 let ty = self.ty()?;
                 self.expect(&TokenKind::Semi)?;
-                Ok(Decl::Var { names, region, ty, pos })
+                Ok(Decl::Var {
+                    names,
+                    region,
+                    ty,
+                    pos,
+                })
             }
-            other => Err(Error::parse(pos, format!("expected declaration, found {other}"))),
+            other => Err(Error::parse(
+                pos,
+                format!("expected declaration, found {other}"),
+            )),
         }
     }
 
@@ -210,7 +238,11 @@ impl<'a> Parser<'a> {
     /// name, or `int * name` / `name * int`.
     fn affine(&mut self) -> Result<AffineExpr, Error> {
         let pos = self.pos();
-        let mut out = AffineExpr { base: 0, terms: Vec::new(), pos };
+        let mut out = AffineExpr {
+            base: 0,
+            terms: Vec::new(),
+            pos,
+        };
         let mut sign = 1i64;
         if self.eat(&TokenKind::Minus) {
             sign = -1;
@@ -273,7 +305,12 @@ impl<'a> Parser<'a> {
                 self.expect(&TokenKind::Assign)?;
                 let rhs = self.expr()?;
                 self.expect(&TokenKind::Semi)?;
-                Ok(Stmt::ArrayAssign { region, lhs, rhs, pos })
+                Ok(Stmt::ArrayAssign {
+                    region,
+                    lhs,
+                    rhs,
+                    pos,
+                })
             }
             TokenKind::Ident(lhs) => {
                 self.bump();
@@ -301,7 +338,14 @@ impl<'a> Parser<'a> {
                 self.expect(&TokenKind::Do)?;
                 let body = self.stmts_until_end()?;
                 self.expect(&TokenKind::Semi)?;
-                Ok(Stmt::For { var, lo, hi, down, body, pos })
+                Ok(Stmt::For {
+                    var,
+                    lo,
+                    hi,
+                    down,
+                    body,
+                    pos,
+                })
             }
             TokenKind::If => {
                 self.bump();
@@ -322,9 +366,17 @@ impl<'a> Parser<'a> {
                 };
                 self.expect(&TokenKind::End)?;
                 self.expect(&TokenKind::Semi)?;
-                Ok(Stmt::If { cond, then_body, else_body, pos })
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    pos,
+                })
             }
-            other => Err(Error::parse(pos, format!("expected statement, found {other}"))),
+            other => Err(Error::parse(
+                pos,
+                format!("expected statement, found {other}"),
+            )),
         }
     }
 
@@ -449,7 +501,10 @@ impl<'a> Parser<'a> {
                     Ok(Expr::Name(name, pos))
                 }
             }
-            other => Err(Error::parse(pos, format!("expected expression, found {other}"))),
+            other => Err(Error::parse(
+                pos,
+                format!("expected expression, found {other}"),
+            )),
         }
     }
 }
@@ -504,10 +559,11 @@ mod tests {
 
     #[test]
     fn parses_region_with_affine_bounds() {
-        let p = parse_src(
-            "program p; config n : int = 4; region R = [0..n+1, 2*n-1..3*n]; begin end",
-        );
-        let Decl::Region { extents, .. } = &p.decls[1] else { panic!("expected region") };
+        let p =
+            parse_src("program p; config n : int = 4; region R = [0..n+1, 2*n-1..3*n]; begin end");
+        let Decl::Region { extents, .. } = &p.decls[1] else {
+            panic!("expected region")
+        };
         assert_eq!(extents.len(), 2);
         assert_eq!(extents[0].hi.base, 1);
         assert_eq!(extents[0].hi.terms, vec![("n".to_string(), 1)]);
@@ -521,16 +577,26 @@ mod tests {
             "program p; region R = [1..4]; direction w = [-1]; var A, B : [R] float; \
              begin [R] A := B@w + B@[1]; end",
         );
-        let Stmt::ArrayAssign { rhs, .. } = &p.body[0] else { panic!() };
-        let Expr::Binary(BinOp::Add, l, r, _) = rhs else { panic!() };
+        let Stmt::ArrayAssign { rhs, .. } = &p.body[0] else {
+            panic!()
+        };
+        let Expr::Binary(BinOp::Add, l, r, _) = rhs else {
+            panic!()
+        };
         assert!(matches!(**l, Expr::At(ref n, AtOffset::Named(ref d), _) if n == "B" && d == "w"));
-        assert!(matches!(**r, Expr::At(ref n, AtOffset::Inline(ref v), _) if n == "B" && v == &[1]));
+        assert!(
+            matches!(**r, Expr::At(ref n, AtOffset::Inline(ref v), _) if n == "B" && v == &[1])
+        );
     }
 
     #[test]
     fn parses_precedence() {
         let p = with_body("[R] A := B + B * 2.0;");
-        let Stmt::ArrayAssign { rhs: Expr::Binary(BinOp::Add, _, r, _), .. } = &p.body[0] else {
+        let Stmt::ArrayAssign {
+            rhs: Expr::Binary(BinOp::Add, _, r, _),
+            ..
+        } = &p.body[0]
+        else {
             panic!()
         };
         assert!(matches!(**r, Expr::Binary(BinOp::Mul, _, _, _)));
@@ -539,7 +605,9 @@ mod tests {
     #[test]
     fn parses_comparison_as_top_level() {
         let p = with_body("[R] A := B + 1.0 < B * 2.0;");
-        let Stmt::ArrayAssign { rhs, .. } = &p.body[0] else { panic!() };
+        let Stmt::ArrayAssign { rhs, .. } = &p.body[0] else {
+            panic!()
+        };
         assert!(matches!(rhs, Expr::Binary(BinOp::Lt, _, _, _)));
     }
 
@@ -553,7 +621,14 @@ mod tests {
     #[test]
     fn parses_if_else() {
         let p = with_body("if s > 1.0 then [R] A := B; else [R] B := A; s := 2.0; end;");
-        let Stmt::If { then_body, else_body, .. } = &p.body[0] else { panic!() };
+        let Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } = &p.body[0]
+        else {
+            panic!()
+        };
         assert_eq!(then_body.len(), 1);
         assert_eq!(else_body.len(), 2);
     }
@@ -561,8 +636,12 @@ mod tests {
     #[test]
     fn parses_reduction_spanning_addsub() {
         let p = with_body("s := +<< [R] A + B;");
-        let Stmt::ScalarAssign { rhs, .. } = &p.body[0] else { panic!() };
-        let Expr::Reduce(ReduceOp::Sum, region, arg, _) = rhs else { panic!() };
+        let Stmt::ScalarAssign { rhs, .. } = &p.body[0] else {
+            panic!()
+        };
+        let Expr::Reduce(ReduceOp::Sum, region, arg, _) = rhs else {
+            panic!()
+        };
         assert_eq!(region, "R");
         assert!(matches!(**arg, Expr::Binary(BinOp::Add, _, _, _)));
     }
@@ -570,14 +649,21 @@ mod tests {
     #[test]
     fn parses_intrinsic_calls() {
         let p = with_body("[R] A := max(B, sqrt(A));");
-        let Stmt::ArrayAssign { rhs: Expr::Call(f, args, _), .. } = &p.body[0] else { panic!() };
+        let Stmt::ArrayAssign {
+            rhs: Expr::Call(f, args, _),
+            ..
+        } = &p.body[0]
+        else {
+            panic!()
+        };
         assert_eq!(f, "max");
         assert_eq!(args.len(), 2);
     }
 
     #[test]
     fn rejects_missing_semicolon() {
-        let e = parse_err("program p; region R = [1..4]; var A : [R] float; begin [R] A := 1.0 end");
+        let e =
+            parse_err("program p; region R = [1..4]; var A : [R] float; begin [R] A := 1.0 end");
         assert!(e.message.contains("expected"), "{e}");
     }
 

@@ -2,8 +2,8 @@
 //! syntax (for debugging, examples, and the compiler-explorer tooling).
 
 use crate::ast::{BinOp, ReduceOp, UnOp};
-use crate::ir::{ArrayExpr, Program, ScalarExpr, Stmt};
 use crate::ir::Offset;
+use crate::ir::{ArrayExpr, Program, ScalarExpr, Stmt};
 use std::fmt::Write;
 
 /// Renders an offset in the parseable inline syntax `[d1,d2,...]`.
@@ -53,7 +53,12 @@ pub fn array_expr(p: &Program, e: &ArrayExpr) -> String {
         ArrayExpr::Index(d) => format!("index{}", d + 1),
         ArrayExpr::Unary(UnOp::Neg, inner) => format!("(-{})", array_expr(p, inner)),
         ArrayExpr::Binary(op, l, r) => {
-            format!("({} {} {})", array_expr(p, l), binop_str(*op), array_expr(p, r))
+            format!(
+                "({} {} {})",
+                array_expr(p, l),
+                binop_str(*op),
+                array_expr(p, r)
+            )
         }
         ArrayExpr::Call(i, args) => {
             let args: Vec<_> = args.iter().map(|a| array_expr(p, a)).collect();
@@ -70,7 +75,12 @@ pub fn scalar_expr(p: &Program, e: &ScalarExpr) -> String {
         ScalarExpr::ConfigRef(c) => p.configs[c.0 as usize].name.clone(),
         ScalarExpr::Unary(UnOp::Neg, inner) => format!("(-{})", scalar_expr(p, inner)),
         ScalarExpr::Binary(op, l, r) => {
-            format!("({} {} {})", scalar_expr(p, l), binop_str(*op), scalar_expr(p, r))
+            format!(
+                "({} {} {})",
+                scalar_expr(p, l),
+                binop_str(*op),
+                scalar_expr(p, r)
+            )
         }
         ScalarExpr::Call(i, args) => {
             let args: Vec<_> = args.iter().map(|a| scalar_expr(p, a)).collect();
@@ -92,9 +102,19 @@ fn stmt(p: &Program, s: &Stmt, indent: usize, out: &mut String) {
             );
         }
         Stmt::Scalar { lhs, rhs } => {
-            let _ = writeln!(out, "{pad}{} := {};", p.scalar(*lhs).name, scalar_expr(p, rhs));
+            let _ = writeln!(
+                out,
+                "{pad}{} := {};",
+                p.scalar(*lhs).name,
+                scalar_expr(p, rhs)
+            );
         }
-        Stmt::Reduce { lhs, op, region, arg } => {
+        Stmt::Reduce {
+            lhs,
+            op,
+            region,
+            arg,
+        } => {
             let _ = writeln!(
                 out,
                 "{pad}{} := {} [{}] {};",
@@ -104,7 +124,13 @@ fn stmt(p: &Program, s: &Stmt, indent: usize, out: &mut String) {
                 array_expr(p, arg)
             );
         }
-        Stmt::For { var, lo, hi, down, body } => {
+        Stmt::For {
+            var,
+            lo,
+            hi,
+            down,
+            body,
+        } => {
             let _ = writeln!(
                 out,
                 "{pad}for {} := {} {} {} do",
@@ -118,7 +144,11 @@ fn stmt(p: &Program, s: &Stmt, indent: usize, out: &mut String) {
             }
             let _ = writeln!(out, "{pad}end;");
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             let _ = writeln!(out, "{pad}if {} then", scalar_expr(p, cond));
             for s in then_body {
                 stmt(p, s, indent + 1, out);
@@ -203,8 +233,11 @@ pub fn source(p: &Program) -> String {
         let _ = writeln!(out, "config {} : {} = {};", c.name, ty, default);
     }
     for r in &p.regions {
-        let dims: Vec<String> =
-            r.extents.iter().map(|e| format!("{}..{}", linexpr(p, &e.lo), linexpr(p, &e.hi))).collect();
+        let dims: Vec<String> = r
+            .extents
+            .iter()
+            .map(|e| format!("{}..{}", linexpr(p, &e.lo), linexpr(p, &e.hi)))
+            .collect();
         let _ = writeln!(out, "region {} = [{}];", r.name, dims.join(", "));
     }
     // Offsets print in the inline `@[..]` syntax, so no direction

@@ -29,7 +29,10 @@ struct Analyzer {
 impl Analyzer {
     fn bind(&mut self, name: &str, b: Binding, pos: Pos) -> Result<(), Error> {
         if self.names.insert(name.to_string(), b).is_some() {
-            return Err(Error::sema(pos, format!("duplicate declaration of `{name}`")));
+            return Err(Error::sema(
+                pos,
+                format!("duplicate declaration of `{name}`"),
+            ));
         }
         Ok(())
     }
@@ -50,7 +53,10 @@ impl Analyzer {
     }
 
     fn affine(&self, e: &ast::AffineExpr) -> Result<LinExpr, Error> {
-        let mut out = LinExpr { base: e.base, terms: Vec::new() };
+        let mut out = LinExpr {
+            base: e.base,
+            terms: Vec::new(),
+        };
         for (name, coeff) in &e.terms {
             match self.lookup(name, e.pos)? {
                 Binding::Config(id) => out.terms.push((id, *coeff)),
@@ -68,7 +74,12 @@ impl Analyzer {
     fn decls(&mut self, decls: &[Decl]) -> Result<(), Error> {
         for d in decls {
             match d {
-                Decl::Config { name, ty, default, pos } => {
+                Decl::Config {
+                    name,
+                    ty,
+                    default,
+                    pos,
+                } => {
                     let default = match (*ty, *default) {
                         (Type::Int, Literal::Int(v)) => v as f64,
                         (Type::Float, Literal::Float(v)) => v,
@@ -95,11 +106,17 @@ impl Analyzer {
                     let extents = extents
                         .iter()
                         .map(|r| {
-                            Ok(Extent { lo: self.affine(&r.lo)?, hi: self.affine(&r.hi)? })
+                            Ok(Extent {
+                                lo: self.affine(&r.lo)?,
+                                hi: self.affine(&r.hi)?,
+                            })
                         })
                         .collect::<Result<Vec<_>, Error>>()?;
                     let id = RegionId(self.program.regions.len() as u32);
-                    self.program.regions.push(RegionDecl { name: name.clone(), extents });
+                    self.program.regions.push(RegionDecl {
+                        name: name.clone(),
+                        extents,
+                    });
                     self.bind(name, Binding::Region(id), *pos)?;
                 }
                 Decl::Direction { name, offsets, pos } => {
@@ -107,7 +124,12 @@ impl Analyzer {
                     self.directions.push(offsets.clone());
                     self.bind(name, Binding::Direction(idx), *pos)?;
                 }
-                Decl::Var { names, region, ty, pos } => {
+                Decl::Var {
+                    names,
+                    region,
+                    ty,
+                    pos,
+                } => {
                     for n in names {
                         match region {
                             Some(rname) => {
@@ -134,7 +156,10 @@ impl Analyzer {
                             }
                             None => {
                                 let id = ScalarId(self.program.scalars.len() as u32);
-                                self.program.scalars.push(ScalarDecl { name: n.clone(), ty: *ty });
+                                self.program.scalars.push(ScalarDecl {
+                                    name: n.clone(),
+                                    ty: *ty,
+                                });
                                 self.bind(n, Binding::Scalar(id), *pos)?;
                             }
                         }
@@ -176,16 +201,16 @@ impl Analyzer {
             }
             ast::Expr::At(name, off, pos) => {
                 let Binding::Array(a) = self.lookup(name, *pos)? else {
-                    return Err(Error::sema(*pos, format!("`@` applies to arrays, `{name}` is not one")));
+                    return Err(Error::sema(
+                        *pos,
+                        format!("`@` applies to arrays, `{name}` is not one"),
+                    ));
                 };
                 self.check_array_rank(a, rank, *pos)?;
                 let vec = match off {
                     AtOffset::Named(dname) => {
                         let Binding::Direction(di) = self.lookup(dname, *pos)? else {
-                            return Err(Error::sema(
-                                *pos,
-                                format!("`{dname}` is not a direction"),
-                            ));
+                            return Err(Error::sema(*pos, format!("`{dname}` is not a direction")));
                         };
                         self.directions[di as usize].clone()
                     }
@@ -202,9 +227,10 @@ impl Analyzer {
                 }
                 Ok(ArrayExpr::Read(a, Offset(vec)))
             }
-            ast::Expr::Unary(op, inner, _) => {
-                Ok(ArrayExpr::Unary(*op, Box::new(self.array_expr(inner, rank)?)))
-            }
+            ast::Expr::Unary(op, inner, _) => Ok(ArrayExpr::Unary(
+                *op,
+                Box::new(self.array_expr(inner, rank)?),
+            )),
             ast::Expr::Binary(op, l, r, _) => Ok(ArrayExpr::Binary(
                 *op,
                 Box::new(self.array_expr(l, rank)?),
@@ -264,14 +290,19 @@ impl Analyzer {
                     *pos,
                     format!("array `{name}` used in scalar context (did you mean a reduction?)"),
                 )),
-                _ => Err(Error::sema(*pos, format!("`{name}` cannot be used as a value"))),
+                _ => Err(Error::sema(
+                    *pos,
+                    format!("`{name}` cannot be used as a value"),
+                )),
             },
-            ast::Expr::At(_, _, pos) => {
-                Err(Error::sema(*pos, "`@` references cannot appear in scalar context"))
-            }
-            ast::Expr::Unary(op, inner, _) => {
-                Ok(ScalarExpr::Unary(*op, Box::new(self.scalar_expr(inner, out)?)))
-            }
+            ast::Expr::At(_, _, pos) => Err(Error::sema(
+                *pos,
+                "`@` references cannot appear in scalar context",
+            )),
+            ast::Expr::Unary(op, inner, _) => Ok(ScalarExpr::Unary(
+                *op,
+                Box::new(self.scalar_expr(inner, out)?),
+            )),
             ast::Expr::Binary(op, l, r, _) => Ok(ScalarExpr::Binary(
                 *op,
                 Box::new(self.scalar_expr(l, out)?),
@@ -304,7 +335,12 @@ impl Analyzer {
                 let rank = self.program.region(rid).rank();
                 let arg = self.array_expr(arg, rank)?;
                 let tmp = self.fresh_scalar(Type::Float);
-                out.push(Stmt::Reduce { lhs: tmp, op: *op, region: rid, arg });
+                out.push(Stmt::Reduce {
+                    lhs: tmp,
+                    op: *op,
+                    region: rid,
+                    arg,
+                });
                 Ok(ScalarExpr::ScalarRef(tmp))
             }
         }
@@ -314,7 +350,12 @@ impl Analyzer {
         let mut out = Vec::new();
         for s in stmts {
             match s {
-                ast::Stmt::ArrayAssign { region, lhs, rhs, pos } => {
+                ast::Stmt::ArrayAssign {
+                    region,
+                    lhs,
+                    rhs,
+                    pos,
+                } => {
                     let Binding::Region(rid) = self.lookup(region, *pos)? else {
                         return Err(Error::sema(*pos, format!("`{region}` is not a region")));
                     };
@@ -327,7 +368,11 @@ impl Analyzer {
                     let rank = self.program.region(rid).rank();
                     self.check_array_rank(aid, rank, *pos)?;
                     let rhs = self.array_expr(rhs, rank)?;
-                    out.push(Stmt::Array(ArrayStmt { region: rid, lhs: aid, rhs }));
+                    out.push(Stmt::Array(ArrayStmt {
+                        region: rid,
+                        lhs: aid,
+                        rhs,
+                    }));
                 }
                 ast::Stmt::ScalarAssign { lhs, rhs, pos } => {
                     let Binding::Scalar(sid) = self.lookup(lhs, *pos)? else {
@@ -344,15 +389,30 @@ impl Analyzer {
                         };
                         let rank = self.program.region(rid).rank();
                         let arg = self.array_expr(arg, rank)?;
-                        out.push(Stmt::Reduce { lhs: sid, op: *op, region: rid, arg });
+                        out.push(Stmt::Reduce {
+                            lhs: sid,
+                            op: *op,
+                            region: rid,
+                            arg,
+                        });
                     } else {
                         let rhs = self.scalar_expr(rhs, &mut out)?;
                         out.push(Stmt::Scalar { lhs: sid, rhs });
                     }
                 }
-                ast::Stmt::For { var, lo, hi, down, body, pos } => {
+                ast::Stmt::For {
+                    var,
+                    lo,
+                    hi,
+                    down,
+                    body,
+                    pos,
+                } => {
                     let Binding::Scalar(vid) = self.lookup(var, *pos)? else {
-                        return Err(Error::sema(*pos, format!("loop variable `{var}` is not a scalar")));
+                        return Err(Error::sema(
+                            *pos,
+                            format!("loop variable `{var}` is not a scalar"),
+                        ));
                     };
                     if self.program.scalar(vid).ty != Type::Int {
                         return Err(Error::sema(
@@ -370,17 +430,35 @@ impl Analyzer {
                         ));
                     }
                     let body = self.stmts(body)?;
-                    out.push(Stmt::For { var: vid, lo, hi, down: *down, body });
+                    out.push(Stmt::For {
+                        var: vid,
+                        lo,
+                        hi,
+                        down: *down,
+                        body,
+                    });
                 }
-                ast::Stmt::If { cond, then_body, else_body, pos } => {
+                ast::Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    pos,
+                } => {
                     let mut pre = Vec::new();
                     let cond = self.scalar_expr(cond, &mut pre)?;
                     if !pre.is_empty() {
-                        return Err(Error::sema(*pos, "reductions are not allowed in conditions; assign to a scalar first"));
+                        return Err(Error::sema(
+                            *pos,
+                            "reductions are not allowed in conditions; assign to a scalar first",
+                        ));
                     }
                     let then_body = self.stmts(then_body)?;
                     let else_body = self.stmts(else_body)?;
-                    out.push(Stmt::If { cond, then_body, else_body });
+                    out.push(Stmt::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    });
                 }
             }
         }
@@ -439,7 +517,9 @@ mod tests {
     #[test]
     fn lowers_array_statement() {
         let p = compile(&format!("{P} begin [R] A := B@e * 2.0 + s; end")).unwrap();
-        let Stmt::Array(st) = &p.body[0] else { panic!() };
+        let Stmt::Array(st) = &p.body[0] else {
+            panic!()
+        };
         assert_eq!(p.array(st.lhs).name, "A");
         let reads = st.rhs.reads();
         assert_eq!(reads.len(), 1);
@@ -456,7 +536,9 @@ mod tests {
     #[test]
     fn index_names_lower_to_index() {
         let p = compile(&format!("{P} begin [R] A := index1 + index2; end")).unwrap();
-        let Stmt::Array(st) = &p.body[0] else { panic!() };
+        let Stmt::Array(st) = &p.body[0] else {
+            panic!()
+        };
         assert_eq!(st.rhs.read_count(), 0);
         assert!(matches!(
             st.rhs,

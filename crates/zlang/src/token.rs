@@ -50,9 +50,9 @@ pub enum TokenKind {
     Le,
     Gt,
     Ge,
-    Eq,   // =  (declarations only)
-    EqEq, // ==
-    Ne,   // !=
+    Eq,         // =  (declarations only)
+    EqEq,       // ==
+    Ne,         // !=
     SumReduce,  // +<<
     ProdReduce, // *<<
     MaxReduce,  // max<<

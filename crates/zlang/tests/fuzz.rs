@@ -1,40 +1,104 @@
 //! Fuzz-style property tests: the frontend must never panic, on any input.
 
-use proptest::prelude::*;
+use testkit::cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// The lexer returns Ok or Err on arbitrary text — it never panics.
-    #[test]
-    fn lexer_total_on_arbitrary_text(src in ".{0,200}") {
+/// The lexer returns Ok or Err on arbitrary text — it never panics.
+#[test]
+fn lexer_total_on_arbitrary_text() {
+    cases(512, 0x1e8e5, |rng| {
+        let len = rng.below(201);
+        let src: String = (0..len)
+            .map(|_| rng.range(0, 0x10FF) as u32)
+            .filter_map(char::from_u32)
+            .collect();
         let _ = zlang::lexer::lex(&src);
-    }
+    });
+}
 
-    /// The full frontend is total on arbitrary ASCII-ish soup.
-    #[test]
-    fn compiler_total_on_arbitrary_text(src in "[ -~\n]{0,300}") {
+/// The full frontend is total on arbitrary ASCII-ish soup.
+#[test]
+fn compiler_total_on_arbitrary_text() {
+    cases(512, 0xc0de, |rng| {
+        let len = rng.below(301);
+        let src: String = (0..len)
+            .map(|_| {
+                if rng.below(20) == 0 {
+                    '\n'
+                } else {
+                    rng.range(0x20, 0x7e) as u8 as char
+                }
+            })
+            .collect();
         let _ = zlang::compile(&src);
-    }
+    });
+}
 
-    /// The frontend is total on token-shaped soup (words from the
-    /// language's vocabulary glued randomly) — this reaches much deeper
-    /// into the parser than raw bytes do.
-    #[test]
-    fn compiler_total_on_token_soup(words in prop::collection::vec(
-        prop::sample::select(vec![
-            "program", "config", "region", "direction", "var", "begin", "end",
-            "for", "to", "downto", "do", "if", "then", "else", "float", "int",
-            "p", "n", "R", "A", "B", "s", "k", "index1", "sqrt", "max",
-            ";", ":", ",", ":=", "=", "[", "]", "(", ")", "..", "@",
-            "+", "-", "*", "/", "<", "<=", ">", ">=", "==", "!=",
-            "+<<", "max<<", "1", "2.5", "0", "-3",
-        ]),
-        0..60
-    )) {
+/// The frontend is total on token-shaped soup (words from the
+/// language's vocabulary glued randomly) — this reaches much deeper
+/// into the parser than raw bytes do.
+#[test]
+fn compiler_total_on_token_soup() {
+    const VOCAB: &[&str] = &[
+        "program",
+        "config",
+        "region",
+        "direction",
+        "var",
+        "begin",
+        "end",
+        "for",
+        "to",
+        "downto",
+        "do",
+        "if",
+        "then",
+        "else",
+        "float",
+        "int",
+        "p",
+        "n",
+        "R",
+        "A",
+        "B",
+        "s",
+        "k",
+        "index1",
+        "sqrt",
+        "max",
+        ";",
+        ":",
+        ",",
+        ":=",
+        "=",
+        "[",
+        "]",
+        "(",
+        ")",
+        "..",
+        "@",
+        "+",
+        "-",
+        "*",
+        "/",
+        "<",
+        "<=",
+        ">",
+        ">=",
+        "==",
+        "!=",
+        "+<<",
+        "max<<",
+        "1",
+        "2.5",
+        "0",
+        "-3",
+    ];
+    cases(512, 0x50a9, |rng| {
+        let n = rng.below(60);
+        let words: Vec<&str> = (0..n).map(|_| *rng.choose(VOCAB)).collect();
         let src = words.join(" ");
         let _ = zlang::compile(&src);
-    }
+    });
 }
 
 /// Deterministic regression cases that once looked risky.

@@ -23,7 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .into_iter()
                 .find(|f| f.id == id)
                 .ok_or_else(|| format!("no fragment {id}; try (1)..(8) or (8b)"))?;
-            println!("fragment {} — {}\n{}\n", frag.id, frag.what, frag.source.trim());
+            println!(
+                "fragment {} — {}\n{}\n",
+                frag.id,
+                frag.what,
+                frag.source.trim()
+            );
             let program = zpl_fusion::lang::compile(frag.source)?;
             for model in models::model::all_models() {
                 let opt = Pipeline::new(model.level)
@@ -33,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     "--- {} (level {}, anti-dep fusion {}) ---",
                     model.name,
                     model.level,
-                    if model.no_loop_carried_anti { "forbidden" } else { "allowed" }
+                    if model.no_loop_carried_anti {
+                        "forbidden"
+                    } else {
+                        "allowed"
+                    }
                 );
                 println!(
                     "nests: {}  contracted: {:?}",

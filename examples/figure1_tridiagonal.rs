@@ -10,9 +10,8 @@
 //! ```
 
 use zpl_fusion::fusion::explain;
-use zpl_fusion::fusion::pipeline::{Level, Pipeline};
-use zpl_fusion::loops::{printer, Interp, NoopObserver};
-use zpl_fusion::prelude::ConfigBinding;
+use zpl_fusion::loops::printer;
+use zpl_fusion::prelude::*;
 
 /// Figure 1(a), transliterated: the loop over rows `i` carries the
 /// recurrence; each row is a rank-1 array statement. `D`, `RX`, `RY` hold
@@ -50,7 +49,7 @@ begin
 end
 "#;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), zpl_fusion::Error> {
     let program = zpl_fusion::lang::compile(SOURCE)?;
     println!("Figure 1 — the tridiagonal solver fragment\n");
 
@@ -66,13 +65,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .collect::<Vec<_>>()
         );
         println!("{}", printer::print(&opt.scalarized));
-        let mut interp =
-            Interp::new(&opt.scalarized, ConfigBinding::defaults(&opt.scalarized.program));
-        let stats = interp.run(&mut NoopObserver)?;
+        let mut exec = Engine::default().executor(
+            &opt.scalarized,
+            ConfigBinding::defaults(&opt.scalarized.program),
+        )?;
+        let out = exec.execute(&mut NoopObserver)?;
         println!(
             "chk = {}   peak bytes = {}\n",
-            interp.scalar(opt.scalarized.program.scalar_by_name("chk").unwrap()),
-            stats.peak_bytes
+            out.scalar(opt.scalarized.program.scalar_by_name("chk").unwrap()),
+            out.stats.peak_bytes
         );
     }
 

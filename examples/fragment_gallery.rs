@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let program = zpl_fusion::lang::compile(frag.source)?;
         let base = Pipeline::new(Level::Baseline).optimize(&program);
         let opt = Pipeline::new(Level::C2F3).optimize(&program);
-        println!("--- unoptimized ({} nests) ---", base.scalarized.nest_count());
+        println!(
+            "--- unoptimized ({} nests) ---",
+            base.scalarized.nest_count()
+        );
         println!("{}", printer::print(&base.scalarized));
         println!(
             "--- c2+f3 ({} nests, contracted {:?}) ---",

@@ -7,9 +7,8 @@
 //! cargo run --release --example heat_solver
 //! ```
 
-use zpl_fusion::fusion::pipeline::{Level, Pipeline};
 use zpl_fusion::par::{simulate, CommPolicy, ExecConfig};
-use zpl_fusion::prelude::ConfigBinding;
+use zpl_fusion::prelude::*;
 use zpl_fusion::sim::presets::MachineKind;
 
 const SOURCE: &str = r#"
@@ -46,9 +45,12 @@ begin
 end
 "#;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), zpl_fusion::Error> {
     let program = zpl_fusion::lang::compile(SOURCE)?;
-    println!("heat solver: {} steps of Jacobi on a 48x48 plate, 16 processors\n", 4);
+    println!(
+        "heat solver: {} steps of Jacobi on a 48x48 plate, 16 processors\n",
+        4
+    );
     println!(
         "{:<10} {:>9} {:>12} {:>12} {:>10} {:>10}",
         "level", "nests", "arrays", "peak bytes", "messages", "time (ms)"
@@ -64,6 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 machine: machine.clone(),
                 procs: 16,
                 policy: CommPolicy::default(),
+                engine: Engine::default(),
             };
             let r = simulate(&opt.scalarized, binding, &cfg)?;
             let speedup = match baseline_ns {

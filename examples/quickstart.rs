@@ -5,10 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use zpl_fusion::fusion::pipeline::{Level, Pipeline};
-use zpl_fusion::lang;
-use zpl_fusion::loops::{printer, Interp, NoopObserver};
-use zpl_fusion::prelude::ConfigBinding;
+use zpl_fusion::loops::printer;
+use zpl_fusion::prelude::*;
 
 const SOURCE: &str = r#"
 program quickstart;
@@ -29,9 +27,12 @@ begin
 end
 "#;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let program = lang::compile(SOURCE)?;
-    println!("=== source (array IR) ===\n{}", lang::pretty::program(&program));
+fn main() -> Result<(), zpl_fusion::Error> {
+    let program = zpl_fusion::lang::compile(SOURCE)?;
+    println!(
+        "=== source (array IR) ===\n{}",
+        zpl_fusion::lang::pretty::program(&program)
+    );
 
     for level in [Level::Baseline, Level::C2] {
         let opt = Pipeline::new(level).optimize(&program);
@@ -45,12 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{}", printer::print(&opt.scalarized));
 
         let binding = ConfigBinding::defaults(&opt.scalarized.program);
-        let mut interp = Interp::new(&opt.scalarized, binding);
-        let stats = interp.run(&mut NoopObserver)?;
-        let total = interp.scalar(opt.scalarized.program.scalar_by_name("total").unwrap());
+        let mut exec = Engine::default().executor(&opt.scalarized, binding)?;
+        let out = exec.execute(&mut NoopObserver)?;
+        let total = out.scalar(opt.scalarized.program.scalar_by_name("total").unwrap());
         println!(
             "executed: {} points, {} loads, {} stores, peak {} bytes, total = {total}\n",
-            stats.points, stats.loads, stats.stores, stats.peak_bytes
+            out.stats.points, out.stats.loads, out.stats.stores, out.stats.peak_bytes
         );
     }
     Ok(())

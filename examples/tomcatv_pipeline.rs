@@ -7,13 +7,12 @@
 //! cargo run --release --example tomcatv_pipeline
 //! ```
 
-use zpl_fusion::fusion::pipeline::{Level, Pipeline};
 use zpl_fusion::par::{simulate, CommPolicy, ExecConfig};
-use zpl_fusion::prelude::ConfigBinding;
+use zpl_fusion::prelude::*;
 use zpl_fusion::sim::presets::t3e;
 use zpl_fusion::workloads;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), zpl_fusion::Error> {
     let bench = workloads::by_name("tomcatv").expect("tomcatv is built in");
     let program = bench.program();
     println!("{}: {}\n", bench.name, bench.description);
@@ -28,8 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let opt = Pipeline::new(level).optimize(&program);
         let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
         binding.set_by_name(&opt.scalarized.program, "n", 40);
-        let cfg =
-            ExecConfig { machine: machine.clone(), procs: 16, policy: CommPolicy::default() };
+        let cfg = ExecConfig {
+            machine: machine.clone(),
+            procs: 16,
+            policy: CommPolicy::default(),
+            engine: Engine::default(),
+        };
         let r = simulate(&opt.scalarized, binding, &cfg)?;
         let imp = match &baseline {
             None => {

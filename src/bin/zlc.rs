@@ -13,12 +13,14 @@
 //!   --favor-comm                  Section 5.5 favor-communication policy
 //!   --print <ir|loops|asdg|report|source>   what to print (repeatable)
 //!   --run                         execute and print scalars + statistics
+//!   --engine <interp|vm>          execution engine (default vm)
 //!   --machine <t3e|sp2|paragon>   simulate on a machine model (with --run)
 //!   --procs <p>                   simulated processors (default 1)
 //!   --set <name=value>            override an integer config (repeatable)
 //! ```
 
 use fusion_core::pipeline::{Level, Pipeline};
+use loopir::Engine;
 use machine::presets::MachineKind;
 use runtime::{simulate, CommPolicy, ExecConfig};
 use std::process::ExitCode;
@@ -32,6 +34,7 @@ struct Options {
     favor_comm: bool,
     prints: Vec<String>,
     run: bool,
+    engine: Engine,
     machine: Option<MachineKind>,
     procs: u64,
     sets: Vec<(String, i64)>,
@@ -42,7 +45,8 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage: zlc <file.zl> [--level L] [--dimension-contraction] [--spatial-cap K]\n\
          \x20          [--favor-comm] [--print ir|loops|asdg|report|source]... [--run]\n\
-         \x20          [--machine t3e|sp2|paragon] [--procs P] [--set name=value]..."
+         \x20          [--engine interp|vm] [--machine t3e|sp2|paragon] [--procs P]\n\
+         \x20          [--set name=value]..."
     );
     ExitCode::from(2)
 }
@@ -60,6 +64,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         favor_comm: false,
         prints: Vec::new(),
         run: false,
+        engine: Engine::default(),
         machine: None,
         procs: 1,
         sets: Vec::new(),
@@ -67,7 +72,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |name: &str| {
-            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
         };
         match a.as_str() {
             "--level" => {
@@ -76,12 +83,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--dimension-contraction" => opts.dimension_contraction = true,
             "--spatial-cap" => {
-                opts.spatial_cap =
-                    Some(value("--spatial-cap")?.parse().map_err(|_| "bad cap".to_string())?);
+                opts.spatial_cap = Some(
+                    value("--spatial-cap")?
+                        .parse()
+                        .map_err(|_| "bad cap".to_string())?,
+                );
             }
             "--favor-comm" => opts.favor_comm = true,
             "--print" => opts.prints.push(value("--print")?),
             "--run" => opts.run = true,
+            "--engine" => {
+                opts.engine = value("--engine")?.parse()?;
+            }
             "--machine" => {
                 opts.machine = Some(match value("--machine")?.as_str() {
                     "t3e" => MachineKind::T3e,
@@ -91,12 +104,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 });
             }
             "--procs" => {
-                opts.procs = value("--procs")?.parse().map_err(|_| "bad procs".to_string())?;
+                opts.procs = value("--procs")?
+                    .parse()
+                    .map_err(|_| "bad procs".to_string())?;
             }
             "--set" => {
                 let v = value("--set")?;
-                let (name, val) =
-                    v.split_once('=').ok_or_else(|| format!("--set wants name=value, got `{v}`"))?;
+                let (name, val) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set wants name=value, got `{v}`"))?;
                 opts.sets.push((
                     name.to_string(),
                     val.parse().map_err(|_| format!("bad value in `{v}`"))?,
@@ -160,7 +176,10 @@ fn main() -> ExitCode {
                 for (bi, block) in opt.norm.blocks.iter().enumerate() {
                     println!("// block {bi}");
                     let g = fusion_core::asdg::build(&opt.norm.program, block);
-                    print!("{}", fusion_core::asdg::to_dot(&opt.norm.program, block, &g));
+                    print!(
+                        "{}",
+                        fusion_core::asdg::to_dot(&opt.norm.program, block, &g)
+                    );
                 }
             }
             "report" => {
@@ -195,12 +214,16 @@ fn main() -> ExitCode {
         }
         match opts.machine {
             None => {
-                let mut interp = loopir::Interp::new(&opt.scalarized, binding);
-                match interp.run(&mut loopir::NoopObserver) {
-                    Ok(stats) => {
+                let outcome = opts
+                    .engine
+                    .executor(&opt.scalarized, binding)
+                    .and_then(|mut exec| exec.execute(&mut loopir::NoopObserver));
+                match outcome {
+                    Ok(out) => {
                         for (i, s) in opt.scalarized.program.scalars.iter().enumerate() {
-                            println!("{} = {}", s.name, interp.scalar(zlang::ir::ScalarId(i as u32)));
+                            println!("{} = {}", s.name, out.scalar(zlang::ir::ScalarId(i as u32)));
                         }
+                        let stats = &out.stats;
                         println!(
                             "-- {} points, {} loads, {} stores, {} flops, peak {} bytes",
                             stats.points, stats.loads, stats.stores, stats.flops, stats.peak_bytes
@@ -217,6 +240,7 @@ fn main() -> ExitCode {
                     machine: kind.machine(),
                     procs: opts.procs,
                     policy: CommPolicy::default(),
+                    engine: opts.engine,
                 };
                 match simulate(&opt.scalarized, binding, &cfg) {
                     Ok(r) => {

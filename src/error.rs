@@ -1,0 +1,79 @@
+//! The workspace-level error type.
+//!
+//! The two fallible layers — the `zlang` frontend (lex/parse/sema) and the
+//! `loopir` execution engines — each have their own error type. [`Error`]
+//! unifies them so applications can use one `Result` type end to end:
+//!
+//! ```
+//! fn run(src: &str) -> Result<f64, zpl_fusion::Error> {
+//!     use zpl_fusion::prelude::*;
+//!     let program = zpl_fusion::lang::compile(src)?;
+//!     let opt = Pipeline::new(Level::C2).optimize(&program);
+//!     let binding = ConfigBinding::defaults(&opt.scalarized.program);
+//!     let mut exec = Engine::default().executor(&opt.scalarized, binding)?;
+//!     Ok(exec.execute(&mut NoopObserver)?.checksum())
+//! }
+//! assert!(run("program p; begin end").is_ok());
+//! assert!(run("progrm p;").is_err());
+//! ```
+
+use std::fmt;
+
+/// Any error the workspace can produce: a frontend compile error or an
+/// execution error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A lex, parse, or semantic-analysis error from the `zlang` frontend.
+    Compile(zlang::error::Error),
+    /// An execution error from either engine (out-of-region access, or a
+    /// program the bytecode compiler cannot lower).
+    Exec(loopir::ExecError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Compile(e) => e.fmt(f),
+            Error::Exec(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Compile(e) => Some(e),
+            Error::Exec(e) => Some(e),
+        }
+    }
+}
+
+impl From<zlang::error::Error> for Error {
+    fn from(e: zlang::error::Error) -> Self {
+        Error::Compile(e)
+    }
+}
+
+impl From<loopir::ExecError> for Error {
+    fn from(e: loopir::ExecError) -> Self {
+        Error::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_both_layers_with_sources() {
+        let c: Error = zlang::compile("progrm nope;").unwrap_err().into();
+        assert!(matches!(c, Error::Compile(_)));
+        assert!(std::error::Error::source(&c).is_some());
+        let x: Error = loopir::ExecError {
+            message: "boom".into(),
+        }
+        .into();
+        assert_eq!(x.to_string(), "execution error: boom");
+        assert!(std::error::Error::source(&x).is_some());
+    }
+}

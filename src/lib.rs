@@ -11,8 +11,9 @@
 //!   unconstrained distance vectors, the array statement dependence graph,
 //!   statement fusion, array contraction, loop-structure search, and
 //!   scalarization (`fusion-core`).
-//! * [`loops`] — the scalarized loop-nest IR, printer, and interpreter
-//!   (`loopir`).
+//! * [`loops`] — the scalarized loop-nest IR, printer, and the two
+//!   execution engines behind the [`Executor`](prelude::Executor) API: the
+//!   tree-walking interpreter and the bytecode VM (`loopir`).
 //! * [`sim`] — the simulated machine: cache simulator and machine cost
 //!   models (`machine`).
 //! * [`par`] — the simulated parallel runtime: block distribution, ghost
@@ -25,10 +26,13 @@
 //!
 //! Compile a program, optimize it at the `C2` level (fuse + contract
 //! compiler *and* user arrays — the paper's headline configuration), and
-//! run it:
+//! run it. Execution goes through an [`Engine`](prelude::Engine): the
+//! default bytecode [`Vm`](loops::Vm) or the reference tree-walking
+//! [`Interp`](loops::Interp) — both produce bit-identical results and
+//! identical memory-access streams.
 //!
 //! ```
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), zpl_fusion::Error> {
 //! use zpl_fusion::prelude::*;
 //!
 //! let src = r#"
@@ -46,9 +50,10 @@
 //! // B was contracted: the scalarized code allocates fewer arrays.
 //! assert!(opt.contracted.len() == 1);
 //! let binding = ConfigBinding::defaults(&opt.scalarized.program);
-//! let mut interp = Interp::new(&opt.scalarized, binding);
-//! let stats = interp.run(&mut NoopObserver)?;
-//! assert_eq!(stats.arrays_allocated, 2); // A and C only
+//! let mut exec = Engine::default().executor(&opt.scalarized, binding)?;
+//! let outcome = exec.execute(&mut NoopObserver)?;
+//! assert_eq!(outcome.stats.arrays_allocated, 2); // A and C only
+//! println!("checksum = {}", outcome.checksum());
 //! # Ok(())
 //! # }
 //! ```
@@ -61,9 +66,13 @@ pub use machine as sim;
 pub use runtime as par;
 pub use zlang as lang;
 
+mod error;
+pub use error::Error;
+
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::Error;
     pub use fusion_core::pipeline::{Level, Pipeline};
-    pub use loopir::{Interp, NoopObserver};
+    pub use loopir::{Engine, Executor, Interp, NoopObserver, RunOutcome, Vm};
     pub use zlang::ir::ConfigBinding;
 }

@@ -20,8 +20,14 @@ fn program_path(name: &str) -> String {
 
 #[test]
 fn compiles_and_runs_heat() {
-    let (stdout, stderr, ok) =
-        zlc(&[&program_path("heat.zl"), "--print", "report", "--run", "--set", "n=16"]);
+    let (stdout, stderr, ok) = zlc(&[
+        &program_path("heat.zl"),
+        "--print",
+        "report",
+        "--run",
+        "--set",
+        "n=16",
+    ]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("contraction report"), "{stdout}");
     assert!(stdout.contains("NEW"), "{stdout}");
@@ -60,7 +66,13 @@ fn machine_simulation_reports_comm() {
 
 #[test]
 fn print_loops_shows_fused_nests() {
-    let (stdout, _, ok) = zlc(&[&program_path("fragment5.zl"), "--level", "c1", "--print", "loops"]);
+    let (stdout, _, ok) = zlc(&[
+        &program_path("fragment5.zl"),
+        "--level",
+        "c1",
+        "--print",
+        "loops",
+    ]);
     assert!(ok);
     assert!(stdout.contains("for i"), "{stdout}");
     // The offset self-update fuses via loop reversal at c1.

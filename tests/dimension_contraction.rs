@@ -2,9 +2,8 @@
 //! Section 5.2 SP deficiency): semantics must be exactly preserved while
 //! the collapsed arrays' memory disappears.
 
-use zpl_fusion::fusion::pipeline::{Level, Optimized, Pipeline};
-use zpl_fusion::loops::{Interp, NoopObserver};
-use zpl_fusion::prelude::ConfigBinding;
+use zpl_fusion::fusion::pipeline::Optimized;
+use zpl_fusion::prelude::*;
 
 /// An SP-style sweep chain: T is produced by an x-direction stencil and
 /// consumed by a y-direction stencil — full fusion is illegal, but the
@@ -22,16 +21,23 @@ const SWEEP: &str = "program sweep; config n : int = 24; \
 fn run(opt: &Optimized, n: i64) -> (f64, u64) {
     let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
     binding.set_by_name(&opt.scalarized.program, "n", n);
-    let mut i = Interp::new(&opt.scalarized, binding);
-    let stats = i.run(&mut NoopObserver).unwrap();
-    (i.scalar(opt.scalarized.program.scalar_by_name("s").unwrap()), stats.peak_bytes)
+    let mut exec = Engine::default()
+        .executor(&opt.scalarized, binding)
+        .unwrap();
+    let out = exec.execute(&mut NoopObserver).unwrap();
+    (
+        out.scalar(opt.scalarized.program.scalar_by_name("s").unwrap()),
+        out.stats.peak_bytes,
+    )
 }
 
 #[test]
 fn sweep_chain_preserves_semantics_and_saves_memory() {
     let p = zlang::compile(SWEEP).unwrap();
     let plain = Pipeline::new(Level::C2).optimize(&p);
-    let dimc = Pipeline::new(Level::C2).with_dimension_contraction().optimize(&p);
+    let dimc = Pipeline::new(Level::C2)
+        .with_dimension_contraction()
+        .optimize(&p);
 
     assert!(dimc.report.dimension_contracted >= 1, "{:?}", dimc.report);
 
@@ -66,15 +72,16 @@ fn every_benchmark_is_preserved_under_dimension_contraction() {
         };
         let program = bench.program();
         let plain = Pipeline::new(Level::C2).optimize(&program);
-        let dimc = Pipeline::new(Level::C2).with_dimension_contraction().optimize(&program);
+        let dimc = Pipeline::new(Level::C2)
+            .with_dimension_contraction()
+            .optimize(&program);
         let outputs = |opt: &Optimized| {
             let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
             binding.set_by_name(&opt.scalarized.program, bench.size_config, n);
-            let mut i = Interp::new(&opt.scalarized, binding);
-            i.run(&mut NoopObserver).unwrap();
-            (0..opt.scalarized.program.scalars.len())
-                .map(|k| i.scalar(zlang::ir::ScalarId(k as u32)))
-                .collect::<Vec<f64>>()
+            let mut exec = Engine::default()
+                .executor(&opt.scalarized, binding)
+                .unwrap();
+            exec.execute(&mut NoopObserver).unwrap().scalars
         };
         assert_eq!(outputs(&plain), outputs(&dimc), "{}", bench.name);
     }
@@ -85,8 +92,9 @@ fn sp_gains_dimension_contractions() {
     // The motivating benchmark: SP's sweep-stage arrays (R*, S*, S*b) are
     // exactly the class the paper says should contract to lower dimensions.
     let bench = zpl_fusion::workloads::by_name("sp").unwrap();
-    let dimc =
-        Pipeline::new(Level::C2).with_dimension_contraction().optimize(&bench.program());
+    let dimc = Pipeline::new(Level::C2)
+        .with_dimension_contraction()
+        .optimize(&bench.program());
     assert!(
         dimc.report.dimension_contracted >= 5,
         "SP should collapse its sweep stages: {:?}",
@@ -94,12 +102,19 @@ fn sp_gains_dimension_contractions() {
     );
     let plain = Pipeline::new(Level::C2).optimize(&bench.program());
     let mem = |opt: &Optimized| run_mem(opt, 10);
-    assert!(mem(&dimc) < mem(&plain), "{} vs {}", mem(&dimc), mem(&plain));
+    assert!(
+        mem(&dimc) < mem(&plain),
+        "{} vs {}",
+        mem(&dimc),
+        mem(&plain)
+    );
 }
 
 fn run_mem(opt: &Optimized, n: i64) -> u64 {
     let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
     binding.set_by_name(&opt.scalarized.program, "n", n);
-    let mut i = Interp::new(&opt.scalarized, binding);
-    i.run(&mut NoopObserver).unwrap().peak_bytes
+    let mut exec = Engine::default()
+        .executor(&opt.scalarized, binding)
+        .unwrap();
+    exec.execute(&mut NoopObserver).unwrap().stats.peak_bytes
 }

@@ -1,10 +1,20 @@
-//! Edge cases and failure injection across the whole stack.
+//! Edge cases and failure injection across the whole stack, exercised
+//! through both execution engines.
 
-use zpl_fusion::fusion::pipeline::{Level, Pipeline};
-use zpl_fusion::loops::{Interp, NoopObserver};
 use zpl_fusion::par::{simulate, CommPolicy, ExecConfig};
-use zpl_fusion::prelude::ConfigBinding;
+use zpl_fusion::prelude::*;
 use zpl_fusion::sim::presets::t3e;
+
+/// Runs a scalarized program on one engine and returns the outcome.
+fn execute(
+    opt: &zpl_fusion::fusion::pipeline::Optimized,
+    binding: ConfigBinding,
+    engine: Engine,
+) -> Result<RunOutcome, zpl_fusion::loops::ExecError> {
+    engine
+        .executor(&opt.scalarized, binding)?
+        .execute(&mut NoopObserver)
+}
 
 #[test]
 fn empty_program_optimizes_to_nothing() {
@@ -13,9 +23,11 @@ fn empty_program_optimizes_to_nothing() {
         let opt = Pipeline::new(level).optimize(&p);
         assert_eq!(opt.scalarized.stmts.len(), 0);
         assert_eq!(opt.report.before(), 0);
-        let mut i = Interp::new(&opt.scalarized, ConfigBinding::defaults(&opt.scalarized.program));
-        let stats = i.run(&mut NoopObserver).unwrap();
-        assert_eq!(stats.points, 0);
+        for engine in Engine::all() {
+            let binding = ConfigBinding::defaults(&opt.scalarized.program);
+            let out = execute(&opt, binding, engine).unwrap();
+            assert_eq!(out.stats.points, 0, "{engine}");
+        }
     }
 }
 
@@ -27,9 +39,14 @@ fn scalar_only_program_works() {
     )
     .unwrap();
     let opt = Pipeline::new(Level::C2F4).optimize(&p);
-    let mut i = Interp::new(&opt.scalarized, ConfigBinding::defaults(&opt.scalarized.program));
-    i.run(&mut NoopObserver).unwrap();
-    assert_eq!(i.scalar(opt.scalarized.program.scalar_by_name("b").unwrap()), 12.0);
+    for engine in Engine::all() {
+        let binding = ConfigBinding::defaults(&opt.scalarized.program);
+        let out = execute(&opt, binding, engine).unwrap();
+        assert_eq!(
+            out.scalar(opt.scalarized.program.scalar_by_name("b").unwrap()),
+            12.0
+        );
+    }
 }
 
 #[test]
@@ -38,13 +55,13 @@ fn minimum_problem_sizes_run() {
     for bench in zpl_fusion::workloads::all() {
         let n = 2;
         let opt = Pipeline::new(Level::C2).optimize(&bench.program());
-        let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
-        binding.set_by_name(&opt.scalarized.program, bench.size_config, n);
-        let mut i = Interp::new(&opt.scalarized, binding);
-        let stats = i
-            .run(&mut NoopObserver)
-            .unwrap_or_else(|e| panic!("{} at n=2: {e}", bench.name));
-        assert!(stats.points > 0, "{}", bench.name);
+        for engine in Engine::all() {
+            let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+            binding.set_by_name(&opt.scalarized.program, bench.size_config, n);
+            let out = execute(&opt, binding, engine)
+                .unwrap_or_else(|e| panic!("{} ({engine}) at n=2: {e}", bench.name));
+            assert!(out.stats.points > 0, "{} ({engine})", bench.name);
+        }
     }
 }
 
@@ -57,12 +74,13 @@ fn empty_region_loop_executes_zero_times() {
     )
     .unwrap();
     let opt = Pipeline::new(Level::Baseline).optimize(&p);
-    let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
-    binding.set_by_name(&opt.scalarized.program, "n", 1); // 2..1 is empty
-    let mut i = Interp::new(&opt.scalarized, binding);
-    let stats = i.run(&mut NoopObserver).unwrap();
-    assert_eq!(stats.points, 0);
-    assert_eq!(i.scalar(zlang::ir::ScalarId(0)), 0.0, "empty sum is the identity");
+    for engine in Engine::all() {
+        let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+        binding.set_by_name(&opt.scalarized.program, "n", 1); // 2..1 is empty
+        let out = execute(&opt, binding, engine).unwrap();
+        assert_eq!(out.stats.points, 0, "{engine}");
+        assert_eq!(out.checksum(), 0.0, "{engine}: empty sum is the identity");
+    }
 }
 
 #[test]
@@ -73,9 +91,11 @@ fn out_of_region_access_is_reported_not_crashed() {
     )
     .unwrap();
     let opt = Pipeline::new(Level::Baseline).optimize(&p);
-    let mut i = Interp::new(&opt.scalarized, ConfigBinding::defaults(&opt.scalarized.program));
-    let err = i.run(&mut NoopObserver).unwrap_err();
-    assert!(err.message.contains("halo"), "{err}");
+    for engine in Engine::all() {
+        let binding = ConfigBinding::defaults(&opt.scalarized.program);
+        let err = execute(&opt, binding, engine).unwrap_err();
+        assert!(err.message.contains("halo"), "{engine}: {err}");
+    }
 }
 
 #[test]
@@ -84,11 +104,18 @@ fn dimension_contracted_programs_simulate_in_parallel() {
     // cache simulator without disturbing results.
     let bench = zpl_fusion::workloads::by_name("sp").unwrap();
     let plain = Pipeline::new(Level::C2).optimize(&bench.program());
-    let dimc = Pipeline::new(Level::C2).with_dimension_contraction().optimize(&bench.program());
+    let dimc = Pipeline::new(Level::C2)
+        .with_dimension_contraction()
+        .optimize(&bench.program());
     let run = |opt: &zpl_fusion::fusion::pipeline::Optimized| {
         let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
         binding.set_by_name(&opt.scalarized.program, "n", 6);
-        let cfg = ExecConfig { machine: t3e(), procs: 8, policy: CommPolicy::default() };
+        let cfg = ExecConfig {
+            machine: t3e(),
+            procs: 8,
+            policy: CommPolicy::default(),
+            engine: Engine::default(),
+        };
         simulate(&opt.scalarized, binding, &cfg).unwrap()
     };
     let (a, b) = (run(&plain), run(&dimc));
@@ -122,14 +149,19 @@ fn deeply_nested_control_flow_survives_all_levels() {
     let mut expect = None;
     for level in Level::all() {
         let opt = Pipeline::new(level).optimize(&p);
-        let mut i =
-            Interp::new(&opt.scalarized, ConfigBinding::defaults(&opt.scalarized.program));
-        i.run(&mut NoopObserver).unwrap();
-        let s = i.scalar(opt.scalarized.program.scalar_by_name("s").unwrap());
-        match expect {
-            None => expect = Some(s),
-            Some(e) => assert_eq!(s, e, "level {level}"),
+        for engine in Engine::all() {
+            let binding = ConfigBinding::defaults(&opt.scalarized.program);
+            let out = execute(&opt, binding, engine).unwrap();
+            let s = out.scalar(opt.scalarized.program.scalar_by_name("s").unwrap());
+            match expect {
+                None => expect = Some(s),
+                Some(e) => assert_eq!(s, e, "level {level}, engine {engine}"),
+            }
         }
     }
-    assert_eq!(expect.unwrap(), 16.0, "4 iterations x 4 elements, accumulated A");
+    assert_eq!(
+        expect.unwrap(),
+        16.0,
+        "4 iterations x 4 elements, accumulated A"
+    );
 }

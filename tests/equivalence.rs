@@ -2,22 +2,21 @@
 //! level, under every machine observer, produces identical results.
 //! Transformations must never change what a program computes — only how.
 
-use zpl_fusion::fusion::pipeline::{Level, Pipeline};
-use zpl_fusion::loops::{Interp, NoopObserver};
-use zpl_fusion::prelude::ConfigBinding;
-use zpl_fusion::sim::MemSim;
+use zpl_fusion::prelude::*;
 use zpl_fusion::sim::presets::MachineKind;
+use zpl_fusion::sim::MemSim;
 
 /// Runs a benchmark at a level and returns all scalar outputs.
 fn outputs(bench: &zpl_fusion::workloads::Benchmark, level: Level, n: i64) -> Vec<f64> {
     let opt = Pipeline::new(level).optimize(&bench.program());
     let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
     binding.set_by_name(&opt.scalarized.program, bench.size_config, n);
-    let mut interp = Interp::new(&opt.scalarized, binding);
-    interp.run(&mut NoopObserver).expect("benchmark executes");
-    (0..opt.scalarized.program.scalars.len())
-        .map(|i| interp.scalar(zlang::ir::ScalarId(i as u32)))
-        .collect()
+    let mut exec = Engine::default()
+        .executor(&opt.scalarized, binding)
+        .unwrap();
+    exec.execute(&mut NoopObserver)
+        .expect("benchmark executes")
+        .scalars
 }
 
 fn test_size(bench: &zpl_fusion::workloads::Benchmark) -> i64 {
@@ -62,19 +61,21 @@ fn observers_do_not_perturb_results() {
     let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
     binding.set_by_name(&opt.scalarized.program, "n", 12);
 
-    let mut plain = Interp::new(&opt.scalarized, binding.clone());
-    plain.run(&mut NoopObserver).unwrap();
+    for engine in Engine::all() {
+        let mut plain = engine.executor(&opt.scalarized, binding.clone()).unwrap();
+        let reference = plain.execute(&mut NoopObserver).unwrap().scalars;
 
-    for kind in MachineKind::all() {
-        let m = kind.machine();
-        let mut sim = MemSim::new(m.l1, m.l2);
-        let mut observed = Interp::new(&opt.scalarized, binding.clone());
-        observed.run(&mut sim).unwrap();
-        for i in 0..opt.scalarized.program.scalars.len() {
-            let id = zlang::ir::ScalarId(i as u32);
-            assert_eq!(plain.scalar(id), observed.scalar(id), "{}", kind.name());
+        for kind in MachineKind::all() {
+            let m = kind.machine();
+            let mut sim = MemSim::new(m.l1, m.l2);
+            let mut exec = engine.executor(&opt.scalarized, binding.clone()).unwrap();
+            let observed = exec.execute(&mut sim).unwrap().scalars;
+            assert_eq!(reference, observed, "{engine} on {}", kind.name());
+            assert!(
+                sim.stats().accesses > 0,
+                "the observer actually saw traffic"
+            );
         }
-        assert!(sim.stats().accesses > 0, "the observer actually saw traffic");
     }
 }
 
@@ -85,9 +86,14 @@ fn problem_size_override_changes_work_not_semantics_shape() {
     let run = |n: i64| {
         let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
         binding.set_by_name(&opt.scalarized.program, "n", n);
-        let mut i = Interp::new(&opt.scalarized, binding);
-        let stats = i.run(&mut NoopObserver).unwrap();
-        (stats.points, i.scalar(opt.scalarized.program.scalar_by_name("area").unwrap()))
+        let mut exec = Engine::default()
+            .executor(&opt.scalarized, binding)
+            .unwrap();
+        let out = exec.execute(&mut NoopObserver).unwrap();
+        (
+            out.stats.points,
+            out.scalar(opt.scalarized.program.scalar_by_name("area").unwrap()),
+        )
     };
     let (pts16, area16) = run(16);
     let (pts32, area32) = run(32);
@@ -105,15 +111,16 @@ fn favor_comm_policy_is_also_semantics_preserving() {
         let n = test_size(&bench);
         let program = bench.program();
         let ff = Pipeline::new(Level::C2F3).optimize(&program);
-        let fc = Pipeline::new(Level::C2F3).with_forbidden(favor_comm_pairs).optimize(&program);
+        let fc = Pipeline::new(Level::C2F3)
+            .with_forbidden(favor_comm_pairs)
+            .optimize(&program);
         let run = |opt: &zpl_fusion::fusion::pipeline::Optimized| {
             let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
             binding.set_by_name(&opt.scalarized.program, bench.size_config, n);
-            let mut i = Interp::new(&opt.scalarized, binding);
-            i.run(&mut NoopObserver).unwrap();
-            (0..opt.scalarized.program.scalars.len())
-                .map(|k| i.scalar(zlang::ir::ScalarId(k as u32)))
-                .collect::<Vec<f64>>()
+            let mut exec = Engine::default()
+                .executor(&opt.scalarized, binding)
+                .unwrap();
+            exec.execute(&mut NoopObserver).unwrap().scalars
         };
         assert_eq!(run(&ff), run(&fc), "{}", bench.name);
     }

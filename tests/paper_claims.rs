@@ -8,9 +8,8 @@
 //! * "superior memory use" / "EP runs in constant memory"
 //! * "if a choice is to be made, fusion for contraction should be favored"
 
-use zpl_fusion::fusion::pipeline::{Level, Pipeline};
 use zpl_fusion::par::{simulate, CommPolicy, ExecConfig};
-use zpl_fusion::prelude::ConfigBinding;
+use zpl_fusion::prelude::*;
 use zpl_fusion::sim::presets::{paragon, t3e, MachineKind};
 
 fn run(bench: &zpl_fusion::workloads::Benchmark, level: Level, procs: u64) -> f64 {
@@ -22,7 +21,12 @@ fn run(bench: &zpl_fusion::workloads::Benchmark, level: Level, procs: u64) -> f6
         _ => 8,
     };
     binding.set_by_name(&opt.scalarized.program, bench.size_config, n);
-    let cfg = ExecConfig { machine: t3e(), procs, policy: CommPolicy::default() };
+    let cfg = ExecConfig {
+        machine: t3e(),
+        procs,
+        policy: CommPolicy::default(),
+        engine: Engine::default(),
+    };
     simulate(&opt.scalarized, binding, &cfg).unwrap().total_ns
 }
 
@@ -40,7 +44,10 @@ fn c2_typically_improves_more_than_20_percent() {
         }
         total += 1;
     }
-    assert!(above_20 * 2 > total, "typical improvement must exceed 20%: {above_20}/{total}");
+    assert!(
+        above_20 * 2 > total,
+        "typical improvement must exceed 20%: {above_20}/{total}"
+    );
 }
 
 #[test]
@@ -77,9 +84,11 @@ fn ep_runs_in_constant_memory_after_contraction() {
     for n in [256, 4096, 65536] {
         let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
         binding.set_by_name(&opt.scalarized.program, "n", n);
-        let mut i = zpl_fusion::loops::Interp::new(&opt.scalarized, binding);
-        let stats = i.run(&mut zpl_fusion::loops::NoopObserver).unwrap();
-        assert_eq!(stats.peak_bytes, 0, "n = {n}");
+        for engine in Engine::all() {
+            let mut exec = engine.executor(&opt.scalarized, binding.clone()).unwrap();
+            let out = exec.execute(&mut NoopObserver).unwrap();
+            assert_eq!(out.stats.peak_bytes, 0, "{engine}, n = {n}");
+        }
     }
 }
 
@@ -87,20 +96,19 @@ fn ep_runs_in_constant_memory_after_contraction() {
 fn contraction_never_worsens_memory_or_time() {
     for bench in zpl_fusion::workloads::all() {
         for machine in [t3e(), paragon()] {
-            let base = {
-                let opt = Pipeline::new(Level::Baseline).optimize(&bench.program());
+            let run_at = |level: Level| {
+                let opt = Pipeline::new(level).optimize(&bench.program());
                 let binding = ConfigBinding::defaults(&opt.scalarized.program);
-                let cfg =
-                    ExecConfig { machine: machine.clone(), procs: 1, policy: CommPolicy::default() };
+                let cfg = ExecConfig {
+                    machine: machine.clone(),
+                    procs: 1,
+                    policy: CommPolicy::default(),
+                    engine: Engine::default(),
+                };
                 simulate(&opt.scalarized, binding, &cfg).unwrap()
             };
-            let c2 = {
-                let opt = Pipeline::new(Level::C2).optimize(&bench.program());
-                let binding = ConfigBinding::defaults(&opt.scalarized.program);
-                let cfg =
-                    ExecConfig { machine: machine.clone(), procs: 1, policy: CommPolicy::default() };
-                simulate(&opt.scalarized, binding, &cfg).unwrap()
-            };
+            let base = run_at(Level::Baseline);
+            let c2 = run_at(Level::C2);
             assert!(
                 c2.run.peak_bytes <= base.run.peak_bytes,
                 "{} on {}: memory grew",
@@ -120,8 +128,11 @@ fn contraction_never_worsens_memory_or_time() {
 #[test]
 fn figure6_zpl_strictly_dominates_commercial_models() {
     let m = zpl_fusion::models::behavior_matrix();
-    let zpl_row =
-        m.rows.iter().find(|r| r.model.name.contains("ZPL")).expect("ZPL row");
+    let zpl_row = m
+        .rows
+        .iter()
+        .find(|r| r.model.name.contains("ZPL"))
+        .expect("ZPL row");
     for row in &m.rows {
         for (i, &v) in row.verdicts.iter().enumerate() {
             assert!(
@@ -161,6 +172,7 @@ fn favoring_fusion_wins_on_the_machines_with_offloaded_messaging() {
                     machine: machine.clone(),
                     procs: 16,
                     policy: CommPolicy::default(),
+                    engine: Engine::default(),
                 };
                 simulate(&opt.scalarized, binding, &cfg).unwrap().total_ns
             };

@@ -1,0 +1,86 @@
+//! Differential testing of the two execution engines.
+//!
+//! The bytecode VM is only useful if it is indistinguishable from the
+//! reference tree-walking interpreter. For every benchmark at every
+//! transformation level this harness asserts that the two engines produce
+//!
+//! * bitwise-identical scalar results (every scalar, compared by bits so
+//!   `-0.0` vs `0.0` or NaN-payload drift cannot hide),
+//! * identical [`RunStats`] (points, loads, stores, flops, allocations,
+//!   peak bytes), and
+//! * an identical memory-access stream as seen by the `machine` crate's
+//!   cache simulator (equal hit/miss counters on a real cache geometry).
+
+use zpl_fusion::prelude::*;
+use zpl_fusion::sim::presets::t3e;
+use zpl_fusion::sim::MemSim;
+
+fn outcomes(
+    opt: &zpl_fusion::fusion::pipeline::Optimized,
+    binding: &ConfigBinding,
+) -> Vec<(Engine, RunOutcome, zpl_fusion::sim::MemStats)> {
+    let m = t3e();
+    Engine::all()
+        .into_iter()
+        .map(|engine| {
+            let mut sim = MemSim::new(m.l1, m.l2);
+            let mut exec = engine.executor(&opt.scalarized, binding.clone()).unwrap();
+            let out = exec.execute(&mut sim).unwrap();
+            (engine, out, sim.stats())
+        })
+        .collect()
+}
+
+#[test]
+fn engines_agree_on_every_benchmark_at_every_level() {
+    for bench in zpl_fusion::workloads::all() {
+        let n = match bench.rank {
+            1 => 512,
+            2 => 12,
+            _ => 6,
+        };
+        for level in Level::all() {
+            let opt = Pipeline::new(level).optimize(&bench.program());
+            let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+            binding.set_by_name(&opt.scalarized.program, bench.size_config, n);
+            let rs = outcomes(&opt, &binding);
+            let (e0, out0, mem0) = &rs[0];
+            for (e, out, mem) in &rs[1..] {
+                let ctx = format!("{} at {level}: {e0} vs {e}", bench.name);
+                for (i, (a, b)) in out0.scalars.iter().zip(&out.scalars).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{ctx}: scalar {i} differs ({a} vs {b})"
+                    );
+                }
+                assert_eq!(out0.checksum().to_bits(), out.checksum().to_bits(), "{ctx}");
+                assert_eq!(out0.stats, out.stats, "{ctx}: RunStats differ");
+                assert_eq!(
+                    mem0, mem,
+                    "{ctx}: cache simulator saw a different access stream"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_under_dimension_contraction() {
+    // The Outer construct takes a different compilation path in the VM;
+    // make sure the extension stays bit-identical too.
+    for bench in zpl_fusion::workloads::all() {
+        let opt = Pipeline::new(Level::C2)
+            .with_dimension_contraction()
+            .optimize(&bench.program());
+        let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+        let n = if bench.rank == 1 { 256 } else { 8 };
+        binding.set_by_name(&opt.scalarized.program, bench.size_config, n);
+        let rs = outcomes(&opt, &binding);
+        let (_, out0, mem0) = &rs[0];
+        for (e, out, mem) in &rs[1..] {
+            assert_eq!(out0, out, "{} +dim ({e})", bench.name);
+            assert_eq!(mem0, mem, "{} +dim ({e}): cache stream", bench.name);
+        }
+    }
+}
