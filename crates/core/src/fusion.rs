@@ -8,6 +8,7 @@ use crate::asdg::{Asdg, DefId, VarLabel};
 use crate::depvec::DepKind;
 use crate::loopstruct::find_loop_structure;
 use crate::normal::Block;
+use crate::verify::{Diagnostic, Stage};
 use std::collections::BTreeSet;
 use zlang::ir::Program;
 
@@ -402,8 +403,8 @@ impl<'a> FusionCtx<'a> {
     /// Validates a partition against Definition 5, independently of the
     /// incremental checks the fusion methods perform:
     ///
-    /// 1. every multi-statement cluster contains only fusable statements
-    ///    over one region;
+    /// 1. every cluster's statements iterate one common region and every
+    ///    multi-statement cluster contains only fusable statements;
     /// 2. intra-cluster flow dependences have null UDVs and no scalar or
     ///    cross-region dependence is intra-cluster;
     /// 3. the inter-cluster dependence graph is acyclic;
@@ -411,14 +412,38 @@ impl<'a> FusionCtx<'a> {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated condition.
-    pub fn validate(&self, part: &Partition) -> Result<(), String> {
+    /// Returns a [`Diagnostic`] describing the first violated condition.
+    pub fn validate(&self, part: &Partition) -> Result<(), Diagnostic> {
         for cluster in part.live_clusters() {
+            let stmts = part.cluster(cluster);
+            // Condition (i), checked explicitly so a region-spanning
+            // cluster is named as such rather than surfacing indirectly
+            // through a missing UDV.
+            let mut regions: Vec<_> = stmts
+                .iter()
+                .filter_map(|&s| self.block.stmts[s].region())
+                .collect();
+            regions.sort_unstable();
+            regions.dedup();
+            if regions.len() > 1 {
+                let names: Vec<&str> = regions
+                    .iter()
+                    .map(|&r| self.program.region(r).name.as_str())
+                    .collect();
+                return Err(Diagnostic::error(
+                    Stage::Partition,
+                    format!(
+                        "cluster {cluster} (stmts {stmts:?}) violates Definition 5 \
+                         condition (i): its statements span regions {}",
+                        names.join(", ")
+                    ),
+                ));
+            }
             let c: BTreeSet<usize> = [cluster].into_iter().collect();
             if self.merged_ok(part, &c).is_none() {
-                return Err(format!(
-                    "cluster {cluster} (stmts {:?}) violates Definition 5",
-                    part.cluster(cluster)
+                return Err(Diagnostic::error(
+                    Stage::Partition,
+                    format!("cluster {cluster} (stmts {stmts:?}) violates Definition 5"),
                 ));
             }
         }
@@ -450,7 +475,10 @@ impl<'a> FusionCtx<'a> {
             }
         }
         if done != live.len() {
-            return Err("inter-cluster dependence cycle".to_string());
+            return Err(Diagnostic::error(
+                Stage::Partition,
+                "inter-cluster dependence cycle",
+            ));
         }
         Ok(())
     }
@@ -772,7 +800,8 @@ mod tests {
         let mut bad = Partition::trivial(s2.asdg.n);
         bad.merge(&[0usize, 1].into_iter().collect());
         let err = ctx2.validate(&bad).unwrap_err();
-        assert!(err.contains("Definition 5"), "{err}");
+        assert!(err.message.contains("Definition 5"), "{err}");
+        assert!(err.message.contains("span regions"), "{err}");
     }
 
     #[test]

@@ -54,7 +54,9 @@ pub mod loopstruct;
 pub mod normal;
 pub mod pipeline;
 pub mod scalarize;
+pub mod verify;
 pub mod weights;
 
 pub use depvec::Udv;
 pub use pipeline::{Level, Pipeline};
+pub use verify::{Diagnostic, VerifyLevel};

@@ -15,6 +15,7 @@ use crate::asdg::{self, Asdg, DefId};
 use crate::fusion::{FusionCtx, FusionOpts, Partition};
 use crate::normal::{self, NStmt, NormProgram};
 use crate::scalarize::scalarize_block_grouped;
+use crate::verify::{self, Diagnostic, VerifyLevel};
 use crate::weights::sort_by_weight;
 use loopir::{LStmt, ScalarProgram};
 use std::collections::HashSet;
@@ -177,6 +178,9 @@ pub struct Optimized {
     pub level: Level,
     /// Per-block records (ASDG, partition, contracted definitions).
     pub details: Vec<BlockDetail>,
+    /// Findings of the translation validator ([`crate::verify`]); empty
+    /// when verification is off or everything checked out.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl Optimized {
@@ -200,6 +204,7 @@ pub struct Pipeline<'f> {
     base_opts: FusionOpts,
     spatial_cap: Option<usize>,
     dimension_contraction: bool,
+    verify: VerifyLevel,
 }
 
 impl fmt::Debug for Pipeline<'_> {
@@ -220,7 +225,16 @@ impl<'f> Pipeline<'f> {
             base_opts: FusionOpts::default(),
             spatial_cap: None,
             dimension_contraction: false,
+            verify: VerifyLevel::default(),
         }
+    }
+
+    /// Sets when the translation validator ([`crate::verify`]) runs over
+    /// the optimization result; findings land in
+    /// [`Optimized::diagnostics`].
+    pub fn with_verify(mut self, level: VerifyLevel) -> Self {
+        self.verify = level;
+        self
     }
 
     /// Enables *dimension contraction* (the extension addressing the
@@ -273,6 +287,7 @@ impl<'f> Pipeline<'f> {
         let mut contracted_arrays: HashSet<ArrayId> = HashSet::new();
         let mut partially_kept: HashSet<ArrayId> = HashSet::new();
         let mut collapse_list: Vec<(ArrayId, u8)> = Vec::new();
+        let mut cheap_check_failed = false;
 
         for (bi, block) in np.blocks.iter().enumerate() {
             let g = asdg::build(&np.program, block);
@@ -357,6 +372,10 @@ impl<'f> Pipeline<'f> {
                 }
             }
 
+            if self.verify == VerifyLevel::OnFailure && ctx.validate(&part).is_err() {
+                cheap_check_failed = true;
+            }
+
             block_out.push(scalarize_block_grouped(
                 &ctx,
                 &part,
@@ -419,14 +438,24 @@ impl<'f> Pipeline<'f> {
             .collect();
         contracted.sort();
 
-        Optimized {
+        let mut out = Optimized {
             norm: np,
             scalarized,
             contracted,
             report,
             level: self.level,
             details,
+            diagnostics: Vec::new(),
+        };
+        let run_validator = match self.verify {
+            VerifyLevel::Off => false,
+            VerifyLevel::OnFailure => cheap_check_failed,
+            VerifyLevel::Always => true,
+        };
+        if run_validator {
+            out.diagnostics = verify::validate(&out);
         }
+        out
     }
 }
 

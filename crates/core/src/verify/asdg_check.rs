@@ -1,0 +1,370 @@
+//! Independent recomputation of the ASDG (Definitions 2–3).
+//!
+//! [`crate::asdg::build`] walks the block once, tracking live ranges
+//! incrementally. This checker recomputes the same dependences with a
+//! deliberately different, naive algorithm — a quadratic pair scan that
+//! re-derives "which write does this reference see" from scratch for every
+//! reference — and diffs the two label multisets. A dependence the builder
+//! missed is an error (fusion may have reordered something it should not
+//! have); an extra label is a warning (conservative, but worth flagging).
+
+use super::{Diagnostic, Stage};
+use crate::asdg::{Asdg, VarLabel};
+use crate::depvec::{DepKind, Udv};
+use crate::normal::{BStmt, Block};
+use zlang::ir::{ArrayId, Offset, Program, ScalarId};
+
+/// One dependence label, canonicalized so facts from the builder and the
+/// recomputation compare equal: array live ranges are identified by
+/// `(array, defining statement)` instead of builder-assigned [`crate::asdg::DefId`]s.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Fact {
+    src: usize,
+    dst: usize,
+    var: VarKey,
+    kind: u8,
+    udv: Option<Vec<i64>>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum VarKey {
+    /// `(array id, defining statement of the live range)` — `None` is the
+    /// live-in range.
+    Array(u32, Option<usize>),
+    Scalar(u32),
+}
+
+fn kind_ord(kind: DepKind) -> u8 {
+    match kind {
+        DepKind::Flow => 0,
+        DepKind::Anti => 1,
+        DepKind::Output => 2,
+    }
+}
+
+fn kind_name(kind: u8) -> &'static str {
+    ["flow", "anti", "output"][kind as usize]
+}
+
+/// The labels the builder actually recorded, canonicalized.
+fn recorded(g: &Asdg) -> Vec<Fact> {
+    let mut facts = Vec::new();
+    for e in &g.edges {
+        for l in &e.labels {
+            let var = match l.var {
+                VarLabel::Array(d) => {
+                    let info = g.def(d);
+                    VarKey::Array(info.array.0, info.def_stmt)
+                }
+                VarLabel::Scalar(s) => VarKey::Scalar(s.0),
+            };
+            facts.push(Fact {
+                src: e.src,
+                dst: e.dst,
+                var,
+                kind: kind_ord(l.kind),
+                udv: l.udv.clone().map(|u| u.0),
+            });
+        }
+    }
+    facts
+}
+
+/// Recomputes every dependence of the block from first principles.
+fn recompute(program: &Program, block: &Block) -> Vec<Fact> {
+    let stmts = &block.stmts;
+    let n = stmts.len();
+    let last_write_before = |a: ArrayId, j: usize| -> Option<usize> {
+        (0..j).rev().find(|&w| stmts[w].lhs_array() == Some(a))
+    };
+    let last_scalar_write_before = |s: ScalarId, j: usize| -> Option<usize> {
+        (0..j).rev().find(|&w| stmts[w].lhs_scalar() == Some(s))
+    };
+    let same_region = |x: usize, y: usize| -> bool {
+        matches!((stmts[x].region(), stmts[y].region()), (Some(a), Some(b)) if a == b)
+    };
+    let mut facts = Vec::new();
+    for j in 0..n {
+        // Flow: each array read sees the last write before it (Def. 2:
+        // u = source offset − target offset; the write offset is zero).
+        for (a, off) in stmts[j].reads() {
+            if let Some(w) = last_write_before(a, j) {
+                let u = Udv::between(&Offset::zero(off.rank()), &off);
+                facts.push(Fact {
+                    src: w,
+                    dst: j,
+                    var: VarKey::Array(a.0, Some(w)),
+                    kind: kind_ord(DepKind::Flow),
+                    udv: same_region(w, j).then_some(u.0),
+                });
+            }
+        }
+        // Scalar flow: each scalar read sees the last scalar write.
+        for s in stmts[j].scalar_reads() {
+            if let Some(w) = last_scalar_write_before(s, j) {
+                facts.push(Fact {
+                    src: w,
+                    dst: j,
+                    var: VarKey::Scalar(s.0),
+                    kind: kind_ord(DepKind::Flow),
+                    udv: None,
+                });
+            }
+        }
+        // Array write: anti dependences from every read of the live range
+        // being killed (a read at r belongs to that range iff it sees the
+        // same previous write), plus an output dependence from that write.
+        if let BStmt::Array(ast) = &stmts[j] {
+            let a = ast.lhs;
+            let prev = last_write_before(a, j);
+            for (r, rs) in stmts.iter().enumerate().take(j) {
+                for (ra, roff) in rs.reads() {
+                    if ra != a || last_write_before(a, r) != prev {
+                        continue;
+                    }
+                    let u = Udv::between(&roff, &Offset::zero(roff.rank()));
+                    facts.push(Fact {
+                        src: r,
+                        dst: j,
+                        var: VarKey::Array(a.0, prev),
+                        kind: kind_ord(DepKind::Anti),
+                        udv: same_region(r, j).then_some(u.0),
+                    });
+                }
+            }
+            if let Some(w) = prev {
+                let u = Udv::null(program.region(ast.region).rank());
+                facts.push(Fact {
+                    src: w,
+                    dst: j,
+                    var: VarKey::Array(a.0, Some(w)),
+                    kind: kind_ord(DepKind::Output),
+                    udv: same_region(w, j).then_some(u.0),
+                });
+            }
+        }
+        // Scalar write: anti dependences from readers since the previous
+        // write, plus an output dependence from that write.
+        if let Some(s) = stmts[j].lhs_scalar() {
+            let prev_w = last_scalar_write_before(s, j);
+            for (r, rs) in stmts.iter().enumerate().take(j) {
+                if prev_w.is_some_and(|w| r <= w) {
+                    continue;
+                }
+                for sr in rs.scalar_reads() {
+                    if sr != s {
+                        continue;
+                    }
+                    facts.push(Fact {
+                        src: r,
+                        dst: j,
+                        var: VarKey::Scalar(s.0),
+                        kind: kind_ord(DepKind::Anti),
+                        udv: None,
+                    });
+                }
+            }
+            if let Some(w) = prev_w {
+                facts.push(Fact {
+                    src: w,
+                    dst: j,
+                    var: VarKey::Scalar(s.0),
+                    kind: kind_ord(DepKind::Output),
+                    udv: None,
+                });
+            }
+        }
+    }
+    facts
+}
+
+fn describe(program: &Program, f: &Fact) -> String {
+    let var = match &f.var {
+        VarKey::Array(a, def) => {
+            let name = &program.array(ArrayId(*a)).name;
+            match def {
+                Some(d) => format!("`{name}` (defined by statement {d})"),
+                None => format!("`{name}` (live-in)"),
+            }
+        }
+        VarKey::Scalar(s) => format!("scalar `{}`", program.scalar(ScalarId(*s)).name),
+    };
+    let udv = match &f.udv {
+        Some(u) => Udv(u.clone()).to_string(),
+        None => "-".to_string(),
+    };
+    format!(
+        "{} dependence {} -> {} on {var} with UDV {udv}",
+        kind_name(f.kind),
+        f.src,
+        f.dst
+    )
+}
+
+pub(crate) fn check(program: &Program, block: &Block, bi: usize, g: &Asdg) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // Structural sanity first: diffing makes no sense on a malformed graph.
+    if g.n != block.stmts.len() {
+        return vec![Diagnostic::error(
+            Stage::Asdg,
+            format!(
+                "graph has {} vertices but the block has {} statements",
+                g.n,
+                block.stmts.len()
+            ),
+        )
+        .in_block(bi)];
+    }
+    for e in &g.edges {
+        if e.src >= e.dst || e.dst >= g.n {
+            diags.push(
+                Diagnostic::error(
+                    Stage::Asdg,
+                    format!(
+                        "edge {} -> {} does not point forward within the block",
+                        e.src, e.dst
+                    ),
+                )
+                .in_block(bi),
+            );
+        }
+    }
+    for (si, stmt) in block.stmts.iter().enumerate() {
+        let is_array = matches!(stmt, BStmt::Array(_));
+        if g.write_def[si].is_some() != is_array {
+            diags.push(
+                Diagnostic::error(
+                    Stage::Asdg,
+                    "write-definition table disagrees with the statement kinds".to_string(),
+                )
+                .in_block(bi)
+                .at(format!("statement {si}")),
+            );
+        }
+    }
+    if !diags.is_empty() {
+        return diags;
+    }
+
+    let mut want = recompute(program, block);
+    let mut have = recorded(g);
+    want.sort();
+    have.sort();
+    // Multiset diff by merge.
+    let (mut i, mut j) = (0, 0);
+    while i < want.len() || j < have.len() {
+        let take_missing = match (want.get(i), have.get(j)) {
+            (Some(w), Some(h)) => {
+                if w == h {
+                    i += 1;
+                    j += 1;
+                    continue;
+                }
+                w < h
+            }
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if take_missing {
+            let w = &want[i];
+            diags.push(
+                Diagnostic::error(
+                    Stage::Asdg,
+                    format!("missing dependence: {}", describe(program, w)),
+                )
+                .in_block(bi)
+                .at(format!("edge {} -> {}", w.src, w.dst))
+                .note(
+                    "an independent recomputation derives this dependence, but the \
+                     pipeline's graph omits it — transformations may have reordered \
+                     conflicting references",
+                ),
+            );
+            i += 1;
+        } else {
+            let h = &have[j];
+            diags.push(
+                Diagnostic::warning(
+                    Stage::Asdg,
+                    format!("spurious dependence: {}", describe(program, h)),
+                )
+                .in_block(bi)
+                .at(format!("edge {} -> {}", h.src, h.dst))
+                .note(
+                    "the pipeline's graph records a dependence the independent \
+                     recomputation cannot derive; it is conservative but may inhibit \
+                     fusion",
+                ),
+            );
+            j += 1;
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asdg::build;
+    use crate::depvec::DepKind;
+    use crate::normal::normalize;
+
+    fn setup(src: &str) -> (crate::normal::NormProgram, Asdg) {
+        let np = normalize(&zlang::compile(src).unwrap());
+        assert_eq!(np.blocks.len(), 1);
+        let g = build(&np.program, &np.blocks[0]);
+        (np, g)
+    }
+
+    const P: &str = "program p; config n : int = 8; region R = [1..n, 1..n]; \
+                     direction w = [0, -1]; var A, B, C : [R] float; var s : float; ";
+
+    #[test]
+    fn recomputation_matches_builder_on_rich_block() {
+        let (np, g) = setup(&format!(
+            "{P} begin s := 2.0; [R] A := B@w * s; [R] C := A; [R] A := C + B; \
+             s := +<< [R] A; [R] B := A; end"
+        ));
+        let diags = check(&np.program, &np.blocks[0], 0, &g);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn dropped_edge_is_reported_as_missing() {
+        let (np, mut g) = setup(&format!("{P} begin [R] B := A; [R] C := B@w; end"));
+        assert!(!g.edges.is_empty());
+        let e = g.edges.remove(0);
+        for v in g.out_edges.iter_mut().chain(g.in_edges.iter_mut()) {
+            v.clear();
+        }
+        let diags = check(&np.program, &np.blocks[0], 0, &g);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.severity == super::super::Severity::Error
+                    && d.message.contains("missing dependence")),
+            "dropping edge {} -> {} must be caught: {diags:?}",
+            e.src,
+            e.dst
+        );
+    }
+
+    #[test]
+    fn extra_label_is_reported_as_spurious() {
+        let (np, mut g) = setup(&format!("{P} begin [R] B := A; [R] C := B; end"));
+        let d = g.write_def[0].unwrap();
+        g.edges[0].labels.push(crate::asdg::Label {
+            var: VarLabel::Array(d),
+            udv: Some(Udv(vec![1, 0])),
+            kind: DepKind::Anti,
+        });
+        let diags = check(&np.program, &np.blocks[0], 0, &g);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.severity == super::super::Severity::Warning
+                    && d.message.contains("spurious dependence")),
+            "{diags:?}"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Contraction safety (Definition 6), re-checked against the *final*
+//! partition.
+//!
+//! The pipeline decides contractibility during fusion, when the partition
+//! is still evolving. This checker re-derives the conditions after the
+//! fact, for each definition the pipeline actually contracted:
+//!
+//! * the definition is created by a statement in this block (the live-in
+//!   range of an array can never contract — its values exist before the
+//!   block);
+//! * the array is a contraction *candidate* here (all of its references
+//!   are confined to this block and the first one is a write), per
+//!   [`crate::normal::contraction_candidates`];
+//! * every statement referencing the definition landed in one cluster;
+//! * every flow dependence due to the definition has a null UDV — inside
+//!   one fused iteration, the value is produced and consumed at the same
+//!   point, so a scalar can replace the array element.
+
+use super::{Diagnostic, Stage};
+use crate::asdg::{Asdg, DefId};
+use crate::depvec::DepKind;
+use crate::fusion::Partition;
+use zlang::ir::Program;
+
+pub(crate) fn check(
+    program: &Program,
+    bi: usize,
+    g: &Asdg,
+    part: &Partition,
+    contracted: &[DefId],
+    candidates: &[Option<usize>],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for &x in contracted {
+        if x.0 as usize >= g.defs.len() {
+            diags.push(
+                Diagnostic::error(
+                    Stage::Contraction,
+                    format!("contracted definition #{} does not exist in the graph", x.0),
+                )
+                .in_block(bi),
+            );
+            continue;
+        }
+        let info = g.def(x);
+        let name = &program.array(info.array).name;
+        let loc = format!("definition #{} of `{name}`", x.0);
+        if info.def_stmt.is_none() {
+            diags.push(
+                Diagnostic::error(
+                    Stage::Contraction,
+                    format!(
+                        "live-in range of `{name}` was contracted — its values exist before \
+                         the block and cannot live in a loop-local scalar"
+                    ),
+                )
+                .in_block(bi)
+                .at(loc.clone()),
+            );
+            continue;
+        }
+        match candidates.get(info.array.0 as usize) {
+            Some(Some(b)) if *b == bi => {}
+            _ => {
+                diags.push(
+                    Diagnostic::error(
+                        Stage::Contraction,
+                        format!(
+                            "`{name}` is not a contraction candidate in this block — it is \
+                             referenced elsewhere or read before being written"
+                        ),
+                    )
+                    .in_block(bi)
+                    .at(loc.clone()),
+                );
+            }
+        }
+        let clusters: std::collections::BTreeSet<usize> = g
+            .stmts_of_def(x)
+            .iter()
+            .map(|&s| part.cluster_of(s))
+            .collect();
+        if clusters.len() > 1 {
+            diags.push(
+                Diagnostic::error(
+                    Stage::Contraction,
+                    format!(
+                        "references to contracted `{name}` are spread over clusters \
+                         {clusters:?} — Definition 6 requires them in one fused nest"
+                    ),
+                )
+                .in_block(bi)
+                .at(loc.clone()),
+            );
+        }
+        for (src, dst, l) in g.labels_of_def(x) {
+            if l.kind != DepKind::Flow {
+                continue;
+            }
+            let null = matches!(&l.udv, Some(u) if u.is_null());
+            if !null {
+                diags.push(
+                    Diagnostic::error(
+                        Stage::Contraction,
+                        format!(
+                            "flow dependence {src} -> {dst} on contracted `{name}` has UDV \
+                             {} — a non-null flow means the consumer needs a value from a \
+                             different iteration than the producer's",
+                            l.udv.as_ref().map_or("-".to_string(), |u| u.to_string())
+                        ),
+                    )
+                    .in_block(bi)
+                    .at(loc.clone()),
+                );
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asdg::build;
+    use crate::normal::{contraction_candidates, normalize};
+    use std::collections::BTreeSet;
+
+    const P: &str = "program p; config n : int = 8; region R = [1..n, 1..n]; \
+                     direction w = [0, -1]; var A, B, C : [R] float; var s : float; ";
+
+    fn setup(src: &str) -> (crate::normal::NormProgram, Asdg, Vec<Option<usize>>) {
+        let np = normalize(&zlang::compile(src).unwrap());
+        assert_eq!(np.blocks.len(), 1);
+        let g = build(&np.program, &np.blocks[0]);
+        let cand = contraction_candidates(&np);
+        (np, g, cand)
+    }
+
+    #[test]
+    fn fused_null_flow_contraction_is_clean() {
+        let (np, g, cand) = setup(&format!(
+            "{P} begin [R] B := A + A; [R] C := B; s := +<< [R] C; end"
+        ));
+        let names = np.program.array_names();
+        let b_def = g.defs_of(names["B"])[0];
+        let mut part = Partition::trivial(g.n);
+        part.merge(&BTreeSet::from([0, 1, 2]));
+        let diags = check(&np.program, 0, &g, &part, &[b_def], &cand);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unfused_contraction_is_reported() {
+        let (np, g, cand) = setup(&format!(
+            "{P} begin [R] B := A + A; [R] C := B; s := +<< [R] C; end"
+        ));
+        let names = np.program.array_names();
+        let b_def = g.defs_of(names["B"])[0];
+        let part = Partition::trivial(g.n); // producer and consumer apart
+        let diags = check(&np.program, 0, &g, &part, &[b_def], &cand);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("spread over clusters")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn nonnull_flow_contraction_is_reported() {
+        let (np, g, cand) = setup(&format!(
+            "{P} begin [R] C := A; [R] B := C@w; s := +<< [R] B; end"
+        ));
+        let names = np.program.array_names();
+        let c_def = g.defs_of(names["C"])[0];
+        let mut part = Partition::trivial(g.n);
+        part.merge(&BTreeSet::from([0, 1]));
+        let diags = check(&np.program, 0, &g, &part, &[c_def], &cand);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("flow dependence") && d.message.contains("non-null")),
+            "{diags:?}"
+        );
+    }
+}

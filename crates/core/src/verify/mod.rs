@@ -1,0 +1,305 @@
+//! Translation validation for the optimization pipeline.
+//!
+//! Every pass in [`crate::pipeline`] *relies* on the paper's legality
+//! conditions but, before this module existed, nothing *re-checked* them:
+//! a bug in [`crate::fusion`] or [`crate::loopstruct`] would silently
+//! produce wrong answers. In the translation-validation tradition, this
+//! module re-derives each stage's claim from scratch with an independent
+//! (and deliberately simpler, brute-force where possible) algorithm and
+//! diffs the result against what the pipeline produced:
+//!
+//! * [`normal_form`] — the normalized program is well formed (no statement
+//!   reads and writes the same array; offset ranks match region ranks),
+//!   per Section 2.1 of the paper.
+//! * [`asdg_check`] — the array statement dependence graph is sound and
+//!   complete: dependences are recomputed with a naive quadratic
+//!   pair-scan (Definitions 2–3) and the edge sets diffed.
+//! * [`partition`] — the fusion partition is legal per Definition 5:
+//!   clusters are fusable, share one region, contain no fusion-preventing
+//!   edges, admit *some* legal loop structure (found by exhaustive search
+//!   over signed permutations, independent of the greedy search the
+//!   pipeline uses), and the cluster graph is acyclic.
+//! * [`structure`] — the loop structure chosen for every emitted nest
+//!   makes each intra-cluster UDV lexicographically non-negative, per
+//!   Definition 4.
+//! * [`contraction`] — every contracted array satisfies Definition 6
+//!   against the *final* partition.
+//!
+//! Checkers return structured [`Diagnostic`]s instead of panicking, so a
+//! driver can render all of them (`zlc --verify`) and an embedder can
+//! decide what to do with warnings. The whole layer is wired into
+//! [`crate::pipeline::Pipeline`] behind a [`VerifyLevel`].
+#![deny(missing_docs)]
+
+use crate::pipeline::Optimized;
+use std::fmt;
+use std::str::FromStr;
+
+mod asdg_check;
+mod contraction;
+mod normal_form;
+mod partition;
+mod structure;
+
+/// Which pipeline stage a diagnostic is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Normalized-form well-formedness (Section 2.1).
+    NormalForm,
+    /// ASDG soundness and completeness (Definitions 2–3).
+    Asdg,
+    /// Fusion-partition legality (Definition 5).
+    Partition,
+    /// Loop-structure legality of emitted nests (Definition 4).
+    LoopStructure,
+    /// Contraction safety (Definition 6).
+    Contraction,
+}
+
+impl Stage {
+    /// The diagnostic code rendered in brackets, rustc-style.
+    pub fn code(self) -> &'static str {
+        match self {
+            Stage::NormalForm => "verify::normal-form",
+            Stage::Asdg => "verify::asdg",
+            Stage::Partition => "verify::partition",
+            Stage::LoopStructure => "verify::structure",
+            Stage::Contraction => "verify::contraction",
+        }
+    }
+
+    /// The paper definition (or section) this stage's checker enforces.
+    pub fn definition(self) -> &'static str {
+        match self {
+            Stage::NormalForm => "Section 2.1 (normalized array statements)",
+            Stage::Asdg => "Definitions 2-3 (UDVs and the ASDG)",
+            Stage::Partition => "Definition 5 (legal fusion partitions)",
+            Stage::LoopStructure => "Definition 4 (loop structure legality)",
+            Stage::Contraction => "Definition 6 (contractable arrays)",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not known-unsound (e.g. a conservative extra edge).
+    Warning,
+    /// The checked property is violated; the output cannot be trusted.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// A structured finding from one of the checkers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Which checker produced this.
+    pub stage: Stage,
+    /// Error or warning.
+    pub severity: Severity,
+    /// The normalized-program block the finding is in, if block-local.
+    pub block: Option<usize>,
+    /// A free-form location inside the block (statement, edge, cluster…).
+    pub location: Option<String>,
+    /// What is wrong, in one sentence.
+    pub message: String,
+    /// Extra context lines (the violated definition is always appended
+    /// when rendering).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates an error-severity diagnostic.
+    pub fn error(stage: Stage, message: impl Into<String>) -> Self {
+        Diagnostic {
+            stage,
+            severity: Severity::Error,
+            block: None,
+            location: None,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Creates a warning-severity diagnostic.
+    pub fn warning(stage: Stage, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(stage, message)
+        }
+    }
+
+    /// Tags the diagnostic with the block it is about.
+    pub fn in_block(mut self, block: usize) -> Self {
+        self.block = Some(block);
+        self
+    }
+
+    /// Tags the diagnostic with a location inside the block.
+    pub fn at(mut self, location: impl Into<String>) -> Self {
+        self.location = Some(location.into());
+        self
+    }
+
+    /// Appends a note line.
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the diagnostic rustc-style (multi-line, trailing newline),
+    /// in the same format the `zlang` frontend uses for its errors.
+    pub fn render(&self) -> String {
+        let loc = match (self.block, &self.location) {
+            (Some(b), Some(l)) => Some(format!("block {b}, {l}")),
+            (Some(b), None) => Some(format!("block {b}")),
+            (None, Some(l)) => Some(l.clone()),
+            (None, None) => None,
+        };
+        let mut notes = self.notes.clone();
+        notes.push(self.stage.definition().to_string());
+        zlang::error::render_diagnostic(
+            &self.severity.to_string(),
+            self.stage.code(),
+            &self.message,
+            loc.as_deref(),
+            &notes,
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.stage, self.message)?;
+        match (self.block, &self.location) {
+            (Some(b), Some(l)) => write!(f, " (block {b}, {l})"),
+            (Some(b), None) => write!(f, " (block {b})"),
+            (None, Some(l)) => write!(f, " ({l})"),
+            (None, None) => Ok(()),
+        }
+    }
+}
+
+/// When the pipeline runs the translation validator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VerifyLevel {
+    /// Never (the default; zero overhead).
+    #[default]
+    Off,
+    /// Only when the cheap per-block partition check
+    /// ([`crate::fusion::FusionCtx::validate`]) already failed — the full
+    /// validator then localizes the damage.
+    OnFailure,
+    /// After every optimization run.
+    Always,
+}
+
+impl VerifyLevel {
+    /// The spelling accepted by [`FromStr`] and produced by [`fmt::Display`].
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifyLevel::Off => "off",
+            VerifyLevel::OnFailure => "on-failure",
+            VerifyLevel::Always => "always",
+        }
+    }
+}
+
+impl fmt::Display for VerifyLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for VerifyLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(VerifyLevel::Off),
+            "on-failure" => Ok(VerifyLevel::OnFailure),
+            "always" => Ok(VerifyLevel::Always),
+            other => Err(format!(
+                "unknown verify level `{other}` (expected `off`, `on-failure`, or `always`)"
+            )),
+        }
+    }
+}
+
+/// Runs every checker over an optimization result and returns all findings.
+///
+/// An empty vector means the pipeline's output passed translation
+/// validation: the normal form is well formed, the recorded ASDGs match an
+/// independent recomputation, the partitions and emitted loop structures
+/// are legal, and every contraction is safe.
+pub fn validate(opt: &Optimized) -> Vec<Diagnostic> {
+    let mut diags = normal_form::check(&opt.norm);
+    let candidates = crate::normal::contraction_candidates(&opt.norm);
+    for (bi, (block, detail)) in opt.norm.blocks.iter().zip(&opt.details).enumerate() {
+        let program = &opt.norm.program;
+        diags.extend(asdg_check::check(program, block, bi, &detail.asdg));
+        diags.extend(partition::check(
+            program,
+            block,
+            bi,
+            &detail.asdg,
+            &detail.partition,
+        ));
+        diags.extend(contraction::check(
+            program,
+            bi,
+            &detail.asdg,
+            &detail.partition,
+            &detail.contracted,
+            &candidates,
+        ));
+    }
+    diags.extend(structure::check(opt));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_level_parses_and_displays() {
+        for lv in [
+            VerifyLevel::Off,
+            VerifyLevel::OnFailure,
+            VerifyLevel::Always,
+        ] {
+            assert_eq!(lv.name().parse::<VerifyLevel>().unwrap(), lv);
+            assert_eq!(lv.to_string(), lv.name());
+        }
+        assert!("sometimes".parse::<VerifyLevel>().is_err());
+    }
+
+    #[test]
+    fn diagnostic_renders_rustc_style() {
+        let d = Diagnostic::error(Stage::Partition, "cluster 1 spans two regions")
+            .in_block(0)
+            .at("cluster 1 (statements 0, 2)")
+            .note("regions `R` and `S` have different shapes");
+        let r = d.render();
+        assert!(r.starts_with("error[verify::partition]: cluster 1 spans two regions\n"));
+        assert!(r.contains("  --> block 0, cluster 1 (statements 0, 2)\n"));
+        assert!(r.contains("  = note: regions `R` and `S` have different shapes\n"));
+        assert!(r.contains("Definition 5"));
+        assert!(d.to_string().contains("(block 0, cluster 1"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Checks that the normalizer's output is well formed (Section 2.1).
+//!
+//! A normalized array statement never reads the array it writes (the
+//! normalizer must have split it through a compiler temporary), and every
+//! reference's offset rank matches the rank of the region the statement
+//! iterates over.
+
+use super::{Diagnostic, Stage};
+use crate::normal::NormProgram;
+
+pub(crate) fn check(np: &NormProgram) -> Vec<Diagnostic> {
+    let program = &np.program;
+    let mut diags = Vec::new();
+    for (bi, block) in np.blocks.iter().enumerate() {
+        for (si, stmt) in block.stmts.iter().enumerate() {
+            let Some(region) = stmt.region() else {
+                continue; // scalar statements have no loops to check
+            };
+            let rank = program.region(region).rank();
+            if let Some(lhs) = stmt.lhs_array() {
+                if stmt.reads().iter().any(|(a, _)| *a == lhs) {
+                    diags.push(
+                        Diagnostic::error(
+                            Stage::NormalForm,
+                            format!(
+                                "statement reads and writes `{}` — normalization must split \
+                                 it through a compiler temporary",
+                                program.array(lhs).name
+                            ),
+                        )
+                        .in_block(bi)
+                        .at(format!("statement {si}")),
+                    );
+                }
+                let lhs_rank = program.region(program.array(lhs).region).rank();
+                if lhs_rank != rank {
+                    diags.push(
+                        Diagnostic::error(
+                            Stage::NormalForm,
+                            format!(
+                                "statement over rank-{rank} region `{}` writes rank-{lhs_rank} \
+                                 array `{}`",
+                                program.region(region).name,
+                                program.array(lhs).name
+                            ),
+                        )
+                        .in_block(bi)
+                        .at(format!("statement {si}")),
+                    );
+                }
+            }
+            for (a, off) in stmt.reads() {
+                if off.rank() != rank {
+                    diags.push(
+                        Diagnostic::error(
+                            Stage::NormalForm,
+                            format!(
+                                "read of `{}` uses a rank-{} offset {off} in a statement over \
+                                 rank-{rank} region `{}`",
+                                program.array(a).name,
+                                off.rank(),
+                                program.region(region).name
+                            ),
+                        )
+                        .in_block(bi)
+                        .at(format!("statement {si}")),
+                    );
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal::{normalize, BStmt};
+    use zlang::ir::{ArrayExpr, ArrayStmt, Offset};
+
+    const P: &str = "program p; config n : int = 8; region R = [1..n, 1..n]; \
+                     var A, B : [R] float; ";
+
+    #[test]
+    fn normalized_program_is_clean() {
+        let np = normalize(&zlang::compile(&format!("{P} begin [R] A := A + A; end")).unwrap());
+        assert!(check(&np).is_empty());
+    }
+
+    #[test]
+    fn hand_built_read_write_conflict_is_reported() {
+        let mut np = normalize(&zlang::compile(&format!("{P} begin [R] B := A; end")).unwrap());
+        // Corrupt the block: make the statement read its own LHS.
+        let names = np.program.array_names();
+        np.blocks[0].stmts[0] = BStmt::Array(ArrayStmt {
+            region: np.program.array(names["B"]).region,
+            lhs: names["B"],
+            rhs: ArrayExpr::Read(names["B"], Offset(vec![0, -1])),
+        });
+        let diags = check(&np);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("reads and writes"), "{diags:?}");
+    }
+}

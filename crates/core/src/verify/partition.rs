@@ -1,0 +1,360 @@
+//! Fusion-partition legality (Definition 5), checked from first principles.
+//!
+//! Unlike [`crate::fusion::FusionCtx::merged_ok`] — which the fusion passes
+//! themselves call — this checker shares no code with the pipeline: cluster
+//! coverage is re-derived from the public accessors, the fusion-preventing
+//! label rules are re-applied directly to the (already independently
+//! verified) ASDG, the existence of a legal loop structure is decided by
+//! exhaustive search over all signed permutations (rank ≤ 4 means at most
+//! 384 candidates) instead of the greedy `FIND-LOOP-STRUCTURE`, and
+//! acyclicity of the cluster graph uses Kahn's algorithm.
+
+use super::{Diagnostic, Stage};
+use crate::asdg::{Asdg, VarLabel};
+use crate::depvec::{DepKind, Udv};
+use crate::fusion::Partition;
+use crate::normal::Block;
+use zlang::ir::Program;
+
+/// All signed permutations of `1..=rank` — every candidate loop structure
+/// vector of Definition 4. Empty rank yields the single empty structure.
+pub(crate) fn signed_structures(rank: usize) -> Vec<Vec<i8>> {
+    fn rec(rank: usize, used: &mut [bool], cur: &mut Vec<i8>, out: &mut Vec<Vec<i8>>) {
+        if cur.len() == rank {
+            out.push(cur.clone());
+            return;
+        }
+        for d in 0..rank {
+            if used[d] {
+                continue;
+            }
+            used[d] = true;
+            for sign in [1i8, -1] {
+                cur.push(sign * (d as i8 + 1));
+                rec(rank, used, cur, out);
+                cur.pop();
+            }
+            used[d] = false;
+        }
+    }
+    let mut out = Vec::new();
+    rec(rank, &mut vec![false; rank], &mut Vec::new(), &mut out);
+    out
+}
+
+pub(crate) fn check(
+    program: &Program,
+    block: &Block,
+    bi: usize,
+    g: &Asdg,
+    part: &Partition,
+) -> Vec<Diagnostic> {
+    let n = block.stmts.len();
+    let mut diags = Vec::new();
+
+    // Coverage: the clusters must partition exactly the block's statements.
+    let live = part.live_clusters();
+    let mut covered: Vec<(usize, usize)> = Vec::new();
+    for &c in &live {
+        for &s in part.cluster(c) {
+            covered.push((s, c));
+        }
+    }
+    covered.sort_unstable();
+    let stmts_ok = covered.len() == n
+        && covered.iter().enumerate().all(|(i, &(s, _))| s == i)
+        && covered.iter().all(|&(s, c)| part.cluster_of(s) == c);
+    if !stmts_ok {
+        return vec![Diagnostic::error(
+            Stage::Partition,
+            format!(
+                "clusters do not partition the block's {n} statements \
+                 (covered: {:?})",
+                covered.iter().map(|&(s, _)| s).collect::<Vec<_>>()
+            ),
+        )
+        .in_block(bi)];
+    }
+
+    for &c in &live {
+        let stmts = part.cluster(c);
+        let loc = format!("cluster {c} (statements {stmts:?})");
+        // Fusability: multi-statement clusters hold only loop-shaped
+        // statements (array assignments and reductions).
+        if stmts.len() > 1 {
+            if let Some(&s) = stmts.iter().find(|&&s| !block.stmts[s].is_fusable()) {
+                diags.push(
+                    Diagnostic::error(
+                        Stage::Partition,
+                        format!(
+                            "statement {s} is a scalar assignment and cannot join a \
+                                 multi-statement cluster"
+                        ),
+                    )
+                    .in_block(bi)
+                    .at(loc.clone()),
+                );
+            }
+        }
+        // Condition (i): one common region.
+        let mut regions: Vec<_> = stmts
+            .iter()
+            .filter_map(|&s| block.stmts[s].region())
+            .collect();
+        regions.sort_unstable();
+        regions.dedup();
+        if regions.len() > 1 {
+            let names: Vec<&str> = regions
+                .iter()
+                .map(|&r| program.region(r).name.as_str())
+                .collect();
+            diags.push(
+                Diagnostic::error(
+                    Stage::Partition,
+                    format!(
+                        "cluster spans regions {} — Definition 5 requires all statements of \
+                         a cluster to iterate one region",
+                        names.join(", ")
+                    ),
+                )
+                .in_block(bi)
+                .at(loc.clone()),
+            );
+            continue; // no meaningful rank to search structures over
+        }
+        // Intra-cluster labels: collect UDVs; reject fusion-preventing ones.
+        let in_cluster = |s: usize| part.cluster_of(s) == c;
+        let mut deps: Vec<Udv> = Vec::new();
+        let mut label_bad = false;
+        for e in &g.edges {
+            if !(in_cluster(e.src) && in_cluster(e.dst)) {
+                continue;
+            }
+            for l in &e.labels {
+                match (&l.var, &l.udv) {
+                    (VarLabel::Scalar(s), _) => {
+                        label_bad = true;
+                        diags.push(
+                            Diagnostic::error(
+                                Stage::Partition,
+                                format!(
+                                    "scalar dependence on `{}` between statements {} and {} \
+                                     is intra-cluster — a scalar's value is only complete \
+                                     after its whole statement",
+                                    program.scalar(*s).name,
+                                    e.src,
+                                    e.dst
+                                ),
+                            )
+                            .in_block(bi)
+                            .at(loc.clone()),
+                        );
+                    }
+                    (VarLabel::Array(_), None) => {
+                        label_bad = true;
+                        diags.push(
+                            Diagnostic::error(
+                                Stage::Partition,
+                                format!(
+                                    "cross-region dependence between statements {} and {} has \
+                                     no UDV and cannot be legalized inside a cluster",
+                                    e.src, e.dst
+                                ),
+                            )
+                            .in_block(bi)
+                            .at(loc.clone()),
+                        );
+                    }
+                    (VarLabel::Array(d), Some(u)) => {
+                        if l.kind == DepKind::Flow && !u.is_null() {
+                            label_bad = true;
+                            diags.push(
+                                Diagnostic::error(
+                                    Stage::Partition,
+                                    format!(
+                                        "intra-cluster flow dependence on `{}` from statement \
+                                         {} to {} has non-null UDV {u} — Definition 5 \
+                                         condition (ii) requires null flow UDVs inside a \
+                                         cluster",
+                                        program.array(g.def(*d).array).name,
+                                        e.src,
+                                        e.dst
+                                    ),
+                                )
+                                .in_block(bi)
+                                .at(loc.clone()),
+                            );
+                        }
+                        deps.push(u.clone());
+                    }
+                }
+            }
+        }
+        // Existence of a legal loop structure (condition on Definition 4),
+        // by exhaustive search — independent of the greedy finder.
+        if !label_bad {
+            if let Some(&r) = regions.first() {
+                let rank = program.region(r).rank();
+                let found = signed_structures(rank)
+                    .into_iter()
+                    .any(|p| deps.iter().all(|u| u.preserved_by(&p)));
+                if !found {
+                    diags.push(
+                        Diagnostic::error(
+                            Stage::Partition,
+                            format!(
+                                "no loop structure over rank-{rank} region `{}` preserves all \
+                                 {} intra-cluster dependences (exhaustive search)",
+                                program.region(r).name,
+                                deps.len()
+                            ),
+                        )
+                        .in_block(bi)
+                        .at(loc.clone()),
+                    );
+                }
+            }
+        }
+    }
+
+    // Condition (iii): the inter-cluster dependence graph must be acyclic.
+    let idx: std::collections::HashMap<usize, usize> =
+        live.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let mut indeg = vec![0usize; live.len()];
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); live.len()];
+    let mut seen = std::collections::BTreeSet::new();
+    for e in &g.edges {
+        let (a, b) = (part.cluster_of(e.src), part.cluster_of(e.dst));
+        if a != b && seen.insert((a, b)) {
+            succ[idx[&a]].push(idx[&b]);
+            indeg[idx[&b]] += 1;
+        }
+    }
+    let mut ready: Vec<usize> = (0..live.len()).filter(|&i| indeg[i] == 0).collect();
+    let mut done = 0;
+    while let Some(i) = ready.pop() {
+        done += 1;
+        for &j in &succ[i] {
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                ready.push(j);
+            }
+        }
+    }
+    if done != live.len() {
+        let stuck: Vec<usize> = live
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| indeg[i] > 0)
+            .map(|(_, &c)| c)
+            .collect();
+        diags.push(
+            Diagnostic::error(
+                Stage::Partition,
+                format!(
+                    "the inter-cluster dependence graph has a cycle through clusters \
+                     {stuck:?} — no statement order realizes this partition"
+                ),
+            )
+            .in_block(bi),
+        );
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asdg::build;
+    use crate::normal::normalize;
+    use std::collections::BTreeSet;
+
+    fn setup(src: &str) -> (crate::normal::NormProgram, Asdg) {
+        let np = normalize(&zlang::compile(src).unwrap());
+        assert_eq!(np.blocks.len(), 1);
+        let g = build(&np.program, &np.blocks[0]);
+        (np, g)
+    }
+
+    const P: &str = "program p; config n : int = 8; region R = [1..n, 1..n]; \
+                     direction w = [0, -1]; var A, B, C : [R] float; var s : float; ";
+
+    #[test]
+    fn signed_structures_counts() {
+        assert_eq!(signed_structures(0).len(), 1);
+        assert_eq!(signed_structures(1).len(), 2);
+        assert_eq!(signed_structures(2).len(), 8);
+        assert_eq!(signed_structures(3).len(), 48);
+        assert_eq!(signed_structures(4).len(), 384);
+    }
+
+    #[test]
+    fn trivial_partition_is_always_legal() {
+        let (np, g) = setup(&format!(
+            "{P} begin [R] B := A; s := 2.0; [R] C := B@w * s; end"
+        ));
+        let part = Partition::trivial(g.n);
+        let diags = check(&np.program, &np.blocks[0], 0, &g, &part);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn nonnull_flow_inside_cluster_is_reported() {
+        let (np, g) = setup(&format!("{P} begin [R] C := A; [R] B := C@w; end"));
+        let mut part = Partition::trivial(g.n);
+        part.merge(&BTreeSet::from([0, 1]));
+        let diags = check(&np.program, &np.blocks[0], 0, &g, &part);
+        assert!(
+            diags.iter().any(|d| d.message.contains("non-null UDV")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn scalar_statement_in_cluster_is_reported() {
+        let (np, g) = setup(&format!("{P} begin [R] B := A; s := 2.0; end"));
+        let mut part = Partition::trivial(g.n);
+        part.merge(&BTreeSet::from([0, 1]));
+        let diags = check(&np.program, &np.blocks[0], 0, &g, &part);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("scalar assignment")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn region_spanning_cluster_is_reported() {
+        let (np, g) = setup(
+            "program p; config n : int = 8; region R1 = [1..n]; region R2 = [2..n]; \
+             var A, B, C : [R1] float; begin [R1] B := A; [R2] C := A@[-1]; end",
+        );
+        let mut part = Partition::trivial(g.n);
+        part.merge(&BTreeSet::from([0, 1]));
+        let diags = check(&np.program, &np.blocks[0], 0, &g, &part);
+        assert!(
+            diags.iter().any(|d| d.message.contains("spans regions")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_dependence_pair_is_reported() {
+        // Anti u = (0,-1) together with anti u = (0,1) on the same dimension
+        // cannot both be preserved: +2 fails the first, -2 fails the second,
+        // and dimension 1 is zero in both so interchange does not help.
+        let (np, g) = setup(&format!(
+            "{P} begin [R] B := C@w + C@[0,1]; [R] C := A; end"
+        ));
+        let mut part = Partition::trivial(g.n);
+        part.merge(&BTreeSet::from([0, 1]));
+        let diags = check(&np.program, &np.blocks[0], 0, &g, &part);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("no loop structure")),
+            "{diags:?}"
+        );
+    }
+}

@@ -101,19 +101,25 @@ pub enum Engine {
     /// same observable behavior, substantially faster. The default.
     #[default]
     Vm,
+    /// The VM after [`Vm::verify`](crate::Vm::verify): the bytecode
+    /// verifier statically proves every element access in bounds and the
+    /// dispatch loop drops the per-access slice bounds check. Refuses to
+    /// construct (with the verifier's diagnostics) if the proof fails.
+    VmVerified,
 }
 
 impl Engine {
-    /// Both engines, reference first.
-    pub fn all() -> [Engine; 2] {
-        [Engine::Interp, Engine::Vm]
+    /// Every engine, reference interpreter first.
+    pub fn all() -> [Engine; 3] {
+        [Engine::Interp, Engine::Vm, Engine::VmVerified]
     }
 
-    /// The engine's flag/display name (`interp` or `vm`).
+    /// The engine's flag/display name (`interp`, `vm`, or `vm-verified`).
     pub fn name(self) -> &'static str {
         match self {
             Engine::Interp => "interp",
             Engine::Vm => "vm",
+            Engine::VmVerified => "vm-verified",
         }
     }
 
@@ -131,6 +137,16 @@ impl Engine {
         Ok(match self {
             Engine::Interp => Box::new(Interp::new(prog, binding)),
             Engine::Vm => Box::new(Vm::new(prog, binding)?),
+            Engine::VmVerified => {
+                let mut vm = Vm::new(prog, binding)?;
+                if let Err(diags) = vm.verify() {
+                    let msgs: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+                    return Err(ExecError {
+                        message: format!("bytecode verification failed:\n{}", msgs.join("\n")),
+                    });
+                }
+                Box::new(vm)
+            }
         })
     }
 }
@@ -148,8 +164,9 @@ impl FromStr for Engine {
         match s {
             "interp" | "interpreter" => Ok(Engine::Interp),
             "vm" | "bytecode" => Ok(Engine::Vm),
+            "vm-verified" | "verified" => Ok(Engine::VmVerified),
             other => Err(format!(
-                "unknown engine `{other}` (expected `interp` or `vm`)"
+                "unknown engine `{other}` (expected `interp`, `vm`, or `vm-verified`)"
             )),
         }
     }
@@ -163,9 +180,13 @@ mod tests {
     fn engine_parses_and_displays() {
         assert_eq!("vm".parse::<Engine>().unwrap(), Engine::Vm);
         assert_eq!("interp".parse::<Engine>().unwrap(), Engine::Interp);
+        assert_eq!("vm-verified".parse::<Engine>().unwrap(), Engine::VmVerified);
+        assert_eq!("verified".parse::<Engine>().unwrap(), Engine::VmVerified);
         assert!("jit".parse::<Engine>().is_err());
         assert_eq!(Engine::Vm.to_string(), "vm");
+        assert_eq!(Engine::VmVerified.to_string(), "vm-verified");
         assert_eq!(Engine::default(), Engine::Vm);
+        assert_eq!(Engine::all().len(), 3);
     }
 
     #[test]

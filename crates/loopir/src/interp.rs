@@ -179,20 +179,6 @@ impl<'p> Interp<'p> {
             .map(|b| b.data.as_slice())
     }
 
-    /// The final value of a scalar.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is out of range.
-    #[deprecated(
-        since = "0.2.0",
-        note = "run through `Executor::execute` and use `RunOutcome::scalar` / \
-                `RunOutcome::checksum` instead"
-    )]
-    pub fn scalar(&self, id: ScalarId) -> f64 {
-        self.scalars[id.0 as usize]
-    }
-
     /// Run statistics so far.
     pub fn stats(&self) -> RunStats {
         self.stats

@@ -18,9 +18,11 @@ pub mod exec;
 pub mod interp;
 pub mod ir;
 pub mod printer;
+pub mod verifier;
 pub mod vm;
 
 pub use exec::{Engine, Executor, RunOutcome};
 pub use interp::{ExecError, Interp, NoopObserver, Observer, RunStats};
 pub use ir::{EExpr, ElemRef, ElemStmt, LStmt, LoopNest, ScalarProgram, TempId};
+pub use verifier::VerifyDiagnostic;
 pub use vm::Vm;

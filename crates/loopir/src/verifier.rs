@@ -1,0 +1,1104 @@
+//! Static verification of compiled [`bytecode`](crate::bytecode).
+//!
+//! The bytecode compiler elides the runtime bounds check on an array
+//! access whenever the enclosing loops' index ranges prove it in bounds —
+//! and the VM trusts that elision. This module re-proves the claim from
+//! the bytecode alone, without consulting the compiler's reasoning, in
+//! three phases:
+//!
+//! 1. **Structural** — every jump target, register, counter, dimension,
+//!    access-table entry, and array index is in range, and the program
+//!    ends in `Halt`.
+//! 2. **Initialization** — a must-initialized forward dataflow (bit sets,
+//!    intersection at joins) proves every register, index slot, and
+//!    counter is written before it is read, and every array is allocated
+//!    before it is accessed. Program scalars and interned constants are
+//!    pre-initialized by construction.
+//! 3. **Bounds** — an interval analysis over the index vector (counters
+//!    have statically known ranges, so only `idx` needs a fixpoint)
+//!    proves, for every access *without* a runtime check, that the flat
+//!    index stays within the array's allocation for all reachable index
+//!    values; accesses *with* a runtime check are verified to actually
+//!    dominate the flat index (every contributing dimension is checked
+//!    and the checked ranges cover the allocation).
+//!
+//! A program that passes all three phases can run on the VM's unchecked
+//! fast path ([`Vm::verify`](crate::Vm::verify)): element loads and
+//! stores skip the slice bounds check, which the proof has discharged.
+#![deny(missing_docs)]
+
+use crate::bytecode::{Code, Op, MAX_RANK};
+use std::fmt;
+
+/// A finding from the bytecode verifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyDiagnostic {
+    /// The instruction the finding is about, if op-local.
+    pub pc: Option<usize>,
+    /// What could not be proven, in one sentence.
+    pub message: String,
+}
+
+impl VerifyDiagnostic {
+    fn at(pc: usize, message: impl Into<String>) -> Self {
+        VerifyDiagnostic {
+            pc: Some(pc),
+            message: message.into(),
+        }
+    }
+
+    fn global(message: impl Into<String>) -> Self {
+        VerifyDiagnostic {
+            pc: None,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the diagnostic rustc-style, matching the frontend's format.
+    pub fn render(&self) -> String {
+        let loc = self.pc.map(|pc| format!("bytecode pc {pc}"));
+        zlang::error::render_diagnostic(
+            "error",
+            "verify::bytecode",
+            &self.message,
+            loc.as_deref(),
+            &[],
+        )
+    }
+}
+
+impl fmt::Display for VerifyDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pc {
+            Some(pc) => write!(f, "error[verify::bytecode]: {} (pc {pc})", self.message),
+            None => write!(f, "error[verify::bytecode]: {}", self.message),
+        }
+    }
+}
+
+/// An inclusive integer interval. `FULL` is the conservative "unknown"
+/// value, kept well away from `i64` limits so transfer arithmetic cannot
+/// overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Interval {
+    lo: i64,
+    hi: i64,
+}
+
+const HUGE: i64 = i64::MAX / 4;
+
+impl Interval {
+    const FULL: Interval = Interval {
+        lo: -HUGE,
+        hi: HUGE,
+    };
+
+    fn point(v: i64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    fn hull(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    fn shift(self, by: i64) -> Interval {
+        Interval {
+            lo: self.lo.saturating_add(by).clamp(-HUGE, HUGE),
+            hi: self.hi.saturating_add(by).clamp(-HUGE, HUGE),
+        }
+    }
+}
+
+/// The successors of an op, as `(target, edge)` pairs; `edge` selects the
+/// transfer variant for ops whose out-state differs per edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EdgeKind {
+    /// Plain fallthrough or jump: state passes through the generic
+    /// transfer.
+    Flow,
+    /// The back edge of [`Op::IdxStep`]: the index was stepped and the
+    /// loop continues.
+    IdxBack,
+    /// The fallthrough of [`Op::IdxStep`]: the index equals `stop`.
+    IdxExit,
+    /// The fallthrough of [`Op::ForInit`]: the counter is initialized.
+    ForEnter,
+}
+
+fn successors(pc: usize, op: &Op, out: &mut Vec<(usize, EdgeKind)>) {
+    out.clear();
+    match *op {
+        Op::Halt => {}
+        Op::Jmp { target } => out.push((target as usize, EdgeKind::Flow)),
+        Op::JmpIfZero { target, .. } => {
+            out.push((pc + 1, EdgeKind::Flow));
+            out.push((target as usize, EdgeKind::Flow));
+        }
+        Op::IdxStep { head, .. } => {
+            out.push((pc + 1, EdgeKind::IdxExit));
+            out.push((head as usize, EdgeKind::IdxBack));
+        }
+        Op::CtrStep { head, .. } => {
+            out.push((pc + 1, EdgeKind::Flow));
+            out.push((head as usize, EdgeKind::Flow));
+        }
+        Op::ForInit { exit, .. } => {
+            out.push((pc + 1, EdgeKind::ForEnter));
+            out.push((exit as usize, EdgeKind::Flow));
+        }
+        _ => out.push((pc + 1, EdgeKind::Flow)),
+    }
+}
+
+/// Verifies a compiled program. Returns all findings; an empty vector
+/// means every phase passed and the unchecked fast path is safe.
+pub(crate) fn verify(code: &Code) -> Vec<VerifyDiagnostic> {
+    let mut diags = structural(code);
+    if !diags.is_empty() {
+        return diags; // later phases index by the quantities checked here
+    }
+    diags.extend(initialization(code));
+    if !diags.is_empty() {
+        return diags; // bounds analysis assumes defined-before-use
+    }
+    diags.extend(bounds(code));
+    diags
+}
+
+// ---- phase 1: structural ---------------------------------------------------
+
+fn structural(code: &Code) -> Vec<VerifyDiagnostic> {
+    let mut diags = Vec::new();
+    let n = code.ops.len();
+    if !matches!(code.ops.last(), Some(Op::Halt)) {
+        diags.push(VerifyDiagnostic::global(
+            "program does not end in a Halt instruction",
+        ));
+    }
+    let frame = code.frame as usize;
+    let bad_reg = |pc: usize, r: u16, diags: &mut Vec<VerifyDiagnostic>| {
+        if r as usize >= frame {
+            diags.push(VerifyDiagnostic::at(
+                pc,
+                format!("register {r} is outside the frame of {frame} registers"),
+            ));
+        }
+    };
+    let bad_target = |pc: usize, t: u32, diags: &mut Vec<VerifyDiagnostic>| {
+        if t as usize >= n {
+            diags.push(VerifyDiagnostic::at(
+                pc,
+                format!("jump target {t} is outside the program of {n} instructions"),
+            ));
+        }
+    };
+    let bad_dim = |pc: usize, d: u8, diags: &mut Vec<VerifyDiagnostic>| {
+        if d as usize >= MAX_RANK {
+            diags.push(VerifyDiagnostic::at(
+                pc,
+                format!("index dimension {d} exceeds the VM maximum rank {MAX_RANK}"),
+            ));
+        }
+    };
+    let bad_ctr = |pc: usize, c: u16, diags: &mut Vec<VerifyDiagnostic>| {
+        if c >= code.n_ctrs {
+            diags.push(VerifyDiagnostic::at(
+                pc,
+                format!(
+                    "counter {c} is outside the {} allocated counters",
+                    code.n_ctrs
+                ),
+            ));
+        }
+    };
+    for (pc, op) in code.ops.iter().enumerate() {
+        match *op {
+            Op::Add { dst, a, b }
+            | Op::Sub { dst, a, b }
+            | Op::Mul { dst, a, b }
+            | Op::Div { dst, a, b }
+            | Op::Bin { dst, a, b, .. } => {
+                bad_reg(pc, dst, &mut diags);
+                bad_reg(pc, a, &mut diags);
+                bad_reg(pc, b, &mut diags);
+            }
+            Op::Neg { dst, src } | Op::Mov { dst, src } => {
+                bad_reg(pc, dst, &mut diags);
+                bad_reg(pc, src, &mut diags);
+            }
+            Op::Call { dst, base, n, .. } => {
+                bad_reg(pc, dst, &mut diags);
+                if base as usize + n as usize > frame {
+                    diags.push(VerifyDiagnostic::at(
+                        pc,
+                        format!(
+                            "call arguments {base}..{} overflow the frame of {frame} registers",
+                            base as usize + n as usize
+                        ),
+                    ));
+                }
+            }
+            Op::IdxF { dst, d } => {
+                bad_reg(pc, dst, &mut diags);
+                bad_dim(pc, d, &mut diags);
+            }
+            Op::Load { dst, acc } => {
+                bad_reg(pc, dst, &mut diags);
+                if acc as usize >= code.accesses.len() {
+                    diags.push(VerifyDiagnostic::at(
+                        pc,
+                        format!("access-table index {acc} is out of range"),
+                    ));
+                }
+            }
+            Op::Store { acc, src } => {
+                bad_reg(pc, src, &mut diags);
+                if acc as usize >= code.accesses.len() {
+                    diags.push(VerifyDiagnostic::at(
+                        pc,
+                        format!("access-table index {acc} is out of range"),
+                    ));
+                }
+            }
+            Op::Reduce { dst, src, .. } => {
+                bad_reg(pc, dst, &mut diags);
+                bad_reg(pc, src, &mut diags);
+            }
+            Op::Tick { .. } | Op::ReduceBegin | Op::Halt => {}
+            Op::NestBegin { nest } => {
+                if nest as usize >= code.nests.len() {
+                    diags.push(VerifyDiagnostic::at(
+                        pc,
+                        format!("nest index {nest} is out of range"),
+                    ));
+                }
+            }
+            Op::Alloc { arr } => {
+                if arr as usize >= code.arrays.len() {
+                    diags.push(VerifyDiagnostic::at(
+                        pc,
+                        format!("array index {arr} is out of range"),
+                    ));
+                }
+            }
+            Op::SetIdx { d, .. } => bad_dim(pc, d, &mut diags),
+            Op::IdxStep { d, head, .. } => {
+                bad_dim(pc, d, &mut diags);
+                bad_target(pc, head, &mut diags);
+            }
+            Op::CtrInit { ctr, .. } => bad_ctr(pc, ctr, &mut diags),
+            Op::CtrToIdx { d, ctr } => {
+                bad_dim(pc, d, &mut diags);
+                bad_ctr(pc, ctr, &mut diags);
+            }
+            Op::CtrToScalar { dst, ctr } => {
+                bad_reg(pc, dst, &mut diags);
+                bad_ctr(pc, ctr, &mut diags);
+            }
+            Op::ForInit {
+                ctr, lo, hi, exit, ..
+            } => {
+                bad_ctr(pc, ctr, &mut diags);
+                bad_reg(pc, lo, &mut diags);
+                bad_reg(pc, hi, &mut diags);
+                bad_target(pc, exit, &mut diags);
+            }
+            Op::CtrStep { ctr, head } => {
+                bad_ctr(pc, ctr, &mut diags);
+                bad_target(pc, head, &mut diags);
+            }
+            Op::Jmp { target } => bad_target(pc, target, &mut diags),
+            Op::JmpIfZero { cond, target } => {
+                bad_reg(pc, cond, &mut diags);
+                bad_target(pc, target, &mut diags);
+            }
+        }
+    }
+    for (i, a) in code.accesses.iter().enumerate() {
+        if a.arr as usize >= code.arrays.len() {
+            diags.push(VerifyDiagnostic::global(format!(
+                "access {i} names array {} which does not exist",
+                a.arr
+            )));
+        }
+        if a.rank as usize > MAX_RANK {
+            diags.push(VerifyDiagnostic::global(format!(
+                "access {i} has rank {} > {MAX_RANK}",
+                a.rank
+            )));
+        }
+        if let Some(chk) = &a.check {
+            for &(d, ..) in &chk.dims {
+                if d as usize >= a.rank as usize {
+                    diags.push(VerifyDiagnostic::global(format!(
+                        "access {i} checks dimension {d} beyond its rank {}",
+                        a.rank
+                    )));
+                }
+            }
+        }
+    }
+    diags
+}
+
+// ---- phase 2: initialization ----------------------------------------------
+
+/// Must-initialized facts at one program point. Arrays of `bool` instead
+/// of packed words: frames are tens of registers, programs a few hundred
+/// ops, so clarity wins.
+#[derive(Clone, PartialEq, Eq)]
+struct InitState {
+    regs: Vec<bool>,
+    idx: [bool; MAX_RANK],
+    ctrs: Vec<bool>,
+    arrays: Vec<bool>,
+}
+
+impl InitState {
+    fn entry(code: &Code) -> Self {
+        let mut regs = vec![false; code.frame as usize];
+        // Program scalars start at 0.0 by language definition and interned
+        // constants are materialized at VM construction.
+        for r in regs.iter_mut().take(code.n_scalars as usize) {
+            *r = true;
+        }
+        let cb = code.const_base as usize;
+        for r in regs.iter_mut().skip(cb).take(code.consts.len()) {
+            *r = true;
+        }
+        InitState {
+            regs,
+            idx: [false; MAX_RANK],
+            ctrs: vec![false; code.n_ctrs as usize],
+            arrays: vec![false; code.arrays.len()],
+        }
+    }
+
+    /// Must-analysis join: a fact holds only if it holds on every path.
+    fn intersect(&mut self, other: &InitState) -> bool {
+        let mut changed = false;
+        let all = self
+            .regs
+            .iter_mut()
+            .zip(&other.regs)
+            .chain(self.idx.iter_mut().zip(&other.idx))
+            .chain(self.ctrs.iter_mut().zip(&other.ctrs))
+            .chain(self.arrays.iter_mut().zip(&other.arrays));
+        for (mine, theirs) in all {
+            if *mine && !theirs {
+                *mine = false;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// The index dimensions an access reads: every dimension that contributes
+/// to the flat index, plus every dimension its runtime check inspects.
+fn access_dims(code: &Code, acc: u32) -> Vec<usize> {
+    let a = &code.accesses[acc as usize];
+    let mut dims: Vec<usize> = (0..a.rank as usize)
+        .filter(|&d| a.strides[d] != 0)
+        .collect();
+    if let Some(chk) = &a.check {
+        for &(d, ..) in &chk.dims {
+            if !dims.contains(&(d as usize)) {
+                dims.push(d as usize);
+            }
+        }
+    }
+    dims
+}
+
+fn initialization(code: &Code) -> Vec<VerifyDiagnostic> {
+    let n = code.ops.len();
+    let mut states: Vec<Option<InitState>> = vec![None; n];
+    states[0] = Some(InitState::entry(code));
+    let mut work: Vec<usize> = vec![0];
+    let mut diags = Vec::new();
+    let mut reported = vec![false; n];
+    let mut succ = Vec::new();
+
+    let require_reg = |pc: usize,
+                       r: u16,
+                       st: &InitState,
+                       reported: &mut [bool],
+                       diags: &mut Vec<VerifyDiagnostic>| {
+        if !st.regs[r as usize] && !reported[pc] {
+            reported[pc] = true;
+            diags.push(VerifyDiagnostic::at(
+                pc,
+                format!("register {r} may be read before it is written"),
+            ));
+        }
+    };
+
+    while let Some(pc) = work.pop() {
+        let st = states[pc].clone().expect("queued pcs have a state");
+        let op = code.ops[pc];
+        let mut out = st.clone();
+        match op {
+            Op::Add { dst, a, b }
+            | Op::Sub { dst, a, b }
+            | Op::Mul { dst, a, b }
+            | Op::Div { dst, a, b }
+            | Op::Bin { dst, a, b, .. } => {
+                require_reg(pc, a, &st, &mut reported, &mut diags);
+                require_reg(pc, b, &st, &mut reported, &mut diags);
+                out.regs[dst as usize] = true;
+            }
+            Op::Neg { dst, src } | Op::Mov { dst, src } => {
+                require_reg(pc, src, &st, &mut reported, &mut diags);
+                out.regs[dst as usize] = true;
+            }
+            Op::Call { dst, base, n, .. } => {
+                for k in 0..n as usize {
+                    require_reg(pc, base + k as u16, &st, &mut reported, &mut diags);
+                }
+                out.regs[dst as usize] = true;
+            }
+            Op::IdxF { dst, d } => {
+                if !st.idx[d as usize] && !reported[pc] {
+                    reported[pc] = true;
+                    diags.push(VerifyDiagnostic::at(
+                        pc,
+                        format!("index dimension {d} may be read before it is set"),
+                    ));
+                }
+                out.regs[dst as usize] = true;
+            }
+            Op::Load { dst, acc } | Op::Store { acc, src: dst } => {
+                if matches!(op, Op::Store { .. }) {
+                    require_reg(pc, dst, &st, &mut reported, &mut diags);
+                }
+                let a = &code.accesses[acc as usize];
+                if !st.arrays[a.arr as usize] && !reported[pc] {
+                    reported[pc] = true;
+                    diags.push(VerifyDiagnostic::at(
+                        pc,
+                        format!(
+                            "array `{}` may be accessed before it is allocated",
+                            code.arrays[a.arr as usize].name
+                        ),
+                    ));
+                }
+                for d in access_dims(code, acc) {
+                    if !st.idx[d] && !reported[pc] {
+                        reported[pc] = true;
+                        diags.push(VerifyDiagnostic::at(
+                            pc,
+                            format!("index dimension {d} may be read before it is set"),
+                        ));
+                    }
+                }
+                if matches!(op, Op::Load { .. }) {
+                    out.regs[dst as usize] = true;
+                }
+            }
+            Op::Reduce { dst, src, .. } => {
+                require_reg(pc, dst, &st, &mut reported, &mut diags);
+                require_reg(pc, src, &st, &mut reported, &mut diags);
+            }
+            Op::Tick { .. } | Op::NestBegin { .. } | Op::ReduceBegin | Op::Halt => {}
+            Op::Alloc { arr } => out.arrays[arr as usize] = true,
+            Op::SetIdx { d, .. } => out.idx[d as usize] = true,
+            Op::IdxStep { d, .. } => {
+                if !st.idx[d as usize] && !reported[pc] {
+                    reported[pc] = true;
+                    diags.push(VerifyDiagnostic::at(
+                        pc,
+                        format!("index dimension {d} may be stepped before it is set"),
+                    ));
+                }
+                out.idx[d as usize] = true;
+            }
+            Op::CtrInit { ctr, .. } => out.ctrs[ctr as usize] = true,
+            Op::CtrToIdx { d, ctr } => {
+                if !st.ctrs[ctr as usize] && !reported[pc] {
+                    reported[pc] = true;
+                    diags.push(VerifyDiagnostic::at(
+                        pc,
+                        format!("counter {ctr} may be read before it is initialized"),
+                    ));
+                }
+                out.idx[d as usize] = true;
+            }
+            Op::CtrToScalar { dst, ctr } => {
+                if !st.ctrs[ctr as usize] && !reported[pc] {
+                    reported[pc] = true;
+                    diags.push(VerifyDiagnostic::at(
+                        pc,
+                        format!("counter {ctr} may be read before it is initialized"),
+                    ));
+                }
+                out.regs[dst as usize] = true;
+            }
+            Op::ForInit { lo, hi, .. } => {
+                require_reg(pc, lo, &st, &mut reported, &mut diags);
+                require_reg(pc, hi, &st, &mut reported, &mut diags);
+                // the counter becomes initialized on the enter edge only
+            }
+            Op::CtrStep { ctr, .. } => {
+                if !st.ctrs[ctr as usize] && !reported[pc] {
+                    reported[pc] = true;
+                    diags.push(VerifyDiagnostic::at(
+                        pc,
+                        format!("counter {ctr} may be stepped before it is initialized"),
+                    ));
+                }
+            }
+            Op::Jmp { .. } => {}
+            Op::JmpIfZero { cond, .. } => require_reg(pc, cond, &st, &mut reported, &mut diags),
+        }
+        successors(pc, &op, &mut succ);
+        for &(t, edge) in &succ {
+            let mut edge_out = out.clone();
+            if edge == EdgeKind::ForEnter {
+                if let Op::ForInit { ctr, .. } = op {
+                    edge_out.ctrs[ctr as usize] = true;
+                }
+            }
+            match &mut states[t] {
+                None => {
+                    states[t] = Some(edge_out);
+                    work.push(t);
+                }
+                Some(existing) => {
+                    if existing.intersect(&edge_out) {
+                        work.push(t);
+                    }
+                }
+            }
+        }
+    }
+    diags
+}
+
+// ---- phase 3: bounds -------------------------------------------------------
+
+/// Per-counter static value range: the unique `CtrInit` that feeds a
+/// counter has compile-time bounds that its `CtrStep` back edge preserves;
+/// `ForInit` counters have runtime bounds and stay unknown.
+fn ctr_ranges(code: &Code) -> Vec<Interval> {
+    let mut ranges = vec![Interval::FULL; code.n_ctrs as usize];
+    let mut from_for = vec![false; code.n_ctrs as usize];
+    for op in &code.ops {
+        match *op {
+            Op::CtrInit { ctr, cur, end, .. } => {
+                let r = Interval {
+                    lo: cur.min(end),
+                    hi: cur.max(end),
+                };
+                let slot = &mut ranges[ctr as usize];
+                *slot = if from_for[ctr as usize] {
+                    Interval::FULL
+                } else if *slot == Interval::FULL {
+                    r
+                } else {
+                    slot.hull(r)
+                };
+            }
+            Op::ForInit { ctr, .. } => {
+                from_for[ctr as usize] = true;
+                ranges[ctr as usize] = Interval::FULL;
+            }
+            _ => {}
+        }
+    }
+    ranges
+}
+
+/// How many joins a pc absorbs before its intervals widen. Loop bounds
+/// are runtime configuration, so a hull-only fixpoint would need one pass
+/// per iteration; widening caps that, and the narrowing rounds below
+/// recover the exact ranges from the back-edge trims.
+const WIDEN_AFTER: u32 = 8;
+
+/// Per-dimension widening thresholds: every constant a dimension's value
+/// is compared against or set to anywhere in the program. A creeping
+/// bound widens to the nearest threshold instead of ±HUGE, so the
+/// fixpoint lands exactly on the loop invariant (e.g. `[start, stop-1]`)
+/// even for dimensions carried unchanged around an inner loop's cycle —
+/// where plain narrowing could never recover an overshoot.
+fn dim_thresholds(code: &Code, ctr_range: &[Interval]) -> [Vec<i64>; MAX_RANK] {
+    let mut th: [Vec<i64>; MAX_RANK] = Default::default();
+    for op in &code.ops {
+        match *op {
+            Op::SetIdx { d, v } => th[d as usize].push(v),
+            Op::IdxStep { d, stop, .. } => {
+                th[d as usize].extend([stop - 1, stop, stop + 1]);
+            }
+            Op::CtrToIdx { d, ctr } => {
+                let r = ctr_range[ctr as usize];
+                if r != Interval::FULL {
+                    th[d as usize].extend([r.lo, r.hi]);
+                }
+            }
+            _ => {}
+        }
+    }
+    for t in th.iter_mut() {
+        t.sort_unstable();
+        t.dedup();
+    }
+    th
+}
+
+/// Number of decreasing (narrowing) passes after the widened fixpoint.
+/// Each pass re-applies the transfer function without widening; starting
+/// from a post-fixpoint this only shrinks intervals and stays sound. Two
+/// passes settle a widened nest; the rest are margin.
+const NARROW_PASSES: usize = 4;
+
+type IdxState = [Interval; MAX_RANK];
+
+/// The abstract transfer of one op along one edge. `None` means the edge
+/// is infeasible from this state (an empty stepped-index range).
+fn transfer(op: Op, st: &IdxState, edge: EdgeKind, ctr_range: &[Interval]) -> Option<IdxState> {
+    let mut out = *st;
+    match (op, edge) {
+        (Op::SetIdx { d, v }, _) => out[d as usize] = Interval::point(v),
+        (Op::CtrToIdx { d, ctr }, _) => out[d as usize] = ctr_range[ctr as usize],
+        (Op::IdxStep { d, step, stop, .. }, EdgeKind::IdxBack) => {
+            let stepped = st[d as usize].shift(step);
+            // The loop continues only while the stepped value has not
+            // reached `stop`; for unit steps that walk toward `stop` this
+            // trims the boundary exactly.
+            let trimmed = if step == 1 && stepped.hi >= stop {
+                Interval {
+                    lo: stepped.lo,
+                    hi: stop - 1,
+                }
+            } else if step == -1 && stepped.lo <= stop {
+                Interval {
+                    lo: stop + 1,
+                    hi: stepped.hi,
+                }
+            } else {
+                stepped
+            };
+            if trimmed.lo > trimmed.hi {
+                return None; // the back edge is infeasible
+            }
+            out[d as usize] = trimmed;
+        }
+        (Op::IdxStep { d, stop, .. }, EdgeKind::IdxExit) => {
+            out[d as usize] = Interval::point(stop);
+        }
+        _ => {}
+    }
+    Some(out)
+}
+
+fn bounds(code: &Code) -> Vec<VerifyDiagnostic> {
+    let n = code.ops.len();
+    let ctr_range = ctr_ranges(code);
+    let thresholds = dim_thresholds(code, &ctr_range);
+    let entry = [Interval::FULL; MAX_RANK];
+    let mut states: Vec<Option<IdxState>> = vec![None; n];
+    states[0] = Some(entry);
+    let mut joins = vec![0u32; n];
+    let mut work: Vec<usize> = vec![0];
+    let mut succ = Vec::new();
+
+    // Increasing phase with threshold widening: a bound that keeps
+    // creeping (a loop accumulating its range one iteration per pass)
+    // jumps to the next program constant — or ±HUGE past the last one —
+    // so the fixpoint is independent of the runtime loop trip counts.
+    while let Some(pc) = work.pop() {
+        let st = states[pc].expect("queued pcs have a state");
+        let op = code.ops[pc];
+        successors(pc, &op, &mut succ);
+        for &(t, edge) in &succ {
+            let Some(out) = transfer(op, &st, edge, &ctr_range) else {
+                continue;
+            };
+            match &mut states[t] {
+                None => {
+                    states[t] = Some(out);
+                    work.push(t);
+                }
+                Some(existing) => {
+                    let widen = joins[t] >= WIDEN_AFTER;
+                    let mut joined = *existing;
+                    for (d, (je, oe)) in joined.iter_mut().zip(&out).enumerate() {
+                        if oe.lo < je.lo {
+                            je.lo = if widen {
+                                // largest threshold <= the requested bound
+                                thresholds[d]
+                                    .iter()
+                                    .rev()
+                                    .find(|&&v| v <= oe.lo)
+                                    .copied()
+                                    .unwrap_or(-HUGE)
+                            } else {
+                                oe.lo
+                            };
+                        }
+                        if oe.hi > je.hi {
+                            je.hi = if widen {
+                                // smallest threshold >= the requested bound
+                                thresholds[d]
+                                    .iter()
+                                    .find(|&&v| v >= oe.hi)
+                                    .copied()
+                                    .unwrap_or(HUGE)
+                            } else {
+                                oe.hi
+                            };
+                        }
+                    }
+                    if joined != *existing {
+                        joins[t] += 1;
+                        *existing = joined;
+                        work.push(t);
+                    }
+                }
+            }
+        }
+    }
+
+    // Decreasing phase: recompute every state as the plain join of its
+    // predecessors' transfer outputs. The back-edge trim now pulls the
+    // widened bounds back to the actual loop ranges.
+    let mut preds: Vec<Vec<(usize, EdgeKind)>> = vec![Vec::new(); n];
+    for (pc, op) in code.ops.iter().enumerate() {
+        successors(pc, op, &mut succ);
+        for &(t, edge) in &succ {
+            preds[t].push((pc, edge));
+        }
+    }
+    for _ in 0..NARROW_PASSES {
+        let mut changed = false;
+        for t in 0..n {
+            let mut acc: Option<IdxState> = if t == 0 { Some(entry) } else { None };
+            for &(p, edge) in &preds[t] {
+                let Some(pst) = states[p] else { continue };
+                let Some(out) = transfer(code.ops[p], &pst, edge, &ctr_range) else {
+                    continue;
+                };
+                acc = Some(match acc {
+                    None => out,
+                    Some(mut a) => {
+                        for (ae, oe) in a.iter_mut().zip(&out) {
+                            *ae = ae.hull(*oe);
+                        }
+                        a
+                    }
+                });
+            }
+            if acc != states[t] {
+                states[t] = acc;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // With the fixpoint in hand, discharge every reachable access.
+    let mut diags = Vec::new();
+    let mut checked_ok = vec![None::<bool>; code.accesses.len()];
+    for (pc, op) in code.ops.iter().enumerate() {
+        let (Op::Load { acc, .. } | Op::Store { acc, .. }) = *op else {
+            continue;
+        };
+        let Some(st) = states[pc] else {
+            continue; // unreachable code never executes its access
+        };
+        let a = &code.accesses[acc as usize];
+        let info = &code.arrays[a.arr as usize];
+        if let Some(chk) = &a.check {
+            // The runtime check must actually dominate the flat index;
+            // this is per-access, not per-site.
+            let ok =
+                checked_ok[acc as usize].get_or_insert_with(|| check_covers(code, acc as usize));
+            if !*ok {
+                diags.push(VerifyDiagnostic::at(
+                    pc,
+                    format!(
+                        "runtime check on access {acc} to `{}` does not cover the flat \
+                         index it guards",
+                        code.arrays[chk.arr.0 as usize].name
+                    ),
+                ));
+            }
+            continue;
+        }
+        // No runtime check: the interval analysis must prove the flat
+        // index in bounds for every reachable index value.
+        let mut flat_lo = a.const_flat as i128;
+        let mut flat_hi = a.const_flat as i128;
+        for (s, r) in a.strides.iter().zip(st.iter()).take(a.rank as usize) {
+            let s = *s as i128;
+            if s == 0 {
+                continue;
+            }
+            if s > 0 {
+                flat_lo += s * r.lo as i128;
+                flat_hi += s * r.hi as i128;
+            } else {
+                flat_lo += s * r.hi as i128;
+                flat_hi += s * r.lo as i128;
+            }
+        }
+        if flat_lo < 0 || flat_hi >= info.elems as i128 {
+            diags.push(VerifyDiagnostic::at(
+                pc,
+                format!(
+                    "cannot prove unchecked access {acc} to `{}` in bounds: flat index \
+                     ranges over [{flat_lo}, {flat_hi}] but the array has {} elements",
+                    info.name, info.elems
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+/// Does the access's runtime check imply `0 <= flat < elems`?
+///
+/// The check asserts `0 <= idx[d] + off_d - lo_d < ext_d` per entry. With
+/// `i_d := idx[d] + off_d - lo_d`, the flat index equals
+/// `const_flat - Σ s_d·(off_d - lo_d) + Σ s_d·i_d`; when the constant
+/// part cancels (`const_flat = Σ s_d·(off_d - lo_d)`) and every stride
+/// obeys the row-major bound `Σ s_d·(ext_d - 1) < elems` with `s_d >= 0`,
+/// the per-dimension ranges telescope to `0 <= flat < elems`.
+fn check_covers(code: &Code, acc: usize) -> bool {
+    let a = &code.accesses[acc];
+    let chk = a.check.as_ref().expect("caller checked");
+    let info = &code.arrays[a.arr as usize];
+    // Every contributing dimension must be checked, with a non-negative
+    // stride (row-major strides are non-negative by construction).
+    let mut entry_of = [None; MAX_RANK];
+    for e in &chk.dims {
+        entry_of[e.0 as usize] = Some(*e);
+    }
+    let mut const_part = 0i128;
+    let mut max_flat = 0i128;
+    for (s, entry) in a.strides.iter().zip(entry_of.iter()).take(a.rank as usize) {
+        let s = *s as i128;
+        if s == 0 {
+            continue;
+        }
+        if s < 0 {
+            return false;
+        }
+        let Some((_, off, lo, ext)) = *entry else {
+            return false;
+        };
+        if ext <= 0 {
+            // The check can never pass, so the access never happens.
+            return true;
+        }
+        const_part += s * (off - lo) as i128;
+        max_flat += s * (ext - 1) as i128;
+    }
+    a.const_flat as i128 == const_part && max_flat < info.elems as i128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{compile, Access};
+    use crate::ir::{EExpr, ElemRef, ElemStmt, LStmt, LoopNest, ScalarProgram};
+    use zlang::ir::{ArrayId, ConfigBinding, Offset, RegionId};
+
+    fn nest_program(structure: Vec<i8>, off: Vec<i64>) -> ScalarProgram {
+        let program = zlang::compile(
+            "program t; config n : int = 6; region R = [1..n, 1..n]; \
+             var A, B : [R] float; var s : float; begin end",
+        )
+        .unwrap();
+        ScalarProgram {
+            program,
+            stmts: vec![LStmt::Nest(LoopNest {
+                region: RegionId(0),
+                structure,
+                body: vec![ElemStmt {
+                    target: ElemRef::Array(ArrayId(0), Offset(vec![0, 0])),
+                    rhs: EExpr::Load(ArrayId(1), Offset(off)),
+                }],
+                cluster: 0,
+                temps: 0,
+            })],
+        }
+    }
+
+    fn compiled(sp: &ScalarProgram) -> Code {
+        compile(sp, &ConfigBinding::defaults(&sp.program)).unwrap()
+    }
+
+    #[test]
+    fn clean_program_verifies() {
+        let sp = nest_program(vec![1, 2], vec![0, 0]);
+        let code = compiled(&sp);
+        let diags = verify(&code);
+        assert!(diags.is_empty(), "{diags:?}");
+        // The aligned access was compiled without a runtime check, so the
+        // verifier really proved something.
+        assert!(code.accesses.iter().any(|a| a.check.is_none()));
+    }
+
+    #[test]
+    fn reversed_structure_verifies() {
+        let sp = nest_program(vec![-2, -1], vec![0, 0]);
+        let diags = verify(&compiled(&sp));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn checked_halo_access_verifies() {
+        // The offset leaves the region, so the compiler emits a runtime
+        // check; the verifier accepts it as covering the flat index.
+        let sp = nest_program(vec![1, 2], vec![0, -1]);
+        let code = compiled(&sp);
+        assert!(code.accesses.iter().any(|a| a.check.is_some()));
+        let diags = verify(&code);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn bad_jump_target_is_reported() {
+        let sp = nest_program(vec![1, 2], vec![0, 0]);
+        let mut code = compiled(&sp);
+        let bad = code.ops.len() as u32 + 7;
+        for op in code.ops.iter_mut() {
+            if let Op::IdxStep { head, .. } = op {
+                *head = bad;
+            }
+        }
+        let diags = verify(&code);
+        assert!(
+            diags.iter().any(|d| d.message.contains("jump target")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn uninitialized_register_is_reported() {
+        let sp = nest_program(vec![1, 2], vec![0, 0]);
+        let mut code = compiled(&sp);
+        // Redirect a Load's destination to read... rather, inject a read
+        // of a scratch register that nothing ever writes.
+        let scratch = code.frame - 1;
+        let first_store = code
+            .ops
+            .iter()
+            .position(|op| matches!(op, Op::Store { .. }))
+            .unwrap();
+        if let Op::Store { src, .. } = &mut code.ops[first_store] {
+            *src = scratch;
+        }
+        // Make sure nothing defines it: grow the frame by one and use the
+        // fresh register instead.
+        code.frame += 1;
+        if let Op::Store { src, .. } = &mut code.ops[first_store] {
+            *src = code.frame - 1;
+        }
+        let diags = verify(&code);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("read before it is written")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unallocated_array_access_is_reported() {
+        let sp = nest_program(vec![1, 2], vec![0, 0]);
+        let mut code = compiled(&sp);
+        code.ops.retain(|op| !matches!(op, Op::Alloc { .. }));
+        let diags = verify(&code);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("before it is allocated")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_access_entry_is_reported() {
+        let sp = nest_program(vec![1, 2], vec![0, 0]);
+        let mut code = compiled(&sp);
+        for op in code.ops.iter_mut() {
+            if let Op::Load { acc, .. } = op {
+                *acc = 999;
+            }
+        }
+        let diags = verify(&code);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("access-table index")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unprovable_unchecked_access_is_reported() {
+        let sp = nest_program(vec![1, 2], vec![0, 0]);
+        let mut code = compiled(&sp);
+        // Strip the check-free load's alignment: shift its constant so the
+        // flat index walks past the end of the allocation.
+        let target = code
+            .accesses
+            .iter()
+            .position(|a: &Access| a.check.is_none())
+            .unwrap();
+        code.accesses[target].const_flat += 1;
+        let diags = verify(&code);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("cannot prove unchecked access")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_check_is_reported() {
+        let sp = nest_program(vec![1, 2], vec![0, -1]);
+        let mut code = compiled(&sp);
+        let target = code
+            .accesses
+            .iter()
+            .position(|a: &Access| a.check.is_some())
+            .unwrap();
+        // A check that inspects no dimensions guards nothing.
+        code.accesses[target].check.as_mut().unwrap().dims.clear();
+        let diags = verify(&code);
+        assert!(
+            diags.iter().any(|d| d.message.contains("does not cover")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn missing_halt_is_reported() {
+        let sp = nest_program(vec![1, 2], vec![0, 0]);
+        let mut code = compiled(&sp);
+        code.ops.pop();
+        let diags = verify(&code);
+        assert!(
+            diags.iter().any(|d| d.message.contains("Halt")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn diagnostic_renders_with_pc() {
+        let d = VerifyDiagnostic::at(12, "register 3 may be read before it is written");
+        let r = d.render();
+        assert!(r.starts_with("error[verify::bytecode]: register 3"), "{r}");
+        assert!(r.contains("--> bytecode pc 12"), "{r}");
+        assert!(d.to_string().contains("(pc 12)"));
+    }
+}

@@ -38,6 +38,7 @@ use crate::bytecode::{self, Check, Code, Op, MAX_RANK};
 use crate::exec::{Executor, RunOutcome};
 use crate::interp::{binop, ExecError, Observer, RunStats};
 use crate::ir::ScalarProgram;
+use crate::verifier::{self, VerifyDiagnostic};
 use zlang::ast::ReduceOp;
 use zlang::ir::{ArrayId, ConfigBinding};
 
@@ -66,6 +67,7 @@ pub struct Vm {
     arrays: Vec<Option<VmArray>>,
     stats: RunStats,
     next_base: u64,
+    verified: bool,
 }
 
 impl Vm {
@@ -92,7 +94,35 @@ impl Vm {
             arrays: (0..n_arrays).map(|_| None).collect(),
             stats: RunStats::default(),
             next_base: 4096,
+            verified: false,
         })
+    }
+
+    /// Runs the [bytecode verifier](crate::verifier) over the compiled
+    /// program. On success the VM switches to the unchecked fast path:
+    /// element loads and stores skip the slice bounds check that the
+    /// verifier has statically discharged. Runtime halo checks (the
+    /// compiler's `check` entries) still execute — the verifier proves
+    /// they dominate the flat index, not that they always pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns every diagnostic when verification fails; the VM then stays
+    /// on the checked path and remains safe to run.
+    pub fn verify(&mut self) -> Result<(), Vec<VerifyDiagnostic>> {
+        let diags = verifier::verify(&self.code);
+        if diags.is_empty() {
+            self.verified = true;
+            Ok(())
+        } else {
+            Err(diags)
+        }
+    }
+
+    /// Whether [`Vm::verify`] has succeeded and the unchecked fast path is
+    /// active.
+    pub fn is_verified(&self) -> bool {
+        self.verified
     }
 
     /// Executes the bytecode, reporting accesses to `obs`.
@@ -108,12 +138,21 @@ impl Vm {
         // resolution do not re-read through `self` (which the stat and
         // register writes below mutate) on every dispatch.
         let code = std::mem::take(&mut self.code);
-        let r = self.dispatch(&code, obs);
+        let r = if self.verified {
+            self.dispatch::<O, true>(&code, obs)
+        } else {
+            self.dispatch::<O, false>(&code, obs)
+        };
         self.code = code;
         r
     }
 
-    fn dispatch<O: Observer + ?Sized>(
+    /// The dispatch loop, monomorphized over the observer and over whether
+    /// the program passed the bytecode verifier. `UNCHECKED` may only be
+    /// true after [`Vm::verify`] succeeded: it elides the slice bounds
+    /// check on the element access itself, which the verifier proved
+    /// in bounds for every reachable index vector.
+    fn dispatch<O: Observer + ?Sized, const UNCHECKED: bool>(
         &mut self,
         code: &Code,
         obs: &mut O,
@@ -176,7 +215,15 @@ impl Vm {
                     let arr = arrays[ai].as_ref().expect("allocated");
                     obs.load(arr.base + (flat as u64) * 8);
                     loads += 1;
-                    regs[dst as usize] = arr.data[flat];
+                    regs[dst as usize] = if UNCHECKED {
+                        debug_assert!(flat < arr.data.len());
+                        // SAFETY: the bytecode verifier proved every
+                        // reachable flat index of this access within the
+                        // array's allocation (`Vm::verify` gates UNCHECKED).
+                        unsafe { *arr.data.get_unchecked(flat) }
+                    } else {
+                        arr.data[flat]
+                    };
                 }
                 Op::Store { acc, src } => {
                     let v = regs[src as usize];
@@ -185,7 +232,14 @@ impl Vm {
                         Err(e) => break Err(e),
                     };
                     let arr = arrays[ai].as_mut().expect("allocated");
-                    arr.data[flat] = v;
+                    if UNCHECKED {
+                        debug_assert!(flat < arr.data.len());
+                        // SAFETY: as for Load — the verifier's bounds proof
+                        // covers every access reachable in verified code.
+                        unsafe { *arr.data.get_unchecked_mut(flat) = v };
+                    } else {
+                        arr.data[flat] = v;
+                    }
                     obs.store(arr.base + (flat as u64) * 8);
                     stores += 1;
                 }
@@ -478,6 +532,39 @@ mod tests {
         let (oi, ov) = run_both(&sp);
         assert_eq!(oi, ov);
         assert_eq!(ov.scalar(ScalarId(0)), 40.0);
+    }
+
+    #[test]
+    fn verified_vm_matches_checked_vm() {
+        let sp = ScalarProgram {
+            program: prog(),
+            stmts: vec![LStmt::Nest(LoopNest {
+                region: RegionId(0),
+                structure: vec![2, -1],
+                body: vec![ElemStmt {
+                    target: ElemRef::Array(zlang::ir::ArrayId(0), Offset(vec![0, 0])),
+                    rhs: EExpr::Binary(
+                        zlang::ast::BinOp::Add,
+                        Box::new(EExpr::Index(0)),
+                        Box::new(EExpr::Index(1)),
+                    ),
+                }],
+                cluster: 0,
+                temps: 0,
+            })],
+        };
+        let b = ConfigBinding::defaults(&sp.program);
+        let mut checked = Vm::new(&sp, b.clone()).unwrap();
+        let oc = checked.execute(&mut NoopObserver).unwrap();
+        let mut fast = Vm::new(&sp, b).unwrap();
+        fast.verify().unwrap();
+        assert!(fast.is_verified());
+        let of = fast.execute(&mut NoopObserver).unwrap();
+        assert_eq!(oc, of);
+        assert_eq!(
+            checked.array(zlang::ir::ArrayId(0)),
+            fast.array(zlang::ir::ArrayId(0))
+        );
     }
 
     #[test]

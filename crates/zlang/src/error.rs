@@ -98,6 +98,52 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+impl Error {
+    /// Renders the error rustc-style, with the source file prepended to the
+    /// span so terminals make it clickable:
+    ///
+    /// ```text
+    /// error[parse]: expected `;`
+    ///   --> prog.zl:2:5
+    /// ```
+    pub fn render(&self, file: &str) -> String {
+        render_diagnostic(
+            "error",
+            &self.phase.to_string(),
+            &self.message,
+            Some(&format!("{file}:{}", self.pos)),
+            &[],
+        )
+    }
+}
+
+/// Renders a rustc-style diagnostic block. Shared by the frontend and the
+/// static verifiers (`fusion-core`'s translation validator and `loopir`'s
+/// bytecode verifier), so every tool in the workspace reports problems in
+/// one format:
+///
+/// ```text
+/// error[verify::partition]: cluster 0 spans two regions
+///   --> block 0, statements 0-1
+///   = note: Definition 5 (fusible partitions)
+/// ```
+pub fn render_diagnostic(
+    severity: &str,
+    code: &str,
+    message: &str,
+    location: Option<&str>,
+    notes: &[String],
+) -> String {
+    let mut out = format!("{severity}[{code}]: {message}\n");
+    if let Some(loc) = location {
+        out.push_str(&format!("  --> {loc}\n"));
+    }
+    for n in notes {
+        out.push_str(&format!("  = note: {n}\n"));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

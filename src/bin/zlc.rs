@@ -12,15 +12,19 @@
 //!   --spatial-cap <k>             bound pairwise fusion to k array streams
 //!   --favor-comm                  Section 5.5 favor-communication policy
 //!   --print <ir|loops|asdg|report|source>   what to print (repeatable)
+//!   --verify                      re-check every pipeline stage and the
+//!                                 compiled bytecode; report diagnostics
 //!   --run                         execute and print scalars + statistics
-//!   --engine <interp|vm>          execution engine (default vm)
+//!   --engine <interp|vm|vm-verified>   execution engine (default vm)
 //!   --machine <t3e|sp2|paragon>   simulate on a machine model (with --run)
 //!   --procs <p>                   simulated processors (default 1)
 //!   --set <name=value>            override an integer config (repeatable)
 //! ```
 
 use fusion_core::pipeline::{Level, Pipeline};
-use loopir::Engine;
+use fusion_core::verify::Severity;
+use fusion_core::VerifyLevel;
+use loopir::{Engine, Vm};
 use machine::presets::MachineKind;
 use runtime::{simulate, CommPolicy, ExecConfig};
 use std::process::ExitCode;
@@ -33,6 +37,7 @@ struct Options {
     spatial_cap: Option<usize>,
     favor_comm: bool,
     prints: Vec<String>,
+    verify: bool,
     run: bool,
     engine: Engine,
     machine: Option<MachineKind>,
@@ -44,9 +49,9 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!("zlc: {msg}");
     eprintln!(
         "usage: zlc <file.zl> [--level L] [--dimension-contraction] [--spatial-cap K]\n\
-         \x20          [--favor-comm] [--print ir|loops|asdg|report|source]... [--run]\n\
-         \x20          [--engine interp|vm] [--machine t3e|sp2|paragon] [--procs P]\n\
-         \x20          [--set name=value]..."
+         \x20          [--favor-comm] [--print ir|loops|asdg|report|source]... [--verify]\n\
+         \x20          [--run] [--engine interp|vm|vm-verified] [--machine t3e|sp2|paragon]\n\
+         \x20          [--procs P] [--set name=value]..."
     );
     ExitCode::from(2)
 }
@@ -63,6 +68,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         spatial_cap: None,
         favor_comm: false,
         prints: Vec::new(),
+        verify: false,
         run: false,
         engine: Engine::default(),
         machine: None,
@@ -91,6 +97,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--favor-comm" => opts.favor_comm = true,
             "--print" => opts.prints.push(value("--print")?),
+            "--verify" => opts.verify = true,
             "--run" => opts.run = true,
             "--engine" => {
                 opts.engine = value("--engine")?.parse()?;
@@ -165,7 +172,59 @@ fn main() -> ExitCode {
     if opts.favor_comm {
         pipeline = pipeline.with_forbidden(runtime::comm::favor_comm_pairs);
     }
+    if opts.verify {
+        pipeline = pipeline.with_verify(VerifyLevel::Always);
+    }
     let opt = pipeline.optimize(&program);
+
+    if opts.verify {
+        let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+        for (name, value) in &opts.sets {
+            if !binding.set_by_name(&opt.scalarized.program, name, *value) {
+                eprintln!("zlc: no config named `{name}`");
+                return ExitCode::FAILURE;
+            }
+        }
+        let mut errors = 0usize;
+        let mut warnings = 0usize;
+        for d in &opt.diagnostics {
+            eprint!("{}", d.render());
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+            }
+        }
+        match Vm::new(&opt.scalarized, binding) {
+            Ok(mut vm) => {
+                if let Err(diags) = vm.verify() {
+                    for d in &diags {
+                        eprint!("{}", d.render());
+                    }
+                    errors += diags.len();
+                }
+            }
+            Err(e) => {
+                eprintln!("zlc: cannot compile bytecode for verification: {e}");
+                errors += 1;
+            }
+        }
+        if errors > 0 {
+            eprintln!(
+                "zlc: verify: {errors} error(s), {warnings} warning(s) at level {}",
+                opts.level.name()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "verify: ok (pipeline stages and bytecode at level {}{})",
+            opts.level.name(),
+            if warnings > 0 {
+                format!("; {warnings} warning(s)")
+            } else {
+                String::new()
+            }
+        );
+    }
 
     for what in &opts.prints {
         match what.as_str() {

@@ -73,6 +73,7 @@ pub use error::Error;
 pub mod prelude {
     pub use crate::Error;
     pub use fusion_core::pipeline::{Level, Pipeline};
-    pub use loopir::{Engine, Executor, Interp, NoopObserver, RunOutcome, Vm};
+    pub use fusion_core::{Diagnostic, VerifyLevel};
+    pub use loopir::{Engine, Executor, Interp, NoopObserver, RunOutcome, VerifyDiagnostic, Vm};
     pub use zlang::ir::ConfigBinding;
 }

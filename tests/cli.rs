@@ -88,6 +88,32 @@ fn asdg_dot_output() {
 }
 
 #[test]
+fn verify_flag_reports_clean_examples() {
+    for example in ["heat.zl", "sweep.zl", "fragment5.zl"] {
+        let (stdout, stderr, ok) = zlc(&[&program_path(example), "--verify"]);
+        assert!(ok, "{example}: {stderr}");
+        assert!(stdout.contains("verify: ok"), "{example}: {stdout}");
+        assert!(stderr.is_empty(), "{example}: {stderr}");
+    }
+}
+
+#[test]
+fn verify_composes_with_run_and_verified_engine() {
+    let (stdout, stderr, ok) = zlc(&[
+        &program_path("heat.zl"),
+        "--verify",
+        "--run",
+        "--engine",
+        "vm-verified",
+        "--set",
+        "n=16",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("verify: ok"), "{stdout}");
+    assert!(stdout.contains("err = "), "{stdout}");
+}
+
+#[test]
 fn bad_inputs_fail_cleanly() {
     let (_, stderr, ok) = zlc(&["/nonexistent.zl"]);
     assert!(!ok);
