@@ -70,6 +70,7 @@ fn run(
         procs: 16,
         policy: CommPolicy::default(),
         engine,
+        limits: loopir::ExecLimits::none(),
     };
     simulate(&opt.scalarized, binding, &cfg).unwrap()
 }
@@ -92,6 +93,7 @@ fn run_level(
         procs: 16,
         policy: CommPolicy::default(),
         engine,
+        limits: loopir::ExecLimits::none(),
     };
     simulate(&opt.scalarized, binding, &cfg).unwrap()
 }

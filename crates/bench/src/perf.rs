@@ -60,6 +60,7 @@ pub fn run(
         procs,
         policy: CommPolicy::default(),
         engine,
+        limits: loopir::ExecLimits::none(),
     };
     simulate(&opt.scalarized, binding, &cfg)
         .unwrap_or_else(|e| panic!("{} at {level} on {}: {e}", bench.name, machine.name))

@@ -60,6 +60,7 @@ pub fn rows(machine: &Machine, procs: u64) -> Vec<TradeoffRow> {
                     procs,
                     policy: CommPolicy::default(),
                     engine: Engine::default(),
+                    limits: loopir::ExecLimits::none(),
                 };
                 let r = simulate(&opt.scalarized, binding, &cfg)
                     .unwrap_or_else(|e| panic!("{}: {e}", bench.name));

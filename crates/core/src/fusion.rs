@@ -68,7 +68,9 @@ impl Partition {
     ///
     /// Panics if `ids` is empty or contains an empty cluster.
     pub fn merge(&mut self, ids: &BTreeSet<usize>) -> usize {
-        let &target = ids.first().expect("merge of empty set");
+        let &target = ids
+            .first()
+            .expect("invariant: merge callers pass at least one cluster id");
         let mut stmts = Vec::new();
         for &id in ids {
             assert!(!self.clusters[id].is_empty(), "merging a dead cluster");
@@ -137,6 +139,10 @@ impl<'a> FusionCtx<'a> {
     /// would end up inside an inter-cluster cycle if `c` fused without
     /// them.
     pub fn grow(&self, part: &Partition, c: &BTreeSet<usize>) -> BTreeSet<usize> {
+        // Chaos-testing hook: lets the supervisor suite prove that a panic
+        // deep inside fusion degrades cleanly instead of taking the
+        // process down. A no-op unless a fault plan is installed.
+        testkit::faults::maybe_panic(testkit::faults::FaultSite::FuseGrow);
         let nclusters = part.clusters.len();
         // Cluster-level adjacency.
         let mut fwd = vec![Vec::new(); nclusters];

@@ -54,9 +54,11 @@ pub mod loopstruct;
 pub mod normal;
 pub mod pipeline;
 pub mod scalarize;
+pub mod supervisor;
 pub mod verify;
 pub mod weights;
 
 pub use depvec::Udv;
 pub use pipeline::{Level, Pipeline};
+pub use supervisor::{Budgets, Supervised, Supervisor, SupervisorError, SupervisorReport};
 pub use verify::{Diagnostic, VerifyLevel};

@@ -276,6 +276,10 @@ impl<'f> Pipeline<'f> {
 
     /// Runs the pipeline on a program.
     pub fn optimize(&self, program: &Program) -> Optimized {
+        // Stage markers let the supervisor attribute a caught panic to
+        // the phase that raised it; they are thread-local writes, free
+        // for unsupervised callers.
+        crate::supervisor::enter_stage(crate::supervisor::Stage::Normalize);
         let mut np = normal::normalize(program);
         let binding = np.default_binding();
         let candidates = normal::contraction_candidates(&np);
@@ -290,6 +294,7 @@ impl<'f> Pipeline<'f> {
         let mut cheap_check_failed = false;
 
         for (bi, block) in np.blocks.iter().enumerate() {
+            crate::supervisor::enter_stage(crate::supervisor::Stage::Fuse);
             let g = asdg::build(&np.program, block);
             let mut ctx = FusionCtx::new(&np.program, block, &g);
             ctx.opts = self.base_opts.clone();
@@ -376,6 +381,7 @@ impl<'f> Pipeline<'f> {
                 cheap_check_failed = true;
             }
 
+            crate::supervisor::enter_stage(crate::supervisor::Stage::Scalarize);
             block_out.push(scalarize_block_grouped(
                 &ctx,
                 &part,

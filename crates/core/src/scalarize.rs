@@ -86,7 +86,7 @@ fn kahn(n: usize, edges: &[(usize, usize)], key: impl Fn(usize) -> usize) -> Vec
             .iter()
             .enumerate()
             .min_by_key(|&(_, &i)| key(i))
-            .expect("nonempty ready set");
+            .expect("invariant: loop guard ensures `ready` is nonempty here");
         let i = ready.swap_remove(pick);
         out.push(i);
         for &j in &succ[i] {
@@ -172,7 +172,7 @@ pub fn lower_cluster(
     let structure = structure_override.unwrap_or_else(|| ctx.cluster_structure(part, cluster));
     let region = ctx.block.stmts[stmts[0]]
         .region()
-        .expect("fusible cluster statements have regions");
+        .expect("invariant: fusion only clusters array statements, which always carry a region");
     // Assign temps to contracted definitions referenced in this cluster.
     let mut temp_of: HashMap<DefId, TempId> = HashMap::new();
     for &s in stmts {
@@ -281,7 +281,7 @@ pub fn scalarize_block_grouped(
                     body.push(LStmt::Nest(nest));
                 }
                 out.push(LStmt::Outer {
-                    region: region.expect("groups are nonempty"),
+                    region: region.expect("invariant: find_groups never produces an empty group"),
                     dim: g.dim,
                     reverse: g.reverse,
                     body,

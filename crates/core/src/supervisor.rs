@@ -1,0 +1,861 @@
+//! The fault-tolerant compile-and-run supervisor.
+//!
+//! The optimizer is an experiment in aggressive program transformation,
+//! and aggressive transformations fail in interesting ways: a panic deep
+//! inside `GROW`, a verifier that (correctly or not) rejects the lowered
+//! bytecode, a trapped VM instruction, a run that exceeds its time or
+//! space budget. None of those should take down a caller that asked a
+//! simple question — "what does this program compute?" — because the
+//! system always has a slower engine that still knows the answer.
+//!
+//! [`Supervisor`] wraps the whole pipeline — parse, normalize, fuse,
+//! scalarize, verify, execute — in a fault boundary and degrades along a
+//! fixed ladder when a stage faults:
+//!
+//! ```text
+//! (level, vm-verified)  →  (level, vm)  →  (level, interp)  →  (baseline, interp)
+//! ```
+//!
+//! The final rung — the unoptimized reference interpreter — is the
+//! semantic ground truth for the entire system (every engine is tested
+//! bit-identical against it), so degradation never changes the computed
+//! answer, only how fast it arrives. Every attempt, fault, and retry is
+//! recorded in a [`SupervisorReport`] so callers can see exactly what
+//! happened and why.
+//!
+//! Faults handled:
+//!
+//! * **Panics** in any stage (caught with `catch_unwind`; the panic-hook
+//!   output is suppressed while the supervisor is in charge). A panic
+//!   during optimization *poisons the level*: rungs that would re-run the
+//!   same deterministic optimization are skipped.
+//! * **Verifier rejections** — the `vm-verified` engine refuses to
+//!   construct; the plain VM runs the same bytecode with bounds checks.
+//! * **Resource budgets** ([`Budgets`]): instruction fuel and a
+//!   wall-clock deadline (enforced inside the engines via
+//!   [`ExecLimits`]), plus a pre-flight estimate of peak allocation from
+//!   the region extents. The reference rung runs unbudgeted by default —
+//!   a degraded answer late beats no answer — unless
+//!   [`Budgets::enforce_on_reference`] is set.
+//! * **Communication failures** from a simulated-runtime backend
+//!   (installed with [`Supervisor::with_sim`]): the same rung is retried
+//!   once with simulation disabled, since the communication simulation
+//!   affects timing models, never computed values.
+//!
+//! ```
+//! use fusion_core::supervisor::Supervisor;
+//! use fusion_core::Level;
+//! use loopir::Engine;
+//!
+//! let src = "program t; config n : int = 4; region R = [1..n];
+//!            var A : [R] float; var s : float;
+//!            begin [R] A := 2.5; s := +<< [R] A; end";
+//! let sup = Supervisor::new(Level::C2F3, Engine::VmVerified);
+//! let run = sup.run_source(src).unwrap();
+//! assert_eq!(run.outcome.checksum(), 10.0);
+//! assert!(!run.report.degraded());
+//! ```
+
+use crate::pipeline::{Level, Optimized, Pipeline};
+use loopir::{Engine, ErrorKind, ExecError, ExecLimits, NoopObserver, RunOutcome, ScalarProgram};
+use std::cell::Cell;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+use std::time::{Duration, Instant};
+use zlang::ir::{ConfigBinding, Program};
+
+/// A pipeline stage, for fault attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Source text to IR ([`zlang::compile`]).
+    Parse,
+    /// Normalization to compute normal form.
+    Normalize,
+    /// ASDG construction and fusion partitioning.
+    Fuse,
+    /// Contraction and loop generation.
+    Scalarize,
+    /// Bytecode verification (`vm-verified` only).
+    Verify,
+    /// Program execution.
+    Execute,
+}
+
+impl Stage {
+    /// The stage's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Normalize => "normalize",
+            Stage::Fuse => "fuse",
+            Stage::Scalarize => "scalarize",
+            Stage::Verify => "verify",
+            Stage::Execute => "execute",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+thread_local! {
+    static CURRENT_STAGE: Cell<Stage> = const { Cell::new(Stage::Execute) };
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Marks the currently running pipeline stage on this thread, so a panic
+/// caught by the supervisor is attributed to the stage that raised it.
+/// Called by [`Pipeline::optimize`] as it moves through its phases; a
+/// no-op for everyone else.
+pub fn enter_stage(stage: Stage) {
+    CURRENT_STAGE.with(|s| s.set(stage));
+}
+
+/// The stage most recently marked with [`enter_stage`] on this thread.
+pub fn current_stage() -> Stage {
+    CURRENT_STAGE.with(|s| s.get())
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses the default
+/// "thread panicked" report while a supervisor on this thread is inside
+/// `catch_unwind`. Panics on other threads report normally.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !CAPTURING.with(|c| c.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f`, converting a panic into its message. The default panic
+/// report is suppressed for the duration.
+fn quiet_catch<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_quiet_hook();
+    CAPTURING.with(|c| c.set(true));
+    let r = panic::catch_unwind(AssertUnwindSafe(f));
+    CAPTURING.with(|c| c.set(false));
+    r.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_string()
+        }
+    })
+}
+
+/// What kind of fault an attempt died of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CauseKind {
+    /// A caught panic.
+    Panic,
+    /// The bytecode verifier rejected the program.
+    VerifyReject,
+    /// The instruction-fuel budget ran out.
+    Fuel,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The pre-flight allocation estimate exceeded the budget.
+    AllocBudget,
+    /// The simulated runtime reported an unrecoverable communication
+    /// failure.
+    Comm,
+    /// Source text failed to parse or typecheck.
+    Parse,
+    /// Any other execution error (trap, out-of-bounds access, lowering
+    /// failure).
+    Exec,
+}
+
+impl CauseKind {
+    fn name(self) -> &'static str {
+        match self {
+            CauseKind::Panic => "panic",
+            CauseKind::VerifyReject => "verifier rejection",
+            CauseKind::Fuel => "fuel exhausted",
+            CauseKind::Deadline => "deadline exceeded",
+            CauseKind::AllocBudget => "allocation budget exceeded",
+            CauseKind::Comm => "communication failure",
+            CauseKind::Parse => "parse error",
+            CauseKind::Exec => "execution error",
+        }
+    }
+
+    fn from_exec(e: &ExecError) -> CauseKind {
+        match e.kind {
+            ErrorKind::Verify => CauseKind::VerifyReject,
+            ErrorKind::Fuel => CauseKind::Fuel,
+            ErrorKind::Deadline => CauseKind::Deadline,
+            ErrorKind::Comm => CauseKind::Comm,
+            _ => CauseKind::Exec,
+        }
+    }
+}
+
+/// Why an attempt failed: the stage it was in, the kind of fault, and
+/// the fault's own message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cause {
+    /// The stage that faulted.
+    pub stage: Stage,
+    /// The fault classification.
+    pub kind: CauseKind,
+    /// The underlying message (panic payload, error display, ...).
+    pub message: String,
+}
+
+impl fmt::Display for Cause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in {} stage: {}",
+            self.kind.name(),
+            self.stage,
+            self.message
+        )
+    }
+}
+
+/// One rung of the degradation ladder as actually tried.
+#[derive(Debug, Clone)]
+pub struct Attempt {
+    /// Optimization level of this attempt.
+    pub level: Level,
+    /// Engine of this attempt.
+    pub engine: Engine,
+    /// Wall-clock time the attempt took (including a failed one).
+    pub elapsed: Duration,
+    /// `None` if the attempt succeeded; the fault otherwise.
+    pub fault: Option<Cause>,
+    /// True if this attempt re-ran its rung with the simulated runtime
+    /// disabled after a communication failure.
+    pub sim_disabled: bool,
+}
+
+/// The complete record of a supervised run.
+#[derive(Debug, Clone)]
+pub struct SupervisorReport {
+    /// The level the caller asked for.
+    pub requested_level: Level,
+    /// The engine the caller asked for.
+    pub requested_engine: Engine,
+    /// Every attempt, in order; the last one succeeded unless the whole
+    /// run failed.
+    pub attempts: Vec<Attempt>,
+    /// The level that produced the answer (meaningless if the run failed).
+    pub final_level: Level,
+    /// The engine that produced the answer (meaningless if the run failed).
+    pub final_engine: Engine,
+}
+
+impl SupervisorReport {
+    fn new(level: Level, engine: Engine) -> Self {
+        SupervisorReport {
+            requested_level: level,
+            requested_engine: engine,
+            attempts: Vec::new(),
+            final_level: level,
+            final_engine: engine,
+        }
+    }
+
+    /// True if the answer did not come from the requested (level, engine).
+    pub fn degraded(&self) -> bool {
+        self.final_level != self.requested_level || self.final_engine != self.requested_engine
+    }
+
+    /// Number of attempts beyond the first.
+    pub fn retries(&self) -> usize {
+        self.attempts.len().saturating_sub(1)
+    }
+
+    /// Every fault recorded across the attempts.
+    pub fn faults(&self) -> impl Iterator<Item = &Cause> {
+        self.attempts.iter().filter_map(|a| a.fault.as_ref())
+    }
+
+    /// True if `text` appears anywhere in the rendered report — stage
+    /// names, fault kinds, or fault messages. Chaos tests use this to
+    /// assert that the report names the injected fault site.
+    pub fn mentions(&self, text: &str) -> bool {
+        self.render().contains(text)
+    }
+
+    /// A human-readable multi-line account of the run.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "supervised run: requested {} on {}\n",
+            self.requested_level.name(),
+            self.requested_engine.name()
+        );
+        for (i, a) in self.attempts.iter().enumerate() {
+            let status = match &a.fault {
+                None => "ok".to_string(),
+                Some(c) => c.to_string(),
+            };
+            let sim = if a.sim_disabled { ", sim disabled" } else { "" };
+            out.push_str(&format!(
+                "  attempt {}: {} on {}{} — {} ({:.3} ms)\n",
+                i + 1,
+                a.level.name(),
+                a.engine.name(),
+                sim,
+                status,
+                a.elapsed.as_secs_f64() * 1e3,
+            ));
+        }
+        out.push_str(&format!(
+            "  final: {} on {}{}\n",
+            self.final_level.name(),
+            self.final_engine.name(),
+            if self.degraded() { " (degraded)" } else { "" }
+        ));
+        out
+    }
+}
+
+/// Resource budgets for a supervised run. All default to unlimited.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Budgets {
+    /// Wall-clock budget per attempt.
+    pub deadline: Option<Duration>,
+    /// Abstract-step fuel per attempt (see [`ExecLimits`]).
+    pub fuel: Option<u64>,
+    /// Cap on the pre-flight estimate of peak array allocation, in bytes.
+    pub max_alloc_bytes: Option<u64>,
+    /// Apply the budgets to the final reference rung too. Off by default:
+    /// the reference interpreter is the rung of last resort, and a slow
+    /// correct answer beats none.
+    pub enforce_on_reference: bool,
+}
+
+impl Budgets {
+    /// No budgets.
+    pub fn none() -> Self {
+        Budgets::default()
+    }
+
+    fn limits(&self) -> ExecLimits {
+        let mut l = ExecLimits::none();
+        if let Some(f) = self.fuel {
+            l = l.with_fuel(f);
+        }
+        if let Some(d) = self.deadline {
+            l = l.with_deadline_in(d);
+        }
+        l
+    }
+}
+
+/// A simulated-runtime backend: executes a scalarized program under a
+/// binding on an engine with limits, returning the outcome or a
+/// (possibly communication-related) failure.
+pub type SimFn<'a> = dyn Fn(&ScalarProgram, &ConfigBinding, Engine, ExecLimits) -> Result<RunOutcome, ExecError>
+    + 'a;
+
+/// A successful supervised run: the answer plus the account of how it
+/// was obtained.
+#[derive(Debug, Clone)]
+pub struct Supervised {
+    /// The program's result (scalars + stats) from the final attempt.
+    pub outcome: RunOutcome,
+    /// What happened along the way.
+    pub report: SupervisorReport,
+}
+
+/// Every rung of the ladder faulted.
+#[derive(Debug, Clone)]
+pub struct SupervisorError {
+    /// The fault that killed the last attempt.
+    pub cause: Cause,
+    /// The full account, for diagnosis.
+    pub report: SupervisorReport,
+}
+
+impl fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "all execution strategies failed; last {}", self.cause)
+    }
+}
+
+impl std::error::Error for SupervisorError {}
+
+/// The fault-boundary wrapper around compile-and-run. See the module
+/// docs for the fault model and ladder.
+pub struct Supervisor<'a> {
+    level: Level,
+    engine: Engine,
+    budgets: Budgets,
+    bindings: Vec<(String, i64)>,
+    sim: Option<Box<SimFn<'a>>>,
+}
+
+impl fmt::Debug for Supervisor<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("level", &self.level)
+            .field("engine", &self.engine)
+            .field("budgets", &self.budgets)
+            .field("sim", &self.sim.is_some())
+            .finish()
+    }
+}
+
+impl<'a> Supervisor<'a> {
+    /// A supervisor targeting a level and engine, with no budgets and
+    /// direct (unsimulated) execution.
+    pub fn new(level: Level, engine: Engine) -> Self {
+        Supervisor {
+            level,
+            engine,
+            budgets: Budgets::none(),
+            bindings: Vec::new(),
+            sim: None,
+        }
+    }
+
+    /// Sets the resource budgets.
+    pub fn with_budgets(mut self, budgets: Budgets) -> Self {
+        self.budgets = budgets;
+        self
+    }
+
+    /// Overrides a config variable (like `zlc --set n=512`).
+    pub fn with_binding(mut self, name: &str, value: i64) -> Self {
+        self.bindings.push((name.to_string(), value));
+        self
+    }
+
+    /// Installs a simulated-runtime backend. On a communication failure
+    /// the supervisor retries the same rung with the backend disabled
+    /// (communication simulation affects timing models, not values).
+    pub fn with_sim(
+        mut self,
+        sim: impl Fn(&ScalarProgram, &ConfigBinding, Engine, ExecLimits) -> Result<RunOutcome, ExecError>
+            + 'a,
+    ) -> Self {
+        self.sim = Some(Box::new(sim));
+        self
+    }
+
+    /// Parses and runs source text under supervision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupervisorError`] if the source does not compile (there
+    /// is no ladder below parsing) or if every rung faulted.
+    pub fn run_source(&self, source: &str) -> Result<Supervised, SupervisorError> {
+        enter_stage(Stage::Parse);
+        let started = Instant::now();
+        let parsed = quiet_catch(|| zlang::compile(source));
+        let program = match parsed {
+            Ok(Ok(p)) => p,
+            Ok(Err(e)) => return Err(self.parse_error(e.to_string(), started)),
+            Err(msg) => return Err(self.parse_error(msg, started)),
+        };
+        self.run_program(&program)
+    }
+
+    fn parse_error(&self, message: String, started: Instant) -> SupervisorError {
+        let cause = Cause {
+            stage: Stage::Parse,
+            kind: CauseKind::Parse,
+            message,
+        };
+        let mut report = SupervisorReport::new(self.level, self.engine);
+        report.attempts.push(Attempt {
+            level: self.level,
+            engine: self.engine,
+            elapsed: started.elapsed(),
+            fault: Some(cause.clone()),
+            sim_disabled: false,
+        });
+        SupervisorError { cause, report }
+    }
+
+    /// Runs a compiled program under supervision, degrading along the
+    /// ladder on faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupervisorError`] only if every rung — including the
+    /// unoptimized reference interpreter — faulted.
+    pub fn run_program(&self, program: &Program) -> Result<Supervised, SupervisorError> {
+        let mut report = SupervisorReport::new(self.level, self.engine);
+        let mut cache: Vec<(Level, Optimized)> = Vec::new();
+        let mut poisoned: Option<Level> = None;
+        let mut last_cause: Option<Cause> = None;
+
+        let rungs = ladder(self.level, self.engine);
+        for (ri, &(level, engine)) in rungs.iter().enumerate() {
+            if poisoned == Some(level) {
+                continue;
+            }
+            // The reference rung is the degradation target of last
+            // resort; budgets do not apply to it (unless asked) because
+            // its entire point is to always produce the answer. A
+            // directly requested (baseline, interp) run (ri == 0) is an
+            // ordinary rung and stays budgeted.
+            let is_reference = ri > 0
+                && ri == rungs.len() - 1
+                && level == Level::Baseline
+                && engine == Engine::Interp;
+            let budgeted = !is_reference || self.budgets.enforce_on_reference;
+
+            // Try with the sim backend if installed; on a communication
+            // failure, once more without it.
+            let mut use_sim = self.sim.is_some();
+            loop {
+                let started = Instant::now();
+                let r = self.attempt(program, level, engine, budgeted, use_sim, &mut cache);
+                let elapsed = started.elapsed();
+                match r {
+                    Ok(outcome) => {
+                        report.attempts.push(Attempt {
+                            level,
+                            engine,
+                            elapsed,
+                            fault: None,
+                            sim_disabled: self.sim.is_some() && !use_sim,
+                        });
+                        report.final_level = level;
+                        report.final_engine = engine;
+                        return Ok(Supervised { outcome, report });
+                    }
+                    Err(cause) => {
+                        let comm_retry = cause.kind == CauseKind::Comm && use_sim;
+                        if cause.kind == CauseKind::Panic && cause.stage != Stage::Execute {
+                            // Optimization is deterministic: re-running
+                            // the same level would panic again.
+                            poisoned = Some(level);
+                        }
+                        report.attempts.push(Attempt {
+                            level,
+                            engine,
+                            elapsed,
+                            fault: Some(cause.clone()),
+                            sim_disabled: self.sim.is_some() && !use_sim,
+                        });
+                        last_cause = Some(cause);
+                        if comm_retry {
+                            use_sim = false;
+                            continue;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+
+        let cause = last_cause.unwrap_or_else(|| Cause {
+            stage: Stage::Execute,
+            kind: CauseKind::Exec,
+            message: "no execution strategy was attempted".to_string(),
+        });
+        Err(SupervisorError { cause, report })
+    }
+
+    /// One rung: optimize (cached per level), check the allocation
+    /// budget, build the executor, run. Every step is inside the panic
+    /// boundary; errors come back as a [`Cause`].
+    fn attempt(
+        &self,
+        program: &Program,
+        level: Level,
+        engine: Engine,
+        budgeted: bool,
+        use_sim: bool,
+        cache: &mut Vec<(Level, Optimized)>,
+    ) -> Result<RunOutcome, Cause> {
+        // A zero deadline can never be met; fault deterministically up
+        // front rather than depend on how far a fast program gets before
+        // the engine's periodic clock check.
+        if budgeted && self.budgets.deadline == Some(Duration::ZERO) {
+            return Err(Cause {
+                stage: Stage::Execute,
+                kind: CauseKind::Deadline,
+                message: "execution deadline exceeded (raise the wall-clock budget)".to_string(),
+            });
+        }
+
+        let opt = match cache.iter().find(|(l, _)| *l == level) {
+            Some((_, o)) => o.clone(),
+            None => {
+                enter_stage(Stage::Normalize);
+                let o = quiet_catch(|| Pipeline::new(level).optimize(program)).map_err(|msg| {
+                    Cause {
+                        stage: current_stage(),
+                        kind: CauseKind::Panic,
+                        message: msg,
+                    }
+                })?;
+                cache.push((level, o.clone()));
+                o
+            }
+        };
+
+        let sp = &opt.scalarized;
+        let mut binding = ConfigBinding::defaults(&sp.program);
+        for (name, value) in &self.bindings {
+            binding.set_by_name(&sp.program, name, *value);
+        }
+
+        if budgeted {
+            if let Some(cap) = self.budgets.max_alloc_bytes {
+                let est = estimate_alloc_bytes(sp, &binding);
+                if est > cap {
+                    return Err(Cause {
+                        stage: Stage::Execute,
+                        kind: CauseKind::AllocBudget,
+                        message: format!(
+                            "estimated peak allocation {est} bytes exceeds the {cap}-byte budget"
+                        ),
+                    });
+                }
+            }
+        }
+
+        let limits = if budgeted {
+            self.budgets.limits()
+        } else {
+            ExecLimits::none()
+        };
+
+        enter_stage(if engine == Engine::VmVerified {
+            Stage::Verify
+        } else {
+            Stage::Execute
+        });
+        let run = quiet_catch(|| -> Result<RunOutcome, ExecError> {
+            if use_sim {
+                if let Some(sim) = &self.sim {
+                    return sim(sp, &binding, engine, limits);
+                }
+            }
+            let mut exec = engine.executor(sp, binding.clone())?;
+            enter_stage(Stage::Execute);
+            exec.set_limits(limits);
+            exec.execute(&mut NoopObserver)
+        });
+        match run {
+            Ok(Ok(outcome)) => Ok(outcome),
+            Ok(Err(e)) => Err(Cause {
+                stage: if e.kind == ErrorKind::Verify {
+                    Stage::Verify
+                } else {
+                    Stage::Execute
+                },
+                kind: CauseKind::from_exec(&e),
+                message: e.message,
+            }),
+            Err(msg) => Err(Cause {
+                stage: current_stage(),
+                kind: CauseKind::Panic,
+                message: msg,
+            }),
+        }
+    }
+}
+
+/// The degradation ladder from a requested (level, engine): cheaper
+/// engines at the same level, then the unoptimized reference
+/// interpreter.
+fn ladder(level: Level, engine: Engine) -> Vec<(Level, Engine)> {
+    let order = [Engine::VmVerified, Engine::Vm, Engine::Interp];
+    let start = order
+        .iter()
+        .position(|&e| e == engine)
+        .expect("invariant: `order` lists every Engine variant");
+    let mut rungs: Vec<(Level, Engine)> = order[start..].iter().map(|&e| (level, e)).collect();
+    if level != Level::Baseline {
+        rungs.push((Level::Baseline, Engine::Interp));
+    }
+    rungs
+}
+
+/// Pre-flight peak-allocation estimate: every array live in the
+/// scalarized program, at its allocated extent under `binding`, 8 bytes
+/// per element. Contracted arrays are no longer live and cost nothing —
+/// the estimate reflects the optimization's space savings.
+pub fn estimate_alloc_bytes(sp: &ScalarProgram, binding: &ConfigBinding) -> u64 {
+    sp.live_arrays()
+        .iter()
+        .map(|&a| sp.program.array_alloc_elems(a, binding).saturating_mul(8))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testkit::faults::{self, FaultPlan, FaultSite};
+
+    const SRC: &str = "program t; config n : int = 6; region R = [1..n];
+        var A, B : [R] float; var s : float;
+        begin [R] A := 3.0; [R] B := A + 1.0; s := +<< [R] B; end";
+
+    fn reference_checksum() -> f64 {
+        let sup = Supervisor::new(Level::Baseline, Engine::Interp);
+        sup.run_source(SRC).unwrap().outcome.checksum()
+    }
+
+    #[test]
+    fn clean_run_is_not_degraded() {
+        let sup = Supervisor::new(Level::C2F3, Engine::VmVerified);
+        let run = sup.run_source(SRC).unwrap();
+        assert_eq!(run.outcome.checksum(), reference_checksum());
+        assert!(!run.report.degraded());
+        assert_eq!(run.report.retries(), 0);
+        assert_eq!(run.report.final_engine, Engine::VmVerified);
+    }
+
+    #[test]
+    fn grow_panic_degrades_to_baseline() {
+        let _g = faults::install(FaultPlan::new(7).with(FaultSite::FuseGrow, 1.0));
+        let sup = Supervisor::new(Level::C2F3, Engine::VmVerified);
+        let run = sup.run_source(SRC).unwrap();
+        assert_eq!(run.outcome.checksum(), reference_checksum());
+        assert!(run.report.degraded());
+        assert_eq!(run.report.final_level, Level::Baseline);
+        assert!(run.report.mentions("grow-panic"), "{}", run.report.render());
+        // The poisoned level is attempted once, not once per engine.
+        assert_eq!(run.report.attempts.len(), 2);
+    }
+
+    #[test]
+    fn verify_reject_degrades_to_plain_vm() {
+        let _g = faults::install(FaultPlan::new(7).with(FaultSite::VerifyReject, 1.0));
+        let sup = Supervisor::new(Level::C2F3, Engine::VmVerified);
+        let run = sup.run_source(SRC).unwrap();
+        assert_eq!(run.outcome.checksum(), reference_checksum());
+        assert_eq!(run.report.final_engine, Engine::Vm);
+        assert!(run.report.mentions("verify-reject"));
+        assert!(run
+            .report
+            .faults()
+            .any(|c| c.kind == CauseKind::VerifyReject && c.stage == Stage::Verify));
+    }
+
+    #[test]
+    fn vm_trap_degrades_to_interp() {
+        let _g = faults::install(FaultPlan::new(7).with(FaultSite::VmTrap, 1.0));
+        let sup = Supervisor::new(Level::C2F3, Engine::VmVerified);
+        let run = sup.run_source(SRC).unwrap();
+        assert_eq!(run.outcome.checksum(), reference_checksum());
+        assert_eq!(run.report.final_engine, Engine::Interp);
+        assert!(run.report.mentions("vm-trap"));
+    }
+
+    #[test]
+    fn zero_fuel_falls_to_unbudgeted_reference() {
+        let sup = Supervisor::new(Level::C2F3, Engine::VmVerified).with_budgets(Budgets {
+            fuel: Some(0),
+            ..Budgets::none()
+        });
+        let run = sup.run_source(SRC).unwrap();
+        assert_eq!(run.outcome.checksum(), reference_checksum());
+        assert_eq!(run.report.final_level, Level::Baseline);
+        assert!(run.report.faults().any(|c| c.kind == CauseKind::Fuel));
+    }
+
+    #[test]
+    fn zero_deadline_falls_to_unbudgeted_reference() {
+        let sup = Supervisor::new(Level::C2F3, Engine::VmVerified).with_budgets(Budgets {
+            deadline: Some(Duration::ZERO),
+            ..Budgets::none()
+        });
+        let run = sup.run_source(SRC).unwrap();
+        assert_eq!(run.outcome.checksum(), reference_checksum());
+        assert!(run.report.faults().any(|c| c.kind == CauseKind::Deadline));
+    }
+
+    #[test]
+    fn alloc_budget_falls_to_unbudgeted_reference() {
+        // `H` is read at offsets, so it survives contraction at every
+        // level and the pre-flight estimate stays nonzero.
+        let src = "program t; config n : int = 6;
+            region RH = [0..n+1]; region R = [1..n];
+            var H : [RH] float; var A : [R] float; var s : float;
+            begin [RH] H := 1.0; [R] A := H@[-1] + H@[1]; s := +<< [R] A; end";
+        let sup = Supervisor::new(Level::C2F3, Engine::VmVerified).with_budgets(Budgets {
+            max_alloc_bytes: Some(1),
+            ..Budgets::none()
+        });
+        let run = sup.run_source(src).unwrap();
+        assert_eq!(run.outcome.checksum(), 12.0);
+        assert_eq!(run.report.final_level, Level::Baseline);
+        assert!(run
+            .report
+            .faults()
+            .any(|c| c.kind == CauseKind::AllocBudget));
+    }
+
+    #[test]
+    fn enforced_budget_on_reference_fails_the_run() {
+        let sup = Supervisor::new(Level::C2F3, Engine::VmVerified).with_budgets(Budgets {
+            fuel: Some(0),
+            enforce_on_reference: true,
+            ..Budgets::none()
+        });
+        let err = sup.run_source(SRC).unwrap_err();
+        assert_eq!(err.cause.kind, CauseKind::Fuel);
+        assert!(err.report.attempts.len() >= 4);
+    }
+
+    #[test]
+    fn comm_failure_retries_same_rung_without_sim() {
+        let calls = std::cell::Cell::new(0u32);
+        let sup =
+            Supervisor::new(Level::C2F3, Engine::Vm).with_sim(|sp, binding, engine, limits| {
+                calls.set(calls.get() + 1);
+                if calls.get() == 1 {
+                    return Err(ExecError::comm("ghost exchange failed after 4 retries"));
+                }
+                let mut exec = engine.executor(sp, binding.clone())?;
+                exec.set_limits(limits);
+                exec.execute(&mut NoopObserver)
+            });
+        let program = zlang::compile(SRC).unwrap();
+        let run = sup.run_program(&program).unwrap();
+        assert_eq!(run.outcome.checksum(), reference_checksum());
+        // Same rung, retried with sim disabled — no engine degradation.
+        assert_eq!(run.report.final_engine, Engine::Vm);
+        assert_eq!(run.report.final_level, Level::C2F3);
+        assert!(run.report.attempts[1].sim_disabled);
+        assert!(run.report.faults().any(|c| c.kind == CauseKind::Comm));
+    }
+
+    #[test]
+    fn parse_error_is_reported_not_panicked() {
+        let sup = Supervisor::new(Level::C2F3, Engine::Vm);
+        let err = sup.run_source("progrm nope;").unwrap_err();
+        assert_eq!(err.cause.kind, CauseKind::Parse);
+        assert_eq!(err.cause.stage, Stage::Parse);
+    }
+
+    #[test]
+    fn config_binding_overrides_apply() {
+        let sup = Supervisor::new(Level::C2F3, Engine::VmVerified).with_binding("n", 3);
+        let run = sup.run_source(SRC).unwrap();
+        // n=3: B = 4.0 over three points.
+        assert_eq!(run.outcome.checksum(), 12.0);
+    }
+
+    #[test]
+    fn report_renders_attempt_trail() {
+        let _g = faults::install(FaultPlan::new(7).with(FaultSite::VmTrap, 1.0));
+        let sup = Supervisor::new(Level::C2F3, Engine::Vm);
+        let run = sup.run_source(SRC).unwrap();
+        let text = run.report.render();
+        assert!(text.contains("attempt 1"));
+        assert!(text.contains("degraded"));
+    }
+}

@@ -183,9 +183,7 @@ pub(crate) struct Code {
 }
 
 fn err(message: impl Into<String>) -> ExecError {
-    ExecError {
-        message: message.into(),
-    }
+    ExecError::lower(message)
 }
 
 /// Selects the dedicated opcode for arithmetic operators, falling back to

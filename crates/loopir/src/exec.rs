@@ -33,7 +33,48 @@ use crate::ir::ScalarProgram;
 use crate::vm::Vm;
 use std::fmt;
 use std::str::FromStr;
+use std::time::{Duration, Instant};
 use zlang::ir::{ConfigBinding, ScalarId};
+
+/// Resource budgets for one execution: an abstract-step fuel counter and a
+/// wall-clock deadline. The default is unlimited.
+///
+/// One unit of fuel is one abstract step: a bytecode instruction on the
+/// [`Vm`](crate::Vm), a loop-nest iteration point on the
+/// [`Interp`](crate::Interp). The two engines therefore exhaust a given
+/// budget at different program sizes; fuel bounds *work*, it is not a
+/// portable measure of it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecLimits {
+    /// Abstract steps the run may take, or `None` for unlimited.
+    pub fuel: Option<u64>,
+    /// Wall-clock instant after which the run must stop, or `None`.
+    pub deadline: Option<Instant>,
+}
+
+impl ExecLimits {
+    /// No limits (the default).
+    pub fn none() -> Self {
+        ExecLimits::default()
+    }
+
+    /// True if neither budget is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.fuel.is_none() && self.deadline.is_none()
+    }
+
+    /// Adds a fuel budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Adds a deadline `d` from now.
+    pub fn with_deadline_in(mut self, d: Duration) -> Self {
+        self.deadline = Some(Instant::now() + d);
+        self
+    }
+}
 
 /// The complete result of one program execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +131,14 @@ pub trait Executor {
     fn execute_pure(&mut self) -> Result<RunOutcome, ExecError> {
         self.execute(&mut NoopObserver)
     }
+
+    /// Installs resource budgets for subsequent [`Executor::execute`]
+    /// calls. Both engines implement this (there is deliberately no
+    /// silently-ignoring default): when fuel or the deadline runs out the
+    /// run stops with an [`ExecError`] of kind
+    /// [`Fuel`](crate::ErrorKind::Fuel) or
+    /// [`Deadline`](crate::ErrorKind::Deadline).
+    fn set_limits(&mut self, limits: ExecLimits);
 }
 
 /// Selects an execution engine.
@@ -141,9 +190,10 @@ impl Engine {
                 let mut vm = Vm::new(prog, binding)?;
                 if let Err(diags) = vm.verify() {
                     let msgs: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
-                    return Err(ExecError {
-                        message: format!("bytecode verification failed:\n{}", msgs.join("\n")),
-                    });
+                    return Err(ExecError::verify(format!(
+                        "bytecode verification failed:\n{}",
+                        msgs.join("\n")
+                    )));
                 }
                 Box::new(vm)
             }

@@ -57,11 +57,93 @@ pub struct RunStats {
     pub peak_bytes: u64,
 }
 
-/// An execution error (out-of-region access or allocation failure).
+/// What class of failure an [`ExecError`] is — the execution supervisor
+/// keys its degradation decisions off this, so every error site must tag
+/// itself honestly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// An out-of-region array access (a program bug, not an engine fault).
+    Access,
+    /// The bytecode compiler cannot lower the program (e.g. rank above the
+    /// VM's limit).
+    Lower,
+    /// The instruction/step fuel budget ran out.
+    Fuel,
+    /// The wall-clock deadline passed mid-execution.
+    Deadline,
+    /// The engine trapped (an internal invariant failed at run time, or an
+    /// injected fault).
+    Trap,
+    /// The bytecode verifier rejected the program.
+    Verify,
+    /// The simulated communication layer failed (message lost after all
+    /// retries).
+    Comm,
+    /// Anything else.
+    #[default]
+    Other,
+}
+
+/// An execution error (out-of-region access, lowering failure, budget
+/// exhaustion, trap, verification rejection, or comm failure).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecError {
+    /// Which class of failure this is.
+    pub kind: ErrorKind,
     /// Description of the failure.
     pub message: String,
+}
+
+impl ExecError {
+    /// Creates an error of a given kind.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        ExecError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// An out-of-region access error.
+    pub fn access(message: impl Into<String>) -> Self {
+        ExecError::new(ErrorKind::Access, message)
+    }
+
+    /// A lowering (bytecode compilation) error.
+    pub fn lower(message: impl Into<String>) -> Self {
+        ExecError::new(ErrorKind::Lower, message)
+    }
+
+    /// A fuel-exhaustion error.
+    pub fn fuel() -> Self {
+        ExecError::new(
+            ErrorKind::Fuel,
+            "execution fuel exhausted (raise the step budget)",
+        )
+    }
+
+    /// A deadline-exceeded error.
+    pub fn deadline() -> Self {
+        ExecError::new(
+            ErrorKind::Deadline,
+            "execution deadline exceeded (raise the wall-clock budget)",
+        )
+    }
+
+    /// An engine trap.
+    pub fn trap(message: impl Into<String>) -> Self {
+        ExecError::new(ErrorKind::Trap, message)
+    }
+
+    /// A bytecode-verification rejection.
+    pub fn verify(message: impl Into<String>) -> Self {
+        ExecError::new(ErrorKind::Verify, message)
+    }
+
+    /// A communication failure.
+    pub fn comm(message: impl Into<String>) -> Self {
+        ExecError::new(ErrorKind::Comm, message)
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -143,6 +225,12 @@ pub struct Interp<'p> {
     next_base: u64,
     /// `(dim, value)` bindings from enclosing `LStmt::Outer` loops.
     outer_bound: Vec<(u8, i64)>,
+    limits: crate::exec::ExecLimits,
+    /// Remaining fuel for the current run (`u64::MAX` when unlimited);
+    /// one unit is charged per loop-nest iteration point.
+    fuel_left: u64,
+    /// Points executed this run, used to pace the deadline check.
+    ticks: u64,
 }
 
 impl<'p> Interp<'p> {
@@ -157,7 +245,37 @@ impl<'p> Interp<'p> {
             stats: RunStats::default(),
             next_base: 4096,
             outer_bound: Vec::new(),
+            limits: crate::exec::ExecLimits::none(),
+            fuel_left: u64::MAX,
+            ticks: 0,
         }
+    }
+
+    /// Sets the resource budgets for subsequent runs; see
+    /// [`ExecLimits`](crate::exec::ExecLimits). One unit of fuel is one
+    /// loop-nest iteration point.
+    pub fn set_limits(&mut self, limits: crate::exec::ExecLimits) {
+        self.limits = limits;
+    }
+
+    /// Charges one iteration point against the budgets.
+    #[inline]
+    fn spend_point(&mut self) -> Result<(), ExecError> {
+        if self.fuel_left == 0 {
+            return Err(ExecError::fuel());
+        }
+        self.fuel_left -= 1;
+        self.ticks += 1;
+        // The deadline needs a clock read, so check it only every 4096
+        // points — more than often enough at nanoseconds per point.
+        if self.ticks & 0xFFF == 0 {
+            if let Some(d) = self.limits.deadline {
+                if std::time::Instant::now() >= d {
+                    return Err(ExecError::deadline());
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Executes the program, reporting accesses to `obs`.
@@ -167,6 +285,8 @@ impl<'p> Interp<'p> {
     /// Returns [`ExecError`] on an out-of-region array access (declare
     /// arrays with halos large enough for their `@` offsets).
     pub fn run(&mut self, obs: &mut (impl Observer + ?Sized)) -> Result<RunStats, ExecError> {
+        self.fuel_left = self.limits.fuel.unwrap_or(u64::MAX);
+        self.ticks = 0;
         let stmts = &self.prog.stmts;
         self.exec_stmts(stmts, obs)?;
         Ok(self.stats)
@@ -385,6 +505,7 @@ impl<'p> Interp<'p> {
             for (l, &(dim, _, _, _)) in order.iter().enumerate() {
                 idx[dim] = cur[l];
             }
+            self.spend_point()?;
             self.exec_point(nest, &idx, obs)?;
             self.stats.points += 1;
             // Advance the odometer from the innermost loop.
@@ -423,12 +544,19 @@ impl<'p> Interp<'p> {
             let v = self.eval_elem(&stmt.rhs, idx, obs)?;
             match &stmt.target {
                 ElemRef::Array(a, off) => {
-                    let buf = self.arrays[a.0 as usize].as_ref().expect("allocated");
+                    let buf = self.arrays[a.0 as usize].as_ref().expect(
+                        "invariant: exec_nest/exec_reduce pre-allocate every referenced array",
+                    );
                     let Some(flat) = buf.flat(idx, off) else {
                         return Err(self.oob(*a, idx, off));
                     };
                     let addr = buf.addr(flat);
-                    self.arrays[a.0 as usize].as_mut().expect("allocated").data[flat] = v;
+                    self.arrays[a.0 as usize]
+                        .as_mut()
+                        .expect(
+                            "invariant: exec_nest/exec_reduce pre-allocate every referenced array",
+                        )
+                        .data[flat] = v;
                     obs.store(addr);
                     self.stats.stores += 1;
                 }
@@ -454,12 +582,10 @@ impl<'p> Interp<'p> {
     fn oob(&self, a: ArrayId, idx: &[i64], off: &Offset) -> ExecError {
         let decl = self.prog.program.array(a);
         let pt: Vec<i64> = idx.iter().zip(&off.0).map(|(i, d)| i + d).collect();
-        ExecError {
-            message: format!(
-                "access to `{}` at {:?} is outside its declared region (declare a halo?)",
-                decl.name, pt
-            ),
-        }
+        ExecError::access(format!(
+            "access to `{}` at {:?} is outside its declared region (declare a halo?)",
+            decl.name, pt
+        ))
     }
 
     fn eval_elem(
@@ -470,7 +596,9 @@ impl<'p> Interp<'p> {
     ) -> Result<f64, ExecError> {
         Ok(match e {
             EExpr::Load(a, off) => {
-                let buf = self.arrays[a.0 as usize].as_ref().expect("allocated");
+                let buf = self.arrays[a.0 as usize]
+                    .as_ref()
+                    .expect("invariant: exec_nest/exec_reduce pre-allocate every referenced array");
                 let Some(flat) = buf.flat(idx, off) else {
                     return Err(self.oob(*a, idx, off));
                 };
@@ -535,6 +663,7 @@ impl<'p> Interp<'p> {
             let rank = bounds.len();
             let mut idx: Vec<i64> = bounds.iter().map(|&(lo, _)| lo).collect();
             'outer: loop {
+                self.spend_point()?;
                 let v = self.eval_elem(rhs, &idx, obs)?;
                 self.stats.points += 1;
                 acc = match op {
@@ -568,6 +697,10 @@ impl crate::exec::Executor for Interp<'_> {
     fn execute(&mut self, obs: &mut dyn Observer) -> Result<crate::exec::RunOutcome, ExecError> {
         let stats = self.run(obs)?;
         Ok(crate::exec::RunOutcome::new(self.scalars.clone(), stats))
+    }
+
+    fn set_limits(&mut self, limits: crate::exec::ExecLimits) {
+        Interp::set_limits(self, limits);
     }
 }
 

@@ -21,8 +21,8 @@ pub mod printer;
 pub mod verifier;
 pub mod vm;
 
-pub use exec::{Engine, Executor, RunOutcome};
-pub use interp::{ExecError, Interp, NoopObserver, Observer, RunStats};
+pub use exec::{Engine, ExecLimits, Executor, RunOutcome};
+pub use interp::{ErrorKind, ExecError, Interp, NoopObserver, Observer, RunStats};
 pub use ir::{EExpr, ElemRef, ElemStmt, LStmt, LoopNest, ScalarProgram, TempId};
 pub use verifier::VerifyDiagnostic;
 pub use vm::Vm;

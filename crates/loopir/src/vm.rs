@@ -35,10 +35,11 @@
 //! ```
 
 use crate::bytecode::{self, Check, Code, Op, MAX_RANK};
-use crate::exec::{Executor, RunOutcome};
+use crate::exec::{ExecLimits, Executor, RunOutcome};
 use crate::interp::{binop, ExecError, Observer, RunStats};
 use crate::ir::ScalarProgram;
 use crate::verifier::{self, VerifyDiagnostic};
+use testkit::faults::{self, FaultSite};
 use zlang::ast::ReduceOp;
 use zlang::ir::{ArrayId, ConfigBinding};
 
@@ -68,6 +69,7 @@ pub struct Vm {
     stats: RunStats,
     next_base: u64,
     verified: bool,
+    limits: ExecLimits,
 }
 
 impl Vm {
@@ -95,7 +97,16 @@ impl Vm {
             stats: RunStats::default(),
             next_base: 4096,
             verified: false,
+            limits: ExecLimits::none(),
         })
+    }
+
+    /// Sets the resource budgets for subsequent runs; see [`ExecLimits`].
+    /// One unit of fuel is one bytecode instruction. The budget checks run
+    /// in a separate monomorphization of the dispatch loop, so unlimited
+    /// runs pay nothing for the feature.
+    pub fn set_limits(&mut self, limits: ExecLimits) {
+        self.limits = limits;
     }
 
     /// Runs the [bytecode verifier](crate::verifier) over the compiled
@@ -110,6 +121,12 @@ impl Vm {
     /// Returns every diagnostic when verification fails; the VM then stays
     /// on the checked path and remains safe to run.
     pub fn verify(&mut self) -> Result<(), Vec<VerifyDiagnostic>> {
+        if faults::fire(FaultSite::VerifyReject) {
+            return Err(vec![VerifyDiagnostic {
+                pc: None,
+                message: faults::message(FaultSite::VerifyReject),
+            }]);
+        }
         let diags = verifier::verify(&self.code);
         if diags.is_empty() {
             self.verified = true;
@@ -138,21 +155,27 @@ impl Vm {
         // resolution do not re-read through `self` (which the stat and
         // register writes below mutate) on every dispatch.
         let code = std::mem::take(&mut self.code);
-        let r = if self.verified {
-            self.dispatch::<O, true>(&code, obs)
-        } else {
-            self.dispatch::<O, false>(&code, obs)
+        let fueled = !self.limits.is_unlimited();
+        let r = match (self.verified, fueled) {
+            (true, true) => self.dispatch::<O, true, true>(&code, obs),
+            (true, false) => self.dispatch::<O, true, false>(&code, obs),
+            (false, true) => self.dispatch::<O, false, true>(&code, obs),
+            (false, false) => self.dispatch::<O, false, false>(&code, obs),
         };
         self.code = code;
         r
     }
 
-    /// The dispatch loop, monomorphized over the observer and over whether
-    /// the program passed the bytecode verifier. `UNCHECKED` may only be
-    /// true after [`Vm::verify`] succeeded: it elides the slice bounds
-    /// check on the element access itself, which the verifier proved
-    /// in bounds for every reachable index vector.
-    fn dispatch<O: Observer + ?Sized, const UNCHECKED: bool>(
+    /// The dispatch loop, monomorphized over the observer, over whether
+    /// the program passed the bytecode verifier, and over whether resource
+    /// budgets are active. `UNCHECKED` may only be true after
+    /// [`Vm::verify`] succeeded: it elides the slice bounds check on the
+    /// element access itself, which the verifier proved in bounds for
+    /// every reachable index vector. `FUELED` charges one fuel unit per
+    /// instruction and polls the wall-clock deadline every 8192
+    /// instructions; unbudgeted runs take the `FUELED = false`
+    /// monomorphization and pay nothing.
+    fn dispatch<O: Observer + ?Sized, const UNCHECKED: bool, const FUELED: bool>(
         &mut self,
         code: &Code,
         obs: &mut O,
@@ -170,11 +193,28 @@ impl Vm {
             next_base,
             ..
         } = self;
+        let limits = self.limits;
         let mut idx = self.idx;
         let (mut loads, mut stores, mut flops, mut points) = (0u64, 0u64, 0u64, 0u64);
+        let mut fuel_left = limits.fuel.unwrap_or(u64::MAX);
+        let mut ticks = 0u64;
         let ops = &code.ops[..];
         let mut pc = 0usize;
         let res: Result<(), ExecError> = loop {
+            if FUELED {
+                if fuel_left == 0 {
+                    break Err(ExecError::fuel());
+                }
+                fuel_left -= 1;
+                ticks += 1;
+                if ticks & 0x1FFF == 0 {
+                    if let Some(d) = limits.deadline {
+                        if std::time::Instant::now() >= d {
+                            break Err(ExecError::deadline());
+                        }
+                    }
+                }
+            }
             let op = ops[pc];
             pc += 1;
             match op {
@@ -212,7 +252,9 @@ impl Vm {
                         Ok(v) => v,
                         Err(e) => break Err(e),
                     };
-                    let arr = arrays[ai].as_ref().expect("allocated");
+                    let Some(arr) = arrays[ai].as_ref() else {
+                        break Err(unallocated(code, ai));
+                    };
                     obs.load(arr.base + (flat as u64) * 8);
                     loads += 1;
                     regs[dst as usize] = if UNCHECKED {
@@ -231,7 +273,9 @@ impl Vm {
                         Ok(v) => v,
                         Err(e) => break Err(e),
                     };
-                    let arr = arrays[ai].as_mut().expect("allocated");
+                    let Some(arr) = arrays[ai].as_mut() else {
+                        break Err(unallocated(code, ai));
+                    };
                     if UNCHECKED {
                         debug_assert!(flat < arr.data.len());
                         // SAFETY: as for Load — the verifier's bounds proof
@@ -259,6 +303,9 @@ impl Vm {
                     obs.flops(n as u64);
                 }
                 Op::NestBegin { nest } => {
+                    if faults::fire(FaultSite::VmTrap) {
+                        break Err(ExecError::trap(faults::message(FaultSite::VmTrap)));
+                    }
                     obs.nest_begin(&code.nests[nest as usize]);
                 }
                 Op::ReduceBegin => {
@@ -434,17 +481,27 @@ fn oob(code: &Code, idx: &[i64; MAX_RANK], chk: &Check) -> ExecError {
         .enumerate()
         .map(|(d, &o)| idx[d] + o)
         .collect();
-    ExecError {
-        message: format!(
-            "access to `{}` at {:?} is outside its declared region (declare a halo?)",
-            code.arrays[chk.arr.0 as usize].name, pt
-        ),
-    }
+    ExecError::access(format!(
+        "access to `{}` at {:?} is outside its declared region (declare a halo?)",
+        code.arrays[chk.arr.0 as usize].name, pt
+    ))
+}
+
+#[cold]
+fn unallocated(code: &Code, ai: usize) -> ExecError {
+    ExecError::trap(format!(
+        "array `{}` accessed before its Alloc op (malformed bytecode)",
+        code.arrays[ai].name
+    ))
 }
 
 impl Executor for Vm {
     fn execute(&mut self, obs: &mut dyn Observer) -> Result<RunOutcome, ExecError> {
         self.run(obs)
+    }
+
+    fn set_limits(&mut self, limits: ExecLimits) {
+        Vm::set_limits(self, limits);
     }
 }
 

@@ -59,9 +59,10 @@ impl CommPolicy {
 /// Accumulated communication counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CommStats {
-    /// Point-to-point messages sent (after combining/elimination).
+    /// Point-to-point messages sent (after combining/elimination),
+    /// including resends and duplicates.
     pub messages: u64,
-    /// Payload bytes.
+    /// Payload bytes, including resends and duplicates.
     pub bytes: u64,
     /// Raw communication time before overlap, nanoseconds.
     pub comm_ns: f64,
@@ -71,12 +72,22 @@ pub struct CommStats {
     pub reductions: u64,
     /// Time spent in global reductions, nanoseconds.
     pub reduction_ns: f64,
+    /// Resends after a dropped exchange (fault injection).
+    pub retries: u64,
+    /// Exchanges dropped in flight (fault injection).
+    pub dropped: u64,
+    /// Duplicate deliveries (fault injection); semantically harmless,
+    /// they only re-pay the message cost.
+    pub duplicated: u64,
+    /// Exponential-backoff wait before resends, nanoseconds. Backoff is
+    /// idle time, so pipelining cannot hide it.
+    pub backoff_ns: f64,
 }
 
 impl CommStats {
     /// Communication time that remains on the critical path.
     pub fn effective_ns(&self) -> f64 {
-        self.comm_ns - self.hidden_ns + self.reduction_ns
+        self.comm_ns - self.hidden_ns + self.reduction_ns + self.backoff_ns
     }
 }
 
@@ -101,6 +112,9 @@ pub struct CommTracker {
     /// Per-array compute timestamp of the last write.
     write_stamp: HashMap<ArrayId, f64>,
     stats: CommStats,
+    /// Set when an injected exchange failure exhausted its retries; the
+    /// simulation's numbers are no longer meaningful past this point.
+    failure: Option<String>,
 }
 
 impl CommTracker {
@@ -114,12 +128,19 @@ impl CommTracker {
             cum_compute_ns: 0.0,
             write_stamp: HashMap::new(),
             stats: CommStats::default(),
+            failure: None,
         }
     }
 
     /// Counters so far.
     pub fn stats(&self) -> CommStats {
         self.stats
+    }
+
+    /// The first unrecoverable exchange failure, if any (fault
+    /// injection exhausted the bounded retries at some comm point).
+    pub fn failure(&self) -> Option<&str> {
+        self.failure.as_deref()
     }
 
     /// Reports compute time executed since the last call (overlap credit).
@@ -225,9 +246,46 @@ impl CommTracker {
             per_neighbor.values().sum::<u64>()
         };
 
-        let comm = self.cost.comm_ns(point_msgs, point_bytes);
+        let mut comm = self.cost.comm_ns(point_msgs, point_bytes);
         self.stats.messages += point_msgs;
         self.stats.bytes += point_bytes;
+
+        // Fault injection (chaos testing). A dropped exchange is resent
+        // with exponential backoff, up to MAX_RETRIES times; each resend
+        // re-pays the messages, bytes, and wire time, and the backoff
+        // waits accumulate as unhideable idle time. Exhausting the
+        // retries records an unrecoverable failure for the executor to
+        // surface. A duplicated delivery re-pays one exchange's cost but
+        // is semantically harmless.
+        const MAX_RETRIES: u32 = 4;
+        if testkit::faults::fire(testkit::faults::FaultSite::CommDrop) {
+            let latency = self.cost.comm_ns(point_msgs, point_bytes);
+            let mut delivered = false;
+            for attempt in 0..MAX_RETRIES {
+                self.stats.dropped += 1;
+                self.stats.retries += 1;
+                self.stats.backoff_ns += latency * (1u64 << attempt) as f64;
+                self.stats.messages += point_msgs;
+                self.stats.bytes += point_bytes;
+                comm += latency;
+                if !testkit::faults::fire(testkit::faults::FaultSite::CommDrop) {
+                    delivered = true;
+                    break;
+                }
+            }
+            if !delivered && self.failure.is_none() {
+                self.failure = Some(format!(
+                    "ghost exchange dropped {MAX_RETRIES} consecutive resends (comm-drop); giving up"
+                ));
+            }
+        }
+        if testkit::faults::fire(testkit::faults::FaultSite::CommDup) {
+            self.stats.duplicated += point_msgs;
+            self.stats.messages += point_msgs;
+            self.stats.bytes += point_bytes;
+            comm += self.cost.comm_ns(point_msgs, point_bytes);
+        }
+
         self.stats.comm_ns += comm;
 
         // Pipelining: overlap with compute executed since the producing
@@ -442,6 +500,51 @@ mod tests {
         let mut t1 = CommTracker::new(1, t3e().cost, CommPolicy::default());
         t1.reductions(5);
         assert_eq!(t1.stats().reduction_ns, 0.0);
+    }
+
+    #[test]
+    fn dropped_exchange_retries_with_backoff() {
+        use testkit::faults::{self, FaultPlan, FaultSite};
+        let (p, b) = test_program();
+        // Drop exactly once: the first resend succeeds.
+        let _g = faults::install(FaultPlan::new(1).with_limited(FaultSite::CommDrop, 1.0, Some(1)));
+        let mut t = CommTracker::new(4, t3e().cost, CommPolicy::default());
+        t.nest(&p, &b, &nest_reading(&p, &[(1, vec![-1, 0])]));
+        let s = t.stats();
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.messages, 2, "original + resend");
+        assert!(s.backoff_ns > 0.0);
+        assert!(t.failure().is_none());
+        assert!(s.effective_ns() >= s.backoff_ns, "backoff is unhideable");
+    }
+
+    #[test]
+    fn exhausted_retries_record_failure() {
+        use testkit::faults::{self, FaultPlan, FaultSite};
+        let (p, b) = test_program();
+        let _g = faults::install(FaultPlan::new(1).with(FaultSite::CommDrop, 1.0));
+        let mut t = CommTracker::new(4, t3e().cost, CommPolicy::default());
+        t.nest(&p, &b, &nest_reading(&p, &[(1, vec![-1, 0])]));
+        let s = t.stats();
+        assert_eq!(s.retries, 4, "bounded retries");
+        assert!(t.failure().is_some());
+        assert!(t.failure().unwrap().contains("comm-drop"));
+        // Backoff doubles each resend: 1+2+4+8 = 15 latencies.
+        assert!(s.backoff_ns > 0.0);
+    }
+
+    #[test]
+    fn duplicated_delivery_is_costed_but_harmless() {
+        use testkit::faults::{self, FaultPlan, FaultSite};
+        let (p, b) = test_program();
+        let _g = faults::install(FaultPlan::new(1).with_limited(FaultSite::CommDup, 1.0, Some(1)));
+        let mut t = CommTracker::new(4, t3e().cost, CommPolicy::default());
+        t.nest(&p, &b, &nest_reading(&p, &[(1, vec![-1, 0])]));
+        let s = t.stats();
+        assert_eq!(s.duplicated, 1);
+        assert_eq!(s.messages, 2, "original + duplicate");
+        assert!(t.failure().is_none());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! symmetric model described in the crate docs.
 
 use crate::comm::{CommPolicy, CommStats, CommTracker};
-use loopir::{Engine, LoopNest, Observer, RunStats, ScalarProgram};
+use loopir::{Engine, ExecError, ExecLimits, LoopNest, Observer, RunStats, ScalarProgram};
 use machine::presets::Machine;
 use machine::sim::{MemSim, MemStats};
 use zlang::ir::ConfigBinding;
@@ -24,6 +24,8 @@ pub struct ExecConfig {
     pub policy: CommPolicy,
     /// Which execution engine runs the scalarized program.
     pub engine: Engine,
+    /// Resource budgets applied to the engine (fuel, deadline).
+    pub limits: ExecLimits,
 }
 
 impl ExecConfig {
@@ -34,12 +36,19 @@ impl ExecConfig {
             procs: 1,
             policy: CommPolicy::default(),
             engine: Engine::default(),
+            limits: ExecLimits::none(),
         }
     }
 
     /// The same configuration with a different execution engine.
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// The same configuration with resource budgets.
+    pub fn with_limits(mut self, limits: ExecLimits) -> Self {
+        self.limits = limits;
         self
     }
 }
@@ -132,12 +141,30 @@ impl Observer for SimObserver<'_> {
 ///
 /// # Errors
 ///
-/// Propagates interpreter errors (out-of-region accesses).
+/// Propagates engine errors (out-of-region accesses, exhausted fuel or
+/// deadline budgets), and reports an unrecoverable injected
+/// communication failure as an error of kind
+/// [`Comm`](loopir::ErrorKind::Comm).
 pub fn simulate(
     sp: &ScalarProgram,
     binding: ConfigBinding,
     cfg: &ExecConfig,
-) -> Result<SimResult, loopir::interp::ExecError> {
+) -> Result<SimResult, ExecError> {
+    simulate_outcome(sp, binding, cfg).map(|(_, sim)| sim)
+}
+
+/// Like [`simulate`], but also returns the program's [`RunOutcome`]
+/// (final scalar values) alongside the timing result — for callers such
+/// as the supervisor that need the computed answer, not just the model.
+///
+/// # Errors
+///
+/// Same as [`simulate`].
+pub fn simulate_outcome(
+    sp: &ScalarProgram,
+    binding: ConfigBinding,
+    cfg: &ExecConfig,
+) -> Result<(loopir::RunOutcome, SimResult), ExecError> {
     let mut obs = SimObserver {
         mem: MemSim::new(cfg.machine.l1, cfg.machine.l2),
         comm: CommTracker::new(cfg.procs, cfg.machine.cost, cfg.policy),
@@ -147,8 +174,13 @@ pub fn simulate(
         last: MemStats::default(),
     };
     let mut exec = cfg.engine.executor(sp, binding.clone())?;
-    let run = exec.execute(&mut obs)?.stats;
+    exec.set_limits(cfg.limits);
+    let outcome = exec.execute(&mut obs)?;
+    let run = outcome.stats;
     obs.flush_compute();
+    if let Some(msg) = obs.comm.failure() {
+        return Err(ExecError::comm(msg));
+    }
     let mem = obs.mem.stats();
     let comm = obs.comm.stats();
     let compute_ns =
@@ -156,13 +188,16 @@ pub fn simulate(
             .cost
             .compute_ns(mem.flops, mem.accesses, mem.l1_misses, mem.l2_misses);
     let total_ns = compute_ns + comm.effective_ns();
-    Ok(SimResult {
-        run,
-        mem,
-        comm,
-        compute_ns,
-        total_ns,
-    })
+    Ok((
+        outcome,
+        SimResult {
+            run,
+            mem,
+            comm,
+            compute_ns,
+            total_ns,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -213,6 +248,7 @@ mod tests {
             procs: 16,
             policy: CommPolicy::default(),
             engine: Engine::default(),
+            limits: ExecLimits::none(),
         };
         let r = simulate(&sp, ConfigBinding::defaults(&sp.program), &cfg).unwrap();
         assert!(r.comm.messages > 0);
@@ -260,6 +296,31 @@ mod tests {
         let (_, mem_c) = checksum(t3e(), Engine::Vm);
         assert_eq!(mem_a, mem_c);
         let _ = mem_b;
+    }
+
+    #[test]
+    fn unrecoverable_comm_failure_surfaces_as_error() {
+        use testkit::faults::{self, FaultPlan, FaultSite};
+        let _g = faults::install(FaultPlan::new(3).with(FaultSite::CommDrop, 1.0));
+        let sp = program(SRC, Level::Baseline);
+        let cfg = ExecConfig {
+            machine: t3e(),
+            procs: 16,
+            policy: CommPolicy::default(),
+            engine: Engine::default(),
+            limits: ExecLimits::none(),
+        };
+        let err = simulate(&sp, ConfigBinding::defaults(&sp.program), &cfg).unwrap_err();
+        assert_eq!(err.kind, loopir::ErrorKind::Comm);
+        assert!(err.message.contains("comm-drop"), "{}", err.message);
+    }
+
+    #[test]
+    fn fuel_budget_applies_to_simulated_runs() {
+        let sp = program(SRC, Level::Baseline);
+        let cfg = ExecConfig::serial(t3e()).with_limits(ExecLimits::none().with_fuel(10));
+        let err = simulate(&sp, ConfigBinding::defaults(&sp.program), &cfg).unwrap_err();
+        assert_eq!(err.kind, loopir::ErrorKind::Fuel);
     }
 
     #[test]

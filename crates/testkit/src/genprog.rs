@@ -1,0 +1,234 @@
+//! Seeded random `zlang` program generation for differential testing.
+//!
+//! Emits program *source text* (keeping this crate dependency-free), built
+//! so that every generated program is valid by construction:
+//!
+//! * offset (`@`) reads touch only arrays declared over the haloed region
+//!   `RH`, so no access can leave a declared region;
+//! * interior arrays are read only after they have been written;
+//! * the first declared scalar is a checksum reduction over the final
+//!   state, so semantic equivalence across optimization levels and
+//!   engines is a single `f64` comparison (compare bits, not values —
+//!   generated arithmetic may legitimately produce infinities).
+//!
+//! The statement mix deliberately exercises the optimizer: self-updates
+//! (which force compiler temporaries), chained interior temporaries
+//! (contraction candidates), stencil reads (fusion blockers/enablers),
+//! `for` loops, and multi-statement dependence chains.
+
+use crate::Rng;
+use std::fmt::Write;
+
+/// Tuning knobs for [`generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct GenOptions {
+    /// Problem size bounds (the generated `config n`), inclusive.
+    pub n: (i64, i64),
+    /// Number of interior arrays (`U0..`), at least 2.
+    pub interior_arrays: usize,
+    /// Number of haloed arrays (`H0..`), at least 1.
+    pub halo_arrays: usize,
+    /// Top-level statement count bounds, inclusive.
+    pub stmts: (usize, usize),
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            n: (4, 8),
+            interior_arrays: 4,
+            halo_arrays: 2,
+            stmts: (4, 10),
+        }
+    }
+}
+
+/// The nine stencil offsets usable on haloed arrays.
+const OFFSETS: [(i64, i64); 9] = [
+    (0, 0),
+    (-1, 0),
+    (1, 0),
+    (0, -1),
+    (0, 1),
+    (-1, -1),
+    (-1, 1),
+    (1, -1),
+    (1, 1),
+];
+
+struct Gen<'r> {
+    rng: &'r mut Rng,
+    opts: GenOptions,
+    /// Interior arrays already written (safe to read).
+    written: Vec<bool>,
+}
+
+impl Gen<'_> {
+    fn constant(&mut self) -> String {
+        // Small magnitudes and a damping bias keep chained products from
+        // exploding too fast; overflow to infinity is still legal.
+        let v = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0];
+        format!("{:?}", v[self.rng.below(v.len())])
+    }
+
+    /// A readable operand: an initialized interior array (aligned), a
+    /// haloed array (possibly at an offset), an index expression, or a
+    /// constant.
+    fn operand(&mut self) -> String {
+        match self.rng.below(6) {
+            0 | 1 => {
+                let h = self.rng.below(self.opts.halo_arrays);
+                let (di, dj) = OFFSETS[self.rng.below(OFFSETS.len())];
+                if (di, dj) == (0, 0) {
+                    format!("H{h}")
+                } else {
+                    format!("H{h}@[{di},{dj}]")
+                }
+            }
+            2 | 3 => {
+                let ready: Vec<usize> = (0..self.written.len())
+                    .filter(|&u| self.written[u])
+                    .collect();
+                if ready.is_empty() {
+                    self.constant()
+                } else {
+                    format!("U{}", ready[self.rng.below(ready.len())])
+                }
+            }
+            4 => ["index1", "index2"][self.rng.below(2)].to_string(),
+            _ => self.constant(),
+        }
+    }
+
+    fn expr(&mut self, depth: usize) -> String {
+        if depth == 0 || self.rng.below(3) == 0 {
+            return self.operand();
+        }
+        let op = ["+", "-", "*"][self.rng.below(3)];
+        let l = self.expr(depth - 1);
+        let r = self.expr(depth - 1);
+        format!("({l} {op} {r})")
+    }
+
+    /// One `[R] ...` array assignment, possibly a self-update (which
+    /// forces normalization to insert a compiler temporary).
+    fn array_stmt(&mut self, out: &mut String, indent: &str) {
+        let u = self.rng.below(self.opts.interior_arrays);
+        let rhs = self.expr(2);
+        let rhs = if self.written[u] && self.rng.below(3) == 0 {
+            format!("(U{u} * 0.5 + {rhs})") // self-update: read-and-write
+        } else {
+            rhs
+        };
+        self.written[u] = true;
+        let _ = writeln!(out, "{indent}[R] U{u} := {rhs};");
+    }
+
+    fn stmt(&mut self, out: &mut String, indent: &str, allow_loop: bool) {
+        if allow_loop && self.rng.below(5) == 0 {
+            let iters = self.rng.range(2, 3);
+            let _ = writeln!(out, "{indent}for k := 1 to {iters} do");
+            let inner = self.rng.range(1, 3);
+            for _ in 0..inner {
+                self.array_stmt(out, &format!("{indent}  "));
+            }
+            let _ = writeln!(out, "{indent}end;");
+        } else {
+            self.array_stmt(out, indent);
+        }
+    }
+}
+
+/// Generates one random program's source under the default options.
+pub fn generate(rng: &mut Rng) -> String {
+    generate_with(rng, GenOptions::default())
+}
+
+/// Generates one random program's source.
+///
+/// # Panics
+///
+/// Panics if `opts` asks for fewer than one halo array, fewer than two
+/// interior arrays, or an empty statement range.
+pub fn generate_with(rng: &mut Rng, opts: GenOptions) -> String {
+    assert!(opts.halo_arrays >= 1 && opts.interior_arrays >= 2);
+    assert!(opts.stmts.0 >= 1 && opts.stmts.0 <= opts.stmts.1);
+    let n = rng.range(opts.n.0, opts.n.1);
+    let mut g = Gen {
+        rng,
+        opts,
+        written: vec![false; opts.interior_arrays],
+    };
+    let mut src = String::new();
+    let _ = writeln!(src, "program chaos;");
+    let _ = writeln!(src, "config n : int = {n};");
+    let _ = writeln!(src, "region RH = [0..n+1, 0..n+1];");
+    let _ = writeln!(src, "region R = [1..n, 1..n];");
+    let halos: Vec<String> = (0..opts.halo_arrays).map(|h| format!("H{h}")).collect();
+    let _ = writeln!(src, "var {} : [RH] float;", halos.join(", "));
+    let interiors: Vec<String> = (0..opts.interior_arrays).map(|u| format!("U{u}")).collect();
+    let _ = writeln!(src, "var {} : [R] float;", interiors.join(", "));
+    let _ = writeln!(src, "var chk, chk2 : float;");
+    let _ = writeln!(src, "var k : int;");
+    let _ = writeln!(src, "begin");
+    // Initialize every haloed array over its full (haloed) region so that
+    // stencil reads never see an unwritten-but-allocated cell pattern that
+    // differs between engines (all engines zero-fill, but explicit
+    // initialization makes the programs read naturally).
+    for h in 0..g.opts.halo_arrays {
+        let scale = g.constant();
+        let bias = g.constant();
+        let _ = writeln!(src, "  [RH] H{h} := (index1 * {scale} + index2 * {bias});");
+    }
+    let count = g.rng.range(g.opts.stmts.0 as i64, g.opts.stmts.1 as i64);
+    for _ in 0..count {
+        g.stmt(&mut src, "  ", true);
+    }
+    // Checksum every interior array that was written, plus one halo array;
+    // this keeps them live-out (as in real applications) and gives the
+    // differential tests a single scalar to compare.
+    let mut terms: Vec<String> = (0..g.opts.interior_arrays)
+        .filter(|&u| g.written[u])
+        .map(|u| format!("U{u}"))
+        .collect();
+    terms.push("H0".to_string());
+    let sum = terms.join(" + ");
+    let _ = writeln!(src, "  chk := +<< [R] ({sum});");
+    let _ = writeln!(src, "  chk2 := max<< [R] ({sum});");
+    let _ = writeln!(src, "end");
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&mut Rng::new(11));
+        let b = generate(&mut Rng::new(11));
+        assert_eq!(a, b);
+        let c = generate(&mut Rng::new(12));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn programs_have_the_expected_skeleton() {
+        for seed in 0..50 {
+            let src = generate(&mut Rng::new(seed));
+            assert!(src.starts_with("program chaos;"), "{src}");
+            assert!(src.contains("chk := +<<"), "{src}");
+            assert!(src.contains("[RH] H0 :="), "{src}");
+            // Offset reads only ever target haloed arrays.
+            for piece in src.split('@').skip(1) {
+                let before = &src[..src.find(piece).unwrap() - 1];
+                assert!(before.ends_with(|c: char| c.is_ascii_digit()), "{src}");
+                let name_start = before.rfind(|c: char| !c.is_ascii_alphanumeric()).unwrap() + 1;
+                assert!(
+                    before[name_start..].starts_with('H'),
+                    "offset read of interior array:\n{src}"
+                );
+            }
+        }
+    }
+}

@@ -9,7 +9,14 @@
 //! * [`cases`] — run a closure over `n` deterministic random cases,
 //!   reporting the failing seed so a failure reproduces exactly;
 //! * [`bench`] — time a closure over repeated iterations and report the
-//!   per-iteration minimum, median, and mean.
+//!   per-iteration minimum, median, and mean;
+//! * [`faults`] — deterministic fault injection ([`faults::FaultPlan`])
+//!   driving the chaos suite and the execution supervisor's tests;
+//! * [`genprog`] — a seeded random `zlang` program generator for
+//!   differential testing.
+
+pub mod faults;
+pub mod genprog;
 
 use std::time::Instant;
 

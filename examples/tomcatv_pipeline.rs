@@ -32,6 +32,7 @@ fn main() -> Result<(), zpl_fusion::Error> {
             procs: 16,
             policy: CommPolicy::default(),
             engine: Engine::default(),
+            limits: loopir::ExecLimits::none(),
         };
         let r = simulate(&opt.scalarized, binding, &cfg)?;
         let imp = match &baseline {

@@ -19,16 +19,27 @@
 //!   --machine <t3e|sp2|paragon>   simulate on a machine model (with --run)
 //!   --procs <p>                   simulated processors (default 1)
 //!   --set <name=value>            override an integer config (repeatable)
+//!   --supervise                   run under the fault-tolerant supervisor
+//!                                 (degrades engine/level on faults)
+//!   --deadline-ms <n>             wall-clock budget per supervised attempt
+//!   --fuel <n>                    instruction budget per supervised attempt
+//!   --inject <plan>               install a deterministic fault plan, e.g.
+//!                                 `seed=42,vm-trap` or `seed=1,comm-drop:0.5`
 //! ```
 
 use fusion_core::pipeline::{Level, Pipeline};
+use fusion_core::supervisor::{Budgets, Supervisor};
 use fusion_core::verify::Severity;
 use fusion_core::VerifyLevel;
 use loopir::{Engine, Vm};
 use machine::presets::MachineKind;
-use runtime::{simulate, CommPolicy, ExecConfig};
+use runtime::{simulate, simulate_outcome, CommPolicy, ExecConfig, SimResult};
+use std::cell::RefCell;
 use std::process::ExitCode;
-use zlang::ir::ConfigBinding;
+use std::time::Duration;
+use testkit::faults::{self, FaultPlan};
+use zlang::error::render_diagnostic;
+use zlang::ir::{ConfigBinding, Program};
 
 struct Options {
     file: String,
@@ -43,15 +54,20 @@ struct Options {
     machine: Option<MachineKind>,
     procs: u64,
     sets: Vec<(String, i64)>,
+    supervise: bool,
+    deadline_ms: Option<u64>,
+    fuel: Option<u64>,
+    inject: Option<String>,
 }
 
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("zlc: {msg}");
+    eprint!("{}", render_diagnostic("error", "cli", msg, None, &[]));
     eprintln!(
         "usage: zlc <file.zl> [--level L] [--dimension-contraction] [--spatial-cap K]\n\
          \x20          [--favor-comm] [--print ir|loops|asdg|report|source]... [--verify]\n\
          \x20          [--run] [--engine interp|vm|vm-verified] [--machine t3e|sp2|paragon]\n\
-         \x20          [--procs P] [--set name=value]..."
+         \x20          [--procs P] [--set name=value]... [--supervise] [--deadline-ms N]\n\
+         \x20          [--fuel N] [--inject PLAN]"
     );
     ExitCode::from(2)
 }
@@ -74,6 +90,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         machine: None,
         procs: 1,
         sets: Vec::new(),
+        supervise: false,
+        deadline_ms: None,
+        fuel: None,
+        inject: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -125,6 +145,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     val.parse().map_err(|_| format!("bad value in `{v}`"))?,
                 ));
             }
+            "--supervise" => opts.supervise = true,
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "bad deadline".to_string())?,
+                );
+            }
+            "--fuel" => {
+                opts.fuel = Some(
+                    value("--fuel")?
+                        .parse()
+                        .map_err(|_| "bad fuel".to_string())?,
+                );
+            }
+            "--inject" => opts.inject = Some(value("--inject")?),
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             file => {
                 if !opts.file.is_empty() {
@@ -140,6 +176,115 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
+/// Builds a config binding for `program` from `--set` overrides, then
+/// sanity-checks that the resulting region extents are allocatable:
+/// a config like `--set n=9999999999` must produce a diagnostic, not a
+/// capacity-overflow panic deep inside the allocator.
+fn checked_binding(program: &Program, sets: &[(String, i64)]) -> Result<ConfigBinding, String> {
+    let mut binding = ConfigBinding::defaults(program);
+    for (name, value) in sets {
+        if !binding.set_by_name(program, name, *value) {
+            return Err(format!("no config named `{name}`"));
+        }
+    }
+    // Estimate total allocation with overflow-proof arithmetic.
+    const MAX_BYTES: u128 = 1 << 40; // 1 TiB
+    let mut total: u128 = 0;
+    for array in &program.arrays {
+        let region = program.region(array.region);
+        let mut elems: u128 = 1;
+        for (lo, hi) in region.bounds(&binding) {
+            let extent = (hi as i128 - lo as i128 + 1).max(0) as u128;
+            elems = elems.saturating_mul(extent);
+        }
+        total = total.saturating_add(elems.saturating_mul(8));
+        if total > MAX_BYTES {
+            return Err(format!(
+                "config binding allocates over 1 TiB (array `{}` on region `{}`); \
+                 reduce the bound set with --set",
+                array.name, region.name
+            ));
+        }
+    }
+    Ok(binding)
+}
+
+fn fail(code: &str, message: &str, location: Option<&str>) -> ExitCode {
+    eprint!(
+        "{}",
+        render_diagnostic("error", code, message, location, &[])
+    );
+    ExitCode::FAILURE
+}
+
+/// The `--supervise` path: run the program under the fault-tolerant
+/// supervisor, attaching the machine simulation as a backend when
+/// requested, and print the outcome plus the attempt trail.
+fn run_supervised(opts: &Options, program: &Program) -> ExitCode {
+    let budgets = Budgets {
+        deadline: opts.deadline_ms.map(Duration::from_millis),
+        fuel: opts.fuel,
+        ..Budgets::none()
+    };
+    let last_sim: RefCell<Option<SimResult>> = RefCell::new(None);
+    let last_sim_ref = &last_sim;
+    let mut sup = Supervisor::new(opts.level, opts.engine).with_budgets(budgets);
+    for (name, value) in &opts.sets {
+        sup = sup.with_binding(name, *value);
+    }
+    if let Some(machine) = opts.machine.map(|k| k.machine()) {
+        let procs = opts.procs;
+        sup = sup.with_sim(move |sp, binding, engine, limits| {
+            let cfg = ExecConfig {
+                machine: machine.clone(),
+                procs,
+                policy: CommPolicy::default(),
+                engine,
+                limits,
+            };
+            let (outcome, sim) = simulate_outcome(sp, binding.clone(), &cfg)?;
+            *last_sim_ref.borrow_mut() = Some(sim);
+            Ok(outcome)
+        });
+    }
+    match sup.run_program(program) {
+        Ok(run) => {
+            for (i, s) in program.scalars.iter().enumerate() {
+                println!(
+                    "{} = {}",
+                    s.name,
+                    run.outcome.scalar(zlang::ir::ScalarId(i as u32))
+                );
+            }
+            let stats = &run.outcome.stats;
+            println!(
+                "-- {} points, {} loads, {} stores, {} flops, peak {} bytes",
+                stats.points, stats.loads, stats.stores, stats.flops, stats.peak_bytes
+            );
+            if let Some(sim) = last_sim.borrow().as_ref() {
+                println!(
+                    "-- simulated x{}: {:.3} ms ({} msgs, {} bytes, {} retries)",
+                    opts.procs,
+                    sim.total_ms(),
+                    sim.comm.messages,
+                    sim.comm.bytes,
+                    sim.comm.retries,
+                );
+            }
+            print!("{}", run.report.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprint!(
+                "{}",
+                render_diagnostic("error", "supervisor", &e.to_string(), None, &[])
+            );
+            eprint!("{}", e.report.render());
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -150,17 +295,34 @@ fn main() -> ExitCode {
     let source = match std::fs::read_to_string(&opts.file) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("zlc: cannot read {}: {e}", opts.file);
-            return ExitCode::FAILURE;
+            return fail("io", &format!("cannot read {}: {e}", opts.file), None);
         }
     };
     let program = match zlang::compile(&source) {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("zlc: {}: {e}", opts.file);
+            eprint!("{}", e.render(&opts.file));
             return ExitCode::FAILURE;
         }
     };
+
+    // Validate config overrides against the source program up front, so
+    // every later stage works with a known-sane binding.
+    if let Err(msg) = checked_binding(&program, &opts.sets) {
+        return fail("config", &msg, Some(&opts.file));
+    }
+
+    let _fault_guard = match &opts.inject {
+        None => None,
+        Some(spec) => match FaultPlan::parse(spec) {
+            Ok(plan) => Some(faults::install(plan)),
+            Err(e) => return usage(&format!("bad --inject plan: {e}")),
+        },
+    };
+
+    if opts.supervise {
+        return run_supervised(&opts, &program);
+    }
 
     let mut pipeline = Pipeline::new(opts.level);
     if opts.dimension_contraction {
@@ -178,13 +340,10 @@ fn main() -> ExitCode {
     let opt = pipeline.optimize(&program);
 
     if opts.verify {
-        let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
-        for (name, value) in &opts.sets {
-            if !binding.set_by_name(&opt.scalarized.program, name, *value) {
-                eprintln!("zlc: no config named `{name}`");
-                return ExitCode::FAILURE;
-            }
-        }
+        let binding = match checked_binding(&opt.scalarized.program, &opts.sets) {
+            Ok(b) => b,
+            Err(msg) => return fail("config", &msg, Some(&opts.file)),
+        };
         let mut errors = 0usize;
         let mut warnings = 0usize;
         for d in &opt.diagnostics {
@@ -264,13 +423,10 @@ fn main() -> ExitCode {
     }
 
     if opts.run {
-        let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
-        for (name, value) in &opts.sets {
-            if !binding.set_by_name(&opt.scalarized.program, name, *value) {
-                eprintln!("zlc: no config named `{name}`");
-                return ExitCode::FAILURE;
-            }
-        }
+        let binding = match checked_binding(&opt.scalarized.program, &opts.sets) {
+            Ok(b) => b,
+            Err(msg) => return fail("config", &msg, Some(&opts.file)),
+        };
         match opts.machine {
             None => {
                 let outcome = opts
@@ -289,8 +445,7 @@ fn main() -> ExitCode {
                         );
                     }
                     Err(e) => {
-                        eprintln!("zlc: {e}");
-                        return ExitCode::FAILURE;
+                        return fail("exec", &e.to_string(), Some(&opts.file));
                     }
                 }
             }
@@ -300,6 +455,7 @@ fn main() -> ExitCode {
                     procs: opts.procs,
                     policy: CommPolicy::default(),
                     engine: opts.engine,
+                    limits: loopir::ExecLimits::none(),
                 };
                 match simulate(&opt.scalarized, binding, &cfg) {
                     Ok(r) => {
@@ -318,8 +474,7 @@ fn main() -> ExitCode {
                         );
                     }
                     Err(e) => {
-                        eprintln!("zlc: {e}");
-                        return ExitCode::FAILURE;
+                        return fail("exec", &e.to_string(), Some(&opts.file));
                     }
                 }
             }

@@ -69,10 +69,7 @@ mod tests {
         let c: Error = zlang::compile("progrm nope;").unwrap_err().into();
         assert!(matches!(c, Error::Compile(_)));
         assert!(std::error::Error::source(&c).is_some());
-        let x: Error = loopir::ExecError {
-            message: "boom".into(),
-        }
-        .into();
+        let x: Error = loopir::ExecError::trap("boom").into();
         assert_eq!(x.to_string(), "execution error: boom");
         assert!(std::error::Error::source(&x).is_some());
     }

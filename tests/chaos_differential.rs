@@ -1,0 +1,238 @@
+//! Chaos differential suite: generated programs under injected faults.
+//!
+//! Every generated program is run twice: once plainly at `baseline` on the
+//! interpreter (the O0 reference), and once under the supervisor at
+//! `c2+f3` on the verified VM with a fault injected somewhere in the
+//! pipeline. Whatever the supervisor has to do to survive — degrade the
+//! engine, recompile at a lower level, drop the machine simulation, fall
+//! all the way to the reference rung — the answer it hands back must be
+//! the bit-identical checksum of the unoptimized interpreter.
+//!
+//! The seed comes from `CHAOS_SEED` (default 1) so CI can rotate schedules
+//! without touching the source.
+
+use fusion_core::pipeline::{Level, Pipeline};
+use fusion_core::supervisor::{Budgets, Supervisor};
+use loopir::{Engine, NoopObserver};
+use machine::presets::MachineKind;
+use runtime::{simulate_outcome, CommPolicy, ExecConfig};
+use std::time::Duration;
+use testkit::faults::{self, FaultPlan, FaultSite};
+use testkit::{genprog, Rng};
+use zlang::ir::{ConfigBinding, Program, ScalarId};
+
+/// How many generated programs the suite pushes through the supervisor.
+const PROGRAMS: usize = 210;
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// The fault classes the ladder must survive. Injected sites come from the
+/// fault plan; `Fuel` and `Deadline` are budget exhaustions with no site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FaultClass {
+    Inject(FaultSite),
+    Fuel,
+    Deadline,
+}
+
+const CLASSES: [FaultClass; 7] = [
+    FaultClass::Inject(FaultSite::FuseGrow),
+    FaultClass::Inject(FaultSite::VerifyReject),
+    FaultClass::Inject(FaultSite::VmTrap),
+    FaultClass::Inject(FaultSite::CommDrop),
+    FaultClass::Inject(FaultSite::CommDup),
+    FaultClass::Fuel,
+    FaultClass::Deadline,
+];
+
+/// The two checksum scalars every generated program declares first.
+fn checksums(outcome: &loopir::RunOutcome) -> (u64, u64) {
+    (
+        outcome.scalar(ScalarId(0)).to_bits(),
+        outcome.scalar(ScalarId(1)).to_bits(),
+    )
+}
+
+/// The O0 reference: baseline level, plain interpreter, no supervisor.
+fn reference(program: &Program) -> (u64, u64) {
+    let opt = Pipeline::new(Level::Baseline).optimize(program);
+    let binding = ConfigBinding::defaults(&opt.scalarized.program);
+    let outcome = Engine::Interp
+        .executor(&opt.scalarized, binding)
+        .expect("reference compiles")
+        .execute(&mut NoopObserver)
+        .expect("reference runs");
+    checksums(&outcome)
+}
+
+/// A supervisor requesting the most aggressive configuration, so a fault
+/// has the whole ladder to fall down. Comm fault classes attach the
+/// machine-simulation backend (the only path that exercises the ghost
+/// message channel).
+fn supervised(program: &Program, class: FaultClass) -> fusion_core::Supervised {
+    let budgets = match class {
+        FaultClass::Fuel => Budgets {
+            fuel: Some(0),
+            ..Budgets::none()
+        },
+        FaultClass::Deadline => Budgets {
+            deadline: Some(Duration::ZERO),
+            ..Budgets::none()
+        },
+        FaultClass::Inject(_) => Budgets::none(),
+    };
+    let mut sup = Supervisor::new(Level::C2F3, Engine::VmVerified).with_budgets(budgets);
+    if matches!(
+        class,
+        FaultClass::Inject(FaultSite::CommDrop) | FaultClass::Inject(FaultSite::CommDup)
+    ) {
+        let machine = MachineKind::T3e.machine();
+        sup = sup.with_sim(move |sp, binding, engine, limits| {
+            let cfg = ExecConfig {
+                machine: machine.clone(),
+                procs: 16,
+                policy: CommPolicy::default(),
+                engine,
+                limits,
+            };
+            simulate_outcome(sp, binding.clone(), &cfg).map(|(outcome, _)| outcome)
+        });
+    }
+    sup.run_program(program)
+        .unwrap_or_else(|e| panic!("supervisor must survive {class:?}:\n{}", e.report.render()))
+}
+
+fn run_class(program: &Program, source: &str, class: FaultClass, want: (u64, u64)) {
+    let plan = match class {
+        FaultClass::Inject(site) => FaultPlan::new(chaos_seed()).with(site, 1.0),
+        _ => FaultPlan::new(chaos_seed()),
+    };
+    let _guard = faults::install(plan);
+    let run = supervised(program, class);
+    let fired = faults::fired();
+    drop(_guard);
+
+    let got = checksums(&run.outcome);
+    assert_eq!(
+        got,
+        want,
+        "checksum mismatch under {class:?}\n{}\nprogram:\n{source}",
+        run.report.render()
+    );
+
+    match class {
+        // Pipeline/engine faults always fire on the first attempt and must
+        // be named in the report; the run cannot end where it started.
+        FaultClass::Inject(
+            site @ (FaultSite::FuseGrow | FaultSite::VerifyReject | FaultSite::VmTrap),
+        ) => {
+            assert!(
+                fired.iter().any(|&(s, n)| s == site && n > 0),
+                "{site} never fired:\n{source}"
+            );
+            assert!(
+                run.report.mentions(site.name()),
+                "report does not name {site}:\n{}",
+                run.report.render()
+            );
+            assert!(run.report.degraded(), "{}", run.report.render());
+        }
+        // A permanently dropped exchange surfaces as a comm failure and a
+        // sim-disabled retry of the same rung — if any exchange happened.
+        FaultClass::Inject(FaultSite::CommDrop) => {
+            if fired.iter().any(|&(s, _)| s == FaultSite::CommDrop) {
+                assert!(
+                    run.report.mentions(FaultSite::CommDrop.name()),
+                    "{}",
+                    run.report.render()
+                );
+                assert!(!run.report.degraded(), "{}", run.report.render());
+            }
+        }
+        // Duplicated deliveries are semantically harmless: no degradation,
+        // nothing to report.
+        FaultClass::Inject(FaultSite::CommDup) => {
+            assert!(!run.report.degraded(), "{}", run.report.render());
+        }
+        // Budget exhaustion drains every budgeted rung; only the
+        // unbudgeted reference survives.
+        FaultClass::Fuel => {
+            assert!(run.report.mentions("fuel"), "{}", run.report.render());
+            assert_eq!(run.report.final_level, Level::Baseline);
+            assert_eq!(run.report.final_engine, Engine::Interp);
+        }
+        FaultClass::Deadline => {
+            assert!(run.report.mentions("deadline"), "{}", run.report.render());
+            assert_eq!(run.report.final_level, Level::Baseline);
+            assert_eq!(run.report.final_engine, Engine::Interp);
+        }
+    }
+}
+
+/// The tentpole assertion: 210 generated programs, each through the
+/// supervisor with a fault from one of the seven classes, every answer
+/// bit-identical to the O0 interpreter.
+#[test]
+fn injected_faults_never_change_the_answer() {
+    let mut rng = Rng::new(chaos_seed());
+    for i in 0..PROGRAMS {
+        let source = genprog::generate(&mut rng);
+        let program = zlang::compile(&source)
+            .unwrap_or_else(|e| panic!("generated program {i} must compile: {e}\n{source}"));
+        let want = reference(&program);
+        let class = CLASSES[i % CLASSES.len()];
+        run_class(&program, &source, class, want);
+    }
+}
+
+/// Sanity anchor for the differential: with no faults injected, the
+/// supervised aggressive configuration already matches the reference and
+/// reports a clean single attempt.
+#[test]
+fn clean_supervised_runs_match_the_reference() {
+    let mut rng = Rng::new(chaos_seed().wrapping_add(0x9E37));
+    for i in 0..24 {
+        let source = genprog::generate(&mut rng);
+        let program = zlang::compile(&source)
+            .unwrap_or_else(|e| panic!("generated program {i} must compile: {e}\n{source}"));
+        let want = reference(&program);
+        let run = Supervisor::new(Level::C2F3, Engine::VmVerified)
+            .run_program(&program)
+            .expect("clean run succeeds");
+        assert_eq!(checksums(&run.outcome), want, "program {i}:\n{source}");
+        assert!(!run.report.degraded(), "{}", run.report.render());
+        assert_eq!(run.report.attempts.len(), 1);
+    }
+}
+
+/// Faults at every site in the *same* run: the ladder composes.
+#[test]
+fn stacked_faults_still_produce_the_reference_answer() {
+    let mut rng = Rng::new(chaos_seed().wrapping_add(0x51DE));
+    for _ in 0..12 {
+        let source = genprog::generate(&mut rng);
+        let program = zlang::compile(&source).expect("generated program compiles");
+        let want = reference(&program);
+        let plan = FaultPlan::new(chaos_seed())
+            .with(FaultSite::VerifyReject, 1.0)
+            .with(FaultSite::VmTrap, 1.0);
+        let _guard = faults::install(plan);
+        let run = Supervisor::new(Level::C2F3, Engine::VmVerified)
+            .run_program(&program)
+            .unwrap_or_else(|e| panic!("ladder must bottom out:\n{}", e.report.render()));
+        drop(_guard);
+        assert_eq!(checksums(&run.outcome), want, "{source}");
+        assert!(
+            run.report.mentions("verify-reject"),
+            "{}",
+            run.report.render()
+        );
+        assert!(run.report.mentions("vm-trap"), "{}", run.report.render());
+        assert_eq!(run.report.final_engine, Engine::Interp);
+    }
+}

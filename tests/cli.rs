@@ -131,3 +131,117 @@ fn bad_inputs_fail_cleanly() {
     assert!(!ok);
     assert!(stderr.contains("usage"), "{stderr}");
 }
+
+#[test]
+fn malformed_source_gets_rustc_style_diagnostic() {
+    let dir = std::env::temp_dir().join("zlc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.zl");
+    std::fs::write(&path, "program broken\nregion R = [1..n];\n").unwrap();
+    let (_, stderr, ok) = zlc(&[path.to_str().unwrap()]);
+    assert!(!ok);
+    // A rendered diagnostic with a clickable span — no panic, no backtrace.
+    assert!(stderr.starts_with("error["), "{stderr}");
+    assert!(stderr.contains("--> "), "{stderr}");
+    assert!(stderr.contains("broken.zl:"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(!stderr.contains("RUST_BACKTRACE"), "{stderr}");
+}
+
+#[test]
+fn unknown_engine_is_a_clean_usage_error() {
+    let (_, stderr, ok) = zlc(&[&program_path("heat.zl"), "--run", "--engine", "jit"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown engine `jit`"), "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn out_of_range_config_is_a_diagnostic_not_a_panic() {
+    let (_, stderr, ok) = zlc(&[
+        &program_path("heat.zl"),
+        "--run",
+        "--set",
+        "n=9999999999999",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("error[config]"), "{stderr}");
+    assert!(stderr.contains("1 TiB"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn supervised_clean_run_reports_no_degradation() {
+    let (stdout, stderr, ok) = zlc(&[
+        &program_path("heat.zl"),
+        "--supervise",
+        "--engine",
+        "vm-verified",
+        "--set",
+        "n=16",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("err = "), "{stdout}");
+    assert!(stdout.contains("supervised run"), "{stdout}");
+    assert!(stdout.contains("attempt 1"), "{stdout}");
+    assert!(!stdout.contains("degraded"), "{stdout}");
+}
+
+#[test]
+fn supervised_run_with_injected_trap_degrades_and_succeeds() {
+    let (stdout, stderr, ok) = zlc(&[
+        &program_path("heat.zl"),
+        "--supervise",
+        "--engine",
+        "vm-verified",
+        "--inject",
+        "seed=42,vm-trap",
+        "--set",
+        "n=16",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("err = "), "{stdout}");
+    assert!(stdout.contains("vm-trap"), "{stdout}");
+    assert!(stdout.contains("degraded"), "{stdout}");
+}
+
+#[test]
+fn supervised_zero_fuel_still_produces_the_answer() {
+    let (stdout, stderr, ok) = zlc(&[
+        &program_path("heat.zl"),
+        "--supervise",
+        "--fuel",
+        "0",
+        "--set",
+        "n=8",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("err = "), "{stdout}");
+    assert!(stdout.contains("fuel exhausted"), "{stdout}");
+    assert!(stdout.contains("baseline on interp"), "{stdout}");
+}
+
+#[test]
+fn supervised_machine_run_prints_sim_line() {
+    let (stdout, stderr, ok) = zlc(&[
+        &program_path("heat.zl"),
+        "--supervise",
+        "--machine",
+        "t3e",
+        "--procs",
+        "16",
+        "--set",
+        "n=16",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("simulated x16"), "{stdout}");
+}
+
+#[test]
+fn bad_inject_plan_is_a_usage_error() {
+    let (_, stderr, ok) = zlc(&[&program_path("heat.zl"), "--inject", "seed=1,warp-core"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --inject plan"), "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+}

@@ -26,6 +26,7 @@ fn run(bench: &zpl_fusion::workloads::Benchmark, level: Level, procs: u64) -> f6
         procs,
         policy: CommPolicy::default(),
         engine: Engine::default(),
+        limits: loopir::ExecLimits::none(),
     };
     simulate(&opt.scalarized, binding, &cfg).unwrap().total_ns
 }
@@ -104,6 +105,7 @@ fn contraction_never_worsens_memory_or_time() {
                     procs: 1,
                     policy: CommPolicy::default(),
                     engine: Engine::default(),
+                    limits: loopir::ExecLimits::none(),
                 };
                 simulate(&opt.scalarized, binding, &cfg).unwrap()
             };
@@ -173,6 +175,7 @@ fn favoring_fusion_wins_on_the_machines_with_offloaded_messaging() {
                     procs: 16,
                     policy: CommPolicy::default(),
                     engine: Engine::default(),
+                    limits: loopir::ExecLimits::none(),
                 };
                 simulate(&opt.scalarized, binding, &cfg).unwrap().total_ns
             };
