@@ -428,6 +428,28 @@ mod tests {
     }
 
     #[test]
+    fn to_dot_golden() {
+        // The dot rendering is a stable external format (`zlc --print asdg`
+        // and the --emit snapshots embed it): pin the exact node and edge
+        // labels for a two-statement flow chain into a reduction.
+        let (g, np) = asdg_of(&format!(
+            "{P} begin [R] B := A@w; [R] C := B; s := +<< [R] C; end"
+        ));
+        let dot = to_dot(&np.program, &np.blocks[0], &g);
+        assert_eq!(
+            dot,
+            "digraph asdg {\n\
+             \x20 node [shape=box, fontname=\"monospace\"];\n\
+             \x20 s0 [label=\"0: [R] B := ...\"];\n\
+             \x20 s1 [label=\"1: [R] C := ...\"];\n\
+             \x20 s2 [label=\"2: s := reduce [R]\"];\n\
+             \x20 s0 -> s1 [label=\"(B#1, (0,0), flow)\"];\n\
+             \x20 s1 -> s2 [label=\"(C#2, (0,0), flow)\"];\n\
+             }\n"
+        );
+    }
+
+    #[test]
     fn output_dependence_between_redefinitions() {
         let (g, _) = asdg_of(&format!(
             "{P} begin [R] C := A; [R] C := B; s := +<< [R] C; end"

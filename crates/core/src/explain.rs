@@ -187,15 +187,9 @@ pub fn diagnose(opt: &Optimized) -> Vec<ArrayDiagnosis> {
                     let mut ctx = FusionCtx::new(&np.program, block, &detail.asdg);
                     ctx.opts = detail.opts.clone();
                     let class_contracted = if decl.compiler_temp {
-                        opt.level != crate::pipeline::Level::Baseline
-                            && opt.level != crate::pipeline::Level::F1
+                        opt.level.contracts_compiler()
                     } else {
-                        matches!(
-                            opt.level,
-                            crate::pipeline::Level::C2
-                                | crate::pipeline::Level::C2F3
-                                | crate::pipeline::Level::C2F4
-                        )
+                        opt.level.contracts_user()
                     };
                     if !class_contracted {
                         Outcome::Kept(vec![Blocker::LevelExcludes])

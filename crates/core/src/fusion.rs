@@ -437,7 +437,7 @@ impl<'a> FusionCtx<'a> {
                     .map(|&r| self.program.region(r).name.as_str())
                     .collect();
                 return Err(Diagnostic::error(
-                    Stage::Partition,
+                    Stage::VerifyPartition,
                     format!(
                         "cluster {cluster} (stmts {stmts:?}) violates Definition 5 \
                          condition (i): its statements span regions {}",
@@ -448,7 +448,7 @@ impl<'a> FusionCtx<'a> {
             let c: BTreeSet<usize> = [cluster].into_iter().collect();
             if self.merged_ok(part, &c).is_none() {
                 return Err(Diagnostic::error(
-                    Stage::Partition,
+                    Stage::VerifyPartition,
                     format!("cluster {cluster} (stmts {stmts:?}) violates Definition 5"),
                 ));
             }
@@ -482,7 +482,7 @@ impl<'a> FusionCtx<'a> {
         }
         if done != live.len() {
             return Err(Diagnostic::error(
-                Stage::Partition,
+                Stage::VerifyPartition,
                 "inter-cluster dependence cycle",
             ));
         }

@@ -52,6 +52,7 @@ pub mod ext;
 pub mod fusion;
 pub mod loopstruct;
 pub mod normal;
+pub mod pass;
 pub mod pipeline;
 pub mod scalarize;
 pub mod supervisor;
@@ -59,6 +60,7 @@ pub mod verify;
 pub mod weights;
 
 pub use depvec::Udv;
-pub use pipeline::{Level, Pipeline};
+pub use pass::{CompileSession, Pass, PassId, PassManager, PassResult, PassTrace};
+pub use pipeline::{Level, Optimized, Pipeline};
 pub use supervisor::{Budgets, Supervised, Supervisor, SupervisorError, SupervisorReport};
 pub use verify::{Diagnostic, VerifyLevel};

@@ -11,14 +11,12 @@
 //! | `C2F3`      | C2 + fusion for locality                 | compiler + user    |
 //! | `C2F4`      | C2F3 + all legal (greedy pairwise)       | compiler + user    |
 
-use crate::asdg::{self, Asdg, DefId};
-use crate::fusion::{FusionCtx, FusionOpts, Partition};
-use crate::normal::{self, NStmt, NormProgram};
-use crate::scalarize::scalarize_block_grouped;
-use crate::verify::{self, Diagnostic, VerifyLevel};
-use crate::weights::sort_by_weight;
-use loopir::{LStmt, ScalarProgram};
-use std::collections::HashSet;
+use crate::asdg::{Asdg, DefId};
+use crate::fusion::{FusionOpts, Partition};
+use crate::normal::NormProgram;
+use crate::pass::{self, CompileSession, PassId, PassManager, PassTrace};
+use crate::verify::{Diagnostic, VerifyLevel};
+use loopir::ScalarProgram;
 use std::fmt;
 use zlang::ir::{ArrayId, Program};
 
@@ -72,27 +70,35 @@ impl Level {
         }
     }
 
-    fn fuses_user(self) -> bool {
+    /// Whether the level fuses for contraction of *user* arrays (in
+    /// addition to compiler temporaries).
+    pub fn fuses_user(self) -> bool {
         matches!(self, Level::F2 | Level::C2 | Level::C2F3 | Level::C2F4)
     }
 
-    fn fuses_compiler(self) -> bool {
+    /// Whether the level runs `FUSION-FOR-CONTRACTION` at all (every
+    /// level except the baseline).
+    pub fn fuses_compiler(self) -> bool {
         self != Level::Baseline
     }
 
-    fn locality_fusion(self) -> bool {
+    /// Whether the level additionally fuses for locality (`f3` family).
+    pub fn locality_fusion(self) -> bool {
         matches!(self, Level::F3 | Level::C2F3 | Level::C2F4)
     }
 
-    fn pairwise_fusion(self) -> bool {
+    /// Whether the level runs greedy legal pairwise fusion (`c2+f4`).
+    pub fn pairwise_fusion(self) -> bool {
         self == Level::C2F4
     }
 
-    fn contracts_compiler(self) -> bool {
+    /// Whether the level contracts compiler temporaries.
+    pub fn contracts_compiler(self) -> bool {
         !matches!(self, Level::Baseline | Level::F1)
     }
 
-    fn contracts_user(self) -> bool {
+    /// Whether the level contracts user arrays too (`c2` family).
+    pub fn contracts_user(self) -> bool {
         matches!(self, Level::C2 | Level::C2F3 | Level::C2F4)
     }
 }
@@ -181,6 +187,15 @@ pub struct Optimized {
     /// Findings of the translation validator ([`crate::verify`]); empty
     /// when verification is off or everything checked out.
     pub diagnostics: Vec<Diagnostic>,
+    /// Per-pass instrumentation from the [`PassManager`]: wall-clock
+    /// timing and statement/cluster counters, in execution order.
+    pub passes: Vec<PassTrace>,
+    /// Per-block ASDG constructions that actually ran — at most one per
+    /// block per mutation epoch thanks to the session's analysis cache.
+    pub asdg_builds: usize,
+    /// IR snapshot captured after the pass requested with
+    /// [`Pipeline::with_emit`], if that pass ran.
+    pub emitted: Option<String>,
 }
 
 impl Optimized {
@@ -205,6 +220,9 @@ pub struct Pipeline<'f> {
     spatial_cap: Option<usize>,
     dimension_contraction: bool,
     verify: VerifyLevel,
+    dse: bool,
+    rce: bool,
+    emit: Option<PassId>,
 }
 
 impl fmt::Debug for Pipeline<'_> {
@@ -226,7 +244,36 @@ impl<'f> Pipeline<'f> {
             spatial_cap: None,
             dimension_contraction: false,
             verify: VerifyLevel::default(),
+            dse: false,
+            rce: false,
+            emit: None,
         }
+    }
+
+    /// Enables dead-statement elimination ([`PassId::Dse`]): statements
+    /// whose definition is never read and whose region is fully
+    /// overwritten later in the block are removed. Off at every paper
+    /// level (`+dse` level suffix in `zlc`).
+    pub fn with_dse(mut self) -> Self {
+        self.dse = true;
+        self
+    }
+
+    /// Enables redundant-computation elimination ([`PassId::Rce`]):
+    /// statements recomputing an earlier right-hand side (modulo a
+    /// uniform offset shift) become shifted reads of the earlier result.
+    /// Off at every paper level (`+rce` level suffix in `zlc`).
+    pub fn with_rce(mut self) -> Self {
+        self.rce = true;
+        self
+    }
+
+    /// Captures an IR snapshot after the named pass runs; the text lands
+    /// in [`Optimized::emitted`] (it stays `None` if the pass is not part
+    /// of this level's sequence). Drives `zlc --emit`.
+    pub fn with_emit(mut self, pass: PassId) -> Self {
+        self.emit = Some(pass);
+        self
     }
 
     /// Sets when the translation validator ([`crate::verify`]) runs over
@@ -274,264 +321,28 @@ impl<'f> Pipeline<'f> {
         self
     }
 
-    /// Runs the pipeline on a program.
+    /// Runs the pipeline on a program: builds the level's pass sequence,
+    /// executes it over a [`CompileSession`] under the instrumented
+    /// [`PassManager`], and packages the result.
     pub fn optimize(&self, program: &Program) -> Optimized {
-        // Stage markers let the supervisor attribute a caught panic to
-        // the phase that raised it; they are thread-local writes, free
-        // for unsupervised callers.
-        crate::supervisor::enter_stage(crate::supervisor::Stage::Normalize);
-        let mut np = normal::normalize(program);
-        let binding = np.default_binding();
-        let candidates = normal::contraction_candidates(&np);
-        let mut report = Report::default();
-
-        // Per-block: fuse, decide contraction, scalarize.
-        let mut block_out: Vec<Vec<LStmt>> = Vec::with_capacity(np.blocks.len());
-        let mut details: Vec<BlockDetail> = Vec::with_capacity(np.blocks.len());
-        let mut contracted_arrays: HashSet<ArrayId> = HashSet::new();
-        let mut partially_kept: HashSet<ArrayId> = HashSet::new();
-        let mut collapse_list: Vec<(ArrayId, u8)> = Vec::new();
-        let mut cheap_check_failed = false;
-
-        for (bi, block) in np.blocks.iter().enumerate() {
-            crate::supervisor::enter_stage(crate::supervisor::Stage::Fuse);
-            let g = asdg::build(&np.program, block);
-            let mut ctx = FusionCtx::new(&np.program, block, &g);
-            ctx.opts = self.base_opts.clone();
-            if let Some(f) = &self.forbid {
-                ctx.opts.forbidden_pairs = f(&np, bi, &g);
-            }
-
-            let mut compiler_defs = Vec::new();
-            let mut user_defs = Vec::new();
-            for (ai, cand) in candidates.iter().enumerate() {
-                if *cand != Some(bi) {
-                    continue;
-                }
-                let a = ArrayId(ai as u32);
-                let defs = g.defs_of(a);
-                if np.program.array(a).compiler_temp {
-                    compiler_defs.extend(defs);
-                } else {
-                    user_defs.extend(defs);
-                }
-            }
-
-            let mut part = Partition::trivial(g.n);
-            if self.level.fuses_compiler() {
-                let mut fuse_set = compiler_defs.clone();
-                if self.level.fuses_user() {
-                    fuse_set.extend(user_defs.iter().copied());
-                }
-                let fuse_set = sort_by_weight(&np.program, block, &g, fuse_set, &binding);
-                ctx.fusion_for_contraction(&mut part, &fuse_set);
-            }
-            if self.level.locality_fusion() {
-                let all: Vec<DefId> = (0..g.defs.len() as u32).map(DefId).collect();
-                let all = sort_by_weight(&np.program, block, &g, all, &binding);
-                ctx.fusion_for_locality(&mut part, &all);
-            }
-            if self.level.pairwise_fusion() {
-                match self.spatial_cap {
-                    Some(cap) => ctx.pairwise_fusion_bounded(&mut part, cap),
-                    None => ctx.pairwise_fusion(&mut part),
-                }
-            }
-
-            let mut contract_set = Vec::new();
-            if self.level.contracts_compiler() {
-                contract_set.extend(compiler_defs.iter().copied());
-            }
-            if self.level.contracts_user() {
-                contract_set.extend(user_defs.iter().copied());
-            }
-            let contracted_defs = ctx.contracted_defs(&part, &contract_set);
-            report.contracted_defs += contracted_defs.len();
-
-            // Array-level bookkeeping: an array is fully contracted iff
-            // every one of its definitions contracted.
-            let contracted_def_set: HashSet<DefId> = contracted_defs.iter().copied().collect();
-            for (ai, cand) in candidates.iter().enumerate() {
-                if *cand != Some(bi) {
-                    continue;
-                }
-                let a = ArrayId(ai as u32);
-                let defs = g.defs_of(a);
-                if !defs.is_empty() && defs.iter().all(|d| contracted_def_set.contains(d)) {
-                    contracted_arrays.insert(a);
-                } else {
-                    partially_kept.insert(a);
-                }
-            }
-
-            // Optional dimension contraction: partial-fusion groups whose
-            // flow-flat arrays collapse to one slice.
-            let groups = if self.dimension_contraction {
-                crate::ext::find_groups(&ctx, &part, &contract_set, &contracted_def_set)
-            } else {
-                Vec::new()
-            };
-            for grp in &groups {
-                for &a in &grp.collapsed {
-                    collapse_list.push((a, grp.dim));
-                }
-            }
-
-            if self.verify == VerifyLevel::OnFailure && ctx.validate(&part).is_err() {
-                cheap_check_failed = true;
-            }
-
-            crate::supervisor::enter_stage(crate::supervisor::Stage::Scalarize);
-            block_out.push(scalarize_block_grouped(
-                &ctx,
-                &part,
-                &contracted_def_set,
-                &groups,
-            ));
-            details.push(BlockDetail {
-                asdg: g.clone(),
-                partition: part,
-                contracted: contracted_defs,
-                opts: ctx.opts.clone(),
-            });
+        let mut session =
+            CompileSession::new(program, self.level, self.base_opts.clone(), self.verify);
+        if let Some(f) = &self.forbid {
+            session.forbid = Some(&**f);
         }
-
-        // Apply collapses to the (owned) normalized program before
-        // scalarized code is packaged with it.
-        for &(a, dim) in &collapse_list {
-            let decl = &mut np.program.arrays[a.0 as usize];
-            if !decl.collapsed.contains(&dim) {
-                decl.collapsed.push(dim);
-            }
+        let mut manager = PassManager::new(pass::build_sequence(
+            self.level,
+            self.dse,
+            self.rce,
+            self.dimension_contraction,
+            self.spatial_cap,
+        ));
+        if let Some(e) = self.emit {
+            manager.set_emit(e);
         }
-        report.dimension_contracted = {
-            let mut v: Vec<ArrayId> = collapse_list.iter().map(|&(a, _)| a).collect();
-            v.sort();
-            v.dedup();
-            v.len()
-        };
-
-        let stmts = splice(&np.body, &mut block_out.iter().cloned());
-        let scalarized = ScalarProgram {
-            program: np.program.clone(),
-            stmts,
-        };
-
-        // Figure 7 accounting: arrays referenced before vs after.
-        let referenced_before = referenced_arrays(&np);
-        let live_after: HashSet<ArrayId> = scalarized.live_arrays().into_iter().collect();
-        for &a in &referenced_before {
-            let is_temp = np.program.array(a).compiler_temp;
-            if is_temp {
-                report.compiler_before += 1;
-            } else {
-                report.user_before += 1;
-            }
-            if live_after.contains(&a) {
-                if is_temp {
-                    report.compiler_after += 1;
-                } else {
-                    report.user_after += 1;
-                }
-            }
-        }
-        report.nests = scalarized.nest_count();
-
-        let mut contracted: Vec<ArrayId> = referenced_before
-            .iter()
-            .copied()
-            .filter(|a| !live_after.contains(a))
-            .collect();
-        contracted.sort();
-
-        let mut out = Optimized {
-            norm: np,
-            scalarized,
-            contracted,
-            report,
-            level: self.level,
-            details,
-            diagnostics: Vec::new(),
-        };
-        let run_validator = match self.verify {
-            VerifyLevel::Off => false,
-            VerifyLevel::OnFailure => cheap_check_failed,
-            VerifyLevel::Always => true,
-        };
-        if run_validator {
-            out.diagnostics = verify::validate(&out);
-        }
-        out
+        let run = manager.run(&mut session);
+        session.finish(run)
     }
-}
-
-/// Splices scalarized blocks back into the control-flow skeleton.
-fn splice(body: &[NStmt], blocks: &mut impl Iterator<Item = Vec<LStmt>>) -> Vec<LStmt> {
-    // Blocks are numbered in discovery order, which is a pre-order walk —
-    // reproduce the same walk.
-    fn walk(body: &[NStmt], blocks: &[Vec<LStmt>], out: &mut Vec<LStmt>) {
-        for s in body {
-            match s {
-                NStmt::Block(i) => out.extend(blocks[*i].iter().cloned()),
-                NStmt::For {
-                    var,
-                    lo,
-                    hi,
-                    down,
-                    body,
-                } => {
-                    let mut inner = Vec::new();
-                    walk(body, blocks, &mut inner);
-                    out.push(LStmt::For {
-                        var: *var,
-                        lo: lo.clone(),
-                        hi: hi.clone(),
-                        down: *down,
-                        body: inner,
-                    });
-                }
-                NStmt::If {
-                    cond,
-                    then_body,
-                    else_body,
-                } => {
-                    let mut t = Vec::new();
-                    let mut e = Vec::new();
-                    walk(then_body, blocks, &mut t);
-                    walk(else_body, blocks, &mut e);
-                    out.push(LStmt::If {
-                        cond: cond.clone(),
-                        then_body: t,
-                        else_body: e,
-                    });
-                }
-            }
-        }
-    }
-    let collected: Vec<Vec<LStmt>> = blocks.collect();
-    let mut out = Vec::new();
-    walk(body, &collected, &mut out);
-    out
-}
-
-/// All arrays referenced anywhere in the normalized program.
-fn referenced_arrays(np: &NormProgram) -> Vec<ArrayId> {
-    let mut seen = vec![false; np.program.arrays.len()];
-    for block in &np.blocks {
-        for s in &block.stmts {
-            for (a, _) in s.reads() {
-                seen[a.0 as usize] = true;
-            }
-            if let Some(a) = s.lhs_array() {
-                seen[a.0 as usize] = true;
-            }
-        }
-    }
-    seen.iter()
-        .enumerate()
-        .filter(|(_, &s)| s)
-        .map(|(i, _)| ArrayId(i as u32))
-        .collect()
 }
 
 #[cfg(test)]

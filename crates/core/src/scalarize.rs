@@ -11,7 +11,7 @@ use crate::asdg::DefId;
 use crate::fusion::{FusionCtx, Partition};
 use crate::normal::BStmt;
 use loopir::{EExpr, ElemRef, ElemStmt, LStmt, LoopNest, TempId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use zlang::ast::ReduceOp;
 use zlang::ir::{ArrayExpr, ArrayId, Offset, ScalarExpr};
 
@@ -237,6 +237,33 @@ pub fn scalarize_block(
     scalarize_block_grouped(ctx, part, contracted, &[])
 }
 
+/// Runs `FIND-LOOP-STRUCTURE` for every cluster that will be lowered as
+/// its own loop nest, keyed by cluster id.
+///
+/// Partial-fusion group members are skipped (their inner structures come
+/// from [`crate::ext::PartialGroup::inner`]), as are lone scalar
+/// statements (which lower without loops). The result feeds
+/// [`scalarize_block_with_structures`], letting the pass manager schedule
+/// structure selection and lowering as separate passes.
+pub fn cluster_structures(
+    ctx: &FusionCtx<'_>,
+    part: &Partition,
+    groups: &[crate::ext::PartialGroup],
+) -> BTreeMap<usize, Vec<i8>> {
+    let mut out = BTreeMap::new();
+    for c in part.live_clusters() {
+        if groups.iter().any(|g| g.clusters.contains(&c)) {
+            continue;
+        }
+        let stmts = part.cluster(c);
+        if stmts.len() == 1 && matches!(ctx.block.stmts[stmts[0]], BStmt::Scalar { .. }) {
+            continue;
+        }
+        out.insert(c, ctx.cluster_structure(part, c));
+    }
+    out
+}
+
 /// Scalarizes a block with partial-fusion groups: each group's clusters
 /// share one outer loop ([`LStmt::Outer`]) over the group's dimension,
 /// enabling dimension contraction of the arrays flowing between them.
@@ -245,6 +272,20 @@ pub fn scalarize_block_grouped(
     part: &Partition,
     contracted: &HashSet<DefId>,
     groups: &[crate::ext::PartialGroup],
+) -> Vec<LStmt> {
+    scalarize_block_with_structures(ctx, part, contracted, groups, None)
+}
+
+/// Like [`scalarize_block_grouped`], but taking precomputed per-cluster
+/// loop structures (from [`cluster_structures`]) instead of invoking
+/// `FIND-LOOP-STRUCTURE` during lowering. Clusters absent from the map
+/// fall back to computing their structure on the spot.
+pub fn scalarize_block_with_structures(
+    ctx: &FusionCtx<'_>,
+    part: &Partition,
+    contracted: &HashSet<DefId>,
+    groups: &[crate::ext::PartialGroup],
+    structures: Option<&BTreeMap<usize, Vec<i8>>>,
 ) -> Vec<LStmt> {
     let group_of = |cluster: usize| groups.iter().position(|g| g.clusters.contains(&cluster));
     let mut out = Vec::new();
@@ -265,7 +306,8 @@ pub fn scalarize_block_grouped(
         match group_of(node[0]) {
             None => {
                 debug_assert_eq!(node.len(), 1);
-                let (inits, nest) = lower_cluster(ctx, part, contracted, node[0], None);
+                let known = structures.and_then(|m| m.get(&node[0]).cloned());
+                let (inits, nest) = lower_cluster(ctx, part, contracted, node[0], known);
                 out.extend(inits);
                 out.push(LStmt::Nest(nest));
             }

@@ -65,42 +65,12 @@ use std::sync::Once;
 use std::time::{Duration, Instant};
 use zlang::ir::{ConfigBinding, Program};
 
-/// A pipeline stage, for fault attribution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Stage {
-    /// Source text to IR ([`zlang::compile`]).
-    Parse,
-    /// Normalization to compute normal form.
-    Normalize,
-    /// ASDG construction and fusion partitioning.
-    Fuse,
-    /// Contraction and loop generation.
-    Scalarize,
-    /// Bytecode verification (`vm-verified` only).
-    Verify,
-    /// Program execution.
-    Execute,
-}
-
-impl Stage {
-    /// The stage's display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Stage::Parse => "parse",
-            Stage::Normalize => "normalize",
-            Stage::Fuse => "fuse",
-            Stage::Scalarize => "scalarize",
-            Stage::Verify => "verify",
-            Stage::Execute => "execute",
-        }
-    }
-}
-
-impl fmt::Display for Stage {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
+/// A pipeline stage, for fault attribution — the shared pass identity
+/// from [`crate::pass::PassId`]. The pass manager marks each pass as it
+/// runs, so a caught panic is attributed to the exact pass (e.g.
+/// `fuse-contraction`) rather than a coarse phase; `Parse`,
+/// `VerifyBytecode`, and `Execute` cover the stages around the manager.
+pub use crate::pass::PassId as Stage;
 
 thread_local! {
     static CURRENT_STAGE: Cell<Stage> = const { Cell::new(Stage::Execute) };
@@ -631,7 +601,7 @@ impl<'a> Supervisor<'a> {
         };
 
         enter_stage(if engine == Engine::VmVerified {
-            Stage::Verify
+            Stage::VerifyBytecode
         } else {
             Stage::Execute
         });
@@ -650,7 +620,7 @@ impl<'a> Supervisor<'a> {
             Ok(Ok(outcome)) => Ok(outcome),
             Ok(Err(e)) => Err(Cause {
                 stage: if e.kind == ErrorKind::Verify {
-                    Stage::Verify
+                    Stage::VerifyBytecode
                 } else {
                     Stage::Execute
                 },
@@ -741,7 +711,7 @@ mod tests {
         assert!(run
             .report
             .faults()
-            .any(|c| c.kind == CauseKind::VerifyReject && c.stage == Stage::Verify));
+            .any(|c| c.kind == CauseKind::VerifyReject && c.stage == Stage::VerifyBytecode));
     }
 
     #[test]

@@ -206,7 +206,7 @@ pub(crate) fn check(program: &Program, block: &Block, bi: usize, g: &Asdg) -> Ve
     // Structural sanity first: diffing makes no sense on a malformed graph.
     if g.n != block.stmts.len() {
         return vec![Diagnostic::error(
-            Stage::Asdg,
+            Stage::VerifyAsdg,
             format!(
                 "graph has {} vertices but the block has {} statements",
                 g.n,
@@ -219,7 +219,7 @@ pub(crate) fn check(program: &Program, block: &Block, bi: usize, g: &Asdg) -> Ve
         if e.src >= e.dst || e.dst >= g.n {
             diags.push(
                 Diagnostic::error(
-                    Stage::Asdg,
+                    Stage::VerifyAsdg,
                     format!(
                         "edge {} -> {} does not point forward within the block",
                         e.src, e.dst
@@ -234,7 +234,7 @@ pub(crate) fn check(program: &Program, block: &Block, bi: usize, g: &Asdg) -> Ve
         if g.write_def[si].is_some() != is_array {
             diags.push(
                 Diagnostic::error(
-                    Stage::Asdg,
+                    Stage::VerifyAsdg,
                     "write-definition table disagrees with the statement kinds".to_string(),
                 )
                 .in_block(bi)
@@ -269,7 +269,7 @@ pub(crate) fn check(program: &Program, block: &Block, bi: usize, g: &Asdg) -> Ve
             let w = &want[i];
             diags.push(
                 Diagnostic::error(
-                    Stage::Asdg,
+                    Stage::VerifyAsdg,
                     format!("missing dependence: {}", describe(program, w)),
                 )
                 .in_block(bi)
@@ -285,7 +285,7 @@ pub(crate) fn check(program: &Program, block: &Block, bi: usize, g: &Asdg) -> Ve
             let h = &have[j];
             diags.push(
                 Diagnostic::warning(
-                    Stage::Asdg,
+                    Stage::VerifyAsdg,
                     format!("spurious dependence: {}", describe(program, h)),
                 )
                 .in_block(bi)

@@ -35,7 +35,7 @@ pub(crate) fn check(
         if x.0 as usize >= g.defs.len() {
             diags.push(
                 Diagnostic::error(
-                    Stage::Contraction,
+                    Stage::VerifyContraction,
                     format!("contracted definition #{} does not exist in the graph", x.0),
                 )
                 .in_block(bi),
@@ -48,7 +48,7 @@ pub(crate) fn check(
         if info.def_stmt.is_none() {
             diags.push(
                 Diagnostic::error(
-                    Stage::Contraction,
+                    Stage::VerifyContraction,
                     format!(
                         "live-in range of `{name}` was contracted — its values exist before \
                          the block and cannot live in a loop-local scalar"
@@ -64,7 +64,7 @@ pub(crate) fn check(
             _ => {
                 diags.push(
                     Diagnostic::error(
-                        Stage::Contraction,
+                        Stage::VerifyContraction,
                         format!(
                             "`{name}` is not a contraction candidate in this block — it is \
                              referenced elsewhere or read before being written"
@@ -83,7 +83,7 @@ pub(crate) fn check(
         if clusters.len() > 1 {
             diags.push(
                 Diagnostic::error(
-                    Stage::Contraction,
+                    Stage::VerifyContraction,
                     format!(
                         "references to contracted `{name}` are spread over clusters \
                          {clusters:?} — Definition 6 requires them in one fused nest"
@@ -101,7 +101,7 @@ pub(crate) fn check(
             if !null {
                 diags.push(
                     Diagnostic::error(
-                        Stage::Contraction,
+                        Stage::VerifyContraction,
                         format!(
                             "flow dependence {src} -> {dst} on contracted `{name}` has UDV \
                              {} — a non-null flow means the consumer needs a value from a \

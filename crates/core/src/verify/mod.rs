@@ -8,21 +8,21 @@
 //! (and deliberately simpler, brute-force where possible) algorithm and
 //! diffs the result against what the pipeline produced:
 //!
-//! * [`normal_form`] — the normalized program is well formed (no statement
+//! * `normal_form` — the normalized program is well formed (no statement
 //!   reads and writes the same array; offset ranks match region ranks),
 //!   per Section 2.1 of the paper.
-//! * [`asdg_check`] — the array statement dependence graph is sound and
+//! * `asdg_check` — the array statement dependence graph is sound and
 //!   complete: dependences are recomputed with a naive quadratic
 //!   pair-scan (Definitions 2–3) and the edge sets diffed.
-//! * [`partition`] — the fusion partition is legal per Definition 5:
+//! * `partition` — the fusion partition is legal per Definition 5:
 //!   clusters are fusable, share one region, contain no fusion-preventing
 //!   edges, admit *some* legal loop structure (found by exhaustive search
 //!   over signed permutations, independent of the greedy search the
 //!   pipeline uses), and the cluster graph is acyclic.
-//! * [`structure`] — the loop structure chosen for every emitted nest
+//! * `structure` — the loop structure chosen for every emitted nest
 //!   makes each intra-cluster UDV lexicographically non-negative, per
 //!   Definition 4.
-//! * [`contraction`] — every contracted array satisfies Definition 6
+//! * `contraction` — every contracted array satisfies Definition 6
 //!   against the *final* partition.
 //!
 //! Checkers return structured [`Diagnostic`]s instead of panicking, so a
@@ -31,9 +31,12 @@
 //! [`crate::pipeline::Pipeline`] behind a [`VerifyLevel`].
 #![deny(missing_docs)]
 
-use crate::pipeline::Optimized;
+use crate::normal::NormProgram;
+use crate::pipeline::{BlockDetail, Optimized};
+use loopir::ScalarProgram;
 use std::fmt;
 use std::str::FromStr;
+use zlang::ir::Program;
 
 mod asdg_check;
 mod contraction;
@@ -41,50 +44,11 @@ mod normal_form;
 mod partition;
 mod structure;
 
-/// Which pipeline stage a diagnostic is about.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Stage {
-    /// Normalized-form well-formedness (Section 2.1).
-    NormalForm,
-    /// ASDG soundness and completeness (Definitions 2–3).
-    Asdg,
-    /// Fusion-partition legality (Definition 5).
-    Partition,
-    /// Loop-structure legality of emitted nests (Definition 4).
-    LoopStructure,
-    /// Contraction safety (Definition 6).
-    Contraction,
-}
-
-impl Stage {
-    /// The diagnostic code rendered in brackets, rustc-style.
-    pub fn code(self) -> &'static str {
-        match self {
-            Stage::NormalForm => "verify::normal-form",
-            Stage::Asdg => "verify::asdg",
-            Stage::Partition => "verify::partition",
-            Stage::LoopStructure => "verify::structure",
-            Stage::Contraction => "verify::contraction",
-        }
-    }
-
-    /// The paper definition (or section) this stage's checker enforces.
-    pub fn definition(self) -> &'static str {
-        match self {
-            Stage::NormalForm => "Section 2.1 (normalized array statements)",
-            Stage::Asdg => "Definitions 2-3 (UDVs and the ASDG)",
-            Stage::Partition => "Definition 5 (legal fusion partitions)",
-            Stage::LoopStructure => "Definition 4 (loop structure legality)",
-            Stage::Contraction => "Definition 6 (contractable arrays)",
-        }
-    }
-}
-
-impl fmt::Display for Stage {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.code())
-    }
-}
+/// Which pipeline stage a diagnostic is about — the shared pass identity
+/// from [`crate::pass::PassId`]. The verification stages
+/// (`PassId::Verify*`) carry the paper definition they re-check via
+/// [`crate::pass::PassId::definition`].
+pub use crate::pass::PassId as Stage;
 
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -171,7 +135,9 @@ impl Diagnostic {
             (None, None) => None,
         };
         let mut notes = self.notes.clone();
-        notes.push(self.stage.definition().to_string());
+        if let Some(definition) = self.stage.definition() {
+            notes.push(definition.to_string());
+        }
         zlang::error::render_diagnostic(
             &self.severity.to_string(),
             self.stage.code(),
@@ -272,6 +238,60 @@ pub fn validate(opt: &Optimized) -> Vec<Diagnostic> {
     diags
 }
 
+// Crate-internal entry points for the scheduled verification passes
+// ([`crate::pass`]), one per checker. `validate` above remains the
+// public whole-result wrapper.
+
+/// Normal-form re-check (Section 2.1) for the pass manager.
+pub(crate) fn check_normal_form(np: &NormProgram) -> Vec<Diagnostic> {
+    normal_form::check(np)
+}
+
+/// ASDG re-check (Definitions 2-3) for one block, for the pass manager.
+pub(crate) fn check_asdg(
+    program: &Program,
+    block: &crate::normal::Block,
+    bi: usize,
+    g: &crate::asdg::Asdg,
+) -> Vec<Diagnostic> {
+    asdg_check::check(program, block, bi, g)
+}
+
+/// Partition-legality re-check (Definition 5) for one block, for the
+/// pass manager.
+pub(crate) fn check_partition(
+    program: &Program,
+    block: &crate::normal::Block,
+    bi: usize,
+    g: &crate::asdg::Asdg,
+    part: &crate::fusion::Partition,
+) -> Vec<Diagnostic> {
+    partition::check(program, block, bi, g, part)
+}
+
+/// Contraction-safety re-check (Definition 6) for one block, for the
+/// pass manager.
+pub(crate) fn check_contraction(
+    program: &Program,
+    bi: usize,
+    g: &crate::asdg::Asdg,
+    part: &crate::fusion::Partition,
+    contracted: &[crate::asdg::DefId],
+    candidates: &[Option<usize>],
+) -> Vec<Diagnostic> {
+    contraction::check(program, bi, g, part, contracted, candidates)
+}
+
+/// Loop-structure re-check (Definition 4) over the scalarized program,
+/// for the pass manager.
+pub(crate) fn check_structure(
+    norm: &NormProgram,
+    scalarized: &ScalarProgram,
+    details: &[BlockDetail],
+) -> Vec<Diagnostic> {
+    structure::check_parts(norm, scalarized, details)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,7 +311,7 @@ mod tests {
 
     #[test]
     fn diagnostic_renders_rustc_style() {
-        let d = Diagnostic::error(Stage::Partition, "cluster 1 spans two regions")
+        let d = Diagnostic::error(Stage::VerifyPartition, "cluster 1 spans two regions")
             .in_block(0)
             .at("cluster 1 (statements 0, 2)")
             .note("regions `R` and `S` have different shapes");

@@ -21,7 +21,7 @@ pub(crate) fn check(np: &NormProgram) -> Vec<Diagnostic> {
                 if stmt.reads().iter().any(|(a, _)| *a == lhs) {
                     diags.push(
                         Diagnostic::error(
-                            Stage::NormalForm,
+                            Stage::VerifyNormalForm,
                             format!(
                                 "statement reads and writes `{}` — normalization must split \
                                  it through a compiler temporary",
@@ -36,7 +36,7 @@ pub(crate) fn check(np: &NormProgram) -> Vec<Diagnostic> {
                 if lhs_rank != rank {
                     diags.push(
                         Diagnostic::error(
-                            Stage::NormalForm,
+                            Stage::VerifyNormalForm,
                             format!(
                                 "statement over rank-{rank} region `{}` writes rank-{lhs_rank} \
                                  array `{}`",
@@ -53,7 +53,7 @@ pub(crate) fn check(np: &NormProgram) -> Vec<Diagnostic> {
                 if off.rank() != rank {
                     diags.push(
                         Diagnostic::error(
-                            Stage::NormalForm,
+                            Stage::VerifyNormalForm,
                             format!(
                                 "read of `{}` uses a rank-{} offset {off} in a statement over \
                                  rank-{rank} region `{}`",

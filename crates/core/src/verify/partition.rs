@@ -66,7 +66,7 @@ pub(crate) fn check(
         && covered.iter().all(|&(s, c)| part.cluster_of(s) == c);
     if !stmts_ok {
         return vec![Diagnostic::error(
-            Stage::Partition,
+            Stage::VerifyPartition,
             format!(
                 "clusters do not partition the block's {n} statements \
                  (covered: {:?})",
@@ -85,7 +85,7 @@ pub(crate) fn check(
             if let Some(&s) = stmts.iter().find(|&&s| !block.stmts[s].is_fusable()) {
                 diags.push(
                     Diagnostic::error(
-                        Stage::Partition,
+                        Stage::VerifyPartition,
                         format!(
                             "statement {s} is a scalar assignment and cannot join a \
                                  multi-statement cluster"
@@ -110,7 +110,7 @@ pub(crate) fn check(
                 .collect();
             diags.push(
                 Diagnostic::error(
-                    Stage::Partition,
+                    Stage::VerifyPartition,
                     format!(
                         "cluster spans regions {} — Definition 5 requires all statements of \
                          a cluster to iterate one region",
@@ -136,7 +136,7 @@ pub(crate) fn check(
                         label_bad = true;
                         diags.push(
                             Diagnostic::error(
-                                Stage::Partition,
+                                Stage::VerifyPartition,
                                 format!(
                                     "scalar dependence on `{}` between statements {} and {} \
                                      is intra-cluster — a scalar's value is only complete \
@@ -154,7 +154,7 @@ pub(crate) fn check(
                         label_bad = true;
                         diags.push(
                             Diagnostic::error(
-                                Stage::Partition,
+                                Stage::VerifyPartition,
                                 format!(
                                     "cross-region dependence between statements {} and {} has \
                                      no UDV and cannot be legalized inside a cluster",
@@ -170,7 +170,7 @@ pub(crate) fn check(
                             label_bad = true;
                             diags.push(
                                 Diagnostic::error(
-                                    Stage::Partition,
+                                    Stage::VerifyPartition,
                                     format!(
                                         "intra-cluster flow dependence on `{}` from statement \
                                          {} to {} has non-null UDV {u} — Definition 5 \
@@ -201,7 +201,7 @@ pub(crate) fn check(
                 if !found {
                     diags.push(
                         Diagnostic::error(
-                            Stage::Partition,
+                            Stage::VerifyPartition,
                             format!(
                                 "no loop structure over rank-{rank} region `{}` preserves all \
                                  {} intra-cluster dependences (exhaustive search)",
@@ -250,7 +250,7 @@ pub(crate) fn check(
             .collect();
         diags.push(
             Diagnostic::error(
-                Stage::Partition,
+                Stage::VerifyPartition,
                 format!(
                     "the inter-cluster dependence graph has a cycle through clusters \
                      {stuck:?} — no statement order realizes this partition"

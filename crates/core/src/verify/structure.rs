@@ -19,9 +19,10 @@
 
 use super::{Diagnostic, Stage};
 use crate::asdg::VarLabel;
-use crate::normal::NStmt;
-use crate::pipeline::Optimized;
+use crate::normal::{NStmt, NormProgram};
+use crate::pipeline::{BlockDetail, Optimized};
 use loopir::ir::{is_valid_structure, LStmt, LoopNest};
+use loopir::ScalarProgram;
 
 struct Found<'a> {
     block: usize,
@@ -105,7 +106,7 @@ fn check_reduce_structures(
                 let rank = program.region(*region).rank();
                 if !is_valid_structure(structure, rank) {
                     diags.push(Diagnostic::error(
-                        Stage::LoopStructure,
+                        Stage::VerifyStructure,
                         format!(
                             "reduction over rank-{rank} region `{}` has structure \
                              {structure:?}, which is not a signed permutation of 1..={rank}",
@@ -131,14 +132,22 @@ fn check_reduce_structures(
 }
 
 pub(crate) fn check(opt: &Optimized) -> Vec<Diagnostic> {
-    let program = &opt.norm.program;
+    check_parts(&opt.norm, &opt.scalarized, &opt.details)
+}
+
+pub(crate) fn check_parts(
+    norm: &NormProgram,
+    scalarized: &ScalarProgram,
+    details: &[BlockDetail],
+) -> Vec<Diagnostic> {
+    let program = &norm.program;
     let mut diags = Vec::new();
-    check_reduce_structures(program, &opt.scalarized.stmts, &mut diags);
+    check_reduce_structures(program, &scalarized.stmts, &mut diags);
 
     let mut found = Vec::new();
-    if !align(&opt.norm.body, &opt.scalarized.stmts, &mut found) {
+    if !align(&norm.body, &scalarized.stmts, &mut found) {
         diags.push(Diagnostic::warning(
-            Stage::LoopStructure,
+            Stage::VerifyStructure,
             "control-flow skeletons of the normalized and scalarized programs do not line \
              up; per-nest structure checks skipped",
         ));
@@ -146,10 +155,10 @@ pub(crate) fn check(opt: &Optimized) -> Vec<Diagnostic> {
     }
 
     for f in &found {
-        let Some(detail) = opt.details.get(f.block) else {
+        let Some(detail) = details.get(f.block) else {
             diags.push(
                 Diagnostic::error(
-                    Stage::LoopStructure,
+                    Stage::VerifyStructure,
                     format!("nest belongs to block {} which has no record", f.block),
                 )
                 .in_block(f.block),
@@ -161,7 +170,7 @@ pub(crate) fn check(opt: &Optimized) -> Vec<Diagnostic> {
         if !part.live_clusters().contains(&f.nest.cluster) {
             diags.push(
                 Diagnostic::error(
-                    Stage::LoopStructure,
+                    Stage::VerifyStructure,
                     format!(
                         "nest references cluster {} which is not live in the block's \
                          partition",
@@ -177,12 +186,12 @@ pub(crate) fn check(opt: &Optimized) -> Vec<Diagnostic> {
         let rank = program.region(f.nest.region).rank();
         let mut region_ok = true;
         for &s in stmts {
-            if let Some(r) = opt.norm.blocks[f.block].stmts[s].region() {
+            if let Some(r) = norm.blocks[f.block].stmts[s].region() {
                 if r != f.nest.region {
                     region_ok = false;
                     diags.push(
                         Diagnostic::error(
-                            Stage::LoopStructure,
+                            Stage::VerifyStructure,
                             format!(
                                 "statement {s} iterates region `{}` but its nest was emitted \
                                  over `{}`",
@@ -211,7 +220,7 @@ pub(crate) fn check(opt: &Optimized) -> Vec<Diagnostic> {
             if !partial_ok {
                 diags.push(
                     Diagnostic::error(
-                        Stage::LoopStructure,
+                        Stage::VerifyStructure,
                         format!(
                             "partial structure {:?} under a shared outer loop names invalid \
                              or repeated dimensions of rank-{rank} region `{}`",
@@ -228,7 +237,7 @@ pub(crate) fn check(opt: &Optimized) -> Vec<Diagnostic> {
         if !is_valid_structure(&f.nest.structure, rank) {
             diags.push(
                 Diagnostic::error(
-                    Stage::LoopStructure,
+                    Stage::VerifyStructure,
                     format!(
                         "structure {:?} is not a signed permutation of 1..={rank} for region \
                          `{}`",
@@ -258,7 +267,7 @@ pub(crate) fn check(opt: &Optimized) -> Vec<Diagnostic> {
                 if u.rank() == rank && !u.preserved_by(&f.nest.structure) {
                     diags.push(
                         Diagnostic::error(
-                            Stage::LoopStructure,
+                            Stage::VerifyStructure,
                             format!(
                                 "{} dependence {} -> {} with UDV {u} is violated by loop \
                                  structure {:?}: the constrained distance vector {:?} is \

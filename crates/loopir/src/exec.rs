@@ -10,7 +10,7 @@
 //! * [`RunOutcome`] — the complete result of a run (final scalar values
 //!   plus [`RunStats`] counters), replacing post-run field poking;
 //! * [`Engine`] — selects between the tree-walking [`Interp`] and the
-//!   bytecode [`Vm`](crate::Vm), for benches and CLI flags.
+//!   bytecode [`Vm`], for benches and CLI flags.
 //!
 //! ```
 //! # fn main() -> Result<(), loopir::ExecError> {
@@ -40,8 +40,8 @@ use zlang::ir::{ConfigBinding, ScalarId};
 /// wall-clock deadline. The default is unlimited.
 ///
 /// One unit of fuel is one abstract step: a bytecode instruction on the
-/// [`Vm`](crate::Vm), a loop-nest iteration point on the
-/// [`Interp`](crate::Interp). The two engines therefore exhaust a given
+/// [`Vm`], a loop-nest iteration point on the
+/// [`Interp`]. The two engines therefore exhaust a given
 /// budget at different program sizes; fuel bounds *work*, it is not a
 /// portable measure of it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -111,7 +111,7 @@ impl RunOutcome {
 /// Runs a [`ScalarProgram`] to completion.
 ///
 /// Implemented by the tree-walking [`Interp`] and the bytecode
-/// [`Vm`](crate::Vm); both stream every array element access through the
+/// [`Vm`]; both stream every array element access through the
 /// provided [`Observer`], so the cache simulator sees an identical access
 /// stream regardless of engine.
 pub trait Executor {
@@ -146,7 +146,7 @@ pub trait Executor {
 pub enum Engine {
     /// The reference tree-walking interpreter ([`Interp`]).
     Interp,
-    /// The bytecode compiler + virtual machine ([`Vm`](crate::Vm)) —
+    /// The bytecode compiler + virtual machine ([`Vm`]) —
     /// same observable behavior, substantially faster. The default.
     #[default]
     Vm,

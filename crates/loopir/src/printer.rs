@@ -225,6 +225,12 @@ pub fn print(sp: &ScalarProgram) -> String {
     out
 }
 
+/// Renders a scalarized program preceded by an `// after <title>` header
+/// line, used by IR snapshot dumps (`zlc --emit`).
+pub fn print_with_header(title: &str, sp: &ScalarProgram) -> String {
+    format!("// after {title}\n{}", print(sp))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,4 +1,4 @@
-//! Static verification of compiled [`bytecode`](crate::bytecode).
+//! Static verification of compiled `bytecode`.
 //!
 //! The bytecode compiler elides the runtime bounds check on an array
 //! access whenever the enclosing loops' index ranges prove it in bounds —

@@ -1,4 +1,4 @@
-//! A register virtual machine executing [`bytecode`](crate::bytecode)
+//! A register virtual machine executing `bytecode`
 //! compiled from a [`ScalarProgram`].
 //!
 //! The VM is observationally identical to the tree-walking

@@ -153,7 +153,7 @@ pub fn simulate(
     simulate_outcome(sp, binding, cfg).map(|(_, sim)| sim)
 }
 
-/// Like [`simulate`], but also returns the program's [`RunOutcome`]
+/// Like [`simulate`], but also returns the program's [`loopir::RunOutcome`]
 /// (final scalar values) alongside the timing result — for callers such
 /// as the supervisor that need the computed answer, not just the model.
 ///

@@ -7,7 +7,7 @@
 //! thread-local read and a `None` check, so the instrumentation costs
 //! nothing measurable on the fault-free path.
 //!
-//! Plans are driven by the crate's seeded [`Rng`](crate::Rng), so a fault
+//! Plans are driven by the crate's seeded [`Rng`], so a fault
 //! schedule is a pure function of `(seed, sequence of fire() calls)` and
 //! every chaos failure reproduces exactly.
 //!

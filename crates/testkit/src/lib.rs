@@ -8,7 +8,7 @@
 //! * [`Rng`] — a fast, seedable SplitMix64 generator;
 //! * [`cases`] — run a closure over `n` deterministic random cases,
 //!   reporting the failing seed so a failure reproduces exactly;
-//! * [`bench`] — time a closure over repeated iterations and report the
+//! * [`bench()`] — time a closure over repeated iterations and report the
 //!   per-iteration minimum, median, and mean;
 //! * [`faults`] — deterministic fault injection ([`faults::FaultPlan`])
 //!   driving the chaos suite and the execution supervisor's tests;
@@ -104,7 +104,7 @@ pub fn cases(n: u64, seed: u64, mut f: impl FnMut(&mut Rng)) {
     }
 }
 
-/// Per-iteration timing summary from [`bench`], in nanoseconds.
+/// Per-iteration timing summary from [`bench()`], in nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Timing {
     /// Fastest iteration.

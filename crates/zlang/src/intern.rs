@@ -1,0 +1,114 @@
+//! String interning for source-level names.
+//!
+//! Every declared name (configs, regions, arrays, scalars) is interned
+//! once during semantic analysis; downstream phases compare and look up
+//! [`Symbol`]s — a `u32` — instead of hashing `String`s. The interner
+//! lives on [`crate::ir::Program`] (via [`crate::ir::NameTable`]) so the
+//! symbol space travels with the program it describes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned name: a cheap, `Copy` handle into an [`Interner`].
+///
+/// Symbols are only meaningful relative to the interner that produced
+/// them; two programs' symbol spaces are unrelated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym{}", self.0)
+    }
+}
+
+/// A bidirectional string ↔ [`Symbol`] table.
+///
+/// Interning the same string twice returns the same symbol; resolution is
+/// an indexed `Vec` access.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, u32>,
+}
+
+impl PartialEq for Interner {
+    fn eq(&self, other: &Self) -> bool {
+        // The map is derived from `names`; comparing the vector suffices.
+        self.names == other.names
+    }
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns a name, returning its (possibly pre-existing) symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&i) = self.map.get(name) {
+            return Symbol(i);
+        }
+        let i = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.map.insert(name.to_string(), i);
+        Symbol(i)
+    }
+
+    /// Looks a name up without interning it.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).map(|&i| Symbol(i))
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` came from a different interner (index out of range).
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.0 as usize]
+    }
+
+    /// The number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_resolves() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.resolve(a), "alpha");
+        assert_eq!(i.resolve(b), "beta");
+        assert_eq!(i.get("beta"), Some(b));
+        assert_eq!(i.get("gamma"), None);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn equality_ignores_map_internals() {
+        let mut a = Interner::new();
+        let mut b = Interner::new();
+        a.intern("x");
+        a.intern("y");
+        b.intern("x");
+        b.intern("y");
+        assert_eq!(a, b);
+        b.intern("z");
+        assert_ne!(a, b);
+    }
+}

@@ -7,6 +7,7 @@
 //! normalization, fusion, and contraction.
 
 use crate::ast::{BinOp, ReduceOp, Type, UnOp};
+use crate::intern::{Interner, Symbol};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -144,9 +145,9 @@ impl ConfigBinding {
     /// Overrides a config variable by name; returns `false` if no config
     /// with that name exists.
     pub fn set_by_name(&mut self, program: &Program, name: &str, value: i64) -> bool {
-        match program.configs.iter().position(|c| c.name == name) {
-            Some(i) => {
-                self.values[i] = value;
+        match program.config_by_name(name) {
+            Some(id) => {
+                self.values[id.0 as usize] = value;
                 true
             }
             None => false,
@@ -536,6 +537,111 @@ pub enum Stmt {
     },
 }
 
+/// The program's interned name table: one [`Symbol`] per declared name,
+/// plus symbol-keyed maps to the declaration ids.
+///
+/// Built by semantic analysis and maintained by
+/// [`Program::add_compiler_temp`], it replaces `String`-keyed `HashMap`
+/// lookups on the sema and tooling hot paths: names are hashed once at
+/// interning time; every later lookup compares a `u32`.
+#[derive(Debug, Clone, Default)]
+pub struct NameTable {
+    interner: Interner,
+    arrays: HashMap<Symbol, ArrayId>,
+    scalars: HashMap<Symbol, ScalarId>,
+    regions: HashMap<Symbol, RegionId>,
+    configs: HashMap<Symbol, ConfigId>,
+}
+
+/// Two tables are equal when they bind the same *names* to the same
+/// declaration ids. Raw [`Symbol`] values are an artifact of interning
+/// order (e.g. direction names interned during analysis but absent from
+/// pretty-printed output), so they are deliberately not compared —
+/// otherwise a print/re-parse round trip would spuriously differ.
+impl PartialEq for NameTable {
+    fn eq(&self, other: &Self) -> bool {
+        fn by_name<'t, T: Copy>(
+            t: &'t NameTable,
+            m: &'t HashMap<Symbol, T>,
+        ) -> HashMap<&'t str, T> {
+            m.iter().map(|(&s, &id)| (t.resolve(s), id)).collect()
+        }
+        by_name(self, &self.arrays) == by_name(other, &other.arrays)
+            && by_name(self, &self.scalars) == by_name(other, &other.scalars)
+            && by_name(self, &self.regions) == by_name(other, &other.regions)
+            && by_name(self, &self.configs) == by_name(other, &other.configs)
+    }
+}
+
+impl NameTable {
+    /// Interns a name (registering nothing), returning its symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        self.interner.intern(name)
+    }
+
+    /// Looks a name up without interning it.
+    pub fn symbol(&self, name: &str) -> Option<Symbol> {
+        self.interner.get(name)
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` came from a different program's table.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Registers an array declaration under its interned name.
+    pub fn register_array(&mut self, name: &str, id: ArrayId) -> Symbol {
+        let sym = self.interner.intern(name);
+        self.arrays.insert(sym, id);
+        sym
+    }
+
+    /// Registers a scalar declaration under its interned name.
+    pub fn register_scalar(&mut self, name: &str, id: ScalarId) -> Symbol {
+        let sym = self.interner.intern(name);
+        self.scalars.insert(sym, id);
+        sym
+    }
+
+    /// Registers a region declaration under its interned name.
+    pub fn register_region(&mut self, name: &str, id: RegionId) -> Symbol {
+        let sym = self.interner.intern(name);
+        self.regions.insert(sym, id);
+        sym
+    }
+
+    /// Registers a config declaration under its interned name.
+    pub fn register_config(&mut self, name: &str, id: ConfigId) -> Symbol {
+        let sym = self.interner.intern(name);
+        self.configs.insert(sym, id);
+        sym
+    }
+
+    /// The array bound to a symbol, if any.
+    pub fn array(&self, sym: Symbol) -> Option<ArrayId> {
+        self.arrays.get(&sym).copied()
+    }
+
+    /// The scalar bound to a symbol, if any.
+    pub fn scalar(&self, sym: Symbol) -> Option<ScalarId> {
+        self.scalars.get(&sym).copied()
+    }
+
+    /// The region bound to a symbol, if any.
+    pub fn region(&self, sym: Symbol) -> Option<RegionId> {
+        self.regions.get(&sym).copied()
+    }
+
+    /// The config bound to a symbol, if any.
+    pub fn config(&self, sym: Symbol) -> Option<ConfigId> {
+        self.configs.get(&sym).copied()
+    }
+}
+
 /// A complete program in the array-level IR.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Program {
@@ -551,31 +657,63 @@ pub struct Program {
     pub scalars: Vec<ScalarDecl>,
     /// Top-level statement list.
     pub body: Vec<Stmt>,
+    /// Interned name table over every declaration.
+    pub names: NameTable,
 }
 
 impl Program {
     /// Looks up an array by name.
     pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
-        self.arrays
-            .iter()
-            .position(|a| a.name == name)
-            .map(|i| ArrayId(i as u32))
+        self.names
+            .symbol(name)
+            .and_then(|s| self.names.array(s))
+            .or_else(|| {
+                // Fallback for hand-built programs that never populated
+                // the table.
+                self.arrays
+                    .iter()
+                    .position(|a| a.name == name)
+                    .map(|i| ArrayId(i as u32))
+            })
     }
 
     /// Looks up a scalar by name.
     pub fn scalar_by_name(&self, name: &str) -> Option<ScalarId> {
-        self.scalars
-            .iter()
-            .position(|s| s.name == name)
-            .map(|i| ScalarId(i as u32))
+        self.names
+            .symbol(name)
+            .and_then(|s| self.names.scalar(s))
+            .or_else(|| {
+                self.scalars
+                    .iter()
+                    .position(|s| s.name == name)
+                    .map(|i| ScalarId(i as u32))
+            })
     }
 
     /// Looks up a region by name.
     pub fn region_by_name(&self, name: &str) -> Option<RegionId> {
-        self.regions
-            .iter()
-            .position(|r| r.name == name)
-            .map(|i| RegionId(i as u32))
+        self.names
+            .symbol(name)
+            .and_then(|s| self.names.region(s))
+            .or_else(|| {
+                self.regions
+                    .iter()
+                    .position(|r| r.name == name)
+                    .map(|i| RegionId(i as u32))
+            })
+    }
+
+    /// Looks up a config by name.
+    pub fn config_by_name(&self, name: &str) -> Option<ConfigId> {
+        self.names
+            .symbol(name)
+            .and_then(|s| self.names.config(s))
+            .or_else(|| {
+                self.configs
+                    .iter()
+                    .position(|c| c.name == name)
+                    .map(|i| ConfigId(i as u32))
+            })
     }
 
     /// The declaration of an array.
@@ -617,6 +755,7 @@ impl Program {
             "_t{}",
             self.arrays.iter().filter(|a| a.compiler_temp).count()
         );
+        self.names.register_array(&name, id);
         self.arrays.push(ArrayDecl {
             name,
             region,

@@ -62,6 +62,7 @@
 
 pub mod ast;
 pub mod error;
+pub mod intern;
 pub mod ir;
 pub mod lexer;
 pub mod parser;

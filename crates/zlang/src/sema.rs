@@ -3,6 +3,7 @@
 
 use crate::ast::{self, AtOffset, Decl, Literal, Type};
 use crate::error::{Error, Pos};
+use crate::intern::Symbol;
 use crate::ir::{
     ArrayDecl, ArrayExpr, ArrayId, ArrayStmt, ConfigDecl, ConfigId, Extent, Intrinsic, LinExpr,
     Offset, Program, RegionDecl, RegionId, ScalarDecl, ScalarExpr, ScalarId, Stmt,
@@ -21,14 +22,23 @@ enum Binding {
 
 struct Analyzer {
     program: Program,
-    names: HashMap<String, Binding>,
+    // Keyed by interned symbol: every source name hashes once, in `bind`
+    // or on its first lookup; repeated references compare a u32.
+    names: HashMap<Symbol, Binding>,
     directions: Vec<Vec<i64>>,
     hidden_scalars: u32,
 }
 
 impl Analyzer {
     fn bind(&mut self, name: &str, b: Binding, pos: Pos) -> Result<(), Error> {
-        if self.names.insert(name.to_string(), b).is_some() {
+        let sym = match b {
+            Binding::Array(id) => self.program.names.register_array(name, id),
+            Binding::Scalar(id) => self.program.names.register_scalar(name, id),
+            Binding::Region(id) => self.program.names.register_region(name, id),
+            Binding::Config(id) => self.program.names.register_config(name, id),
+            Binding::Direction(_) => self.program.names.intern(name),
+        };
+        if self.names.insert(sym, b).is_some() {
             return Err(Error::sema(
                 pos,
                 format!("duplicate declaration of `{name}`"),
@@ -38,9 +48,10 @@ impl Analyzer {
     }
 
     fn lookup(&self, name: &str, pos: Pos) -> Result<Binding, Error> {
-        self.names
-            .get(name)
-            .copied()
+        self.program
+            .names
+            .symbol(name)
+            .and_then(|sym| self.names.get(&sym).copied())
             .ok_or_else(|| Error::sema(pos, format!("undeclared name `{name}`")))
     }
 
@@ -492,6 +503,7 @@ pub fn analyze(ast: &ast::Program) -> Result<Program, Error> {
             arrays: Vec::new(),
             scalars: Vec::new(),
             body: Vec::new(),
+            names: crate::ir::NameTable::default(),
         },
         names: HashMap::new(),
         directions: Vec::new(),

@@ -8,10 +8,17 @@
 //!
 //! options:
 //!   --level <baseline|f1|c1|f2|f3|c2|c2+f3|c2+f4>   (default c2)
+//!                                 append `+dse` and/or `+rce` to also run
+//!                                 the array-level cleanup passes, e.g.
+//!                                 `--level c2+f3+dse+rce`
 //!   --dimension-contraction       enable lower-dimensional contraction
 //!   --spatial-cap <k>             bound pairwise fusion to k array streams
 //!   --favor-comm                  Section 5.5 favor-communication policy
 //!   --print <ir|loops|asdg|report|source>   what to print (repeatable)
+//!   --emit <pass>                 dump the IR snapshot taken right after
+//!                                 the named pass (e.g. `normalize`, `dse`,
+//!                                 `fuse-contraction`, `contract`,
+//!                                 `scalarize`)
 //!   --verify                      re-check every pipeline stage and the
 //!                                 compiled bytecode; report diagnostics
 //!   --run                         execute and print scalars + statistics
@@ -27,6 +34,7 @@
 //!                                 `seed=42,vm-trap` or `seed=1,comm-drop:0.5`
 //! ```
 
+use fusion_core::pass::PassId;
 use fusion_core::pipeline::{Level, Pipeline};
 use fusion_core::supervisor::{Budgets, Supervisor};
 use fusion_core::verify::Severity;
@@ -44,10 +52,13 @@ use zlang::ir::{ConfigBinding, Program};
 struct Options {
     file: String,
     level: Level,
+    dse: bool,
+    rce: bool,
     dimension_contraction: bool,
     spatial_cap: Option<usize>,
     favor_comm: bool,
     prints: Vec<String>,
+    emit: Option<PassId>,
     verify: bool,
     run: bool,
     engine: Engine,
@@ -63,8 +74,9 @@ struct Options {
 fn usage(msg: &str) -> ExitCode {
     eprint!("{}", render_diagnostic("error", "cli", msg, None, &[]));
     eprintln!(
-        "usage: zlc <file.zl> [--level L] [--dimension-contraction] [--spatial-cap K]\n\
-         \x20          [--favor-comm] [--print ir|loops|asdg|report|source]... [--verify]\n\
+        "usage: zlc <file.zl> [--level L[+dse][+rce]] [--dimension-contraction]\n\
+         \x20          [--spatial-cap K] [--favor-comm]\n\
+         \x20          [--print ir|loops|asdg|report|source]... [--emit PASS] [--verify]\n\
          \x20          [--run] [--engine interp|vm|vm-verified] [--machine t3e|sp2|paragon]\n\
          \x20          [--procs P] [--set name=value]... [--supervise] [--deadline-ms N]\n\
          \x20          [--fuel N] [--inject PLAN]"
@@ -72,18 +84,37 @@ fn usage(msg: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
-fn parse_level(s: &str) -> Option<Level> {
-    Level::all().into_iter().find(|l| l.name() == s)
+/// Parses a `--level` spec: a paper level name, optionally followed by
+/// `+dse` / `+rce` suffixes (in any order) enabling the array-level
+/// cleanup passes that no paper level runs.
+fn parse_level(s: &str) -> Option<(Level, bool, bool)> {
+    let (mut base, mut dse, mut rce) = (s, false, false);
+    loop {
+        if let Some(rest) = base.strip_suffix("+dse") {
+            base = rest;
+            dse = true;
+        } else if let Some(rest) = base.strip_suffix("+rce") {
+            base = rest;
+            rce = true;
+        } else {
+            break;
+        }
+    }
+    let level = Level::all().into_iter().find(|l| l.name() == base)?;
+    Some((level, dse, rce))
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         file: String::new(),
         level: Level::C2,
+        dse: false,
+        rce: false,
         dimension_contraction: false,
         spatial_cap: None,
         favor_comm: false,
         prints: Vec::new(),
+        emit: None,
         verify: false,
         run: false,
         engine: Engine::default(),
@@ -105,7 +136,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match a.as_str() {
             "--level" => {
                 let v = value("--level")?;
-                opts.level = parse_level(&v).ok_or_else(|| format!("unknown level `{v}`"))?;
+                let (level, dse, rce) =
+                    parse_level(&v).ok_or_else(|| format!("unknown level `{v}`"))?;
+                opts.level = level;
+                opts.dse = dse;
+                opts.rce = rce;
             }
             "--dimension-contraction" => opts.dimension_contraction = true,
             "--spatial-cap" => {
@@ -117,6 +152,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--favor-comm" => opts.favor_comm = true,
             "--print" => opts.prints.push(value("--print")?),
+            "--emit" => {
+                let v = value("--emit")?;
+                opts.emit = Some(PassId::from_name(&v).ok_or_else(|| {
+                    format!(
+                        "unknown pass `{v}` (expected one of: {})",
+                        PassId::all().map(|p| p.name()).join(", ")
+                    )
+                })?);
+            }
             "--verify" => opts.verify = true,
             "--run" => opts.run = true,
             "--engine" => {
@@ -325,6 +369,15 @@ fn main() -> ExitCode {
     }
 
     let mut pipeline = Pipeline::new(opts.level);
+    if opts.dse {
+        pipeline = pipeline.with_dse();
+    }
+    if opts.rce {
+        pipeline = pipeline.with_rce();
+    }
+    if let Some(pass) = opts.emit {
+        pipeline = pipeline.with_emit(pass);
+    }
     if opts.dimension_contraction {
         pipeline = pipeline.with_dimension_contraction();
     }
@@ -338,6 +391,24 @@ fn main() -> ExitCode {
         pipeline = pipeline.with_verify(VerifyLevel::Always);
     }
     let opt = pipeline.optimize(&program);
+
+    if let Some(pass) = opts.emit {
+        match &opt.emitted {
+            Some(snapshot) => print!("{snapshot}"),
+            None => {
+                return fail(
+                    "emit",
+                    &format!(
+                        "pass `{pass}` did not run at level {}{}{}",
+                        opts.level.name(),
+                        if opts.dse { "+dse" } else { "" },
+                        if opts.rce { "+rce" } else { "" },
+                    ),
+                    Some(&opts.file),
+                );
+            }
+        }
+    }
 
     if opts.verify {
         let binding = match checked_binding(&opt.scalarized.program, &opts.sets) {
@@ -391,12 +462,13 @@ fn main() -> ExitCode {
             "source" => print!("{}", zlang::pretty::source(&program)),
             "loops" => print!("{}", loopir::printer::print(&opt.scalarized)),
             "asdg" => {
-                for (bi, block) in opt.norm.blocks.iter().enumerate() {
+                // The pipeline's cached per-block analyses, not a rebuild:
+                // what is printed is exactly what fusion consumed.
+                for (bi, (block, detail)) in opt.norm.blocks.iter().zip(&opt.details).enumerate() {
                     println!("// block {bi}");
-                    let g = fusion_core::asdg::build(&opt.norm.program, block);
                     print!(
                         "{}",
-                        fusion_core::asdg::to_dot(&opt.norm.program, block, &g)
+                        fusion_core::asdg::to_dot(&opt.norm.program, block, &detail.asdg)
                     );
                 }
             }

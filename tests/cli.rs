@@ -245,3 +245,52 @@ fn bad_inject_plan_is_a_usage_error() {
     assert!(stderr.contains("bad --inject plan"), "{stderr}");
     assert!(stderr.contains("usage"), "{stderr}");
 }
+
+#[test]
+fn emit_dumps_snapshot_after_named_pass() {
+    let (stdout, stderr, ok) = zlc(&[
+        &program_path("heat.zl"),
+        "--level",
+        "c2+f3",
+        "--emit",
+        "scalarize",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.starts_with("// after scalarize\n"), "{stdout}");
+    assert!(stdout.contains("for "), "{stdout}");
+}
+
+#[test]
+fn emit_unknown_pass_is_a_usage_error() {
+    let (_, stderr, ok) = zlc(&[&program_path("heat.zl"), "--emit", "no-such-pass"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown pass `no-such-pass`"), "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn emit_unscheduled_pass_fails_with_level() {
+    let (_, stderr, ok) = zlc(&[&program_path("heat.zl"), "--level", "c2", "--emit", "dse"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("pass `dse` did not run at level c2"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn level_cleanup_suffixes_schedule_the_passes() {
+    let (stdout, stderr, ok) = zlc(&[
+        &program_path("heat.zl"),
+        "--level",
+        "c2+f3+dse+rce",
+        "--emit",
+        "rce",
+        "--run",
+        "--set",
+        "n=16",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.starts_with("// after rce\n"), "{stdout}");
+    assert!(stdout.contains("err = "), "{stdout}");
+}

@@ -1,0 +1,161 @@
+//! Integration tests for the instrumented pass manager: analysis caching,
+//! trace instrumentation, and the `+dse` / `+rce` cleanup passes.
+
+use zpl_fusion::fusion::pass::PassId;
+use zpl_fusion::fusion::pipeline::Optimized;
+use zpl_fusion::prelude::*;
+
+fn outputs(pipeline: &Pipeline, program: &zlang::ir::Program) -> Vec<f64> {
+    let opt = pipeline.optimize(program);
+    let binding = ConfigBinding::defaults(&opt.scalarized.program);
+    let mut exec = Engine::default()
+        .executor(&opt.scalarized, binding)
+        .unwrap();
+    exec.execute(&mut NoopObserver).expect("executes").scalars
+}
+
+/// The paper levels never invalidate analyses, so the pass manager must
+/// build exactly one ASDG per basic block — even with the translation
+/// validator re-checking every stage.
+#[test]
+fn asdg_built_once_per_block_at_every_level() {
+    for bench in zpl_fusion::workloads::all() {
+        let program = bench.program();
+        for level in Level::all() {
+            for verify in [VerifyLevel::Off, VerifyLevel::Always] {
+                let opt = Pipeline::new(level).with_verify(verify).optimize(&program);
+                assert_eq!(
+                    opt.asdg_builds,
+                    opt.norm.blocks.len(),
+                    "{} at {level} (verify {verify}): ASDG rebuilt",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+/// Every run logs one trace per scheduled pass, in schedule order, with
+/// monotone non-increasing statement counts (no pass adds statements).
+#[test]
+fn traces_cover_the_schedule_in_order() {
+    let bench = zpl_fusion::workloads::by_name("tomcatv").unwrap();
+    let opt = Pipeline::new(Level::C2F3).optimize(&bench.program());
+    let ids: Vec<PassId> = opt.passes.iter().map(|t| t.id).collect();
+    assert_eq!(ids.first(), Some(&PassId::Normalize));
+    let pos = |id| {
+        ids.iter()
+            .position(|&i| i == id)
+            .unwrap_or_else(|| panic!("{id} not scheduled"))
+    };
+    assert!(pos(PassId::FuseContraction) < pos(PassId::Contract));
+    assert!(pos(PassId::Contract) < pos(PassId::FindLoopStructure));
+    assert!(pos(PassId::FindLoopStructure) < pos(PassId::Scalarize));
+    assert!(pos(PassId::Scalarize) < pos(PassId::VerifyNormalForm));
+    // Paper levels never schedule the cleanup passes.
+    assert!(!ids.contains(&PassId::Dse) && !ids.contains(&PassId::Rce));
+    let stmts: Vec<usize> = opt.passes.iter().map(|t| t.stmts).collect();
+    assert!(stmts.windows(2).all(|w| w[0] >= w[1]), "{stmts:?}");
+    assert!(opt.passes.iter().any(|t| t.changed));
+}
+
+const DSE_SRC: &str = "program dsetest; config n : int = 8; region R = [1..n]; \
+                       var A, B : [R] float; var s : float; begin \
+                       [R] A := 1.5; [R] B := A + 1.0; [R] B := A * 2.0; \
+                       s := +<< [R] B; end";
+
+/// `+dse` removes the dead first store to `B`; the paper levels keep it;
+/// the program's observable output is identical either way.
+#[test]
+fn dse_removes_dead_store_paper_levels_keep_it() {
+    let program = zlang::compile(DSE_SRC).unwrap();
+    for level in Level::all() {
+        let plain = Pipeline::new(level).optimize(&program);
+        let cleaned = Pipeline::new(level).with_dse().optimize(&program);
+        let final_stmts = |opt: &Optimized| opt.passes.last().unwrap().stmts;
+        assert_eq!(final_stmts(&plain), 4, "paper {level} must keep the store");
+        assert_eq!(final_stmts(&cleaned), 3, "{level}+dse must drop the store");
+        let dse = cleaned
+            .passes
+            .iter()
+            .find(|t| t.id == PassId::Dse)
+            .expect("dse scheduled");
+        assert!(dse.changed);
+        assert_eq!(
+            outputs(&Pipeline::new(level), &program),
+            outputs(&Pipeline::new(level).with_dse(), &program),
+            "{level}: dse changed observable behavior"
+        );
+    }
+}
+
+const RCE_SRC: &str = "program rcetest; config n : int = 8; region R = [1..n]; \
+                       var A, B, C : [R] float; var s : float; begin \
+                       [R] A := 2.5; [R] B := A + A; [R] C := A + A; \
+                       s := +<< [R] (B - C); end";
+
+/// `+rce` rewrites the second `A + A` into a copy of the first; the paper
+/// levels recompute it; the program's observable output is identical.
+#[test]
+fn rce_merges_redundant_computation_paper_levels_recompute() {
+    let program = zlang::compile(RCE_SRC).unwrap();
+    for level in Level::all() {
+        let plain = Pipeline::new(level)
+            .with_emit(PassId::Contract)
+            .optimize(&program);
+        assert!(
+            !plain.emitted.unwrap().contains("C := B"),
+            "paper {level} must recompute A + A"
+        );
+        let cleaned = Pipeline::new(level)
+            .with_rce()
+            .with_emit(PassId::Rce)
+            .optimize(&program);
+        assert!(
+            cleaned.emitted.as_deref().unwrap().contains("[R] C := B"),
+            "{level}+rce must forward B:\n{}",
+            cleaned.emitted.as_deref().unwrap()
+        );
+        let rce = cleaned
+            .passes
+            .iter()
+            .find(|t| t.id == PassId::Rce)
+            .expect("rce scheduled");
+        assert!(rce.changed);
+        assert_eq!(
+            outputs(&Pipeline::new(level), &program),
+            outputs(&Pipeline::new(level).with_rce(), &program),
+            "{level}: rce changed observable behavior"
+        );
+    }
+}
+
+/// Cleanup passes start a new mutation epoch when they change something:
+/// the ASDGs are rebuilt once afterwards, and exactly once.
+#[test]
+fn cleanup_passes_invalidate_then_rebuild_once() {
+    let program = zlang::compile(DSE_SRC).unwrap();
+    let opt = Pipeline::new(Level::C2F3).with_dse().optimize(&program);
+    // One build for the DSE decision epoch, one for the post-cleanup epoch.
+    assert_eq!(opt.asdg_builds, 2 * opt.norm.blocks.len());
+}
+
+/// `with_emit` captures a snapshot after the requested pass and leaves
+/// `emitted` empty when the pass is not in the schedule.
+#[test]
+fn emit_snapshot_presence() {
+    let bench = zpl_fusion::workloads::by_name("simple").unwrap();
+    let program = bench.program();
+    let opt = Pipeline::new(Level::C2F3)
+        .with_emit(PassId::Normalize)
+        .optimize(&program);
+    let snap = opt.emitted.expect("normalize always runs");
+    assert!(snap.starts_with("// after normalize\n"), "{snap}");
+    let opt = Pipeline::new(Level::C2F3)
+        .with_emit(PassId::Dse)
+        .optimize(&program);
+    assert!(
+        opt.emitted.is_none(),
+        "dse is not scheduled at paper levels"
+    );
+}
