@@ -101,6 +101,7 @@ fn bench_comm_opts() {
                 procs: 16,
                 policy,
                 engine: Engine::default(),
+                threads: 0,
                 limits: loopir::ExecLimits::none(),
             };
             simulate(black_box(&opt.scalarized), binding.clone(), &cfg)

@@ -26,6 +26,7 @@ fn run(bench_name: &str, favor_comm: bool) -> f64 {
         procs: 16,
         policy: CommPolicy::default(),
         engine: Engine::default(),
+        threads: 0,
         limits: loopir::ExecLimits::none(),
     };
     simulate(&opt.scalarized, binding, &cfg).unwrap().total_ns

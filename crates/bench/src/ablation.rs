@@ -70,6 +70,7 @@ fn run(
         procs: 16,
         policy: CommPolicy::default(),
         engine,
+        threads: 0,
         limits: loopir::ExecLimits::none(),
     };
     simulate(&opt.scalarized, binding, &cfg).unwrap()
@@ -93,6 +94,7 @@ fn run_level(
         procs: 16,
         policy: CommPolicy::default(),
         engine,
+        threads: 0,
         limits: loopir::ExecLimits::none(),
     };
     simulate(&opt.scalarized, binding, &cfg).unwrap()

@@ -60,6 +60,7 @@ pub fn run(
         procs,
         policy: CommPolicy::default(),
         engine,
+        threads: 0,
         limits: loopir::ExecLimits::none(),
     };
     simulate(&opt.scalarized, binding, &cfg)

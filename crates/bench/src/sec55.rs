@@ -60,6 +60,7 @@ pub fn rows(machine: &Machine, procs: u64) -> Vec<TradeoffRow> {
                     procs,
                     policy: CommPolicy::default(),
                     engine: Engine::default(),
+                    threads: 0,
                     limits: loopir::ExecLimits::none(),
                 };
                 let r = simulate(&opt.scalarized, binding, &cfg)

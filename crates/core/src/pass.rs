@@ -336,6 +336,13 @@ pub(crate) fn build_sequence(
 /// [`Optimized`]. Cached analyses (per-block ASDGs, contraction
 /// candidates, fusion setup) are built lazily and dropped by
 /// [`CompileSession::invalidate`] when a pass mutates the IR.
+///
+/// A session is `Send + Sync` (asserted in this module's tests): all of
+/// its state is owned values plus shared references to the immutable
+/// input [`Program`] and the thread-safe
+/// [`ForbidFn`](crate::pipeline::ForbidFn) policy, so compilation can be
+/// handed to — or observed from — another thread. This is part of the
+/// thread-safe execution contract documented in `DESIGN.md`.
 pub struct CompileSession<'s> {
     program: &'s Program,
     level: Level,
@@ -1474,6 +1481,12 @@ pub(crate) fn referenced_arrays(np: &NormProgram) -> Vec<ArrayId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn compile_session_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompileSession<'_>>();
+    }
 
     #[test]
     fn pass_id_names_round_trip() {

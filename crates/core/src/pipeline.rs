@@ -111,7 +111,13 @@ impl fmt::Display for Level {
 
 /// A callback computing statement pairs that must not fuse in a block
 /// (used by the runtime's favor-communication policy, Section 5.5).
-pub type ForbidFn<'f> = dyn Fn(&NormProgram, usize, &Asdg) -> Vec<(usize, usize)> + 'f;
+///
+/// `Send + Sync` so a [`CompileSession`](crate::pass::CompileSession)
+/// holding one can be handed to another thread (the parallel engine's
+/// thread-safety contract; see `DESIGN.md`). The installed policies are
+/// pure functions of their arguments, so this costs them nothing.
+pub type ForbidFn<'f> =
+    dyn Fn(&NormProgram, usize, &Asdg) -> Vec<(usize, usize)> + Send + Sync + 'f;
 
 /// Static array accounting for the paper's Figure 7.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -315,7 +321,7 @@ impl<'f> Pipeline<'f> {
     /// that must not share a cluster.
     pub fn with_forbidden(
         mut self,
-        f: impl Fn(&NormProgram, usize, &Asdg) -> Vec<(usize, usize)> + 'f,
+        f: impl Fn(&NormProgram, usize, &Asdg) -> Vec<(usize, usize)> + Send + Sync + 'f,
     ) -> Self {
         self.forbid = Some(Box::new(f));
         self

@@ -13,8 +13,13 @@
 //! fixed ladder when a stage faults:
 //!
 //! ```text
-//! (level, vm-verified)  →  (level, vm)  →  (level, interp)  →  (baseline, interp)
+//! (level, vm-par)  →  (level, vm-verified)  →  (level, vm)
+//!                  →  (level, interp)       →  (baseline, interp)
 //! ```
+//!
+//! The topmost rung is the parallel tiled VM ([`Engine::VmPar`]); it
+//! shares the verified bytecode across a thread pool, so a verifier
+//! rejection or tile trap degrades it exactly like `vm-verified`.
 //!
 //! The final rung — the unoptimized reference interpreter — is the
 //! semantic ground truth for the entire system (every engine is tested
@@ -57,7 +62,9 @@
 //! ```
 
 use crate::pipeline::{Level, Optimized, Pipeline};
-use loopir::{Engine, ErrorKind, ExecError, ExecLimits, NoopObserver, RunOutcome, ScalarProgram};
+use loopir::{
+    Engine, ErrorKind, ExecError, ExecLimits, ExecOpts, NoopObserver, RunOutcome, ScalarProgram,
+};
 use std::cell::Cell;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
@@ -367,6 +374,7 @@ pub struct Supervisor<'a> {
     budgets: Budgets,
     bindings: Vec<(String, i64)>,
     sim: Option<Box<SimFn<'a>>>,
+    threads: usize,
 }
 
 impl fmt::Debug for Supervisor<'_> {
@@ -390,7 +398,18 @@ impl<'a> Supervisor<'a> {
             budgets: Budgets::none(),
             bindings: Vec::new(),
             sim: None,
+            threads: 0,
         }
+    }
+
+    /// Sets the worker-thread count for the `vm-par` engine (`0` = auto).
+    /// Ignored by the sequential engines, including every rung the
+    /// ladder degrades to below `vm-par`. Budgets still hold across the
+    /// fan-out: tile instruction counts drain the same fuel budget as
+    /// coordinator instructions, and workers poll the same deadline.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Sets the resource budgets.
@@ -600,7 +619,7 @@ impl<'a> Supervisor<'a> {
             ExecLimits::none()
         };
 
-        enter_stage(if engine == Engine::VmVerified {
+        enter_stage(if matches!(engine, Engine::VmVerified | Engine::VmPar) {
             Stage::VerifyBytecode
         } else {
             Stage::Execute
@@ -611,7 +630,8 @@ impl<'a> Supervisor<'a> {
                     return sim(sp, &binding, engine, limits);
                 }
             }
-            let mut exec = engine.executor(sp, binding.clone())?;
+            let mut exec =
+                engine.executor_with(sp, binding.clone(), ExecOpts::with_threads(self.threads))?;
             enter_stage(Stage::Execute);
             exec.set_limits(limits);
             exec.execute(&mut NoopObserver)
@@ -640,7 +660,12 @@ impl<'a> Supervisor<'a> {
 /// engines at the same level, then the unoptimized reference
 /// interpreter.
 fn ladder(level: Level, engine: Engine) -> Vec<(Level, Engine)> {
-    let order = [Engine::VmVerified, Engine::Vm, Engine::Interp];
+    let order = [
+        Engine::VmPar,
+        Engine::VmVerified,
+        Engine::Vm,
+        Engine::Interp,
+    ];
     let start = order
         .iter()
         .position(|&e| e == engine)
@@ -685,6 +710,40 @@ mod tests {
         assert!(!run.report.degraded());
         assert_eq!(run.report.retries(), 0);
         assert_eq!(run.report.final_engine, Engine::VmVerified);
+    }
+
+    #[test]
+    fn vm_par_clean_run_is_not_degraded() {
+        let sup = Supervisor::new(Level::C2F3, Engine::VmPar).with_threads(2);
+        let run = sup.run_source(SRC).unwrap();
+        assert_eq!(run.outcome.checksum(), reference_checksum());
+        assert!(!run.report.degraded());
+        assert_eq!(run.report.final_engine, Engine::VmPar);
+    }
+
+    #[test]
+    fn vm_par_verify_reject_degrades_to_plain_vm() {
+        // The verifier rejection hits both verified rungs (vm-par shares
+        // the verification gate), landing on the checked VM.
+        let _g = faults::install(FaultPlan::new(7).with(FaultSite::VerifyReject, 1.0));
+        let sup = Supervisor::new(Level::C2F3, Engine::VmPar).with_threads(2);
+        let run = sup.run_source(SRC).unwrap();
+        assert_eq!(run.outcome.checksum(), reference_checksum());
+        assert_eq!(run.report.final_engine, Engine::Vm);
+        assert!(run
+            .report
+            .faults()
+            .any(|c| c.kind == CauseKind::VerifyReject && c.stage == Stage::VerifyBytecode));
+    }
+
+    #[test]
+    fn vm_par_trap_degrades_to_interp() {
+        let _g = faults::install(FaultPlan::new(7).with(FaultSite::VmTrap, 1.0));
+        let sup = Supervisor::new(Level::C2F3, Engine::VmPar).with_threads(4);
+        let run = sup.run_source(SRC).unwrap();
+        assert_eq!(run.outcome.checksum(), reference_checksum());
+        assert_eq!(run.report.final_engine, Engine::Interp);
+        assert!(run.report.mentions("vm-trap"));
     }
 
     #[test]

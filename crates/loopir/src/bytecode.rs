@@ -81,6 +81,12 @@ pub(crate) enum Op {
     NestBegin { nest: u32 },
     /// `Observer::reduce_begin`.
     ReduceBegin,
+    /// Marks the following loop ladder as tile-partitionable along the
+    /// dimension recorded in [`Code::pars`]`[par]`. A plain sequential run
+    /// treats this as a no-op and falls through into the ladder; a
+    /// parallel-enabled [`Vm`](crate::Vm) may instead fan the ladder out as
+    /// per-tile tasks and resume at the ladder's exit pc.
+    ParBegin { par: u32 },
     /// Allocate array `arr` if not yet allocated.
     Alloc { arr: u16 },
     /// `idx[d] = v`.
@@ -147,6 +153,34 @@ pub(crate) struct Check {
     pub arr: ArrayId,
 }
 
+/// Compile-time description of one tile-partitionable loop ladder,
+/// referenced by [`Op::ParBegin`].
+///
+/// The ladder occupying pcs `[entry, exit)` iterates a fused cluster whose
+/// iteration points are independent along `dim`: the compiler proved that
+/// every array written inside the ladder varies along `dim` (nonzero
+/// stride) and is only accessed at a single constant offset along `dim`,
+/// that the body carries no reduction, and that every loop-local temp is
+/// written before it is read. Splitting the range of `dim` into contiguous
+/// tiles therefore partitions the writes, and executing the tiles in any
+/// interleaving is observably identical to the sequential run (the
+/// per-element result of each point does not depend on any other tile).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ParInfo {
+    /// The index-vector dimension whose range may be partitioned.
+    pub dim: u8,
+    /// First iterate of `dim` in execution order.
+    pub start: i64,
+    /// Iteration direction: `+1` or `-1`.
+    pub step: i64,
+    /// Total number of iterates along `dim` (static, ≥ 2).
+    pub extent: i64,
+    /// pc of the ladder's first op (the outermost `SetIdx`).
+    pub entry: u32,
+    /// pc one past the ladder's outermost `IdxStep`.
+    pub exit: u32,
+}
+
 /// One resolved array access site.
 #[derive(Debug, Clone)]
 pub(crate) struct Access {
@@ -164,8 +198,8 @@ pub(crate) struct Access {
 
 /// A compiled program: flat bytecode plus its constant tables.
 ///
-/// `Default` is an empty program, used by [`Vm`](crate::Vm) to move the
-/// tables out of `self` for the duration of a run.
+/// Immutable once built; the [`Vm`](crate::Vm) holds it behind an `Arc` so
+/// runs (and parallel tile tasks) share one copy across threads.
 #[derive(Default)]
 pub(crate) struct Code {
     pub ops: Vec<Op>,
@@ -173,6 +207,8 @@ pub(crate) struct Code {
     pub arrays: Vec<ArrayInfo>,
     /// Nests referenced by `Op::NestBegin`, cloned for observer callbacks.
     pub nests: Vec<LoopNest>,
+    /// Ladders referenced by `Op::ParBegin`.
+    pub pars: Vec<ParInfo>,
     /// Initial values for the interned-constant registers.
     pub consts: Vec<f64>,
     pub n_scalars: u16,
@@ -224,6 +260,7 @@ struct Compiler<'p> {
     arrays: Vec<ArrayInfo>,
     layouts: Vec<Layout>,
     nests: Vec<LoopNest>,
+    pars: Vec<ParInfo>,
     consts: Vec<f64>,
     const_regs: HashMap<u64, Reg>,
     n_scalars: u16,
@@ -259,6 +296,7 @@ pub(crate) fn compile(prog: &ScalarProgram, binding: &ConfigBinding) -> Result<C
         arrays: Vec::new(),
         layouts: Vec::new(),
         nests: Vec::new(),
+        pars: Vec::new(),
         consts: Vec::new(),
         const_regs: HashMap::new(),
         n_scalars: n_scalars as u16,
@@ -296,6 +334,7 @@ pub(crate) fn compile(prog: &ScalarProgram, binding: &ConfigBinding) -> Result<C
         accesses: c.accesses,
         arrays: c.arrays,
         nests: c.nests,
+        pars: c.pars,
         consts: c.consts,
         n_scalars: c.n_scalars,
         const_base: c.const_base,
@@ -319,6 +358,28 @@ fn max_temps_in(stmts: &[LStmt], max: &mut u32) {
             }
             LStmt::Scalar { .. } | LStmt::ReduceNest { .. } => {}
         }
+    }
+}
+
+/// Visits every loop-local temp read by `e`.
+fn temp_reads(e: &EExpr, f: &mut impl FnMut(u32)) {
+    match e {
+        EExpr::Temp(t) => f(t.0),
+        EExpr::Unary(_, inner) => temp_reads(inner, f),
+        EExpr::Binary(_, l, r) => {
+            temp_reads(l, f);
+            temp_reads(r, f);
+        }
+        EExpr::Call(_, args) => {
+            for a in args {
+                temp_reads(a, f);
+            }
+        }
+        EExpr::Load(..)
+        | EExpr::ScalarRef(_)
+        | EExpr::ConfigRef(_)
+        | EExpr::Const(_)
+        | EExpr::Index(_) => {}
     }
 }
 
@@ -870,9 +931,89 @@ impl<'p> Compiler<'p> {
             }
         }
 
+        let par = self.par_dim(nest, &order).map(|info| {
+            let id = self.pars.len() as u32;
+            self.pars.push(info);
+            self.emit(Op::ParBegin { par: id });
+            self.pars[id as usize].entry = self.here();
+            id
+        });
         self.emit_static_loops(&order, &mut |c| c.compile_nest_body(nest))?;
+        if let Some(id) = par {
+            self.pars[id as usize].exit = self.here();
+        }
         self.dim_range = saved;
         Ok(())
+    }
+
+    /// Decides whether `nest`'s ladder may be tile-partitioned, and along
+    /// which dimension. Returns the outermost structured dimension `d`
+    /// (extent ≥ 2) such that splitting `d`'s range keeps every tile's
+    /// reads and writes confined to its own slice of every written array:
+    ///
+    /// * every array the nest writes has a nonzero layout stride along `d`
+    ///   (a collapsed or absent dimension would alias every tile onto the
+    ///   same elements), and
+    /// * all accesses to a written array agree on a single constant offset
+    ///   along `d` (offsets along *other* dimensions are free — a column
+    ///   stencil still row-parallelizes).
+    ///
+    /// Independently of the dimension, the body must carry no reduction
+    /// (reductions stay sequential so the fold order — and therefore the
+    /// IEEE-754 result bits — matches the interpreter exactly), and every
+    /// loop-local temp must be written before it is read so no point
+    /// depends on another tile's temp value. Note that clusters fused under
+    /// the paper's null-distance contraction test satisfy all of this
+    /// automatically; the re-check keeps hand-built nests honest.
+    fn par_dim(&self, nest: &LoopNest, order: &[(usize, bool, i64, i64)]) -> Option<ParInfo> {
+        let mut defined: HashSet<u32> = HashSet::new();
+        for s in &nest.body {
+            let mut stale = false;
+            temp_reads(&s.rhs, &mut |t| stale |= !defined.contains(&t));
+            if stale {
+                return None;
+            }
+            match &s.target {
+                ElemRef::Reduce(..) => return None,
+                ElemRef::Temp(t) => {
+                    defined.insert(t.0);
+                }
+                ElemRef::Array(..) => {}
+            }
+        }
+        let stores = nest.stores();
+        let loads = nest.loads();
+        let written: HashSet<ArrayId> = stores.iter().map(|&(a, _)| a).collect();
+        'dims: for &(d, up, lo, hi) in order {
+            let extent = hi - lo + 1;
+            if extent < 2 {
+                continue;
+            }
+            for &a in &written {
+                let lay = &self.layouts[a.0 as usize];
+                if lay.strides.get(d).copied().unwrap_or(0) == 0 {
+                    continue 'dims;
+                }
+                let mut offs = stores
+                    .iter()
+                    .chain(loads.iter())
+                    .filter(|&&(b, _)| b == a)
+                    .map(|(_, off)| off.0.get(d).copied().unwrap_or(0));
+                let first = offs.next().expect("written array has a store");
+                if offs.any(|o| o != first) {
+                    continue 'dims;
+                }
+            }
+            return Some(ParInfo {
+                dim: d as u8,
+                start: if up { lo } else { hi },
+                step: if up { 1 } else { -1 },
+                extent,
+                entry: 0,
+                exit: 0,
+            });
+        }
+        None
     }
 
     fn compile_nest_body(&mut self, nest: &LoopNest) -> Result<(), ExecError> {

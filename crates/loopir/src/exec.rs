@@ -76,6 +76,34 @@ impl ExecLimits {
     }
 }
 
+/// Execution counters from one tile of a parallel ladder.
+///
+/// The parallel VM ([`Engine::VmPar`]) fans each tile-partitionable loop
+/// ladder out as per-tile tasks; every task counts its own work and
+/// returns one `TileStats`. The `(batch, tile)` key is assigned
+/// deterministically from the static tile decomposition, so the stream can
+/// always be aggregated in the same order regardless of which worker ran
+/// which tile — see [`RunOutcome::merge`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileStats {
+    /// Which fan-out (dynamic ladder execution) of the run this tile
+    /// belongs to, in coordinator execution order.
+    pub batch: u32,
+    /// The tile's index within its batch, in iteration order along the
+    /// partitioned dimension.
+    pub tile: u32,
+    /// Array element loads performed by the tile.
+    pub loads: u64,
+    /// Array element stores performed by the tile.
+    pub stores: u64,
+    /// Floating-point operations performed by the tile.
+    pub flops: u64,
+    /// Iteration points executed by the tile.
+    pub points: u64,
+    /// Bytecode instructions executed by the tile (the tile's fuel cost).
+    pub ops: u64,
+}
+
 /// The complete result of one program execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunOutcome {
@@ -88,6 +116,31 @@ pub struct RunOutcome {
 impl RunOutcome {
     pub(crate) fn new(scalars: Vec<f64>, stats: RunStats) -> Self {
         RunOutcome { scalars, stats }
+    }
+
+    /// Builds an outcome from the sequential portion of a run plus a
+    /// stream of per-tile counters.
+    ///
+    /// The merge is deterministic: tiles are folded in `(batch, tile)`
+    /// order, which the parallel VM assigns from the static tile
+    /// decomposition — so the aggregate is independent of worker
+    /// scheduling and thread count, and `u64` addition makes it equal to
+    /// the sequential run's counters exactly.
+    pub fn merge(
+        scalars: Vec<f64>,
+        base: RunStats,
+        tiles: impl IntoIterator<Item = TileStats>,
+    ) -> RunOutcome {
+        let mut ordered: Vec<TileStats> = tiles.into_iter().collect();
+        ordered.sort_by_key(|t| (t.batch, t.tile));
+        let mut stats = base;
+        for t in &ordered {
+            stats.loads += t.loads;
+            stats.stores += t.stores;
+            stats.flops += t.flops;
+            stats.points += t.points;
+        }
+        RunOutcome::new(scalars, stats)
     }
 
     /// The conventional checksum: the first declared scalar. Every
@@ -155,24 +208,60 @@ pub enum Engine {
     /// dispatch loop drops the per-access slice bounds check. Refuses to
     /// construct (with the verifier's diagnostics) if the proof fails.
     VmVerified,
+    /// The verified VM with parallel tiled execution: loop ladders the
+    /// compiler proved independent along one dimension fan out as per-tile
+    /// tasks on a work-stealing `std::thread` pool. Bit-identical to
+    /// [`Engine::Interp`] regardless of thread count (reductions stay
+    /// sequential, tile counters merge in deterministic tile order).
+    /// Like [`Engine::VmVerified`], refuses to construct if the bytecode
+    /// verifier's proof fails. Fan-out only happens under observers that
+    /// do not consume the per-element address stream
+    /// ([`Observer::wants_addresses`]); under the cache simulator the
+    /// engine runs sequentially, preserving the exact address order.
+    VmPar,
+}
+
+/// Per-execution options beyond the [`Engine`] choice.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecOpts {
+    /// Worker threads for [`Engine::VmPar`] (including the coordinator);
+    /// `0` means one per available core, capped at 8. Other engines
+    /// ignore this.
+    pub threads: usize,
+}
+
+impl ExecOpts {
+    /// Options requesting a specific thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecOpts { threads }
+    }
 }
 
 impl Engine {
     /// Every engine, reference interpreter first.
-    pub fn all() -> [Engine; 3] {
-        [Engine::Interp, Engine::Vm, Engine::VmVerified]
+    pub fn all() -> [Engine; 4] {
+        [
+            Engine::Interp,
+            Engine::Vm,
+            Engine::VmVerified,
+            Engine::VmPar,
+        ]
     }
 
-    /// The engine's flag/display name (`interp`, `vm`, or `vm-verified`).
+    /// The engine's flag/display name (`interp`, `vm`, `vm-verified`, or
+    /// `vm-par`).
     pub fn name(self) -> &'static str {
         match self {
             Engine::Interp => "interp",
             Engine::Vm => "vm",
             Engine::VmVerified => "vm-verified",
+            Engine::VmPar => "vm-par",
         }
     }
 
-    /// Creates a boxed executor for a program under a config binding.
+    /// Creates a boxed executor for a program under a config binding,
+    /// with default [`ExecOpts`] (automatic thread count for
+    /// [`Engine::VmPar`]).
     ///
     /// # Errors
     ///
@@ -183,18 +272,40 @@ impl Engine {
         prog: &'p ScalarProgram,
         binding: ConfigBinding,
     ) -> Result<Box<dyn Executor + 'p>, ExecError> {
+        self.executor_with(prog, binding, ExecOpts::default())
+    }
+
+    /// Creates a boxed executor with explicit [`ExecOpts`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::executor`]; additionally, `VmVerified` and `VmPar`
+    /// return a [`Verify`](crate::ErrorKind::Verify) error carrying every
+    /// diagnostic when the bytecode verifier rejects the program.
+    pub fn executor_with<'p>(
+        self,
+        prog: &'p ScalarProgram,
+        binding: ConfigBinding,
+        opts: ExecOpts,
+    ) -> Result<Box<dyn Executor + 'p>, ExecError> {
+        let verified_vm = |prog, binding| -> Result<Vm, ExecError> {
+            let mut vm = Vm::new(prog, binding)?;
+            if let Err(diags) = vm.verify() {
+                let msgs: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+                return Err(ExecError::verify(format!(
+                    "bytecode verification failed:\n{}",
+                    msgs.join("\n")
+                )));
+            }
+            Ok(vm)
+        };
         Ok(match self {
             Engine::Interp => Box::new(Interp::new(prog, binding)),
             Engine::Vm => Box::new(Vm::new(prog, binding)?),
-            Engine::VmVerified => {
-                let mut vm = Vm::new(prog, binding)?;
-                if let Err(diags) = vm.verify() {
-                    let msgs: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
-                    return Err(ExecError::verify(format!(
-                        "bytecode verification failed:\n{}",
-                        msgs.join("\n")
-                    )));
-                }
+            Engine::VmVerified => Box::new(verified_vm(prog, binding)?),
+            Engine::VmPar => {
+                let mut vm = verified_vm(prog, binding)?;
+                vm.set_threads(opts.threads);
                 Box::new(vm)
             }
         })
@@ -215,8 +326,9 @@ impl FromStr for Engine {
             "interp" | "interpreter" => Ok(Engine::Interp),
             "vm" | "bytecode" => Ok(Engine::Vm),
             "vm-verified" | "verified" => Ok(Engine::VmVerified),
+            "vm-par" | "parallel" => Ok(Engine::VmPar),
             other => Err(format!(
-                "unknown engine `{other}` (expected `interp`, `vm`, or `vm-verified`)"
+                "unknown engine `{other}` (expected `interp`, `vm`, `vm-verified`, or `vm-par`)"
             )),
         }
     }
@@ -232,11 +344,47 @@ mod tests {
         assert_eq!("interp".parse::<Engine>().unwrap(), Engine::Interp);
         assert_eq!("vm-verified".parse::<Engine>().unwrap(), Engine::VmVerified);
         assert_eq!("verified".parse::<Engine>().unwrap(), Engine::VmVerified);
+        assert_eq!("vm-par".parse::<Engine>().unwrap(), Engine::VmPar);
+        assert_eq!("parallel".parse::<Engine>().unwrap(), Engine::VmPar);
         assert!("jit".parse::<Engine>().is_err());
         assert_eq!(Engine::Vm.to_string(), "vm");
         assert_eq!(Engine::VmVerified.to_string(), "vm-verified");
+        assert_eq!(Engine::VmPar.to_string(), "vm-par");
         assert_eq!(Engine::default(), Engine::Vm);
-        assert_eq!(Engine::all().len(), 3);
+        assert_eq!(Engine::all().len(), 4);
+    }
+
+    #[test]
+    fn merge_is_order_independent_and_exact() {
+        let a = TileStats {
+            batch: 0,
+            tile: 1,
+            loads: 10,
+            stores: 5,
+            flops: 7,
+            points: 5,
+            ops: 40,
+        };
+        let b = TileStats {
+            batch: 0,
+            tile: 0,
+            loads: 2,
+            stores: 1,
+            flops: 3,
+            points: 1,
+            ops: 9,
+        };
+        let base = RunStats {
+            loads: 100,
+            ..RunStats::default()
+        };
+        let fwd = RunOutcome::merge(vec![1.0], base, [a, b]);
+        let rev = RunOutcome::merge(vec![1.0], base, [b, a]);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.stats.loads, 112);
+        assert_eq!(fwd.stats.stores, 6);
+        assert_eq!(fwd.stats.flops, 10);
+        assert_eq!(fwd.stats.points, 6);
     }
 
     #[test]

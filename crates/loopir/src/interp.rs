@@ -28,6 +28,18 @@ pub trait Observer {
     fn nest_begin(&mut self, _nest: &LoopNest) {}
     /// A standalone reduction nest is about to execute.
     fn reduce_begin(&mut self) {}
+    /// Whether this observer consumes the ordered per-element address
+    /// stream. Defaults to `true` — any observer that looks at addresses
+    /// (the cache simulator, the parallel runtime's ghost accounting)
+    /// needs the sequential order the engines contract to deliver.
+    /// Observers that ignore addresses (like [`NoopObserver`]) return
+    /// `false`, which permits execution strategies that reorder or batch
+    /// element accesses: the parallel tiled VM
+    /// ([`Engine::VmPar`](crate::Engine::VmPar)) only fans ladders out
+    /// under a passive observer and runs sequentially otherwise.
+    fn wants_addresses(&self) -> bool {
+        true
+    }
 }
 
 /// An observer that ignores everything (pure functional execution).
@@ -38,6 +50,9 @@ impl Observer for NoopObserver {
     fn load(&mut self, _addr: u64) {}
     fn store(&mut self, _addr: u64) {}
     fn flops(&mut self, _n: u64) {}
+    fn wants_addresses(&self) -> bool {
+        false
+    }
 }
 
 /// Counters accumulated over a run.

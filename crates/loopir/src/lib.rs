@@ -17,12 +17,13 @@ mod bytecode;
 pub mod exec;
 pub mod interp;
 pub mod ir;
+mod par;
 pub mod printer;
 pub mod verifier;
 pub mod vm;
 
-pub use exec::{Engine, ExecLimits, Executor, RunOutcome};
+pub use exec::{Engine, ExecLimits, ExecOpts, Executor, RunOutcome, TileStats};
 pub use interp::{ErrorKind, ExecError, Interp, NoopObserver, Observer, RunStats};
 pub use ir::{EExpr, ElemRef, ElemStmt, LStmt, LoopNest, ScalarProgram, TempId};
 pub use verifier::VerifyDiagnostic;
-pub use vm::Vm;
+pub use vm::{SharedProgram, Vm};

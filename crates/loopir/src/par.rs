@@ -1,0 +1,499 @@
+//! Parallel tiled execution of partitionable loop ladders.
+//!
+//! The bytecode compiler marks a nest's ladder with
+//! [`Op::ParBegin`](crate::bytecode::Op) when it can prove the iteration
+//! points independent along one dimension (see
+//! [`ParInfo`](crate::bytecode::ParInfo) for the exact obligations). When
+//! the [`Vm`](crate::Vm) runs with [`Vm::set_threads`](crate::Vm) enabled
+//! and a passive observer, [`run_ladder`] splits that dimension's range
+//! into contiguous tiles and executes each tile as an independent task on
+//! a persistent `std::thread` pool.
+//!
+//! Everything about the fan-out is deterministic except which worker runs
+//! which tile — and nothing observable depends on that:
+//!
+//! * the tile decomposition is a pure function of the static bounds and
+//!   the configured thread count;
+//! * each tile executes the *same shared bytecode* over its sub-range
+//!   (only the partitioned dimension's `SetIdx` start and `IdxStep` stop
+//!   are overridden), with a private register frame and index vector;
+//! * writes land in disjoint slices of the shared arrays (the compiler's
+//!   proof), so the array contents equal the sequential run's bit for bit;
+//! * per-tile counters return as [`TileStats`] keyed by tile index and
+//!   merge in that order ([`RunOutcome::merge`](crate::RunOutcome::merge));
+//!   errors resolve to the lowest-indexed failing tile.
+//!
+//! Reduction nests never reach this module: IEEE-754 addition is not
+//! associative, so any split of a `+<<` fold would change result bits. The
+//! engines contract bit-identity across thread counts, and that contract
+//! wins — reductions stay sequential on the coordinator.
+
+use crate::bytecode::{Code, Op, ParInfo, MAX_RANK};
+use crate::exec::TileStats;
+use crate::interp::{binop, ExecError};
+use crate::vm::{resolve, VmArray};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// A persistent pool of `threads - 1` workers plus the coordinating
+/// thread. Workers park on a condvar between batches; submitting a batch
+/// bumps a generation counter and wakes them. Work *within* a batch is
+/// stolen tile-by-tile from a shared atomic cursor, so an uneven tile
+/// (or a descheduled worker) never idles the rest of the pool.
+pub(crate) struct Pool {
+    shared: Arc<PoolShared>,
+    workers: Vec<thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+struct PoolShared {
+    slot: Mutex<JobSlot>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct JobSlot {
+    /// Bumped once per published batch; workers compare against the last
+    /// generation they saw, so a worker that slept through a whole batch
+    /// simply skips it.
+    gen: u64,
+    batch: Option<Arc<Batch>>,
+    shutdown: bool,
+}
+
+impl Pool {
+    pub(crate) fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            slot: Mutex::new(JobSlot::default()),
+            cv: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                thread::spawn(move || worker(sh))
+            })
+            .collect();
+        Pool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn submit(&self, batch: &Arc<Batch>) {
+        if self.workers.is_empty() {
+            return; // the coordinator runs every tile itself
+        }
+        let mut slot = self.shared.slot.lock().unwrap();
+        slot.gen += 1;
+        slot.batch = Some(Arc::clone(batch));
+        drop(slot);
+        self.shared.cv.notify_all();
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock().unwrap();
+            slot.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker(sh: Arc<PoolShared>) {
+    let mut seen = 0u64;
+    loop {
+        let batch = {
+            let mut slot = sh.slot.lock().unwrap();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.gen != seen {
+                    seen = slot.gen;
+                    break slot
+                        .batch
+                        .clone()
+                        .expect("published generation has a batch");
+                }
+                slot = sh.cv.wait(slot).unwrap();
+            }
+        };
+        batch.run_tiles();
+    }
+}
+
+/// A borrowed view of one allocated array's buffer, shared by every tile
+/// of a batch through raw pointers.
+struct ArrayView {
+    ptr: *mut f64,
+    len: usize,
+}
+
+struct TileRun {
+    stats: TileStats,
+    /// The index vector as the tile's ladder left it; the last tile's copy
+    /// equals the sequential run's post-ladder state.
+    final_idx: [i64; MAX_RANK],
+}
+
+/// One published fan-out: the shared program, the frozen pre-ladder run
+/// state, and the tile work list.
+struct Batch {
+    code: Arc<Code>,
+    info: ParInfo,
+    /// Per tile, the partitioned dimension's `(start, stop)` override, in
+    /// iteration order (`stop` is one `step` past the tile's last
+    /// iterate), concatenating to exactly the sequential range.
+    tiles: Vec<(i64, i64)>,
+    /// Snapshot of the register frame at the `ParBegin`.
+    frame: Vec<f64>,
+    /// Snapshot of the index vector at the `ParBegin`.
+    idx: [i64; MAX_RANK],
+    views: Vec<ArrayView>,
+    deadline: Option<Instant>,
+    batch_id: u32,
+    /// The work-stealing cursor: each claim takes the next unstarted tile.
+    next: AtomicUsize,
+    state: Mutex<BatchState>,
+    done_cv: Condvar,
+}
+
+struct BatchState {
+    slots: Vec<Option<Result<TileRun, ExecError>>>,
+    done: usize,
+}
+
+// SAFETY: `Batch` is shared across threads only through `run_tiles`, whose
+// element accesses go through the raw `ArrayView` pointers. The compiler's
+// `ParInfo` obligations make those accesses race-free: every written array
+// varies along the partitioned dimension and is touched at a single
+// constant offset along it, so each tile reads and writes only its own
+// disjoint slice of each written array; arrays that are only read are
+// shared read-only. The pointers stay valid for the whole fan-out because
+// the coordinator borrows the arrays mutably for the duration of
+// `run_ladder`, which does not return until every tile has completed (and
+// workers touch no view after their last tile). All remaining fields are
+// either immutable after publication or synchronized (`Mutex`, atomics).
+unsafe impl Send for Batch {}
+unsafe impl Sync for Batch {}
+
+impl Batch {
+    fn run_tiles(&self) {
+        loop {
+            let t = self.next.fetch_add(1, Ordering::Relaxed);
+            if t >= self.tiles.len() {
+                return;
+            }
+            let r = run_tile(self, t);
+            let mut st = self.state.lock().unwrap();
+            st.slots[t] = Some(r);
+            st.done += 1;
+            if st.done == self.tiles.len() {
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Splits the partitioned dimension's `extent` iterates into at most
+/// `threads * 4` contiguous tiles (never smaller than one iterate). The
+/// 4x over-decomposition lets the stealing cursor rebalance when tiles
+/// run unevenly; the decomposition itself depends only on static bounds
+/// and the configured thread count, never on scheduling.
+fn make_tiles(info: ParInfo, threads: usize) -> Vec<(i64, i64)> {
+    let extent = info.extent as usize;
+    let want = (threads * 4).clamp(1, extent);
+    let base = extent / want;
+    let rem = extent % want;
+    let mut tiles = Vec::with_capacity(want);
+    let mut off = 0i64;
+    for k in 0..want {
+        let size = (base + usize::from(k < rem)) as i64;
+        let start = info.start + info.step * off;
+        tiles.push((start, start + info.step * size));
+        off += size;
+    }
+    tiles
+}
+
+/// Executes one marked ladder as parallel tiles and waits for all of them.
+///
+/// Appends each tile's counters to `out` in tile order and returns the
+/// sequential run's post-ladder index vector. On failure returns the
+/// error of the lowest-indexed failing tile (which, when the partitioned
+/// dimension is outermost, is also the first error the sequential run
+/// would have hit).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_ladder(
+    pool: &Pool,
+    code: &Arc<Code>,
+    info: ParInfo,
+    frame: &[f64],
+    idx: &[i64; MAX_RANK],
+    arrays: &mut [Option<VmArray>],
+    deadline: Option<Instant>,
+    batch_id: u32,
+    out: &mut Vec<TileStats>,
+) -> Result<[i64; MAX_RANK], ExecError> {
+    let tiles = make_tiles(info, pool.threads());
+    let n = tiles.len();
+    let views = arrays
+        .iter_mut()
+        .map(|a| match a {
+            Some(arr) => ArrayView {
+                ptr: arr.data.as_mut_ptr(),
+                len: arr.data.len(),
+            },
+            None => ArrayView {
+                ptr: std::ptr::NonNull::dangling().as_ptr(),
+                len: 0,
+            },
+        })
+        .collect();
+    let batch = Arc::new(Batch {
+        code: Arc::clone(code),
+        info,
+        tiles,
+        frame: frame.to_vec(),
+        idx: *idx,
+        views,
+        deadline,
+        batch_id,
+        next: AtomicUsize::new(0),
+        state: Mutex::new(BatchState {
+            slots: (0..n).map(|_| None).collect(),
+            done: 0,
+        }),
+        done_cv: Condvar::new(),
+    });
+    pool.submit(&batch);
+    batch.run_tiles(); // the coordinator is a worker too
+    let mut st = batch.state.lock().unwrap();
+    while st.done < n {
+        st = batch.done_cv.wait(st).unwrap();
+    }
+    let mut final_idx = *idx;
+    for slot in st.slots.iter_mut() {
+        match slot.take().expect("completed batch has every slot filled") {
+            Ok(run) => {
+                final_idx = run.final_idx;
+                out.push(run.stats);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(final_idx)
+}
+
+/// The tile task: re-executes the shared ladder bytecode `[entry, exit)`
+/// over one tile's sub-range, with a private frame and index vector.
+///
+/// Only the straight-line subset of the ISA can appear inside a ladder
+/// (the compiler puts allocs, counters, and nest bookkeeping before the
+/// `ParBegin`); anything else is a malformed-bytecode trap. Element
+/// accesses are always length-checked against the view — unlike the
+/// sequential unchecked fast path this costs one predictable branch, and
+/// it keeps the raw-pointer path sound even for hand-built bytecode.
+fn run_tile(b: &Batch, ti: usize) -> Result<TileRun, ExecError> {
+    let code = &*b.code;
+    let ops = &code.ops[..];
+    let pdim = b.info.dim as usize;
+    let (t_start, t_stop) = b.tiles[ti];
+    let mut regs = b.frame.clone();
+    let mut idx = b.idx;
+    let mut pc = b.info.entry as usize;
+    let exit = b.info.exit as usize;
+    let (mut loads, mut stores, mut flops, mut points) = (0u64, 0u64, 0u64, 0u64);
+    let mut ops_done = 0u64;
+    while pc != exit {
+        let op = ops[pc];
+        pc += 1;
+        ops_done += 1;
+        if ops_done & 0x1FFF == 0 {
+            if let Some(d) = b.deadline {
+                if Instant::now() >= d {
+                    return Err(ExecError::deadline());
+                }
+            }
+        }
+        match op {
+            Op::Add { dst, a, b } => {
+                regs[dst as usize] = regs[a as usize] + regs[b as usize];
+            }
+            Op::Sub { dst, a, b } => {
+                regs[dst as usize] = regs[a as usize] - regs[b as usize];
+            }
+            Op::Mul { dst, a, b } => {
+                regs[dst as usize] = regs[a as usize] * regs[b as usize];
+            }
+            Op::Div { dst, a, b } => {
+                regs[dst as usize] = regs[a as usize] / regs[b as usize];
+            }
+            Op::Bin { op, dst, a, b } => {
+                regs[dst as usize] = binop(op, regs[a as usize], regs[b as usize]);
+            }
+            Op::Neg { dst, src } => {
+                regs[dst as usize] = -regs[src as usize];
+            }
+            Op::Mov { dst, src } => {
+                regs[dst as usize] = regs[src as usize];
+            }
+            Op::Call { intr, dst, base, n } => {
+                let base = base as usize;
+                regs[dst as usize] = intr.eval(&regs[base..base + n as usize]);
+            }
+            Op::IdxF { dst, d } => {
+                regs[dst as usize] = idx[d as usize] as f64;
+            }
+            Op::Load { dst, acc } => {
+                let (ai, flat) = resolve(code, &idx, acc)?;
+                let v = &b.views[ai];
+                if flat >= v.len {
+                    return Err(tile_oob(code, ai));
+                }
+                loads += 1;
+                // SAFETY: `flat < len` was just checked; concurrent tiles
+                // only write disjoint slices (see the Send/Sync note on
+                // `Batch`), and a read of a written array stays at the
+                // tile's own offset along the partitioned dimension.
+                regs[dst as usize] = unsafe { *v.ptr.add(flat) };
+            }
+            Op::Store { acc, src } => {
+                let val = regs[src as usize];
+                let (ai, flat) = resolve(code, &idx, acc)?;
+                let v = &b.views[ai];
+                if flat >= v.len {
+                    return Err(tile_oob(code, ai));
+                }
+                // SAFETY: as for Load; additionally this tile is the only
+                // one whose index range maps onto this slice of the array.
+                unsafe { *v.ptr.add(flat) = val };
+                stores += 1;
+            }
+            Op::Tick { flops: n } => {
+                points += 1;
+                flops += n as u64;
+            }
+            Op::SetIdx { d, v } => {
+                idx[d as usize] = if d as usize == pdim { t_start } else { v };
+            }
+            Op::IdxStep {
+                d,
+                step,
+                stop,
+                head,
+            } => {
+                let stop = if d as usize == pdim { t_stop } else { stop };
+                let v = idx[d as usize] + step;
+                idx[d as usize] = v;
+                if v != stop {
+                    pc = head as usize;
+                }
+            }
+            Op::Reduce { .. }
+            | Op::NestBegin { .. }
+            | Op::ReduceBegin
+            | Op::ParBegin { .. }
+            | Op::Alloc { .. }
+            | Op::CtrInit { .. }
+            | Op::CtrToIdx { .. }
+            | Op::CtrToScalar { .. }
+            | Op::ForInit { .. }
+            | Op::CtrStep { .. }
+            | Op::Jmp { .. }
+            | Op::JmpIfZero { .. }
+            | Op::Halt => {
+                return Err(ExecError::trap(format!(
+                    "{op:?} inside a parallel ladder (malformed bytecode)"
+                )));
+            }
+        }
+    }
+    Ok(TileRun {
+        stats: TileStats {
+            batch: b.batch_id,
+            tile: ti as u32,
+            loads,
+            stores,
+            flops,
+            points,
+            ops: ops_done,
+        },
+        final_idx: idx,
+    })
+}
+
+#[cold]
+fn tile_oob(code: &Code, ai: usize) -> ExecError {
+    ExecError::trap(format!(
+        "array `{}` accessed outside its allocation in a parallel tile \
+         (malformed bytecode)",
+        code.arrays[ai].name
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(start: i64, step: i64, extent: i64) -> ParInfo {
+        ParInfo {
+            dim: 0,
+            start,
+            step,
+            extent,
+            entry: 0,
+            exit: 0,
+        }
+    }
+
+    #[test]
+    fn tiles_cover_the_range_exactly() {
+        for threads in [1, 2, 3, 4, 7] {
+            for extent in [1i64, 2, 5, 16, 257] {
+                let up = make_tiles(info(1, 1, extent), threads);
+                assert!(up.len() <= (threads * 4).max(1));
+                let mut at = 1i64;
+                for &(start, stop) in &up {
+                    assert_eq!(start, at, "threads={threads} extent={extent}");
+                    assert!(stop > start);
+                    at = stop;
+                }
+                assert_eq!(at, 1 + extent);
+
+                let down = make_tiles(info(extent, -1, extent), threads);
+                let mut at = extent;
+                for &(start, stop) in &down {
+                    assert_eq!(start, at);
+                    assert!(stop < start);
+                    at = stop;
+                }
+                assert_eq!(at, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn tile_decomposition_is_deterministic() {
+        let a = make_tiles(info(0, 1, 100), 4);
+        let b = make_tiles(info(0, 1, 100), 4);
+        assert_eq!(a, b);
+        // and balanced: sizes differ by at most one iterate
+        let sizes: Vec<i64> = a.iter().map(|&(s, e)| e - s).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1);
+    }
+}

@@ -268,6 +268,33 @@ fn structural(code: &Code) -> Vec<VerifyDiagnostic> {
                 bad_reg(pc, src, &mut diags);
             }
             Op::Tick { .. } | Op::ReduceBegin | Op::Halt => {}
+            Op::ParBegin { par } => {
+                if par as usize >= code.pars.len() {
+                    diags.push(VerifyDiagnostic::at(
+                        pc,
+                        format!("parallel-ladder index {par} is out of range"),
+                    ));
+                } else {
+                    let info = &code.pars[par as usize];
+                    if info.dim as usize >= MAX_RANK {
+                        diags.push(VerifyDiagnostic::at(
+                            pc,
+                            format!(
+                                "parallel ladder partitions dimension {} beyond the VM \
+                                 maximum rank {MAX_RANK}",
+                                info.dim
+                            ),
+                        ));
+                    }
+                    bad_target(pc, info.entry, &mut diags);
+                    if info.exit as usize > n {
+                        diags.push(VerifyDiagnostic::at(
+                            pc,
+                            format!("parallel-ladder exit {} is outside the program", info.exit),
+                        ));
+                    }
+                }
+            }
             Op::NestBegin { nest } => {
                 if nest as usize >= code.nests.len() {
                     diags.push(VerifyDiagnostic::at(
@@ -503,7 +530,11 @@ fn initialization(code: &Code) -> Vec<VerifyDiagnostic> {
                 require_reg(pc, dst, &st, &mut reported, &mut diags);
                 require_reg(pc, src, &st, &mut reported, &mut diags);
             }
-            Op::Tick { .. } | Op::NestBegin { .. } | Op::ReduceBegin | Op::Halt => {}
+            Op::Tick { .. }
+            | Op::NestBegin { .. }
+            | Op::ParBegin { .. }
+            | Op::ReduceBegin
+            | Op::Halt => {}
             Op::Alloc { arr } => out.arrays[arr as usize] = true,
             Op::SetIdx { d, .. } => out.idx[d as usize] = true,
             Op::IdxStep { d, .. } => {
@@ -1014,7 +1045,23 @@ mod tests {
     fn unallocated_array_access_is_reported() {
         let sp = nest_program(vec![1, 2], vec![0, 0]);
         let mut code = compiled(&sp);
+        let alloc_pcs: Vec<usize> = code
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| matches!(op, Op::Alloc { .. }))
+            .map(|(pc, _)| pc)
+            .collect();
         code.ops.retain(|op| !matches!(op, Op::Alloc { .. }));
+        // Dropping ops shifts every later pc; keep the par table honest so
+        // the diagnostic under test is the only defect.
+        for par in code.pars.iter_mut() {
+            par.entry -= alloc_pcs
+                .iter()
+                .filter(|&&p| p < par.entry as usize)
+                .count() as u32;
+            par.exit -= alloc_pcs.iter().filter(|&&p| p < par.exit as usize).count() as u32;
+        }
         let diags = verify(&code);
         assert!(
             diags

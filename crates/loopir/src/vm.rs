@@ -35,10 +35,12 @@
 //! ```
 
 use crate::bytecode::{self, Check, Code, Op, MAX_RANK};
-use crate::exec::{ExecLimits, Executor, RunOutcome};
+use crate::exec::{ExecLimits, Executor, RunOutcome, TileStats};
 use crate::interp::{binop, ExecError, Observer, RunStats};
 use crate::ir::ScalarProgram;
+use crate::par::Pool;
 use crate::verifier::{self, VerifyDiagnostic};
+use std::sync::Arc;
 use testkit::faults::{self, FaultSite};
 use zlang::ast::ReduceOp;
 use zlang::ir::{ArrayId, ConfigBinding};
@@ -50,17 +52,51 @@ struct Ctr {
     step: i64,
 }
 
-struct VmArray {
-    base: u64,
-    data: Vec<f64>,
+pub(crate) struct VmArray {
+    pub(crate) base: u64,
+    pub(crate) data: Vec<f64>,
+}
+
+/// An immutable, thread-shareable handle to a compiled bytecode program.
+///
+/// A [`Vm`] holds its compiled tables behind an `Arc`; [`Vm::share`]
+/// exposes that handle and [`Vm::from_shared`] builds a fresh executor
+/// around it without recompiling. Cloning the handle is one `Arc` bump, so
+/// compilation can happen once on one thread while each executor keeps its
+/// run state (registers, index vector, array buffers) private. The handle
+/// remembers whether [`Vm::verify`] succeeded: executors built from a
+/// verified handle start on the unchecked fast path without re-running the
+/// verifier, because the proof is about the immutable bytecode, not the VM
+/// instance.
+#[derive(Clone)]
+pub struct SharedProgram {
+    code: Arc<Code>,
+    binding: ConfigBinding,
+    verified: bool,
+}
+
+impl SharedProgram {
+    /// The config binding the program was compiled under.
+    pub fn binding(&self) -> &ConfigBinding {
+        &self.binding
+    }
+
+    /// Whether the bytecode verifier accepted the program before it was
+    /// shared.
+    pub fn is_verified(&self) -> bool {
+        self.verified
+    }
 }
 
 /// The bytecode virtual machine.
 ///
 /// Construction compiles the program once under the given binding; each
 /// [`Vm::run`] (or [`Executor::execute`]) then executes the flat bytecode.
+/// The compiled tables are immutable and `Arc`-shared ([`Vm::share`]);
+/// [`Vm::set_threads`] additionally enables the parallel tiled fast path
+/// ([`Engine::VmPar`](crate::Engine::VmPar)).
 pub struct Vm {
-    code: Code,
+    code: Arc<Code>,
     binding: ConfigBinding,
     regs: Vec<f64>,
     idx: [i64; MAX_RANK],
@@ -70,6 +106,8 @@ pub struct Vm {
     next_base: u64,
     verified: bool,
     limits: ExecLimits,
+    par: Option<Pool>,
+    tile_log: Vec<TileStats>,
 }
 
 impl Vm {
@@ -80,14 +118,37 @@ impl Vm {
     /// Returns [`ExecError`] if the program cannot be lowered (e.g. a
     /// region of rank above the VM's limit).
     pub fn new(prog: &ScalarProgram, binding: ConfigBinding) -> Result<Self, ExecError> {
-        let code = bytecode::compile(prog, &binding)?;
+        let code = Arc::new(bytecode::compile(prog, &binding)?);
+        Ok(Vm::from_parts(code, binding, false))
+    }
+
+    /// Builds a fresh VM around an existing [`SharedProgram`] handle — no
+    /// recompilation, no re-verification; run state starts pristine.
+    pub fn from_shared(shared: &SharedProgram) -> Self {
+        Vm::from_parts(
+            Arc::clone(&shared.code),
+            shared.binding.clone(),
+            shared.verified,
+        )
+    }
+
+    /// Shares this VM's compiled (and possibly verified) program.
+    pub fn share(&self) -> SharedProgram {
+        SharedProgram {
+            code: Arc::clone(&self.code),
+            binding: self.binding.clone(),
+            verified: self.verified,
+        }
+    }
+
+    fn from_parts(code: Arc<Code>, binding: ConfigBinding, verified: bool) -> Self {
         let mut regs = vec![0.0; code.frame as usize];
         for (i, &v) in code.consts.iter().enumerate() {
             regs[code.const_base as usize + i] = v;
         }
         let n_arrays = code.arrays.len();
         let n_ctrs = code.n_ctrs as usize;
-        Ok(Vm {
+        Vm {
             code,
             binding,
             regs,
@@ -96,9 +157,46 @@ impl Vm {
             arrays: (0..n_arrays).map(|_| None).collect(),
             stats: RunStats::default(),
             next_base: 4096,
-            verified: false,
+            verified,
             limits: ExecLimits::none(),
-        })
+            par: None,
+            tile_log: Vec::new(),
+        }
+    }
+
+    /// Enables parallel tiled execution for subsequent runs: ladders the
+    /// compiler marked partitionable ([`Op::ParBegin`]) fan out as
+    /// per-tile tasks on a persistent work-stealing pool of `threads`
+    /// threads (including the calling thread; `0` means one per available
+    /// core, capped at 8). Fan-out only happens under observers with
+    /// [`Observer::wants_addresses`]`() == false`; otherwise the run stays
+    /// sequential so the address stream keeps its contracted order.
+    /// Results are bit-identical to the sequential run for every thread
+    /// count: tiles partition the writes, reductions never tile, and the
+    /// per-tile counters merge in deterministic tile order.
+    pub fn set_threads(&mut self, threads: usize) {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        } else {
+            threads
+        };
+        self.par = Some(Pool::new(threads));
+    }
+
+    /// The configured parallel width: 1 when [`Vm::set_threads`] was never
+    /// called.
+    pub fn threads(&self) -> usize {
+        self.par.as_ref().map_or(1, Pool::threads)
+    }
+
+    /// The per-tile counter stream of the most recent run, in
+    /// deterministic `(batch, tile)` order. Empty when no ladder fanned
+    /// out (sequential runs, active observers, or no partitionable nest).
+    pub fn tile_stats(&self) -> &[TileStats] {
+        &self.tile_log
     }
 
     /// Sets the resource budgets for subsequent runs; see [`ExecLimits`].
@@ -151,19 +249,17 @@ impl Vm {
     ///
     /// Returns [`ExecError`] on an out-of-region array access.
     pub fn run<O: Observer + ?Sized>(&mut self, obs: &mut O) -> Result<RunOutcome, ExecError> {
-        // Move the compiled tables into a local so op fetch and access
-        // resolution do not re-read through `self` (which the stat and
-        // register writes below mutate) on every dispatch.
-        let code = std::mem::take(&mut self.code);
+        // Clone the `Arc` into a local so op fetch and access resolution
+        // do not re-read through `self` (which the stat and register
+        // writes below mutate) on every dispatch.
+        let code = Arc::clone(&self.code);
         let fueled = !self.limits.is_unlimited();
-        let r = match (self.verified, fueled) {
+        match (self.verified, fueled) {
             (true, true) => self.dispatch::<O, true, true>(&code, obs),
             (true, false) => self.dispatch::<O, true, false>(&code, obs),
             (false, true) => self.dispatch::<O, false, true>(&code, obs),
             (false, false) => self.dispatch::<O, false, false>(&code, obs),
-        };
-        self.code = code;
-        r
+        }
     }
 
     /// The dispatch loop, monomorphized over the observer, over whether
@@ -177,7 +273,7 @@ impl Vm {
     /// monomorphization and pay nothing.
     fn dispatch<O: Observer + ?Sized, const UNCHECKED: bool, const FUELED: bool>(
         &mut self,
-        code: &Code,
+        code: &Arc<Code>,
         obs: &mut O,
     ) -> Result<RunOutcome, ExecError> {
         // Split `self` into disjoint field borrows and keep the hottest
@@ -191,10 +287,14 @@ impl Vm {
             arrays,
             stats,
             next_base,
+            par,
             ..
         } = self;
+        let fan_out = par.as_ref().filter(|_| !obs.wants_addresses());
         let limits = self.limits;
         let mut idx = self.idx;
+        let mut batch_tiles: Vec<TileStats> = Vec::new();
+        let mut next_batch = 0u32;
         let (mut loads, mut stores, mut flops, mut points) = (0u64, 0u64, 0u64, 0u64);
         let mut fuel_left = limits.fuel.unwrap_or(u64::MAX);
         let mut ticks = 0u64;
@@ -311,6 +411,43 @@ impl Vm {
                 Op::ReduceBegin => {
                     obs.reduce_begin();
                 }
+                Op::ParBegin { par: pi } => {
+                    // Sequential runs (no pool, or an observer that needs
+                    // the ordered address stream) fall through into the
+                    // ladder; this op is then a no-op.
+                    if let Some(pool) = fan_out {
+                        let info = code.pars[pi as usize];
+                        let mark = batch_tiles.len();
+                        let r = crate::par::run_ladder(
+                            pool,
+                            code,
+                            info,
+                            regs,
+                            &idx,
+                            arrays,
+                            limits.deadline,
+                            next_batch,
+                            &mut batch_tiles,
+                        );
+                        next_batch += 1;
+                        match r {
+                            Ok(final_idx) => idx = final_idx,
+                            Err(e) => break Err(e),
+                        }
+                        if FUELED {
+                            // Worker instructions draw from the same fuel
+                            // budget as the coordinator's; each tile
+                            // reports its op count and the batch total is
+                            // deducted here, deterministically.
+                            let used: u64 = batch_tiles[mark..].iter().map(|t| t.ops).sum();
+                            if used > fuel_left {
+                                break Err(ExecError::fuel());
+                            }
+                            fuel_left -= used;
+                        }
+                        pc = info.exit as usize;
+                    }
+                }
                 Op::Alloc { arr } => alloc(code, arrays, stats, next_base, arr as usize),
                 Op::SetIdx { d, v } => {
                     idx[d as usize] = v;
@@ -390,6 +527,11 @@ impl Vm {
         self.stats.stores += stores;
         self.stats.flops += flops;
         self.stats.points += points;
+        // Tile counters fold in through the same deterministic merge the
+        // public aggregation API exposes; the cumulative stats then match
+        // a sequential run exactly (same points, same u64 sums).
+        self.stats = RunOutcome::merge(Vec::new(), self.stats, batch_tiles.iter().copied()).stats;
+        self.tile_log = batch_tiles;
         res?;
         Ok(RunOutcome::new(
             self.regs[..code.n_scalars as usize].to_vec(),
@@ -446,8 +588,14 @@ fn alloc(
 }
 
 /// Resolves an access-table entry against the current index vector.
+/// Shared with the parallel tile executor (`crate::par`), which evaluates
+/// the same halo checks against its private index vector.
 #[inline]
-fn resolve(code: &Code, idx: &[i64; MAX_RANK], acc: u32) -> Result<(usize, usize), ExecError> {
+pub(crate) fn resolve(
+    code: &Code,
+    idx: &[i64; MAX_RANK],
+    acc: u32,
+) -> Result<(usize, usize), ExecError> {
     let a = &code.accesses[acc as usize];
     if let Some(chk) = &a.check {
         for &(d, off, lo, ext) in &chk.dims {
@@ -648,5 +796,100 @@ mod tests {
             .execute(&mut NoopObserver)
             .unwrap_err();
         assert_eq!(ei, ev);
+    }
+
+    fn fill_nest() -> ScalarProgram {
+        ScalarProgram {
+            program: prog(),
+            stmts: vec![LStmt::Nest(LoopNest {
+                region: RegionId(0),
+                structure: vec![2, -1],
+                body: vec![ElemStmt {
+                    target: ElemRef::Array(zlang::ir::ArrayId(0), Offset(vec![0, 0])),
+                    rhs: EExpr::Binary(
+                        zlang::ast::BinOp::Add,
+                        Box::new(EExpr::Binary(
+                            zlang::ast::BinOp::Mul,
+                            Box::new(EExpr::Index(0)),
+                            Box::new(EExpr::Const(10.0)),
+                        )),
+                        Box::new(EExpr::Index(1)),
+                    ),
+                }],
+                cluster: 0,
+                temps: 0,
+            })],
+        }
+    }
+
+    #[test]
+    fn parallel_vm_is_bit_identical_to_sequential_vm() {
+        let sp = fill_nest();
+        let b = ConfigBinding::defaults(&sp.program);
+        let mut seq = Vm::new(&sp, b.clone()).unwrap();
+        let os = seq.execute(&mut NoopObserver).unwrap();
+        for threads in [1, 2, 3] {
+            let mut par = Vm::new(&sp, b.clone()).unwrap();
+            par.verify().unwrap();
+            par.set_threads(threads);
+            assert_eq!(par.threads(), threads);
+            let op = par.execute(&mut NoopObserver).unwrap();
+            assert_eq!(os, op, "threads={threads}");
+            assert_eq!(
+                seq.array(zlang::ir::ArrayId(0)),
+                par.array(zlang::ir::ArrayId(0))
+            );
+            assert!(
+                !par.tile_stats().is_empty(),
+                "the fill nest should fan out (threads={threads})"
+            );
+            let tiled_points: u64 = par.tile_stats().iter().map(|t| t.points).sum();
+            assert_eq!(tiled_points, op.stats.points);
+        }
+    }
+
+    #[test]
+    fn reduction_nests_never_fan_out() {
+        let sp = ScalarProgram {
+            program: prog(),
+            stmts: vec![LStmt::ReduceNest {
+                lhs: ScalarId(0),
+                op: zlang::ast::ReduceOp::Sum,
+                region: RegionId(0),
+                structure: vec![1, 2],
+                rhs: EExpr::Index(0),
+            }],
+        };
+        let b = ConfigBinding::defaults(&sp.program);
+        let mut seq = Vm::new(&sp, b.clone()).unwrap();
+        let os = seq.execute(&mut NoopObserver).unwrap();
+        let mut par = Vm::new(&sp, b).unwrap();
+        par.set_threads(4);
+        let op = par.execute(&mut NoopObserver).unwrap();
+        assert_eq!(os, op);
+        assert!(par.tile_stats().is_empty());
+    }
+
+    #[test]
+    fn shared_program_runs_without_recompiling() {
+        let sp = fill_nest();
+        let b = ConfigBinding::defaults(&sp.program);
+        let mut first = Vm::new(&sp, b).unwrap();
+        first.verify().unwrap();
+        let shared = first.share();
+        assert!(shared.is_verified());
+        let o1 = first.execute(&mut NoopObserver).unwrap();
+        let mut second = Vm::from_shared(&shared);
+        assert!(second.is_verified());
+        second.set_threads(2);
+        let o2 = second.execute(&mut NoopObserver).unwrap();
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn shared_program_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedProgram>();
+        assert_send_sync::<Vm>();
     }
 }

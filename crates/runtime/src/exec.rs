@@ -7,7 +7,9 @@
 //! symmetric model described in the crate docs.
 
 use crate::comm::{CommPolicy, CommStats, CommTracker};
-use loopir::{Engine, ExecError, ExecLimits, LoopNest, Observer, RunStats, ScalarProgram};
+use loopir::{
+    Engine, ExecError, ExecLimits, ExecOpts, LoopNest, Observer, RunStats, ScalarProgram,
+};
 use machine::presets::Machine;
 use machine::sim::{MemSim, MemStats};
 use zlang::ir::ConfigBinding;
@@ -24,6 +26,12 @@ pub struct ExecConfig {
     pub policy: CommPolicy,
     /// Which execution engine runs the scalarized program.
     pub engine: Engine,
+    /// Worker-thread count for [`Engine::VmPar`] (`0` = auto); ignored by
+    /// the sequential engines. Note the cache/communication *simulation*
+    /// always runs the program sequentially regardless — [`SimObserver`]
+    /// consumes the ordered address stream, and the parallel VM only fans
+    /// out under observers that do not (see `loopir::Observer`).
+    pub threads: usize,
     /// Resource budgets applied to the engine (fuel, deadline).
     pub limits: ExecLimits,
 }
@@ -36,6 +44,7 @@ impl ExecConfig {
             procs: 1,
             policy: CommPolicy::default(),
             engine: Engine::default(),
+            threads: 0,
             limits: ExecLimits::none(),
         }
     }
@@ -43,6 +52,13 @@ impl ExecConfig {
     /// The same configuration with a different execution engine.
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// The same configuration with a worker-thread count for
+    /// [`Engine::VmPar`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -173,7 +189,9 @@ pub fn simulate_outcome(
         binding: &binding,
         last: MemStats::default(),
     };
-    let mut exec = cfg.engine.executor(sp, binding.clone())?;
+    let mut exec =
+        cfg.engine
+            .executor_with(sp, binding.clone(), ExecOpts::with_threads(cfg.threads))?;
     exec.set_limits(cfg.limits);
     let outcome = exec.execute(&mut obs)?;
     let run = outcome.stats;
@@ -248,6 +266,7 @@ mod tests {
             procs: 16,
             policy: CommPolicy::default(),
             engine: Engine::default(),
+            threads: 0,
             limits: ExecLimits::none(),
         };
         let r = simulate(&sp, ConfigBinding::defaults(&sp.program), &cfg).unwrap();
@@ -299,6 +318,28 @@ mod tests {
     }
 
     #[test]
+    fn vm_par_simulates_identically_at_every_thread_count() {
+        // The simulation consumes the ordered address stream, so the
+        // parallel engine must stay sequential under it — identical cache
+        // stats and values at every thread count.
+        let sp = program(SRC, Level::C2F3);
+        let run = |cfg: ExecConfig| {
+            let (outcome, sim) = simulate_outcome(&sp, ConfigBinding::defaults(&sp.program), &cfg)
+                .expect("clean run");
+            (outcome.checksum().to_bits(), sim.mem)
+        };
+        let (base, mem_base) = run(ExecConfig::serial(t3e()).with_engine(Engine::Interp));
+        for threads in [1, 2, 4] {
+            let cfg = ExecConfig::serial(t3e())
+                .with_engine(Engine::VmPar)
+                .with_threads(threads);
+            let (c, mem) = run(cfg);
+            assert_eq!(c, base, "threads={threads}");
+            assert_eq!(mem, mem_base, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn unrecoverable_comm_failure_surfaces_as_error() {
         use testkit::faults::{self, FaultPlan, FaultSite};
         let _g = faults::install(FaultPlan::new(3).with(FaultSite::CommDrop, 1.0));
@@ -308,6 +349,7 @@ mod tests {
             procs: 16,
             policy: CommPolicy::default(),
             engine: Engine::default(),
+            threads: 0,
             limits: ExecLimits::none(),
         };
         let err = simulate(&sp, ConfigBinding::defaults(&sp.program), &cfg).unwrap_err();

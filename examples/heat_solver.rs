@@ -67,6 +67,7 @@ fn main() -> Result<(), zpl_fusion::Error> {
                 procs: 16,
                 policy: CommPolicy::default(),
                 engine: Engine::default(),
+                threads: 0,
                 limits: loopir::ExecLimits::none(),
             };
             let r = simulate(&opt.scalarized, binding, &cfg)?;

@@ -32,6 +32,7 @@ fn main() -> Result<(), zpl_fusion::Error> {
             procs: 16,
             policy: CommPolicy::default(),
             engine: Engine::default(),
+            threads: 0,
             limits: loopir::ExecLimits::none(),
         };
         let r = simulate(&opt.scalarized, binding, &cfg)?;

@@ -22,7 +22,9 @@
 //!   --verify                      re-check every pipeline stage and the
 //!                                 compiled bytecode; report diagnostics
 //!   --run                         execute and print scalars + statistics
-//!   --engine <interp|vm|vm-verified>   execution engine (default vm)
+//!   --engine <interp|vm|vm-verified|vm-par>   execution engine (default vm)
+//!   --threads <n>                 worker threads for --engine vm-par
+//!                                 (default 0 = auto)
 //!   --machine <t3e|sp2|paragon>   simulate on a machine model (with --run)
 //!   --procs <p>                   simulated processors (default 1)
 //!   --set <name=value>            override an integer config (repeatable)
@@ -62,6 +64,7 @@ struct Options {
     verify: bool,
     run: bool,
     engine: Engine,
+    threads: usize,
     machine: Option<MachineKind>,
     procs: u64,
     sets: Vec<(String, i64)>,
@@ -77,9 +80,9 @@ fn usage(msg: &str) -> ExitCode {
         "usage: zlc <file.zl> [--level L[+dse][+rce]] [--dimension-contraction]\n\
          \x20          [--spatial-cap K] [--favor-comm]\n\
          \x20          [--print ir|loops|asdg|report|source]... [--emit PASS] [--verify]\n\
-         \x20          [--run] [--engine interp|vm|vm-verified] [--machine t3e|sp2|paragon]\n\
-         \x20          [--procs P] [--set name=value]... [--supervise] [--deadline-ms N]\n\
-         \x20          [--fuel N] [--inject PLAN]"
+         \x20          [--run] [--engine interp|vm|vm-verified|vm-par] [--threads N]\n\
+         \x20          [--machine t3e|sp2|paragon] [--procs P] [--set name=value]...\n\
+         \x20          [--supervise] [--deadline-ms N] [--fuel N] [--inject PLAN]"
     );
     ExitCode::from(2)
 }
@@ -118,6 +121,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         verify: false,
         run: false,
         engine: Engine::default(),
+        threads: 0,
         machine: None,
         procs: 1,
         sets: Vec::new(),
@@ -165,6 +169,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--run" => opts.run = true,
             "--engine" => {
                 opts.engine = value("--engine")?.parse()?;
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "bad threads".to_string())?;
             }
             "--machine" => {
                 opts.machine = Some(match value("--machine")?.as_str() {
@@ -272,18 +281,22 @@ fn run_supervised(opts: &Options, program: &Program) -> ExitCode {
     };
     let last_sim: RefCell<Option<SimResult>> = RefCell::new(None);
     let last_sim_ref = &last_sim;
-    let mut sup = Supervisor::new(opts.level, opts.engine).with_budgets(budgets);
+    let mut sup = Supervisor::new(opts.level, opts.engine)
+        .with_budgets(budgets)
+        .with_threads(opts.threads);
     for (name, value) in &opts.sets {
         sup = sup.with_binding(name, *value);
     }
     if let Some(machine) = opts.machine.map(|k| k.machine()) {
         let procs = opts.procs;
+        let threads = opts.threads;
         sup = sup.with_sim(move |sp, binding, engine, limits| {
             let cfg = ExecConfig {
                 machine: machine.clone(),
                 procs,
                 policy: CommPolicy::default(),
                 engine,
+                threads,
                 limits,
             };
             let (outcome, sim) = simulate_outcome(sp, binding.clone(), &cfg)?;
@@ -503,7 +516,11 @@ fn main() -> ExitCode {
             None => {
                 let outcome = opts
                     .engine
-                    .executor(&opt.scalarized, binding)
+                    .executor_with(
+                        &opt.scalarized,
+                        binding,
+                        loopir::ExecOpts::with_threads(opts.threads),
+                    )
                     .and_then(|mut exec| exec.execute(&mut loopir::NoopObserver));
                 match outcome {
                     Ok(out) => {
@@ -527,6 +544,7 @@ fn main() -> ExitCode {
                     procs: opts.procs,
                     policy: CommPolicy::default(),
                     engine: opts.engine,
+                    threads: opts.threads,
                     limits: loopir::ExecLimits::none(),
                 };
                 match simulate(&opt.scalarized, binding, &cfg) {

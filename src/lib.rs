@@ -11,9 +11,10 @@
 //!   unconstrained distance vectors, the array statement dependence graph,
 //!   statement fusion, array contraction, loop-structure search, and
 //!   scalarization (`fusion-core`).
-//! * [`loops`] — the scalarized loop-nest IR, printer, and the two
-//!   execution engines behind the [`Executor`](prelude::Executor) API: the
-//!   tree-walking interpreter and the bytecode VM (`loopir`).
+//! * [`loops`] — the scalarized loop-nest IR, printer, and the execution
+//!   engines behind the [`Executor`](prelude::Executor) API: the
+//!   tree-walking interpreter, the bytecode VM (checked, verified, and
+//!   parallel tiled variants) (`loopir`).
 //! * [`sim`] — the simulated machine: cache simulator and machine cost
 //!   models (`machine`).
 //! * [`par`] — the simulated parallel runtime: block distribution, ghost
@@ -27,9 +28,11 @@
 //! Compile a program, optimize it at the `C2` level (fuse + contract
 //! compiler *and* user arrays — the paper's headline configuration), and
 //! run it. Execution goes through an [`Engine`](prelude::Engine): the
-//! default bytecode [`Vm`](loops::Vm) or the reference tree-walking
-//! [`Interp`](loops::Interp) — both produce bit-identical results and
-//! identical memory-access streams.
+//! default bytecode [`Vm`](loops::Vm), its verified and parallel tiled
+//! (`vm-par`) variants, or the reference tree-walking
+//! [`Interp`](loops::Interp) — all produce bit-identical results (at any
+//! thread count) and, under an address-consuming observer, identical
+//! memory-access streams.
 //!
 //! ```
 //! # fn main() -> Result<(), zpl_fusion::Error> {
@@ -74,6 +77,9 @@ pub mod prelude {
     pub use crate::Error;
     pub use fusion_core::pipeline::{Level, Pipeline};
     pub use fusion_core::{Diagnostic, VerifyLevel};
-    pub use loopir::{Engine, Executor, Interp, NoopObserver, RunOutcome, VerifyDiagnostic, Vm};
+    pub use loopir::{
+        Engine, ExecOpts, Executor, Interp, NoopObserver, RunOutcome, SharedProgram, TileStats,
+        VerifyDiagnostic, Vm,
+    };
     pub use zlang::ir::ConfigBinding;
 }

@@ -98,6 +98,7 @@ fn supervised(program: &Program, class: FaultClass) -> fusion_core::Supervised {
                 procs: 16,
                 policy: CommPolicy::default(),
                 engine,
+                threads: 0,
                 limits,
             };
             simulate_outcome(sp, binding.clone(), &cfg).map(|(outcome, _)| outcome)
@@ -207,6 +208,89 @@ fn clean_supervised_runs_match_the_reference() {
         assert_eq!(checksums(&run.outcome), want, "program {i}:\n{source}");
         assert!(!run.report.degraded(), "{}", run.report.render());
         assert_eq!(run.report.attempts.len(), 1);
+    }
+}
+
+/// The parallel tiled engine under supervision: clean runs at 1/2/4
+/// worker threads must land on `vm-par` undegraded with the reference
+/// checksum — the thread count must never leak into the answer.
+#[test]
+fn vm_par_clean_runs_match_the_reference_at_every_thread_count() {
+    let mut rng = Rng::new(chaos_seed().wrapping_add(0x7A12));
+    for i in 0..12 {
+        let source = genprog::generate(&mut rng);
+        let program = zlang::compile(&source)
+            .unwrap_or_else(|e| panic!("generated program {i} must compile: {e}\n{source}"));
+        let want = reference(&program);
+        for threads in [1usize, 2, 4] {
+            let run = Supervisor::new(Level::C2F3, Engine::VmPar)
+                .with_threads(threads)
+                .run_program(&program)
+                .expect("clean vm-par run succeeds");
+            assert_eq!(
+                checksums(&run.outcome),
+                want,
+                "program {i}, {threads} threads:\n{source}"
+            );
+            assert!(!run.report.degraded(), "{}", run.report.render());
+            assert_eq!(run.report.final_engine, Engine::VmPar);
+        }
+    }
+}
+
+/// Faults under the parallel engine: a trapped VM instruction or a
+/// dropped exchange while `vm-par` leads the ladder must still resolve to
+/// the reference answer at every thread count.
+#[test]
+fn vm_par_survives_injected_faults_at_every_thread_count() {
+    let mut rng = Rng::new(chaos_seed().wrapping_add(0x9A71));
+    for (i, site) in [
+        FaultSite::VmTrap,
+        FaultSite::CommDrop,
+        FaultSite::VerifyReject,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for threads in [1usize, 2, 4] {
+            let source = genprog::generate(&mut rng);
+            let program = zlang::compile(&source)
+                .unwrap_or_else(|e| panic!("generated program {i} must compile: {e}\n{source}"));
+            let want = reference(&program);
+            let _guard = faults::install(FaultPlan::new(chaos_seed()).with(site, 1.0));
+            let mut sup = Supervisor::new(Level::C2F3, Engine::VmPar).with_threads(threads);
+            if site == FaultSite::CommDrop {
+                let machine = MachineKind::T3e.machine();
+                let t = threads;
+                sup = sup.with_sim(move |sp, binding, engine, limits| {
+                    let cfg = ExecConfig {
+                        machine: machine.clone(),
+                        procs: 16,
+                        policy: CommPolicy::default(),
+                        engine,
+                        threads: t,
+                        limits,
+                    };
+                    simulate_outcome(sp, binding.clone(), &cfg).map(|(outcome, _)| outcome)
+                });
+            }
+            let run = sup.run_program(&program).unwrap_or_else(|e| {
+                panic!(
+                    "vm-par must survive {site} at {threads} threads:\n{}",
+                    e.report.render()
+                )
+            });
+            drop(_guard);
+            assert_eq!(
+                checksums(&run.outcome),
+                want,
+                "{site} at {threads} threads:\n{source}"
+            );
+            if site != FaultSite::CommDrop {
+                assert!(run.report.mentions(site.name()), "{}", run.report.render());
+                assert!(run.report.degraded(), "{}", run.report.render());
+            }
+        }
     }
 }
 

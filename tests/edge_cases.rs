@@ -115,6 +115,7 @@ fn dimension_contracted_programs_simulate_in_parallel() {
             procs: 8,
             policy: CommPolicy::default(),
             engine: Engine::default(),
+            threads: 0,
             limits: loopir::ExecLimits::none(),
         };
         simulate(&opt.scalarized, binding, &cfg).unwrap()

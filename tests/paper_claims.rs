@@ -26,6 +26,7 @@ fn run(bench: &zpl_fusion::workloads::Benchmark, level: Level, procs: u64) -> f6
         procs,
         policy: CommPolicy::default(),
         engine: Engine::default(),
+        threads: 0,
         limits: loopir::ExecLimits::none(),
     };
     simulate(&opt.scalarized, binding, &cfg).unwrap().total_ns
@@ -105,6 +106,7 @@ fn contraction_never_worsens_memory_or_time() {
                     procs: 1,
                     policy: CommPolicy::default(),
                     engine: Engine::default(),
+                    threads: 0,
                     limits: loopir::ExecLimits::none(),
                 };
                 simulate(&opt.scalarized, binding, &cfg).unwrap()
@@ -175,6 +177,7 @@ fn favoring_fusion_wins_on_the_machines_with_offloaded_messaging() {
                     procs: 16,
                     policy: CommPolicy::default(),
                     engine: Engine::default(),
+                    threads: 0,
                     limits: loopir::ExecLimits::none(),
                 };
                 simulate(&opt.scalarized, binding, &cfg).unwrap().total_ns

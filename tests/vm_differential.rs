@@ -66,6 +66,54 @@ fn engines_agree_on_every_benchmark_at_every_level() {
 }
 
 #[test]
+fn vm_par_is_bit_identical_to_interp_at_every_thread_count() {
+    // The parallel tiled engine promises results independent of the
+    // thread count: tile decomposition is static, reductions never split,
+    // and per-tile stats merge in tile order. Sweep 1/2/4 threads against
+    // the reference interpreter on every benchmark at every level.
+    for bench in zpl_fusion::workloads::all() {
+        let n = match bench.rank {
+            1 => 512,
+            2 => 12,
+            _ => 6,
+        };
+        for level in Level::all() {
+            let opt = Pipeline::new(level).optimize(&bench.program());
+            let mut binding = ConfigBinding::defaults(&opt.scalarized.program);
+            binding.set_by_name(&opt.scalarized.program, bench.size_config, n);
+            let mut interp = Engine::Interp
+                .executor(&opt.scalarized, binding.clone())
+                .unwrap();
+            let reference = interp.execute(&mut NoopObserver).unwrap();
+            for threads in [1usize, 2, 4] {
+                let mut exec = Engine::VmPar
+                    .executor_with(
+                        &opt.scalarized,
+                        binding.clone(),
+                        ExecOpts::with_threads(threads),
+                    )
+                    .unwrap();
+                let out = exec.execute(&mut NoopObserver).unwrap();
+                let ctx = format!("{} at {level}, {threads} threads", bench.name);
+                for (i, (a, b)) in reference.scalars.iter().zip(&out.scalars).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{ctx}: scalar {i} differs ({a} vs {b})"
+                    );
+                }
+                assert_eq!(
+                    reference.checksum().to_bits(),
+                    out.checksum().to_bits(),
+                    "{ctx}"
+                );
+                assert_eq!(reference.stats, out.stats, "{ctx}: RunStats differ");
+            }
+        }
+    }
+}
+
+#[test]
 fn engines_agree_under_dimension_contraction() {
     // The Outer construct takes a different compilation path in the VM;
     // make sure the extension stays bit-identical too.
