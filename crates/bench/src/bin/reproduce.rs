@@ -34,7 +34,11 @@ fn main() {
         None => Engine::default(),
         Some(i) => match args.get(i + 1).map(|v| v.parse()) {
             Some(Ok(e)) => e,
-            _ => usage(),
+            Some(Err(e)) => {
+                eprintln!("reproduce: {e}");
+                usage()
+            }
+            None => usage(),
         },
     };
     let procs: Vec<u64> = if quick {

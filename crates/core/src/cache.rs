@@ -1,0 +1,598 @@
+//! The sharded, content-addressed compile cache behind the serving path.
+//!
+//! Every request that reaches the server is "compile this program at
+//! this level for this engine under this binding, then run it". The
+//! compile half is deterministic and expensive (normalize → ASDG →
+//! FUSION-FOR-CONTRACTION → scalarize → bytecode → verify); the run half
+//! is cheap per-request state. [`CompileCache`] memoizes the compile
+//! half: keys are [`CacheKey`] — the structural digest of the program
+//! *and* its concrete config binding ([`crate::hash::key_hash`]) plus
+//! the explicit `(level, dse, rce, engine)` coordinates — and values are
+//! [`CachedProgram`] — the `Arc`-shared scalarized program plus, for the
+//! VM engines, the compiled-and-verified
+//! [`SharedProgram`] handle. A hit skips the
+//! `PassManager`, the bytecode compiler, and the verifier entirely: it
+//! is one lookup plus one `Arc` bump plus run-state allocation.
+//!
+//! Concurrency model: the map is split into shards, each behind its own
+//! `Mutex`, selected by key hash — worker threads hitting different
+//! programs rarely contend. Compilation is *single-flight*: the first
+//! thread to miss a key claims it ([`CompileCache::claim`] returns a
+//! [`ClaimGuard`]); threads missing the same key meanwhile block on the
+//! shard's condvar until the claimant publishes (they then count as
+//! hits) or abandons — the guard abandons on drop, so a panicking or
+//! erroring compile wakes the waiters and the next one claims. No lock
+//! is held across compilation, each distinct key compiles exactly once,
+//! and the hit/miss counters are deterministic even under concurrency.
+//! Eviction is per-shard LRU; hits, misses, insertions, and evictions
+//! are counted with atomics ([`CacheStats`]).
+
+use crate::hash;
+use crate::pipeline::Level;
+use crate::request::RunRequest;
+use loopir::{Engine, ExecError, ExecOpts, Executor, Interp, ScalarProgram, SharedProgram};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use zlang::ir::{ConfigBinding, Program};
+
+/// The content address of one compiled artifact.
+///
+/// The `content` digest covers the program structure and the concrete
+/// config binding (see [`crate::hash`]); the remaining fields are
+/// carried explicitly so that two compilations that *must* differ —
+/// different level, cleanup passes, or engine — can never collide even
+/// if the 64-bit digest did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`crate::hash::key_hash`] of (program, binding).
+    pub content: u64,
+    /// Optimization level the artifact was compiled at.
+    pub level: Level,
+    /// Whether dead-statement elimination ran.
+    pub dse: bool,
+    /// Whether redundant-computation elimination ran.
+    pub rce: bool,
+    /// The engine the artifact was compiled for (decides whether a
+    /// [`SharedProgram`] exists and whether it was verified).
+    pub engine: Engine,
+}
+
+impl CacheKey {
+    /// Computes the key for a program under a binding at explicit
+    /// coordinates.
+    pub fn compute(
+        program: &Program,
+        binding: &ConfigBinding,
+        level: Level,
+        dse: bool,
+        rce: bool,
+        engine: Engine,
+    ) -> Self {
+        CacheKey {
+            content: hash::key_hash(program, binding),
+            level,
+            dse,
+            rce,
+            engine,
+        }
+    }
+
+    /// Computes the key a [`RunRequest`] addresses for a program under a
+    /// binding.
+    pub fn for_request(program: &Program, binding: &ConfigBinding, req: &RunRequest) -> Self {
+        CacheKey::compute(program, binding, req.level, req.dse, req.rce, req.engine)
+    }
+}
+
+/// One compiled artifact: everything needed to build an executor
+/// without touching the pipeline again.
+#[derive(Debug, Clone)]
+pub struct CachedProgram {
+    /// The scalarized program, shared — the [`Interp`] engine and the
+    /// simulated runtime execute this directly.
+    pub scalarized: Arc<ScalarProgram>,
+    /// The compiled (and, for `vm-verified`/`vm-par`, verified) bytecode
+    /// handle; `None` for [`Engine::Interp`].
+    pub shared: Option<SharedProgram>,
+    /// The binding the artifact was compiled under.
+    pub binding: ConfigBinding,
+    /// The engine the artifact serves.
+    pub engine: Engine,
+}
+
+impl CachedProgram {
+    /// Builds a fresh executor from the cached artifact: `Vm`
+    /// re-instantiation from the shared bytecode for the VM engines
+    /// (no recompile, no re-verify), or a new [`Interp`] over the shared
+    /// scalarized program.
+    pub fn executor(&self, opts: ExecOpts) -> Box<dyn Executor + '_> {
+        match &self.shared {
+            Some(shared) => self.engine.shared_executor(shared, opts),
+            None => Box::new(Interp::new(&self.scalarized, self.binding.clone())),
+        }
+    }
+}
+
+/// Monotonic cache counters, snapshotted by [`CompileCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries published (including re-publications after a race).
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits over lookups, in `[0, 1]`; `0` before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    value: Arc<CachedProgram>,
+    last_used: u64,
+}
+
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    /// Keys some thread is currently compiling; misses on these block on
+    /// the shard condvar instead of compiling a duplicate.
+    in_flight: HashSet<CacheKey>,
+    clock: u64,
+}
+
+struct ShardCell {
+    state: Mutex<Shard>,
+    ready: Condvar,
+}
+
+/// The result of [`CompileCache::claim`]: either the cached artifact, or
+/// an exclusive license to compile the key.
+pub enum Lookup<'a> {
+    /// The artifact was cached (possibly after waiting out another
+    /// thread's in-flight compile).
+    Hit(Arc<CachedProgram>),
+    /// Nothing cached and nobody compiling: the caller holds the claim
+    /// and must [`ClaimGuard::publish`] or drop it (abandon).
+    Miss(ClaimGuard<'a>),
+}
+
+/// An exclusive in-flight claim on one [`CacheKey`]. While the guard
+/// lives, other threads missing the same key wait instead of compiling.
+/// [`publish`](ClaimGuard::publish) fulfils the claim; dropping the
+/// guard without publishing (compile error, panic unwind) abandons it,
+/// waking the waiters so the next one can claim.
+pub struct ClaimGuard<'a> {
+    cache: &'a CompileCache,
+    key: CacheKey,
+    done: bool,
+}
+
+impl ClaimGuard<'_> {
+    /// The key this claim covers.
+    pub fn key(&self) -> CacheKey {
+        self.key
+    }
+
+    /// Publishes the compiled artifact under the claimed key and wakes
+    /// every thread waiting on it.
+    pub fn publish(mut self, value: Arc<CachedProgram>) {
+        self.done = true;
+        self.cache.insert(self.key, value);
+    }
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.cache.abandon(&self.key);
+        }
+    }
+}
+
+/// The sharded in-memory compile cache. See the module docs for the
+/// concurrency model; construction knobs exist mainly so tests can force
+/// eviction deterministically.
+pub struct CompileCache {
+    shards: Vec<ShardCell>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for CompileCache {
+    fn default() -> Self {
+        CompileCache::with_shards(8, 32)
+    }
+}
+
+impl CompileCache {
+    /// A cache with the default geometry (8 shards × 32 entries).
+    pub fn new() -> Self {
+        CompileCache::default()
+    }
+
+    /// A cache with explicit geometry. `shards` and `per_shard_capacity`
+    /// are clamped to at least 1; total capacity is their product.
+    pub fn with_shards(shards: usize, per_shard_capacity: usize) -> Self {
+        let shards = shards.max(1);
+        CompileCache {
+            shards: (0..shards)
+                .map(|_| ShardCell {
+                    state: Mutex::new(Shard {
+                        map: HashMap::new(),
+                        in_flight: HashSet::new(),
+                        clock: 0,
+                    }),
+                    ready: Condvar::new(),
+                })
+                .collect(),
+            per_shard_capacity: per_shard_capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Total entries the cache can hold.
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.per_shard_capacity
+    }
+
+    /// Entries currently cached, across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().expect("cache shard lock poisoned").map.len())
+            .sum()
+    }
+
+    /// True if no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard(&self, key: &CacheKey) -> &ShardCell {
+        // The content digest is already well-mixed; fold the high half in
+        // so shard choice is not the digest's low bits alone.
+        let h = key.content ^ (key.content >> 32);
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Looks a key up without claiming, counting a hit or a miss and
+    /// refreshing LRU recency on hit. Does not wait for an in-flight
+    /// compile — serving paths should prefer [`claim`](Self::claim).
+    pub fn lookup(&self, key: &CacheKey) -> Option<Arc<CachedProgram>> {
+        let mut shard = self
+            .shard(key)
+            .state
+            .lock()
+            .expect("cache shard lock poisoned");
+        shard.clock += 1;
+        let clock = shard.clock;
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Looks a key up, claiming it exclusively on a miss. If another
+    /// thread already holds the claim, blocks until that thread
+    /// publishes (returning the published artifact as a hit) or abandons
+    /// (taking over the claim). Exactly one [`Lookup::Miss`] is handed
+    /// out per published entry, so each distinct key compiles once no
+    /// matter how many threads race for it.
+    pub fn claim(&self, key: CacheKey) -> Lookup<'_> {
+        let cell = self.shard(&key);
+        let mut shard = cell.state.lock().expect("cache shard lock poisoned");
+        loop {
+            shard.clock += 1;
+            let clock = shard.clock;
+            if let Some(entry) = shard.map.get_mut(&key) {
+                entry.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Lookup::Hit(entry.value.clone());
+            }
+            if shard.in_flight.insert(key) {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Lookup::Miss(ClaimGuard {
+                    cache: self,
+                    key,
+                    done: false,
+                });
+            }
+            shard = cell.ready.wait(shard).expect("cache shard lock poisoned");
+        }
+    }
+
+    /// Releases an unfulfilled claim and wakes its waiters.
+    fn abandon(&self, key: &CacheKey) {
+        let cell = self.shard(key);
+        let mut shard = cell.state.lock().expect("cache shard lock poisoned");
+        shard.in_flight.remove(key);
+        drop(shard);
+        cell.ready.notify_all();
+    }
+
+    /// Publishes an artifact, evicting the shard's least-recently-used
+    /// entry if the shard is full, releasing any in-flight claim on the
+    /// key, and waking threads waiting on it.
+    pub fn insert(&self, key: CacheKey, value: Arc<CachedProgram>) {
+        let cell = self.shard(&key);
+        let mut shard = cell.state.lock().expect("cache shard lock poisoned");
+        shard.clock += 1;
+        let clock = shard.clock;
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard_capacity {
+            if let Some(victim) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                shard.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: clock,
+            },
+        );
+        shard.in_flight.remove(&key);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        drop(shard);
+        cell.ready.notify_all();
+    }
+
+    /// The one-call serving primitive: look the request's key up and, on
+    /// a miss, compile under the request's pipeline (a fresh
+    /// `CompileSession` inside [`crate::pipeline::Pipeline::optimize`]),
+    /// lower to shared bytecode for the VM engines, publish, and return.
+    /// The boolean is `true` on a hit.
+    ///
+    /// # Errors
+    ///
+    /// Lowering failures and verifier rejections from
+    /// [`Engine::compile_shared`], plus a
+    /// [`Lower`](loopir::ErrorKind::Lower)-kind error for a `--set` name
+    /// that matches no config variable. Pipeline panics propagate —
+    /// serving callers run under the [`Supervisor`](crate::Supervisor)'s
+    /// fault boundary, which catches them — and abandon the in-flight
+    /// claim on unwind, as do errors, so waiters never hang.
+    pub fn get_or_compile(
+        &self,
+        program: &Program,
+        req: &RunRequest,
+    ) -> Result<(Arc<CachedProgram>, bool), ExecError> {
+        let binding = req.binding_for(program).map_err(ExecError::lower)?;
+        let key = CacheKey::for_request(program, &binding, req);
+        let guard = match self.claim(key) {
+            Lookup::Hit(hit) => return Ok((hit, true)),
+            Lookup::Miss(guard) => guard,
+        };
+        let opt = req.pipeline().optimize(program);
+        let scalarized = Arc::new(opt.scalarized);
+        let shared = req.engine.compile_shared(&scalarized, binding.clone())?;
+        let value = Arc::new(CachedProgram {
+            scalarized,
+            shared,
+            binding,
+            engine: req.engine,
+        });
+        guard.publish(value.clone());
+        Ok((value, false))
+    }
+
+    /// A consistent-enough snapshot of the counters (each counter is
+    /// individually exact; the set is read without a global lock).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopir::NoopObserver;
+
+    fn src(k: usize) -> String {
+        format!(
+            "program p{k}; config n : int = 6; region R = [1..n]; \
+             var A, B : [R] float; var s : float; \
+             begin [R] A := {k}.0; [R] B := A + 1.0; s := +<< [R] B; end"
+        )
+    }
+
+    #[test]
+    fn hit_miss_and_insert_accounting_is_exact() {
+        let cache = CompileCache::new();
+        let p = zlang::compile(&src(1)).unwrap();
+        let req = RunRequest::new();
+        let (_, hit) = cache.get_or_compile(&p, &req).unwrap();
+        assert!(!hit);
+        let (_, hit) = cache.get_or_compile(&p, &req).unwrap();
+        assert!(hit);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions, s.evictions), (1, 1, 1, 0));
+        assert_eq!(s.hit_rate(), 0.5);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_coordinates_are_distinct_entries() {
+        let cache = CompileCache::new();
+        let p = zlang::compile(&src(1)).unwrap();
+        for req in [
+            RunRequest::new(),
+            RunRequest::new().with_level(Level::Baseline),
+            RunRequest::new().with_engine(Engine::Interp),
+            RunRequest::new().with_set("n", 4),
+        ] {
+            let (_, hit) = cache.get_or_compile(&p, &req).unwrap();
+            assert!(!hit, "{req}");
+        }
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn lru_eviction_is_counted_and_bounded() {
+        let cache = CompileCache::with_shards(1, 2);
+        let req = RunRequest::new();
+        let programs: Vec<_> = (0..4).map(|k| zlang::compile(&src(k)).unwrap()).collect();
+        for p in &programs {
+            cache.get_or_compile(p, &req).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 2);
+        // The most recent two survive; the oldest were evicted.
+        let (_, hit) = cache.get_or_compile(&programs[3], &req).unwrap();
+        assert!(hit);
+        let (_, hit) = cache.get_or_compile(&programs[0], &req).unwrap();
+        assert!(!hit, "oldest entry was evicted");
+    }
+
+    #[test]
+    fn lru_refreshes_on_hit() {
+        let cache = CompileCache::with_shards(1, 2);
+        let req = RunRequest::new();
+        let a = zlang::compile(&src(0)).unwrap();
+        let b = zlang::compile(&src(1)).unwrap();
+        let c = zlang::compile(&src(2)).unwrap();
+        cache.get_or_compile(&a, &req).unwrap();
+        cache.get_or_compile(&b, &req).unwrap();
+        cache.get_or_compile(&a, &req).unwrap(); // refresh a
+        cache.get_or_compile(&c, &req).unwrap(); // evicts b, not a
+        let (_, hit) = cache.get_or_compile(&a, &req).unwrap();
+        assert!(hit, "refreshed entry must survive eviction");
+    }
+
+    #[test]
+    fn cached_executors_reproduce_the_cold_result() {
+        let p = zlang::compile(&src(3)).unwrap();
+        for engine in Engine::all() {
+            let cache = CompileCache::new();
+            let req = RunRequest::new().with_engine(engine);
+            let (cold, _) = cache.get_or_compile(&p, &req).unwrap();
+            let a = cold
+                .executor(req.exec_opts())
+                .execute(&mut NoopObserver)
+                .unwrap();
+            let (hot, hit) = cache.get_or_compile(&p, &req).unwrap();
+            assert!(hit);
+            let b = hot
+                .executor(req.exec_opts())
+                .execute(&mut NoopObserver)
+                .unwrap();
+            assert_eq!(a, b, "{engine}");
+            assert_eq!(
+                a.checksum().to_bits(),
+                b.checksum().to_bits(),
+                "{engine}: hit must be bit-identical"
+            );
+            assert_eq!(engine != Engine::Interp, hot.shared.is_some());
+            if let Some(shared) = &hot.shared {
+                assert_eq!(shared.is_verified(), engine != Engine::Vm);
+            }
+        }
+    }
+
+    #[test]
+    fn publish_wakes_waiters_as_hits() {
+        let cache = Arc::new(CompileCache::new());
+        let p = zlang::compile(&src(2)).unwrap();
+        let req = RunRequest::new();
+        let binding = req.binding_for(&p).unwrap();
+        let key = CacheKey::for_request(&p, &binding, &req);
+        let guard = match cache.claim(key) {
+            Lookup::Miss(g) => g,
+            Lookup::Hit(_) => panic!("cache is empty"),
+        };
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = cache.clone();
+                std::thread::spawn(move || matches!(cache.claim(key), Lookup::Hit(_)))
+            })
+            .collect();
+        let (value, _) = CompileCache::new().get_or_compile(&p, &req).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        guard.publish(value);
+        for w in waiters {
+            assert!(
+                w.join().unwrap(),
+                "waiter sees the published artifact as a hit"
+            );
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (4, 1, 1));
+    }
+
+    #[test]
+    fn abandoned_claims_hand_over_to_waiters() {
+        let cache = Arc::new(CompileCache::new());
+        let p = zlang::compile(&src(1)).unwrap();
+        let req = RunRequest::new();
+        let binding = req.binding_for(&p).unwrap();
+        let key = CacheKey::for_request(&p, &binding, &req);
+        let guard = match cache.claim(key) {
+            Lookup::Miss(g) => g,
+            Lookup::Hit(_) => panic!("cache is empty"),
+        };
+        let waiter = {
+            let cache = cache.clone();
+            std::thread::spawn(move || match cache.claim(key) {
+                Lookup::Miss(g) => {
+                    drop(g);
+                    false
+                }
+                Lookup::Hit(_) => true,
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(guard); // abandon without publishing
+        assert!(
+            !waiter.join().unwrap(),
+            "waiter takes over the abandoned claim as a fresh miss"
+        );
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (0, 2, 0));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn unknown_set_name_is_a_lower_error() {
+        let cache = CompileCache::new();
+        let p = zlang::compile(&src(1)).unwrap();
+        let err = cache
+            .get_or_compile(&p, &RunRequest::new().with_set("zz", 1))
+            .unwrap_err();
+        assert!(err.message.contains("zz"), "{}", err.message);
+    }
+}

@@ -46,21 +46,28 @@
 //! ```
 
 pub mod asdg;
+pub mod cache;
 pub mod depvec;
 pub mod explain;
 pub mod ext;
 pub mod fusion;
+pub mod hash;
 pub mod loopstruct;
 pub mod normal;
 pub mod pass;
 pub mod pipeline;
+pub mod request;
 pub mod scalarize;
+pub mod serve;
 pub mod supervisor;
 pub mod verify;
 pub mod weights;
 
+pub use cache::{CacheKey, CacheStats, CachedProgram, ClaimGuard, CompileCache, Lookup};
 pub use depvec::Udv;
 pub use pass::{CompileSession, Pass, PassId, PassManager, PassResult, PassTrace};
 pub use pipeline::{Level, Optimized, Pipeline};
+pub use request::RunRequest;
+pub use serve::{ServeReport, ServeRequest};
 pub use supervisor::{Budgets, Supervised, Supervisor, SupervisorError, SupervisorReport};
 pub use verify::{Diagnostic, VerifyLevel};

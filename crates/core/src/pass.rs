@@ -340,7 +340,7 @@ pub(crate) fn build_sequence(
 /// A session is `Send + Sync` (asserted in this module's tests): all of
 /// its state is owned values plus shared references to the immutable
 /// input [`Program`] and the thread-safe
-/// [`ForbidFn`](crate::pipeline::ForbidFn) policy, so compilation can be
+/// [`ForbidFn`] policy, so compilation can be
 /// handed to — or observed from — another thread. This is part of the
 /// thread-safe execution contract documented in `DESIGN.md`.
 pub struct CompileSession<'s> {

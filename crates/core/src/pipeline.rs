@@ -112,7 +112,7 @@ impl fmt::Display for Level {
 /// A callback computing statement pairs that must not fuse in a block
 /// (used by the runtime's favor-communication policy, Section 5.5).
 ///
-/// `Send + Sync` so a [`CompileSession`](crate::pass::CompileSession)
+/// `Send + Sync` so a [`CompileSession`]
 /// holding one can be handed to another thread (the parallel engine's
 /// thread-safety contract; see `DESIGN.md`). The installed policies are
 /// pure functions of their arguments, so this costs them nothing.

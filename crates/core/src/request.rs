@@ -1,0 +1,339 @@
+//! One run configuration to rule them all: [`RunRequest`].
+//!
+//! Before this module existed, three callers each threaded their own
+//! copy of "how should this program be compiled and executed": `zlc`
+//! plumbed a dozen individual flags, the [`Supervisor`] had its own
+//! builder knobs, and the simulated runtime's `ExecConfig` repeated the
+//! engine/threads/limits triple a third time. `RunRequest` is the single
+//! builder-style value all of them now consume — the level (with the
+//! `+dse`/`+rce` cleanup suffixes), the engine, the worker-thread count,
+//! verification, resource budgets, and config-variable overrides — with
+//! adapters producing whichever downstream form a caller needs:
+//! [`RunRequest::pipeline`], [`RunRequest::supervisor`],
+//! [`RunRequest::exec_opts`], [`RunRequest::limits`], and
+//! [`RunRequest::binding_for`]. The serving path
+//! ([`crate::serve`], [`crate::cache`]) keys its compile cache on the
+//! request's `(level, dse, rce, engine)` coordinates.
+//!
+//! ```
+//! use fusion_core::request::RunRequest;
+//! use fusion_core::Level;
+//! use loopir::Engine;
+//!
+//! let req = RunRequest::new()
+//!     .with_level_spec("c2+f3+dse")
+//!     .unwrap()
+//!     .with_engine(Engine::VmVerified)
+//!     .with_set("n", 32);
+//! assert_eq!(req.level, Level::C2F3);
+//! assert!(req.dse && !req.rce);
+//! assert_eq!(req.level_spec(), "c2+f3+dse");
+//! ```
+
+use crate::pipeline::{Level, Pipeline};
+use crate::supervisor::{Budgets, Supervisor};
+use crate::verify::VerifyLevel;
+use loopir::{Engine, ExecLimits, ExecOpts};
+use std::fmt;
+use std::time::Duration;
+use zlang::ir::{ConfigBinding, Program};
+
+/// A complete, self-describing run configuration: what to compile
+/// (level + cleanup passes), how to execute it (engine, threads,
+/// budgets), and under which config bindings. Built fluently, consumed
+/// by `zlc`, the [`Supervisor`], the compile cache, and the serve path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRequest {
+    /// Optimization level (default [`Level::C2`], matching `zlc`).
+    pub level: Level,
+    /// Run the dead-statement-elimination cleanup pass (`+dse`).
+    pub dse: bool,
+    /// Run the redundant-computation-elimination cleanup pass (`+rce`).
+    pub rce: bool,
+    /// Execution engine (default [`Engine::Vm`]).
+    pub engine: Engine,
+    /// Worker threads for [`Engine::VmPar`]; `0` = auto.
+    pub threads: usize,
+    /// Run the translation validator and bytecode verifier, reporting
+    /// diagnostics (`zlc --verify`). Does not change generated code, so
+    /// the compile cache deliberately ignores it.
+    pub verify: bool,
+    /// Resource budgets (deadline, fuel, allocation cap).
+    pub budgets: Budgets,
+    /// Config-variable overrides, applied in order (`--set n=64`).
+    pub sets: Vec<(String, i64)>,
+}
+
+impl Default for RunRequest {
+    fn default() -> Self {
+        RunRequest {
+            level: Level::C2,
+            dse: false,
+            rce: false,
+            engine: Engine::default(),
+            threads: 0,
+            verify: false,
+            budgets: Budgets::none(),
+            sets: Vec::new(),
+        }
+    }
+}
+
+impl RunRequest {
+    /// The default request: level `c2` on the bytecode VM, no budgets.
+    pub fn new() -> Self {
+        RunRequest::default()
+    }
+
+    /// Sets the optimization level (keeping any `+dse`/`+rce` choices).
+    pub fn with_level(mut self, level: Level) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Parses a level *spec*: a paper level name optionally followed by
+    /// `+dse` / `+rce` suffixes in any order (`"c2+f3+dse+rce"`), the
+    /// `zlc --level` grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rustc-style message naming the valid levels when the
+    /// base level is unknown.
+    pub fn with_level_spec(mut self, spec: &str) -> Result<Self, String> {
+        let (mut base, mut dse, mut rce) = (spec, false, false);
+        loop {
+            if let Some(rest) = base.strip_suffix("+dse") {
+                base = rest;
+                dse = true;
+            } else if let Some(rest) = base.strip_suffix("+rce") {
+                base = rest;
+                rce = true;
+            } else {
+                break;
+            }
+        }
+        let level = Level::all()
+            .into_iter()
+            .find(|l| l.name() == base)
+            .ok_or_else(|| {
+                format!(
+                    "unknown level `{spec}` (expected one of: {}; append `+dse`/`+rce` \
+                     for the cleanup passes)",
+                    Level::all().map(|l| l.name()).join(", ")
+                )
+            })?;
+        self.level = level;
+        self.dse = dse;
+        self.rce = rce;
+        Ok(self)
+    }
+
+    /// The level spec string this request round-trips to
+    /// (`"c2+f3+dse"`-style).
+    pub fn level_spec(&self) -> String {
+        format!(
+            "{}{}{}",
+            self.level.name(),
+            if self.dse { "+dse" } else { "" },
+            if self.rce { "+rce" } else { "" },
+        )
+    }
+
+    /// Sets the execution engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Parses and sets the engine from its flag name, accepting the same
+    /// aliases as `Engine::from_str` (`interp`, `vm`, `vm-verified`,
+    /// `vm-par`, ...).
+    ///
+    /// # Errors
+    ///
+    /// Returns the shared `FromStr` message naming every valid engine.
+    pub fn with_engine_name(mut self, name: &str) -> Result<Self, String> {
+        self.engine = name.parse()?;
+        Ok(self)
+    }
+
+    /// Sets the worker-thread count for [`Engine::VmPar`] (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables (or disables) verification.
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// Sets all resource budgets at once.
+    pub fn with_budgets(mut self, budgets: Budgets) -> Self {
+        self.budgets = budgets;
+        self
+    }
+
+    /// Sets a wall-clock budget per attempt.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.budgets.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets an instruction-fuel budget per attempt.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.budgets.fuel = Some(fuel);
+        self
+    }
+
+    /// Adds a config-variable override.
+    pub fn with_set(mut self, name: &str, value: i64) -> Self {
+        self.sets.push((name.to_string(), value));
+        self
+    }
+
+    /// The compile pipeline this request describes (level, cleanup
+    /// passes, verification). Callers with pipeline-only concerns (e.g.
+    /// `zlc --emit`, `--dimension-contraction`) extend the returned
+    /// builder further.
+    pub fn pipeline(&self) -> Pipeline<'static> {
+        let mut p = Pipeline::new(self.level);
+        if self.dse {
+            p = p.with_dse();
+        }
+        if self.rce {
+            p = p.with_rce();
+        }
+        if self.verify {
+            p = p.with_verify(VerifyLevel::Always);
+        }
+        p
+    }
+
+    /// A fault-tolerant [`Supervisor`] at this request's level, engine,
+    /// budgets, threads, and bindings.
+    pub fn supervisor(&self) -> Supervisor<'static> {
+        let mut sup = Supervisor::new(self.level, self.engine)
+            .with_budgets(self.budgets)
+            .with_threads(self.threads);
+        for (name, value) in &self.sets {
+            sup = sup.with_binding(name, *value);
+        }
+        sup
+    }
+
+    /// The per-execution engine options.
+    pub fn exec_opts(&self) -> ExecOpts {
+        ExecOpts::with_threads(self.threads)
+    }
+
+    /// The engine limits the budgets imply (the deadline is measured
+    /// from the moment of this call).
+    pub fn limits(&self) -> ExecLimits {
+        self.budgets.limits()
+    }
+
+    /// The concrete config binding for a program: defaults overridden by
+    /// this request's `--set` pairs, in order.
+    ///
+    /// # Errors
+    ///
+    /// Names the first override that matches no config variable.
+    pub fn binding_for(&self, program: &Program) -> Result<ConfigBinding, String> {
+        let mut binding = ConfigBinding::defaults(program);
+        for (name, value) in &self.sets {
+            if !binding.set_by_name(program, name, *value) {
+                return Err(format!("no config named `{name}`"));
+            }
+        }
+        Ok(binding)
+    }
+}
+
+impl fmt::Display for RunRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {}", self.level_spec(), self.engine)?;
+        if self.threads != 0 {
+            write!(f, " x{}", self.threads)?;
+        }
+        for (name, value) in &self.sets {
+            write!(f, " {name}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_spec_round_trips() {
+        for spec in ["baseline", "c2+f3", "c2+f4+dse+rce", "f1+rce"] {
+            let req = RunRequest::new().with_level_spec(spec).unwrap();
+            assert_eq!(req.level_spec(), spec, "{spec}");
+        }
+        // Suffixes parse in any order but render canonically.
+        let req = RunRequest::new().with_level_spec("c2+rce+dse").unwrap();
+        assert_eq!(req.level_spec(), "c2+dse+rce");
+    }
+
+    #[test]
+    fn bad_level_names_the_valid_ones() {
+        let err = RunRequest::new().with_level_spec("o3").unwrap_err();
+        assert!(err.contains("unknown level `o3`"), "{err}");
+        assert!(err.contains("c2+f3"), "{err}");
+    }
+
+    #[test]
+    fn bad_engine_names_the_valid_ones() {
+        let err = RunRequest::new().with_engine_name("jit").unwrap_err();
+        assert!(err.contains("unknown engine `jit`"), "{err}");
+        assert!(err.contains("vm-par"), "{err}");
+    }
+
+    #[test]
+    fn binding_applies_sets_in_order() {
+        let p = zlang::compile(
+            "program t; config n : int = 4; region R = [1..n]; \
+             var A : [R] float; begin end",
+        )
+        .unwrap();
+        let req = RunRequest::new().with_set("n", 9).with_set("n", 7);
+        let b = req.binding_for(&p).unwrap();
+        assert_eq!(b.get(zlang::ir::ConfigId(0)), 7);
+        let err = RunRequest::new()
+            .with_set("missing", 1)
+            .binding_for(&p)
+            .unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let req = RunRequest::new()
+            .with_level_spec("c2+f3")
+            .unwrap()
+            .with_engine(Engine::VmPar)
+            .with_threads(4)
+            .with_set("n", 64);
+        assert_eq!(req.to_string(), "c2+f3 on vm-par x4 n=64");
+    }
+
+    #[test]
+    fn supervisor_and_pipeline_adapters_run() {
+        let src = "program t; config n : int = 4; region R = [1..n]; \
+             var A : [R] float; var s : float; \
+             begin [R] A := 2.0; s := +<< [R] A; end";
+        let req = RunRequest::new()
+            .with_level_spec("c2+f3")
+            .unwrap()
+            .with_engine(Engine::VmVerified)
+            .with_set("n", 3);
+        let run = req.supervisor().run_source(src).unwrap();
+        assert_eq!(run.outcome.checksum(), 6.0);
+        let opt = req.pipeline().optimize(&zlang::compile(src).unwrap());
+        assert_eq!(opt.level, Level::C2F3);
+    }
+}

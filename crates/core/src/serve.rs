@@ -1,0 +1,340 @@
+//! The batch serving path: replay a stream of mixed compile-and-run
+//! requests across worker threads, sharing one [`CompileCache`].
+//!
+//! This is the driver behind `zlc serve` and the `serve` benchmark. Each
+//! request is a `(source, RunRequest)` pair; workers pull requests from a
+//! shared queue and run each one under a fault-isolating
+//! [`Supervisor`](crate::supervisor::Supervisor) attached to the shared
+//! cache, so a panicking or budget-violating request degrades or fails
+//! *alone* without taking down the batch, while repeated programs hit
+//! the content-addressed cache and skip the whole pass pipeline.
+//!
+//! The report records per-request latency and result bits (for
+//! bit-identical differential checks), and rolls up p50/p99 latency,
+//! per-engine throughput, and the cache's hit/miss/eviction counters.
+
+use crate::cache::{CacheStats, CompileCache};
+use crate::pipeline::Level;
+use crate::request::RunRequest;
+use loopir::Engine;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One unit of serving work: a named program source plus the complete
+/// run configuration to execute it under.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Display name (for per-program roll-ups; not required unique).
+    pub name: String,
+    /// zlang source text of the program to compile and run.
+    pub source: String,
+    /// How to compile and execute it.
+    pub request: RunRequest,
+}
+
+impl ServeRequest {
+    /// A serve request for `source` under `request`.
+    pub fn new(name: &str, source: &str, request: RunRequest) -> Self {
+        ServeRequest {
+            name: name.to_string(),
+            source: source.to_string(),
+            request,
+        }
+    }
+}
+
+/// What happened to one request: identity, latency, and the result bits.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// Index of the request in the submitted batch.
+    pub index: usize,
+    /// The request's display name.
+    pub name: String,
+    /// Engine the request asked for.
+    pub engine: Engine,
+    /// Level the request asked for.
+    pub level: Level,
+    /// End-to-end latency of this request (queue wait excluded).
+    pub latency: Duration,
+    /// `f64::to_bits` of the checksum scalar, for exact comparison.
+    pub checksum_bits: u64,
+    /// Bit patterns of every final scalar, for exact comparison.
+    pub scalars_bits: Vec<u64>,
+    /// Whether the supervisor degraded below the requested rung.
+    pub degraded: bool,
+    /// The failure message, when every rung faulted.
+    pub error: Option<String>,
+}
+
+impl RequestRecord {
+    /// Did the request produce a result (possibly degraded)?
+    pub fn completed(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Per-engine latency roll-up.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineSummary {
+    /// Completed requests on this engine.
+    pub completed: usize,
+    /// Failed requests on this engine.
+    pub failed: usize,
+    /// Sum of completed-request latencies.
+    pub total_latency: Duration,
+}
+
+impl EngineSummary {
+    /// Completed requests per second of cumulative engine time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.total_latency.as_secs_f64();
+        if secs > 0.0 {
+            self.completed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The outcome of one [`serve`] batch.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// One record per submitted request, in submission order.
+    pub records: Vec<RequestRecord>,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Cache counters at the end of the batch.
+    pub cache: CacheStats,
+}
+
+impl ServeReport {
+    /// Requests that produced a result.
+    pub fn completed(&self) -> usize {
+        self.records.iter().filter(|r| r.completed()).count()
+    }
+
+    /// Requests where every ladder rung faulted.
+    pub fn failed(&self) -> usize {
+        self.records.len() - self.completed()
+    }
+
+    /// Requests that completed below their requested rung.
+    pub fn degraded(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.completed() && r.degraded)
+            .count()
+    }
+
+    /// The `p`-th latency percentile over completed requests, in
+    /// microseconds (nearest-rank; 0 when nothing completed).
+    pub fn percentile_us(&self, p: f64) -> u128 {
+        let mut lat: Vec<u128> = self
+            .records
+            .iter()
+            .filter(|r| r.completed())
+            .map(|r| r.latency.as_micros())
+            .collect();
+        if lat.is_empty() {
+            return 0;
+        }
+        lat.sort_unstable();
+        let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
+        lat[rank.clamp(1, lat.len()) - 1]
+    }
+
+    /// Latency and throughput rolled up per engine (sorted by flag name).
+    pub fn per_engine(&self) -> BTreeMap<String, EngineSummary> {
+        let mut map: BTreeMap<String, EngineSummary> = BTreeMap::new();
+        for r in &self.records {
+            let e = map.entry(r.engine.to_string()).or_default();
+            if r.completed() {
+                e.completed += 1;
+                e.total_latency += r.latency;
+            } else {
+                e.failed += 1;
+            }
+        }
+        map
+    }
+
+    /// A human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "served {} requests on {} workers in {:.1?} ({} ok, {} degraded, {} failed)",
+            self.records.len(),
+            self.workers,
+            self.wall,
+            self.completed(),
+            self.degraded(),
+            self.failed(),
+        );
+        let _ = writeln!(
+            out,
+            "latency p50 {} us, p99 {} us",
+            self.percentile_us(50.0),
+            self.percentile_us(99.0),
+        );
+        let _ = writeln!(
+            out,
+            "cache: {} hits, {} misses, {} insertions, {} evictions ({:.1}% hit rate)",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.insertions,
+            self.cache.evictions,
+            self.cache.hit_rate() * 100.0,
+        );
+        for (engine, s) in self.per_engine() {
+            let _ = writeln!(
+                out,
+                "  {engine:<12} {:>6} ok {:>4} failed  {:>10.0} req/s",
+                s.completed,
+                s.failed,
+                s.throughput(),
+            );
+        }
+        out
+    }
+}
+
+/// Replays `requests` across `workers` threads (clamped to at least 1),
+/// every worker running each request under a supervisor attached to
+/// `cache`. Blocks until the whole batch has drained; records come back
+/// in submission order regardless of which worker served them.
+pub fn serve(requests: &[ServeRequest], workers: usize, cache: &Arc<CompileCache>) -> ServeReport {
+    let workers = workers.max(1).min(requests.len().max(1));
+    let next = AtomicUsize::new(0);
+    let records: Mutex<Vec<Option<RequestRecord>>> = Mutex::new(vec![None; requests.len()]);
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(req) = requests.get(index) else {
+                    break;
+                };
+                let record = serve_one(index, req, cache);
+                records.lock().unwrap()[index] = Some(record);
+            });
+        }
+    });
+
+    ServeReport {
+        records: records
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("every request is served exactly once"))
+            .collect(),
+        wall: started.elapsed(),
+        workers,
+        cache: cache.stats(),
+    }
+}
+
+fn serve_one(index: usize, req: &ServeRequest, cache: &Arc<CompileCache>) -> RequestRecord {
+    let sup = req.request.supervisor().with_cache(cache.clone());
+    let t = Instant::now();
+    let run = sup.run_source(&req.source);
+    let latency = t.elapsed();
+    let mut record = RequestRecord {
+        index,
+        name: req.name.clone(),
+        engine: req.request.engine,
+        level: req.request.level,
+        latency,
+        checksum_bits: 0,
+        scalars_bits: Vec::new(),
+        degraded: false,
+        error: None,
+    };
+    match run {
+        Ok(done) => {
+            record.checksum_bits = done.outcome.checksum().to_bits();
+            record.scalars_bits = done.outcome.scalars.iter().map(|s| s.to_bits()).collect();
+            record.degraded = done.report.degraded();
+        }
+        Err(e) => record.error = Some(e.to_string()),
+    }
+    record
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "program t; config n : int = 8; region R = [1..n]; \
+        var A, B : [R] float; var s : float; \
+        begin [R] A := 2.0; [R] B := A * A + 1.5; s := +<< [R] B; end";
+
+    fn batch(copies: usize) -> Vec<ServeRequest> {
+        let engines = [
+            Engine::Interp,
+            Engine::Vm,
+            Engine::VmVerified,
+            Engine::VmPar,
+        ];
+        (0..copies)
+            .map(|i| {
+                ServeRequest::new(
+                    "t",
+                    SRC,
+                    RunRequest::new().with_engine(engines[i % engines.len()]),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serves_a_batch_with_cache_hits() {
+        let cache = Arc::new(CompileCache::new());
+        let report = serve(&batch(32), 4, &cache);
+        assert_eq!(report.completed(), 32);
+        assert_eq!(report.failed(), 0);
+        // 4 distinct (engine) keys; everything after the first misses hits.
+        assert!(report.cache.hits >= 24, "{:?}", report.cache);
+        assert!(report.cache.hit_rate() > 0.5, "{:?}", report.cache);
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_workers_and_engines() {
+        let cache = Arc::new(CompileCache::new());
+        let report = serve(&batch(24), 6, &cache);
+        let first = report.records[0].scalars_bits.clone();
+        assert!(!first.is_empty());
+        for r in &report.records {
+            assert_eq!(r.scalars_bits, first, "request {} diverged", r.index);
+        }
+    }
+
+    #[test]
+    fn bad_source_fails_alone() {
+        let cache = Arc::new(CompileCache::new());
+        let mut reqs = batch(3);
+        reqs.push(ServeRequest::new("bad", "program ???", RunRequest::new()));
+        let report = serve(&reqs, 2, &cache);
+        assert_eq!(report.completed(), 3);
+        assert_eq!(report.failed(), 1);
+        let bad = report.records.last().unwrap();
+        assert!(bad.error.is_some());
+        assert!(report.render().contains("1 failed"), "{}", report.render());
+    }
+
+    #[test]
+    fn percentiles_and_rollups_are_sane() {
+        let cache = Arc::new(CompileCache::new());
+        let report = serve(&batch(16), 1, &cache);
+        assert!(report.percentile_us(50.0) <= report.percentile_us(99.0));
+        let per = report.per_engine();
+        assert_eq!(per.len(), 4);
+        assert!(per.values().all(|s| s.completed == 4 && s.failed == 0));
+    }
+}

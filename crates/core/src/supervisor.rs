@@ -61,14 +61,16 @@
 //! assert!(!run.report.degraded());
 //! ```
 
-use crate::pipeline::{Level, Optimized, Pipeline};
+use crate::cache::{CacheKey, CachedProgram, ClaimGuard, CompileCache, Lookup};
+use crate::pipeline::{Level, Pipeline};
 use loopir::{
-    Engine, ErrorKind, ExecError, ExecLimits, ExecOpts, NoopObserver, RunOutcome, ScalarProgram,
+    Engine, ErrorKind, ExecError, ExecLimits, ExecOpts, Executor, Interp, NoopObserver, RunOutcome,
+    ScalarProgram, SharedProgram,
 };
 use std::cell::Cell;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::Once;
+use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 use zlang::ir::{ConfigBinding, Program};
 
@@ -321,7 +323,10 @@ impl Budgets {
         Budgets::default()
     }
 
-    fn limits(&self) -> ExecLimits {
+    /// The per-attempt engine limits these budgets imply (fuel plus a
+    /// deadline measured from now); the allocation cap is enforced by the
+    /// supervisor's pre-flight estimate, not the engines.
+    pub fn limits(&self) -> ExecLimits {
         let mut l = ExecLimits::none();
         if let Some(f) = self.fuel {
             l = l.with_fuel(f);
@@ -375,6 +380,7 @@ pub struct Supervisor<'a> {
     bindings: Vec<(String, i64)>,
     sim: Option<Box<SimFn<'a>>>,
     threads: usize,
+    cache: Option<Arc<CompileCache>>,
 }
 
 impl fmt::Debug for Supervisor<'_> {
@@ -399,7 +405,20 @@ impl<'a> Supervisor<'a> {
             bindings: Vec::new(),
             sim: None,
             threads: 0,
+            cache: None,
         }
+    }
+
+    /// Attaches a shared [`CompileCache`]: every rung first consults the
+    /// cache at its own `(level, engine)` coordinates — a hit reuses the
+    /// `Arc`-shared scalarized program and compiled bytecode and skips
+    /// the `PassManager`, the bytecode compiler, and the verifier — and
+    /// every cold compile publishes its artifact for future runs. This
+    /// is how the serve path amortizes compilation across requests while
+    /// keeping the fault boundary per-request.
+    pub fn with_cache(mut self, cache: Arc<CompileCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Sets the worker-thread count for the `vm-par` engine (`0` = auto).
@@ -480,7 +499,7 @@ impl<'a> Supervisor<'a> {
     /// unoptimized reference interpreter — faulted.
     pub fn run_program(&self, program: &Program) -> Result<Supervised, SupervisorError> {
         let mut report = SupervisorReport::new(self.level, self.engine);
-        let mut cache: Vec<(Level, Optimized)> = Vec::new();
+        let mut compiled: Vec<(Level, Arc<ScalarProgram>)> = Vec::new();
         let mut poisoned: Option<Level> = None;
         let mut last_cause: Option<Cause> = None;
 
@@ -505,7 +524,7 @@ impl<'a> Supervisor<'a> {
             let mut use_sim = self.sim.is_some();
             loop {
                 let started = Instant::now();
-                let r = self.attempt(program, level, engine, budgeted, use_sim, &mut cache);
+                let r = self.attempt(program, level, engine, budgeted, use_sim, &mut compiled);
                 let elapsed = started.elapsed();
                 match r {
                     Ok(outcome) => {
@@ -553,7 +572,8 @@ impl<'a> Supervisor<'a> {
         Err(SupervisorError { cause, report })
     }
 
-    /// One rung: optimize (cached per level), check the allocation
+    /// One rung: consult the shared compile cache (when attached), then
+    /// optimize (cached per level for the ladder), check the allocation
     /// budget, build the executor, run. Every step is inside the panic
     /// boundary; errors come back as a [`Cause`].
     fn attempt(
@@ -563,7 +583,7 @@ impl<'a> Supervisor<'a> {
         engine: Engine,
         budgeted: bool,
         use_sim: bool,
-        cache: &mut Vec<(Level, Optimized)>,
+        compiled: &mut Vec<(Level, Arc<ScalarProgram>)>,
     ) -> Result<RunOutcome, Cause> {
         // A zero deadline can never be met; fault deterministically up
         // front rather than depend on how far a fast program gets before
@@ -576,31 +596,63 @@ impl<'a> Supervisor<'a> {
             });
         }
 
-        let opt = match cache.iter().find(|(l, _)| *l == level) {
-            Some((_, o)) => o.clone(),
-            None => {
-                enter_stage(Stage::Normalize);
-                let o = quiet_catch(|| Pipeline::new(level).optimize(program)).map_err(|msg| {
-                    Cause {
-                        stage: current_stage(),
-                        kind: CauseKind::Panic,
-                        message: msg,
+        // The binding comes from the source program (normalization never
+        // adds config variables), so the cache key exists before any
+        // compilation happens.
+        let mut binding = ConfigBinding::defaults(program);
+        for (name, value) in &self.bindings {
+            binding.set_by_name(program, name, *value);
+        }
+
+        // A miss claims the key exclusively (single-flight): concurrent
+        // rungs on the same coordinate wait for this compile instead of
+        // duplicating it, and the guard abandons the claim on any fault
+        // so waiters never hang.
+        let mut claim: Option<ClaimGuard<'_>> = None;
+        let hit: Option<Arc<CachedProgram>> = match &self.cache {
+            Some(cache) => {
+                let key = CacheKey::compute(program, &binding, level, false, false, engine);
+                match cache.claim(key) {
+                    Lookup::Hit(cached) => Some(cached),
+                    Lookup::Miss(guard) => {
+                        claim = Some(guard);
+                        None
                     }
-                })?;
-                cache.push((level, o.clone()));
-                o
+                }
+            }
+            None => None,
+        };
+
+        // On a hit the scalarized program and the compiled bytecode come
+        // straight from the cache; on a miss, optimize (once per level
+        // across the ladder) and publish after the engine-specific
+        // lowering succeeds.
+        let (sp, shared): (Arc<ScalarProgram>, Option<SharedProgram>) = match hit {
+            Some(cached) => (cached.scalarized.clone(), cached.shared.clone()),
+            None => {
+                let sp = match compiled.iter().find(|(l, _)| *l == level) {
+                    Some((_, sp)) => sp.clone(),
+                    None => {
+                        enter_stage(Stage::Normalize);
+                        let o = quiet_catch(|| Pipeline::new(level).optimize(program)).map_err(
+                            |msg| Cause {
+                                stage: current_stage(),
+                                kind: CauseKind::Panic,
+                                message: msg,
+                            },
+                        )?;
+                        let sp = Arc::new(o.scalarized);
+                        compiled.push((level, sp.clone()));
+                        sp
+                    }
+                };
+                (sp, None)
             }
         };
 
-        let sp = &opt.scalarized;
-        let mut binding = ConfigBinding::defaults(&sp.program);
-        for (name, value) in &self.bindings {
-            binding.set_by_name(&sp.program, name, *value);
-        }
-
         if budgeted {
             if let Some(cap) = self.budgets.max_alloc_bytes {
-                let est = estimate_alloc_bytes(sp, &binding);
+                let est = estimate_alloc_bytes(&sp, &binding);
                 if est > cap {
                     return Err(Cause {
                         stage: Stage::Execute,
@@ -619,19 +671,40 @@ impl<'a> Supervisor<'a> {
             ExecLimits::none()
         };
 
-        enter_stage(if matches!(engine, Engine::VmVerified | Engine::VmPar) {
-            Stage::VerifyBytecode
-        } else {
-            Stage::Execute
-        });
+        enter_stage(
+            if shared.is_none() && matches!(engine, Engine::VmVerified | Engine::VmPar) {
+                Stage::VerifyBytecode
+            } else {
+                Stage::Execute
+            },
+        );
         let run = quiet_catch(|| -> Result<RunOutcome, ExecError> {
             if use_sim {
                 if let Some(sim) = &self.sim {
-                    return sim(sp, &binding, engine, limits);
+                    return sim(&sp, &binding, engine, limits);
                 }
             }
-            let mut exec =
-                engine.executor_with(sp, binding.clone(), ExecOpts::with_threads(self.threads))?;
+            let opts = ExecOpts::with_threads(self.threads);
+            let mut exec: Box<dyn Executor + '_> = match &shared {
+                // Cache hit: re-instantiate from the shared bytecode —
+                // no recompile, no re-verify.
+                Some(shared) => engine.shared_executor(shared, opts),
+                None => {
+                    let lowered = engine.compile_shared(&sp, binding.clone())?;
+                    if let Some(guard) = claim.take() {
+                        guard.publish(Arc::new(CachedProgram {
+                            scalarized: sp.clone(),
+                            shared: lowered.clone(),
+                            binding: binding.clone(),
+                            engine,
+                        }));
+                    }
+                    match lowered {
+                        Some(shared) => engine.shared_executor(&shared, opts),
+                        None => Box::new(Interp::new(&sp, binding.clone())),
+                    }
+                }
+            };
             enter_stage(Stage::Execute);
             exec.set_limits(limits);
             exec.execute(&mut NoopObserver)

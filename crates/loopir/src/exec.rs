@@ -30,7 +30,7 @@
 
 use crate::interp::{ExecError, Interp, NoopObserver, Observer, RunStats};
 use crate::ir::ScalarProgram;
-use crate::vm::Vm;
+use crate::vm::{SharedProgram, Vm};
 use std::fmt;
 use std::str::FromStr;
 use std::time::{Duration, Instant};
@@ -288,17 +288,6 @@ impl Engine {
         binding: ConfigBinding,
         opts: ExecOpts,
     ) -> Result<Box<dyn Executor + 'p>, ExecError> {
-        let verified_vm = |prog, binding| -> Result<Vm, ExecError> {
-            let mut vm = Vm::new(prog, binding)?;
-            if let Err(diags) = vm.verify() {
-                let msgs: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
-                return Err(ExecError::verify(format!(
-                    "bytecode verification failed:\n{}",
-                    msgs.join("\n")
-                )));
-            }
-            Ok(vm)
-        };
         Ok(match self {
             Engine::Interp => Box::new(Interp::new(prog, binding)),
             Engine::Vm => Box::new(Vm::new(prog, binding)?),
@@ -310,6 +299,66 @@ impl Engine {
             }
         })
     }
+
+    /// Compiles a program once into a thread-shareable
+    /// [`SharedProgram`] handle for this engine, or `None` for
+    /// [`Engine::Interp`] (the tree-walking interpreter has no compiled
+    /// form to share; callers re-instantiate it from the
+    /// [`ScalarProgram`]).
+    ///
+    /// The handle remembers whether verification ran: `VmVerified` and
+    /// `VmPar` verify here, once, so every executor later built from the
+    /// handle with [`Engine::shared_executor`] starts on the unchecked
+    /// fast path without re-running the verifier. This is the compile
+    /// half of the compile-once/execute-many serving path — the
+    /// `fusion_core` compile cache stores exactly this handle.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::executor`]: lowering failures for every VM engine,
+    /// plus verifier rejections for `VmVerified` and `VmPar`.
+    pub fn compile_shared(
+        self,
+        prog: &ScalarProgram,
+        binding: ConfigBinding,
+    ) -> Result<Option<SharedProgram>, ExecError> {
+        Ok(match self {
+            Engine::Interp => None,
+            Engine::Vm => Some(Vm::new(prog, binding)?.share()),
+            Engine::VmVerified | Engine::VmPar => Some(verified_vm(prog, binding)?.share()),
+        })
+    }
+
+    /// Builds a fresh executor around an already-compiled
+    /// [`SharedProgram`] — one `Arc` bump plus run-state allocation, no
+    /// recompilation and no re-verification. This is the hit half of the
+    /// compile-once/execute-many serving path.
+    ///
+    /// The handle must have come from [`Engine::compile_shared`] on a
+    /// compatible engine: a `VmVerified`/`VmPar` executor built from an
+    /// unverified handle runs with bounds checks on (correct, just
+    /// slower), never unchecked.
+    pub fn shared_executor(self, shared: &SharedProgram, opts: ExecOpts) -> Box<dyn Executor> {
+        let mut vm = Vm::from_shared(shared);
+        if self == Engine::VmPar {
+            vm.set_threads(opts.threads);
+        }
+        Box::new(vm)
+    }
+}
+
+/// Compiles and verifies a VM, converting verifier diagnostics into a
+/// [`Verify`](crate::ErrorKind::Verify)-kind error.
+fn verified_vm(prog: &ScalarProgram, binding: ConfigBinding) -> Result<Vm, ExecError> {
+    let mut vm = Vm::new(prog, binding)?;
+    if let Err(diags) = vm.verify() {
+        let msgs: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+        return Err(ExecError::verify(format!(
+            "bytecode verification failed:\n{}",
+            msgs.join("\n")
+        )));
+    }
+    Ok(vm)
 }
 
 impl fmt::Display for Engine {

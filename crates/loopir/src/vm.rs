@@ -75,6 +75,14 @@ pub struct SharedProgram {
     verified: bool,
 }
 
+impl std::fmt::Debug for SharedProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedProgram")
+            .field("verified", &self.verified)
+            .finish_non_exhaustive()
+    }
+}
+
 impl SharedProgram {
     /// The config binding the program was compiled under.
     pub fn binding(&self) -> &ConfigBinding {
@@ -165,7 +173,7 @@ impl Vm {
     }
 
     /// Enables parallel tiled execution for subsequent runs: ladders the
-    /// compiler marked partitionable ([`Op::ParBegin`]) fan out as
+    /// compiler marked partitionable (`Op::ParBegin`) fan out as
     /// per-tile tasks on a persistent work-stealing pool of `threads`
     /// threads (including the calling thread; `0` means one per available
     /// core, capped at 8). Fan-out only happens under observers with

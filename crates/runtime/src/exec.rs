@@ -28,7 +28,7 @@ pub struct ExecConfig {
     pub engine: Engine,
     /// Worker-thread count for [`Engine::VmPar`] (`0` = auto); ignored by
     /// the sequential engines. Note the cache/communication *simulation*
-    /// always runs the program sequentially regardless — [`SimObserver`]
+    /// always runs the program sequentially regardless — `SimObserver`
     /// consumes the ordered address stream, and the parallel VM only fans
     /// out under observers that do not (see `loopir::Observer`).
     pub threads: usize,
@@ -66,6 +66,21 @@ impl ExecConfig {
     pub fn with_limits(mut self, limits: ExecLimits) -> Self {
         self.limits = limits;
         self
+    }
+
+    /// The simulation config a [`RunRequest`](fusion_core::RunRequest)
+    /// describes, on `machine` with `procs` processors: engine, threads,
+    /// and limits come from the request (the limits' deadline clock
+    /// starts at this call), the communication policy stays default.
+    pub fn from_request(req: &fusion_core::RunRequest, machine: Machine, procs: u64) -> Self {
+        ExecConfig {
+            machine,
+            procs,
+            policy: CommPolicy::default(),
+            engine: req.engine,
+            threads: req.threads,
+            limits: req.limits(),
+        }
     }
 }
 

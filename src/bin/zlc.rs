@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! zlc <file.zl> [options]
+//! zlc serve <file.zl>... [--requests N] [--workers N] [run options]
 //!
 //! options:
 //!   --level <baseline|f1|c1|f2|f3|c2|c2+f3|c2+f4>   (default c2)
@@ -14,7 +15,7 @@
 //!   --dimension-contraction       enable lower-dimensional contraction
 //!   --spatial-cap <k>             bound pairwise fusion to k array streams
 //!   --favor-comm                  Section 5.5 favor-communication policy
-//!   --print <ir|loops|asdg|report|source>   what to print (repeatable)
+//!   --print <ir|loops|asdg|report|source|hash>   what to print (repeatable)
 //!   --emit <pass>                 dump the IR snapshot taken right after
 //!                                 the named pass (e.g. `normalize`, `dse`,
 //!                                 `fuse-contraction`, `contract`,
@@ -23,6 +24,7 @@
 //!                                 compiled bytecode; report diagnostics
 //!   --run                         execute and print scalars + statistics
 //!   --engine <interp|vm|vm-verified|vm-par>   execution engine (default vm)
+//!   --list-engines                list the execution engines and exit
 //!   --threads <n>                 worker threads for --engine vm-par
 //!                                 (default 0 = auto)
 //!   --machine <t3e|sp2|paragon>   simulate on a machine model (with --run)
@@ -34,43 +36,45 @@
 //!   --fuel <n>                    instruction budget per supervised attempt
 //!   --inject <plan>               install a deterministic fault plan, e.g.
 //!                                 `seed=42,vm-trap` or `seed=1,comm-drop:0.5`
+//!
+//! serve mode:
+//!   --requests <n>                total requests, round-robin over the
+//!                                 input files (default: one per file)
+//!   --workers <n>                 worker threads serving the batch
+//!                                 (default 4)
 //! ```
 
 use fusion_core::pass::PassId;
-use fusion_core::pipeline::{Level, Pipeline};
-use fusion_core::supervisor::{Budgets, Supervisor};
+use fusion_core::serve::{serve, ServeRequest};
 use fusion_core::verify::Severity;
-use fusion_core::VerifyLevel;
+use fusion_core::{CompileCache, RunRequest};
 use loopir::{Engine, Vm};
 use machine::presets::MachineKind;
-use runtime::{simulate, simulate_outcome, CommPolicy, ExecConfig, SimResult};
+use runtime::{simulate, simulate_outcome, ExecConfig, SimResult};
 use std::cell::RefCell;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 use testkit::faults::{self, FaultPlan};
 use zlang::error::render_diagnostic;
 use zlang::ir::{ConfigBinding, Program};
 
 struct Options {
+    serve: bool,
     file: String,
-    level: Level,
-    dse: bool,
-    rce: bool,
+    files: Vec<String>,
+    requests: usize,
+    workers: usize,
+    request: RunRequest,
     dimension_contraction: bool,
     spatial_cap: Option<usize>,
     favor_comm: bool,
     prints: Vec<String>,
     emit: Option<PassId>,
-    verify: bool,
     run: bool,
-    engine: Engine,
-    threads: usize,
     machine: Option<MachineKind>,
     procs: u64,
-    sets: Vec<(String, i64)>,
     supervise: bool,
-    deadline_ms: Option<u64>,
-    fuel: Option<u64>,
     inject: Option<String>,
 }
 
@@ -79,57 +83,36 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage: zlc <file.zl> [--level L[+dse][+rce]] [--dimension-contraction]\n\
          \x20          [--spatial-cap K] [--favor-comm]\n\
-         \x20          [--print ir|loops|asdg|report|source]... [--emit PASS] [--verify]\n\
+         \x20          [--print ir|loops|asdg|report|source|hash]... [--emit PASS] [--verify]\n\
          \x20          [--run] [--engine interp|vm|vm-verified|vm-par] [--threads N]\n\
          \x20          [--machine t3e|sp2|paragon] [--procs P] [--set name=value]...\n\
-         \x20          [--supervise] [--deadline-ms N] [--fuel N] [--inject PLAN]"
+         \x20          [--supervise] [--deadline-ms N] [--fuel N] [--inject PLAN]\n\
+         \x20      zlc serve <file.zl>... [--requests N] [--workers N] [run options]\n\
+         \x20      zlc --list-engines"
     );
     ExitCode::from(2)
 }
 
-/// Parses a `--level` spec: a paper level name, optionally followed by
-/// `+dse` / `+rce` suffixes (in any order) enabling the array-level
-/// cleanup passes that no paper level runs.
-fn parse_level(s: &str) -> Option<(Level, bool, bool)> {
-    let (mut base, mut dse, mut rce) = (s, false, false);
-    loop {
-        if let Some(rest) = base.strip_suffix("+dse") {
-            base = rest;
-            dse = true;
-        } else if let Some(rest) = base.strip_suffix("+rce") {
-            base = rest;
-            rce = true;
-        } else {
-            break;
-        }
-    }
-    let level = Level::all().into_iter().find(|l| l.name() == base)?;
-    Some((level, dse, rce))
-}
-
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
+        serve: false,
         file: String::new(),
-        level: Level::C2,
-        dse: false,
-        rce: false,
+        files: Vec::new(),
+        requests: 0,
+        workers: 4,
+        request: RunRequest::new(),
         dimension_contraction: false,
         spatial_cap: None,
         favor_comm: false,
         prints: Vec::new(),
         emit: None,
-        verify: false,
         run: false,
-        engine: Engine::default(),
-        threads: 0,
         machine: None,
         procs: 1,
-        sets: Vec::new(),
         supervise: false,
-        deadline_ms: None,
-        fuel: None,
         inject: None,
     };
+    let mut saw_positional = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |name: &str| {
@@ -140,11 +123,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match a.as_str() {
             "--level" => {
                 let v = value("--level")?;
-                let (level, dse, rce) =
-                    parse_level(&v).ok_or_else(|| format!("unknown level `{v}`"))?;
-                opts.level = level;
-                opts.dse = dse;
-                opts.rce = rce;
+                opts.request = std::mem::take(&mut opts.request).with_level_spec(&v)?;
             }
             "--dimension-contraction" => opts.dimension_contraction = true,
             "--spatial-cap" => {
@@ -165,13 +144,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     )
                 })?);
             }
-            "--verify" => opts.verify = true,
+            "--verify" => opts.request.verify = true,
             "--run" => opts.run = true,
             "--engine" => {
-                opts.engine = value("--engine")?.parse()?;
+                let v = value("--engine")?;
+                opts.request = std::mem::take(&mut opts.request).with_engine_name(&v)?;
             }
             "--threads" => {
-                opts.threads = value("--threads")?
+                opts.request.threads = value("--threads")?
                     .parse()
                     .map_err(|_| "bad threads".to_string())?;
             }
@@ -193,37 +173,57 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let (name, val) = v
                     .split_once('=')
                     .ok_or_else(|| format!("--set wants name=value, got `{v}`"))?;
-                opts.sets.push((
-                    name.to_string(),
-                    val.parse().map_err(|_| format!("bad value in `{v}`"))?,
-                ));
+                let val = val.parse().map_err(|_| format!("bad value in `{v}`"))?;
+                opts.request = std::mem::take(&mut opts.request).with_set(name, val);
             }
             "--supervise" => opts.supervise = true,
             "--deadline-ms" => {
-                opts.deadline_ms = Some(
-                    value("--deadline-ms")?
-                        .parse()
-                        .map_err(|_| "bad deadline".to_string())?,
-                );
+                let ms: u64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|_| "bad deadline".to_string())?;
+                opts.request =
+                    std::mem::take(&mut opts.request).with_deadline(Duration::from_millis(ms));
             }
             "--fuel" => {
-                opts.fuel = Some(
-                    value("--fuel")?
-                        .parse()
-                        .map_err(|_| "bad fuel".to_string())?,
-                );
+                let fuel = value("--fuel")?
+                    .parse()
+                    .map_err(|_| "bad fuel".to_string())?;
+                opts.request = std::mem::take(&mut opts.request).with_fuel(fuel);
             }
             "--inject" => opts.inject = Some(value("--inject")?),
+            "--requests" => {
+                opts.requests = value("--requests")?
+                    .parse()
+                    .map_err(|_| "bad request count".to_string())?;
+            }
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "bad worker count".to_string())?;
+            }
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            "serve" if !saw_positional => {
+                saw_positional = true;
+                opts.serve = true;
+            }
             file => {
-                if !opts.file.is_empty() {
-                    return Err("more than one input file".to_string());
+                saw_positional = true;
+                if opts.serve {
+                    opts.files.push(file.to_string());
+                } else {
+                    if !opts.file.is_empty() {
+                        return Err("more than one input file".to_string());
+                    }
+                    opts.file = file.to_string();
                 }
-                opts.file = file.to_string();
             }
         }
     }
-    if opts.file.is_empty() {
+    if opts.serve {
+        if opts.files.is_empty() {
+            return Err("serve needs at least one input file".to_string());
+        }
+    } else if opts.file.is_empty() {
         return Err("no input file".to_string());
     }
     Ok(opts)
@@ -274,31 +274,18 @@ fn fail(code: &str, message: &str, location: Option<&str>) -> ExitCode {
 /// supervisor, attaching the machine simulation as a backend when
 /// requested, and print the outcome plus the attempt trail.
 fn run_supervised(opts: &Options, program: &Program) -> ExitCode {
-    let budgets = Budgets {
-        deadline: opts.deadline_ms.map(Duration::from_millis),
-        fuel: opts.fuel,
-        ..Budgets::none()
-    };
     let last_sim: RefCell<Option<SimResult>> = RefCell::new(None);
     let last_sim_ref = &last_sim;
-    let mut sup = Supervisor::new(opts.level, opts.engine)
-        .with_budgets(budgets)
-        .with_threads(opts.threads);
-    for (name, value) in &opts.sets {
-        sup = sup.with_binding(name, *value);
-    }
+    let mut sup = opts.request.supervisor();
     if let Some(machine) = opts.machine.map(|k| k.machine()) {
         let procs = opts.procs;
-        let threads = opts.threads;
+        let request = opts.request.clone();
         sup = sup.with_sim(move |sp, binding, engine, limits| {
-            let cfg = ExecConfig {
-                machine: machine.clone(),
-                procs,
-                policy: CommPolicy::default(),
-                engine,
-                threads,
-                limits,
-            };
+            // The ladder may have degraded below the requested rung, so
+            // the per-attempt engine and limits override the request's.
+            let cfg = ExecConfig::from_request(&request, machine.clone(), procs)
+                .with_engine(engine)
+                .with_limits(limits);
             let (outcome, sim) = simulate_outcome(sp, binding.clone(), &cfg)?;
             *last_sim_ref.borrow_mut() = Some(sim);
             Ok(outcome)
@@ -342,12 +329,62 @@ fn run_supervised(opts: &Options, program: &Program) -> ExitCode {
     }
 }
 
+/// The `serve` subcommand: compile-check the input files, expand them to
+/// `--requests` round-robin serve requests, run the batch across
+/// `--workers` threads over one shared compile cache, and print the
+/// latency/cache report.
+fn run_serve(opts: &Options) -> ExitCode {
+    let mut programs = Vec::new();
+    for file in &opts.files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => return fail("io", &format!("cannot read {file}: {e}"), None),
+        };
+        // Surface parse errors with the file name up front; the serving
+        // path itself only reports a one-line failure per request.
+        if let Err(e) = zlang::compile(&source) {
+            eprint!("{}", e.render(file));
+            return ExitCode::FAILURE;
+        }
+        programs.push((file.clone(), source));
+    }
+    let total = if opts.requests == 0 {
+        programs.len()
+    } else {
+        opts.requests
+    };
+    let batch: Vec<ServeRequest> = (0..total)
+        .map(|i| {
+            let (name, source) = &programs[i % programs.len()];
+            ServeRequest::new(name, source, opts.request.clone())
+        })
+        .collect();
+    let cache = Arc::new(CompileCache::new());
+    let report = serve(&batch, opts.workers, &cache);
+    print!("{}", report.render());
+    if report.failed() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list-engines") {
+        for engine in Engine::all() {
+            println!("{engine}");
+        }
+        return ExitCode::SUCCESS;
+    }
     let opts = match parse_args(&args) {
         Ok(o) => o,
         Err(e) => return usage(&e),
     };
+
+    if opts.serve {
+        return run_serve(&opts);
+    }
 
     let source = match std::fs::read_to_string(&opts.file) {
         Ok(s) => s,
@@ -365,7 +402,7 @@ fn main() -> ExitCode {
 
     // Validate config overrides against the source program up front, so
     // every later stage works with a known-sane binding.
-    if let Err(msg) = checked_binding(&program, &opts.sets) {
+    if let Err(msg) = checked_binding(&program, &opts.request.sets) {
         return fail("config", &msg, Some(&opts.file));
     }
 
@@ -381,13 +418,7 @@ fn main() -> ExitCode {
         return run_supervised(&opts, &program);
     }
 
-    let mut pipeline = Pipeline::new(opts.level);
-    if opts.dse {
-        pipeline = pipeline.with_dse();
-    }
-    if opts.rce {
-        pipeline = pipeline.with_rce();
-    }
+    let mut pipeline = opts.request.pipeline();
     if let Some(pass) = opts.emit {
         pipeline = pipeline.with_emit(pass);
     }
@@ -400,9 +431,6 @@ fn main() -> ExitCode {
     if opts.favor_comm {
         pipeline = pipeline.with_forbidden(runtime::comm::favor_comm_pairs);
     }
-    if opts.verify {
-        pipeline = pipeline.with_verify(VerifyLevel::Always);
-    }
     let opt = pipeline.optimize(&program);
 
     if let Some(pass) = opts.emit {
@@ -412,10 +440,8 @@ fn main() -> ExitCode {
                 return fail(
                     "emit",
                     &format!(
-                        "pass `{pass}` did not run at level {}{}{}",
-                        opts.level.name(),
-                        if opts.dse { "+dse" } else { "" },
-                        if opts.rce { "+rce" } else { "" },
+                        "pass `{pass}` did not run at level {}",
+                        opts.request.level_spec(),
                     ),
                     Some(&opts.file),
                 );
@@ -423,8 +449,8 @@ fn main() -> ExitCode {
         }
     }
 
-    if opts.verify {
-        let binding = match checked_binding(&opt.scalarized.program, &opts.sets) {
+    if opts.request.verify {
+        let binding = match checked_binding(&opt.scalarized.program, &opts.request.sets) {
             Ok(b) => b,
             Err(msg) => return fail("config", &msg, Some(&opts.file)),
         };
@@ -454,13 +480,13 @@ fn main() -> ExitCode {
         if errors > 0 {
             eprintln!(
                 "zlc: verify: {errors} error(s), {warnings} warning(s) at level {}",
-                opts.level.name()
+                opts.request.level.name()
             );
             return ExitCode::FAILURE;
         }
         println!(
             "verify: ok (pipeline stages and bytecode at level {}{})",
-            opts.level.name(),
+            opts.request.level.name(),
             if warnings > 0 {
                 format!("; {warnings} warning(s)")
             } else {
@@ -473,6 +499,9 @@ fn main() -> ExitCode {
         match what.as_str() {
             "ir" => print!("{}", zlang::pretty::program(&program)),
             "source" => print!("{}", zlang::pretty::source(&program)),
+            // The compile cache's content digest of the source program
+            // (binding-independent; see fusion_core::hash).
+            "hash" => println!("{:016x}", fusion_core::hash::program_hash(&program)),
             "loops" => print!("{}", loopir::printer::print(&opt.scalarized)),
             "asdg" => {
                 // The pipeline's cached per-block analyses, not a rebuild:
@@ -508,19 +537,16 @@ fn main() -> ExitCode {
     }
 
     if opts.run {
-        let binding = match checked_binding(&opt.scalarized.program, &opts.sets) {
+        let binding = match checked_binding(&opt.scalarized.program, &opts.request.sets) {
             Ok(b) => b,
             Err(msg) => return fail("config", &msg, Some(&opts.file)),
         };
         match opts.machine {
             None => {
                 let outcome = opts
+                    .request
                     .engine
-                    .executor_with(
-                        &opt.scalarized,
-                        binding,
-                        loopir::ExecOpts::with_threads(opts.threads),
-                    )
+                    .executor_with(&opt.scalarized, binding, opts.request.exec_opts())
                     .and_then(|mut exec| exec.execute(&mut loopir::NoopObserver));
                 match outcome {
                     Ok(out) => {
@@ -539,14 +565,7 @@ fn main() -> ExitCode {
                 }
             }
             Some(kind) => {
-                let cfg = ExecConfig {
-                    machine: kind.machine(),
-                    procs: opts.procs,
-                    policy: CommPolicy::default(),
-                    engine: opts.engine,
-                    threads: opts.threads,
-                    limits: loopir::ExecLimits::none(),
-                };
+                let cfg = ExecConfig::from_request(&opts.request, kind.machine(), opts.procs);
                 match simulate(&opt.scalarized, binding, &cfg) {
                     Ok(r) => {
                         println!(

@@ -294,3 +294,86 @@ fn level_cleanup_suffixes_schedule_the_passes() {
     assert!(stdout.starts_with("// after rce\n"), "{stdout}");
     assert!(stdout.contains("err = "), "{stdout}");
 }
+
+#[test]
+fn print_hash_is_stable_across_print_reparse() {
+    let (h1, stderr, ok) = zlc(&[&program_path("heat.zl"), "--print", "hash"]);
+    assert!(ok, "{stderr}");
+    let h1 = h1.trim().to_string();
+    assert_eq!(h1.len(), 16, "16 hex digits: {h1}");
+    assert!(h1.chars().all(|c| c.is_ascii_hexdigit()), "{h1}");
+
+    // Pretty-print the program, re-parse the printed source: the
+    // structural hash must survive the round trip (interned-name
+    // invariant), and must differ for a different program.
+    let (src, _, ok) = zlc(&[&program_path("heat.zl"), "--print", "source"]);
+    assert!(ok);
+    let dir = std::env::temp_dir().join("zlc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("heat_roundtrip.zl");
+    std::fs::write(&path, &src).unwrap();
+    let (h2, _, ok) = zlc(&[path.to_str().unwrap(), "--print", "hash"]);
+    assert!(ok);
+    assert_eq!(h1, h2.trim(), "round trip changed the hash");
+
+    let (h3, _, ok) = zlc(&[&program_path("sweep.zl"), "--print", "hash"]);
+    assert!(ok);
+    assert_ne!(h1, h3.trim());
+}
+
+#[test]
+fn list_engines_names_every_engine() {
+    let (stdout, _, ok) = zlc(&["--list-engines"]);
+    assert!(ok);
+    for engine in ["interp", "vm", "vm-verified", "vm-par"] {
+        assert!(
+            stdout.lines().any(|l| l == engine),
+            "missing {engine}: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn serve_replays_files_and_reports_cache_hits() {
+    let (stdout, stderr, ok) = zlc(&[
+        "serve",
+        &program_path("heat.zl"),
+        &program_path("sweep.zl"),
+        "--requests",
+        "40",
+        "--workers",
+        "4",
+        "--set",
+        "n=12",
+        "--engine",
+        "vm-verified",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("served 40 requests"), "{stdout}");
+    assert!(stdout.contains("0 failed"), "{stdout}");
+    // 2 distinct programs -> 2 misses, 38 hits (95%).
+    assert!(stdout.contains("38 hits, 2 misses"), "{stdout}");
+    assert!(stdout.contains("95.0% hit rate"), "{stdout}");
+    assert!(stdout.contains("vm-verified"), "{stdout}");
+}
+
+#[test]
+fn serve_without_files_is_a_usage_error() {
+    let (_, stderr, ok) = zlc(&["serve"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("serve needs at least one input file"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn serve_surfaces_parse_errors_with_the_file_name() {
+    let dir = std::env::temp_dir().join("zlc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("serve_broken.zl");
+    std::fs::write(&path, "program nope\n").unwrap();
+    let (_, stderr, ok) = zlc(&["serve", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("serve_broken.zl"), "{stderr}");
+}
