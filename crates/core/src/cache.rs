@@ -7,7 +7,7 @@
 //! is cheap per-request state. [`CompileCache`] memoizes the compile
 //! half: keys are [`CacheKey`] — the structural digest of the program
 //! *and* its concrete config binding ([`crate::hash::key_hash`]) plus
-//! the explicit `(level, dse, rce, engine)` coordinates — and values are
+//! the explicit `(level, dse, rce, rce2, engine)` coordinates — and values are
 //! [`CachedProgram`] — the `Arc`-shared scalarized program plus, for the
 //! VM engines, the compiled-and-verified
 //! [`SharedProgram`] handle. A hit skips the
@@ -53,6 +53,8 @@ pub struct CacheKey {
     pub dse: bool,
     /// Whether redundant-computation elimination ran.
     pub rce: bool,
+    /// Whether the stencil-aware availability-driven redundancy pass ran.
+    pub rce2: bool,
     /// The engine the artifact was compiled for (decides whether a
     /// [`SharedProgram`] exists and whether it was verified).
     pub engine: Engine,
@@ -67,6 +69,7 @@ impl CacheKey {
         level: Level,
         dse: bool,
         rce: bool,
+        rce2: bool,
         engine: Engine,
     ) -> Self {
         CacheKey {
@@ -74,6 +77,7 @@ impl CacheKey {
             level,
             dse,
             rce,
+            rce2,
             engine,
         }
     }
@@ -81,7 +85,9 @@ impl CacheKey {
     /// Computes the key a [`RunRequest`] addresses for a program under a
     /// binding.
     pub fn for_request(program: &Program, binding: &ConfigBinding, req: &RunRequest) -> Self {
-        CacheKey::compute(program, binding, req.level, req.dse, req.rce, req.engine)
+        CacheKey::compute(
+            program, binding, req.level, req.dse, req.rce, req.rce2, req.engine,
+        )
     }
 }
 

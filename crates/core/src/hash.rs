@@ -180,6 +180,18 @@ fn array_expr(h: &mut Fnv, e: &ArrayExpr) {
     }
 }
 
+/// The structural digest of a single array expression.
+///
+/// This is the subexpression key the offset-lattice availability analysis
+/// ([`crate::avail`]) uses to bucket canonicalized subtrees: two
+/// expressions hash equal iff they are structurally identical (same
+/// operators, same array ids, same offsets, same constant bit patterns).
+pub fn expr_hash(e: &ArrayExpr) -> u64 {
+    let mut h = Fnv::new();
+    array_expr(&mut h, e);
+    h.finish()
+}
+
 fn scalar_expr(h: &mut Fnv, e: &ScalarExpr) {
     match e {
         ScalarExpr::Const(v) => {

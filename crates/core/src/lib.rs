@@ -46,6 +46,7 @@
 //! ```
 
 pub mod asdg;
+pub mod avail;
 pub mod cache;
 pub mod depvec;
 pub mod explain;
@@ -56,6 +57,7 @@ pub mod loopstruct;
 pub mod normal;
 pub mod pass;
 pub mod pipeline;
+pub mod rce2;
 pub mod request;
 pub mod scalarize;
 pub mod serve;

@@ -30,6 +30,7 @@
 //! parallel stage enums the crates previously kept in sync by hand.
 
 use crate::asdg::{self, Asdg, DefId};
+use crate::avail::{region_contains_shifted, regions_disjoint_shifted};
 use crate::ext::PartialGroup;
 use crate::fusion::{FusionCtx, FusionOpts, Partition};
 use crate::normal::{self, BStmt, NStmt, NormProgram};
@@ -43,7 +44,7 @@ use std::fmt;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use zlang::ast::ReduceOp;
-use zlang::ir::{ArrayExpr, ArrayId, ConfigBinding, LinExpr, Offset, Program, RegionId, ScalarId};
+use zlang::ir::{ArrayExpr, ArrayId, ConfigBinding, Offset, Program, ScalarId};
 
 /// Identity of a compilation stage: every pass the manager can schedule,
 /// plus the surrounding stages (`Parse`, the bytecode `VerifyBytecode`
@@ -63,6 +64,9 @@ pub enum PassId {
     Dse,
     /// Redundant-computation elimination (`+rce` levels only).
     Rce,
+    /// Stencil-aware redundancy elimination over the offset-lattice
+    /// availability analysis (`+rce2` levels only).
+    Rce2,
     /// `FUSION-FOR-CONTRACTION` over the contraction candidates.
     FuseContraction,
     /// Fusion for locality over all definitions.
@@ -87,6 +91,9 @@ pub enum PassId {
     VerifyStructure,
     /// Verifier: contraction safety (Definition 6).
     VerifyContraction,
+    /// Verifier: `+rce2` rewrites are value-preserving (offset algebra,
+    /// region containment, no intervening writes).
+    VerifyRce2,
     /// Bytecode verification in the VM (outside the pass manager).
     VerifyBytecode,
     /// Program execution (outside the pass manager).
@@ -95,12 +102,13 @@ pub enum PassId {
 
 impl PassId {
     /// Every stage, in pipeline order.
-    pub fn all() -> [PassId; 18] {
+    pub fn all() -> [PassId; 20] {
         [
             PassId::Parse,
             PassId::Normalize,
             PassId::Dse,
             PassId::Rce,
+            PassId::Rce2,
             PassId::FuseContraction,
             PassId::FuseLocality,
             PassId::FusePairwise,
@@ -113,6 +121,7 @@ impl PassId {
             PassId::VerifyPartition,
             PassId::VerifyStructure,
             PassId::VerifyContraction,
+            PassId::VerifyRce2,
             PassId::VerifyBytecode,
             PassId::Execute,
         ]
@@ -126,6 +135,7 @@ impl PassId {
             PassId::Normalize => "normalize",
             PassId::Dse => "dse",
             PassId::Rce => "rce",
+            PassId::Rce2 => "rce2",
             PassId::FuseContraction => "fuse-contraction",
             PassId::FuseLocality => "fuse-locality",
             PassId::FusePairwise => "fuse-pairwise",
@@ -138,6 +148,7 @@ impl PassId {
             PassId::VerifyPartition => "verify::partition",
             PassId::VerifyStructure => "verify::structure",
             PassId::VerifyContraction => "verify::contraction",
+            PassId::VerifyRce2 => "verify::rce2",
             PassId::VerifyBytecode => "verify",
             PassId::Execute => "execute",
         }
@@ -158,6 +169,9 @@ impl PassId {
             PassId::VerifyPartition => Some("Definition 5 (legal fusion partitions)"),
             PassId::VerifyStructure => Some("Definition 4 (loop structure legality)"),
             PassId::VerifyContraction => Some("Definition 6 (contractable arrays)"),
+            PassId::VerifyRce2 => {
+                Some("rce2 value preservation (offset algebra, region containment, no intervening writes)")
+            }
             _ => None,
         }
     }
@@ -287,6 +301,7 @@ pub(crate) fn build_sequence(
     level: Level,
     dse: bool,
     rce: bool,
+    rce2: bool,
     dimension_contraction: bool,
     spatial_cap: Option<usize>,
 ) -> Vec<Box<dyn Pass>> {
@@ -296,6 +311,9 @@ pub(crate) fn build_sequence(
     }
     if rce {
         passes.push(Box::new(RcePass));
+    }
+    if rce2 {
+        passes.push(Box::new(Rce2Pass));
     }
     if level.fuses_compiler() {
         passes.push(Box::new(FuseContractionPass {
@@ -326,6 +344,11 @@ pub(crate) fn build_sequence(
     ] {
         passes.push(Box::new(VerifyPass { which }));
     }
+    if rce2 {
+        passes.push(Box::new(VerifyPass {
+            which: PassId::VerifyRce2,
+        }));
+    }
     passes
 }
 
@@ -353,6 +376,7 @@ pub struct CompileSession<'s> {
     // Evolving IR.
     norm: Option<NormProgram>,
     binding: Option<ConfigBinding>,
+    rce2: Option<crate::rce2::Rce2Info>,
 
     // Cached analyses (cleared by `invalidate`).
     candidates: Option<Vec<Option<usize>>>,
@@ -401,6 +425,7 @@ impl<'s> CompileSession<'s> {
             verify,
             norm: None,
             binding: None,
+            rce2: None,
             candidates: None,
             asdg: Vec::new(),
             asdg_builds: 0,
@@ -577,6 +602,7 @@ impl<'s> CompileSession<'s> {
     pub fn snapshot(&self, id: PassId) -> String {
         match id {
             PassId::Normalize | PassId::Dse | PassId::Rce => self.snapshot_norm(id),
+            PassId::Rce2 => self.snapshot_rce2(),
             PassId::FuseContraction
             | PassId::FuseLocality
             | PassId::FusePairwise
@@ -606,6 +632,55 @@ impl<'s> CompileSession<'s> {
         out
     }
 
+    /// The `--emit rce2` snapshot: the normalized blocks after the pass,
+    /// followed by the rewrite/temp/hoist record every change left for
+    /// the `verify::rce2` re-checker.
+    fn snapshot_rce2(&self) -> String {
+        let mut out = self.snapshot_norm(PassId::Rce2);
+        let np = self.norm.as_ref().expect("normalize must run first");
+        let Some(info) = &self.rce2 else { return out };
+        let _ = writeln!(
+            out,
+            "// rce2: {} rewrite(s), {} temp(s), {} hoist(s)",
+            info.rewrites.len(),
+            info.temps.len(),
+            info.hoists.len()
+        );
+        for r in &info.rewrites {
+            let _ = writeln!(
+                out,
+                "// rewrite block {} stmt {} path {:?}: {}@{:?} replaces {}",
+                r.block,
+                r.stmt,
+                r.path,
+                np.program.array(r.provider).name,
+                r.delta,
+                zlang::pretty::array_expr(&np.program, &r.replaced),
+            );
+        }
+        for t in &info.temps {
+            let _ = writeln!(
+                out,
+                "// temp block {} stmt {}: {}",
+                t.block,
+                t.stmt,
+                np.program.array(t.array).name,
+            );
+        }
+        for h in &info.hoists {
+            let _ = writeln!(
+                out,
+                "// hoist {}: block {} stmt {} (was block {} index {})",
+                np.program.array(h.array).name,
+                h.landing_block,
+                h.landing_stmt,
+                h.orig_block,
+                h.orig_index,
+            );
+        }
+        out
+    }
+
     fn snapshot_clusters(&self, id: PassId) -> String {
         let np = self.norm.as_ref().expect("normalize must run first");
         let mut out = format!("// after {}\n", id.name());
@@ -628,6 +703,7 @@ impl<'s> CompileSession<'s> {
         Optimized {
             norm: self.norm.expect("normalize pass must run"),
             scalarized: self.scalarized.expect("scalarize pass must run"),
+            rce2: self.rce2,
             contracted: self.contracted,
             report: self.report,
             level: self.level,
@@ -641,7 +717,7 @@ impl<'s> CompileSession<'s> {
 }
 
 /// Renders one normalized statement in source-like syntax.
-fn print_bstmt(p: &Program, s: &BStmt) -> String {
+pub(crate) fn print_bstmt(p: &Program, s: &BStmt) -> String {
     match s {
         BStmt::Array(a) => format!(
             "[{}] {} := {}",
@@ -809,6 +885,38 @@ impl Pass for RcePass {
     }
 }
 
+/// Stencil-aware redundancy elimination driven by the offset-lattice
+/// availability analysis ([`crate::avail`]): subexpression-level reuse
+/// across statements (shifted reads of earlier results or of fresh
+/// materialization temporaries) plus loop-invariant hoisting out of
+/// counted loops. Every change is recorded for the independent
+/// `verify::rce2` re-checker. See [`crate::rce2`].
+///
+/// Off at every paper level; enabled with the `+rce2` level suffix.
+struct Rce2Pass;
+
+impl Pass for Rce2Pass {
+    fn id(&self) -> PassId {
+        PassId::Rce2
+    }
+
+    fn preserves_analyses(&self) -> bool {
+        false
+    }
+
+    fn run(&self, s: &mut CompileSession<'_>) -> PassResult {
+        let binding = s.binding.clone().expect("set by normalize");
+        let np = s.norm.as_mut().expect("normalize must run first");
+        let (changed, info) = crate::rce2::run(np, &binding);
+        // Hoisting can add blocks: the ASDG cache must track the new
+        // block count before the epoch invalidation clears it.
+        let nblocks = np.blocks.len();
+        s.asdg.resize_with(nblocks, || None);
+        s.rce2 = Some(info);
+        PassResult::changed(changed)
+    }
+}
+
 /// Finds the earliest statement `i < j` whose RHS statement `j`
 /// redundantly recomputes, returning the array to read instead and the
 /// offset shift. See [`RcePass`] for the legality conditions.
@@ -850,13 +958,25 @@ fn find_rce_source(program: &Program, stmts: &[BStmt], j: usize) -> Option<(Arra
             continue;
         }
         // Nothing the RHS depends on may change between i and j, and the
-        // source array must still hold statement i's values.
-        let reads: HashSet<ArrayId> = stmts[j].reads().into_iter().map(|(a, _)| a).collect();
+        // source array must still hold statement i's values. A write to a
+        // dependency is harmless when its region is provably disjoint
+        // from every element the rewritten statement will touch — e.g. a
+        // boundary-row update between two interior-region statements.
+        let reads: Vec<(ArrayId, Offset)> = stmts[j].reads();
         let scalar_reads: HashSet<ScalarId> = stmts[j].scalar_reads().into_iter().collect();
         let clobbered = stmts[i + 1..j].iter().any(|st| {
-            if let Some(a) = st.lhs_array() {
-                if a == si.lhs || reads.contains(&a) {
+            if let BStmt::Array(w) = st {
+                if w.lhs == si.lhs
+                    && !regions_disjoint_shifted(program, w.region, sj.region, &delta)
+                {
                     return true;
+                }
+                for (ra, off) in &reads {
+                    if *ra == w.lhs
+                        && !regions_disjoint_shifted(program, w.region, sj.region, &off.0)
+                    {
+                        return true;
+                    }
                 }
             }
             if let Some(sc) = st.lhs_scalar() {
@@ -922,32 +1042,6 @@ fn rhs_equal_shifted(
         }
         _ => false,
     }
-}
-
-/// `a <= b` provable symbolically: identical config terms, constant
-/// comparison on the bases. (Terms are kept sorted and zero-free by
-/// [`LinExpr`]'s constructors.)
-fn lin_le(a: &LinExpr, b: &LinExpr) -> bool {
-    a.terms == b.terms && a.base <= b.base
-}
-
-/// Whether `inner + delta ⊆ outer` holds for every symbolic binding.
-fn region_contains_shifted(
-    program: &Program,
-    outer: RegionId,
-    inner: RegionId,
-    delta: &[i64],
-) -> bool {
-    let ro = program.region(outer);
-    let ri = program.region(inner);
-    if ro.rank() != ri.rank() || ro.rank() != delta.len() {
-        return false;
-    }
-    ro.extents
-        .iter()
-        .zip(&ri.extents)
-        .zip(delta)
-        .all(|((o, i), &d)| lin_le(&o.lo, &i.lo.offset(d)) && lin_le(&i.hi.offset(d), &o.hi))
 }
 
 /// `FUSION-FOR-CONTRACTION` over the contraction-candidate definitions
@@ -1352,6 +1446,7 @@ impl Pass for VerifyPass {
         s.ensure_candidates();
         let CompileSession {
             norm,
+            rce2,
             candidates,
             scalarized,
             details,
@@ -1398,6 +1493,11 @@ impl Pass for VerifyPass {
             PassId::VerifyStructure => {
                 let sp = scalarized.as_ref().expect("scalarize must run first");
                 diagnostics.extend(verify::check_structure(np, sp, details));
+            }
+            PassId::VerifyRce2 => {
+                if let Some(info) = rce2 {
+                    diagnostics.extend(verify::check_rce2(np, info));
+                }
             }
             other => unreachable!("{other} is not a verification pass"),
         }
@@ -1506,6 +1606,7 @@ mod tests {
                     | PassId::VerifyPartition
                     | PassId::VerifyStructure
                     | PassId::VerifyContraction
+                    | PassId::VerifyRce2
             );
             assert_eq!(id.definition().is_some(), is_pipeline_verifier, "{id}");
         }
@@ -1513,6 +1614,8 @@ mod tests {
 
     #[test]
     fn lin_le_requires_identical_terms() {
+        use crate::avail::lin_le;
+        use zlang::ir::LinExpr;
         let a = LinExpr::constant(3);
         let b = LinExpr::constant(5);
         assert!(lin_le(&a, &b));

@@ -202,6 +202,10 @@ pub struct Optimized {
     /// IR snapshot captured after the pass requested with
     /// [`Pipeline::with_emit`], if that pass ran.
     pub emitted: Option<String>,
+    /// Rewrites, temporaries, and hoists recorded by the `+rce2`
+    /// stencil-aware redundancy pass ([`crate::rce2`]); `None` when the
+    /// pass did not run.
+    pub rce2: Option<crate::rce2::Rce2Info>,
 }
 
 impl Optimized {
@@ -228,6 +232,7 @@ pub struct Pipeline<'f> {
     verify: VerifyLevel,
     dse: bool,
     rce: bool,
+    rce2: bool,
     emit: Option<PassId>,
 }
 
@@ -252,6 +257,7 @@ impl<'f> Pipeline<'f> {
             verify: VerifyLevel::default(),
             dse: false,
             rce: false,
+            rce2: false,
             emit: None,
         }
     }
@@ -271,6 +277,19 @@ impl<'f> Pipeline<'f> {
     /// Off at every paper level (`+rce` level suffix in `zlc`).
     pub fn with_rce(mut self) -> Self {
         self.rce = true;
+        self
+    }
+
+    /// Enables stencil-aware redundancy elimination ([`PassId::Rce2`]):
+    /// an offset-lattice availability analysis finds subexpressions whose
+    /// value is already materialized at a constant shift, rewrites them
+    /// into shifted reuses (materializing shared stencil subexpressions
+    /// once where profitable), and hoists loop-invariant statements out of
+    /// counted time loops. Every rewrite is independently re-checked by
+    /// the translation validator ([`PassId::VerifyRce2`]). Off at every
+    /// paper level (`+rce2` level suffix in `zlc`).
+    pub fn with_rce2(mut self) -> Self {
+        self.rce2 = true;
         self
     }
 
@@ -340,6 +359,7 @@ impl<'f> Pipeline<'f> {
             self.level,
             self.dse,
             self.rce,
+            self.rce2,
             self.dimension_contraction,
             self.spatial_cap,
         ));

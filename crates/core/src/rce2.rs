@@ -1,0 +1,958 @@
+//! The `+rce2` transform: stencil-aware redundancy elimination driven by
+//! the offset-lattice availability analysis ([`crate::avail`]).
+//!
+//! Three mechanisms, applied in this order:
+//!
+//! 1. **Loop-invariant hoisting** — a statement inside a counted loop
+//!    whose inputs are never written anywhere in the loop recomputes the
+//!    same plane every iteration; it moves to a block immediately before
+//!    the loop (the degenerate "rotate zero planes" case of loop-carried
+//!    redundancy: the previous time step's value *is* the current one).
+//!    Only loops with constant bounds and a provable trip count ≥ 2 are
+//!    touched, and only statements whose target is written exactly once
+//!    in the loop and never read at an earlier point of the iteration
+//!    (an earlier read would observe the pre-loop value on trip one).
+//! 2. **Direct reuse** — inside each block, a forward sweep carries the
+//!    [`AvailState`]; any compound subexpression equal to a live fact's
+//!    canonical form (modulo a uniform shift δ, with the fact's region
+//!    containing the use region shifted by δ) is replaced by
+//!    `provider@δ`.
+//! 3. **Materialization** — repeated shifted occurrences of the same
+//!    canonical form with *no* provider (e.g. SP's flux differences
+//!    `RHO@xp*US@xp − RHO@xm*US@xm`, where `RHO*US` recurs at two
+//!    offsets inside one statement) are computed once into a fresh
+//!    compiler temporary over the union region and every occurrence
+//!    becomes a shifted read of it. Only profitable plans (strictly
+//!    fewer flops under the session binding) are applied.
+//!
+//! Every change is recorded in an [`Rce2Info`] so the independent
+//! re-checker ([`crate::verify`], stage `verify::rce2`) can re-derive
+//! its legality from the *final* program: offset algebra, region
+//! containment, and intervening-write freedom per rewrite; single-def,
+//! invariant-input, and trip-count conditions per hoist.
+//!
+//! Statements serving as reuse providers are *locked*: later rounds must
+//! not restructure their right-hand sides, or the recorded rewrites
+//! would no longer re-check. (Whole-RHS rewrites into bare reads would
+//! actually remain checkable — the validator chases copy chains — but
+//! the lock keeps the invariant simple.)
+
+use crate::avail::{
+    canonicalize, compound_subexprs, region_contains_shifted, replace_at, shift_reads,
+    written_under, AvailState, Fact,
+};
+use crate::normal::{BStmt, Block, NStmt, NormProgram};
+use std::collections::{HashMap, HashSet};
+use zlang::ir::{
+    ArrayExpr, ArrayId, ArrayStmt, ConfigBinding, Extent, LinExpr, Offset, Program, RegionId,
+    ScalarExpr, ScalarId,
+};
+
+/// Everything the `+rce2` pass did, for the independent re-checker and
+/// the `--emit rce2` snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Rce2Info {
+    /// Subexpression-to-shifted-read rewrites, in application order.
+    pub rewrites: Vec<Rce2Rewrite>,
+    /// Materialization temporaries inserted.
+    pub temps: Vec<Rce2Temp>,
+    /// Loop-invariant statements hoisted out of counted loops.
+    pub hoists: Vec<Rce2Hoist>,
+}
+
+impl Rce2Info {
+    /// Whether the pass did anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.rewrites.is_empty() && self.temps.is_empty() && self.hoists.is_empty()
+    }
+}
+
+/// One subexpression rewritten into a shifted read of a provider.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rce2Rewrite {
+    /// Block of the rewritten statement (final indices).
+    pub block: usize,
+    /// Statement index within the block (final indices).
+    pub stmt: usize,
+    /// Child-index path from the RHS root to the rewritten node.
+    pub path: Vec<u32>,
+    /// The array now read at the site.
+    pub provider: ArrayId,
+    /// The shift of the read.
+    pub delta: Vec<i64>,
+    /// The subexpression the read replaced (the re-checker proves it
+    /// equals `provider@delta` element-wise).
+    pub replaced: ArrayExpr,
+}
+
+/// One materialization temporary: `[R] _tN := canon@base` inserted
+/// before the first occurrence it serves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rce2Temp {
+    /// Block the temporary's defining statement is in.
+    pub block: usize,
+    /// Its statement index (final indices).
+    pub stmt: usize,
+    /// The temporary array.
+    pub array: ArrayId,
+}
+
+/// One loop-invariant statement moved out of a counted loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rce2Hoist {
+    /// Block the statement landed in (immediately before the loop).
+    pub landing_block: usize,
+    /// Its statement index there (final indices).
+    pub landing_stmt: usize,
+    /// The array the statement writes.
+    pub array: ArrayId,
+    /// The loop-body block it was removed from.
+    pub orig_block: usize,
+    /// The index it held there (in the block's final statement order:
+    /// earlier statements are unchanged by the removal).
+    pub orig_index: usize,
+}
+
+/// Bounded safety net around the flop-monotone round loop (every applied
+/// change strictly reduces the block's RHS flop count, so termination is
+/// guaranteed anyway).
+const MAX_ROUNDS: usize = 32;
+
+/// Runs the whole transform over a normalized program. The binding is
+/// only consulted for materialization *profitability* — every rewrite is
+/// legal under any binding.
+pub(crate) fn run(np: &mut NormProgram, binding: &ConfigBinding) -> (bool, Rce2Info) {
+    let mut info = Rce2Info::default();
+    let mut changed = false;
+    while try_hoist(&mut np.blocks, &mut np.body, &mut info) {
+        changed = true;
+    }
+    for bi in 0..np.blocks.len() {
+        changed |= cse_block(np, binding, bi, &mut info);
+    }
+    (changed, info)
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: loop-invariant hoisting
+// ---------------------------------------------------------------------------
+
+/// Constant trip count of a counted loop, or 0 if the bounds are not
+/// both constants.
+fn const_trips(lo: &ScalarExpr, hi: &ScalarExpr, down: bool) -> i64 {
+    let (ScalarExpr::Const(l), ScalarExpr::Const(h)) = (lo, hi) else {
+        return 0;
+    };
+    let trips = if down { l - h } else { h - l } + 1.0;
+    if trips >= 1.0 && trips.fract() == 0.0 {
+        trips as i64
+    } else {
+        0
+    }
+}
+
+/// Finds and applies one hoist anywhere under `body`, innermost loops
+/// first. Returns whether anything moved (callers loop to fixpoint —
+/// repeated application ladders an invariant statement out of a whole
+/// loop nest one level at a time, each level independently re-checked).
+fn try_hoist(blocks: &mut Vec<Block>, body: &mut Vec<NStmt>, info: &mut Rce2Info) -> bool {
+    for i in 0..body.len() {
+        let recursed = match &mut body[i] {
+            NStmt::For { body: fb, .. } => try_hoist(blocks, fb, info),
+            NStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => try_hoist(blocks, then_body, info) || try_hoist(blocks, else_body, info),
+            NStmt::Block(_) => false,
+        };
+        if recursed {
+            return true;
+        }
+        let NStmt::For {
+            lo,
+            hi,
+            down,
+            body: fb,
+            ..
+        } = &body[i]
+        else {
+            continue;
+        };
+        if const_trips(lo, hi, *down) < 2 {
+            continue;
+        }
+        let Some((b, j)) = find_hoist_candidate(blocks, fb) else {
+            continue;
+        };
+        apply_hoist(blocks, body, i, b, j, info);
+        return true;
+    }
+    false
+}
+
+/// A hoistable statement directly in a loop body: an array statement
+/// whose inputs (arrays and scalars, including loop variables) are never
+/// written anywhere in the loop, whose target is written exactly once in
+/// the loop, and whose target is not read at any earlier point of the
+/// iteration (trip one would otherwise observe the pre-loop value).
+fn find_hoist_candidate(blocks: &[Block], fbody: &[NStmt]) -> Option<(usize, usize)> {
+    let mut warr = Vec::new();
+    let mut wsc = Vec::new();
+    written_under(blocks, fbody, &mut warr, &mut wsc);
+    let mut wcount: HashMap<ArrayId, usize> = HashMap::new();
+    for &a in &warr {
+        *wcount.entry(a).or_insert(0) += 1;
+    }
+    let warr_set: HashSet<ArrayId> = warr.into_iter().collect();
+    let wsc_set: HashSet<ScalarId> = wsc.into_iter().collect();
+    let direct: HashSet<usize> = fbody
+        .iter()
+        .filter_map(|n| match n {
+            NStmt::Block(b) => Some(*b),
+            _ => None,
+        })
+        .collect();
+
+    fn preorder(body: &[NStmt], out: &mut Vec<usize>) {
+        for n in body {
+            match n {
+                NStmt::Block(b) => out.push(*b),
+                NStmt::For { body, .. } => preorder(body, out),
+                NStmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    preorder(then_body, out);
+                    preorder(else_body, out);
+                }
+            }
+        }
+    }
+    let mut order = Vec::new();
+    preorder(fbody, &mut order);
+
+    let mut read_so_far: HashSet<ArrayId> = HashSet::new();
+    for b in order {
+        for (j, s) in blocks[b].stmts.iter().enumerate() {
+            if direct.contains(&b) {
+                if let BStmt::Array(st) = s {
+                    let ok = wcount.get(&st.lhs) == Some(&1)
+                        && !read_so_far.contains(&st.lhs)
+                        && st.rhs.reads().iter().all(|(a, _)| !warr_set.contains(a))
+                        && s.scalar_reads().iter().all(|sc| !wsc_set.contains(sc));
+                    if ok {
+                        return Some((b, j));
+                    }
+                }
+            }
+            for (a, _) in s.reads() {
+                read_so_far.insert(a);
+            }
+        }
+    }
+    None
+}
+
+/// Moves `blocks[b].stmts[j]` to a block immediately before the loop at
+/// `body[i]`, reusing a directly preceding block when one exists.
+fn apply_hoist(
+    blocks: &mut Vec<Block>,
+    body: &mut Vec<NStmt>,
+    i: usize,
+    b: usize,
+    j: usize,
+    info: &mut Rce2Info,
+) {
+    let st = blocks[b].stmts.remove(j);
+    let array = st
+        .lhs_array()
+        .expect("hoist candidates are array statements");
+    // A previously hoisted statement may itself be moving further out
+    // (laddering): its record must follow it to the new landing spot.
+    let mut rehoisted = Vec::new();
+    for (hi, h) in info.hoists.iter_mut().enumerate() {
+        if h.orig_block == b && h.orig_index > j {
+            h.orig_index -= 1;
+        }
+        if h.landing_block == b {
+            if h.landing_stmt == j {
+                rehoisted.push(hi);
+            } else if h.landing_stmt > j {
+                h.landing_stmt -= 1;
+            }
+        }
+    }
+    let (lb, ls) = match (i > 0).then(|| &body[i - 1]) {
+        Some(NStmt::Block(lb)) => {
+            let lb = *lb;
+            blocks[lb].stmts.push(st);
+            (lb, blocks[lb].stmts.len() - 1)
+        }
+        _ => {
+            blocks.push(Block { stmts: vec![st] });
+            let nb = blocks.len() - 1;
+            body.insert(i, NStmt::Block(nb));
+            (nb, 0)
+        }
+    };
+    for hi in rehoisted {
+        info.hoists[hi].landing_block = lb;
+        info.hoists[hi].landing_stmt = ls;
+    }
+    info.hoists.push(Rce2Hoist {
+        landing_block: lb,
+        landing_stmt: ls,
+        array,
+        orig_block: b,
+        orig_index: j,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: per-block CSE (direct reuse + materialization)
+// ---------------------------------------------------------------------------
+
+fn cse_block(
+    np: &mut NormProgram,
+    binding: &ConfigBinding,
+    bi: usize,
+    info: &mut Rce2Info,
+) -> bool {
+    let mut locked: HashSet<usize> = HashSet::new();
+    let mut changed = false;
+    for _ in 0..MAX_ROUNDS {
+        let a = direct_reuse_round(np, bi, info, &mut locked);
+        let b = materialize_round(np, binding, bi, info, &mut locked);
+        changed |= a | b;
+        if !a && !b {
+            break;
+        }
+    }
+    changed
+}
+
+/// One planned direct-reuse rewrite.
+struct Reuse {
+    path: Vec<u32>,
+    provider: ArrayId,
+    provider_stmt: usize,
+    delta: Vec<i64>,
+    replaced: ArrayExpr,
+}
+
+fn rhs_of(stmt: &BStmt) -> Option<(&ArrayExpr, RegionId, Option<ArrayId>)> {
+    match stmt {
+        BStmt::Array(st) => Some((&st.rhs, st.region, Some(st.lhs))),
+        BStmt::Reduce { region, arg, .. } => Some((arg, *region, None)),
+        BStmt::Scalar { .. } => None,
+    }
+}
+
+fn rhs_of_mut(stmt: &mut BStmt) -> Option<&mut ArrayExpr> {
+    match stmt {
+        BStmt::Array(st) => Some(&mut st.rhs),
+        BStmt::Reduce { arg, .. } => Some(arg),
+        BStmt::Scalar { .. } => None,
+    }
+}
+
+/// Forward sweep: rewrite compound subexpressions against the live
+/// availability facts. Outermost matches win (preorder), and each
+/// statement is re-scanned after a rewrite so independent subtrees all
+/// get their turn. Termination: every rewrite removes at least one flop.
+fn direct_reuse_round(
+    np: &mut NormProgram,
+    bi: usize,
+    info: &mut Rce2Info,
+    locked: &mut HashSet<usize>,
+) -> bool {
+    let mut changed = false;
+    let mut state = AvailState::default();
+    for j in 0..np.blocks[bi].stmts.len() {
+        if !locked.contains(&j) {
+            loop {
+                let found = find_reuse(&np.program, &np.blocks[bi].stmts[j], &state);
+                let Some(r) = found else { break };
+                let rhs = rhs_of_mut(&mut np.blocks[bi].stmts[j]).expect("matched a RHS");
+                let ok = replace_at(
+                    rhs,
+                    &r.path,
+                    ArrayExpr::Read(r.provider, Offset(r.delta.clone())),
+                );
+                debug_assert!(ok, "reuse path came from this RHS");
+                drop_superseded(info, bi, j, &r.path);
+                info.rewrites.push(Rce2Rewrite {
+                    block: bi,
+                    stmt: j,
+                    path: r.path,
+                    provider: r.provider,
+                    delta: r.delta,
+                    replaced: r.replaced,
+                });
+                lock_chain(&np.blocks[bi], r.provider_stmt, locked);
+                changed = true;
+            }
+        }
+        let s = &np.blocks[bi].stmts[j];
+        crate::avail::transfer(&np.program, &mut state, s, bi, j);
+    }
+    changed
+}
+
+/// Locks a provider statement and, transitively, the copy chain the
+/// re-checker will chase through it (each hop's defining statement must
+/// keep its RHS shape).
+fn lock_chain(block: &Block, start: usize, locked: &mut HashSet<usize>) {
+    let mut idx = start;
+    loop {
+        if !locked.insert(idx) {
+            return;
+        }
+        let Some(BStmt::Array(st)) = block.stmts.get(idx) else {
+            return;
+        };
+        let ArrayExpr::Read(b, _) = &st.rhs else {
+            return;
+        };
+        let Some(prev) = block.stmts[..idx]
+            .iter()
+            .rposition(|s| s.lhs_array() == Some(*b))
+        else {
+            return;
+        };
+        idx = prev;
+    }
+}
+
+/// Drops earlier records that a new rewrite at `path` supersedes (their
+/// recorded site no longer exists once an ancestor node is replaced).
+fn drop_superseded(info: &mut Rce2Info, block: usize, stmt: usize, path: &[u32]) {
+    info.rewrites.retain(|r| {
+        !(r.block == block
+            && r.stmt == stmt
+            && r.path.len() >= path.len()
+            && r.path[..path.len()] == *path)
+    });
+}
+
+fn find_reuse(program: &Program, stmt: &BStmt, state: &AvailState) -> Option<Reuse> {
+    let (rhs, region, lhs) = rhs_of(stmt)?;
+    for sub in compound_subexprs(rhs) {
+        let Some(c) = canonicalize(sub.expr) else {
+            continue;
+        };
+        let mut best: Option<(&Fact, Vec<i64>)> = None;
+        for f in &state.facts {
+            if f.key != c.key || f.canon != c.expr || f.base.len() != c.base.len() {
+                continue;
+            }
+            if Some(f.provider) == lhs {
+                continue;
+            }
+            let delta: Vec<i64> = c.base.iter().zip(&f.base).map(|(x, y)| x - y).collect();
+            if c.has_index && delta.iter().any(|&d| d != 0) {
+                continue;
+            }
+            if !region_contains_shifted(program, f.region, region, &delta) {
+                continue;
+            }
+            let score: i64 = delta.iter().map(|d| d.abs()).sum();
+            let better = match &best {
+                None => true,
+                Some((bf, bd)) => {
+                    let bscore: i64 = bd.iter().map(|d| d.abs()).sum();
+                    score < bscore || (score == bscore && f.stmt > bf.stmt)
+                }
+            };
+            if better {
+                best = Some((f, delta));
+            }
+        }
+        if let Some((f, delta)) = best {
+            return Some(Reuse {
+                path: sub.path,
+                provider: f.provider,
+                provider_stmt: f.stmt,
+                delta,
+                replaced: sub.expr.clone(),
+            });
+        }
+    }
+    None
+}
+
+/// One occurrence of a canonical form inside a statement's RHS.
+struct Occ {
+    stmt: usize,
+    path: Vec<u32>,
+    base: Vec<i64>,
+    region: RegionId,
+}
+
+struct KeyOccs {
+    canon: ArrayExpr,
+    has_index: bool,
+    groups: Vec<Vec<Occ>>,
+}
+
+/// `min`/`max` of two symbolic bounds, when comparable.
+fn lin_min(a: &LinExpr, b: &LinExpr) -> Option<LinExpr> {
+    (a.terms == b.terms).then(|| {
+        if a.base <= b.base {
+            a.clone()
+        } else {
+            b.clone()
+        }
+    })
+}
+
+fn lin_max(a: &LinExpr, b: &LinExpr) -> Option<LinExpr> {
+    (a.terms == b.terms).then(|| {
+        if a.base >= b.base {
+            a.clone()
+        } else {
+            b.clone()
+        }
+    })
+}
+
+/// Collects repeated shifted occurrences of provider-less canonical
+/// forms, picks the most profitable group, computes it once into a fresh
+/// compiler temporary over the union region, and rewrites every
+/// occurrence into a shifted read. One plan per call; the round loop
+/// re-collects.
+fn materialize_round(
+    np: &mut NormProgram,
+    binding: &ConfigBinding,
+    bi: usize,
+    info: &mut Rce2Info,
+    locked: &mut HashSet<usize>,
+) -> bool {
+    // --- Collect occurrences, segmented at clobbers of their inputs. ---
+    let mut map: HashMap<u64, KeyOccs> = HashMap::new();
+    for (j, s) in np.blocks[bi].stmts.iter().enumerate() {
+        if !locked.contains(&j) {
+            if let Some((rhs, region, _)) = rhs_of(s) {
+                let rank = np.program.region(region).rank();
+                for sub in compound_subexprs(rhs) {
+                    let Some(c) = canonicalize(sub.expr) else {
+                        continue;
+                    };
+                    if c.base.len() != rank {
+                        continue;
+                    }
+                    let entry = map.entry(c.key).or_insert_with(|| KeyOccs {
+                        canon: c.expr.clone(),
+                        has_index: c.has_index,
+                        groups: vec![Vec::new()],
+                    });
+                    if entry.canon != c.expr {
+                        continue; // digest collision: keep the first shape
+                    }
+                    entry.groups.last_mut().expect("never empty").push(Occ {
+                        stmt: j,
+                        path: sub.path,
+                        base: c.base,
+                        region,
+                    });
+                }
+            }
+        }
+        if let Some(a) = s.lhs_array() {
+            for ko in map.values_mut() {
+                if crate::avail::reads_array(&ko.canon, a) {
+                    ko.groups.push(Vec::new());
+                }
+            }
+        }
+        if let Some(sc) = s.lhs_scalar() {
+            for ko in map.values_mut() {
+                if crate::avail::reads_scalar(&ko.canon, sc) {
+                    ko.groups.push(Vec::new());
+                }
+            }
+        }
+    }
+
+    // --- Score candidate plans. ---
+    struct Plan {
+        canon: ArrayExpr,
+        occs: Vec<Occ>,
+        base: Vec<i64>,
+        extents: Vec<Extent>,
+        saved: i64,
+    }
+    let mut best: Option<Plan> = None;
+    let mut keys: Vec<u64> = map.keys().copied().collect();
+    keys.sort_unstable(); // deterministic plan choice across runs
+    for key in keys {
+        let ko = &map[&key];
+        for group in &ko.groups {
+            let occs: Vec<&Occ> = if ko.has_index {
+                // `index` pins the value to the write point: only
+                // occurrences at the *same* shift can share one temp.
+                let Some(first) = group.first() else { continue };
+                group.iter().filter(|o| o.base == first.base).collect()
+            } else {
+                group.iter().collect()
+            };
+            if occs.len() < 2 {
+                continue;
+            }
+            let base = occs[0].base.clone();
+            let rank = base.len();
+            // Union region over all shifted occurrence regions.
+            let mut extents: Vec<Extent> = np.program.region(occs[0].region).extents.clone();
+            for (d, e) in extents.iter_mut().enumerate() {
+                let delta0 = occs[0].base[d] - base[d];
+                e.lo = e.lo.offset(delta0);
+                e.hi = e.hi.offset(delta0);
+            }
+            let mut ok = true;
+            for occ in &occs[1..] {
+                let r = np.program.region(occ.region);
+                for d in 0..rank {
+                    let delta = occ.base[d] - base[d];
+                    let lo = r.extents[d].lo.offset(delta);
+                    let hi = r.extents[d].hi.offset(delta);
+                    match (lin_min(&extents[d].lo, &lo), lin_max(&extents[d].hi, &hi)) {
+                        (Some(l), Some(h)) => {
+                            extents[d].lo = l;
+                            extents[d].hi = h;
+                        }
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            // The temp's own reads must stay inside each source array's
+            // declared region (they do whenever the occurrences' reads
+            // did, but re-check rather than assume).
+            let temp_rhs = shift_reads(&ko.canon, &base);
+            let mut in_bounds = true;
+            temp_rhs.for_each_read(&mut |a, off| {
+                let decl = np.program.region(np.program.array(a).region);
+                if decl.rank() != rank {
+                    in_bounds = false;
+                    return;
+                }
+                for (d, ext) in extents.iter().enumerate().take(rank) {
+                    let lo = ext.lo.offset(off.0[d]);
+                    let hi = ext.hi.offset(off.0[d]);
+                    if !crate::avail::lin_le(&decl.extents[d].lo, &lo)
+                        || !crate::avail::lin_le(&hi, &decl.extents[d].hi)
+                    {
+                        in_bounds = false;
+                    }
+                }
+            });
+            if !in_bounds {
+                continue;
+            }
+            // Profitability under the session binding: evaluating the
+            // form once over the union must beat evaluating it at every
+            // occurrence.
+            let flops = ko.canon.flops() as i64;
+            let union_size: i64 = extents
+                .iter()
+                .map(|e| (e.hi.eval(binding) - e.lo.eval(binding) + 1).max(0))
+                .product();
+            let occ_size: i64 = occs
+                .iter()
+                .map(|o| np.program.region(o.region).size(binding) as i64)
+                .sum();
+            let saved = flops * (occ_size - union_size);
+            if saved <= 0 {
+                continue;
+            }
+            if best.as_ref().is_none_or(|b| saved > b.saved) {
+                best = Some(Plan {
+                    canon: ko.canon.clone(),
+                    occs: occs
+                        .into_iter()
+                        .map(|o| Occ {
+                            stmt: o.stmt,
+                            path: o.path.clone(),
+                            base: o.base.clone(),
+                            region: o.region,
+                        })
+                        .collect(),
+                    base,
+                    extents,
+                    saved,
+                });
+            }
+        }
+    }
+    let Some(plan) = best else { return false };
+
+    // --- Apply the winning plan. ---
+    let rid = match np
+        .program
+        .regions
+        .iter()
+        .position(|r| r.extents == plan.extents)
+    {
+        Some(i) => RegionId(i as u32),
+        None => {
+            let id = RegionId(np.program.regions.len() as u32);
+            let name = format!("_rce2r{}", id.0);
+            np.program.names.register_region(&name, id);
+            np.program.regions.push(zlang::ir::RegionDecl {
+                name,
+                extents: plan.extents.clone(),
+            });
+            id
+        }
+    };
+    let temp = np.program.add_compiler_temp(rid);
+    let insert_at = plan.occs[0].stmt;
+    np.blocks[bi].stmts.insert(
+        insert_at,
+        BStmt::Array(ArrayStmt {
+            region: rid,
+            lhs: temp,
+            rhs: shift_reads(&plan.canon, &plan.base),
+        }),
+    );
+    // Shift every structure that tracks statement indices in this block.
+    for r in &mut info.rewrites {
+        if r.block == bi && r.stmt >= insert_at {
+            r.stmt += 1;
+        }
+    }
+    for t in &mut info.temps {
+        if t.block == bi && t.stmt >= insert_at {
+            t.stmt += 1;
+        }
+    }
+    for h in &mut info.hoists {
+        if h.orig_block == bi && h.orig_index >= insert_at {
+            h.orig_index += 1;
+        }
+        if h.landing_block == bi && h.landing_stmt >= insert_at {
+            h.landing_stmt += 1;
+        }
+    }
+    *locked = locked
+        .iter()
+        .map(|&s| if s >= insert_at { s + 1 } else { s })
+        .collect();
+    locked.insert(insert_at);
+    info.temps.push(Rce2Temp {
+        block: bi,
+        stmt: insert_at,
+        array: temp,
+    });
+    for occ in &plan.occs {
+        let stmt = occ.stmt + 1; // everything at/after insert_at shifted
+        let delta: Vec<i64> = occ
+            .base
+            .iter()
+            .zip(&plan.base)
+            .map(|(x, y)| x - y)
+            .collect();
+        let rhs = rhs_of_mut(&mut np.blocks[bi].stmts[stmt]).expect("occurrences have an RHS");
+        let ok = replace_at(rhs, &occ.path, ArrayExpr::Read(temp, Offset(delta.clone())));
+        debug_assert!(ok, "occurrence path came from this RHS");
+        drop_superseded(info, bi, stmt, &occ.path);
+        info.rewrites.push(Rce2Rewrite {
+            block: bi,
+            stmt,
+            path: occ.path.clone(),
+            provider: temp,
+            delta,
+            replaced: shift_reads(&plan.canon, &occ.base),
+        });
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zlang::ir::ConfigBinding;
+
+    fn norm(src: &str) -> NormProgram {
+        crate::normal::normalize(&zlang::compile(src).unwrap())
+    }
+
+    #[test]
+    fn flux_pair_is_materialized_once() {
+        // RHO*US recurs at offsets [1,0] and [-1,0] inside one statement
+        // (and again in a second statement): one temp should serve all
+        // four occurrences.
+        let np0 = norm(
+            "program sp1; config n : int = 16; \
+             region RH = [0..n+1, 0..n+1]; region R = [1..n, 1..n]; \
+             var RHO, US : [RH] float; var F, G : [R] float; \
+             begin \
+               [R] F := RHO@[1,0] * US@[1,0] - RHO@[-1,0] * US@[-1,0]; \
+               [R] G := RHO@[0,1] * US@[0,1] - RHO@[0,-1] * US@[0,-1]; \
+             end",
+        );
+        let mut np = np0.clone();
+        let binding = np.default_binding();
+        let (changed, rce2) = run(&mut np, &binding);
+        assert!(changed);
+        assert_eq!(rce2.temps.len(), 1, "{rce2:?}");
+        assert_eq!(rce2.rewrites.len(), 4, "{rce2:?}");
+        // Flops drop: 4 multiplies collapse into 1 over a padded region.
+        let flops = |np: &NormProgram| -> u64 {
+            np.blocks
+                .iter()
+                .flat_map(|b| &b.stmts)
+                .filter_map(|s| rhs_of(s).map(|(rhs, ..)| rhs.flops()))
+                .sum()
+        };
+        assert!(flops(&np) < flops(&np0), "{} < {}", flops(&np), flops(&np0));
+        // And the re-checker agrees with every record.
+        let diags = crate::verify::check_rce2(&np, &rce2);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn direct_reuse_reads_the_earlier_statement() {
+        let mut np = norm(
+            "program r1; config n : int = 16; \
+             region RH = [0..n+1, 0..n+1]; region R = [1..n, 1..n]; \
+             var A, B : [RH] float; var X, Y : [R] float; \
+             begin \
+               [R] X := (A + B) * 2.0; \
+               [R] Y := (A@[0,1] + B@[0,1]) * 3.0; \
+             end",
+        );
+        let binding = np.default_binding();
+        let (changed, rce2) = run(&mut np, &binding);
+        // (A+B) is materialized once (2 occurrences at shifted offsets)
+        // or Y reuses X's subterm; either way something must change and
+        // every record must re-check.
+        assert!(changed, "{rce2:?}");
+        assert!(!rce2.is_empty());
+        let diags = crate::verify::check_rce2(&np, &rce2);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn invariant_statement_hoists_out_of_a_counted_loop() {
+        let mut np = norm(
+            "program h1; config n : int = 16; \
+             region RH = [0..n+1, 0..n+1]; region R = [1..n, 1..n]; \
+             var H : [RH] float; var U, V : [R] float; \
+             var k : int; \
+             begin \
+               for k := 1 to 8 do \
+                 [R] U := (H@[1,0] + H@[-1,0]) * 0.5; \
+                 [R] V := (V * 0.5 + U); \
+               end; \
+             end",
+        );
+        let binding = np.default_binding();
+        let (changed, rce2) = run(&mut np, &binding);
+        assert!(changed);
+        assert_eq!(rce2.hoists.len(), 1, "{rce2:?}");
+        assert_eq!(np.program.array(rce2.hoists[0].array).name, "U", "{rce2:?}");
+        let diags = crate::verify::check_rce2(&np, &rce2);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn zero_or_unknown_trip_loops_are_left_alone() {
+        for bounds in ["1 to 0", "1 to 1", "1 to n"] {
+            let mut np = norm(&format!(
+                "program h2; config n : int = 4; \
+                 region RH = [0..n+1, 0..n+1]; region R = [1..n, 1..n]; \
+                 var H : [RH] float; var U : [R] float; var k : int; \
+                 begin for k := {bounds} do [R] U := H * 2.0; end; end",
+            ));
+            let binding = np.default_binding();
+            let (_, rce2) = run(&mut np, &binding);
+            assert!(rce2.hoists.is_empty(), "{bounds}: {rce2:?}");
+        }
+    }
+
+    #[test]
+    fn reads_before_the_def_block_hoisting() {
+        // V reads U before U's def: trip one must see the pre-loop U.
+        let mut np = norm(
+            "program h3; config n : int = 16; \
+             region RH = [0..n+1, 0..n+1]; region R = [1..n, 1..n]; \
+             var H : [RH] float; var U, V : [R] float; var k : int; \
+             begin \
+               for k := 1 to 8 do \
+                 [R] V := (V * 0.5 + U); \
+                 [R] U := (H@[1,0] + H@[-1,0]) * 0.5; \
+               end; \
+             end",
+        );
+        let binding = np.default_binding();
+        let (_, rce2) = run(&mut np, &binding);
+        assert!(rce2.hoists.is_empty(), "{rce2:?}");
+    }
+
+    #[test]
+    fn unprofitable_plans_are_skipped() {
+        // A single occurrence of each form: nothing to share.
+        let mut np = norm(
+            "program u1; config n : int = 16; \
+             region R = [1..n, 1..n]; \
+             var X, Y : [R] float; \
+             begin [R] Y := X * 2.0; end",
+        );
+        let binding = np.default_binding();
+        let (changed, rce2) = run(&mut np, &binding);
+        assert!(!changed, "{rce2:?}");
+        assert!(rce2.is_empty());
+    }
+
+    #[test]
+    fn index_occurrences_only_share_at_equal_shifts() {
+        let mut np = norm(
+            "program i1; config n : int = 16; \
+             region RH = [0..n+1, 0..n+1]; region R = [1..n, 1..n]; \
+             var A : [RH] float; var X, Y : [R] float; \
+             begin \
+               [R] X := A * index1; \
+               [R] Y := A@[1,0] * index1; \
+             end",
+        );
+        let binding = np.default_binding();
+        let (_, rce2) = run(&mut np, &binding);
+        // The two occurrences sit at different shifts — a shared temp
+        // would shift the index term, which a read cannot express.
+        for r in &rce2.rewrites {
+            assert!(
+                !crate::avail::contains_index(&r.replaced) || r.delta.iter().all(|&d| d == 0),
+                "{rce2:?}"
+            );
+        }
+        let diags = crate::verify::check_rce2(&np, &rce2);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn default_binding_smoke() {
+        // ConfigBinding is only a profitability input; a zero-size
+        // binding must simply suppress materialization, not crash.
+        let p = zlang::compile(
+            "program z; config n : int = 0; region R = [1..n]; \
+             var A, B : [R] float; begin [R] B := A + A; [R] A := B + B; end",
+        )
+        .unwrap();
+        let mut np = crate::normal::normalize(&p);
+        let binding = ConfigBinding::defaults(&np.program);
+        let (_, rce2) = run(&mut np, &binding);
+        let diags = crate::verify::check_rce2(&np, &rce2);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -6,14 +6,14 @@
 //! builder knobs, and the simulated runtime's `ExecConfig` repeated the
 //! engine/threads/limits triple a third time. `RunRequest` is the single
 //! builder-style value all of them now consume — the level (with the
-//! `+dse`/`+rce` cleanup suffixes), the engine, the worker-thread count,
+//! `+dse`/`+rce`/`+rce2` cleanup suffixes), the engine, the worker-thread count,
 //! verification, resource budgets, and config-variable overrides — with
 //! adapters producing whichever downstream form a caller needs:
 //! [`RunRequest::pipeline`], [`RunRequest::supervisor`],
 //! [`RunRequest::exec_opts`], [`RunRequest::limits`], and
 //! [`RunRequest::binding_for`]. The serving path
 //! ([`crate::serve`], [`crate::cache`]) keys its compile cache on the
-//! request's `(level, dse, rce, engine)` coordinates.
+//! request's `(level, dse, rce, rce2, engine)` coordinates.
 //!
 //! ```
 //! use fusion_core::request::RunRequest;
@@ -50,6 +50,9 @@ pub struct RunRequest {
     pub dse: bool,
     /// Run the redundant-computation-elimination cleanup pass (`+rce`).
     pub rce: bool,
+    /// Run the stencil-aware, availability-driven redundancy pass
+    /// (`+rce2`), with its rewrites independently re-verified.
+    pub rce2: bool,
     /// Execution engine (default [`Engine::Vm`]).
     pub engine: Engine,
     /// Worker threads for [`Engine::VmPar`]; `0` = auto.
@@ -70,6 +73,7 @@ impl Default for RunRequest {
             level: Level::C2,
             dse: false,
             rce: false,
+            rce2: false,
             engine: Engine::default(),
             threads: 0,
             verify: false,
@@ -85,26 +89,31 @@ impl RunRequest {
         RunRequest::default()
     }
 
-    /// Sets the optimization level (keeping any `+dse`/`+rce` choices).
+    /// Sets the optimization level (keeping any `+dse`/`+rce`/`+rce2`
+    /// choices).
     pub fn with_level(mut self, level: Level) -> Self {
         self.level = level;
         self
     }
 
     /// Parses a level *spec*: a paper level name optionally followed by
-    /// `+dse` / `+rce` suffixes in any order (`"c2+f3+dse+rce"`), the
-    /// `zlc --level` grammar.
+    /// `+dse` / `+rce` / `+rce2` suffixes in any order
+    /// (`"c2+f3+dse+rce2"`), the `zlc --level` grammar.
     ///
     /// # Errors
     ///
     /// Returns a rustc-style message naming the valid levels when the
     /// base level is unknown.
     pub fn with_level_spec(mut self, spec: &str) -> Result<Self, String> {
-        let (mut base, mut dse, mut rce) = (spec, false, false);
+        let (mut base, mut dse, mut rce, mut rce2) = (spec, false, false, false);
         loop {
+            // `+rce2` must be tried before `+rce`, which is its suffix.
             if let Some(rest) = base.strip_suffix("+dse") {
                 base = rest;
                 dse = true;
+            } else if let Some(rest) = base.strip_suffix("+rce2") {
+                base = rest;
+                rce2 = true;
             } else if let Some(rest) = base.strip_suffix("+rce") {
                 base = rest;
                 rce = true;
@@ -117,7 +126,7 @@ impl RunRequest {
             .find(|l| l.name() == base)
             .ok_or_else(|| {
                 format!(
-                    "unknown level `{spec}` (expected one of: {}; append `+dse`/`+rce` \
+                    "unknown level `{spec}` (expected one of: {}; append `+dse`/`+rce`/`+rce2` \
                      for the cleanup passes)",
                     Level::all().map(|l| l.name()).join(", ")
                 )
@@ -125,6 +134,7 @@ impl RunRequest {
         self.level = level;
         self.dse = dse;
         self.rce = rce;
+        self.rce2 = rce2;
         Ok(self)
     }
 
@@ -132,10 +142,11 @@ impl RunRequest {
     /// (`"c2+f3+dse"`-style).
     pub fn level_spec(&self) -> String {
         format!(
-            "{}{}{}",
+            "{}{}{}{}",
             self.level.name(),
             if self.dse { "+dse" } else { "" },
             if self.rce { "+rce" } else { "" },
+            if self.rce2 { "+rce2" } else { "" },
         )
     }
 
@@ -205,6 +216,9 @@ impl RunRequest {
         if self.rce {
             p = p.with_rce();
         }
+        if self.rce2 {
+            p = p.with_rce2();
+        }
         if self.verify {
             p = p.with_verify(VerifyLevel::Always);
         }
@@ -270,13 +284,23 @@ mod tests {
 
     #[test]
     fn level_spec_round_trips() {
-        for spec in ["baseline", "c2+f3", "c2+f4+dse+rce", "f1+rce"] {
+        for spec in [
+            "baseline",
+            "c2+f3",
+            "c2+f4+dse+rce",
+            "f1+rce",
+            "c2+f3+rce2",
+            "c2+dse+rce+rce2",
+        ] {
             let req = RunRequest::new().with_level_spec(spec).unwrap();
             assert_eq!(req.level_spec(), spec, "{spec}");
         }
         // Suffixes parse in any order but render canonically.
         let req = RunRequest::new().with_level_spec("c2+rce+dse").unwrap();
         assert_eq!(req.level_spec(), "c2+dse+rce");
+        // `+rce2` is not mistaken for `+rce`.
+        let req = RunRequest::new().with_level_spec("c2+rce2").unwrap();
+        assert!(req.rce2 && !req.rce);
     }
 
     #[test]

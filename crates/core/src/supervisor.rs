@@ -611,7 +611,7 @@ impl<'a> Supervisor<'a> {
         let mut claim: Option<ClaimGuard<'_>> = None;
         let hit: Option<Arc<CachedProgram>> = match &self.cache {
             Some(cache) => {
-                let key = CacheKey::compute(program, &binding, level, false, false, engine);
+                let key = CacheKey::compute(program, &binding, level, false, false, false, engine);
                 match cache.claim(key) {
                     Lookup::Hit(cached) => Some(cached),
                     Lookup::Miss(guard) => {

@@ -24,6 +24,9 @@
 //!   Definition 4.
 //! * `contraction` — every contracted array satisfies Definition 6
 //!   against the *final* partition.
+//! * `rce2` — every rewrite recorded by the `+rce2` redundancy pass is
+//!   value-preserving: offset algebra, region containment, and
+//!   intervening-write freedom are re-derived from the final program.
 //!
 //! Checkers return structured [`Diagnostic`]s instead of panicking, so a
 //! driver can render all of them (`zlc --verify`) and an embedder can
@@ -42,6 +45,7 @@ mod asdg_check;
 mod contraction;
 mod normal_form;
 mod partition;
+mod rce2;
 mod structure;
 
 /// Which pipeline stage a diagnostic is about — the shared pass identity
@@ -235,6 +239,9 @@ pub fn validate(opt: &Optimized) -> Vec<Diagnostic> {
         ));
     }
     diags.extend(structure::check(opt));
+    if let Some(info) = &opt.rce2 {
+        diags.extend(rce2::check(&opt.norm, info));
+    }
     diags
 }
 
@@ -280,6 +287,15 @@ pub(crate) fn check_contraction(
     candidates: &[Option<usize>],
 ) -> Vec<Diagnostic> {
     contraction::check(program, bi, g, part, contracted, candidates)
+}
+
+/// Re-checks every `+rce2` rewrite, temporary, and hoist against the
+/// final normalized program: the shifted read at each recorded site must
+/// provably compute the expression it replaced (offset algebra + region
+/// containment + no intervening writes). Public so harnesses can feed it
+/// tampered records and prove the checker rejects them.
+pub fn check_rce2(np: &NormProgram, info: &crate::rce2::Rce2Info) -> Vec<Diagnostic> {
+    rce2::check(np, info)
 }
 
 /// Loop-structure re-check (Definition 4) over the scalarized program,

@@ -1,0 +1,507 @@
+//! Independent re-check of `+rce2` rewrites (stage `verify::rce2`).
+//!
+//! [`crate::rce2`] records every change it makes — subexpression
+//! rewrites, materialization temporaries, loop-invariant hoists — and
+//! this module re-derives each one's legality from the *final* program,
+//! sharing no code with the transform beyond the offset algebra in
+//! [`crate::avail`]. A rewrite record claims that the shifted read now
+//! at its site computes, bit for bit, the expression it replaced; the
+//! checker proves it by
+//!
+//! 1. confirming the recorded read is really at the recorded site;
+//! 2. resolving the provider's defining statement by a backward
+//!    last-write scan, chasing bare-read copy statements and
+//!    accumulating their shifts (`A := B@d` means `A[p] = B[p+d]`, so a
+//!    use `A@a` becomes `B@(a+d)`), with a region-containment check at
+//!    every hop so no stale halo value is laundered through a copy;
+//! 3. comparing `shift(def_rhs, acc)` structurally against the replaced
+//!    expression (identical f64 expression trees ⇒ identical bits),
+//!    rejecting any accumulated shift of an `index`-bearing RHS;
+//! 4. scanning the statements between the final definition and the use
+//!    for writes to anything the definition read (a clobber would make
+//!    the stored value differ from re-evaluation at the use point).
+//!
+//! Hoist records are checked against the loop they left: constant trip
+//! count ≥ 1, the moved statement's target and inputs unwritten under
+//! the loop and between the landing site and the loop header, and no
+//! read of the target earlier in the iteration than its original
+//! position (such a read would have observed the pre-loop value on the
+//! first trip).
+
+use super::{Diagnostic, Stage};
+use crate::avail::{
+    contains_index, reads_array, reads_scalar, region_contains_shifted, shift_reads, written_under,
+};
+use crate::normal::{BStmt, NStmt, NormProgram};
+use crate::rce2::{Rce2Hoist, Rce2Info, Rce2Rewrite};
+use zlang::ir::{ArrayExpr, ArrayId, ScalarExpr, ScalarId};
+
+const STAGE: Stage = Stage::VerifyRce2;
+
+/// Re-checks every recorded `+rce2` change against the final program.
+pub(crate) fn check(np: &NormProgram, info: &Rce2Info) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (i, r) in info.rewrites.iter().enumerate() {
+        check_rewrite(np, i, r, &mut diags);
+    }
+    for (i, t) in info.temps.iter().enumerate() {
+        check_temp(np, i, t, &mut diags);
+    }
+    for (i, h) in info.hoists.iter().enumerate() {
+        check_hoist(np, info, i, h, &mut diags);
+    }
+    diags
+}
+
+fn rhs_and_region(stmt: &BStmt) -> Option<(&ArrayExpr, zlang::ir::RegionId)> {
+    match stmt {
+        BStmt::Array(st) => Some((&st.rhs, st.region)),
+        BStmt::Reduce { region, arg, .. } => Some((arg, *region)),
+        BStmt::Scalar { .. } => None,
+    }
+}
+
+/// All read offsets in `e` have rank `rank` (a precondition for shifting
+/// by a rank-`rank` delta).
+fn uniform_rank(e: &ArrayExpr, rank: usize) -> bool {
+    let mut ok = true;
+    e.for_each_read(&mut |_, o| ok &= o.0.len() == rank);
+    ok
+}
+
+fn check_rewrite(np: &NormProgram, i: usize, r: &Rce2Rewrite, diags: &mut Vec<Diagnostic>) {
+    let site = format!(
+        "rce2 rewrite #{i} at block {}, statement {}",
+        r.block, r.stmt
+    );
+    let err = |diags: &mut Vec<Diagnostic>, msg: String| {
+        diags.push(
+            Diagnostic::error(STAGE, msg)
+                .in_block(r.block)
+                .at(site.clone()),
+        );
+    };
+    let Some(stmt) = np.blocks.get(r.block).and_then(|b| b.stmts.get(r.stmt)) else {
+        return err(diags, "recorded statement does not exist".into());
+    };
+    let Some((rhs, use_region)) = rhs_and_region(stmt) else {
+        return err(diags, "recorded statement has no array-valued RHS".into());
+    };
+    // (1) The recorded read really is at the recorded site.
+    match crate::avail::node_at(rhs, &r.path) {
+        Some(ArrayExpr::Read(a, o)) if *a == r.provider && o.0 == r.delta => {}
+        other => {
+            return err(
+                diags,
+                format!(
+                    "site does not hold the recorded read {}@{:?} (found {})",
+                    np.program.array(r.provider).name,
+                    r.delta,
+                    match other {
+                        Some(e) => zlang::pretty::array_expr(&np.program, e),
+                        None => "an invalid path".into(),
+                    }
+                ),
+            );
+        }
+    }
+    let rank = r.delta.len();
+    if np.program.region(use_region).rank() != rank {
+        return err(
+            diags,
+            "shift rank does not match the statement's region".into(),
+        );
+    }
+    // (2) Resolve the provider through copy statements, accumulating
+    // shifts, one region-containment proof per hop.
+    let stmts = &np.blocks[r.block].stmts;
+    let mut provider = r.provider;
+    let mut acc = r.delta.clone();
+    let mut at = r.stmt; // provider value is consumed here
+    let (final_def, def_rhs) = loop {
+        let Some(def) = stmts[..at]
+            .iter()
+            .rposition(|s| s.lhs_array() == Some(provider))
+        else {
+            return err(
+                diags,
+                format!(
+                    "no defining statement for provider {} before the use",
+                    np.program.array(provider).name
+                ),
+            );
+        };
+        let BStmt::Array(st) = &stmts[def] else {
+            unreachable!("lhs_array is Some only for array statements")
+        };
+        if np.program.region(st.region).rank() != rank {
+            return err(diags, "provider definition has a different rank".into());
+        }
+        if !region_contains_shifted(&np.program, st.region, use_region, &acc) {
+            return err(
+                diags,
+                format!(
+                    "use region shifted by {acc:?} is not provably inside the region of {}'s definition",
+                    np.program.array(provider).name
+                ),
+            );
+        }
+        if let ArrayExpr::Read(b, d) = &st.rhs {
+            if d.0.len() != rank {
+                return err(diags, "copy statement has a different rank".into());
+            }
+            for (a, x) in acc.iter_mut().zip(&d.0) {
+                *a += x;
+            }
+            provider = *b;
+            at = def;
+        } else {
+            break (def, &st.rhs);
+        }
+    };
+    // (3) Offset algebra: the definition's RHS, shifted by the
+    // accumulated offset, must be structurally identical to the
+    // replaced expression.
+    if contains_index(def_rhs) && acc.iter().any(|&d| d != 0) {
+        return err(
+            diags,
+            format!("definition contains `index`, which a shift by {acc:?} cannot preserve"),
+        );
+    }
+    if !uniform_rank(def_rhs, rank) {
+        return err(diags, "definition reads arrays of a different rank".into());
+    }
+    if shift_reads(def_rhs, &acc) != r.replaced {
+        return err(
+            diags,
+            format!(
+                "shifted definition ({}) does not equal the replaced expression ({})",
+                zlang::pretty::array_expr(&np.program, &shift_reads(def_rhs, &acc)),
+                zlang::pretty::array_expr(&np.program, &r.replaced),
+            ),
+        );
+    }
+    // (4) No intervening write may clobber anything the definition read:
+    // the stored value must equal re-evaluation at the use point.
+    for (k, s) in stmts.iter().enumerate().take(r.stmt).skip(final_def + 1) {
+        if let Some(a) = s.lhs_array() {
+            if reads_array(def_rhs, a) {
+                return err(
+                    diags,
+                    format!(
+                        "statement {k} overwrites {}, which the definition reads",
+                        np.program.array(a).name
+                    ),
+                );
+            }
+        }
+        if let Some(sc) = s.lhs_scalar() {
+            if reads_scalar(def_rhs, sc) {
+                return err(
+                    diags,
+                    format!(
+                        "statement {k} overwrites scalar {}, which the definition reads",
+                        np.program.scalar(sc).name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn check_temp(np: &NormProgram, i: usize, t: &crate::rce2::Rce2Temp, diags: &mut Vec<Diagnostic>) {
+    let site = format!("rce2 temp #{i} at block {}, statement {}", t.block, t.stmt);
+    let err = |diags: &mut Vec<Diagnostic>, msg: String| {
+        diags.push(
+            Diagnostic::error(STAGE, msg)
+                .in_block(t.block)
+                .at(site.clone()),
+        );
+    };
+    match np.blocks.get(t.block).and_then(|b| b.stmts.get(t.stmt)) {
+        Some(BStmt::Array(st)) if st.lhs == t.array => {
+            if st.region != np.program.array(t.array).region {
+                err(
+                    diags,
+                    "temporary is not defined over its declared region".into(),
+                );
+            }
+        }
+        _ => {
+            return err(
+                diags,
+                "recorded statement does not define the temporary".into(),
+            )
+        }
+    }
+    if !np.program.array(t.array).compiler_temp {
+        err(diags, "materialization target is a user array".into());
+    }
+    let writes = np
+        .blocks
+        .iter()
+        .flat_map(|b| &b.stmts)
+        .filter(|s| s.lhs_array() == Some(t.array))
+        .count();
+    if writes != 1 {
+        err(
+            diags,
+            format!("temporary is written {writes} times (expected exactly once)"),
+        );
+    }
+}
+
+/// The constant trip count of a loop, if its bounds are constants.
+fn const_trips(lo: &ScalarExpr, hi: &ScalarExpr, down: bool) -> Option<i64> {
+    match (lo, hi) {
+        (ScalarExpr::Const(l), ScalarExpr::Const(h)) => {
+            let t = if down { l - h } else { h - l } + 1.0;
+            (t.fract() == 0.0).then_some(t as i64)
+        }
+        _ => None,
+    }
+}
+
+/// Locates the skeleton list containing `NStmt::Block(block)` and the
+/// position of that entry.
+fn find_block_entry(body: &[NStmt], block: usize) -> Option<(&[NStmt], usize)> {
+    for (i, n) in body.iter().enumerate() {
+        match n {
+            NStmt::Block(b) if *b == block => return Some((body, i)),
+            NStmt::For { body: fb, .. } => {
+                if let Some(hit) = find_block_entry(fb, block) {
+                    return Some(hit);
+                }
+            }
+            NStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                if let Some(hit) = find_block_entry(then_body, block)
+                    .or_else(|| find_block_entry(else_body, block))
+                {
+                    return Some(hit);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn subtree_has_block(body: &[NStmt], block: usize) -> bool {
+    body.iter().any(|n| match n {
+        NStmt::Block(b) => *b == block,
+        NStmt::For { body, .. } => subtree_has_block(body, block),
+        NStmt::If {
+            then_body,
+            else_body,
+            ..
+        } => subtree_has_block(then_body, block) || subtree_has_block(else_body, block),
+    })
+}
+
+/// Preorder block order of a skeleton subtree.
+fn preorder_blocks(body: &[NStmt], out: &mut Vec<usize>) {
+    for n in body {
+        match n {
+            NStmt::Block(b) => out.push(*b),
+            NStmt::For { body, .. } => preorder_blocks(body, out),
+            NStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                preorder_blocks(then_body, out);
+                preorder_blocks(else_body, out);
+            }
+        }
+    }
+}
+
+fn check_hoist(
+    np: &NormProgram,
+    info: &Rce2Info,
+    i: usize,
+    h: &Rce2Hoist,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let site = format!(
+        "rce2 hoist #{i} of {} to block {}, statement {}",
+        np.program.array(h.array).name,
+        h.landing_block,
+        h.landing_stmt
+    );
+    let err = |diags: &mut Vec<Diagnostic>, msg: String| {
+        diags.push(
+            Diagnostic::error(STAGE, msg)
+                .in_block(h.landing_block)
+                .at(site.clone()),
+        );
+    };
+    let Some(stmt) = np
+        .blocks
+        .get(h.landing_block)
+        .and_then(|b| b.stmts.get(h.landing_stmt))
+    else {
+        return err(diags, "landing statement does not exist".into());
+    };
+    let BStmt::Array(landed) = stmt else {
+        return err(diags, "landing statement is not an array statement".into());
+    };
+    if landed.lhs != h.array {
+        return err(diags, "landing statement writes a different array".into());
+    }
+    // Locate the loop the statement came from: the landing block's entry
+    // must be followed (in the same skeleton list) by a `for` whose
+    // subtree holds the original block.
+    let Some((list, at)) = find_block_entry(&np.body, h.landing_block) else {
+        return err(diags, "landing block is not in the program skeleton".into());
+    };
+    let Some(fi) = list[at + 1..].iter().position(|n| match n {
+        NStmt::For { body, .. } => subtree_has_block(body, h.orig_block),
+        _ => false,
+    }) else {
+        return err(
+            diags,
+            "no loop containing the original block follows the landing block".into(),
+        );
+    };
+    let fi = at + 1 + fi;
+    let NStmt::For {
+        lo,
+        hi,
+        down,
+        body: fbody,
+        ..
+    } = &list[fi]
+    else {
+        unreachable!("position matched a for node")
+    };
+    match const_trips(lo, hi, *down) {
+        Some(t) if t >= 1 => {}
+        _ => {
+            return err(
+                diags,
+                "loop trip count is not provably at least 1, so the hoisted write may be spurious"
+                    .into(),
+            );
+        }
+    }
+    if h.orig_index > np.blocks[h.orig_block].stmts.len() {
+        return err(diags, "original statement position is out of range".into());
+    }
+    // Everything the statement depends on — and the written array itself
+    // — must be untouched both under the loop and between the landing
+    // site and the loop header.
+    let mut warr: Vec<ArrayId> = Vec::new();
+    let mut wsc: Vec<ScalarId> = Vec::new();
+    written_under(&np.blocks, fbody, &mut warr, &mut wsc);
+    for s in &np.blocks[h.landing_block].stmts[h.landing_stmt + 1..] {
+        if let Some(a) = s.lhs_array() {
+            warr.push(a);
+        }
+        if let Some(sc) = s.lhs_scalar() {
+            wsc.push(sc);
+        }
+    }
+    written_under(&np.blocks, &list[at + 1..fi], &mut warr, &mut wsc);
+    if warr.contains(&h.array) {
+        return err(
+            diags,
+            "the hoisted array is written again before or inside the loop".into(),
+        );
+    }
+    for (a, _) in landed.rhs.reads() {
+        if warr.contains(&a) {
+            return err(
+                diags,
+                format!(
+                    "input {} is written before or inside the loop, so the value is not invariant",
+                    np.program.array(a).name
+                ),
+            );
+        }
+    }
+    for sc in stmt.scalar_reads() {
+        if wsc.contains(&sc) {
+            return err(
+                diags,
+                format!(
+                    "input scalar {} is written before or inside the loop",
+                    np.program.scalar(sc).name
+                ),
+            );
+        }
+    }
+    // On the first trip, nothing may read the array before the point the
+    // statement was removed from — such a read observed the pre-loop
+    // value in the original program but sees the hoisted value now.
+    let mut order = Vec::new();
+    preorder_blocks(fbody, &mut order);
+    for &b in &order {
+        let upto = if b == h.orig_block {
+            h.orig_index
+        } else {
+            np.blocks[b].stmts.len()
+        };
+        for (k, s) in np.blocks[b].stmts[..upto].iter().enumerate() {
+            if s.reads().iter().any(|(a, _)| *a == h.array) {
+                return err(
+                    diags,
+                    format!(
+                        "block {b}, statement {k} reads {} earlier in the iteration than the original definition",
+                        np.program.array(h.array).name
+                    ),
+                );
+            }
+        }
+        if b == h.orig_block {
+            break;
+        }
+    }
+    // Reads between the landing site and the loop would likewise have
+    // seen the pre-loop value — only statements placed there by other
+    // recorded rce2 changes (whose own records justify them) may read it.
+    let placed_by_rce2 = |block: usize, stmt: usize| {
+        info.hoists
+            .iter()
+            .any(|o| o.landing_block == block && o.landing_stmt == stmt)
+            || info
+                .temps
+                .iter()
+                .any(|t| t.block == block && t.stmt == stmt)
+    };
+    for (k, s) in np.blocks[h.landing_block]
+        .stmts
+        .iter()
+        .enumerate()
+        .skip(h.landing_stmt + 1)
+    {
+        if s.reads().iter().any(|(a, _)| *a == h.array) && !placed_by_rce2(h.landing_block, k) {
+            return err(
+                diags,
+                format!(
+                    "statement {k} after the landing site reads {} before the loop",
+                    np.program.array(h.array).name
+                ),
+            );
+        }
+    }
+    let mut between = Vec::new();
+    preorder_blocks(&list[at + 1..fi], &mut between);
+    for b in between {
+        for s in &np.blocks[b].stmts {
+            if s.reads().iter().any(|(a, _)| *a == h.array) {
+                return err(
+                    diags,
+                    format!(
+                        "a statement between the landing site and the loop reads {}",
+                        np.program.array(h.array).name
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -199,9 +199,132 @@ pub fn generate_with(rng: &mut Rng, opts: GenOptions) -> String {
     src
 }
 
+/// Generates one stencil-shaped program: flux pairs whose two statements
+/// share a compound subexpression at different uniform offsets, repeated
+/// neighbor sums, and a const-bound time loop mixing loop-invariant
+/// statements (hoistable) with self-updating ones. These are the shapes
+/// the `+rce2` offset-lattice pass exists for, so the differential suite
+/// sweeps them across levels and engines.
+pub fn generate_stencil(rng: &mut Rng) -> String {
+    let opts = GenOptions {
+        interior_arrays: 6,
+        ..GenOptions::default()
+    };
+    let n = rng.range(opts.n.0, opts.n.1);
+    let mut g = Gen {
+        rng,
+        opts,
+        written: vec![false; opts.interior_arrays],
+    };
+    let mut src = String::new();
+    let _ = writeln!(src, "program stencil;");
+    let _ = writeln!(src, "config n : int = {n};");
+    let _ = writeln!(src, "region RH = [0..n+1, 0..n+1];");
+    let _ = writeln!(src, "region R = [1..n, 1..n];");
+    let halos: Vec<String> = (0..opts.halo_arrays).map(|h| format!("H{h}")).collect();
+    let _ = writeln!(src, "var {} : [RH] float;", halos.join(", "));
+    let interiors: Vec<String> = (0..opts.interior_arrays).map(|u| format!("U{u}")).collect();
+    let _ = writeln!(src, "var {} : [R] float;", interiors.join(", "));
+    let _ = writeln!(src, "var chk, chk2 : float;");
+    let _ = writeln!(src, "var k : int;");
+    let _ = writeln!(src, "begin");
+    for h in 0..g.opts.halo_arrays {
+        let scale = g.constant();
+        let bias = g.constant();
+        let _ = writeln!(src, "  [RH] H{h} := (index1 * {scale} + index2 * {bias});");
+    }
+    let shapes = g.rng.range(2, 4);
+    for _ in 0..shapes {
+        g.stencil_shape(&mut src, "  ");
+    }
+    // A const-bound time loop: one loop-invariant statement (a pure
+    // function of the halo arrays, which the loop never writes) followed
+    // by self-updates that carry state across iterations.
+    let trips = g.rng.range(2, 4);
+    let _ = writeln!(src, "  for k := 1 to {trips} do");
+    let inv = g.rng.below(g.opts.interior_arrays);
+    let h = g.rng.below(g.opts.halo_arrays);
+    let c = g.constant();
+    let _ = writeln!(src, "    [R] U{inv} := ((H{h}@[-1,0] + H{h}@[1,0]) * {c});");
+    g.written[inv] = true;
+    for _ in 0..g.rng.range(1, 2) {
+        let u = g.rng.below(g.opts.interior_arrays);
+        if u == inv {
+            continue;
+        }
+        let rhs = g.expr(1);
+        let rhs = if g.written[u] {
+            format!("(U{u} * 0.5 + {rhs})")
+        } else {
+            rhs
+        };
+        g.written[u] = true;
+        let _ = writeln!(src, "    [R] U{u} := {rhs};");
+    }
+    let _ = writeln!(src, "  end;");
+    let mut terms: Vec<String> = (0..g.opts.interior_arrays)
+        .filter(|&u| g.written[u])
+        .map(|u| format!("U{u}"))
+        .collect();
+    terms.push("H0".to_string());
+    let sum = terms.join(" + ");
+    let _ = writeln!(src, "  chk := +<< [R] ({sum});");
+    let _ = writeln!(src, "  chk2 := max<< [R] ({sum});");
+    let _ = writeln!(src, "end");
+    src
+}
+
+impl Gen<'_> {
+    /// One redundancy-bearing stencil shape: a flux pair (the same
+    /// difference expression at offsets `[0,1]`/`[0,0]` and
+    /// `[0,0]`/`[0,-1]`, i.e. a uniform shift apart) or a neighbor sum
+    /// recomputed verbatim by a second statement.
+    fn stencil_shape(&mut self, out: &mut String, indent: &str) {
+        let h = self.rng.below(self.opts.halo_arrays);
+        let a = self.rng.below(self.opts.interior_arrays);
+        let b = self.rng.below(self.opts.interior_arrays);
+        let c = self.constant();
+        if self.rng.below(2) == 0 {
+            // Flux pair along a random axis.
+            let (e, w) = if self.rng.below(2) == 0 {
+                ("[0,1]", "[0,-1]")
+            } else {
+                ("[1,0]", "[-1,0]")
+            };
+            let _ = writeln!(out, "{indent}[R] U{a} := ((H{h}@{e} - H{h}) * {c});");
+            if b != a {
+                let _ = writeln!(out, "{indent}[R] U{b} := ((H{h} - H{h}@{w}) * {c});");
+                self.written[b] = true;
+            }
+        } else {
+            // Neighbor sum, recomputed by a second consumer.
+            let sum = format!("((H{h}@[-1,0] + H{h}@[1,0]) + (H{h}@[0,-1] + H{h}@[0,1]))");
+            let _ = writeln!(out, "{indent}[R] U{a} := ({sum} * {c});");
+            if b != a {
+                let _ = writeln!(out, "{indent}[R] U{b} := ({sum} * {c} + H{h});");
+                self.written[b] = true;
+            }
+        }
+        self.written[a] = true;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stencil_generation_is_deterministic_and_shaped() {
+        let a = generate_stencil(&mut Rng::new(7));
+        let b = generate_stencil(&mut Rng::new(7));
+        assert_eq!(a, b);
+        for seed in 0..30 {
+            let src = generate_stencil(&mut Rng::new(seed));
+            assert!(src.starts_with("program stencil;"), "{src}");
+            assert!(src.contains("for k := 1 to"), "{src}");
+            assert!(src.contains("chk := +<<"), "{src}");
+        }
+    }
 
     #[test]
     fn generation_is_deterministic() {

@@ -9,17 +9,20 @@
 //!
 //! options:
 //!   --level <baseline|f1|c1|f2|f3|c2|c2+f3|c2+f4>   (default c2)
-//!                                 append `+dse` and/or `+rce` to also run
-//!                                 the array-level cleanup passes, e.g.
-//!                                 `--level c2+f3+dse+rce`
+//!                                 append `+dse`, `+rce`, and/or `+rce2` to
+//!                                 also run the array-level cleanup passes,
+//!                                 e.g. `--level c2+f3+dse+rce2`
 //!   --dimension-contraction       enable lower-dimensional contraction
 //!   --spatial-cap <k>             bound pairwise fusion to k array streams
 //!   --favor-comm                  Section 5.5 favor-communication policy
-//!   --print <ir|loops|asdg|report|source|hash>   what to print (repeatable)
+//!   --print <ir|loops|asdg|avail|report|source|hash>   what to print
+//!                                 (repeatable); `avail` dumps the
+//!                                 offset-lattice availability facts
 //!   --emit <pass>                 dump the IR snapshot taken right after
 //!                                 the named pass (e.g. `normalize`, `dse`,
-//!                                 `fuse-contraction`, `contract`,
+//!                                 `rce2`, `fuse-contraction`, `contract`,
 //!                                 `scalarize`)
+//!   --list-passes                 list every pass `--emit` accepts and exit
 //!   --verify                      re-check every pipeline stage and the
 //!                                 compiled bytecode; report diagnostics
 //!   --run                         execute and print scalars + statistics
@@ -81,14 +84,14 @@ struct Options {
 fn usage(msg: &str) -> ExitCode {
     eprint!("{}", render_diagnostic("error", "cli", msg, None, &[]));
     eprintln!(
-        "usage: zlc <file.zl> [--level L[+dse][+rce]] [--dimension-contraction]\n\
+        "usage: zlc <file.zl> [--level L[+dse][+rce][+rce2]] [--dimension-contraction]\n\
          \x20          [--spatial-cap K] [--favor-comm]\n\
-         \x20          [--print ir|loops|asdg|report|source|hash]... [--emit PASS] [--verify]\n\
+         \x20          [--print ir|loops|asdg|avail|report|source|hash]... [--emit PASS] [--verify]\n\
          \x20          [--run] [--engine interp|vm|vm-verified|vm-par] [--threads N]\n\
          \x20          [--machine t3e|sp2|paragon] [--procs P] [--set name=value]...\n\
          \x20          [--supervise] [--deadline-ms N] [--fuel N] [--inject PLAN]\n\
          \x20      zlc serve <file.zl>... [--requests N] [--workers N] [run options]\n\
-         \x20      zlc --list-engines"
+         \x20      zlc --list-engines | --list-passes"
     );
     ExitCode::from(2)
 }
@@ -377,6 +380,12 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    if args.iter().any(|a| a == "--list-passes") {
+        for pass in PassId::all() {
+            println!("{pass}");
+        }
+        return ExitCode::SUCCESS;
+    }
     let opts = match parse_args(&args) {
         Ok(o) => o,
         Err(e) => return usage(&e),
@@ -480,13 +489,13 @@ fn main() -> ExitCode {
         if errors > 0 {
             eprintln!(
                 "zlc: verify: {errors} error(s), {warnings} warning(s) at level {}",
-                opts.request.level.name()
+                opts.request.level_spec()
             );
             return ExitCode::FAILURE;
         }
         println!(
             "verify: ok (pipeline stages and bytecode at level {}{})",
-            opts.request.level.name(),
+            opts.request.level_spec(),
             if warnings > 0 {
                 format!("; {warnings} warning(s)")
             } else {
@@ -503,6 +512,12 @@ fn main() -> ExitCode {
             // (binding-independent; see fusion_core::hash).
             "hash" => println!("{:016x}", fusion_core::hash::program_hash(&program)),
             "loops" => print!("{}", loopir::printer::print(&opt.scalarized)),
+            // The offset-lattice availability facts the +rce2 pass
+            // consumes, computed fresh over the normalized program.
+            "avail" => print!(
+                "{}",
+                fusion_core::avail::report(&fusion_core::normal::normalize(&program))
+            ),
             "asdg" => {
                 // The pipeline's cached per-block analyses, not a rebuild:
                 // what is printed is exactly what fusion consumed.

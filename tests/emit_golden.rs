@@ -12,19 +12,13 @@ fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
 }
 
-fn emit_scalarize(name: &str, source: &str) -> String {
+fn emit(name: &str, source: &str, level: &str, pass: &str) -> String {
     let dir = std::env::temp_dir().join("zlc-emit-golden");
     std::fs::create_dir_all(&dir).unwrap();
     let src = dir.join(format!("{name}.zl"));
     std::fs::write(&src, source).unwrap();
     let out = Command::new(env!("CARGO_BIN_EXE_zlc"))
-        .args([
-            src.to_str().unwrap(),
-            "--level",
-            "c2+f3",
-            "--emit",
-            "scalarize",
-        ])
+        .args([src.to_str().unwrap(), "--level", level, "--emit", pass])
         .output()
         .expect("zlc runs");
     assert!(
@@ -33,6 +27,10 @@ fn emit_scalarize(name: &str, source: &str) -> String {
         String::from_utf8_lossy(&out.stderr)
     );
     String::from_utf8(out.stdout).expect("utf-8 snapshot")
+}
+
+fn emit_scalarize(name: &str, source: &str) -> String {
+    emit(name, source, "c2+f3", "scalarize")
 }
 
 #[test]
@@ -51,6 +49,31 @@ fn benchmark_snapshots_match_golden_files() {
             got, want,
             "{}: snapshot drifted from {path:?}; run with ZLC_BLESS=1 to re-bless",
             bench.name
+        );
+    }
+}
+
+/// The `+rce2` rewrite records for the stencil benchmarks: which
+/// subexpressions the offset-lattice analysis proved redundant, where the
+/// shared temporaries were materialized, and what was hoisted. Pinned so a
+/// change to the analysis (facts found, widening, scoring) surfaces as a
+/// readable diff.
+#[test]
+fn rce2_snapshots_match_golden_files() {
+    let bless = std::env::var_os("ZLC_BLESS").is_some();
+    for name in ["tomcatv", "simple", "sp"] {
+        let bench = zpl_fusion::workloads::by_name(name).unwrap();
+        let got = emit(bench.name, bench.source, "c2+f3+rce2", "rce2");
+        let path = golden_dir().join(format!("{}.c2f3rce2.rce2.txt", bench.name));
+        if bless {
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{name}: missing golden file {path:?}: {e}"));
+        assert_eq!(
+            got, want,
+            "{name}: snapshot drifted from {path:?}; run with ZLC_BLESS=1 to re-bless"
         );
     }
 }

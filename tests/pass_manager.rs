@@ -130,6 +130,95 @@ fn rce_merges_redundant_computation_paper_levels_recompute() {
     }
 }
 
+/// A write between the two computations no longer blocks `+rce` when it
+/// provably lands in a disjoint region: the row write to `A` below
+/// touches `[1..1]` while both computations read `A` over `[2..n]`.
+#[test]
+fn rce_sees_through_provably_disjoint_writes() {
+    let src = "program rcedisjoint; config n : int = 8; \
+               region RA = [1..n]; region R = [2..n]; region ROW = [1..1]; \
+               var A : [RA] float; var B, C : [R] float; var s : float; begin \
+               [RA] A := 2.5; [R] B := A + A; [ROW] A := 0.0; [R] C := A + A; \
+               s := +<< [R] (B - C); end";
+    let program = zlang::compile(src).unwrap();
+    let cleaned = Pipeline::new(Level::C2)
+        .with_rce()
+        .with_emit(PassId::Rce)
+        .optimize(&program);
+    assert!(
+        cleaned.emitted.as_deref().unwrap().contains("[R] C := B"),
+        "+rce must forward B across the disjoint row write:\n{}",
+        cleaned.emitted.as_deref().unwrap()
+    );
+    assert_eq!(
+        outputs(&Pipeline::new(Level::C2), &program),
+        outputs(&Pipeline::new(Level::C2).with_rce(), &program),
+        "rce changed observable behavior"
+    );
+    // An overlapping write must still block the rewrite.
+    let overlap = src.replace("region ROW = [1..1]", "region ROW = [2..2]");
+    let program = zlang::compile(&overlap).unwrap();
+    let kept = Pipeline::new(Level::C2)
+        .with_rce()
+        .with_emit(PassId::Rce)
+        .optimize(&program);
+    assert!(
+        !kept.emitted.as_deref().unwrap().contains("[R] C := B"),
+        "+rce must not forward across an overlapping write:\n{}",
+        kept.emitted.as_deref().unwrap()
+    );
+}
+
+/// `+rce2` materializes the shared flux-pair subexpression once and turns
+/// both statements into shifted reuses; the paper levels recompute; the
+/// observable output is identical, and the rce2 validator is scheduled
+/// and clean.
+#[test]
+fn rce2_materializes_stencil_overlap_paper_levels_recompute() {
+    let src = "program rce2test; config n : int = 8; \
+               region RH = [0..n, 0..n]; region R = [1..n-1, 1..n-1]; \
+               direction e = [0, 1]; direction w = [0, -1]; \
+               var U : [RH] float; var F, G : [R] float; var s : float; begin \
+               [RH] U := index1 * 2.0 + index2; \
+               [R] F := (U@e - U) * 0.5; \
+               [R] G := (U - U@w) * 0.5; \
+               s := +<< [R] (F + G); end";
+    let program = zlang::compile(src).unwrap();
+    for level in [Level::Baseline, Level::C2, Level::C2F3] {
+        let cleaned = Pipeline::new(level)
+            .with_rce2()
+            .with_emit(PassId::Rce2)
+            .with_verify(VerifyLevel::Always)
+            .optimize(&program);
+        let snap = cleaned.emitted.as_deref().unwrap();
+        assert!(
+            snap.contains("rce2: 2 rewrite(s), 1 temp(s)"),
+            "{level}+rce2 must materialize the flux pair once:\n{snap}"
+        );
+        assert!(
+            cleaned.diagnostics.is_empty(),
+            "{level}+rce2 validator findings: {:?}",
+            cleaned.diagnostics
+        );
+        let info = cleaned.rce2.as_ref().expect("rce2 info recorded");
+        assert_eq!(info.rewrites.len(), 2);
+        let ids: Vec<PassId> = cleaned.passes.iter().map(|t| t.id).collect();
+        assert!(ids.contains(&PassId::Rce2) && ids.contains(&PassId::VerifyRce2));
+        assert_eq!(
+            outputs(&Pipeline::new(level), &program),
+            outputs(&Pipeline::new(level).with_rce2(), &program),
+            "{level}: rce2 changed observable behavior"
+        );
+    }
+    // Paper levels do not schedule rce2 or its validator.
+    let plain = Pipeline::new(Level::C2F3)
+        .with_verify(VerifyLevel::Always)
+        .optimize(&program);
+    let ids: Vec<PassId> = plain.passes.iter().map(|t| t.id).collect();
+    assert!(!ids.contains(&PassId::Rce2) && !ids.contains(&PassId::VerifyRce2));
+    assert!(plain.rce2.is_none());
+}
+
 /// Cleanup passes start a new mutation epoch when they change something:
 /// the ASDGs are rebuilt once afterwards, and exactly once.
 #[test]
