@@ -131,6 +131,9 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries evicted to make room.
     pub evictions: u64,
+    /// Entries evicted because their circuit breaker tripped
+    /// ([`CompileCache::quarantine`]); not counted in `evictions`.
+    pub quarantines: u64,
 }
 
 impl CacheStats {
@@ -148,6 +151,10 @@ impl CacheStats {
 struct Entry {
     value: Arc<CachedProgram>,
     last_used: u64,
+    /// Execution-time faults attributed to this artifact since it was
+    /// published (see [`CompileCache::note_fault`]). Republishing the key
+    /// resets the count: a fresh compile is a fresh artifact.
+    faults: u64,
 }
 
 struct Shard {
@@ -217,6 +224,7 @@ pub struct CompileCache {
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    quarantines: AtomicU64,
 }
 
 impl Default for CompileCache {
@@ -251,6 +259,7 @@ impl CompileCache {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
         }
     }
 
@@ -365,6 +374,7 @@ impl CompileCache {
             Entry {
                 value,
                 last_used: clock,
+                faults: 0,
             },
         );
         shard.in_flight.remove(&key);
@@ -412,6 +422,50 @@ impl CompileCache {
         Ok((value, false))
     }
 
+    /// Records one execution-time fault against the cached artifact for
+    /// `key`, returning the artifact's total fault count (`0` if the key
+    /// is not cached — a fault in a freshly compiled artifact is the
+    /// compile's problem, not the cache's).
+    pub fn note_fault(&self, key: &CacheKey) -> u64 {
+        let mut shard = self
+            .shard(key)
+            .state
+            .lock()
+            .expect("cache shard lock poisoned");
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.faults += 1;
+                entry.faults
+            }
+            None => 0,
+        }
+    }
+
+    /// Execution-time faults recorded against the cached artifact for
+    /// `key` (`0` if not cached).
+    pub fn fault_count(&self, key: &CacheKey) -> u64 {
+        let shard = self
+            .shard(key)
+            .state
+            .lock()
+            .expect("cache shard lock poisoned");
+        shard.map.get(key).map(|e| e.faults).unwrap_or(0)
+    }
+
+    /// Evicts the entry for `key` because its circuit breaker tripped:
+    /// the artifact is suspected poisoned and must never be re-served.
+    /// Returns `true` if an entry was actually removed. The next compile
+    /// of the key republishes a fresh artifact with a zero fault count.
+    pub fn quarantine(&self, key: &CacheKey) -> bool {
+        let cell = self.shard(key);
+        let mut shard = cell.state.lock().expect("cache shard lock poisoned");
+        let removed = shard.map.remove(key).is_some();
+        if removed {
+            self.quarantines.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
     /// A consistent-enough snapshot of the counters (each counter is
     /// individually exact; the set is read without a global lock).
     pub fn stats(&self) -> CacheStats {
@@ -420,6 +474,7 @@ impl CompileCache {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
         }
     }
 }
@@ -590,6 +645,33 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.insertions), (0, 2, 0));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn quarantine_evicts_and_recompile_resets_fault_count() {
+        let cache = CompileCache::new();
+        let p = zlang::compile(&src(1)).unwrap();
+        let req = RunRequest::new();
+        let binding = req.binding_for(&p).unwrap();
+        let key = CacheKey::for_request(&p, &binding, &req);
+        assert_eq!(
+            cache.note_fault(&key),
+            0,
+            "uncached keys have no artifact to blame"
+        );
+        cache.get_or_compile(&p, &req).unwrap();
+        assert_eq!(cache.note_fault(&key), 1);
+        assert_eq!(cache.note_fault(&key), 2);
+        assert_eq!(cache.fault_count(&key), 2);
+        assert!(cache.quarantine(&key));
+        assert!(!cache.quarantine(&key), "already gone");
+        assert!(cache.is_empty());
+        let s = cache.stats();
+        assert_eq!((s.evictions, s.quarantines), (0, 1));
+        // Recompiling publishes a fresh artifact with a clean record.
+        let (_, hit) = cache.get_or_compile(&p, &req).unwrap();
+        assert!(!hit);
+        assert_eq!(cache.fault_count(&key), 0);
     }
 
     #[test]

@@ -47,6 +47,7 @@
 
 pub mod asdg;
 pub mod avail;
+pub mod breaker;
 pub mod cache;
 pub mod depvec;
 pub mod explain;
@@ -65,11 +66,15 @@ pub mod supervisor;
 pub mod verify;
 pub mod weights;
 
+pub use breaker::{Admission, BreakerConfig, BreakerState, BreakerStats, CircuitBreakers};
 pub use cache::{CacheKey, CacheStats, CachedProgram, ClaimGuard, CompileCache, Lookup};
 pub use depvec::Udv;
 pub use pass::{CompileSession, Pass, PassId, PassManager, PassResult, PassTrace};
 pub use pipeline::{Level, Optimized, Pipeline};
 pub use request::RunRequest;
-pub use serve::{ServeReport, ServeRequest};
+pub use serve::{
+    serve, serve_with, Disposition, RequestRecord, RetryPolicy, ServeOptions, ServeReport,
+    ServeRequest, ShedCause, ShedPolicy,
+};
 pub use supervisor::{Budgets, Supervised, Supervisor, SupervisorError, SupervisorReport};
 pub use verify::{Diagnostic, VerifyLevel};

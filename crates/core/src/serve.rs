@@ -1,30 +1,77 @@
-//! The batch serving path: replay a stream of mixed compile-and-run
-//! requests across worker threads, sharing one [`CompileCache`].
+//! The overload-resilient serving path: replay a stream of mixed
+//! compile-and-run requests across worker threads, sharing one
+//! [`CompileCache`] and one per-key circuit-breaker registry.
 //!
-//! This is the driver behind `zlc serve` and the `serve` benchmark. Each
-//! request is a `(source, RunRequest)` pair; workers pull requests from a
-//! shared queue and run each one under a fault-isolating
-//! [`Supervisor`](crate::supervisor::Supervisor) attached to the shared
-//! cache, so a panicking or budget-violating request degrades or fails
-//! *alone* without taking down the batch, while repeated programs hit
-//! the content-addressed cache and skip the whole pass pipeline.
+//! This is the driver behind `zlc serve` and the `serve`/`overload`
+//! benchmarks. Each request is a `(source, RunRequest)` pair, optionally
+//! carrying a total deadline. The calling thread *admits* requests into a
+//! bounded queue while workers drain it; each admitted request runs under
+//! a fault-isolating [`Supervisor`](crate::supervisor::Supervisor)
+//! attached to the shared cache and breakers, so a panicking or
+//! budget-violating request degrades or fails *alone* without taking down
+//! the batch, while repeated programs hit the content-addressed cache and
+//! skip the whole pass pipeline.
 //!
-//! The report records per-request latency and result bits (for
-//! bit-identical differential checks), and rolls up p50/p99 latency,
-//! per-engine throughput, and the cache's hit/miss/eviction counters.
+//! The serving fault model stacks four defenses on top of the
+//! supervisor's degradation ladder:
+//!
+//! * **Admission control** ([`ShedPolicy`]): when the queue is at
+//!   capacity, either the incoming request is rejected, the oldest queued
+//!   request is dropped to make room, or the producer blocks. Shed
+//!   requests never compile; they are accounted with a typed
+//!   [`ShedCause`].
+//! * **Deadline propagation**: a request's deadline is measured from
+//!   *admission*. Queue wait is charged against it — a request that
+//!   expires while queued is shed without compiling, and one that reaches
+//!   a worker hands the supervisor only the time it has left
+//!   ([`Supervisor::with_remaining`](crate::supervisor::Supervisor::with_remaining)).
+//! * **Retries** ([`RetryPolicy`]): a request whose every ladder rung
+//!   faulted is retried only when the final cause is plausibly transient
+//!   ([`CauseKind::is_transient`]) — communication failures and
+//!   execution-stage faults — with seeded deterministic exponential
+//!   backoff and jitter (testkit's [`Rng`], no `rand`), capped by the
+//!   remaining deadline. Parse errors and verifier rejections fail fast.
+//! * **Circuit breaking with cache quarantine**
+//!   ([`crate::breaker::CircuitBreakers`]): an artifact that faults
+//!   repeatedly at execution trips its key open, evicts the cached entry,
+//!   and routes subsequent requests for the key to the reference rung
+//!   without consulting the cache until half-open probes re-admit it.
+//!
+//! A shutdown signal ([`ServeOptions::shutdown`]) stops admission and
+//! drains in-flight work; every request in the batch comes back accounted
+//! as completed, shed, or failed ([`Disposition`]) with a typed cause —
+//! including requests whose worker died, which become attributed failures
+//! rather than panics in report assembly.
+//!
+//! The report records per-request queue wait, service latency, attempt
+//! count, and result bits (for bit-identical differential checks), and
+//! rolls up service-time and end-to-end p50/p99, per-engine throughput,
+//! shed/failure cause breakdowns, and the cache and breaker counters.
 
+use crate::breaker::{BreakerConfig, BreakerStats, CircuitBreakers};
 use crate::cache::{CacheStats, CompileCache};
 use crate::pipeline::Level;
 use crate::request::RunRequest;
+use crate::supervisor::{quiet_catch, Cause, CauseKind, Stage};
 use loopir::Engine;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use testkit::faults::{self, FaultPlan, FaultSite};
+use testkit::Rng;
+
+/// How long an injected [`FaultSite::ServeStall`] wedges a worker. Long
+/// against the microseconds admission takes, so overload tests shed
+/// deterministically; short against test budgets.
+const STALL: Duration = Duration::from_millis(30);
 
 /// One unit of serving work: a named program source plus the complete
-/// run configuration to execute it under.
+/// run configuration to execute it under, and optionally a total
+/// deadline measured from the moment the request is admitted.
 #[derive(Debug, Clone)]
 pub struct ServeRequest {
     /// Display name (for per-program roll-ups; not required unique).
@@ -33,20 +80,128 @@ pub struct ServeRequest {
     pub source: String,
     /// How to compile and execute it.
     pub request: RunRequest,
+    /// Total admission-to-completion deadline. Queue wait counts against
+    /// it: a request that expires while queued is shed without
+    /// compiling, and one that reaches a worker gives the supervisor
+    /// only the remainder as its wall-clock budget.
+    pub deadline: Option<Duration>,
 }
 
 impl ServeRequest {
-    /// A serve request for `source` under `request`.
+    /// A serve request for `source` under `request`, with no deadline.
     pub fn new(name: &str, source: &str, request: RunRequest) -> Self {
         ServeRequest {
             name: name.to_string(),
             source: source.to_string(),
             request,
+            deadline: None,
+        }
+    }
+
+    /// Sets the total (admission-to-completion) deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// What to do with an incoming request when the admission queue is at
+/// capacity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Shed the incoming request ([`ShedCause::QueueFull`]).
+    RejectNewest,
+    /// Shed the oldest queued request to make room
+    /// ([`ShedCause::QueueDropped`]).
+    DropOldest,
+    /// Block admission until a worker frees a slot. Nothing is shed for
+    /// capacity; the default, and the pre-overload-control behavior.
+    #[default]
+    Block,
+}
+
+impl ShedPolicy {
+    /// The policy's spelling on the `zlc serve --shed` flag.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedPolicy::RejectNewest => "reject-newest",
+            ShedPolicy::DropOldest => "drop-oldest",
+            ShedPolicy::Block => "block",
         }
     }
 }
 
-/// What happened to one request: identity, latency, and the result bits.
+impl fmt::Display for ShedPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ShedPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reject" | "reject-newest" => Ok(ShedPolicy::RejectNewest),
+            "drop" | "drop-oldest" => Ok(ShedPolicy::DropOldest),
+            "block" => Ok(ShedPolicy::Block),
+            _ => Err(format!(
+                "unknown shed policy `{s}` (expected reject-newest, drop-oldest, or block)"
+            )),
+        }
+    }
+}
+
+/// Why a request was shed without being served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedCause {
+    /// The queue was at capacity under [`ShedPolicy::RejectNewest`].
+    QueueFull,
+    /// Displaced from the queue by a newer request under
+    /// [`ShedPolicy::DropOldest`].
+    QueueDropped,
+    /// The request's deadline passed while it waited in the queue.
+    DeadlineExpired,
+    /// Admission had already stopped (shutdown signal or admission cap)
+    /// when the request's turn came.
+    Shutdown,
+}
+
+impl ShedCause {
+    /// A stable label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedCause::QueueFull => "queue-full",
+            ShedCause::QueueDropped => "queue-dropped",
+            ShedCause::DeadlineExpired => "deadline-expired",
+            ShedCause::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl fmt::Display for ShedCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The accounted outcome of one request. Every submitted request ends in
+/// exactly one of these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Disposition {
+    /// The request produced a result (possibly degraded, possibly after
+    /// retries).
+    Completed,
+    /// The request was never served; the cause says why.
+    Shed(ShedCause),
+    /// Every ladder rung faulted on every attempt; the structured cause
+    /// of the last attempt's last fault (stage = faulting
+    /// [`crate::pass::PassId`], kind = [`CauseKind`]).
+    Failed(Cause),
+}
+
+/// What happened to one request: identity, timing, attempts, and the
+/// result bits.
 #[derive(Debug, Clone)]
 pub struct RequestRecord {
     /// Index of the request in the submitted batch.
@@ -57,22 +212,222 @@ pub struct RequestRecord {
     pub engine: Engine,
     /// Level the request asked for.
     pub level: Level,
-    /// End-to-end latency of this request (queue wait excluded).
+    /// Time from admission until a worker started serving the request
+    /// (for shed requests: until the shed decision).
+    pub queue_wait: Duration,
+    /// Service latency: first attempt start to final outcome, including
+    /// retry backoffs. Excludes queue wait; zero for shed requests.
     pub latency: Duration,
+    /// Supervised attempts made (0 for shed requests, 1 for a request
+    /// served without retries).
+    pub attempts: u32,
     /// `f64::to_bits` of the checksum scalar, for exact comparison.
     pub checksum_bits: u64,
     /// Bit patterns of every final scalar, for exact comparison.
     pub scalars_bits: Vec<u64>,
     /// Whether the supervisor degraded below the requested rung.
     pub degraded: bool,
-    /// The failure message, when every rung faulted.
-    pub error: Option<String>,
+    /// Whether the request was routed to the reference rung by an open
+    /// circuit breaker (cache bypassed).
+    pub breaker_routed: bool,
+    /// How the request was accounted.
+    pub disposition: Disposition,
 }
 
 impl RequestRecord {
+    fn base(index: usize, req: &ServeRequest) -> Self {
+        RequestRecord {
+            index,
+            name: req.name.clone(),
+            engine: req.request.engine,
+            level: req.request.level,
+            queue_wait: Duration::ZERO,
+            latency: Duration::ZERO,
+            attempts: 0,
+            checksum_bits: 0,
+            scalars_bits: Vec::new(),
+            degraded: false,
+            breaker_routed: false,
+            disposition: Disposition::Completed,
+        }
+    }
+
+    fn shed(index: usize, req: &ServeRequest, queue_wait: Duration, cause: ShedCause) -> Self {
+        RequestRecord {
+            queue_wait,
+            disposition: Disposition::Shed(cause),
+            ..RequestRecord::base(index, req)
+        }
+    }
+
+    fn dead_worker(
+        index: usize,
+        req: &ServeRequest,
+        queue_wait: Duration,
+        message: String,
+    ) -> Self {
+        RequestRecord {
+            queue_wait,
+            disposition: Disposition::Failed(Cause {
+                stage: Stage::Execute,
+                kind: CauseKind::Panic,
+                message,
+            }),
+            ..RequestRecord::base(index, req)
+        }
+    }
+
     /// Did the request produce a result (possibly degraded)?
     pub fn completed(&self) -> bool {
-        self.error.is_none()
+        self.disposition == Disposition::Completed
+    }
+
+    /// Was the request shed without being served?
+    pub fn is_shed(&self) -> bool {
+        matches!(self.disposition, Disposition::Shed(_))
+    }
+
+    /// The structured failure cause, if the request failed.
+    pub fn cause(&self) -> Option<&Cause> {
+        match &self.disposition {
+            Disposition::Failed(cause) => Some(cause),
+            _ => None,
+        }
+    }
+
+    /// End-to-end time from admission to outcome.
+    pub fn end_to_end(&self) -> Duration {
+        self.queue_wait + self.latency
+    }
+}
+
+/// Deterministic retry schedule for transient failures. The backoff for
+/// attempt `n` is `backoff * 2^(n-1)` capped at `max_backoff`, jittered
+/// into `[0.5, 1.0)` of itself by a seeded [`Rng`] — no wall-clock or OS
+/// entropy anywhere, so a batch's retry timing is a pure function of
+/// `(seed, request index)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail on first full-ladder
+    /// fault, the default).
+    pub max_retries: u32,
+    /// Base backoff before the first retry.
+    pub backoff: Duration,
+    /// Cap on the exponential backoff.
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_retries` retries with the default backoff.
+    pub fn retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The jittered pause before retrying after failed attempt `attempt`
+    /// (1-based).
+    pub fn backoff_for(&self, attempt: u32, rng: &mut Rng) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16);
+        let exp = self.backoff.saturating_mul(1u32 << shift);
+        exp.min(self.max_backoff).mul_f64(rng.f64(0.5, 1.0))
+    }
+}
+
+/// Configuration for one [`serve_with`] batch.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Worker threads (clamped to at least 1, at most the batch size).
+    pub workers: usize,
+    /// Admission-queue capacity; 0 means unbounded (nothing sheds for
+    /// capacity).
+    pub queue_cap: usize,
+    /// What to do when the queue is full.
+    pub shed: ShedPolicy,
+    /// Retry schedule for transient full-ladder failures.
+    pub retry: RetryPolicy,
+    /// Thresholds for the per-key circuit breakers.
+    pub breaker: BreakerConfig,
+    /// Fault plan for chaos testing. Plans are thread-local, so each
+    /// worker installs a copy re-seeded from the plan's seed and its
+    /// worker index; the schedule is deterministic per (plan, worker).
+    pub faults: Option<FaultPlan>,
+    /// Externally triggered graceful drain: once set, admission stops
+    /// (remaining requests are shed as [`ShedCause::Shutdown`]) and
+    /// in-flight work drains.
+    pub shutdown: Option<Arc<AtomicBool>>,
+    /// Deterministic drain for tests: stop admission after exactly this
+    /// many requests have been admitted.
+    pub shutdown_after: Option<usize>,
+}
+
+impl ServeOptions {
+    /// Defaults: 1 worker, unbounded queue, block on full, no retries,
+    /// default breaker thresholds, no faults, no shutdown.
+    pub fn new() -> Self {
+        ServeOptions::default()
+    }
+
+    /// Sets the worker-thread count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Bounds the admission queue (0 = unbounded).
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+
+    /// Sets the shed policy for a full queue.
+    pub fn with_shed(mut self, shed: ShedPolicy) -> Self {
+        self.shed = shed;
+        self
+    }
+
+    /// Sets the retry schedule.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the circuit-breaker thresholds.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Installs a fault plan on every worker (re-seeded per worker).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Attaches an external shutdown signal.
+    pub fn with_shutdown(mut self, signal: Arc<AtomicBool>) -> Self {
+        self.shutdown = Some(signal);
+        self
+    }
+
+    /// Stops admission after exactly `n` admitted requests.
+    pub fn with_shutdown_after(mut self, n: usize) -> Self {
+        self.shutdown_after = Some(n);
+        self
     }
 }
 
@@ -83,7 +438,9 @@ pub struct EngineSummary {
     pub completed: usize,
     /// Failed requests on this engine.
     pub failed: usize,
-    /// Sum of completed-request latencies.
+    /// Shed requests on this engine.
+    pub shed: usize,
+    /// Sum of completed-request service latencies.
     pub total_latency: Duration,
 }
 
@@ -99,7 +456,7 @@ impl EngineSummary {
     }
 }
 
-/// The outcome of one [`serve`] batch.
+/// The outcome of one [`serve_with`] batch.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
     /// One record per submitted request, in submission order.
@@ -110,6 +467,8 @@ pub struct ServeReport {
     pub workers: usize,
     /// Cache counters at the end of the batch.
     pub cache: CacheStats,
+    /// Circuit-breaker counters at the end of the batch.
+    pub breaker: BreakerStats,
 }
 
 impl ServeReport {
@@ -118,9 +477,14 @@ impl ServeReport {
         self.records.iter().filter(|r| r.completed()).count()
     }
 
-    /// Requests where every ladder rung faulted.
+    /// Requests where every rung of every attempt faulted.
     pub fn failed(&self) -> usize {
-        self.records.len() - self.completed()
+        self.records.iter().filter(|r| r.cause().is_some()).count()
+    }
+
+    /// Requests shed without being served.
+    pub fn shed(&self) -> usize {
+        self.records.iter().filter(|r| r.is_shed()).count()
     }
 
     /// Requests that completed below their requested rung.
@@ -131,15 +495,39 @@ impl ServeReport {
             .count()
     }
 
-    /// The `p`-th latency percentile over completed requests, in
-    /// microseconds (nearest-rank; 0 when nothing completed).
+    /// Requests that needed more than one supervised attempt.
+    pub fn retried(&self) -> usize {
+        self.records.iter().filter(|r| r.attempts > 1).count()
+    }
+
+    /// The `p`-th *service-time* latency percentile over completed
+    /// requests, in microseconds (nearest-rank; 0 when nothing
+    /// completed). Excludes queue wait.
     pub fn percentile_us(&self, p: f64) -> u128 {
-        let mut lat: Vec<u128> = self
-            .records
-            .iter()
-            .filter(|r| r.completed())
-            .map(|r| r.latency.as_micros())
-            .collect();
+        Self::nearest_rank(
+            self.records
+                .iter()
+                .filter(|r| r.completed())
+                .map(|r| r.latency.as_micros())
+                .collect(),
+            p,
+        )
+    }
+
+    /// The `p`-th *end-to-end* (admission → completion) latency
+    /// percentile over completed requests, in microseconds.
+    pub fn e2e_percentile_us(&self, p: f64) -> u128 {
+        Self::nearest_rank(
+            self.records
+                .iter()
+                .filter(|r| r.completed())
+                .map(|r| r.end_to_end().as_micros())
+                .collect(),
+            p,
+        )
+    }
+
+    fn nearest_rank(mut lat: Vec<u128>, p: f64) -> u128 {
         if lat.is_empty() {
             return 0;
         }
@@ -153,11 +541,35 @@ impl ServeReport {
         let mut map: BTreeMap<String, EngineSummary> = BTreeMap::new();
         for r in &self.records {
             let e = map.entry(r.engine.to_string()).or_default();
-            if r.completed() {
-                e.completed += 1;
-                e.total_latency += r.latency;
-            } else {
-                e.failed += 1;
+            match &r.disposition {
+                Disposition::Completed => {
+                    e.completed += 1;
+                    e.total_latency += r.latency;
+                }
+                Disposition::Shed(_) => e.shed += 1,
+                Disposition::Failed(_) => e.failed += 1,
+            }
+        }
+        map
+    }
+
+    /// Failed requests bucketed by cause class (kind label, sorted).
+    pub fn failures_by_cause(&self) -> BTreeMap<&'static str, usize> {
+        let mut map = BTreeMap::new();
+        for r in &self.records {
+            if let Some(cause) = r.cause() {
+                *map.entry(cause.kind.label()).or_insert(0) += 1;
+            }
+        }
+        map
+    }
+
+    /// Shed requests bucketed by shed cause (sorted).
+    pub fn sheds_by_cause(&self) -> BTreeMap<&'static str, usize> {
+        let mut map = BTreeMap::new();
+        for r in &self.records {
+            if let Disposition::Shed(cause) = r.disposition {
+                *map.entry(cause.name()).or_insert(0) += 1;
             }
         }
         map
@@ -168,34 +580,57 @@ impl ServeReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "served {} requests on {} workers in {:.1?} ({} ok, {} degraded, {} failed)",
+            "served {} requests on {} workers in {:.1?} ({} ok, {} degraded, {} retried, {} shed, {} failed)",
             self.records.len(),
             self.workers,
             self.wall,
             self.completed(),
             self.degraded(),
+            self.retried(),
+            self.shed(),
             self.failed(),
         );
         let _ = writeln!(
             out,
-            "latency p50 {} us, p99 {} us",
+            "latency service p50 {} us, p99 {} us; end-to-end p50 {} us, p99 {} us",
             self.percentile_us(50.0),
             self.percentile_us(99.0),
+            self.e2e_percentile_us(50.0),
+            self.e2e_percentile_us(99.0),
         );
         let _ = writeln!(
             out,
-            "cache: {} hits, {} misses, {} insertions, {} evictions ({:.1}% hit rate)",
+            "cache: {} hits, {} misses, {} insertions, {} evictions, {} quarantined ({:.1}% hit rate)",
             self.cache.hits,
             self.cache.misses,
             self.cache.insertions,
             self.cache.evictions,
+            self.cache.quarantines,
             self.cache.hit_rate() * 100.0,
         );
+        if self.breaker.trips + self.breaker.rejected + self.breaker.probes > 0 {
+            let _ = writeln!(
+                out,
+                "breaker: {} trips, {} reopens, {} closes, {} probes, {} routed-to-reference",
+                self.breaker.trips,
+                self.breaker.reopens,
+                self.breaker.closes,
+                self.breaker.probes,
+                self.breaker.rejected,
+            );
+        }
+        for (cause, n) in self.sheds_by_cause() {
+            let _ = writeln!(out, "  shed/{cause:<18} {n:>6}");
+        }
+        for (cause, n) in self.failures_by_cause() {
+            let _ = writeln!(out, "  failed/{cause:<16} {n:>6}");
+        }
         for (engine, s) in self.per_engine() {
             let _ = writeln!(
                 out,
-                "  {engine:<12} {:>6} ok {:>4} failed  {:>10.0} req/s",
+                "  {engine:<12} {:>6} ok {:>4} shed {:>4} failed  {:>10.0} req/s",
                 s.completed,
+                s.shed,
                 s.failed,
                 s.throughput(),
             );
@@ -204,66 +639,305 @@ impl ServeReport {
     }
 }
 
-/// Replays `requests` across `workers` threads (clamped to at least 1),
-/// every worker running each request under a supervisor attached to
-/// `cache`. Blocks until the whole batch has drained; records come back
-/// in submission order regardless of which worker served them.
+struct QueueItem {
+    index: usize,
+    admitted: Instant,
+}
+
+struct QueueState {
+    items: VecDeque<QueueItem>,
+    closed: bool,
+}
+
+/// The bounded admission queue: producer pushes under a shed policy,
+/// workers pop until the queue is closed *and* drained.
+struct Queue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+enum Admitted {
+    Ok,
+    RejectedNewest,
+    DroppedOldest { victim: usize, waited: Duration },
+}
+
+impl Queue {
+    fn new(cap: usize) -> Self {
+        Queue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        }
+    }
+
+    fn push(&self, index: usize, shed: ShedPolicy) -> Admitted {
+        let mut st = self.state.lock().expect("serve queue lock poisoned");
+        if self.cap > 0 && st.items.len() >= self.cap {
+            match shed {
+                ShedPolicy::Block => {
+                    while st.items.len() >= self.cap {
+                        st = self.not_full.wait(st).expect("serve queue lock poisoned");
+                    }
+                }
+                ShedPolicy::RejectNewest => return Admitted::RejectedNewest,
+                ShedPolicy::DropOldest => {
+                    let victim = st.items.pop_front().expect("queue is at capacity > 0");
+                    st.items.push_back(QueueItem {
+                        index,
+                        admitted: Instant::now(),
+                    });
+                    drop(st);
+                    self.not_empty.notify_one();
+                    return Admitted::DroppedOldest {
+                        victim: victim.index,
+                        waited: victim.admitted.elapsed(),
+                    };
+                }
+            }
+        }
+        st.items.push_back(QueueItem {
+            index,
+            admitted: Instant::now(),
+        });
+        drop(st);
+        self.not_empty.notify_one();
+        Admitted::Ok
+    }
+
+    fn pop(&self) -> Option<QueueItem> {
+        let mut st = self.state.lock().expect("serve queue lock poisoned");
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("serve queue lock poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("serve queue lock poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+/// Replays `requests` across `workers` threads with the default options:
+/// unbounded queue, no deadlines enforced beyond each request's own, no
+/// retries, default breaker thresholds. Kept as the simple entry point
+/// for benchmarks and tests; [`serve_with`] is the full-featured one.
 pub fn serve(requests: &[ServeRequest], workers: usize, cache: &Arc<CompileCache>) -> ServeReport {
-    let workers = workers.max(1).min(requests.len().max(1));
-    let next = AtomicUsize::new(0);
+    serve_with(requests, &ServeOptions::new().with_workers(workers), cache)
+}
+
+/// Replays `requests` under `opts`: the calling thread admits requests
+/// into the bounded queue (shedding per policy) while workers drain it,
+/// each request running under a supervisor attached to `cache` and the
+/// batch's circuit breakers. Blocks until the whole batch has drained;
+/// records come back in submission order regardless of which worker
+/// served them, and every submitted request is accounted exactly once.
+pub fn serve_with(
+    requests: &[ServeRequest],
+    opts: &ServeOptions,
+    cache: &Arc<CompileCache>,
+) -> ServeReport {
+    let workers = opts.workers.max(1).min(requests.len().max(1));
+    let breakers = Arc::new(CircuitBreakers::new(opts.breaker));
     let records: Mutex<Vec<Option<RequestRecord>>> = Mutex::new(vec![None; requests.len()]);
+    let queue = Queue::new(opts.queue_cap);
     let started = Instant::now();
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(req) = requests.get(index) else {
-                    break;
-                };
-                let record = serve_one(index, req, cache);
-                records.lock().unwrap()[index] = Some(record);
+        for wi in 0..workers {
+            let queue = &queue;
+            let records = &records;
+            let breakers = &breakers;
+            scope.spawn(move || {
+                // Fault plans are thread-local: each worker gets its own
+                // deterministic schedule derived from the batch plan.
+                let _guard = opts.faults.as_ref().map(|plan| {
+                    let seed = plan
+                        .seed()
+                        .wrapping_add((wi as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    faults::install(plan.clone().with_seed(seed))
+                });
+                while let Some(item) = queue.pop() {
+                    let req = &requests[item.index];
+                    // The boundary around everything per-request that
+                    // runs outside the supervisor (injection, deadline
+                    // math, retries): an injected worker panic becomes an
+                    // attributed failure and the worker lives on.
+                    let record = quiet_catch(|| {
+                        serve_one(item.index, req, item.admitted, opts, cache, breakers)
+                    })
+                    .unwrap_or_else(|msg| {
+                        RequestRecord::dead_worker(item.index, req, item.admitted.elapsed(), msg)
+                    });
+                    records.lock().expect("serve records lock poisoned")[item.index] = Some(record);
+                }
             });
         }
+
+        // Admission runs on the calling thread while workers drain.
+        let mut admitted = 0usize;
+        for (index, req) in requests.iter().enumerate() {
+            let draining = opts
+                .shutdown
+                .as_ref()
+                .is_some_and(|s| s.load(Ordering::Relaxed))
+                || opts.shutdown_after.is_some_and(|n| admitted >= n);
+            if draining {
+                let mut recs = records.lock().expect("serve records lock poisoned");
+                for (i, r) in requests.iter().enumerate().skip(index) {
+                    recs[i] = Some(RequestRecord::shed(
+                        i,
+                        r,
+                        Duration::ZERO,
+                        ShedCause::Shutdown,
+                    ));
+                }
+                break;
+            }
+            match queue.push(index, opts.shed) {
+                Admitted::Ok => admitted += 1,
+                Admitted::RejectedNewest => {
+                    records.lock().expect("serve records lock poisoned")[index] = Some(
+                        RequestRecord::shed(index, req, Duration::ZERO, ShedCause::QueueFull),
+                    );
+                }
+                Admitted::DroppedOldest { victim, waited } => {
+                    admitted += 1;
+                    records.lock().expect("serve records lock poisoned")[victim] =
+                        Some(RequestRecord::shed(
+                            victim,
+                            &requests[victim],
+                            waited,
+                            ShedCause::QueueDropped,
+                        ));
+                }
+            }
+        }
+        queue.close();
     });
 
     ServeReport {
         records: records
             .into_inner()
-            .unwrap()
+            .expect("serve records lock poisoned")
             .into_iter()
-            .map(|r| r.expect("every request is served exactly once"))
+            .enumerate()
+            .map(|(i, r)| {
+                // A worker that died outside every boundary (e.g. the OS
+                // killed the thread) leaves its slot empty; account it as
+                // an attributed failure rather than panicking assembly.
+                r.unwrap_or_else(|| {
+                    RequestRecord::dead_worker(
+                        i,
+                        &requests[i],
+                        Duration::ZERO,
+                        "worker died before completing this request".to_string(),
+                    )
+                })
+            })
             .collect(),
         wall: started.elapsed(),
         workers,
         cache: cache.stats(),
+        breaker: breakers.stats(),
     }
 }
 
-fn serve_one(index: usize, req: &ServeRequest, cache: &Arc<CompileCache>) -> RequestRecord {
-    let sup = req.request.supervisor().with_cache(cache.clone());
-    let t = Instant::now();
-    let run = sup.run_source(&req.source);
-    let latency = t.elapsed();
-    let mut record = RequestRecord {
-        index,
-        name: req.name.clone(),
-        engine: req.request.engine,
-        level: req.request.level,
-        latency,
-        checksum_bits: 0,
-        scalars_bits: Vec::new(),
-        degraded: false,
-        error: None,
-    };
-    match run {
-        Ok(done) => {
-            record.checksum_bits = done.outcome.checksum().to_bits();
-            record.scalars_bits = done.outcome.scalars.iter().map(|s| s.to_bits()).collect();
-            record.degraded = done.report.degraded();
-        }
-        Err(e) => record.error = Some(e.to_string()),
+/// Serves one admitted request: injected stall/panic sites, the
+/// queued-deadline check, then supervised attempts under the retry
+/// policy, each handing the supervisor only the deadline time remaining.
+fn serve_one(
+    index: usize,
+    req: &ServeRequest,
+    admitted: Instant,
+    opts: &ServeOptions,
+    cache: &Arc<CompileCache>,
+    breakers: &Arc<CircuitBreakers>,
+) -> RequestRecord {
+    // An injected stall wedges the worker *before* it looks at the
+    // clock, so the stall is charged as queue wait — exactly how a
+    // wedged worker looks from outside.
+    if faults::fire(FaultSite::ServeStall) {
+        std::thread::sleep(STALL);
     }
+    let queue_wait = admitted.elapsed();
+    faults::maybe_panic(FaultSite::WorkerPanic);
+
+    let mut record = RequestRecord {
+        queue_wait,
+        ..RequestRecord::base(index, req)
+    };
+    if let Some(deadline) = req.deadline {
+        if queue_wait >= deadline {
+            record.disposition = Disposition::Shed(ShedCause::DeadlineExpired);
+            return record;
+        }
+    }
+
+    let mut rng = Rng::new(
+        opts.retry
+            .seed
+            .wrapping_add((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    );
+    let service_started = Instant::now();
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let mut sup = req
+            .request
+            .supervisor()
+            .with_cache(cache.clone())
+            .with_breaker(breakers.clone());
+        if let Some(deadline) = req.deadline {
+            sup = sup.with_remaining(deadline.saturating_sub(admitted.elapsed()));
+        }
+        match sup.run_source(&req.source) {
+            Ok(done) => {
+                record.checksum_bits = done.outcome.checksum().to_bits();
+                record.scalars_bits = done.outcome.scalars.iter().map(|s| s.to_bits()).collect();
+                record.degraded = done.report.degraded();
+                record.breaker_routed = done.report.breaker_open;
+                record.disposition = Disposition::Completed;
+                break;
+            }
+            Err(e) => {
+                record.breaker_routed = e.report.breaker_open;
+                if e.cause.kind.is_transient() && attempts <= opts.retry.max_retries {
+                    let mut pause = opts.retry.backoff_for(attempts, &mut rng);
+                    if let Some(deadline) = req.deadline {
+                        let remaining = deadline.saturating_sub(admitted.elapsed());
+                        if remaining.is_zero() {
+                            record.disposition = Disposition::Failed(e.cause);
+                            break;
+                        }
+                        pause = pause.min(remaining);
+                    }
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                    continue;
+                }
+                record.disposition = Disposition::Failed(e.cause);
+                break;
+            }
+        }
+    }
+    record.attempts = attempts;
+    record.latency = service_started.elapsed();
     record
 }
 
@@ -299,6 +973,7 @@ mod tests {
         let report = serve(&batch(32), 4, &cache);
         assert_eq!(report.completed(), 32);
         assert_eq!(report.failed(), 0);
+        assert_eq!(report.shed(), 0);
         // 4 distinct (engine) keys; everything after the first misses hits.
         assert!(report.cache.hits >= 24, "{:?}", report.cache);
         assert!(report.cache.hit_rate() > 0.5, "{:?}", report.cache);
@@ -316,7 +991,7 @@ mod tests {
     }
 
     #[test]
-    fn bad_source_fails_alone() {
+    fn bad_source_fails_alone_with_a_typed_cause() {
         let cache = Arc::new(CompileCache::new());
         let mut reqs = batch(3);
         reqs.push(ServeRequest::new("bad", "program ???", RunRequest::new()));
@@ -324,7 +999,10 @@ mod tests {
         assert_eq!(report.completed(), 3);
         assert_eq!(report.failed(), 1);
         let bad = report.records.last().unwrap();
-        assert!(bad.error.is_some());
+        let cause = bad.cause().expect("parse failure carries its cause");
+        assert_eq!(cause.kind, CauseKind::Parse);
+        assert_eq!(cause.stage, Stage::Parse);
+        assert_eq!(report.failures_by_cause().get("parse error"), Some(&1));
         assert!(report.render().contains("1 failed"), "{}", report.render());
     }
 
@@ -333,8 +1011,202 @@ mod tests {
         let cache = Arc::new(CompileCache::new());
         let report = serve(&batch(16), 1, &cache);
         assert!(report.percentile_us(50.0) <= report.percentile_us(99.0));
+        assert!(report.e2e_percentile_us(50.0) >= report.percentile_us(50.0));
         let per = report.per_engine();
         assert_eq!(per.len(), 4);
         assert!(per.values().all(|s| s.completed == 4 && s.failed == 0));
+        // Every completed record accounts its queue wait and one attempt.
+        assert!(report.records.iter().all(|r| r.attempts == 1));
+    }
+
+    #[test]
+    fn reject_newest_sheds_under_stalled_workers() {
+        let cache = Arc::new(CompileCache::new());
+        let opts = ServeOptions::new()
+            .with_workers(1)
+            .with_queue_cap(1)
+            .with_shed(ShedPolicy::RejectNewest)
+            .with_faults(FaultPlan::new(11).with(FaultSite::ServeStall, 1.0));
+        let reqs = batch(8);
+        let report = serve_with(&reqs, &opts, &cache);
+        assert_eq!(report.completed() + report.shed(), 8);
+        assert!(report.shed() >= 1, "{}", report.render());
+        for r in &report.records {
+            match &r.disposition {
+                Disposition::Shed(cause) => assert_eq!(*cause, ShedCause::QueueFull),
+                Disposition::Completed => {}
+                Disposition::Failed(c) => panic!("unexpected failure: {c}"),
+            }
+        }
+        assert!(report.render().contains("shed/queue-full"));
+    }
+
+    #[test]
+    fn drop_oldest_sheds_the_displaced_request() {
+        let cache = Arc::new(CompileCache::new());
+        let opts = ServeOptions::new()
+            .with_workers(1)
+            .with_queue_cap(1)
+            .with_shed(ShedPolicy::DropOldest)
+            .with_faults(FaultPlan::new(12).with(FaultSite::ServeStall, 1.0));
+        let reqs = batch(8);
+        let report = serve_with(&reqs, &opts, &cache);
+        assert_eq!(report.completed() + report.shed(), 8);
+        assert!(report.shed() >= 1, "{}", report.render());
+        assert!(report
+            .records
+            .iter()
+            .all(|r| !matches!(r.disposition, Disposition::Shed(ShedCause::QueueFull))));
+        // The newest request is never the one dropped.
+        assert!(report.records.last().unwrap().completed());
+    }
+
+    #[test]
+    fn shutdown_after_sheds_the_rest_as_shutdown() {
+        let cache = Arc::new(CompileCache::new());
+        let opts = ServeOptions::new().with_workers(2).with_shutdown_after(3);
+        let reqs = batch(8);
+        let report = serve_with(&reqs, &opts, &cache);
+        assert_eq!(report.completed(), 3);
+        assert_eq!(report.shed(), 5);
+        for r in &report.records[3..] {
+            assert_eq!(r.disposition, Disposition::Shed(ShedCause::Shutdown));
+        }
+    }
+
+    #[test]
+    fn shutdown_signal_pre_set_sheds_everything() {
+        let cache = Arc::new(CompileCache::new());
+        let signal = Arc::new(AtomicBool::new(true));
+        let opts = ServeOptions::new()
+            .with_workers(2)
+            .with_shutdown(signal.clone());
+        let report = serve_with(&batch(4), &opts, &cache);
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.shed(), 4);
+        assert_eq!(cache.stats().misses, 0, "nothing compiles after shutdown");
+    }
+
+    #[test]
+    fn queued_deadline_expiry_sheds_without_compiling() {
+        let cache = Arc::new(CompileCache::new());
+        // Every request stalls 30 ms before the clock check, with a 5 ms
+        // total deadline: all expire in (effective) queue wait.
+        let opts = ServeOptions::new()
+            .with_workers(2)
+            .with_faults(FaultPlan::new(13).with(FaultSite::ServeStall, 1.0));
+        let reqs: Vec<ServeRequest> = batch(6)
+            .into_iter()
+            .map(|r| r.with_deadline(Duration::from_millis(5)))
+            .collect();
+        let report = serve_with(&reqs, &opts, &cache);
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.shed(), 6);
+        for r in &report.records {
+            assert_eq!(r.disposition, Disposition::Shed(ShedCause::DeadlineExpired));
+            assert!(r.queue_wait >= Duration::from_millis(5));
+        }
+        assert_eq!(cache.stats().misses, 0, "expired requests never compile");
+    }
+
+    #[test]
+    fn worker_panic_is_an_attributed_failure_not_a_crash() {
+        let cache = Arc::new(CompileCache::new());
+        let opts = ServeOptions::new()
+            .with_workers(2)
+            .with_faults(FaultPlan::new(14).with(FaultSite::WorkerPanic, 1.0));
+        let reqs = batch(6);
+        let report = serve_with(&reqs, &opts, &cache);
+        assert_eq!(report.failed(), 6);
+        for r in &report.records {
+            let cause = r.cause().expect("worker panic is accounted");
+            assert_eq!(cause.kind, CauseKind::Panic);
+            assert!(cause.message.contains("worker-panic"), "{}", cause.message);
+        }
+    }
+
+    #[test]
+    fn transient_full_ladder_failures_are_retried() {
+        let cache = Arc::new(CompileCache::new());
+        // Pre-warm every rung the Vm ladder touches so each one hits the
+        // cache, then corrupt exactly the first three hits: attempt 1
+        // burns the whole ladder on corrupted hits, attempt 2 runs clean.
+        let reqs = vec![ServeRequest::new(
+            "t",
+            SRC,
+            RunRequest::new().with_engine(Engine::Vm),
+        )];
+        serve(&reqs, 1, &cache); // warm (c2,vm)
+        let warm_interp = vec![
+            ServeRequest::new("t", SRC, RunRequest::new().with_engine(Engine::Interp)),
+            ServeRequest::new(
+                "t",
+                SRC,
+                RunRequest::new()
+                    .with_engine(Engine::Interp)
+                    .with_level(Level::Baseline),
+            ),
+        ];
+        serve(&warm_interp, 1, &cache);
+
+        let opts = ServeOptions::new()
+            .with_workers(1)
+            .with_retry(RetryPolicy::retries(2))
+            // The breaker must not trip mid-test; raise its threshold.
+            .with_breaker(BreakerConfig {
+                failure_threshold: 100,
+                ..BreakerConfig::default()
+            })
+            .with_faults(FaultPlan::new(15).with_limited(FaultSite::CacheCorrupt, 1.0, Some(3)));
+        let report = serve_with(&reqs, &opts, &cache);
+        assert_eq!(report.completed(), 1, "{}", report.render());
+        let r = &report.records[0];
+        assert_eq!(r.attempts, 2, "one transient failure, one clean retry");
+        assert_eq!(report.retried(), 1);
+        assert!(report.render().contains("1 retried"));
+    }
+
+    #[test]
+    fn permanent_failures_are_not_retried() {
+        let cache = Arc::new(CompileCache::new());
+        let reqs = vec![ServeRequest::new("bad", "program ???", RunRequest::new())];
+        let opts = ServeOptions::new().with_retry(RetryPolicy::retries(3));
+        let report = serve_with(&reqs, &opts, &cache);
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.records[0].attempts, 1, "parse errors fail fast");
+    }
+
+    #[test]
+    fn shed_policy_parses_its_flag_spellings() {
+        assert_eq!("reject".parse(), Ok(ShedPolicy::RejectNewest));
+        assert_eq!("reject-newest".parse(), Ok(ShedPolicy::RejectNewest));
+        assert_eq!("drop".parse(), Ok(ShedPolicy::DropOldest));
+        assert_eq!("drop-oldest".parse(), Ok(ShedPolicy::DropOldest));
+        assert_eq!("block".parse(), Ok(ShedPolicy::Block));
+        assert!("newest".parse::<ShedPolicy>().is_err());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let policy = RetryPolicy {
+            max_retries: 5,
+            backoff: Duration::from_millis(4),
+            max_backoff: Duration::from_millis(10),
+            seed: 9,
+        };
+        let seq = |seed| {
+            let mut rng = Rng::new(seed);
+            (1..=4)
+                .map(|a| policy.backoff_for(a, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(seq(1), seq(1), "same seed, same schedule");
+        for (attempt, d) in seq(2).iter().enumerate() {
+            let full = Duration::from_millis(4)
+                .saturating_mul(1 << attempt)
+                .min(Duration::from_millis(10));
+            assert!(*d <= full, "jitter never exceeds the backoff");
+            assert!(*d >= full.mul_f64(0.5), "jitter stays above half");
+        }
     }
 }

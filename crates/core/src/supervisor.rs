@@ -61,6 +61,7 @@
 //! assert!(!run.report.degraded());
 //! ```
 
+use crate::breaker::{Admission, CircuitBreakers};
 use crate::cache::{CacheKey, CachedProgram, ClaimGuard, CompileCache, Lookup};
 use crate::pipeline::{Level, Pipeline};
 use loopir::{
@@ -72,6 +73,7 @@ use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
+use testkit::faults::{self, FaultSite};
 use zlang::ir::{ConfigBinding, Program};
 
 /// A pipeline stage, for fault attribution — the shared pass identity
@@ -115,12 +117,14 @@ fn install_quiet_hook() {
 }
 
 /// Runs `f`, converting a panic into its message. The default panic
-/// report is suppressed for the duration.
-fn quiet_catch<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+/// report is suppressed for the duration. Shared with the serve layer,
+/// whose workers need the same boundary around per-request code that
+/// runs *outside* the supervisor (dequeue, fault injection, retries).
+pub(crate) fn quiet_catch<R>(f: impl FnOnce() -> R) -> Result<R, String> {
     install_quiet_hook();
-    CAPTURING.with(|c| c.set(true));
+    let prev = CAPTURING.with(|c| c.replace(true));
     let r = panic::catch_unwind(AssertUnwindSafe(f));
-    CAPTURING.with(|c| c.set(false));
+    CAPTURING.with(|c| c.set(prev));
     r.map_err(|payload| {
         if let Some(s) = payload.downcast_ref::<&str>() {
             (*s).to_string()
@@ -178,6 +182,23 @@ impl CauseKind {
             _ => CauseKind::Exec,
         }
     }
+
+    /// True if a fault of this kind is plausibly transient — a retry of
+    /// the same request may succeed. Communication failures and
+    /// execution-stage faults (vm-traps, poisoned cache artifacts)
+    /// qualify; parse errors, verifier rejections, and panics are
+    /// deterministic reruns of the same failure, and the budget kinds
+    /// (fuel, deadline, allocation) are policy decisions a retry would
+    /// only re-spend.
+    pub fn is_transient(self) -> bool {
+        matches!(self, CauseKind::Comm | CauseKind::Exec)
+    }
+
+    /// One human-readable word-or-two per kind, used to bucket failures
+    /// in serving reports.
+    pub fn label(self) -> &'static str {
+        self.name()
+    }
 }
 
 /// Why an attempt failed: the stage it was in, the kind of fault, and
@@ -234,6 +255,9 @@ pub struct SupervisorReport {
     pub final_level: Level,
     /// The engine that produced the answer (meaningless if the run failed).
     pub final_engine: Engine,
+    /// True if the requested key's circuit breaker was open and the run
+    /// was routed straight to the reference rung, bypassing the cache.
+    pub breaker_open: bool,
 }
 
 impl SupervisorReport {
@@ -244,6 +268,7 @@ impl SupervisorReport {
             attempts: Vec::new(),
             final_level: level,
             final_engine: engine,
+            breaker_open: false,
         }
     }
 
@@ -293,10 +318,15 @@ impl SupervisorReport {
             ));
         }
         out.push_str(&format!(
-            "  final: {} on {}{}\n",
+            "  final: {} on {}{}{}\n",
             self.final_level.name(),
             self.final_engine.name(),
-            if self.degraded() { " (degraded)" } else { "" }
+            if self.degraded() { " (degraded)" } else { "" },
+            if self.breaker_open {
+                " (breaker open)"
+            } else {
+                ""
+            }
         ));
         out
     }
@@ -381,6 +411,7 @@ pub struct Supervisor<'a> {
     sim: Option<Box<SimFn<'a>>>,
     threads: usize,
     cache: Option<Arc<CompileCache>>,
+    breaker: Option<Arc<CircuitBreakers>>,
 }
 
 impl fmt::Debug for Supervisor<'_> {
@@ -406,6 +437,7 @@ impl<'a> Supervisor<'a> {
             sim: None,
             threads: 0,
             cache: None,
+            breaker: None,
         }
     }
 
@@ -418,6 +450,30 @@ impl<'a> Supervisor<'a> {
     /// keeping the fault boundary per-request.
     pub fn with_cache(mut self, cache: Arc<CompileCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches a shared [`CircuitBreakers`] registry. Before running,
+    /// the supervisor asks the breaker about the requested rung's cache
+    /// key: an open key routes the run straight to the unoptimized
+    /// reference interpreter *without consulting the cache*, so a
+    /// quarantined artifact is never re-served while its key is open.
+    /// Successes and execution-time faults of the requested rung feed
+    /// back into the breaker, and a trip quarantines the cached entry.
+    pub fn with_breaker(mut self, breaker: Arc<CircuitBreakers>) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Tightens the wall-clock budget to at most `remaining` — the serve
+    /// path calls this with a request's deadline minus its queue wait, so
+    /// time spent queued is charged against the same total deadline the
+    /// caller asked for.
+    pub fn with_remaining(mut self, remaining: Duration) -> Self {
+        self.budgets.deadline = Some(match self.budgets.deadline {
+            Some(d) => d.min(remaining),
+            None => remaining,
+        });
         self
     }
 
@@ -503,7 +559,37 @@ impl<'a> Supervisor<'a> {
         let mut poisoned: Option<Level> = None;
         let mut last_cause: Option<Cause> = None;
 
-        let rungs = ladder(self.level, self.engine);
+        // When a breaker registry is attached, the requested rung's cache
+        // key identifies the artifact under suspicion. An open key routes
+        // the whole run to the reference rung without touching the cache;
+        // otherwise the requested rung's outcome feeds the breaker.
+        let breaker_key = self.breaker.as_ref().map(|_| {
+            let mut binding = ConfigBinding::defaults(program);
+            for (name, value) in &self.bindings {
+                binding.set_by_name(program, name, *value);
+            }
+            CacheKey::compute(
+                program,
+                &binding,
+                self.level,
+                false,
+                false,
+                false,
+                self.engine,
+            )
+        });
+        let forced_reference = match (&self.breaker, breaker_key) {
+            (Some(b), Some(key)) => b.admit(key) == Admission::Reference,
+            _ => false,
+        };
+        report.breaker_open = forced_reference;
+        let use_cache = !forced_reference;
+        let rungs = if forced_reference {
+            vec![(Level::Baseline, Engine::Interp)]
+        } else {
+            ladder(self.level, self.engine)
+        };
+
         for (ri, &(level, engine)) in rungs.iter().enumerate() {
             if poisoned == Some(level) {
                 continue;
@@ -512,22 +598,40 @@ impl<'a> Supervisor<'a> {
             // resort; budgets do not apply to it (unless asked) because
             // its entire point is to always produce the answer. A
             // directly requested (baseline, interp) run (ri == 0) is an
-            // ordinary rung and stays budgeted.
-            let is_reference = ri > 0
-                && ri == rungs.len() - 1
-                && level == Level::Baseline
-                && engine == Engine::Interp;
+            // ordinary rung and stays budgeted — except when the breaker
+            // forced the run there, which carries reference semantics.
+            let is_reference = forced_reference
+                || (ri > 0
+                    && ri == rungs.len() - 1
+                    && level == Level::Baseline
+                    && engine == Engine::Interp);
             let budgeted = !is_reference || self.budgets.enforce_on_reference;
+            // Only the requested rung's fate says anything about the
+            // requested artifact; degraded rungs run different code.
+            let feeds_breaker = !forced_reference && ri == 0;
 
             // Try with the sim backend if installed; on a communication
             // failure, once more without it.
             let mut use_sim = self.sim.is_some();
             loop {
                 let started = Instant::now();
-                let r = self.attempt(program, level, engine, budgeted, use_sim, &mut compiled);
+                let r = self.attempt(
+                    program,
+                    level,
+                    engine,
+                    budgeted,
+                    use_sim,
+                    use_cache,
+                    &mut compiled,
+                );
                 let elapsed = started.elapsed();
                 match r {
                     Ok(outcome) => {
+                        if feeds_breaker {
+                            if let (Some(b), Some(key)) = (&self.breaker, breaker_key) {
+                                b.record_success(key);
+                            }
+                        }
                         report.attempts.push(Attempt {
                             level,
                             engine,
@@ -540,6 +644,25 @@ impl<'a> Supervisor<'a> {
                         return Ok(Supervised { outcome, report });
                     }
                     Err(cause) => {
+                        // Execution-time faults of the requested rung are
+                        // what a poisoned artifact looks like from the
+                        // outside; count them, and on a trip quarantine
+                        // the cached entry so it is never re-served.
+                        if feeds_breaker
+                            && cause.stage == Stage::Execute
+                            && matches!(cause.kind, CauseKind::Exec | CauseKind::Panic)
+                        {
+                            if let (Some(b), Some(key)) = (&self.breaker, breaker_key) {
+                                if let Some(cache) = &self.cache {
+                                    cache.note_fault(&key);
+                                }
+                                if b.record_failure(key) {
+                                    if let Some(cache) = &self.cache {
+                                        cache.quarantine(&key);
+                                    }
+                                }
+                            }
+                        }
                         let comm_retry = cause.kind == CauseKind::Comm && use_sim;
                         if cause.kind == CauseKind::Panic && cause.stage != Stage::Execute {
                             // Optimization is deterministic: re-running
@@ -572,10 +695,12 @@ impl<'a> Supervisor<'a> {
         Err(SupervisorError { cause, report })
     }
 
-    /// One rung: consult the shared compile cache (when attached), then
-    /// optimize (cached per level for the ladder), check the allocation
-    /// budget, build the executor, run. Every step is inside the panic
-    /// boundary; errors come back as a [`Cause`].
+    /// One rung: consult the shared compile cache (when attached and
+    /// `use_cache` holds — a breaker-forced reference run bypasses it),
+    /// then optimize (cached per level for the ladder), check the
+    /// allocation budget, build the executor, run. Every step is inside
+    /// the panic boundary; errors come back as a [`Cause`].
+    #[allow(clippy::too_many_arguments)]
     fn attempt(
         &self,
         program: &Program,
@@ -583,6 +708,7 @@ impl<'a> Supervisor<'a> {
         engine: Engine,
         budgeted: bool,
         use_sim: bool,
+        use_cache: bool,
         compiled: &mut Vec<(Level, Arc<ScalarProgram>)>,
     ) -> Result<RunOutcome, Cause> {
         // A zero deadline can never be met; fault deterministically up
@@ -610,17 +736,34 @@ impl<'a> Supervisor<'a> {
         // so waiters never hang.
         let mut claim: Option<ClaimGuard<'_>> = None;
         let hit: Option<Arc<CachedProgram>> = match &self.cache {
-            Some(cache) => {
+            Some(cache) if use_cache => {
                 let key = CacheKey::compute(program, &binding, level, false, false, false, engine);
                 match cache.claim(key) {
-                    Lookup::Hit(cached) => Some(cached),
+                    Lookup::Hit(cached) => {
+                        // Injected artifact corruption: the hit "decodes"
+                        // but faults the moment it executes, which is how
+                        // a real bit-flipped or mis-compiled entry
+                        // presents. Results are never contaminated — the
+                        // fault replaces the run entirely.
+                        if faults::fire(FaultSite::CacheCorrupt) {
+                            return Err(Cause {
+                                stage: Stage::Execute,
+                                kind: CauseKind::Exec,
+                                message: format!(
+                                    "{}: cached artifact faulted at execution",
+                                    faults::message(FaultSite::CacheCorrupt)
+                                ),
+                            });
+                        }
+                        Some(cached)
+                    }
                     Lookup::Miss(guard) => {
                         claim = Some(guard);
                         None
                     }
                 }
             }
-            None => None,
+            _ => None,
         };
 
         // On a hit the scalarized program and the compiled bytecode come
@@ -949,6 +1092,100 @@ mod tests {
         let run = sup.run_source(SRC).unwrap();
         // n=3: B = 4.0 over three points.
         assert_eq!(run.outcome.checksum(), 12.0);
+    }
+
+    #[test]
+    fn corrupted_cache_hits_trip_quarantine_and_heal() {
+        use crate::breaker::{BreakerConfig, BreakerState, CircuitBreakers};
+
+        let cache = Arc::new(CompileCache::new());
+        let breakers = Arc::new(CircuitBreakers::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: 1,
+            success_threshold: 1,
+        }));
+        let program = zlang::compile(SRC).unwrap();
+        let want = reference_checksum();
+
+        // Warm the requested rung's artifact, then corrupt every hit.
+        Supervisor::new(Level::C2, Engine::Vm)
+            .with_cache(cache.clone())
+            .run_program(&program)
+            .unwrap();
+        let binding = ConfigBinding::defaults(&program);
+        let key = CacheKey::compute(
+            &program,
+            &binding,
+            Level::C2,
+            false,
+            false,
+            false,
+            Engine::Vm,
+        );
+        let _g =
+            faults::install(testkit::faults::FaultPlan::new(5).with(FaultSite::CacheCorrupt, 1.0));
+        let sup = || {
+            Supervisor::new(Level::C2, Engine::Vm)
+                .with_cache(cache.clone())
+                .with_breaker(breakers.clone())
+        };
+
+        // First corrupted hit: counted, not yet tripped; the run degrades
+        // but still answers correctly.
+        let run = sup().run_program(&program).unwrap();
+        assert_eq!(run.outcome.checksum(), want);
+        assert!(run.report.degraded());
+        assert!(run.report.mentions("cache-corrupt"));
+        assert_eq!(breakers.state(&key), BreakerState::Closed);
+
+        // Second corrupted hit trips the breaker and quarantines the
+        // artifact.
+        let run = sup().run_program(&program).unwrap();
+        assert_eq!(run.outcome.checksum(), want);
+        assert_eq!(breakers.state(&key), BreakerState::Open);
+        assert_eq!(cache.stats().quarantines, 1);
+        assert_eq!(cache.fault_count(&key), 0, "entry evicted");
+
+        // While open the run is routed to the reference rung without
+        // consulting the cache: no hit, so the (still-armed) corruption
+        // cannot fire, and the answer is clean.
+        let hits_before = cache.stats().hits;
+        let run = sup().run_program(&program).unwrap();
+        assert_eq!(run.outcome.checksum(), want);
+        assert!(run.report.breaker_open);
+        assert_eq!(run.report.final_level, Level::Baseline);
+        assert_eq!(cache.stats().hits, hits_before, "cache bypassed");
+        assert!(run.report.render().contains("breaker open"));
+
+        // Cooldown spent: the next run probes, recompiles the quarantined
+        // key fresh (a miss, so no corruption), and closes the breaker.
+        let run = sup().run_program(&program).unwrap();
+        assert_eq!(run.outcome.checksum(), want);
+        assert!(!run.report.degraded());
+        assert_eq!(breakers.state(&key), BreakerState::Closed);
+        assert_eq!(breakers.stats().closes, 1);
+    }
+
+    #[test]
+    fn with_remaining_tightens_the_deadline() {
+        let sup = Supervisor::new(Level::C2F3, Engine::VmVerified)
+            .with_budgets(Budgets {
+                deadline: Some(Duration::from_secs(60)),
+                ..Budgets::none()
+            })
+            .with_remaining(Duration::ZERO);
+        let run = sup.run_source(SRC).unwrap();
+        assert_eq!(run.outcome.checksum(), reference_checksum());
+        assert!(run.report.faults().any(|c| c.kind == CauseKind::Deadline));
+        // And the other direction: a generous remaining never loosens.
+        let sup = Supervisor::new(Level::C2F3, Engine::VmVerified)
+            .with_budgets(Budgets {
+                deadline: Some(Duration::ZERO),
+                ..Budgets::none()
+            })
+            .with_remaining(Duration::from_secs(60));
+        let run = sup.run_source(SRC).unwrap();
+        assert!(run.report.faults().any(|c| c.kind == CauseKind::Deadline));
     }
 
     #[test]

@@ -40,17 +40,31 @@ pub enum FaultSite {
     /// A ghost-region message is delivered twice (`runtime::comm`); the
     /// duplicate is discarded but its bandwidth and latency are paid.
     CommDup,
+    /// A serving worker wedges before looking at the clock
+    /// (`fusion_core::serve`): the stall shows up as queue wait for the
+    /// stalled request and every request queued behind it.
+    ServeStall,
+    /// A serving worker panics mid-request, between dequeue and the
+    /// supervisor's fault boundary (`fusion_core::serve`).
+    WorkerPanic,
+    /// A cached compile artifact comes back bit-flipped: consuming the
+    /// hit faults at execution time (`fusion_core::supervisor`), which is
+    /// what drives the per-key circuit breaker and cache quarantine.
+    CacheCorrupt,
 }
 
 impl FaultSite {
     /// Every site, in a stable order.
-    pub fn all() -> [FaultSite; 5] {
+    pub fn all() -> [FaultSite; 8] {
         [
             FaultSite::FuseGrow,
             FaultSite::VerifyReject,
             FaultSite::VmTrap,
             FaultSite::CommDrop,
             FaultSite::CommDup,
+            FaultSite::ServeStall,
+            FaultSite::WorkerPanic,
+            FaultSite::CacheCorrupt,
         ]
     }
 
@@ -62,6 +76,9 @@ impl FaultSite {
             FaultSite::VmTrap => "vm-trap",
             FaultSite::CommDrop => "comm-drop",
             FaultSite::CommDup => "comm-dup",
+            FaultSite::ServeStall => "serve-stall",
+            FaultSite::WorkerPanic => "worker-panic",
+            FaultSite::CacheCorrupt => "cache-corrupt",
         }
     }
 }
@@ -120,6 +137,19 @@ impl FaultPlan {
     /// Adds an unlimited rule.
     pub fn with(self, site: FaultSite, probability: f64) -> Self {
         self.with_limited(site, probability, None)
+    }
+
+    /// Replaces the seed, keeping the rules. The serve path uses this to
+    /// give every worker thread its own deterministic schedule derived
+    /// from one batch-level plan.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Adds a rule with a cap on total fires.

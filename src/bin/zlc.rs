@@ -45,10 +45,23 @@
 //!                                 input files (default: one per file)
 //!   --workers <n>                 worker threads serving the batch
 //!                                 (default 4)
+//!   --queue-cap <n>               bound the admission queue (default 0 =
+//!                                 unbounded)
+//!   --shed <policy>               what to do when the queue is full:
+//!                                 reject-newest, drop-oldest, or block
+//!                                 (default block)
+//!   --retries <n>                 retry transient full-ladder failures up
+//!                                 to n times with deterministic backoff
+//!                                 (default 0)
+//!   --deadline-ms <n>             in serve mode: total per-request
+//!                                 deadline measured from admission (queue
+//!                                 wait included); expired requests shed
+//!   --inject <plan>               in serve mode the plan is installed on
+//!                                 every worker, re-seeded per worker
 //! ```
 
 use fusion_core::pass::PassId;
-use fusion_core::serve::{serve, ServeRequest};
+use fusion_core::serve::{serve_with, RetryPolicy, ServeOptions, ServeRequest, ShedPolicy};
 use fusion_core::verify::Severity;
 use fusion_core::{CompileCache, RunRequest};
 use loopir::{Engine, Vm};
@@ -68,6 +81,9 @@ struct Options {
     files: Vec<String>,
     requests: usize,
     workers: usize,
+    queue_cap: usize,
+    shed: ShedPolicy,
+    retries: u32,
     request: RunRequest,
     dimension_contraction: bool,
     spatial_cap: Option<usize>,
@@ -90,7 +106,8 @@ fn usage(msg: &str) -> ExitCode {
          \x20          [--run] [--engine interp|vm|vm-verified|vm-par] [--threads N]\n\
          \x20          [--machine t3e|sp2|paragon] [--procs P] [--set name=value]...\n\
          \x20          [--supervise] [--deadline-ms N] [--fuel N] [--inject PLAN]\n\
-         \x20      zlc serve <file.zl>... [--requests N] [--workers N] [run options]\n\
+         \x20      zlc serve <file.zl>... [--requests N] [--workers N] [--queue-cap N]\n\
+         \x20          [--shed reject-newest|drop-oldest|block] [--retries N] [run options]\n\
          \x20      zlc --list-engines | --list-passes"
     );
     ExitCode::from(2)
@@ -103,6 +120,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         files: Vec::new(),
         requests: 0,
         workers: 4,
+        queue_cap: 0,
+        shed: ShedPolicy::Block,
+        retries: 0,
         request: RunRequest::new(),
         dimension_contraction: false,
         spatial_cap: None,
@@ -203,6 +223,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.workers = value("--workers")?
                     .parse()
                     .map_err(|_| "bad worker count".to_string())?;
+            }
+            "--queue-cap" => {
+                opts.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|_| "bad queue cap".to_string())?;
+            }
+            "--shed" => {
+                opts.shed = value("--shed")?.parse()?;
+            }
+            "--retries" => {
+                opts.retries = value("--retries")?
+                    .parse()
+                    .map_err(|_| "bad retry count".to_string())?;
             }
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             "serve" if !saw_positional => {
@@ -334,8 +367,9 @@ fn run_supervised(opts: &Options, program: &Program) -> ExitCode {
 
 /// The `serve` subcommand: compile-check the input files, expand them to
 /// `--requests` round-robin serve requests, run the batch across
-/// `--workers` threads over one shared compile cache, and print the
-/// latency/cache report.
+/// `--workers` threads over one shared compile cache with admission
+/// control, deadlines, retries, and circuit breakers, and print the
+/// latency/cache/breaker report.
 fn run_serve(opts: &Options) -> ExitCode {
     let mut programs = Vec::new();
     for file in &opts.files {
@@ -356,14 +390,33 @@ fn run_serve(opts: &Options) -> ExitCode {
     } else {
         opts.requests
     };
+    // In serve mode `--deadline-ms` is the total admission-to-completion
+    // deadline: queue wait is charged against it, and the supervisor gets
+    // only the remainder as each attempt's wall-clock budget.
+    let deadline = opts.request.budgets.deadline;
     let batch: Vec<ServeRequest> = (0..total)
         .map(|i| {
             let (name, source) = &programs[i % programs.len()];
-            ServeRequest::new(name, source, opts.request.clone())
+            let mut req = ServeRequest::new(name, source, opts.request.clone());
+            if let Some(d) = deadline {
+                req = req.with_deadline(d);
+            }
+            req
         })
         .collect();
+    let mut serve_opts = ServeOptions::new()
+        .with_workers(opts.workers)
+        .with_queue_cap(opts.queue_cap)
+        .with_shed(opts.shed)
+        .with_retry(RetryPolicy::retries(opts.retries));
+    if let Some(spec) = &opts.inject {
+        match FaultPlan::parse(spec) {
+            Ok(plan) => serve_opts = serve_opts.with_faults(plan),
+            Err(e) => return usage(&format!("bad --inject plan: {e}")),
+        }
+    }
     let cache = Arc::new(CompileCache::new());
-    let report = serve(&batch, opts.workers, &cache);
+    let report = serve_with(&batch, &serve_opts, &cache);
     print!("{}", report.render());
     if report.failed() > 0 {
         ExitCode::FAILURE

@@ -172,6 +172,11 @@ fn run_class(program: &Program, source: &str, class: FaultClass, want: (u64, u64
             assert_eq!(run.report.final_level, Level::Baseline);
             assert_eq!(run.report.final_engine, Engine::Interp);
         }
+        // Serving-layer sites are exercised by tests/chaos_serve.rs; they
+        // never appear in this suite's CLASSES.
+        FaultClass::Inject(
+            FaultSite::ServeStall | FaultSite::WorkerPanic | FaultSite::CacheCorrupt,
+        ) => unreachable!("serving-layer fault sites are not in CLASSES"),
     }
 }
 
