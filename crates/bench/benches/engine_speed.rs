@@ -1,10 +1,14 @@
-//! Bench comparing the two execution engines on the same scalarized
-//! program: the reference tree-walking interpreter vs the bytecode VM,
-//! on SIMPLE at n = 256 optimized at c2+f3 (the configuration the VM is
-//! required to run at least 2x faster than the interpreter).
+//! Bench comparing the execution engines on the same scalarized
+//! program: the reference tree-walking interpreter vs the bytecode VM
+//! tiers, on SIMPLE at n = 256 optimized at c2+f3 (the configuration the
+//! VM is required to run at least 2x, and the superinstruction/lane
+//! engine at least 4x, faster than the interpreter).
 //!
 //! Samples are interleaved (interp, vm, interp, vm, ...) so background
 //! load perturbs both engines equally instead of skewing the ratio.
+//!
+//! With `--check` the bench exits nonzero if the `vm-simd` engine is
+//! under the 4x bar (the CI `simd` job runs this in release mode).
 
 use fusion_core::pipeline::{Level, Pipeline};
 use loopir::{Engine, NoopObserver};
@@ -61,9 +65,26 @@ fn main() {
         .find(|(e, _)| *e == Engine::VmVerified)
         .unwrap()
         .1;
+    let simd = medians
+        .iter()
+        .find(|(e, _)| *e == Engine::VmSimd)
+        .unwrap()
+        .1;
     println!("engine_speed: vm is {:.2}x the interpreter", interp / vm);
     println!(
         "engine_speed: vm-verified (unchecked accesses) is {:.2}x the checked vm",
         vm / verified
     );
+    println!(
+        "engine_speed: vm-simd (superinstructions + lanes) is {:.2}x the interpreter",
+        interp / simd
+    );
+    if std::env::args().any(|a| a == "--check") {
+        let ratio = interp / simd;
+        assert!(
+            ratio >= 4.0,
+            "vm-simd is only {ratio:.2}x the interpreter (the bar is 4x)"
+        );
+        println!("engine_speed: check ok (vm-simd >= 4x interp)");
+    }
 }

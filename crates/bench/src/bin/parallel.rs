@@ -1,9 +1,12 @@
 //! Parallel tiled execution benchmark: speedup vs thread count.
 //!
 //! Runs SIMPLE and SP at large problem sizes through the `c2+f3` pipeline
-//! on the verified sequential VM (the baseline) and the parallel tiled VM
-//! at 1/2/4 threads, asserting bit-identical checksums throughout, and
-//! writes `BENCH_parallel.json`.
+//! on the verified sequential VM (the baseline), the parallel tiled VM at
+//! 1/2/4 threads, the superinstruction/lane engine (`vm-simd`), and the
+//! simd × tiling composition (`vm-par` with lanes) at the same thread
+//! counts, asserting bit-identical checksums throughout, and writes
+//! `BENCH_parallel.json`. The original fields are unchanged; the lane
+//! rows ride along as `vm_simd_wall_ms` and `simd_wall_ms`.
 //!
 //! The headline **speedup** figure is *modeled from the per-tile stats
 //! stream* ([`Vm::tile_stats`]), in the same spirit as the repo's machine
@@ -92,6 +95,7 @@ fn median(mut xs: Vec<f64>) -> f64 {
 fn timed(
     shared: &loopir::SharedProgram,
     threads: Option<usize>,
+    lanes: usize,
     rounds: usize,
 ) -> (RunOutcome, Vec<TileStats>, f64) {
     use loopir::Executor as _;
@@ -101,6 +105,9 @@ fn timed(
         let mut vm = Vm::from_shared(shared);
         if let Some(t) = threads {
             vm.set_threads(t);
+        }
+        if lanes > 0 {
+            vm.set_lanes(lanes);
         }
         let started = Instant::now();
         let out = vm
@@ -146,17 +153,39 @@ fn main() {
         first.verify().expect("benchmark bytecode verifies");
         let shared = first.share();
 
+        // The superinstruction/lane tier over the same source program:
+        // compiled through the post-compile peephole, verified (including
+        // the simd_structure phase), and shared just like the scalar
+        // stream.
+        let mut sfirst =
+            Vm::new_superfused(sp, binding.clone()).expect("benchmark superfuses to bytecode");
+        sfirst.verify().expect("superfused bytecode verifies");
+        let sshared = sfirst.share();
+
         // Baseline: the verified sequential VM.
-        let (base_out, _, base_ms) = timed(&shared, None, rounds);
+        let (base_out, _, base_ms) = timed(&shared, None, 0, rounds);
         let serial = unit_cost(&base_out.stats);
         println!(
             "\n{:8} n={:4}  vm-verified: cost {serial:>12}  {base_ms:8.2} ms",
             b.name, cfg.n
         );
 
+        // vm-simd: lane dispatch, sequential.
+        let (simd_out, _, simd_ms) = timed(&sshared, None, 8, rounds);
+        assert_eq!(
+            base_out.checksum().to_bits(),
+            simd_out.checksum().to_bits(),
+            "{}: vm-simd drifted from the sequential VM",
+            b.name
+        );
+        println!(
+            "           vm-simd    : {simd_ms:8.2} ms ({:.2}x vm-verified)",
+            base_ms / simd_ms
+        );
+
         let mut thread_objects = Vec::new();
         for threads in THREADS {
-            let (out, tiles, wall_ms) = timed(&shared, Some(threads), rounds);
+            let (out, tiles, wall_ms) = timed(&shared, Some(threads), 0, rounds);
             assert_eq!(
                 base_out.checksum().to_bits(),
                 out.checksum().to_bits(),
@@ -178,14 +207,26 @@ fn main() {
             if b.name == "simple" && threads == 4 {
                 simple_speedup_at_4 = speedup;
             }
+
+            // vm-par + simd: the same tile fan-out with lane dispatch in
+            // each tile's innermost loops.
+            let (sout, _, simd_wall_ms) = timed(&sshared, Some(threads), 8, rounds);
+            assert_eq!(
+                base_out.checksum().to_bits(),
+                sout.checksum().to_bits(),
+                "{} at {threads} threads + lanes drifted from the sequential VM",
+                b.name
+            );
+
             println!(
                 "           {threads} threads: {:5} tiles, modeled speedup {speedup:5.2}x, \
-                 {wall_ms:8.2} ms",
+                 {wall_ms:8.2} ms ({simd_wall_ms:8.2} ms with lanes)",
                 tiles.len()
             );
             thread_objects.push(format!(
                 "{{\"threads\": {threads}, \"tiles\": {}, \"modeled_parallel_cost\": \
-                 {parallel:.1}, \"modeled_speedup\": {speedup:.4}, \"wall_ms\": {wall_ms:.4}}}",
+                 {parallel:.1}, \"modeled_speedup\": {speedup:.4}, \"wall_ms\": {wall_ms:.4}, \
+                 \"simd_wall_ms\": {simd_wall_ms:.4}}}",
                 tiles.len()
             ));
         }
@@ -194,6 +235,7 @@ fn main() {
             obj,
             "    {{\n      \"name\": \"{}\",\n      \"n\": {},\n      \
              \"serial_unit_cost\": {serial},\n      \"baseline_wall_ms\": {base_ms:.4},\n      \
+             \"vm_simd_wall_ms\": {simd_ms:.4},\n      \
              \"threads\": [\n        {}\n      ]\n    }}",
             b.name,
             cfg.n,

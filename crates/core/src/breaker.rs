@@ -259,6 +259,7 @@ mod tests {
             rce: false,
             rce2: false,
             engine: Engine::Vm,
+            simd: false,
         }
     }
 

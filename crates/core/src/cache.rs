@@ -7,7 +7,7 @@
 //! is cheap per-request state. [`CompileCache`] memoizes the compile
 //! half: keys are [`CacheKey`] — the structural digest of the program
 //! *and* its concrete config binding ([`crate::hash::key_hash`]) plus
-//! the explicit `(level, dse, rce, rce2, engine)` coordinates — and values are
+//! the explicit `(level, dse, rce, rce2, engine, simd)` coordinates — and values are
 //! [`CachedProgram`] — the `Arc`-shared scalarized program plus, for the
 //! VM engines, the compiled-and-verified
 //! [`SharedProgram`] handle. A hit skips the
@@ -58,6 +58,11 @@ pub struct CacheKey {
     /// The engine the artifact was compiled for (decides whether a
     /// [`SharedProgram`] exists and whether it was verified).
     pub engine: Engine,
+    /// Whether the superinstruction peephole ran over the bytecode —
+    /// derived from the engine (`vm-simd`/`vm-par`), carried explicitly
+    /// so the superfused and plain compilations of one program can never
+    /// collide.
+    pub simd: bool,
 }
 
 impl CacheKey {
@@ -79,6 +84,7 @@ impl CacheKey {
             rce,
             rce2,
             engine,
+            simd: matches!(engine, Engine::VmSimd | Engine::VmPar),
         }
     }
 

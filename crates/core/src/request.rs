@@ -12,8 +12,8 @@
 //! [`RunRequest::pipeline`], [`RunRequest::supervisor`],
 //! [`RunRequest::exec_opts`], [`RunRequest::limits`], and
 //! [`RunRequest::binding_for`]. The serving path
-//! ([`crate::serve`], [`crate::cache`]) keys its compile cache on the
-//! request's `(level, dse, rce, rce2, engine)` coordinates.
+//! ([`mod@crate::serve`], [`crate::cache`]) keys its compile cache on the
+//! request's `(level, dse, rce, rce2, engine, simd)` coordinates.
 //!
 //! ```
 //! use fusion_core::request::RunRequest;
@@ -57,6 +57,10 @@ pub struct RunRequest {
     pub engine: Engine,
     /// Worker threads for [`Engine::VmPar`]; `0` = auto.
     pub threads: usize,
+    /// Unrolled f64 lanes for [`Engine::VmSimd`] / [`Engine::VmPar`]
+    /// innermost-loop dispatch; `0` = the engine default (4), `1` =
+    /// scalar dispatch over the same superinstruction bytecode.
+    pub lanes: usize,
     /// Run the translation validator and bytecode verifier, reporting
     /// diagnostics (`zlc --verify`). Does not change generated code, so
     /// the compile cache deliberately ignores it.
@@ -76,6 +80,7 @@ impl Default for RunRequest {
             rce2: false,
             engine: Engine::default(),
             threads: 0,
+            lanes: 0,
             verify: false,
             budgets: Budgets::none(),
             sets: Vec::new(),
@@ -174,6 +179,13 @@ impl RunRequest {
         self
     }
 
+    /// Sets the lane width for [`Engine::VmSimd`] / [`Engine::VmPar`]
+    /// (`0` = default, `1` = scalar dispatch).
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
     /// Enables (or disables) verification.
     pub fn with_verify(mut self, verify: bool) -> Self {
         self.verify = verify;
@@ -230,7 +242,8 @@ impl RunRequest {
     pub fn supervisor(&self) -> Supervisor<'static> {
         let mut sup = Supervisor::new(self.level, self.engine)
             .with_budgets(self.budgets)
-            .with_threads(self.threads);
+            .with_threads(self.threads)
+            .with_lanes(self.lanes);
         for (name, value) in &self.sets {
             sup = sup.with_binding(name, *value);
         }
@@ -239,7 +252,10 @@ impl RunRequest {
 
     /// The per-execution engine options.
     pub fn exec_opts(&self) -> ExecOpts {
-        ExecOpts::with_threads(self.threads)
+        ExecOpts {
+            threads: self.threads,
+            lanes: self.lanes,
+        }
     }
 
     /// The engine limits the budgets imply (the deadline is measured

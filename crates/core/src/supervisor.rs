@@ -13,13 +13,16 @@
 //! fixed ladder when a stage faults:
 //!
 //! ```text
-//! (level, vm-par)  →  (level, vm-verified)  →  (level, vm)
-//!                  →  (level, interp)       →  (baseline, interp)
+//! (level, vm-par)   →  (level, vm-simd)  →  (level, vm-verified)
+//!                   →  (level, vm)       →  (level, interp)
+//!                   →  (baseline, interp)
 //! ```
 //!
 //! The topmost rung is the parallel tiled VM ([`Engine::VmPar`]); it
-//! shares the verified bytecode across a thread pool, so a verifier
-//! rejection or tile trap degrades it exactly like `vm-verified`.
+//! shares the verified superinstruction bytecode across a thread pool, so
+//! a verifier rejection or tile trap degrades it first to the
+//! single-threaded lane engine ([`Engine::VmSimd`]), then to the scalar
+//! `vm-verified` rung running plain (non-superinstruction) bytecode.
 //!
 //! The final rung — the unoptimized reference interpreter — is the
 //! semantic ground truth for the entire system (every engine is tested
@@ -410,6 +413,7 @@ pub struct Supervisor<'a> {
     bindings: Vec<(String, i64)>,
     sim: Option<Box<SimFn<'a>>>,
     threads: usize,
+    lanes: usize,
     cache: Option<Arc<CompileCache>>,
     breaker: Option<Arc<CircuitBreakers>>,
 }
@@ -436,6 +440,7 @@ impl<'a> Supervisor<'a> {
             bindings: Vec::new(),
             sim: None,
             threads: 0,
+            lanes: 0,
             cache: None,
             breaker: None,
         }
@@ -484,6 +489,14 @@ impl<'a> Supervisor<'a> {
     /// coordinator instructions, and workers poll the same deadline.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the lane width for the `vm-simd` and `vm-par` engines
+    /// (`0` = the engine default of 4, `1` = scalar dispatch). Ignored by
+    /// the non-superinstruction engines.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes;
         self
     }
 
@@ -815,7 +828,9 @@ impl<'a> Supervisor<'a> {
         };
 
         enter_stage(
-            if shared.is_none() && matches!(engine, Engine::VmVerified | Engine::VmPar) {
+            if shared.is_none()
+                && matches!(engine, Engine::VmVerified | Engine::VmSimd | Engine::VmPar)
+            {
                 Stage::VerifyBytecode
             } else {
                 Stage::Execute
@@ -827,7 +842,10 @@ impl<'a> Supervisor<'a> {
                     return sim(&sp, &binding, engine, limits);
                 }
             }
-            let opts = ExecOpts::with_threads(self.threads);
+            let opts = ExecOpts {
+                threads: self.threads,
+                lanes: self.lanes,
+            };
             let mut exec: Box<dyn Executor + '_> = match &shared {
                 // Cache hit: re-instantiate from the shared bytecode —
                 // no recompile, no re-verify.
@@ -878,6 +896,7 @@ impl<'a> Supervisor<'a> {
 fn ladder(level: Level, engine: Engine) -> Vec<(Level, Engine)> {
     let order = [
         Engine::VmPar,
+        Engine::VmSimd,
         Engine::VmVerified,
         Engine::Vm,
         Engine::Interp,

@@ -127,8 +127,145 @@ pub(crate) enum Op {
     Jmp { target: u32 },
     /// Jump to `target` when `f[cond] == 0.0`.
     JmpIfZero { cond: Reg, target: u32 },
+    /// Superinstruction: `f[da] = load(aa); f[db] = load(ab);
+    /// f[dst] = f[da] <op> f[db]`. All three constituent writes happen in
+    /// order, so the bundle is observably identical to the unfused
+    /// sequence (same register facts, same load order, same faults).
+    LdLdBin {
+        op: BinOp,
+        dst: Reg,
+        da: Reg,
+        aa: u32,
+        db: Reg,
+        ab: u32,
+    },
+    /// Superinstruction: `f[dl] = load(acc);
+    /// f[dst] = right ? f[other] <op> f[dl] : f[dl] <op> f[other]`.
+    LdBin {
+        op: BinOp,
+        dst: Reg,
+        dl: Reg,
+        acc: u32,
+        other: Reg,
+        right: bool,
+    },
+    /// Superinstruction: two consecutive arithmetic ops, executed in
+    /// order (`d1` may feed `a2`/`b2`).
+    BinBin {
+        op1: BinOp,
+        d1: Reg,
+        a1: Reg,
+        b1: Reg,
+        op2: BinOp,
+        d2: Reg,
+        a2: Reg,
+        b2: Reg,
+    },
+    /// Superinstruction: `f[dst] = f[a] <op> f[b]; store(acc, f[dst])`.
+    BinSt {
+        op: BinOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        acc: u32,
+    },
+    /// Superinstruction: `f[dst] = load(la); store(sa, f[dst])`.
+    LdSt { dst: Reg, la: u32, sa: u32 },
+    /// Marks the innermost loop that immediately follows (its `SetIdx` is
+    /// at the next pc) as lane-vectorizable per [`Code::simds`]`[simd]`.
+    /// A scalar dispatcher treats this as a no-op and falls through into
+    /// the loop; a lane-enabled verified [`Vm`](crate::Vm) executes whole
+    /// chunks of iterations across unrolled f64 lanes and resumes either
+    /// at the loop head (scalar epilogue for the remainder) or at the
+    /// loop exit.
+    SimdBegin { simd: u32 },
     /// End of program.
     Halt,
+}
+
+/// Maximum number of f64 lanes the vectorized innermost-loop dispatch
+/// unrolls (one AVX-512-free cache line's worth; the portable kernel and
+/// the `std::arch` kernels all operate on blocks of this width).
+pub(crate) const MAX_LANES: usize = 8;
+
+/// Operand of a [`LaneOp`]: either a slot in the per-lane register file
+/// (a register the loop body writes, so it takes a distinct value per
+/// lane) or a scalar frame register that is loop-invariant across the
+/// chunk and is broadcast to every lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LaneSrc {
+    Lane(u16),
+    Scalar(Reg),
+}
+
+/// One micro-op of a decoded innermost-loop body. The superfuse pass
+/// decodes the (already bundled) body once at compile time, classifying
+/// every operand as lane-varying or broadcast, so the runtime lane loop
+/// is a straight walk over these with no per-iteration re-analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum LaneOp {
+    /// Per lane `m`: `lane[dst][m] = load(acc at idx[d] = base + m·step)`.
+    Load { dst: u16, acc: u32 },
+    /// Per lane `m`: `store(acc at idx[d] = base + m·step, src[m])`.
+    Store { acc: u32, src: LaneSrc },
+    /// Per lane `m`: `lane[dst][m] = a[m] <op> b[m]`.
+    Bin {
+        op: BinOp,
+        dst: u16,
+        a: LaneSrc,
+        b: LaneSrc,
+    },
+    /// Per lane `m`: `lane[dst][m] = -src[m]`.
+    Neg { dst: u16, src: LaneSrc },
+    /// Per lane `m`: `lane[dst][m] = src[m]`.
+    Mov { dst: u16, src: LaneSrc },
+    /// Per lane `m`: `lane[dst][m] = (d == simd dim ? base + m·step :
+    /// idx[d]) as f64`.
+    IdxF { dst: u16, d: u8 },
+    /// Per lane `m`: `lane[dst][m] = intr(args[0][m], args[1][m], ...)`.
+    Call {
+        intr: Intrinsic,
+        dst: u16,
+        args: Vec<LaneSrc>,
+    },
+    /// Count one iteration point and `flops` flops per lane.
+    Tick { flops: u32 },
+}
+
+/// Compile-time description of one lane-vectorizable innermost loop,
+/// referenced by [`Op::SimdBegin`].
+///
+/// The loop occupying pcs `[head, exit)` (body plus its `IdxStep`; the
+/// loop's `SetIdx` sits at `head - 1`) is straight-line, touches only
+/// check-free accesses, carries no reduction and no loop-carried register
+/// dependence, and the cross-iteration alias analysis proved that no two
+/// accesses to a stored array collide within `lanes` consecutive
+/// iterations. Executing `lanes` iterations as parallel f64 lanes is
+/// therefore observably identical to the scalar order: each lane computes
+/// exactly the scalar iteration's values, bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SimdInfo {
+    /// The index-vector dimension the loop iterates.
+    pub dim: u8,
+    /// Maximum safe lane count proven by the alias analysis (2..=8).
+    pub lanes: u8,
+    /// First iterate of `dim`.
+    pub start: i64,
+    /// Iteration direction: `+1` or `-1`.
+    pub step: i64,
+    /// One `step` past the last iterate.
+    pub stop: i64,
+    /// pc of the first body op (the op after the loop's `SetIdx`).
+    pub head: u32,
+    /// pc one past the loop's `IdxStep`.
+    pub exit: u32,
+    /// The decoded lane program (the loop body as lane micro-ops).
+    pub body: Vec<LaneOp>,
+    /// Original frame register backing each lane slot; after the last
+    /// chunk, slot `s`'s last-lane value is written back to
+    /// `lane_regs[s]` so the epilogue and post-loop code see exactly the
+    /// registers a scalar run would have left.
+    pub lane_regs: Vec<Reg>,
 }
 
 /// Static per-array allocation info (bounds resolved under the binding).
@@ -209,6 +346,10 @@ pub(crate) struct Code {
     pub nests: Vec<LoopNest>,
     /// Ladders referenced by `Op::ParBegin`.
     pub pars: Vec<ParInfo>,
+    /// Vectorizable innermost loops referenced by `Op::SimdBegin`
+    /// (populated by [`crate::simd::superfuse`]; empty for plain
+    /// compiles).
+    pub simds: Vec<SimdInfo>,
     /// Initial values for the interned-constant registers.
     pub consts: Vec<f64>,
     pub n_scalars: u16,
@@ -335,6 +476,7 @@ pub(crate) fn compile(prog: &ScalarProgram, binding: &ConfigBinding) -> Result<C
         arrays: c.arrays,
         nests: c.nests,
         pars: c.pars,
+        simds: Vec::new(),
         consts: c.consts,
         n_scalars: c.n_scalars,
         const_base: c.const_base,
@@ -1171,4 +1313,266 @@ impl<'p> Compiler<'p> {
         self.patch_jump(init, end);
         Ok(())
     }
+}
+
+// ---- disassembly ----------------------------------------------------------
+
+fn binop_sym(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+    }
+}
+
+/// Renders an access-table entry's affine flat-index form with every
+/// immediate offset spelled out: `@3 = B[17 + 256*i0 + 1*i1]`, with a
+/// ` [checked]` suffix when the runtime bounds check was not elided.
+fn acc_str(code: &Code, acc: u32) -> String {
+    let a = &code.accesses[acc as usize];
+    let name = &code.arrays[a.arr as usize].name;
+    let mut flat = format!("{}", a.const_flat);
+    for d in 0..a.rank as usize {
+        if a.strides[d] != 0 {
+            flat.push_str(&format!(" + {}*i{}", a.strides[d], d));
+        }
+    }
+    let chk = if a.check.is_some() { " [checked]" } else { "" };
+    format!("@{acc} = {name}[{flat}]{chk}")
+}
+
+fn lane_src_str(s: LaneSrc) -> String {
+    match s {
+        LaneSrc::Lane(k) => format!("l{k}"),
+        LaneSrc::Scalar(r) => format!("r{r}"),
+    }
+}
+
+fn lane_op_str(op: &LaneOp) -> String {
+    match op {
+        LaneOp::Load { dst, acc } => format!("l{dst} = load @{acc}"),
+        LaneOp::Store { acc, src } => format!("store @{acc}, {}", lane_src_str(*src)),
+        LaneOp::Bin { op, dst, a, b } => format!(
+            "l{dst} = {} {} {}",
+            lane_src_str(*a),
+            binop_sym(*op),
+            lane_src_str(*b)
+        ),
+        LaneOp::Neg { dst, src } => format!("l{dst} = -{}", lane_src_str(*src)),
+        LaneOp::Mov { dst, src } => format!("l{dst} = {}", lane_src_str(*src)),
+        LaneOp::IdxF { dst, d } => format!("l{dst} = f64(i{d})"),
+        LaneOp::Call { intr, dst, args } => format!(
+            "l{dst} = {intr:?}({})",
+            args.iter()
+                .map(|&a| lane_src_str(a))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        LaneOp::Tick { flops } => format!("tick flops={flops}"),
+    }
+}
+
+fn op_str(code: &Code, op: &Op) -> (&'static str, String) {
+    match *op {
+        Op::Add { dst, a, b } => ("add", format!("r{dst} = r{a} + r{b}")),
+        Op::Sub { dst, a, b } => ("sub", format!("r{dst} = r{a} - r{b}")),
+        Op::Mul { dst, a, b } => ("mul", format!("r{dst} = r{a} * r{b}")),
+        Op::Div { dst, a, b } => ("div", format!("r{dst} = r{a} / r{b}")),
+        Op::Bin { op, dst, a, b } => ("bin", format!("r{dst} = r{a} {} r{b}", binop_sym(op))),
+        Op::Neg { dst, src } => ("neg", format!("r{dst} = -r{src}")),
+        Op::Mov { dst, src } => ("mov", format!("r{dst} = r{src}")),
+        Op::Call { intr, dst, base, n } => (
+            "call",
+            format!("r{dst} = {intr:?}(r{base}..r{})", base as u32 + n as u32),
+        ),
+        Op::IdxF { dst, d } => ("idxf", format!("r{dst} = f64(i{d})")),
+        Op::Load { dst, acc } => ("load", format!("r{dst} = load {}", acc_str(code, acc))),
+        Op::Store { acc, src } => ("store", format!("store {}, r{src}", acc_str(code, acc))),
+        Op::Reduce { op, dst, src } => ("reduce", format!("r{dst} = {op:?}(r{dst}, r{src})")),
+        Op::Tick { flops } => ("tick", format!("flops={flops}")),
+        Op::NestBegin { nest } => ("nest", format!("begin nest {nest}")),
+        Op::ReduceBegin => ("rbegin", "begin reduction".to_string()),
+        Op::ParBegin { par } => {
+            let p = &code.pars[par as usize];
+            (
+                "par",
+                format!(
+                    "p{par}: dim i{} start {} step {} extent {} pcs [{}, {})",
+                    p.dim, p.start, p.step, p.extent, p.entry, p.exit
+                ),
+            )
+        }
+        Op::Alloc { arr } => (
+            "alloc",
+            format!(
+                "a{arr} {} ({} elems)",
+                code.arrays[arr as usize].name, code.arrays[arr as usize].elems
+            ),
+        ),
+        Op::SetIdx { d, v } => ("setidx", format!("i{d} = {v}")),
+        Op::IdxStep {
+            d,
+            step,
+            stop,
+            head,
+        } => (
+            "idxstep",
+            format!("i{d} += {step}; if i{d} != {stop} goto {head}"),
+        ),
+        Op::CtrInit {
+            ctr,
+            cur,
+            end,
+            step,
+        } => ("ctrinit", format!("c{ctr} = {cur} step {step} until {end}")),
+        Op::CtrToIdx { d, ctr } => ("ctridx", format!("i{d} = c{ctr}")),
+        Op::CtrToScalar { dst, ctr } => ("ctrf", format!("r{dst} = f64(c{ctr})")),
+        Op::ForInit {
+            ctr,
+            lo,
+            hi,
+            down,
+            exit,
+        } => (
+            "forinit",
+            format!(
+                "c{ctr} = r{lo}..r{hi}{}; if empty goto {exit}",
+                if down { " down" } else { "" }
+            ),
+        ),
+        Op::CtrStep { ctr, head } => (
+            "ctrstep",
+            format!("c{ctr} step; goto {head} while in range"),
+        ),
+        Op::Jmp { target } => ("jmp", format!("goto {target}")),
+        Op::JmpIfZero { cond, target } => ("jz", format!("if r{cond} == 0 goto {target}")),
+        Op::LdLdBin {
+            op,
+            dst,
+            da,
+            aa,
+            db,
+            ab,
+        } => (
+            "ld.ld.bin",
+            format!(
+                "r{da} = load {}; r{db} = load {}; r{dst} = r{da} {} r{db}",
+                acc_str(code, aa),
+                acc_str(code, ab),
+                binop_sym(op)
+            ),
+        ),
+        Op::LdBin {
+            op,
+            dst,
+            dl,
+            acc,
+            other,
+            right,
+        } => (
+            "ld.bin",
+            format!(
+                "r{dl} = load {}; r{dst} = {}",
+                acc_str(code, acc),
+                if right {
+                    format!("r{other} {} r{dl}", binop_sym(op))
+                } else {
+                    format!("r{dl} {} r{other}", binop_sym(op))
+                }
+            ),
+        ),
+        Op::BinBin {
+            op1,
+            d1,
+            a1,
+            b1,
+            op2,
+            d2,
+            a2,
+            b2,
+        } => (
+            "bin.bin",
+            format!(
+                "r{d1} = r{a1} {} r{b1}; r{d2} = r{a2} {} r{b2}",
+                binop_sym(op1),
+                binop_sym(op2)
+            ),
+        ),
+        Op::BinSt { op, dst, a, b, acc } => (
+            "bin.st",
+            format!(
+                "r{dst} = r{a} {} r{b}; store {}, r{dst}",
+                binop_sym(op),
+                acc_str(code, acc)
+            ),
+        ),
+        Op::LdSt { dst, la, sa } => (
+            "ld.st",
+            format!(
+                "r{dst} = load {}; store {}, r{dst}",
+                acc_str(code, la),
+                acc_str(code, sa)
+            ),
+        ),
+        Op::SimdBegin { simd } => {
+            let s = &code.simds[simd as usize];
+            (
+                "simd",
+                format!(
+                    "s{simd}: dim i{} lanes {} range [{}, {}) step {} pcs [{}, {})",
+                    s.dim, s.lanes, s.start, s.stop, s.step, s.head, s.exit
+                ),
+            )
+        }
+        Op::Halt => ("halt", String::new()),
+    }
+}
+
+/// Renders the compiled program as a readable listing: every op with its
+/// operand details (register numbers, immediate offsets, jump targets),
+/// followed by the constant, parallel-ladder, and simd-loop tables
+/// (including each simd loop's decoded lane program). Deterministic for a
+/// given program + binding, so the output can be golden-snapshotted.
+pub(crate) fn disasm(code: &Code) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        ";; bytecode: {} ops, frame {} regs ({} scalars, consts at r{}), \
+         {} accesses, {} arrays, {} par ladders, {} simd loops",
+        code.ops.len(),
+        code.frame,
+        code.n_scalars,
+        code.const_base,
+        code.accesses.len(),
+        code.arrays.len(),
+        code.pars.len(),
+        code.simds.len()
+    );
+    for (i, v) in code.consts.iter().enumerate() {
+        let _ = writeln!(out, ";; const r{} = {v:?}", code.const_base as usize + i);
+    }
+    for (pc, op) in code.ops.iter().enumerate() {
+        let (mnemonic, detail) = op_str(code, op);
+        let _ = writeln!(out, "{pc:>4}  {mnemonic:<9} {detail}");
+    }
+    for (i, s) in code.simds.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            ";; simd s{i}: {} lane regs {:?}, lane body:",
+            s.lane_regs.len(),
+            s.lane_regs
+        );
+        for lop in &s.body {
+            let _ = writeln!(out, ";;   {}", lane_op_str(lop));
+        }
+    }
+    out
 }

@@ -208,6 +208,20 @@ pub enum Engine {
     /// dispatch loop drops the per-access slice bounds check. Refuses to
     /// construct (with the verifier's diagnostics) if the proof fails.
     VmVerified,
+    /// The verified VM over superinstruction bytecode with lane-based
+    /// innermost-loop dispatch: after compilation a peephole pass collapses
+    /// fused element-wise chains into superinstructions and annotates
+    /// provably vectorizable innermost loops, which the dispatch loop then
+    /// executes over unrolled f64 lanes (with a scalar epilogue for
+    /// remainders). Reductions stay strictly serial, so results are
+    /// `f64::to_bits`-identical to [`Engine::Interp`]. Like
+    /// [`Engine::VmVerified`], refuses to construct if the bytecode
+    /// verifier's proof — which independently re-derives every
+    /// superinstruction and lane annotation — fails. Lane fan-out only
+    /// happens under observers that do not consume the per-element address
+    /// stream ([`Observer::wants_addresses`]); under the cache simulator
+    /// the engine runs scalar, preserving the exact address order.
+    VmSimd,
     /// The verified VM with parallel tiled execution: loop ladders the
     /// compiler proved independent along one dimension fan out as per-tile
     /// tasks on a work-stealing `std::thread` pool. Bit-identical to
@@ -218,6 +232,10 @@ pub enum Engine {
     /// do not consume the per-element address stream
     /// ([`Observer::wants_addresses`]); under the cache simulator the
     /// engine runs sequentially, preserving the exact address order.
+    ///
+    /// Since the two-tier ISA landed, `VmPar` also runs superinstruction
+    /// bytecode and vectorizes the innermost loop of each tile, composing
+    /// the thread pool (outer tiles) with lane dispatch (inner loop).
     VmPar,
 }
 
@@ -228,33 +246,52 @@ pub struct ExecOpts {
     /// `0` means one per available core, capped at 8. Other engines
     /// ignore this.
     pub threads: usize,
+    /// Unrolled f64 lanes for the innermost-loop dispatch of
+    /// [`Engine::VmSimd`] and [`Engine::VmPar`]; `0` means the default
+    /// width (4), and widths are capped at 8. `1` disables lane dispatch
+    /// (the engine runs the same superinstruction bytecode scalar). Other
+    /// engines ignore this.
+    pub lanes: usize,
 }
 
 impl ExecOpts {
     /// Options requesting a specific thread count.
     pub fn with_threads(threads: usize) -> Self {
-        ExecOpts { threads }
+        ExecOpts {
+            threads,
+            ..ExecOpts::default()
+        }
+    }
+
+    /// Options requesting a specific lane width.
+    pub fn with_lanes(lanes: usize) -> Self {
+        ExecOpts {
+            lanes,
+            ..ExecOpts::default()
+        }
     }
 }
 
 impl Engine {
     /// Every engine, reference interpreter first.
-    pub fn all() -> [Engine; 4] {
+    pub fn all() -> [Engine; 5] {
         [
             Engine::Interp,
             Engine::Vm,
             Engine::VmVerified,
+            Engine::VmSimd,
             Engine::VmPar,
         ]
     }
 
-    /// The engine's flag/display name (`interp`, `vm`, `vm-verified`, or
-    /// `vm-par`).
+    /// The engine's flag/display name (`interp`, `vm`, `vm-verified`,
+    /// `vm-simd`, or `vm-par`).
     pub fn name(self) -> &'static str {
         match self {
             Engine::Interp => "interp",
             Engine::Vm => "vm",
             Engine::VmVerified => "vm-verified",
+            Engine::VmSimd => "vm-simd",
             Engine::VmPar => "vm-par",
         }
     }
@@ -292,8 +329,14 @@ impl Engine {
             Engine::Interp => Box::new(Interp::new(prog, binding)),
             Engine::Vm => Box::new(Vm::new(prog, binding)?),
             Engine::VmVerified => Box::new(verified_vm(prog, binding)?),
+            Engine::VmSimd => {
+                let mut vm = superfused_vm(prog, binding)?;
+                vm.set_lanes(opts.lanes);
+                Box::new(vm)
+            }
             Engine::VmPar => {
-                let mut vm = verified_vm(prog, binding)?;
+                let mut vm = superfused_vm(prog, binding)?;
+                vm.set_lanes(opts.lanes);
                 vm.set_threads(opts.threads);
                 Box::new(vm)
             }
@@ -325,7 +368,8 @@ impl Engine {
         Ok(match self {
             Engine::Interp => None,
             Engine::Vm => Some(Vm::new(prog, binding)?.share()),
-            Engine::VmVerified | Engine::VmPar => Some(verified_vm(prog, binding)?.share()),
+            Engine::VmVerified => Some(verified_vm(prog, binding)?.share()),
+            Engine::VmSimd | Engine::VmPar => Some(superfused_vm(prog, binding)?.share()),
         })
     }
 
@@ -340,6 +384,9 @@ impl Engine {
     /// slower), never unchecked.
     pub fn shared_executor(self, shared: &SharedProgram, opts: ExecOpts) -> Box<dyn Executor> {
         let mut vm = Vm::from_shared(shared);
+        if matches!(self, Engine::VmSimd | Engine::VmPar) {
+            vm.set_lanes(opts.lanes);
+        }
         if self == Engine::VmPar {
             vm.set_threads(opts.threads);
         }
@@ -351,6 +398,23 @@ impl Engine {
 /// [`Verify`](crate::ErrorKind::Verify)-kind error.
 fn verified_vm(prog: &ScalarProgram, binding: ConfigBinding) -> Result<Vm, ExecError> {
     let mut vm = Vm::new(prog, binding)?;
+    if let Err(diags) = vm.verify() {
+        let msgs: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+        return Err(ExecError::verify(format!(
+            "bytecode verification failed:\n{}",
+            msgs.join("\n")
+        )));
+    }
+    Ok(vm)
+}
+
+/// Compiles with the superinstruction peephole, then verifies — the
+/// construction path for [`Engine::VmSimd`] and [`Engine::VmPar`]. The
+/// verifier re-derives every superinstruction and lane annotation from
+/// first principles, so a peephole bug cannot reach the unchecked lane
+/// dispatch: the engine refuses to construct instead.
+fn superfused_vm(prog: &ScalarProgram, binding: ConfigBinding) -> Result<Vm, ExecError> {
+    let mut vm = Vm::new_superfused(prog, binding)?;
     if let Err(diags) = vm.verify() {
         let msgs: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
         return Err(ExecError::verify(format!(
@@ -375,9 +439,11 @@ impl FromStr for Engine {
             "interp" | "interpreter" => Ok(Engine::Interp),
             "vm" | "bytecode" => Ok(Engine::Vm),
             "vm-verified" | "verified" => Ok(Engine::VmVerified),
+            "vm-simd" | "simd" => Ok(Engine::VmSimd),
             "vm-par" | "parallel" => Ok(Engine::VmPar),
             other => Err(format!(
-                "unknown engine `{other}` (expected `interp`, `vm`, `vm-verified`, or `vm-par`)"
+                "unknown engine `{other}` (expected `interp`, `vm`, `vm-verified`, \
+                 `vm-simd`, or `vm-par`)"
             )),
         }
     }
@@ -393,14 +459,17 @@ mod tests {
         assert_eq!("interp".parse::<Engine>().unwrap(), Engine::Interp);
         assert_eq!("vm-verified".parse::<Engine>().unwrap(), Engine::VmVerified);
         assert_eq!("verified".parse::<Engine>().unwrap(), Engine::VmVerified);
+        assert_eq!("vm-simd".parse::<Engine>().unwrap(), Engine::VmSimd);
+        assert_eq!("simd".parse::<Engine>().unwrap(), Engine::VmSimd);
         assert_eq!("vm-par".parse::<Engine>().unwrap(), Engine::VmPar);
         assert_eq!("parallel".parse::<Engine>().unwrap(), Engine::VmPar);
         assert!("jit".parse::<Engine>().is_err());
         assert_eq!(Engine::Vm.to_string(), "vm");
         assert_eq!(Engine::VmVerified.to_string(), "vm-verified");
+        assert_eq!(Engine::VmSimd.to_string(), "vm-simd");
         assert_eq!(Engine::VmPar.to_string(), "vm-par");
         assert_eq!(Engine::default(), Engine::Vm);
-        assert_eq!(Engine::all().len(), 4);
+        assert_eq!(Engine::all().len(), 5);
     }
 
     #[test]

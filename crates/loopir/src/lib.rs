@@ -19,6 +19,7 @@ pub mod interp;
 pub mod ir;
 mod par;
 pub mod printer;
+mod simd;
 pub mod verifier;
 pub mod vm;
 

@@ -28,9 +28,10 @@
 //! engines contract bit-identity across thread counts, and that contract
 //! wins — reductions stay sequential on the coordinator.
 
-use crate::bytecode::{Code, Op, ParInfo, MAX_RANK};
+use crate::bytecode::{Code, Op, ParInfo, MAX_LANES, MAX_RANK};
 use crate::exec::TileStats;
 use crate::interp::{binop, ExecError};
+use crate::simd::{self, LaneMem};
 use crate::vm::{resolve, VmArray};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -165,6 +166,10 @@ struct Batch {
     views: Vec<ArrayView>,
     deadline: Option<Instant>,
     batch_id: u32,
+    /// Lane width for `Op::SimdBegin` loops inside the ladder (`< 2`
+    /// keeps tiles scalar). Only verified superfused programs fan out
+    /// with lanes enabled, mirroring the sequential VM's gate.
+    lanes: usize,
     /// The work-stealing cursor: each claim takes the next unstarted tile.
     next: AtomicUsize,
     state: Mutex<BatchState>,
@@ -246,6 +251,7 @@ pub(crate) fn run_ladder(
     arrays: &mut [Option<VmArray>],
     deadline: Option<Instant>,
     batch_id: u32,
+    lanes: usize,
     out: &mut Vec<TileStats>,
 ) -> Result<[i64; MAX_RANK], ExecError> {
     let tiles = make_tiles(info, pool.threads());
@@ -272,6 +278,7 @@ pub(crate) fn run_ladder(
         views,
         deadline,
         batch_id,
+        lanes,
         next: AtomicUsize::new(0),
         state: Mutex::new(BatchState {
             slots: (0..n).map(|_| None).collect(),
@@ -318,6 +325,35 @@ fn run_tile(b: &Batch, ti: usize) -> Result<TileRun, ExecError> {
     let exit = b.info.exit as usize;
     let (mut loads, mut stores, mut flops, mut points) = (0u64, 0u64, 0u64, 0u64);
     let mut ops_done = 0u64;
+    let mut lane_scratch: Vec<[f64; MAX_LANES]> = Vec::new();
+    // Constituent element load/store of a superinstruction — the same
+    // length-checked view semantics as `Op::Load`/`Op::Store` below.
+    macro_rules! tile_load {
+        ($acc:expr, $dst:expr) => {{
+            let (ai, flat) = resolve(code, &idx, $acc)?;
+            let v = &b.views[ai];
+            if flat >= v.len {
+                return Err(tile_oob(code, ai));
+            }
+            loads += 1;
+            // SAFETY: as for `Op::Load` — length-checked, and tiles only
+            // write disjoint slices.
+            regs[$dst as usize] = unsafe { *v.ptr.add(flat) };
+        }};
+    }
+    macro_rules! tile_store {
+        ($acc:expr, $src:expr) => {{
+            let val = regs[$src as usize];
+            let (ai, flat) = resolve(code, &idx, $acc)?;
+            let v = &b.views[ai];
+            if flat >= v.len {
+                return Err(tile_oob(code, ai));
+            }
+            // SAFETY: as for `Op::Store`.
+            unsafe { *v.ptr.add(flat) = val };
+            stores += 1;
+        }};
+    }
     while pc != exit {
         let op = ops[pc];
         pc += 1;
@@ -403,6 +439,94 @@ fn run_tile(b: &Batch, ti: usize) -> Result<TileRun, ExecError> {
                     pc = head as usize;
                 }
             }
+            Op::LdLdBin {
+                op,
+                dst,
+                da,
+                aa,
+                db,
+                ab,
+            } => {
+                tile_load!(aa, da);
+                tile_load!(ab, db);
+                regs[dst as usize] = binop(op, regs[da as usize], regs[db as usize]);
+            }
+            Op::LdBin {
+                op,
+                dst,
+                dl,
+                acc,
+                other,
+                right,
+            } => {
+                tile_load!(acc, dl);
+                let (x, y) = if right { (other, dl) } else { (dl, other) };
+                regs[dst as usize] = binop(op, regs[x as usize], regs[y as usize]);
+            }
+            Op::BinBin {
+                op1,
+                d1,
+                a1,
+                b1,
+                op2,
+                d2,
+                a2,
+                b2,
+            } => {
+                regs[d1 as usize] = binop(op1, regs[a1 as usize], regs[b1 as usize]);
+                regs[d2 as usize] = binop(op2, regs[a2 as usize], regs[b2 as usize]);
+            }
+            Op::BinSt { op, dst, a, b, acc } => {
+                regs[dst as usize] = binop(op, regs[a as usize], regs[b as usize]);
+                tile_store!(acc, dst);
+            }
+            Op::LdSt { dst, la, sa } => {
+                tile_load!(la, dst);
+                tile_store!(sa, dst);
+            }
+            Op::SimdBegin { simd } => {
+                // The simd × tiling composition: when the vectorized loop
+                // is the partitioned dimension itself (1-D ladders), the
+                // lane run covers this tile's sub-range; for inner loops
+                // of a 2-D ladder it covers the full inner range at the
+                // tile's fixed outer index.
+                if b.lanes >= 2 {
+                    let info = &code.simds[simd as usize];
+                    let (s_start, s_stop) = if info.dim as usize == pdim {
+                        (t_start, t_stop)
+                    } else {
+                        (info.start, info.stop)
+                    };
+                    let mut mem = TileMem { views: &b.views };
+                    let run = simd::run_lanes(
+                        code,
+                        info,
+                        b.lanes,
+                        s_start,
+                        s_stop,
+                        &mut regs,
+                        &idx,
+                        &mut mem,
+                        &mut lane_scratch,
+                        b.deadline,
+                    )?;
+                    if run.iters > 0 {
+                        loads += run.loads;
+                        stores += run.stores;
+                        flops += run.flops;
+                        points += run.points;
+                        ops_done += run.ops;
+                        let extent = (s_stop - s_start) / info.step;
+                        if run.iters == extent {
+                            idx[info.dim as usize] = s_stop;
+                            pc = info.exit as usize;
+                        } else {
+                            idx[info.dim as usize] = s_start + run.iters * info.step;
+                            pc = info.head as usize;
+                        }
+                    }
+                }
+            }
             Op::Reduce { .. }
             | Op::NestBegin { .. }
             | Op::ReduceBegin
@@ -434,6 +558,21 @@ fn run_tile(b: &Batch, ti: usize) -> Result<TileRun, ExecError> {
         },
         final_idx: idx,
     })
+}
+
+/// [`LaneMem`] over a batch's raw array views. Tiles only write disjoint
+/// slices (see `Batch`), so handing the lane loop the raw base pointer is
+/// as sound here as in the scalar tile path; the lane executor's
+/// whole-run span check covers bounds.
+struct TileMem<'a> {
+    views: &'a [ArrayView],
+}
+
+impl LaneMem for TileMem<'_> {
+    fn resolve(&mut self, ai: usize) -> Result<(*mut f64, usize), ExecError> {
+        let v = &self.views[ai];
+        Ok((v.ptr, v.len))
+    }
 }
 
 #[cold]

@@ -22,12 +22,26 @@
 //!    dominate the flat index (every contributing dimension is checked
 //!    and the checked ranges cover the allocation).
 //!
-//! A program that passes all three phases can run on the VM's unchecked
+//! 4. **SIMD structure** — every `Op::SimdBegin` annotation is
+//!    re-derived from the bytecode: the loop shape must match the recorded
+//!    `SimdInfo`, the lane body must decode to
+//!    exactly the recorded lane program, and the recorded lane count must
+//!    not exceed the width the alias analysis re-proves safe (per-lane
+//!    bounds are the base access interval widened by the lane stride;
+//!    chunk clamping keeps every lane index inside the scalar-proven
+//!    range, so the width is the load-bearing claim).
+//!
+//! Superinstructions (`LdLdBin` et al.) verify exactly like their
+//! constituent sequences: each phase treats a bundle as its ordered
+//! micro-ops, so the unchecked-access proof covers every inline operand.
+//!
+//! A program that passes all phases can run on the VM's unchecked
 //! fast path ([`Vm::verify`](crate::Vm::verify)): element loads and
 //! stores skip the slice bounds check, which the proof has discharged.
 #![deny(missing_docs)]
 
-use crate::bytecode::{Code, Op, MAX_RANK};
+use crate::bytecode::{Code, Op, MAX_LANES, MAX_RANK};
+use crate::simd;
 use std::fmt;
 
 /// A finding from the bytecode verifier.
@@ -165,6 +179,10 @@ pub(crate) fn verify(code: &Code) -> Vec<VerifyDiagnostic> {
         return diags; // bounds analysis assumes defined-before-use
     }
     diags.extend(bounds(code));
+    if !diags.is_empty() {
+        return diags; // the simd re-analysis assumes in-bounds accesses
+    }
+    diags.extend(simd_structure(code));
     diags
 }
 
@@ -211,6 +229,14 @@ fn structural(code: &Code) -> Vec<VerifyDiagnostic> {
                     "counter {c} is outside the {} allocated counters",
                     code.n_ctrs
                 ),
+            ));
+        }
+    };
+    let bad_acc = |pc: usize, acc: u32, diags: &mut Vec<VerifyDiagnostic>| {
+        if acc as usize >= code.accesses.len() {
+            diags.push(VerifyDiagnostic::at(
+                pc,
+                format!("access-table index {acc} is out of range"),
             ));
         }
     };
@@ -342,6 +368,83 @@ fn structural(code: &Code) -> Vec<VerifyDiagnostic> {
                 bad_reg(pc, cond, &mut diags);
                 bad_target(pc, target, &mut diags);
             }
+            Op::LdLdBin {
+                dst,
+                da,
+                aa,
+                db,
+                ab,
+                ..
+            } => {
+                bad_reg(pc, dst, &mut diags);
+                bad_reg(pc, da, &mut diags);
+                bad_reg(pc, db, &mut diags);
+                bad_acc(pc, aa, &mut diags);
+                bad_acc(pc, ab, &mut diags);
+            }
+            Op::LdBin {
+                dst,
+                dl,
+                acc,
+                other,
+                ..
+            } => {
+                bad_reg(pc, dst, &mut diags);
+                bad_reg(pc, dl, &mut diags);
+                bad_reg(pc, other, &mut diags);
+                bad_acc(pc, acc, &mut diags);
+            }
+            Op::BinBin {
+                d1,
+                a1,
+                b1,
+                d2,
+                a2,
+                b2,
+                ..
+            } => {
+                for r in [d1, a1, b1, d2, a2, b2] {
+                    bad_reg(pc, r, &mut diags);
+                }
+            }
+            Op::BinSt { dst, a, b, acc, .. } => {
+                bad_reg(pc, dst, &mut diags);
+                bad_reg(pc, a, &mut diags);
+                bad_reg(pc, b, &mut diags);
+                bad_acc(pc, acc, &mut diags);
+            }
+            Op::LdSt { dst, la, sa } => {
+                bad_reg(pc, dst, &mut diags);
+                bad_acc(pc, la, &mut diags);
+                bad_acc(pc, sa, &mut diags);
+            }
+            Op::SimdBegin { simd } => {
+                if simd as usize >= code.simds.len() {
+                    diags.push(VerifyDiagnostic::at(
+                        pc,
+                        format!("simd-loop index {simd} is out of range"),
+                    ));
+                } else {
+                    let info = &code.simds[simd as usize];
+                    if info.dim as usize >= MAX_RANK {
+                        diags.push(VerifyDiagnostic::at(
+                            pc,
+                            format!(
+                                "simd loop iterates dimension {} beyond the VM maximum \
+                                 rank {MAX_RANK}",
+                                info.dim
+                            ),
+                        ));
+                    }
+                    bad_target(pc, info.head, &mut diags);
+                    if info.exit as usize > n {
+                        diags.push(VerifyDiagnostic::at(
+                            pc,
+                            format!("simd-loop exit {} is outside the program", info.exit),
+                        ));
+                    }
+                }
+            }
         }
     }
     for (i, a) in code.accesses.iter().enumerate() {
@@ -461,6 +564,34 @@ fn initialization(code: &Code) -> Vec<VerifyDiagnostic> {
                 pc,
                 format!("register {r} may be read before it is written"),
             ));
+        }
+    };
+    // The array-allocated and index-dimension preconditions of one array
+    // access (the `Load`/`Store` halves of superinstructions share them).
+    let require_acc = |pc: usize,
+                       acc: u32,
+                       st: &InitState,
+                       reported: &mut [bool],
+                       diags: &mut Vec<VerifyDiagnostic>| {
+        let a = &code.accesses[acc as usize];
+        if !st.arrays[a.arr as usize] && !reported[pc] {
+            reported[pc] = true;
+            diags.push(VerifyDiagnostic::at(
+                pc,
+                format!(
+                    "array `{}` may be accessed before it is allocated",
+                    code.arrays[a.arr as usize].name
+                ),
+            ));
+        }
+        for d in access_dims(code, acc) {
+            if !st.idx[d] && !reported[pc] {
+                reported[pc] = true;
+                diags.push(VerifyDiagnostic::at(
+                    pc,
+                    format!("index dimension {d} may be read before it is set"),
+                ));
+            }
         }
     };
 
@@ -584,6 +715,73 @@ fn initialization(code: &Code) -> Vec<VerifyDiagnostic> {
             }
             Op::Jmp { .. } => {}
             Op::JmpIfZero { cond, .. } => require_reg(pc, cond, &st, &mut reported, &mut diags),
+            // Superinstructions: the ordered constituent semantics. A
+            // register written by an earlier half of the same bundle
+            // (e.g. the load feeding `LdBin`'s arithmetic) needs no
+            // precondition.
+            Op::LdLdBin {
+                dst,
+                da,
+                db,
+                aa,
+                ab,
+                ..
+            } => {
+                require_acc(pc, aa, &st, &mut reported, &mut diags);
+                require_acc(pc, ab, &st, &mut reported, &mut diags);
+                out.regs[da as usize] = true;
+                out.regs[db as usize] = true;
+                out.regs[dst as usize] = true;
+            }
+            Op::LdBin {
+                dst,
+                dl,
+                acc,
+                other,
+                ..
+            } => {
+                require_acc(pc, acc, &st, &mut reported, &mut diags);
+                if other != dl {
+                    require_reg(pc, other, &st, &mut reported, &mut diags);
+                }
+                out.regs[dl as usize] = true;
+                out.regs[dst as usize] = true;
+            }
+            Op::BinBin {
+                d1,
+                a1,
+                b1,
+                d2,
+                a2,
+                b2,
+                ..
+            } => {
+                require_reg(pc, a1, &st, &mut reported, &mut diags);
+                require_reg(pc, b1, &st, &mut reported, &mut diags);
+                if a2 != d1 {
+                    require_reg(pc, a2, &st, &mut reported, &mut diags);
+                }
+                if b2 != d1 {
+                    require_reg(pc, b2, &st, &mut reported, &mut diags);
+                }
+                out.regs[d1 as usize] = true;
+                out.regs[d2 as usize] = true;
+            }
+            Op::BinSt { dst, a, b, acc, .. } => {
+                require_reg(pc, a, &st, &mut reported, &mut diags);
+                require_reg(pc, b, &st, &mut reported, &mut diags);
+                require_acc(pc, acc, &st, &mut reported, &mut diags);
+                out.regs[dst as usize] = true;
+            }
+            Op::LdSt { dst, la, sa } => {
+                require_acc(pc, la, &st, &mut reported, &mut diags);
+                require_acc(pc, sa, &st, &mut reported, &mut diags);
+                out.regs[dst as usize] = true;
+            }
+            // The lane path executes exactly the iterations the scalar
+            // loop body would; the scalar fall-through edge carries the
+            // analysis.
+            Op::SimdBegin { .. } => {}
         }
         successors(pc, &op, &mut succ);
         for &(t, edge) in &succ {
@@ -836,55 +1034,174 @@ fn bounds(code: &Code) -> Vec<VerifyDiagnostic> {
     let mut diags = Vec::new();
     let mut checked_ok = vec![None::<bool>; code.accesses.len()];
     for (pc, op) in code.ops.iter().enumerate() {
-        let (Op::Load { acc, .. } | Op::Store { acc, .. }) = *op else {
-            continue;
+        // Superinstructions discharge every inline access exactly like
+        // the equivalent `Load`/`Store` sequence would.
+        let op_accs: [Option<u32>; 2] = match *op {
+            Op::Load { acc, .. } | Op::Store { acc, .. } => [Some(acc), None],
+            Op::LdLdBin { aa, ab, .. } => [Some(aa), Some(ab)],
+            Op::LdBin { acc, .. } | Op::BinSt { acc, .. } => [Some(acc), None],
+            Op::LdSt { la, sa, .. } => [Some(la), Some(sa)],
+            _ => continue,
         };
         let Some(st) = states[pc] else {
             continue; // unreachable code never executes its access
         };
-        let a = &code.accesses[acc as usize];
-        let info = &code.arrays[a.arr as usize];
-        if let Some(chk) = &a.check {
-            // The runtime check must actually dominate the flat index;
-            // this is per-access, not per-site.
-            let ok =
-                checked_ok[acc as usize].get_or_insert_with(|| check_covers(code, acc as usize));
-            if !*ok {
+        for acc in op_accs.into_iter().flatten() {
+            let a = &code.accesses[acc as usize];
+            let info = &code.arrays[a.arr as usize];
+            if let Some(chk) = &a.check {
+                // The runtime check must actually dominate the flat index;
+                // this is per-access, not per-site.
+                let ok = checked_ok[acc as usize]
+                    .get_or_insert_with(|| check_covers(code, acc as usize));
+                if !*ok {
+                    diags.push(VerifyDiagnostic::at(
+                        pc,
+                        format!(
+                            "runtime check on access {acc} to `{}` does not cover the flat \
+                         index it guards",
+                            code.arrays[chk.arr.0 as usize].name
+                        ),
+                    ));
+                }
+                continue;
+            }
+            // No runtime check: the interval analysis must prove the flat
+            // index in bounds for every reachable index value.
+            let mut flat_lo = a.const_flat as i128;
+            let mut flat_hi = a.const_flat as i128;
+            for (s, r) in a.strides.iter().zip(st.iter()).take(a.rank as usize) {
+                let s = *s as i128;
+                if s == 0 {
+                    continue;
+                }
+                if s > 0 {
+                    flat_lo += s * r.lo as i128;
+                    flat_hi += s * r.hi as i128;
+                } else {
+                    flat_lo += s * r.hi as i128;
+                    flat_hi += s * r.lo as i128;
+                }
+            }
+            if flat_lo < 0 || flat_hi >= info.elems as i128 {
                 diags.push(VerifyDiagnostic::at(
                     pc,
                     format!(
-                        "runtime check on access {acc} to `{}` does not cover the flat \
-                         index it guards",
-                        code.arrays[chk.arr.0 as usize].name
+                        "cannot prove unchecked access {acc} to `{}` in bounds: flat index \
+                     ranges over [{flat_lo}, {flat_hi}] but the array has {} elements",
+                        info.name, info.elems
                     ),
                 ));
             }
+        }
+    }
+    diags
+}
+
+// ---- phase 4: simd structure ------------------------------------------------
+
+/// Re-derives every `Op::SimdBegin` annotation from the bytecode alone.
+///
+/// The annotation claims: the two ops that follow are the `SetIdx` and
+/// body of a straight-line innermost loop matching the recorded bounds,
+/// the recorded lane program is exactly what the body decodes to, and
+/// `lanes` iterations may run op-major without reordering any conflicting
+/// access pair. The shape is checked syntactically; the lane program and
+/// the safe width are re-proven by running the same analysis the rewrite
+/// used ([`simd::analyze_loop`]) and comparing. Per-lane interval bounds
+/// need no separate discharge: the lane runner clamps whole chunks inside
+/// `[start, stop)`, so every per-lane index interval is the base interval
+/// already proven by phase 3, widened by at most `(lanes-1)·step` — which
+/// chunk clamping keeps inside the scalar range. What phase 3 cannot see
+/// is a *width* overflowing the aliasing-proven distance, so that is what
+/// this phase rejects.
+fn simd_structure(code: &Code) -> Vec<VerifyDiagnostic> {
+    let mut diags = Vec::new();
+    for (pc, op) in code.ops.iter().enumerate() {
+        let Op::SimdBegin { simd } = *op else {
             continue;
-        }
-        // No runtime check: the interval analysis must prove the flat
-        // index in bounds for every reachable index value.
-        let mut flat_lo = a.const_flat as i128;
-        let mut flat_hi = a.const_flat as i128;
-        for (s, r) in a.strides.iter().zip(st.iter()).take(a.rank as usize) {
-            let s = *s as i128;
-            if s == 0 {
-                continue;
-            }
-            if s > 0 {
-                flat_lo += s * r.lo as i128;
-                flat_hi += s * r.hi as i128;
-            } else {
-                flat_lo += s * r.hi as i128;
-                flat_hi += s * r.lo as i128;
-            }
-        }
-        if flat_lo < 0 || flat_hi >= info.elems as i128 {
+        };
+        let info = &code.simds[simd as usize];
+        if !(2..=MAX_LANES as u8).contains(&info.lanes) {
             diags.push(VerifyDiagnostic::at(
                 pc,
                 format!(
-                    "cannot prove unchecked access {acc} to `{}` in bounds: flat index \
-                     ranges over [{flat_lo}, {flat_hi}] but the array has {} elements",
-                    info.name, info.elems
+                    "simd loop {simd} records {} lanes, outside the legal 2..={MAX_LANES}",
+                    info.lanes
+                ),
+            ));
+            continue;
+        }
+        let head = info.head as usize;
+        let exit = info.exit as usize;
+        if head != pc + 2 || exit < head + 1 || exit > code.ops.len() {
+            diags.push(VerifyDiagnostic::at(
+                pc,
+                format!("simd loop {simd} does not annotate the loop that follows it"),
+            ));
+            continue;
+        }
+        match code.ops[pc + 1] {
+            Op::SetIdx { d, v } if d == info.dim && v == info.start => {}
+            _ => {
+                diags.push(VerifyDiagnostic::at(
+                    pc,
+                    format!(
+                        "simd loop {simd} expects `SetIdx i{} = {}` at pc {}",
+                        info.dim,
+                        info.start,
+                        pc + 1
+                    ),
+                ));
+                continue;
+            }
+        }
+        match code.ops[exit - 1] {
+            Op::IdxStep {
+                d,
+                step,
+                stop,
+                head: h,
+            } if d == info.dim && step == info.step && stop == info.stop && h == info.head => {}
+            _ => {
+                diags.push(VerifyDiagnostic::at(
+                    pc,
+                    format!(
+                        "simd loop {simd} expects its back edge `IdxStep i{}` at pc {}",
+                        info.dim,
+                        exit - 1
+                    ),
+                ));
+                continue;
+            }
+        }
+        let Some(cand) = simd::analyze_loop(code, head, exit - 1, info.dim as usize, info.step)
+        else {
+            diags.push(VerifyDiagnostic::at(
+                pc,
+                format!(
+                    "simd loop {simd} annotates a body that does not re-verify as vectorizable"
+                ),
+            ));
+            continue;
+        };
+        if info.lanes > cand.lanes {
+            diags.push(VerifyDiagnostic::at(
+                pc,
+                format!(
+                    "simd loop {simd} records {} lanes but the lane stride widens the \
+                     access intervals past the proven safe width of {}",
+                    info.lanes, cand.lanes
+                ),
+            ));
+            continue;
+        }
+        if info.body != cand.body || info.lane_regs != cand.lane_regs {
+            diags.push(VerifyDiagnostic::at(
+                pc,
+                format!(
+                    "simd loop {simd} has mismatched superinstruction operands: the lane \
+                     program does not decode from the loop body"
                 ),
             ));
         }
@@ -1138,6 +1455,107 @@ mod tests {
             diags.iter().any(|d| d.message.contains("Halt")),
             "{diags:?}"
         );
+    }
+
+    /// `A[i] = A[i-2] + 1` over `[3..n]`: superfuses into a simd loop
+    /// whose alias analysis caps the lane width at 2 (the dependence
+    /// distance), giving the corruption tests a proven bound to overflow.
+    fn stencil_program() -> ScalarProgram {
+        let program = zlang::compile(
+            "program t; config n : int = 16; region R = [1..n]; \
+             region S = [3..n]; var A, B : [R] float; var s : float; \
+             begin end",
+        )
+        .unwrap();
+        ScalarProgram {
+            program,
+            stmts: vec![LStmt::Nest(LoopNest {
+                region: RegionId(1),
+                structure: vec![1],
+                body: vec![ElemStmt {
+                    target: ElemRef::Array(ArrayId(0), Offset(vec![0])),
+                    rhs: EExpr::Binary(
+                        zlang::ast::BinOp::Add,
+                        Box::new(EExpr::Load(ArrayId(0), Offset(vec![-2]))),
+                        Box::new(EExpr::Const(1.0)),
+                    ),
+                }],
+                cluster: 0,
+                temps: 0,
+            })],
+        }
+    }
+
+    fn superfused(sp: &ScalarProgram) -> Code {
+        let mut code = compiled(sp);
+        crate::simd::superfuse(&mut code);
+        code
+    }
+
+    #[test]
+    fn peephole_output_verifies() {
+        let code = superfused(&stencil_program());
+        assert_eq!(code.simds.len(), 1, "the stencil loop should annotate");
+        assert_eq!(code.simds[0].lanes, 2, "distance-2 dependence");
+        let diags = verify(&code);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn lane_width_past_the_proven_interval_is_rejected() {
+        // Hand-corrupt the annotation: claim 4 lanes where the alias
+        // analysis proved only 2 are safe. Op-major execution at width 4
+        // would read A[i-2] before the lane that writes it runs.
+        let mut code = superfused(&stencil_program());
+        code.simds[0].lanes = 4;
+        let diags = verify(&code);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("proven safe width")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn mismatched_lane_operands_are_rejected() {
+        // Truncate the lane program: the superinstruction no longer
+        // decodes from the loop body it claims to vectorize.
+        let mut code = superfused(&stencil_program());
+        assert!(!code.simds[0].body.is_empty());
+        code.simds[0].body.pop();
+        let diags = verify(&code);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("mismatched superinstruction operands")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn mismatched_lane_registers_are_rejected() {
+        let mut code = superfused(&stencil_program());
+        assert!(!code.simds[0].lane_regs.is_empty());
+        // Redirect a lane's writeback register.
+        code.simds[0].lane_regs[0] += 1;
+        let diags = verify(&code);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("mismatched superinstruction operands")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn simd_annotation_on_the_wrong_loop_is_rejected() {
+        let mut code = superfused(&stencil_program());
+        // Point the annotation's head somewhere other than the loop that
+        // follows the SimdBegin marker.
+        code.simds[0].head += 1;
+        let diags = verify(&code);
+        assert!(!diags.is_empty(), "{diags:?}");
     }
 
     #[test]

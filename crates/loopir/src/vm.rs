@@ -34,11 +34,12 @@
 //! # }
 //! ```
 
-use crate::bytecode::{self, Check, Code, Op, MAX_RANK};
+use crate::bytecode::{self, Check, Code, Op, MAX_LANES, MAX_RANK};
 use crate::exec::{ExecLimits, Executor, RunOutcome, TileStats};
 use crate::interp::{binop, ExecError, Observer, RunStats};
 use crate::ir::ScalarProgram;
 use crate::par::Pool;
+use crate::simd;
 use crate::verifier::{self, VerifyDiagnostic};
 use std::sync::Arc;
 use testkit::faults::{self, FaultSite};
@@ -116,6 +117,11 @@ pub struct Vm {
     limits: ExecLimits,
     par: Option<Pool>,
     tile_log: Vec<TileStats>,
+    /// Lane width for `Op::SimdBegin` loops (effective only once verified;
+    /// per-loop alias analysis may clamp it further).
+    lanes: usize,
+    /// Reusable per-lane register file, sized on first vectorized loop.
+    simd_scratch: Vec<[f64; MAX_LANES]>,
 }
 
 impl Vm {
@@ -128,6 +134,44 @@ impl Vm {
     pub fn new(prog: &ScalarProgram, binding: ConfigBinding) -> Result<Self, ExecError> {
         let code = Arc::new(bytecode::compile(prog, &binding)?);
         Ok(Vm::from_parts(code, binding, false))
+    }
+
+    /// Compiles a program and then runs the superinstruction + SIMD
+    /// rewrite (`crate::simd`) over the bytecode: fused element-wise
+    /// chains collapse into superinstructions and vectorizable innermost
+    /// loops gain `Op::SimdBegin` annotations. The rewritten bytecode runs
+    /// on every dispatcher (scalar engines treat the annotations as
+    /// no-ops); the lane fast path additionally requires [`Vm::verify`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if the program cannot be lowered.
+    pub fn new_superfused(prog: &ScalarProgram, binding: ConfigBinding) -> Result<Self, ExecError> {
+        let mut code = bytecode::compile(prog, &binding)?;
+        simd::superfuse(&mut code);
+        Ok(Vm::from_parts(Arc::new(code), binding, false))
+    }
+
+    /// Sets the lane width for vectorized innermost loops (`0` restores
+    /// the default, other values clamp to `1..=8`; `1` disables the lane
+    /// path). Effective only on verified superfused programs — the lane
+    /// dispatch reuses the verifier's unchecked-access proof.
+    pub fn set_lanes(&mut self, lanes: usize) {
+        self.lanes = match lanes {
+            0 => simd::DEFAULT_LANES,
+            n => n.min(MAX_LANES),
+        };
+    }
+
+    /// The configured lane width.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Renders the compiled bytecode as human-readable assembly, one op
+    /// per line with full operand detail (`zlc --print bytecode`).
+    pub fn disasm(&self) -> String {
+        bytecode::disasm(&self.code)
     }
 
     /// Builds a fresh VM around an existing [`SharedProgram`] handle — no
@@ -169,6 +213,8 @@ impl Vm {
             limits: ExecLimits::none(),
             par: None,
             tile_log: Vec::new(),
+            lanes: simd::DEFAULT_LANES,
+            simd_scratch: Vec::new(),
         }
     }
 
@@ -296,9 +342,14 @@ impl Vm {
             stats,
             next_base,
             par,
+            simd_scratch,
             ..
         } = self;
         let fan_out = par.as_ref().filter(|_| !obs.wants_addresses());
+        // Like tile fan-out, the lane path skips per-element observer
+        // callbacks, so observers that need the ordered address stream
+        // keep the loop scalar.
+        let lane_want = if obs.wants_addresses() { 1 } else { self.lanes };
         let limits = self.limits;
         let mut idx = self.idx;
         let mut batch_tiles: Vec<TileStats> = Vec::new();
@@ -308,6 +359,51 @@ impl Vm {
         let mut ticks = 0u64;
         let ops = &code.ops[..];
         let mut pc = 0usize;
+        // Constituent element load/store of a superinstruction — the exact
+        // semantics (and unchecked-path proof) of `Op::Load`/`Op::Store`,
+        // shared across the bundle arms below.
+        macro_rules! load_elem {
+            ($acc:expr, $dst:expr) => {{
+                let (ai, flat) = match resolve(code, &idx, $acc) {
+                    Ok(v) => v,
+                    Err(e) => break Err(e),
+                };
+                let Some(arr) = arrays[ai].as_ref() else {
+                    break Err(unallocated(code, ai));
+                };
+                obs.load(arr.base + (flat as u64) * 8);
+                loads += 1;
+                regs[$dst as usize] = if UNCHECKED {
+                    debug_assert!(flat < arr.data.len());
+                    // SAFETY: as for `Op::Load` — the verifier's bounds
+                    // proof covers every constituent access of a bundle.
+                    unsafe { *arr.data.get_unchecked(flat) }
+                } else {
+                    arr.data[flat]
+                };
+            }};
+        }
+        macro_rules! store_elem {
+            ($acc:expr, $src:expr) => {{
+                let v = regs[$src as usize];
+                let (ai, flat) = match resolve(code, &idx, $acc) {
+                    Ok(v) => v,
+                    Err(e) => break Err(e),
+                };
+                let Some(arr) = arrays[ai].as_mut() else {
+                    break Err(unallocated(code, ai));
+                };
+                if UNCHECKED {
+                    debug_assert!(flat < arr.data.len());
+                    // SAFETY: as for `Op::Store`.
+                    unsafe { *arr.data.get_unchecked_mut(flat) = v };
+                } else {
+                    arr.data[flat] = v;
+                }
+                obs.store(arr.base + (flat as u64) * 8);
+                stores += 1;
+            }};
+        }
         let res: Result<(), ExecError> = loop {
             if FUELED {
                 if fuel_left == 0 {
@@ -435,6 +531,7 @@ impl Vm {
                             arrays,
                             limits.deadline,
                             next_batch,
+                            if UNCHECKED { lane_want } else { 1 },
                             &mut batch_tiles,
                         );
                         next_batch += 1;
@@ -525,6 +622,107 @@ impl Vm {
                 Op::JmpIfZero { cond, target } => {
                     if regs[cond as usize] == 0.0 {
                         pc = target as usize;
+                    }
+                }
+                Op::LdLdBin {
+                    op,
+                    dst,
+                    da,
+                    aa,
+                    db,
+                    ab,
+                } => {
+                    load_elem!(aa, da);
+                    load_elem!(ab, db);
+                    regs[dst as usize] = binop(op, regs[da as usize], regs[db as usize]);
+                }
+                Op::LdBin {
+                    op,
+                    dst,
+                    dl,
+                    acc,
+                    other,
+                    right,
+                } => {
+                    load_elem!(acc, dl);
+                    let (x, y) = if right { (other, dl) } else { (dl, other) };
+                    regs[dst as usize] = binop(op, regs[x as usize], regs[y as usize]);
+                }
+                Op::BinBin {
+                    op1,
+                    d1,
+                    a1,
+                    b1,
+                    op2,
+                    d2,
+                    a2,
+                    b2,
+                } => {
+                    regs[d1 as usize] = binop(op1, regs[a1 as usize], regs[b1 as usize]);
+                    regs[d2 as usize] = binop(op2, regs[a2 as usize], regs[b2 as usize]);
+                }
+                Op::BinSt { op, dst, a, b, acc } => {
+                    regs[dst as usize] = binop(op, regs[a as usize], regs[b as usize]);
+                    store_elem!(acc, dst);
+                }
+                Op::LdSt { dst, la, sa } => {
+                    load_elem!(la, dst);
+                    store_elem!(sa, dst);
+                }
+                Op::SimdBegin { simd } => {
+                    // Scalar dispatchers and observed runs fall through
+                    // into the loop; the lane fast path requires the
+                    // verifier's unchecked-access proof (`UNCHECKED` is
+                    // gated on `Vm::verify`), which the lane memory path
+                    // reuses for its whole-span bounds reasoning.
+                    if UNCHECKED && lane_want >= 2 {
+                        let info = &code.simds[simd as usize];
+                        let mut mem = simd::VmMem {
+                            code: code.as_ref(),
+                            arrays: arrays.as_mut_slice(),
+                        };
+                        let r = simd::run_lanes(
+                            code,
+                            info,
+                            lane_want,
+                            info.start,
+                            info.stop,
+                            regs,
+                            &idx,
+                            &mut mem,
+                            simd_scratch,
+                            if FUELED { limits.deadline } else { None },
+                        );
+                        match r {
+                            Err(e) => break Err(e),
+                            Ok(run) if run.iters > 0 => {
+                                loads += run.loads;
+                                stores += run.stores;
+                                flops += run.flops;
+                                points += run.points;
+                                if FUELED {
+                                    // Lanes draw scalar-equivalent fuel:
+                                    // one unit per body op per covered
+                                    // iteration, like the tile pool.
+                                    if run.ops > fuel_left {
+                                        break Err(ExecError::fuel());
+                                    }
+                                    fuel_left -= run.ops;
+                                }
+                                let extent = (info.stop - info.start) / info.step;
+                                if run.iters == extent {
+                                    idx[info.dim as usize] = info.stop;
+                                    pc = info.exit as usize;
+                                } else {
+                                    // Scalar epilogue: resume the loop at
+                                    // its head for the remainder (the
+                                    // skipped SetIdx is compensated here).
+                                    idx[info.dim as usize] = info.start + run.iters * info.step;
+                                    pc = info.head as usize;
+                                }
+                            }
+                            Ok(_) => {} // too few iterations: stay scalar
+                        }
                     }
                 }
                 Op::Halt => break Ok(()),
@@ -644,7 +842,7 @@ fn oob(code: &Code, idx: &[i64; MAX_RANK], chk: &Check) -> ExecError {
 }
 
 #[cold]
-fn unallocated(code: &Code, ai: usize) -> ExecError {
+pub(crate) fn unallocated(code: &Code, ai: usize) -> ExecError {
     ExecError::trap(format!(
         "array `{}` accessed before its Alloc op (malformed bytecode)",
         code.arrays[ai].name

@@ -15,9 +15,13 @@
 //!   --dimension-contraction       enable lower-dimensional contraction
 //!   --spatial-cap <k>             bound pairwise fusion to k array streams
 //!   --favor-comm                  Section 5.5 favor-communication policy
-//!   --print <ir|loops|asdg|avail|report|source|hash>   what to print
-//!                                 (repeatable); `avail` dumps the
-//!                                 offset-lattice availability facts
+//!   --print <ir|loops|bytecode|asdg|avail|report|source|hash>   what to
+//!                                 print (repeatable); `avail` dumps the
+//!                                 offset-lattice availability facts;
+//!                                 `bytecode` disassembles the compiled VM
+//!                                 program for the selected engine (the
+//!                                 superinstruction/lane form under
+//!                                 `--engine vm-simd` or `vm-par`)
 //!   --emit <pass>                 dump the IR snapshot taken right after
 //!                                 the named pass (e.g. `normalize`, `dse`,
 //!                                 `rce2`, `fuse-contraction`, `contract`,
@@ -26,10 +30,14 @@
 //!   --verify                      re-check every pipeline stage and the
 //!                                 compiled bytecode; report diagnostics
 //!   --run                         execute and print scalars + statistics
-//!   --engine <interp|vm|vm-verified|vm-par>   execution engine (default vm)
+//!   --engine <interp|vm|vm-verified|vm-simd|vm-par>   execution engine
+//!                                 (default vm)
 //!   --list-engines                list the execution engines and exit
 //!   --threads <n>                 worker threads for --engine vm-par
 //!                                 (default 0 = auto)
+//!   --lanes <n>                   unrolled f64 lanes for --engine vm-simd
+//!                                 and vm-par (default 0 = engine default
+//!                                 of 4; 1 = scalar dispatch)
 //!   --machine <t3e|sp2|paragon>   simulate on a machine model (with --run)
 //!   --procs <p>                   simulated processors (default 1)
 //!   --set <name=value>            override an integer config (repeatable)
@@ -102,8 +110,9 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage: zlc <file.zl> [--level L[+dse][+rce][+rce2]] [--dimension-contraction]\n\
          \x20          [--spatial-cap K] [--favor-comm]\n\
-         \x20          [--print ir|loops|asdg|avail|report|source|hash]... [--emit PASS] [--verify]\n\
-         \x20          [--run] [--engine interp|vm|vm-verified|vm-par] [--threads N]\n\
+         \x20          [--print ir|loops|bytecode|asdg|avail|report|source|hash]... [--emit PASS]\n\
+         \x20          [--verify] [--run] [--engine interp|vm|vm-verified|vm-simd|vm-par]\n\
+         \x20          [--threads N] [--lanes N]\n\
          \x20          [--machine t3e|sp2|paragon] [--procs P] [--set name=value]...\n\
          \x20          [--supervise] [--deadline-ms N] [--fuel N] [--inject PLAN]\n\
          \x20      zlc serve <file.zl>... [--requests N] [--workers N] [--queue-cap N]\n\
@@ -177,6 +186,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.request.threads = value("--threads")?
                     .parse()
                     .map_err(|_| "bad threads".to_string())?;
+            }
+            "--lanes" => {
+                opts.request.lanes = value("--lanes")?
+                    .parse()
+                    .map_err(|_| "bad lanes".to_string())?;
             }
             "--machine" => {
                 opts.machine = Some(match value("--machine")?.as_str() {
@@ -565,6 +579,24 @@ fn main() -> ExitCode {
             // (binding-independent; see fusion_core::hash).
             "hash" => println!("{:016x}", fusion_core::hash::program_hash(&program)),
             "loops" => print!("{}", loopir::printer::print(&opt.scalarized)),
+            // The compiled bytecode for the selected engine: plain ops
+            // for interp/vm/vm-verified, the superinstruction + lane
+            // annotation form for vm-simd/vm-par.
+            "bytecode" => {
+                let binding = match checked_binding(&opt.scalarized.program, &opts.request.sets) {
+                    Ok(b) => b,
+                    Err(msg) => return fail("config", &msg, Some(&opts.file)),
+                };
+                let vm = if matches!(opts.request.engine, Engine::VmSimd | Engine::VmPar) {
+                    Vm::new_superfused(&opt.scalarized, binding)
+                } else {
+                    Vm::new(&opt.scalarized, binding)
+                };
+                match vm {
+                    Ok(vm) => print!("{}", vm.disasm()),
+                    Err(e) => return fail("compile", &e.to_string(), Some(&opts.file)),
+                }
+            }
             // The offset-lattice availability facts the +rce2 pass
             // consumes, computed fresh over the normalized program.
             "avail" => print!(
